@@ -1,0 +1,379 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/reconfig"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The benchmarks below regenerate every figure and experiment of
+// EXPERIMENTS.md as testing.B targets: F1/F2 are the paper's only figures;
+// E1–E4 are the mechanized theorem checks; E5–E8 and A1 are the systems
+// experiments DESIGN.md defines. `go test -bench=. -benchmem` runs them
+// all; cmd/qcbench prints the same data as tables.
+
+// BenchmarkF1F2_Figures builds both system trees of the paper's figures
+// and renders them.
+func BenchmarkF1F2_Figures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figures(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_Lemma8SerialRun drives the paper scenario's system B to
+// quiescence, checking the Lemma 8 invariant after every step.
+func BenchmarkE1_Lemma8SerialRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sysB, err := core.BuildB(core.PaperSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunSerial(sysB, int64(i), 1_000_000, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Theorem10 runs the full simulation check (projection +
+// replay against system A) on a fresh random execution each iteration.
+func BenchmarkE2_Theorem10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAndCheck(core.PaperSpec(), int64(i), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Theorem11 drives the concurrent system C and validates the
+// serialization chain on completing runs.
+func BenchmarkE3_Theorem11(b *testing.B) {
+	spec := core.PaperSpec()
+	spec.SequentialTMs = true
+	spec.ReadAccessesPerDM = 2
+	spec.WriteAccessesPerDM = 2
+	checked := 0
+	for i := 0; i < b.N; i++ {
+		c, err := cc.BuildC(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := ioa.NewDriver(c.Sys, int64(i))
+		d.Bias = func(op ioa.Op) float64 {
+			if op.Kind == ioa.OpAbort {
+				return 0.02
+			}
+			return 1
+		}
+		gamma, _, err := d.Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cc.Completed(c, gamma) {
+			continue
+		}
+		if err := cc.CheckTheorem11(c, gamma); err != nil {
+			b.Fatal(err)
+		}
+		checked++
+	}
+	b.ReportMetric(float64(checked)/float64(b.N), "checked/op")
+}
+
+// BenchmarkE4_Reconfiguration drives the Section 4 system with spies and
+// coordinators, verifying the invariant each step and the simulation at
+// the end.
+func BenchmarkE4_Reconfiguration(b *testing.B) {
+	dms := []string{"d1", "d2", "d3", "d4", "d5"}
+	spec := reconfig.Spec{
+		Core: core.Spec{
+			Items: []core.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+			Top: []core.TxnSpec{
+				core.Sub("u1", core.WriteItem("w", "x", 1), core.ReadItem("r", "x")),
+				core.Sub("u2", core.ReadItem("r", "x")),
+			},
+		},
+		NewConfigs:       map[string][]quorum.Config{"x": {quorum.ReadOneWriteAll(dms), quorum.Majority(dms)}},
+		ReconfigsPerUser: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		sys, err := reconfig.BuildB(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := ioa.NewDriver(sys.Sys, int64(i))
+		d.OnStep = sys.Checker()
+		sched, _, err := d.Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.CheckSimulation(sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCluster builds a store over n replicas with the given configuration
+// for the cluster benchmarks.
+func benchCluster(b *testing.B, n int, cfg func([]string) quorum.Config) (*cluster.Store, *sim.Network) {
+	b.Helper()
+	dms := make([]string, n)
+	for i := range dms {
+		dms[i] = fmt.Sprintf("dm%d", i)
+	}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
+	store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}},
+		cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net
+}
+
+// benchOps runs b.N transactions of the given kind and reports messages
+// per transaction alongside latency (E5/E7 data).
+func benchOps(b *testing.B, store *cluster.Store, net *sim.Network, write bool) {
+	b.Helper()
+	ctx := context.Background()
+	before := net.Stats().Sent
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := store.Run(ctx, func(tx *cluster.Txn) error {
+			if write {
+				return tx.Write(ctx, "x", i)
+			}
+			_, err := tx.Read(ctx, "x")
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Stats().Sent-before)/float64(b.N), "msgs/txn")
+}
+
+// E5 + E7a: messages and latency per configuration and replica count.
+
+func BenchmarkE5E7_Read_ReadOneWriteAll_N3(b *testing.B) {
+	store, net := benchCluster(b, 3, quorum.ReadOneWriteAll)
+	benchOps(b, store, net, false)
+}
+
+func BenchmarkE5E7_Read_Majority_N3(b *testing.B) {
+	store, net := benchCluster(b, 3, quorum.Majority)
+	benchOps(b, store, net, false)
+}
+
+func BenchmarkE5E7_Read_Majority_N5(b *testing.B) {
+	store, net := benchCluster(b, 5, quorum.Majority)
+	benchOps(b, store, net, false)
+}
+
+func BenchmarkE5E7_Read_Majority_N7(b *testing.B) {
+	store, net := benchCluster(b, 7, quorum.Majority)
+	benchOps(b, store, net, false)
+}
+
+func BenchmarkE5E7_Write_ReadOneWriteAll_N3(b *testing.B) {
+	store, net := benchCluster(b, 3, quorum.ReadOneWriteAll)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE5E7_Write_Majority_N3(b *testing.B) {
+	store, net := benchCluster(b, 3, quorum.Majority)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE5E7_Write_Majority_N5(b *testing.B) {
+	store, net := benchCluster(b, 5, quorum.Majority)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE5E7_Write_Majority_N7(b *testing.B) {
+	store, net := benchCluster(b, 7, quorum.Majority)
+	benchOps(b, store, net, true)
+}
+
+// BenchmarkE6_AvailabilityExact measures the exact availability analysis
+// itself (the E6 table is analytic; this benchmarks its generator).
+func BenchmarkE6_AvailabilityExact(b *testing.B) {
+	dms := []string{"d1", "d2", "d3", "d4", "d5", "d6", "d7"}
+	cfg := quorum.Majority(dms)
+	up := quorum.UniformUp(dms, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := quorum.ExactAvailability(cfg, up)
+		if a.Read <= 0 {
+			b.Fatal("bogus availability")
+		}
+	}
+}
+
+// BenchmarkE7b_NestingDepth2 measures nested-transaction throughput with
+// tolerated subtransaction aborts.
+func BenchmarkE7b_NestingDepth2(b *testing.B) {
+	store, _ := benchCluster(b, 5, quorum.Majority)
+	ctx := context.Background()
+	b.ResetTimer()
+	res, err := workload.Run(ctx, store, workload.Profile{
+		ReadFraction: 0.5, OpsPerTxn: 2, NestDepth: 2, SubAbortProb: 0.2,
+		Items: []string{"x"}, Seed: 1,
+	}, b.N, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput(), "txn/s")
+}
+
+// BenchmarkE8_ReadsWithCrashedMinority measures reads while 2 of 5
+// replicas are crashed (quorum probes pay timeouts until reconfigured).
+func BenchmarkE8_ReadsWithCrashedMinority(b *testing.B) {
+	store, net := benchCluster(b, 5, quorum.Majority)
+	net.Crash("dm3")
+	net.Crash("dm4")
+	benchOps(b, store, net, false)
+}
+
+// BenchmarkE8_ReadsAfterReconfig measures the same reads after
+// reconfiguring to the live replicas.
+func BenchmarkE8_ReadsAfterReconfig(b *testing.B) {
+	store, net := benchCluster(b, 5, quorum.Majority)
+	net.Crash("dm3")
+	net.Crash("dm4")
+	if err := store.Reconfigure(context.Background(), "x", quorum.Majority([]string{"dm0", "dm1", "dm2"})); err != nil {
+		b.Fatal(err)
+	}
+	benchOps(b, store, net, false)
+}
+
+// BenchmarkA1_Reconfigure_OldQuorumOnly and ..._BothQuorums compare the
+// paper's reconfiguration write rule against Gifford's original.
+func BenchmarkA1_Reconfigure_OldQuorumOnly(b *testing.B) {
+	benchReconfigure(b, false)
+}
+
+func BenchmarkA1_Reconfigure_BothQuorums(b *testing.B) {
+	benchReconfigure(b, true)
+}
+
+func benchReconfigure(b *testing.B, both bool) {
+	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
+	store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		cluster.Options{CallTimeout: 25 * time.Millisecond, WriteConfigToBothQuorums: both, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	ctx := context.Background()
+	before := net.Stats().Sent
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := quorum.Majority(dms)
+		if i%2 == 1 {
+			cfg = quorum.ReadOneWriteAll(dms)
+		}
+		if err := store.Reconfigure(ctx, "x", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(net.Stats().Sent-before)/float64(b.N), "msgs/reconfig")
+}
+
+// BenchmarkA2_BlindWriteBaseline measures the model-layer cost of the
+// correct read-before-write TM against the hypothetical blind-write
+// baseline documented in internal/core's A2 test (which demonstrates why
+// the read phase is necessary); here we simply benchmark the correct
+// write-TM path end to end at the model layer.
+func BenchmarkA2_ModelWritePath(b *testing.B) {
+	dms := []string{"d1", "d2", "d3"}
+	spec := core.Spec{
+		Items: []core.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		Top:   []core.TxnSpec{core.Sub("u", core.WriteItem("w", "x", 1))},
+	}
+	for i := 0; i < b.N; i++ {
+		sysB, err := core.BuildB(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := ioa.NewDriver(sysB.Sys, int64(i))
+		d.Bias = func(op ioa.Op) float64 {
+			if op.Kind == ioa.OpAbort {
+				return 0
+			}
+			return 1
+		}
+		if _, _, err := d.Run(1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomSpecGeneration exercises the scenario generator used by
+// every property test.
+func BenchmarkRandomSpecGeneration(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		spec := core.RandomSpec(rng, core.DefaultRandParams())
+		if len(spec.Items) == 0 {
+			b.Fatal("empty spec")
+		}
+	}
+}
+
+// BenchmarkE9_ReadRepairCatchUp measures a full stale-replica repair cycle:
+// crash, miss a write, restart, read until caught up with repair on.
+func BenchmarkE9_ReadRepairCatchUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dms := []string{"dm0", "dm1", "dm2"}
+		net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: int64(i)})
+		store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+			cluster.Options{CallTimeout: 25 * time.Millisecond, ReadRepair: true, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		net.Crash("dm2")
+		if err := store.Run(ctx, func(tx *cluster.Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+			b.Fatal(err)
+		}
+		net.Restart("dm2")
+		for {
+			if err := store.Run(ctx, func(tx *cluster.Txn) error {
+				_, err := tx.Read(ctx, "x")
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(500 * time.Microsecond)
+			if resp, err := store.Inspect(ctx, "dm2", "x"); err == nil && resp.VN >= 1 {
+				break
+			}
+		}
+		store.Close()
+		net.Close()
+	}
+}

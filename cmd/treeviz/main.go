@@ -1,0 +1,48 @@
+// Command treeviz renders the paper's Figure 1 (transaction tree of the
+// replicated serial system B) and Figure 2 (the tree of the corresponding
+// non-replicated serial system A) from the same scenario description.
+//
+// Usage:
+//
+//	treeviz            # both figures
+//	treeviz -system B  # Figure 1 only
+//	treeviz -system A  # Figure 2 only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	system := flag.String("system", "both", "which system tree to render: B, A, or both")
+	flag.Parse()
+	if err := run(*system); err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system string) error {
+	spec := core.PaperSpec()
+	if system == "B" || system == "both" {
+		b, err := core.BuildB(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 1 — replicated serial system B:")
+		fmt.Println(b.Tree.Render())
+	}
+	if system == "A" || system == "both" {
+		a, err := core.BuildA(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2 — non-replicated serial system A:")
+		fmt.Println(a.Tree.Render())
+	}
+	return nil
+}

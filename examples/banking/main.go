@@ -1,0 +1,115 @@
+// Banking: money transfers as nested transactions over replicated account
+// balances, with a best-effort fee collection subtransaction whose abort
+// the parent transfer tolerates — the paper's motivating use of transaction
+// failures ("an operation to access a logical data item can complete even
+// if some of its accesses abort").
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+var errInsufficient = errors.New("insufficient funds")
+
+// transfer moves amount from one account to the other and tries to collect
+// a fee into the bank's revenue account; failure to collect the fee must
+// not lose the transfer.
+func transfer(ctx context.Context, store *repro.Store, from, to string, amount int, feeOK *bool) error {
+	return store.Run(ctx, func(tx *repro.Txn) error {
+		fromBal, err := tx.ReadForUpdate(ctx, from)
+		if err != nil {
+			return err
+		}
+		if fromBal.(int) < amount {
+			return errInsufficient
+		}
+		toBal, err := tx.ReadForUpdate(ctx, to)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(ctx, from, fromBal.(int)-amount); err != nil {
+			return err
+		}
+		if err := tx.Write(ctx, to, toBal.(int)+amount); err != nil {
+			return err
+		}
+		// Best-effort fee: run in a subtransaction so its failure aborts
+		// only the fee, not the transfer.
+		err = tx.Sub(ctx, func(sub *repro.Txn) error {
+			rev, err := sub.ReadForUpdate(ctx, "bank/revenue")
+			if err != nil {
+				return err
+			}
+			return sub.Write(ctx, "bank/revenue", rev.(int)+1)
+		})
+		*feeOK = err == nil
+		return nil
+	})
+}
+
+func main() {
+	dms := []string{"d0", "d1", "d2", "d3", "d4"}
+	items := []repro.ClusterItem{
+		{Name: "acct/alice", Initial: 100, DMs: dms[:3], Config: repro.Majority(dms[:3])},
+	}
+	// Put bob and the revenue account on their own replica groups with
+	// their own quorum strategies: per-item configurations are the point
+	// of the generalized algorithm.
+	bobDMs := []string{"b0", "b1", "b2"}
+	items = append(items, repro.ClusterItem{Name: "acct/bob", Initial: 50, DMs: bobDMs, Config: repro.ReadOneWriteAll(bobDMs)})
+	revDMs := []string{"r0", "r1", "r2", "r3", "r4"}
+	items = append(items, repro.ClusterItem{Name: "bank/revenue", Initial: 0, DMs: revDMs, Config: repro.Majority(revDMs)})
+
+	store, net, err := repro.OpenSim(items, 100*time.Microsecond, time.Millisecond, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+
+	var feeOK bool
+	if err := transfer(ctx, store, "acct/alice", "acct/bob", 30, &feeOK); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transfer of 30 committed; fee collected:", feeOK)
+
+	// Crash every revenue replica: fee collection becomes impossible, but
+	// transfers keep committing because the fee runs in a subtransaction.
+	for _, dm := range revDMs {
+		net.Crash(dm)
+	}
+	if err := transfer(ctx, store, "acct/bob", "acct/alice", 10, &feeOK); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transfer with revenue replicas down committed; fee collected:", feeOK)
+
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		a, err := tx.Read(ctx, "acct/alice")
+		if err != nil {
+			return err
+		}
+		b, err := tx.Read(ctx, "acct/bob")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("final balances: alice=%v bob=%v (conserved: %v)\n", a, b, a.(int)+b.(int) == 150)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// An insufficient-funds transfer aborts atomically.
+	err = transfer(ctx, store, "acct/bob", "acct/alice", 10_000, &feeOK)
+	fmt.Println("oversized transfer rejected:", errors.Is(err, errInsufficient))
+}

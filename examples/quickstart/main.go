@@ -1,0 +1,64 @@
+// Quickstart: open a simulated replicated store and run a nested
+// transaction against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Five replicas of one item, majority quorums.
+	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
+	store, net, err := repro.OpenSim([]repro.ClusterItem{
+		{Name: "greeting", Initial: "hello", DMs: dms, Config: repro.Majority(dms)},
+	}, 100*time.Microsecond, time.Millisecond, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		v, err := tx.Read(ctx, "greeting")
+		if err != nil {
+			return err
+		}
+		fmt.Println("initial value:", v)
+		if err := tx.Write(ctx, "greeting", "hello, quorum"); err != nil {
+			return err
+		}
+		// Work can nest arbitrarily; this subtransaction commits into its
+		// parent.
+		return tx.Sub(ctx, func(sub *repro.Txn) error {
+			v, err := sub.Read(ctx, "greeting")
+			if err != nil {
+				return err
+			}
+			fmt.Println("subtransaction sees parent's write:", v)
+			return nil
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		v, err := tx.Read(ctx, "greeting")
+		if err != nil {
+			return err
+		}
+		fmt.Println("committed value:", v)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

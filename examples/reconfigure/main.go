@@ -1,0 +1,82 @@
+// Reconfigure: survive replica failures by changing quorum configurations
+// online (paper Section 4), transparently to the transactions using the
+// item.
+//
+//	go run ./examples/reconfigure
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	dms := []string{"east-1", "east-2", "west-1", "west-2", "west-3"}
+	store, net, err := repro.OpenSim([]repro.ClusterItem{
+		{Name: "inventory/widgets", Initial: 1000, DMs: dms, Config: repro.Majority(dms)},
+	}, 200*time.Microsecond, 2*time.Millisecond, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+
+	sell := func(n int) error {
+		return store.Run(ctx, func(tx *repro.Txn) error {
+			v, err := tx.ReadForUpdate(ctx, "inventory/widgets")
+			if err != nil {
+				return err
+			}
+			return tx.Write(ctx, "inventory/widgets", v.(int)-n)
+		})
+	}
+
+	if err := sell(10); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sold 10 under majority over all five replicas")
+
+	// The east region goes dark. Majorities of five still work (3 of the
+	// west replicas), but every quorum probe of an east replica costs a
+	// timeout. Reconfigure to the west replicas only.
+	net.Crash("east-1")
+	net.Crash("east-2")
+	fmt.Println("east region down")
+	west := dms[2:]
+	if err := store.Reconfigure(ctx, "inventory/widgets", repro.Majority(west)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reconfigured to majority over", west)
+	if err := sell(5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sold 5 under the west-only configuration")
+
+	// East recovers; move to read-one/write-all over everything for cheap
+	// reads. Version numbers ensure the stale east replicas are never
+	// believed: reconfiguration copied the current value to a write-quorum
+	// of the new configuration first.
+	net.Restart("east-1")
+	net.Restart("east-2")
+	if err := store.Reconfigure(ctx, "inventory/widgets", repro.ReadOneWriteAll(dms)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("east back; reconfigured to read-one/write-all")
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		v, err := tx.Read(ctx, "inventory/widgets")
+		if err != nil {
+			return err
+		}
+		fmt.Println("inventory now:", v, "(expected 985)")
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Voting: Gifford's weighted voting as configuration strategy — a strong
+// site gets more votes than two weak ones, read/write thresholds derive
+// the quorums, and the availability analysis quantifies the trade-offs
+// before the configuration goes live on a cluster.
+//
+//	go run ./examples/voting
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/quorum"
+)
+
+func main() {
+	// One well-provisioned site and four flaky edge replicas.
+	votes := map[string]int{
+		"core": 3,
+		"e1":   1, "e2": 1, "e3": 1, "e4": 1,
+	}
+	dms := []string{"core", "e1", "e2", "e3", "e4"}
+	// total = 7; rq=3, wq=5 favors reads through the core site.
+	cfg, err := repro.Voting(votes, 3, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("weighted-voting configuration:", cfg)
+	fmt.Printf("smallest read quorum: %d replicas; smallest write quorum: %d replicas\n",
+		cfg.MinReadQuorumSize(), cfg.MinWriteQuorumSize())
+
+	// Analyze before deploying: the core is reliable (99.9%), edges are
+	// not (90%).
+	up := map[string]float64{"core": 0.999, "e1": 0.9, "e2": 0.9, "e3": 0.9, "e4": 0.9}
+	a := quorum.ExactAvailability(cfg, up)
+	fmt.Printf("availability with a reliable core: read %.4f, write %.4f\n", a.Read, a.Write)
+	maj := quorum.ExactAvailability(repro.Majority(dms), up)
+	fmt.Printf("plain majority for comparison:     read %.4f, write %.4f\n", maj.Read, maj.Write)
+	load := quorum.UniformLoad(cfg)
+	fmt.Printf("per-replica load (uniform policy): read %.2f, write %.2f\n", load.Read, load.Write)
+
+	// Deploy it.
+	store, net, err := repro.OpenSim([]repro.ClusterItem{
+		{Name: "profile", Initial: "empty", DMs: dms, Config: cfg},
+	}, 100*time.Microsecond, time.Millisecond, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		return tx.Write(ctx, "profile", "v1")
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Edge failures leave the vote-heavy core able to anchor quorums.
+	net.Crash("e3")
+	net.Crash("e4")
+	if err := store.Run(ctx, func(tx *repro.Txn) error {
+		v, err := tx.Read(ctx, "profile")
+		if err != nil {
+			return err
+		}
+		fmt.Println("read with two edges down:", v)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

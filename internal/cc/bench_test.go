@@ -1,0 +1,58 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+func BenchmarkLockManagerGrantCommit(b *testing.B) {
+	tr := tree.New()
+	var leaves []ioa.TxnName
+	for i := 0; i < 8; i++ {
+		u := tr.MustAddChild(tree.Root, fmt.Sprintf("u%d", i), tree.KindUser)
+		c := tr.MustAddChild(u.Name(), "c", tree.KindAccess)
+		leaves = append(leaves, c.Name())
+	}
+	lm := NewLockManager(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := leaves[i%len(leaves)]
+		if lm.CanGrant("x", t, Read) {
+			lm.Grant("x", t, Read)
+			lm.OnCommit(t)
+			if p, ok := tr.Parent(t); ok {
+				lm.OnCommit(p)
+			}
+		}
+	}
+}
+
+func BenchmarkSerializeConcurrentRun(b *testing.B) {
+	spec := concurrentSpec()
+	for i := 0; i < b.N; i++ {
+		c, err := BuildC(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := ioa.NewDriver(c.Sys, int64(i))
+		d.Bias = func(op ioa.Op) float64 {
+			if op.Kind == ioa.OpAbort {
+				return 0
+			}
+			return 1
+		}
+		gamma, _, err := d.Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !Completed(c, gamma) {
+			continue
+		}
+		if _, err := Serialize(c, gamma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+func concurrentSpec() core.Spec {
+	dms := []string{"d1", "d2", "d3"}
+	return core.Spec{
+		Items: []core.ItemSpec{{
+			Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms),
+		}},
+		Objects:            []core.ObjectSpec{{Name: "log", Initial: ""}},
+		SequentialTMs:      true,
+		ReadAccessesPerDM:  2,
+		WriteAccessesPerDM: 2,
+		Top: []core.TxnSpec{
+			writeFirst(core.Sub("u1", core.WriteItem("w", "x", 10), core.ReadItem("r", "x"))),
+			writeFirst(core.Sub("u2", core.WriteItem("w", "x", 20), core.ReadItem("r", "x"))),
+			writeFirst(core.Sub("u3", core.ReadItem("r", "x"), core.AccessObject("l", "log", tree.WriteAccess, "u3"))),
+		},
+	}
+}
+
+// writeFirst makes a user transaction sequential, the deadlock-averse shape
+// for lock-based concurrency control: its write locks are taken before any
+// read locks it might otherwise need to upgrade.
+func writeFirst(t core.TxnSpec) core.TxnSpec {
+	t.Sequential = true
+	return t
+}
+
+func driveC(t *testing.T, c *core.SystemB, seed int64, abortWeight float64) ioa.Schedule {
+	t.Helper()
+	d := ioa.NewDriver(c.Sys, seed)
+	d.Bias = func(op ioa.Op) float64 {
+		if op.Kind == ioa.OpAbort {
+			return abortWeight
+		}
+		return 1
+	}
+	sched, _, err := d.Run(200000)
+	if err != nil {
+		t.Fatalf("seed %d: %v\nschedule:\n%v", seed, err, sched)
+	}
+	return sched
+}
+
+func TestConcurrentRunsInterleave(t *testing.T) {
+	// At least one run must interleave sibling subtrees — i.e. not already
+	// be serial — otherwise the concurrent scheduler is vacuous.
+	interleaved := false
+	for seed := int64(0); seed < 20 && !interleaved; seed++ {
+		c, err := BuildC(concurrentSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := driveC(t, c, seed, 0)
+		// Detect interleaving: a CREATE of a transaction in one top-level
+		// subtree between CREATE and return of a transaction in another.
+		open := map[ioa.TxnName]bool{}
+		topOf := func(n ioa.TxnName) ioa.TxnName {
+			for _, top := range c.Tree.Children(tree.Root) {
+				if c.Tree.IsAncestor(top, n) {
+					return top
+				}
+			}
+			return ""
+		}
+		for _, op := range sched {
+			switch op.Kind {
+			case ioa.OpCreate:
+				if top := topOf(op.Txn); top != "" && top != op.Txn {
+					for other := range open {
+						if other != top {
+							interleaved = true
+						}
+					}
+					open[top] = true
+				}
+			case ioa.OpCommit, ioa.OpAbort:
+				if top := topOf(op.Txn); top == op.Txn {
+					delete(open, top)
+				}
+			}
+		}
+	}
+	if !interleaved {
+		t.Fatal("no concurrent run interleaved top-level subtrees in 20 seeds")
+	}
+}
+
+func TestTheorem11FixedScenario(t *testing.T) {
+	completed := 0
+	for seed := int64(0); seed < 40; seed++ {
+		c, err := BuildC(concurrentSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveC(t, c, seed, 0.02)
+		if !Completed(c, gamma) {
+			continue // deadlocked or stuck run; serial correctness per-txn still holds but we check complete runs
+		}
+		completed++
+		if err := CheckTheorem11(c, gamma); err != nil {
+			t.Fatalf("seed %d: %v\nγ:\n%v", seed, err, gamma)
+		}
+	}
+	if completed < 25 {
+		t.Fatalf("only %d/40 concurrent runs completed; expected most to", completed)
+	}
+}
+
+func TestTheorem11RandomScenarios(t *testing.T) {
+	params := core.DefaultRandParams()
+	params.RetryAccesses = true
+	params.DeadlockAverse = true
+	completed := 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := core.RandomSpec(rng, params)
+		spec.SequentialTMs = true
+		c, err := BuildC(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gamma := driveC(t, c, seed+2000, 0.02)
+		if !Completed(c, gamma) {
+			continue
+		}
+		completed++
+		if err := CheckTheorem11(c, gamma); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if completed < 20 {
+		t.Fatalf("only %d/40 random concurrent runs completed", completed)
+	}
+}
+
+func TestLockManagerMossRules(t *testing.T) {
+	tr := tree.New()
+	u1 := tr.MustAddChild(tree.Root, "u1", tree.KindUser)
+	u2 := tr.MustAddChild(tree.Root, "u2", tree.KindUser)
+	a1 := tr.MustAddChild(u1.Name(), "a", tree.KindAccess)
+	a2 := tr.MustAddChild(u2.Name(), "a", tree.KindAccess)
+	lm := NewLockManager(tr)
+
+	// Read locks are compatible across unrelated transactions.
+	if !lm.CanGrant("x", a1.Name(), Read) {
+		t.Fatal("first read lock should be grantable")
+	}
+	lm.Grant("x", a1.Name(), Read)
+	if !lm.CanGrant("x", a2.Name(), Read) {
+		t.Fatal("concurrent read locks should be grantable")
+	}
+	// A write conflicts with an unrelated read holder.
+	if lm.CanGrant("x", a2.Name(), Write) {
+		t.Fatal("write lock must not be granted over an unrelated read holder")
+	}
+	// After a1 commits, its lock passes to u1; u2's descendants still
+	// conflict, but u1's own new children do not.
+	lm.OnCommit(a1.Name())
+	if lm.CanGrant("x", a2.Name(), Write) {
+		t.Fatal("write lock must not be granted over u1's inherited read lock")
+	}
+	b1 := tr.MustAddChild(u1.Name(), "b", tree.KindAccess)
+	if !lm.CanGrant("x", b1.Name(), Write) {
+		t.Fatal("descendant of the holder must be able to lock")
+	}
+	// When u1 commits at top level, the lock is discarded.
+	lm.OnCommit(u1.Name())
+	if !lm.CanGrant("x", a2.Name(), Write) {
+		t.Fatal("lock should be free after top-level commit")
+	}
+}
+
+func TestSerializeRejectsNonSerializableOrder(t *testing.T) {
+	// Hand-build a γ whose per-transaction sequences cannot come from any
+	// serial schedule: a user claims to have observed a COMMIT for a child
+	// that never requested to commit.
+	spec := core.Spec{
+		Items: []core.ItemSpec{{
+			Name: "x", Initial: 0, DMs: []string{"d1"},
+			Config: quorum.ReadOneWriteAll([]string{"d1"}),
+		}},
+		Top: []core.TxnSpec{core.Sub("u", core.ReadItem("r", "x"))},
+	}
+	c, err := BuildC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := ioa.Schedule{
+		ioa.Create("T0"),
+		ioa.RequestCreate("T0/u"),
+		ioa.Create("T0/u"),
+		ioa.RequestCreate("T0/u/r"),
+		ioa.Commit("T0/u/r", 0), // no CREATE, no REQUEST-COMMIT: bogus
+	}
+	if _, err := Serialize(c, gamma); err == nil {
+		t.Fatal("Serialize accepted a bogus schedule")
+	}
+}
+
+func TestConcurrentSchedulesAreWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c, err := BuildC(concurrentSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveC(t, c, seed, 0.02)
+		if err := c.Tree.CheckScheduleWellFormed(gamma); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package cc implements nested-transaction concurrency control at the copy
+// level and the machinery for validating Theorem 11: Moss-style read/write
+// locking with lock inheritance (the algorithm of [19], one of the two the
+// paper names as combinable with the replication algorithm), a concurrent
+// scheduler that replaces the serial scheduler while keeping every other
+// automaton unchanged, and a checker that extracts a serial schedule of
+// system B from a concurrent schedule of system C and verifies that every
+// transaction is serially correct.
+package cc
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. Two locks conflict unless both are read locks; a conflicting
+// lock may still be granted when every conflicting holder is an ancestor of
+// the requester (Moss's rule).
+const (
+	Read Mode = iota + 1
+	Write
+)
+
+// String returns "read" or "write".
+func (m Mode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// LockManager implements Moss read/write locking for nested transactions:
+//
+//   - a transaction may acquire a read lock on an object if every holder of
+//     a write lock on it is an ancestor;
+//   - a transaction may acquire a write lock if every holder of any lock is
+//     an ancestor;
+//   - when a transaction commits, its locks are inherited by its parent;
+//     locks reaching the root are discarded;
+//   - an aborted transaction was never created (the model's abort
+//     semantics), so it never holds locks.
+type LockManager struct {
+	tr      *tree.Tree
+	holders map[string]map[ioa.TxnName]Mode
+}
+
+// NewLockManager returns an empty lock table over the given tree.
+func NewLockManager(tr *tree.Tree) *LockManager {
+	return &LockManager{tr: tr, holders: map[string]map[ioa.TxnName]Mode{}}
+}
+
+// CanGrant reports whether t may acquire a lock of the given mode on obj.
+func (l *LockManager) CanGrant(obj string, t ioa.TxnName, m Mode) bool {
+	for holder, hm := range l.holders[obj] {
+		if holder == t {
+			continue
+		}
+		if (m == Write || hm == Write) && !l.tr.IsAncestor(holder, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Grant records that t holds a lock of the given mode on obj, upgrading an
+// existing read lock to write if needed.
+func (l *LockManager) Grant(obj string, t ioa.TxnName, m Mode) {
+	hs := l.holders[obj]
+	if hs == nil {
+		hs = map[ioa.TxnName]Mode{}
+		l.holders[obj] = hs
+	}
+	if hs[t] < m {
+		hs[t] = m
+	}
+}
+
+// OnCommit moves every lock held by t to t's parent; locks inherited by the
+// root are discarded.
+func (l *LockManager) OnCommit(t ioa.TxnName) {
+	parent, ok := l.tr.Parent(t)
+	for obj, hs := range l.holders {
+		m, held := hs[t]
+		if !held {
+			continue
+		}
+		delete(hs, t)
+		if ok && parent != tree.Root {
+			if hs[parent] < m {
+				hs[parent] = m
+			}
+		}
+		if len(hs) == 0 {
+			delete(l.holders, obj)
+		}
+	}
+}
+
+// Holders returns a snapshot of the lock table for obj.
+func (l *LockManager) Holders(obj string) map[ioa.TxnName]Mode {
+	out := map[ioa.TxnName]Mode{}
+	for t, m := range l.holders[obj] {
+		out[t] = m
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// randomLockTree builds a random 3-level tree for the property tests.
+func randomLockTree(rng *rand.Rand) (*tree.Tree, []ioa.TxnName) {
+	tr := tree.New()
+	var leaves []ioa.TxnName
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		u := tr.MustAddChild(tree.Root, fmt.Sprintf("u%d", i), tree.KindUser)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			c := tr.MustAddChild(u.Name(), fmt.Sprintf("c%d", j), tree.KindUser)
+			leaves = append(leaves, c.Name())
+		}
+	}
+	return tr, leaves
+}
+
+// TestLockManagerPropertyNoConflictingNonAncestors checks the Moss
+// invariant under random grant/commit sequences: at every point, any two
+// holders of conflicting locks on the same object are related by ancestry.
+func TestLockManagerPropertyNoConflictingNonAncestors(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, leaves := randomLockTree(rng)
+		lm := NewLockManager(tr)
+		objects := []string{"x", "y"}
+		live := map[ioa.TxnName]bool{}
+		for _, l := range leaves {
+			live[l] = true
+		}
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(3) {
+			case 0, 1: // try to acquire
+				txn := leaves[rng.Intn(len(leaves))]
+				if !live[txn] {
+					continue
+				}
+				obj := objects[rng.Intn(len(objects))]
+				mode := Mode(1 + rng.Intn(2))
+				if lm.CanGrant(obj, txn, mode) {
+					lm.Grant(obj, txn, mode)
+				}
+			case 2: // commit a transaction upward
+				txn := leaves[rng.Intn(len(leaves))]
+				if !live[txn] {
+					continue
+				}
+				lm.OnCommit(txn)
+				live[txn] = false
+			}
+			// Invariant check over the full table.
+			for _, obj := range objects {
+				holders := lm.Holders(obj)
+				for a, ma := range holders {
+					for b, mb := range holders {
+						if a == b {
+							continue
+						}
+						if (ma == Write || mb == Write) &&
+							!tr.IsAncestor(a, b) && !tr.IsAncestor(b, a) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockInheritanceChainsToRootAndVanishes(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	c := tr.MustAddChild(u.Name(), "c", tree.KindUser)
+	g := tr.MustAddChild(c.Name(), "g", tree.KindAccess)
+	lm := NewLockManager(tr)
+	lm.Grant("x", g.Name(), Write)
+	lm.OnCommit(g.Name())
+	if lm.Holders("x")[c.Name()] != Write {
+		t.Fatal("grandchild's lock must pass to child")
+	}
+	lm.OnCommit(c.Name())
+	if lm.Holders("x")[u.Name()] != Write {
+		t.Fatal("child's lock must pass to user")
+	}
+	lm.OnCommit(u.Name())
+	if len(lm.Holders("x")) != 0 {
+		t.Fatalf("top-level commit must discard locks: %v", lm.Holders("x"))
+	}
+}
+
+func TestInheritanceKeepsStrongestMode(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	a := tr.MustAddChild(u.Name(), "a", tree.KindAccess)
+	b := tr.MustAddChild(u.Name(), "b", tree.KindAccess)
+	lm := NewLockManager(tr)
+	lm.Grant("x", a.Name(), Write)
+	lm.Grant("x", b.Name(), Read) // grantable: siblings? a holds write...
+	// Note: CanGrant would refuse b; Grant is unconditional by design, so
+	// exercise inheritance only.
+	lm.OnCommit(a.Name())
+	lm.OnCommit(b.Name())
+	if lm.Holders("x")[u.Name()] != Write {
+		t.Fatal("parent must end with the strongest inherited mode")
+	}
+}
+
+func TestConcurrentSchedulerRejectsLockedAccessCreate(t *testing.T) {
+	tr := tree.New()
+	u1 := tr.MustAddChild(tree.Root, "u1", tree.KindUser)
+	u2 := tr.MustAddChild(tree.Root, "u2", tree.KindUser)
+	a1 := tr.MustAddChild(u1.Name(), "a", tree.KindAccess)
+	a1.Object = "x"
+	a1.Access = tree.WriteAccess
+	a2 := tr.MustAddChild(u2.Name(), "a", tree.KindAccess)
+	a2.Object = "x"
+	a2.Access = tree.WriteAccess
+
+	s := NewScheduler(tr, nil)
+	must := func(op ioa.Op) {
+		t.Helper()
+		if err := s.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	must(ioa.Create(tree.Root))
+	must(ioa.RequestCreate(u1.Name()))
+	must(ioa.RequestCreate(u2.Name()))
+	must(ioa.Create(u1.Name()))
+	must(ioa.Create(u2.Name())) // no sibling rule in the concurrent scheduler
+	must(ioa.RequestCreate(a1.Name()))
+	must(ioa.RequestCreate(a2.Name()))
+	must(ioa.Create(a1.Name()))
+	// a1 holds the write lock on x (pending, too): a2 must wait.
+	if err := s.Step(ioa.Create(a2.Name())); err == nil {
+		t.Fatal("conflicting access created while lock held")
+	}
+	must(ioa.RequestCommit(a1.Name(), nil))
+	// Pending cleared, but the lock is still a1's until it commits.
+	if err := s.Step(ioa.Create(a2.Name())); err == nil {
+		t.Fatal("lock must persist past the access's REQUEST-COMMIT")
+	}
+	must(ioa.Commit(a1.Name(), nil)) // lock inherited by u1
+	if err := s.Step(ioa.Create(a2.Name())); err == nil {
+		t.Fatal("lock must persist at the parent until top-level commit")
+	}
+	must(ioa.RequestCommit(u1.Name(), nil))
+	must(ioa.Commit(u1.Name(), nil)) // top-level: locks discarded
+	must(ioa.Create(a2.Name()))
+}

@@ -1,0 +1,207 @@
+package cc
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// ModeFn decides the lock mode an access must acquire. The default maps
+// read accesses to read locks and write accesses to write locks; the
+// replicated-system builder instead takes write locks for every access of a
+// write-TM, the standard update-lock discipline that avoids read→write
+// upgrade deadlocks between concurrent writers of the same item.
+type ModeFn func(*tree.Node) Mode
+
+// DefaultMode maps the access kind to the corresponding lock mode.
+func DefaultMode(n *tree.Node) Mode {
+	if n.Access == tree.ReadAccess {
+		return Read
+	}
+	return Write
+}
+
+// Scheduler is a concurrent scheduler: it has exactly the serial
+// scheduler's operations, but drops the run-siblings-one-at-a-time
+// precondition on CREATE and instead serializes data access through Moss
+// locks (and a one-pending-access-per-object rule, which keeps the basic
+// objects' schedules well-formed). Schedules of the resulting system C are
+// serially correct with respect to system B for all non-orphan
+// transactions, which is the hypothesis of Theorem 11; the checker in this
+// package verifies that claim execution by execution.
+type Scheduler struct {
+	tr    *tree.Tree
+	locks *LockManager
+	mode  ModeFn
+
+	createRequested map[ioa.TxnName]bool
+	created         map[ioa.TxnName]bool
+	aborted         map[ioa.TxnName]bool
+	returned        map[ioa.TxnName]bool
+	commitRequested map[ioa.TxnName][]ioa.Value
+	committed       map[ioa.TxnName]ioa.Value
+
+	// pending maps each object to its currently active access, if any.
+	pending map[string]ioa.TxnName
+}
+
+var _ ioa.Automaton = (*Scheduler)(nil)
+
+// NewScheduler returns a concurrent scheduler over tr using the given lock
+// mode policy (nil for DefaultMode).
+func NewScheduler(tr *tree.Tree, mode ModeFn) *Scheduler {
+	if mode == nil {
+		mode = DefaultMode
+	}
+	return &Scheduler{
+		tr:              tr,
+		locks:           NewLockManager(tr),
+		mode:            mode,
+		createRequested: map[ioa.TxnName]bool{tree.Root: true},
+		created:         map[ioa.TxnName]bool{},
+		aborted:         map[ioa.TxnName]bool{},
+		returned:        map[ioa.TxnName]bool{},
+		commitRequested: map[ioa.TxnName][]ioa.Value{},
+		committed:       map[ioa.TxnName]ioa.Value{},
+		pending:         map[string]ioa.TxnName{},
+	}
+}
+
+// Name implements ioa.Automaton.
+func (s *Scheduler) Name() string { return "concurrent-scheduler" }
+
+// HasOp implements ioa.Automaton.
+func (s *Scheduler) HasOp(op ioa.Op) bool { return s.tr.Contains(op.Txn) }
+
+// IsOutput implements ioa.Automaton.
+func (s *Scheduler) IsOutput(op ioa.Op) bool {
+	if !s.tr.Contains(op.Txn) {
+		return false
+	}
+	return op.Kind == ioa.OpCreate || op.Kind == ioa.OpCommit || op.Kind == ioa.OpAbort
+}
+
+// createEnabled: requested, not yet created or aborted; accesses must
+// additionally find their object idle and their lock grantable.
+func (s *Scheduler) createEnabled(t ioa.TxnName) bool {
+	if !s.createRequested[t] || s.created[t] || s.aborted[t] {
+		return false
+	}
+	n := s.tr.Node(t)
+	if n.IsAccess() {
+		if s.pending[n.Object] != "" {
+			return false
+		}
+		if !s.locks.CanGrant(n.Object, t, s.mode(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// abortEnabled: aborts are allowed for requested, never-created
+// transactions, exactly as in the serial scheduler.
+func (s *Scheduler) abortEnabled(t ioa.TxnName) bool {
+	return t != tree.Root && s.createRequested[t] && !s.created[t] && !s.aborted[t]
+}
+
+func (s *Scheduler) childrenReturned(t ioa.TxnName) bool {
+	for _, c := range s.tr.Children(t) {
+		if s.createRequested[c] && !s.returned[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled implements ioa.Automaton.
+func (s *Scheduler) Enabled() []ioa.Op {
+	var out []ioa.Op
+	keys := make([]ioa.TxnName, 0, len(s.createRequested))
+	for t := range s.createRequested {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, t := range keys {
+		if s.createEnabled(t) {
+			out = append(out, ioa.Create(t))
+		}
+		if s.abortEnabled(t) {
+			out = append(out, ioa.Abort(t))
+		}
+	}
+	ck := make([]ioa.TxnName, 0, len(s.commitRequested))
+	for t := range s.commitRequested {
+		ck = append(ck, t)
+	}
+	sort.Slice(ck, func(i, j int) bool { return ck[i] < ck[j] })
+	for _, t := range ck {
+		if s.returned[t] || !s.childrenReturned(t) {
+			continue
+		}
+		for _, v := range s.commitRequested[t] {
+			out = append(out, ioa.Commit(t, v))
+		}
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (s *Scheduler) Step(op ioa.Op) error {
+	if !s.tr.Contains(op.Txn) {
+		return fmt.Errorf("concurrent-scheduler: unknown transaction %v", op.Txn)
+	}
+	switch op.Kind {
+	case ioa.OpRequestCreate:
+		s.createRequested[op.Txn] = true
+		return nil
+	case ioa.OpRequestCommit:
+		s.commitRequested[op.Txn] = append(s.commitRequested[op.Txn], op.Val)
+		if n := s.tr.Node(op.Txn); n.IsAccess() && s.pending[n.Object] == op.Txn {
+			delete(s.pending, n.Object)
+		}
+		return nil
+	case ioa.OpCreate:
+		if !s.createEnabled(op.Txn) {
+			return fmt.Errorf("%w: CREATE(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.created[op.Txn] = true
+		if n := s.tr.Node(op.Txn); n.IsAccess() {
+			s.locks.Grant(n.Object, op.Txn, s.mode(n))
+			s.pending[n.Object] = op.Txn
+		}
+		return nil
+	case ioa.OpAbort:
+		if !s.abortEnabled(op.Txn) {
+			return fmt.Errorf("%w: ABORT(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.aborted[op.Txn] = true
+		s.returned[op.Txn] = true
+		return nil
+	case ioa.OpCommit:
+		if s.returned[op.Txn] || !s.childrenReturned(op.Txn) || !s.hasCommitRequest(op.Txn, op.Val) {
+			return fmt.Errorf("%w: COMMIT(%v, %v)", ioa.ErrNotEnabled, op.Txn, op.Val)
+		}
+		s.committed[op.Txn] = op.Val
+		s.returned[op.Txn] = true
+		s.locks.OnCommit(op.Txn)
+		return nil
+	default:
+		return fmt.Errorf("concurrent-scheduler: unknown op kind %v", op.Kind)
+	}
+}
+
+func (s *Scheduler) hasCommitRequest(t ioa.TxnName, v ioa.Value) bool {
+	for _, w := range s.commitRequested[t] {
+		if reflect.DeepEqual(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Returned reports whether t committed or aborted.
+func (s *Scheduler) Returned(t ioa.TxnName) bool { return s.returned[t] }

@@ -1,0 +1,43 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+)
+
+// SeriallyCorrectFor checks the paper's serial correctness definition for
+// one transaction: γ|T = u|T for SOME schedule u of the serial system B —
+// each transaction individually, which is exactly the property Theorem 11's
+// hypothesis demands and the only form applicable to incomplete (e.g.
+// lock-wait-aborted) concurrent runs, where no single serial schedule can
+// realize every transaction's projection at once.
+//
+// The search is bounded by budget states; a nil error means a realizing
+// serial schedule was found (and is returned).
+func SeriallyCorrectFor(c *core.SystemB, gamma ioa.Schedule, txn ioa.TxnName, budget int) (ioa.Schedule, error) {
+	if !c.Tree.Contains(txn) {
+		return nil, fmt.Errorf("cc: unknown transaction %v", txn)
+	}
+	target := gamma.OpsFor(txn, c.Tree.Parent)
+	build := func() (*ioa.System, error) {
+		b, err := core.BuildB(c.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return b.Sys, nil
+	}
+	// Build a throwaway B to obtain the projection function's tree (same
+	// shape as every instance built above).
+	b, err := core.BuildB(c.Spec)
+	if err != nil {
+		return nil, err
+	}
+	project := func(s ioa.Schedule) ioa.Schedule { return s.OpsFor(txn, b.Tree.Parent) }
+	u, err := ioa.FindRealization(build, project, target, budget)
+	if err != nil {
+		return nil, fmt.Errorf("cc: transaction %v is not serially correct within budget: %w", txn, err)
+	}
+	return u, nil
+}

@@ -1,0 +1,130 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+)
+
+// smallSpec keeps the per-transaction realization search tractable: one
+// item on two DMs, two users with one logical op each.
+func smallSpec() core.Spec {
+	dms := []string{"d1", "d2"}
+	spec := core.Spec{
+		Items: []core.ItemSpec{{
+			Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms),
+		}},
+		Top: []core.TxnSpec{
+			core.Sub("u1", core.WriteItem("w", "x", 1)),
+			core.Sub("u2", core.ReadItem("r", "x")),
+		},
+		SequentialTMs: true,
+	}
+	for i := range spec.Top {
+		spec.Top[i].Sequential = true
+	}
+	return spec
+}
+
+// TestSeriallyCorrectPerTransactionOnCompleteRuns cross-validates the
+// whole-schedule serializer: for complete concurrent runs, every user
+// transaction individually satisfies the paper's serial correctness
+// definition via bounded search for a realizing serial schedule.
+func TestSeriallyCorrectPerTransactionOnCompleteRuns(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 12 && checked < 5; seed++ {
+		c, err := BuildC(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ioa.NewDriver(c.Sys, seed)
+		d.Bias = func(op ioa.Op) float64 {
+			if op.Kind == ioa.OpAbort {
+				return 0
+			}
+			return 1
+		}
+		gamma, _, err := d.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Completed(c, gamma) {
+			continue
+		}
+		checked++
+		for _, u := range c.UserTxns() {
+			real, err := SeriallyCorrectFor(c, gamma, u, 400000)
+			if err != nil {
+				t.Fatalf("seed %d txn %v: %v\nγ:\n%v", seed, u, err, gamma)
+			}
+			// The found schedule really realizes the projection.
+			if !real.OpsFor(u, c.Tree.Parent).Equal(gamma.OpsFor(u, c.Tree.Parent)) {
+				t.Fatalf("seed %d: realization does not project to γ|%v", seed, u)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no complete runs to check")
+	}
+}
+
+// TestSeriallyCorrectOnIncompleteRuns exercises the case the
+// whole-schedule serializer cannot handle: runs where some transactions
+// never finished (lock waits aborted, quorums starved). Serial correctness
+// is per transaction, so each user's partial view must still be realizable
+// by some serial schedule.
+func TestSeriallyCorrectOnIncompleteRuns(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 40 && found < 3; seed++ {
+		c, err := BuildC(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ioa.NewDriver(c.Sys, seed)
+		d.Bias = func(op ioa.Op) float64 {
+			if op.Kind == ioa.OpAbort {
+				return 0.6 // heavy aborts to starve TMs
+			}
+			return 1
+		}
+		gamma, _, err := d.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Completed(c, gamma) {
+			continue
+		}
+		found++
+		for _, u := range c.UserTxns() {
+			if _, err := SeriallyCorrectFor(c, gamma, u, 400000); err != nil {
+				t.Fatalf("seed %d txn %v: %v\nγ:\n%v", seed, u, err, gamma)
+			}
+		}
+	}
+	if found == 0 {
+		t.Skip("no incomplete runs encountered in 40 seeds")
+	}
+}
+
+// TestSeriallyCorrectRejectsImpossibleProjection sanity-checks the search:
+// a fabricated projection no serial schedule can produce is refused.
+func TestSeriallyCorrectRejectsImpossibleProjection(t *testing.T) {
+	c, err := BuildC(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γ in which u1 observes a COMMIT for its write-TM child that never
+	// requested to commit (no subtree ops at all).
+	gamma := ioa.Schedule{
+		ioa.Create("T0"),
+		ioa.RequestCreate("T0/u1"),
+		ioa.Create("T0/u1"),
+		ioa.RequestCreate("T0/u1/w"),
+		ioa.Commit("T0/u1/w", "bogus-value"),
+	}
+	if _, err := SeriallyCorrectFor(c, gamma, "T0/u1", 50000); err == nil {
+		t.Fatal("impossible projection accepted")
+	}
+}

@@ -1,0 +1,267 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// BuildC composes the scenario's primitives — the very automata of system B
+// — with a concurrent scheduler, yielding a concurrent replicated system C
+// of the same system type, as in the statement of Theorem 11.
+func BuildC(spec core.Spec) (*core.SystemB, error) {
+	return core.NewReplicatedSystem(spec, func(tr *tree.Tree) ioa.Automaton {
+		return NewScheduler(tr, WriteTMMode(tr))
+	})
+}
+
+// WriteTMMode returns the lock-mode policy used by BuildC: every access
+// invoked by a write-TM takes a write lock (including the version-number
+// discovery reads), the update-lock discipline that prevents read→write
+// upgrade deadlocks between concurrent writers of one item. All other
+// accesses lock according to their kind.
+func WriteTMMode(tr *tree.Tree) ModeFn {
+	return func(n *tree.Node) Mode {
+		if p := n.Parent(); p != nil && p.Kind() == tree.KindWriteTM {
+			return Write
+		}
+		return DefaultMode(n)
+	}
+}
+
+// cursor walks a fixed subsequence of operations.
+type cursor struct {
+	ops ioa.Schedule
+	pos int
+}
+
+func (c *cursor) next() (ioa.Op, bool) {
+	if c.pos >= len(c.ops) {
+		return ioa.Op{}, false
+	}
+	return c.ops[c.pos], true
+}
+
+func (c *cursor) done() bool { return c.pos >= len(c.ops) }
+
+// Serialize extracts from gamma — a schedule of the concurrent system c —
+// a serial schedule u of system B such that u|A = gamma|A for every
+// transaction automaton A (root, user transactions, and TMs) and every
+// operation mentioning any given transaction occurs in the same order and
+// with the same values. Its existence is exactly the serial correctness of
+// gamma with respect to B for every transaction, the hypothesis Theorem 11
+// discharges for locking schedulers.
+//
+// The construction replays a fresh serial system B, choosing at each step
+// an enabled operation that is "next" for every constrained cursor, and
+// preferring the operation whose transaction returned earliest in gamma —
+// i.e. serializing sibling subtrees in commit order, the serialization
+// order Moss locking guarantees. It fails if and only if no such greedy
+// extension exists.
+func Serialize(c *core.SystemB, gamma ioa.Schedule) (ioa.Schedule, error) {
+	b, err := core.BuildB(c.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("serialize: build serial system: %w", err)
+	}
+
+	// Per-transaction-automaton cursors pin each automaton's projection;
+	// per-name cursors pin the order and values of all operations
+	// mentioning each transaction (this covers accesses, whose invocations
+	// belong to objects rather than transaction automata).
+	autoCursors := map[ioa.Automaton]*cursor{}
+	for _, a := range b.Sys.Components() {
+		if b.Tree.Contains(ioa.TxnName(a.Name())) {
+			autoCursors[a] = &cursor{ops: gamma.Project(a)}
+		}
+	}
+	nameCursors := map[ioa.TxnName]*cursor{}
+	for _, name := range b.Tree.Names() {
+		n := name
+		seq := gamma.Filter(func(op ioa.Op) bool { return op.Txn == n })
+		if len(seq) > 0 {
+			nameCursors[name] = &cursor{ops: seq}
+		}
+	}
+
+	// returnPos orders subtrees by completion time in gamma; createdInGamma
+	// marks transactions that actually ran.
+	returnPos := map[ioa.TxnName]int{}
+	createdInGamma := map[ioa.TxnName]bool{}
+	gammaPos := map[ioa.TxnName]map[ioa.OpKind]int{}
+	for i, op := range gamma {
+		if op.IsReturn() {
+			returnPos[op.Txn] = i
+		}
+		if op.Kind == ioa.OpCreate {
+			createdInGamma[op.Txn] = true
+		}
+		if gammaPos[op.Txn] == nil {
+			gammaPos[op.Txn] = map[ioa.OpKind]int{}
+		}
+		if _, seen := gammaPos[op.Txn][op.Kind]; !seen {
+			gammaPos[op.Txn][op.Kind] = i
+		}
+	}
+	pos := func(t ioa.TxnName, k ioa.OpKind) int {
+		p, ok := gammaPos[t][k]
+		if !ok {
+			return len(gamma)
+		}
+		return p
+	}
+	retPos := func(t ioa.TxnName) int {
+		if p, ok := returnPos[t]; ok {
+			return p
+		}
+		return len(gamma)
+	}
+	priority := func(op ioa.Op) (int, int) { return retPos(op.Txn), pos(op.Txn, op.Kind) }
+
+	// returnedInU tracks the returns performed in the serial schedule so
+	// far. A serial scheduler runs sibling subtrees one at a time from
+	// CREATE through return — and an ABORT, which also requires quiet
+	// siblings, is the entire serial run of a never-created sibling — so
+	// the only serialization consistent with the parents' observed return
+	// orders runs siblings in gamma's return order: CREATE(T) is admissible
+	// only when every sibling that took part in gamma (was created or
+	// aborted) and returned there before T has already returned here.
+	returnedInU := map[ioa.TxnName]bool{}
+	createOrderOK := func(t ioa.TxnName) bool {
+		key := [2]int{retPos(t), pos(t, ioa.OpCreate)}
+		for _, s := range b.Tree.Siblings(t) {
+			if returnedInU[s] {
+				continue
+			}
+			if !createdInGamma[s] && retPos(s) == len(gamma) {
+				continue // never took part in gamma
+			}
+			sk := [2]int{retPos(s), pos(s, ioa.OpCreate)}
+			if sk[0] < key[0] || (sk[0] == key[0] && sk[1] < key[1]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	allowed := func(op ioa.Op) bool {
+		if op.Kind == ioa.OpCreate && !createOrderOK(op.Txn) {
+			return false
+		}
+		nc, ok := nameCursors[op.Txn]
+		if !ok {
+			return false // gamma never mentions this transaction
+		}
+		if next, ok := nc.next(); !ok || !next.Equal(op) {
+			return false
+		}
+		for a, cur := range autoCursors {
+			if !a.HasOp(op) {
+				continue
+			}
+			if next, ok := cur.next(); !ok || !next.Equal(op) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		var best ioa.Op
+		bestSet := false
+		var bestR, bestG int
+		for _, op := range b.Sys.Enabled() {
+			if !allowed(op) {
+				continue
+			}
+			r, g := priority(op)
+			if !bestSet || r < bestR || (r == bestR && g < bestG) {
+				best, bestSet, bestR, bestG = op, true, r, g
+			}
+		}
+		if !bestSet {
+			break
+		}
+		if err := b.Sys.Step(best); err != nil {
+			return b.Sys.Schedule(), fmt.Errorf("serialize: enabled+allowed op rejected: %w", err)
+		}
+		if best.IsReturn() {
+			returnedInU[best.Txn] = true
+		}
+		nameCursors[best.Txn].pos++
+		for a, cur := range autoCursors {
+			if a.HasOp(best) {
+				cur.pos++
+			}
+		}
+	}
+
+	var pendingNames []string
+	for name, cur := range nameCursors {
+		if !cur.done() {
+			next, _ := cur.next()
+			pendingNames = append(pendingNames, fmt.Sprintf("%v waits for %v (%d/%d)", name, next, cur.pos, len(cur.ops)))
+		}
+	}
+	if len(pendingNames) > 0 {
+		sort.Strings(pendingNames)
+		var enabled []string
+		for _, op := range b.Sys.Enabled() {
+			enabled = append(enabled, op.String())
+		}
+		return b.Sys.Schedule(), fmt.Errorf("serialize: stuck with %d pending transactions:\n  %s\nenabled in serial B:\n  %s",
+			len(pendingNames), strings.Join(pendingNames, "\n  "), strings.Join(enabled, "\n  "))
+	}
+	return b.Sys.Schedule(), nil
+}
+
+// CheckTheorem11 validates the full chain of Theorem 11 on a schedule gamma
+// of the concurrent system c: it extracts a serial schedule u of system B
+// with identical per-transaction behavior (serial correctness at the copy
+// level), then applies the Theorem 10 checker to u, establishing that gamma
+// is serially correct with respect to the non-replicated system A for every
+// user transaction.
+func CheckTheorem11(c *core.SystemB, gamma ioa.Schedule) error {
+	u, err := Serialize(c, gamma)
+	if err != nil {
+		return err
+	}
+	// Reuse the serial system's own projection machinery for Theorem 10.
+	b, err := core.BuildB(c.Spec)
+	if err != nil {
+		return err
+	}
+	if i, err := b.Sys.Replay(u); err != nil {
+		return fmt.Errorf("theorem11: u is not a schedule of B at %d: %w", i, err)
+	}
+	if err := b.CheckTheorem10(u); err != nil {
+		return fmt.Errorf("theorem11: %w", err)
+	}
+	// End-to-end: the user transactions' behaviors in gamma match their
+	// behaviors in the serial schedule u (and hence in system A).
+	for _, usr := range c.UserTxns() {
+		if !gamma.OpsFor(usr, c.Tree.Parent).Equal(u.OpsFor(usr, b.Tree.Parent)) {
+			return fmt.Errorf("theorem11: user %v behaves differently in γ and u", usr)
+		}
+	}
+	return nil
+}
+
+// Completed reports whether every top-level transaction returned in gamma.
+func Completed(c *core.SystemB, gamma ioa.Schedule) bool {
+	returned := map[ioa.TxnName]bool{}
+	for _, op := range gamma {
+		if op.IsReturn() {
+			returned[op.Txn] = true
+		}
+	}
+	for _, top := range c.Tree.Children(tree.Root) {
+		if !returned[top] {
+			return false
+		}
+	}
+	return true
+}

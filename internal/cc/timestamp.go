@@ -1,0 +1,244 @@
+package cc
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// TimestampScheduler is a second concurrency-control algorithm for
+// Theorem 11, in the lineage of Reed's timestamp-based scheme the paper
+// cites ([20]): every top-level transaction is stamped when created, and
+// each object executes conflicting accesses strictly in increasing
+// timestamp order. The conservative discipline — an access waits while an
+// access with a smaller timestamp is outstanding at its object — never
+// needs to roll back created transactions, which keeps it inside the
+// model's abort semantics (only never-created transactions abort).
+//
+// Together with the Moss locking scheduler this exercises the paper's
+// claim that the replication algorithm composes with ANY concurrency
+// control that achieves copy-level serializability.
+type TimestampScheduler struct {
+	tr *tree.Tree
+
+	createRequested map[ioa.TxnName]bool
+	created         map[ioa.TxnName]bool
+	aborted         map[ioa.TxnName]bool
+	returned        map[ioa.TxnName]bool
+	commitRequested map[ioa.TxnName][]ioa.Value
+	committed       map[ioa.TxnName]ioa.Value
+
+	// ts stamps top-level transactions in creation order.
+	ts     map[ioa.TxnName]int
+	nextTS int
+
+	// potential maps each top-level transaction to the objects its subtree
+	// could ever access — the predeclared conflict sets conservative
+	// timestamp ordering schedules against.
+	potential map[ioa.TxnName]map[string]bool
+
+	// pending maps each object to its single in-flight access.
+	pending map[string]ioa.TxnName
+}
+
+var _ ioa.Automaton = (*TimestampScheduler)(nil)
+
+// NewTimestampScheduler returns a conservative timestamp-ordering
+// scheduler over tr.
+func NewTimestampScheduler(tr *tree.Tree) *TimestampScheduler {
+	s := &TimestampScheduler{
+		tr:              tr,
+		createRequested: map[ioa.TxnName]bool{tree.Root: true},
+		created:         map[ioa.TxnName]bool{},
+		aborted:         map[ioa.TxnName]bool{},
+		returned:        map[ioa.TxnName]bool{},
+		commitRequested: map[ioa.TxnName][]ioa.Value{},
+		committed:       map[ioa.TxnName]ioa.Value{},
+		ts:              map[ioa.TxnName]int{},
+		potential:       map[ioa.TxnName]map[string]bool{},
+		pending:         map[string]ioa.TxnName{},
+	}
+	for _, top := range tr.Children(tree.Root) {
+		set := map[string]bool{}
+		for _, a := range tr.Accesses() {
+			if tr.IsAncestor(top, a.Name()) {
+				set[a.Object] = true
+			}
+		}
+		s.potential[top] = set
+	}
+	return s
+}
+
+// Name implements ioa.Automaton.
+func (s *TimestampScheduler) Name() string { return "timestamp-scheduler" }
+
+// HasOp implements ioa.Automaton.
+func (s *TimestampScheduler) HasOp(op ioa.Op) bool { return s.tr.Contains(op.Txn) }
+
+// IsOutput implements ioa.Automaton.
+func (s *TimestampScheduler) IsOutput(op ioa.Op) bool {
+	if !s.tr.Contains(op.Txn) {
+		return false
+	}
+	return op.Kind == ioa.OpCreate || op.Kind == ioa.OpCommit || op.Kind == ioa.OpAbort
+}
+
+// top returns t's top-level ancestor (child of the root), or "" for the
+// root itself.
+func (s *TimestampScheduler) top(t ioa.TxnName) ioa.TxnName {
+	n := s.tr.Node(t)
+	if n == nil || n.Parent() == nil {
+		return ""
+	}
+	for n.Parent().Name() != tree.Root {
+		n = n.Parent()
+	}
+	return n.Name()
+}
+
+// createEnabled applies conservative timestamp ordering for accesses: the
+// object must be idle, and no LIVE (created, unreturned) top-level
+// transaction with a smaller timestamp may have the object in its
+// predeclared potential set. Same-timestamp accesses belong to one top
+// transaction and are ordered by its own subtree discipline.
+func (s *TimestampScheduler) createEnabled(t ioa.TxnName) bool {
+	if !s.createRequested[t] || s.created[t] || s.aborted[t] {
+		return false
+	}
+	n := s.tr.Node(t)
+	if !n.IsAccess() {
+		return true
+	}
+	if s.pending[n.Object] != "" {
+		return false
+	}
+	myTop := s.top(t)
+	myTS, stamped := s.ts[myTop]
+	if !stamped {
+		return false // top not created yet; cannot order the access
+	}
+	for other, ots := range s.ts {
+		if other == myTop || ots >= myTS {
+			continue
+		}
+		if !s.returned[other] && s.potential[other][n.Object] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *TimestampScheduler) abortEnabled(t ioa.TxnName) bool {
+	return t != tree.Root && s.createRequested[t] && !s.created[t] && !s.aborted[t]
+}
+
+func (s *TimestampScheduler) childrenReturned(t ioa.TxnName) bool {
+	for _, c := range s.tr.Children(t) {
+		if s.createRequested[c] && !s.returned[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled implements ioa.Automaton.
+func (s *TimestampScheduler) Enabled() []ioa.Op {
+	var out []ioa.Op
+	keys := make([]ioa.TxnName, 0, len(s.createRequested))
+	for t := range s.createRequested {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, t := range keys {
+		if s.createEnabled(t) {
+			out = append(out, ioa.Create(t))
+		}
+		if s.abortEnabled(t) {
+			out = append(out, ioa.Abort(t))
+		}
+	}
+	ck := make([]ioa.TxnName, 0, len(s.commitRequested))
+	for t := range s.commitRequested {
+		ck = append(ck, t)
+	}
+	sort.Slice(ck, func(i, j int) bool { return ck[i] < ck[j] })
+	for _, t := range ck {
+		if s.returned[t] || !s.childrenReturned(t) {
+			continue
+		}
+		for _, v := range s.commitRequested[t] {
+			out = append(out, ioa.Commit(t, v))
+		}
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (s *TimestampScheduler) Step(op ioa.Op) error {
+	if !s.tr.Contains(op.Txn) {
+		return fmt.Errorf("timestamp-scheduler: unknown transaction %v", op.Txn)
+	}
+	switch op.Kind {
+	case ioa.OpRequestCreate:
+		s.createRequested[op.Txn] = true
+		return nil
+	case ioa.OpRequestCommit:
+		s.commitRequested[op.Txn] = append(s.commitRequested[op.Txn], op.Val)
+		if n := s.tr.Node(op.Txn); n.IsAccess() && s.pending[n.Object] == op.Txn {
+			delete(s.pending, n.Object)
+		}
+		return nil
+	case ioa.OpCreate:
+		if !s.createEnabled(op.Txn) {
+			return fmt.Errorf("%w: CREATE(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.created[op.Txn] = true
+		if p, ok := s.tr.Parent(op.Txn); ok && p == tree.Root {
+			s.ts[op.Txn] = s.nextTS
+			s.nextTS++
+		}
+		if n := s.tr.Node(op.Txn); n.IsAccess() {
+			s.pending[n.Object] = op.Txn
+		}
+		return nil
+	case ioa.OpAbort:
+		if !s.abortEnabled(op.Txn) {
+			return fmt.Errorf("%w: ABORT(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.aborted[op.Txn] = true
+		s.returned[op.Txn] = true
+		return nil
+	case ioa.OpCommit:
+		if s.returned[op.Txn] || !s.childrenReturned(op.Txn) || !s.hasCommitRequest(op.Txn, op.Val) {
+			return fmt.Errorf("%w: COMMIT(%v, %v)", ioa.ErrNotEnabled, op.Txn, op.Val)
+		}
+		s.committed[op.Txn] = op.Val
+		s.returned[op.Txn] = true
+		return nil
+	default:
+		return fmt.Errorf("timestamp-scheduler: unknown op kind %v", op.Kind)
+	}
+}
+
+func (s *TimestampScheduler) hasCommitRequest(t ioa.TxnName, v ioa.Value) bool {
+	for _, w := range s.commitRequested[t] {
+		if reflect.DeepEqual(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildCTimestamp composes the scenario's primitives with the conservative
+// timestamp-ordering scheduler — the second concurrent system C for
+// Theorem 11.
+func BuildCTimestamp(spec core.Spec) (*core.SystemB, error) {
+	return core.NewReplicatedSystem(spec, func(tr *tree.Tree) ioa.Automaton {
+		return NewTimestampScheduler(tr)
+	})
+}

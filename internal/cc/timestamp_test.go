@@ -1,0 +1,153 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+func driveTS(t *testing.T, c *core.SystemB, seed int64, abortWeight float64) ioa.Schedule {
+	t.Helper()
+	d := ioa.NewDriver(c.Sys, seed)
+	d.Bias = func(op ioa.Op) float64 {
+		if op.Kind == ioa.OpAbort {
+			return abortWeight
+		}
+		return 1
+	}
+	gamma, quiescent, err := d.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !quiescent {
+		t.Fatalf("seed %d: did not quiesce", seed)
+	}
+	return gamma
+}
+
+// TestTimestampRunsComplete checks the scheduler is deadlock-free by
+// construction: every failure-free run completes.
+func TestTimestampRunsComplete(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c, err := BuildCTimestamp(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveTS(t, c, seed, 0)
+		if !Completed(c, gamma) {
+			t.Fatalf("seed %d: conservative timestamp ordering should never deadlock:\n%v", seed, gamma)
+		}
+	}
+}
+
+// TestTimestampOrderPerObject verifies the copy-level serialization
+// property: at every object, accesses of different top-level transactions
+// run in increasing timestamp (top-level creation) order.
+func TestTimestampOrderPerObject(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c, err := BuildCTimestamp(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveTS(t, c, seed, 0.05)
+		// Timestamp order = order of top-level CREATEs in gamma.
+		tsOf := map[ioa.TxnName]int{}
+		next := 0
+		topOf := func(n ioa.TxnName) ioa.TxnName {
+			for _, top := range c.Tree.Children(tree.Root) {
+				if c.Tree.IsAncestor(top, n) {
+					return top
+				}
+			}
+			return ""
+		}
+		lastTS := map[string]int{}
+		for _, op := range gamma {
+			if op.Kind != ioa.OpCreate {
+				continue
+			}
+			if p, _ := c.Tree.Parent(op.Txn); p == tree.Root {
+				tsOf[op.Txn] = next
+				next++
+			}
+			n := c.Tree.Node(op.Txn)
+			if n == nil || !n.IsAccess() {
+				continue
+			}
+			ts := tsOf[topOf(op.Txn)]
+			if prev, seen := lastTS[n.Object]; seen && ts < prev {
+				t.Fatalf("seed %d: object %s executed ts %d after ts %d:\n%v", seed, n.Object, ts, prev, gamma)
+			}
+			lastTS[n.Object] = ts
+		}
+	}
+}
+
+// TestTimestampSeriallyCorrectPerTransaction runs the paper's serial
+// correctness definition for every user transaction of timestamp-ordered
+// runs: the second CC algorithm's schedules are realizable in the serial
+// system B, exactly as Theorem 11 requires of "any correct concurrency
+// control".
+func TestTimestampSeriallyCorrectPerTransaction(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c, err := BuildCTimestamp(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveTS(t, c, seed, 0.05)
+		for _, u := range c.UserTxns() {
+			if _, err := SeriallyCorrectFor(c, gamma, u, 400000); err != nil {
+				t.Fatalf("seed %d txn %v: %v\nγ:\n%v", seed, u, err, gamma)
+			}
+		}
+	}
+}
+
+// TestTimestampSchedulesWellFormed checks the structural sanity of the
+// second scheduler's executions.
+func TestTimestampSchedulesWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c, err := BuildCTimestamp(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveTS(t, c, seed, 0.1)
+		if err := c.Tree.CheckScheduleWellFormed(gamma); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTimestampInterleaves confirms the scheduler actually admits
+// concurrency (otherwise the tests above would be vacuous).
+func TestTimestampInterleaves(t *testing.T) {
+	interleaved := false
+	for seed := int64(0); seed < 20 && !interleaved; seed++ {
+		c, err := BuildCTimestamp(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gamma := driveTS(t, c, seed, 0)
+		open := map[ioa.TxnName]bool{}
+		for _, op := range gamma {
+			p, _ := c.Tree.Parent(op.Txn)
+			if p != tree.Root {
+				continue
+			}
+			switch op.Kind {
+			case ioa.OpCreate:
+				if len(open) > 0 {
+					interleaved = true
+				}
+				open[op.Txn] = true
+			case ioa.OpCommit, ioa.OpAbort:
+				delete(open, op.Txn)
+			}
+		}
+	}
+	if !interleaved {
+		t.Fatal("timestamp scheduler never interleaved top-level transactions")
+	}
+}

@@ -1,0 +1,129 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func at(ms int) time.Time {
+	return time.Unix(0, int64(ms)*int64(time.Millisecond))
+}
+
+func ev(kind Kind, val any, vn, start, end int) Event {
+	return Event{Kind: kind, Item: "x", Value: val, VN: vn, Start: at(start), End: at(end)}
+}
+
+func TestVerifyAcceptsSequentialHistory(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpRead, 0, 0, 0, 1),
+		ev(OpWrite, "a", 1, 2, 3),
+		ev(OpRead, "a", 1, 4, 5),
+		ev(OpWrite, "b", 2, 6, 7),
+		ev(OpRead, "b", 2, 8, 9),
+	}}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAcceptsConcurrentOverlaps(t *testing.T) {
+	// Two overlapping writes may commit in either version order; an
+	// overlapping read may see either.
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 2, 0, 10),
+		ev(OpWrite, "b", 1, 0, 10),
+		ev(OpRead, "b", 1, 5, 6),
+	}}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsStaleRead(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 1, 0, 1),
+		ev(OpRead, 0, 0, 2, 3), // reads the initial state after a write committed
+	}}
+	if err := h.Verify(); err == nil || !strings.Contains(err.Error(), "real-time violation") {
+		t.Fatalf("stale read accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsDuplicateVersions(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 1, 0, 1),
+		ev(OpWrite, "b", 1, 2, 3),
+	}}
+	if err := h.Verify(); err == nil || !strings.Contains(err.Error(), "installed twice") {
+		t.Fatalf("duplicate version accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsPhantomRead(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpRead, "ghost", 4, 0, 1),
+	}}
+	if err := h.Verify(); err == nil || !strings.Contains(err.Error(), "no committed write") {
+		t.Fatalf("phantom read accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongValueForVersion(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 1, 0, 1),
+		ev(OpRead, "b", 1, 2, 3),
+	}}
+	if err := h.Verify(); err == nil || !strings.Contains(err.Error(), "write installed") {
+		t.Fatalf("wrong value accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongInitialValue(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpRead, 42, 0, 0, 1),
+	}}
+	if err := h.Verify(); err == nil {
+		t.Fatal("wrong initial value accepted")
+	}
+}
+
+func TestVerifyRejectsSequentialWritesSharingVersion(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		{Kind: OpWrite, Item: "x", Value: "a", VN: 1, Start: at(0), End: at(1)},
+		{Kind: OpWrite, Item: "x", Value: "a", VN: 1, Start: at(5), End: at(6)},
+	}}
+	// Same value dodges the duplicate-install message path only if values
+	// matched; versions still collide.
+	if err := h.Verify(); err == nil {
+		t.Fatal("sequential writes sharing a version accepted")
+	}
+}
+
+func TestVerifyRejectsVersionInversion(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 2, 0, 1),
+		ev(OpWrite, "b", 1, 5, 6), // strictly later write with a smaller version
+	}}
+	if err := h.Verify(); err == nil || !strings.Contains(err.Error(), "real-time violation") {
+		t.Fatalf("version inversion accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsForeignItem(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		{Kind: OpRead, Item: "y", VN: 0, Value: 0},
+	}}
+	if err := h.Verify(); err == nil {
+		t.Fatal("foreign item accepted")
+	}
+}
+
+func TestVerifyRejectsZeroVersionWrite(t *testing.T) {
+	h := History{Item: "x", Initial: 0, Events: []Event{
+		ev(OpWrite, "a", 0, 0, 1),
+	}}
+	if err := h.Verify(); err == nil {
+		t.Fatal("write with version 0 accepted")
+	}
+}

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func testCluster(t *testing.T, nDMs int, cfg func([]string) quorum.Config, netCfg sim.Config) (*Store, *sim.Network, []string) {
+	t.Helper()
+	dms := make([]string, nDMs)
+	for i := range dms {
+		dms[i] = fmt.Sprintf("dm%d", i)
+	}
+	net := sim.NewNetwork(netCfg)
+	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}}, Options{
+		CallTimeout: 25 * time.Millisecond,
+		Seed:        netCfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net, dms
+}
+
+func fastNet(seed int64) sim.Config {
+	return sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: seed}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	store, _, _ := testCluster(t, 3, quorum.Majority, fastNet(1))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Write(ctx, "x", 42); err != nil {
+			return err
+		}
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			return fmt.Errorf("read own write: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A later transaction sees the committed value.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			return fmt.Errorf("committed read: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialValueVisible(t *testing.T) {
+	store, _, _ := testCluster(t, 3, quorum.ReadOneWriteAll, fastNet(2))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return fmt.Errorf("initial value: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtransactionAbortDiscardsWrites(t *testing.T) {
+	store, _, _ := testCluster(t, 3, quorum.Majority, fastNet(3))
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if err := store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Write(ctx, "x", 1); err != nil {
+			return err
+		}
+		// The subtransaction writes and then fails; the parent tolerates
+		// the abort and continues — the paper's headline capability.
+		if err := tx.Sub(ctx, func(sub *Txn) error {
+			if err := sub.Write(ctx, "x", 99); err != nil {
+				return err
+			}
+			return boom
+		}); !errors.Is(err, boom) {
+			return fmt.Errorf("sub error: %v", err)
+		}
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("aborted sub's write leaked: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// After commit, the surviving value is the parent's.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("final value: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtransactionCommitVisibleToParent(t *testing.T) {
+	store, _, _ := testCluster(t, 5, quorum.Majority, fastNet(4))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Sub(ctx, func(sub *Txn) error {
+			return sub.Write(ctx, "x", 7)
+		}); err != nil {
+			return err
+		}
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			return fmt.Errorf("parent should see child's write: got %v", v)
+		}
+		return tx.Sub(ctx, func(sub *Txn) error {
+			v, err := sub.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 7 {
+				return fmt.Errorf("sibling should see committed sibling's write: got %v", v)
+			}
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopAbortDiscardsEverything(t *testing.T) {
+	store, _, _ := testCluster(t, 3, quorum.Majority, fastNet(5))
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if err := store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Write(ctx, "x", 123); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return fmt.Errorf("aborted txn's write leaked: got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIncrementsSerializable(t *testing.T) {
+	store, _, _ := testCluster(t, 3, quorum.Majority, fastNet(6))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const workers, perWorker = 4, 5
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := store.Run(ctx, func(tx *Txn) error {
+					v, err := tx.ReadForUpdate(ctx, "x")
+					if err != nil {
+						return err
+					}
+					return tx.Write(ctx, "x", v.(int)+1)
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != workers*perWorker {
+			return fmt.Errorf("lost updates: got %v, want %d", v, workers*perWorker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinorityCrashTolerated(t *testing.T) {
+	store, net, dms := testCluster(t, 5, quorum.Majority, fastNet(7))
+	ctx := context.Background()
+	net.Crash(dms[0])
+	net.Crash(dms[1])
+	if err := store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Write(ctx, "x", 5); err != nil {
+			return err
+		}
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 5 {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("majority up, op should succeed: %v", err)
+	}
+}
+
+func TestMajorityCrashBlocksWrites(t *testing.T) {
+	store, net, dms := testCluster(t, 3, quorum.Majority, fastNet(8))
+	ctx := context.Background()
+	net.Crash(dms[0])
+	net.Crash(dms[1])
+	err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 5) })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestCrashedReplicaRecoversStaleThenCatchesUpViaVersionNumbers(t *testing.T) {
+	store, net, dms := testCluster(t, 3, quorum.Majority, fastNet(9))
+	ctx := context.Background()
+	net.Crash(dms[2])
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 10) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Restart(dms[2])
+	// dms[2] is stale (vn 0); majority reads must still return 10 because
+	// any read quorum intersects the write quorum that holds vn 1.
+	for i := 0; i < 5; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error {
+			v, err := tx.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 10 {
+				return fmt.Errorf("stale read: got %v", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReconfigureExcludesCrashedDM(t *testing.T) {
+	store, net, dms := testCluster(t, 5, quorum.Majority, fastNet(10))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	// Two replicas die; majority of 5 still works, but shrink the quorums
+	// to the three live DMs so future ops don't wait on the dead ones.
+	net.Crash(dms[3])
+	net.Crash(dms[4])
+	live := dms[:3]
+	if err := store.Reconfigure(ctx, "x", quorum.Majority(live)); err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("value across reconfiguration: got %v", v)
+		}
+		return tx.Write(ctx, "x", 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleClientDiscoversNewConfiguration(t *testing.T) {
+	store, _, dms := testCluster(t, 5, quorum.Majority, fastNet(11))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 77) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Reconfigure(ctx, "x", quorum.ReadOneWriteAll(dms)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 88) }); err != nil {
+		t.Fatal(err)
+	}
+	// Forget the configuration: the next read must chase the generation
+	// number from the old majority config to read-one/write-all and still
+	// return the latest value.
+	store.ForgetConfig("x")
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 88 {
+			return fmt.Errorf("stale client read %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossyNetworkStillCommits(t *testing.T) {
+	cfg := fastNet(12)
+	cfg.DropProb = 0.02
+	store, _, _ := testCluster(t, 3, quorum.Majority, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 1; i <= 10; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", i) }); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 10 {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiffordAblationWritesConfigToBothQuorums(t *testing.T) {
+	dms := []string{"a", "b", "c"}
+	net := sim.NewNetwork(fastNet(13))
+	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}, Options{
+		CallTimeout:              25 * time.Millisecond,
+		WriteConfigToBothQuorums: true,
+		Seed:                     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+	if err := store.Reconfigure(ctx, "x", quorum.ReadOneWriteAll(dms)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 3) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnIDAncestry(t *testing.T) {
+	cases := []struct {
+		a, b TxnID
+		want bool
+	}{
+		{"t1", "t1", true},
+		{"t1", "t1/0", true},
+		{"t1", "t1/0/4", true},
+		{"t1/0", "t1", false},
+		{"t1", "t10", false},
+		{"t1/2", "t1/20", false},
+	}
+	for _, c := range cases {
+		if got := c.a.IsAncestorOf(c.b); got != c.want {
+			t.Errorf("IsAncestorOf(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if p, ok := TxnID("t1/2/3").Parent(); !ok || p != "t1/2" {
+		t.Errorf("Parent(t1/2/3) = %v %v", p, ok)
+	}
+	if _, ok := TxnID("t1").Parent(); ok {
+		t.Error("top-level should have no parent")
+	}
+	if top := TxnID("t9/4/2").Top(); top != "t9" {
+		t.Errorf("Top = %v", top)
+	}
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// replica is one DM's state for one item: the committed versioned value and
+// configuration, the Moss lock table, and the ordered intention list of
+// uncommitted writes.
+type replica struct {
+	vn  int
+	val any
+	gen int
+	cfg quorum.Config
+
+	locks   map[TxnID]LockMode
+	intents []intent
+}
+
+// intent is a buffered (deferred) update owned by a transaction.
+type intent struct {
+	owner    TxnID
+	isConfig bool
+	vn       int
+	val      any
+	gen      int
+	cfg      quorum.Config
+}
+
+// dmServer is the handler state of one DM node. It runs under the sim.Node
+// actor discipline: the handler is invoked on a single goroutine, so no
+// locking is needed.
+type dmServer struct {
+	id       string
+	replicas map[string]*replica
+
+	// appliedTop remembers applied top-level commits so CommitTopReq is
+	// idempotent under client retries.
+	appliedTop map[TxnID]bool
+}
+
+// NewDMServer starts a DM node hosting the given items and returns its
+// sim.Node. Each item maps to its initial value and configuration.
+func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
+	s := &dmServer{id: id, replicas: map[string]*replica{}, appliedTop: map[TxnID]bool{}}
+	for _, it := range items {
+		s.replicas[it.Name] = &replica{
+			val:   it.Initial,
+			cfg:   it.Config.Clone(),
+			locks: map[TxnID]LockMode{},
+		}
+	}
+	return sim.NewNode(net, id, s.handle)
+}
+
+// canLock applies Moss's rule: a conflicting lock may be held only by
+// ancestors of the requester.
+func (r *replica) canLock(t TxnID, m LockMode) bool {
+	for holder, hm := range r.locks {
+		if holder == t {
+			continue
+		}
+		if (m == LockWrite || hm == LockWrite) && !holder.IsAncestorOf(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// grant records the lock, upgrading if needed.
+func (r *replica) grant(t TxnID, m LockMode) {
+	if r.locks[t] < m {
+		r.locks[t] = m
+	}
+}
+
+// view folds the intentions visible to t (those owned by t or its
+// ancestors) over the committed state, yielding the state t must read.
+func (r *replica) view(t TxnID) (vn int, val any, gen int, cfg quorum.Config) {
+	vn, val, gen, cfg = r.vn, r.val, r.gen, r.cfg
+	for _, in := range r.intents {
+		if !in.owner.IsAncestorOf(t) {
+			continue
+		}
+		if in.isConfig {
+			gen, cfg = in.gen, in.cfg
+		} else {
+			vn, val = in.vn, in.val
+		}
+	}
+	return vn, val, gen, cfg
+}
+
+// promote hands t's locks and intentions to its parent.
+func (r *replica) promote(t TxnID) {
+	parent, ok := t.Parent()
+	if m, held := r.locks[t]; held {
+		delete(r.locks, t)
+		if ok {
+			if r.locks[parent] < m {
+				r.locks[parent] = m
+			}
+		}
+	}
+	if ok {
+		for i := range r.intents {
+			if r.intents[i].owner == t {
+				r.intents[i].owner = parent
+			}
+		}
+	}
+}
+
+// drop removes every lock and intention owned by t or its descendants.
+func (r *replica) drop(t TxnID) {
+	for holder := range r.locks {
+		if t.IsAncestorOf(holder) {
+			delete(r.locks, holder)
+		}
+	}
+	kept := r.intents[:0]
+	for _, in := range r.intents {
+		if !t.IsAncestorOf(in.owner) {
+			kept = append(kept, in)
+		}
+	}
+	r.intents = kept
+}
+
+// applyTop folds t's intentions into the committed state and releases its
+// locks.
+func (r *replica) applyTop(t TxnID) {
+	kept := r.intents[:0]
+	for _, in := range r.intents {
+		if in.owner != t {
+			kept = append(kept, in)
+			continue
+		}
+		if in.isConfig {
+			r.gen, r.cfg = in.gen, in.cfg
+		} else {
+			r.vn, r.val = in.vn, in.val
+		}
+	}
+	r.intents = kept
+	r.drop(t)
+}
+
+// handle is the DM's RPC handler.
+func (s *dmServer) handle(_ string, req any) any {
+	switch q := req.(type) {
+	case ReadReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return ReadResp{}
+		}
+		if !r.canLock(q.Txn, q.Lock) {
+			return ReadResp{Busy: true}
+		}
+		r.grant(q.Txn, q.Lock)
+		vn, val, gen, cfg := r.view(q.Txn)
+		return ReadResp{OK: true, VN: vn, Val: val, Gen: gen, Cfg: cfg}
+	case WriteReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return WriteResp{}
+		}
+		if !r.canLock(q.Txn, LockWrite) {
+			return WriteResp{Busy: true}
+		}
+		r.grant(q.Txn, LockWrite)
+		r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
+		return WriteResp{OK: true}
+	case ConfigWriteReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return WriteResp{}
+		}
+		if !r.canLock(q.Txn, LockWrite) {
+			return WriteResp{Busy: true}
+		}
+		r.grant(q.Txn, LockWrite)
+		r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
+		return WriteResp{OK: true}
+	case RepairReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return Ack{}
+		}
+		// Safe when strictly newer and no writer is in flight: the repair
+		// only advances the committed state to a value that is already
+		// committed at a write-quorum, which every quorum read would
+		// return anyway. Read locks do not block it.
+		writerInFlight := len(r.intents) > 0
+		for _, m := range r.locks {
+			if m == LockWrite {
+				writerInFlight = true
+			}
+		}
+		if q.VN > r.vn && !writerInFlight {
+			r.vn, r.val = q.VN, q.Val
+		}
+		return Ack{OK: true}
+	case InspectReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return InspectResp{}
+		}
+		return InspectResp{
+			OK: true, VN: r.vn, Val: r.val, Gen: r.gen, Cfg: r.cfg.Clone(),
+			Locks: len(r.locks), Intents: len(r.intents),
+		}
+	case CommitSubReq:
+		for _, r := range s.replicas {
+			r.promote(q.Txn)
+		}
+		return Ack{OK: true}
+	case AbortReq:
+		for _, r := range s.replicas {
+			r.drop(q.Txn)
+		}
+		return Ack{OK: true}
+	case CommitTopReq:
+		if !s.appliedTop[q.Txn] {
+			s.appliedTop[q.Txn] = true
+			for _, r := range s.replicas {
+				r.applyTop(q.Txn)
+			}
+		}
+		return Ack{OK: true}
+	default:
+		return Ack{OK: false}
+	}
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/quorum"
+)
+
+func newReplica() *replica {
+	return &replica{
+		val:   "init",
+		cfg:   quorum.Majority([]string{"a", "b", "c"}),
+		locks: map[TxnID]LockMode{},
+	}
+}
+
+func TestReplicaMossLockRules(t *testing.T) {
+	r := newReplica()
+	if !r.canLock("c1.t1/1", LockRead) {
+		t.Fatal("first lock grantable")
+	}
+	r.grant("c1.t1/1", LockRead)
+	// Unrelated read is compatible; unrelated write is not.
+	if !r.canLock("c1.t2", LockRead) {
+		t.Error("read/read compatible")
+	}
+	if r.canLock("c1.t2", LockWrite) {
+		t.Error("write over unrelated read must be refused")
+	}
+	// The holder's ancestor relationship is what matters: a descendant of
+	// the holder may lock.
+	if !r.canLock("c1.t1/1/3", LockWrite) {
+		t.Error("descendant of holder must be able to write-lock")
+	}
+	// Upgrading one's own lock is always allowed.
+	if !r.canLock("c1.t1/1", LockWrite) {
+		t.Error("self-upgrade must be allowed")
+	}
+	r.grant("c1.t1/1", LockWrite)
+	if r.locks["c1.t1/1"] != LockWrite {
+		t.Error("grant must upgrade")
+	}
+	r.grant("c1.t1/1", LockRead)
+	if r.locks["c1.t1/1"] != LockWrite {
+		t.Error("grant must never downgrade")
+	}
+}
+
+func TestReplicaViewFoldsAncestorIntents(t *testing.T) {
+	r := newReplica()
+	r.vn, r.val = 1, "committed"
+	r.intents = append(r.intents,
+		intent{owner: "c1.t1", vn: 2, val: "parent-write"},
+		intent{owner: "c1.t2", vn: 5, val: "foreign-write"},
+		intent{owner: "c1.t1/3", vn: 3, val: "child-write"},
+	)
+	// A child of t1 sees t1's and its own writes, not t2's; later
+	// intentions in order win.
+	vn, val, _, _ := r.view("c1.t1/3")
+	if vn != 3 || val != "child-write" {
+		t.Errorf("view(t1/3) = (%d, %v)", vn, val)
+	}
+	// t2 sees its own write only.
+	vn, val, _, _ = r.view("c1.t2")
+	if vn != 5 || val != "foreign-write" {
+		t.Errorf("view(t2) = (%d, %v)", vn, val)
+	}
+	// A stranger sees only committed state.
+	vn, val, _, _ = r.view("c1.t9")
+	if vn != 1 || val != "committed" {
+		t.Errorf("view(t9) = (%d, %v)", vn, val)
+	}
+}
+
+func TestReplicaPromoteMovesLocksAndIntents(t *testing.T) {
+	r := newReplica()
+	r.grant("c1.t1/1", LockWrite)
+	r.intents = append(r.intents, intent{owner: "c1.t1/1", vn: 2, val: "x"})
+	r.promote("c1.t1/1")
+	if _, held := r.locks["c1.t1/1"]; held {
+		t.Error("child lock must move")
+	}
+	if r.locks["c1.t1"] != LockWrite {
+		t.Error("parent must inherit the write lock")
+	}
+	if r.intents[0].owner != "c1.t1" {
+		t.Error("intent ownership must move to the parent")
+	}
+}
+
+func TestReplicaDropRemovesSubtree(t *testing.T) {
+	r := newReplica()
+	r.grant("c1.t1/1", LockWrite)
+	r.grant("c1.t1/1/2", LockRead)
+	r.grant("c1.t2", LockRead)
+	r.intents = append(r.intents,
+		intent{owner: "c1.t1/1", vn: 2, val: "x"},
+		intent{owner: "c1.t2", vn: 3, val: "y"},
+	)
+	r.drop("c1.t1/1")
+	if len(r.locks) != 1 || r.locks["c1.t2"] != LockRead {
+		t.Errorf("locks after drop: %v", r.locks)
+	}
+	if len(r.intents) != 1 || r.intents[0].owner != "c1.t2" {
+		t.Errorf("intents after drop: %v", r.intents)
+	}
+}
+
+func TestReplicaApplyTopFoldsInOrder(t *testing.T) {
+	r := newReplica()
+	r.intents = append(r.intents,
+		intent{owner: "c1.t1", vn: 1, val: "first"},
+		intent{owner: "c1.t1", isConfig: true, gen: 1, cfg: quorum.ReadOneWriteAll([]string{"a", "b", "c"})},
+		intent{owner: "c1.t1", vn: 2, val: "second"},
+		intent{owner: "c1.t9", vn: 9, val: "unrelated"},
+	)
+	r.grant("c1.t1", LockWrite)
+	r.applyTop("c1.t1")
+	if r.vn != 2 || r.val != "second" {
+		t.Errorf("committed state = (%d, %v)", r.vn, r.val)
+	}
+	if r.gen != 1 {
+		t.Errorf("gen = %d", r.gen)
+	}
+	if len(r.intents) != 1 || r.intents[0].owner != "c1.t9" {
+		t.Errorf("foreign intents must survive: %v", r.intents)
+	}
+	if len(r.locks) != 0 {
+		t.Errorf("locks must be released: %v", r.locks)
+	}
+}
+
+func TestHandleUnknownItemAndMessage(t *testing.T) {
+	s := &dmServer{id: "d", replicas: map[string]*replica{}, appliedTop: map[TxnID]bool{}}
+	if resp := s.handle("x", ReadReq{Txn: "c1.t1", Item: "nope"}); resp.(ReadResp).OK {
+		t.Error("unknown item must not grant")
+	}
+	if resp := s.handle("x", WriteReq{Txn: "c1.t1", Item: "nope"}); resp.(WriteResp).OK {
+		t.Error("unknown item must not accept writes")
+	}
+	if resp := s.handle("x", InspectReq{Item: "nope"}); resp.(InspectResp).OK {
+		t.Error("unknown item must not inspect")
+	}
+	if resp := s.handle("x", "garbage"); resp.(Ack).OK {
+		t.Error("unknown message must be refused")
+	}
+}
+
+func TestCommitTopIdempotent(t *testing.T) {
+	s := &dmServer{
+		id:         "d",
+		replicas:   map[string]*replica{"x": newReplica()},
+		appliedTop: map[TxnID]bool{},
+	}
+	r := s.replicas["x"]
+	r.intents = append(r.intents, intent{owner: "c1.t1", vn: 1, val: "v"})
+	s.handle("c", CommitTopReq{Txn: "c1.t1"})
+	if r.vn != 1 {
+		t.Fatal("commit not applied")
+	}
+	// A second, retried commit must not disturb later state.
+	r.intents = append(r.intents, intent{owner: "c1.t2", vn: 2, val: "w"})
+	s.handle("c", CommitTopReq{Txn: "c1.t1"})
+	if len(r.intents) != 1 || r.vn != 1 {
+		t.Errorf("idempotence violated: vn=%d intents=%v", r.vn, r.intents)
+	}
+}
+
+func TestRepairAppliesOnlyWhenNewerAndIdle(t *testing.T) {
+	s := &dmServer{
+		id:         "d",
+		replicas:   map[string]*replica{"x": newReplica()},
+		appliedTop: map[TxnID]bool{},
+	}
+	r := s.replicas["x"]
+	r.vn = 2
+	s.handle("c", RepairReq{Item: "x", VN: 1, Val: "older"})
+	if r.vn != 2 {
+		t.Error("older repair applied")
+	}
+	s.handle("c", RepairReq{Item: "x", VN: 5, Val: "newer"})
+	if r.vn != 5 || r.val != "newer" {
+		t.Error("newer repair not applied")
+	}
+	// Read locks do not block repairs (they only advance committed state
+	// to the quorum maximum) …
+	r.grant("c1.t1", LockRead)
+	s.handle("c", RepairReq{Item: "x", VN: 9, Val: "reader-held"})
+	if r.vn != 9 {
+		t.Error("repair must apply under read locks")
+	}
+	// … but write locks and pending intents do.
+	r.grant("c1.t2", LockWrite)
+	s.handle("c", RepairReq{Item: "x", VN: 12, Val: "busy"})
+	if r.vn != 12-3 {
+		t.Error("repair applied under a write lock")
+	}
+}

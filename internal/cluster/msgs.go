@@ -1,0 +1,109 @@
+package cluster
+
+import "repro/internal/quorum"
+
+// LockMode is the lock an access must hold at a DM.
+type LockMode int
+
+// Lock modes. Write-TM read phases use LockWrite (update locking), so a
+// writer never needs to upgrade a read lock it already holds.
+const (
+	LockRead LockMode = iota + 1
+	LockWrite
+)
+
+// ReadReq asks a DM for its replica state of an item, acquiring a lock of
+// the given mode for the transaction first.
+type ReadReq struct {
+	Txn  TxnID
+	Item string
+	Lock LockMode
+}
+
+// ReadResp carries the replica state visible to the transaction (committed
+// state plus the intentions of its ancestors). Busy reports a lock
+// conflict; the caller backs off and retries, which doubles as the
+// cluster's deadlock resolution.
+type ReadResp struct {
+	OK   bool
+	Busy bool
+	VN   int
+	Val  any
+	Gen  int
+	Cfg  quorum.Config
+}
+
+// WriteReq buffers a versioned value write as an intention of the
+// transaction, acquiring a write lock first.
+type WriteReq struct {
+	Txn  TxnID
+	Item string
+	VN   int
+	Val  any
+}
+
+// ConfigWriteReq buffers a configuration write (generation bump) as an
+// intention of the transaction, acquiring a write lock first.
+type ConfigWriteReq struct {
+	Txn  TxnID
+	Item string
+	Gen  int
+	Cfg  quorum.Config
+}
+
+// WriteResp acknowledges a write (or reports a lock conflict).
+type WriteResp struct {
+	OK   bool
+	Busy bool
+}
+
+// CommitSubReq promotes a subtransaction's locks and intentions to its
+// parent (Moss lock inheritance).
+type CommitSubReq struct {
+	Txn TxnID
+}
+
+// AbortReq discards the locks and intentions of a transaction and all its
+// descendants.
+type AbortReq struct {
+	Txn TxnID
+}
+
+// CommitTopReq applies a top-level transaction's intentions to the
+// committed replica state and releases its locks. Idempotent.
+type CommitTopReq struct {
+	Txn TxnID
+}
+
+// Ack acknowledges a commit/abort control message.
+type Ack struct {
+	OK bool
+}
+
+// RepairReq propagates an already-committed (version, value) pair to a
+// stale replica — Gifford's background update of out-of-date copies,
+// triggered by quorum reads that observe stale version numbers. Applied
+// only when strictly newer than the replica's committed state and no
+// transaction holds conflicting state on the item.
+type RepairReq struct {
+	Item string
+	VN   int
+	Val  any
+}
+
+// InspectReq asks a DM for its committed replica state (diagnostics and
+// tests only — not part of the protocol).
+type InspectReq struct {
+	Item string
+}
+
+// InspectResp carries a replica's committed state and bookkeeping sizes.
+type InspectResp struct {
+	OK      bool
+	VN      int
+	Val     any
+	Gen     int
+	Cfg     quorum.Config
+	Locks   int
+	Intents int
+}

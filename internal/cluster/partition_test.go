@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// TestPartitionMinoritySideBlocks verifies the mutual-exclusion property
+// partitions are the classic test of: a client that can only reach a
+// minority of replicas cannot write under majority quorums, while a client
+// reaching the majority side can.
+func TestPartitionMinoritySideBlocks(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 31})
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	a, err := New(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClient(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		b.Close()
+		a.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+
+	// Client b is cut off from dm0..dm2 — it can reach only a minority.
+	bName := b.client.ID()
+	for _, dm := range dms[:3] {
+		net.Disconnect(bName, dm)
+	}
+	err = b.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 99) })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("minority-side write should be unavailable, got %v", err)
+	}
+	// The majority side is unaffected.
+	if err := a.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatalf("majority-side write failed: %v", err)
+	}
+	// Heal: b sees a's committed write, never the blocked 99.
+	for _, dm := range dms[:3] {
+		net.Reconnect(bName, dm)
+	}
+	if err := b.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			return fmt.Errorf("after heal read %v, want 1", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionReadOneWriteAllReadsBothSides shows the read-availability
+// flip side: with read-one/write-all, reads succeed on both sides of a
+// partition while writes succeed on neither (the write-quorum spans it).
+func TestPartitionReadOneWriteAllReadsBothSides(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 33})
+	items := []ItemSpec{{Name: "x", Initial: 7, DMs: dms, Config: quorum.ReadOneWriteAll(dms)}}
+	a, err := New(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		a.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+
+	// Cut the client off from dm1 and dm2.
+	for _, dm := range dms[1:] {
+		net.Disconnect(a.client.ID(), dm)
+	}
+	if err := a.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			return fmt.Errorf("read %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("read-one should survive reaching a single replica: %v", err)
+	}
+	err = a.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 8) })
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("write-all across a partition should be unavailable, got %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func repairCluster(t *testing.T, readRepair bool) (*Store, *sim.Network, []string) {
+	t.Helper()
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 21})
+	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}, Options{
+		CallTimeout: 25 * time.Millisecond,
+		ReadRepair:  readRepair,
+		Seed:        21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net, dms
+}
+
+// makeStale crashes one replica, writes through the others, restarts it.
+func makeStale(t *testing.T, store *Store, net *sim.Network, dm string) {
+	t.Helper()
+	ctx := context.Background()
+	net.Crash(dm)
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 10) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Restart(dm)
+}
+
+func TestReadRepairCatchesUpStaleReplica(t *testing.T) {
+	store, net, dms := repairCluster(t, true)
+	ctx := context.Background()
+	makeStale(t, store, net, dms[2])
+
+	// Read until the stale replica has been repaired (the read quorum is
+	// random, so a few reads may be needed to touch dm2).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := store.Run(ctx, func(tx *Txn) error {
+			v, err := tx.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 10 {
+				return fmt.Errorf("read %v", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // let fire-and-forget repairs land
+		resp, err := store.Inspect(ctx, dms[2], "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.VN == 1 && resp.Val == 10 {
+			if store.Stats.Repairs.Value() == 0 {
+				t.Error("replica caught up but no repair was counted")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale replica never repaired: %+v", resp)
+		}
+	}
+}
+
+func TestWithoutReadRepairStaleReplicaStaysStale(t *testing.T) {
+	store, net, dms := repairCluster(t, false)
+	ctx := context.Background()
+	makeStale(t, store, net, dms[2])
+	for i := 0; i < 10; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error {
+			_, err := tx.Read(ctx, "x")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * time.Millisecond)
+	resp, err := store.Inspect(ctx, dms[2], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.VN != 0 {
+		t.Fatalf("replica updated without read repair: %+v", resp)
+	}
+	if store.Stats.Repairs.Value() != 0 {
+		t.Error("repairs counted with the feature disabled")
+	}
+}
+
+func TestInspectUnknownReplica(t *testing.T) {
+	store, _, _ := repairCluster(t, false)
+	if _, err := store.Inspect(context.Background(), "dm0", "nope"); err == nil {
+		t.Error("inspect of unknown item must fail")
+	}
+}

@@ -1,0 +1,729 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ItemSpec describes one replicated logical data item: its initial value,
+// the DMs that replicate it, and its initial quorum configuration.
+type ItemSpec struct {
+	Name    string
+	Initial any
+	DMs     []string
+	Config  quorum.Config
+}
+
+// Options tune the client library.
+type Options struct {
+	// CallTimeout bounds each RPC (default 100ms).
+	CallTimeout time.Duration
+	// LockRetries is how many times a quorum phase is retried on lock
+	// conflicts or unreachable replicas before giving up (default 12).
+	LockRetries int
+	// RetryBackoff is the base backoff between retries, growing linearly
+	// (default 1ms).
+	RetryBackoff time.Duration
+	// TxnRetries is how many times Run restarts an aborted transaction
+	// (default 8). Restart-on-conflict is the cluster's deadlock
+	// resolution.
+	TxnRetries int
+	// ReadRepair propagates the winning (version, value) of a quorum read
+	// to the stale replicas that answered with older versions — Gifford's
+	// update of out-of-date copies, done fire-and-forget off the read
+	// path.
+	ReadRepair bool
+	// WriteConfigToBothQuorums reproduces Gifford's original
+	// reconfiguration rule (write the new configuration to both an old and
+	// a new write-quorum); the paper observes an old write-quorum alone
+	// suffices, which is the default. Benchmarked as ablation A1.
+	WriteConfigToBothQuorums bool
+	// Seed drives quorum selection randomness.
+	Seed int64
+	// Trace, when non-nil, receives a structured event per logical
+	// operation, commit, abort, and reconfiguration.
+	Trace *trace.Log
+}
+
+func (o Options) withDefaults() Options {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 100 * time.Millisecond
+	}
+	if o.LockRetries <= 0 {
+		o.LockRetries = 12
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	if o.TxnRetries <= 0 {
+		o.TxnRetries = 8
+	}
+	return o
+}
+
+// Exported error conditions.
+var (
+	// ErrConflict reports that a quorum phase kept losing lock conflicts;
+	// Run restarts the transaction when it sees this.
+	ErrConflict = errors.New("cluster: lock conflict")
+	// ErrUnavailable reports that no quorum could be assembled (too many
+	// replicas down or unreachable).
+	ErrUnavailable = errors.New("cluster: quorum unavailable")
+	// ErrTxnDone reports use of a transaction after it finished.
+	ErrTxnDone = errors.New("cluster: transaction already finished")
+)
+
+// Stats aggregates client-side operation metrics.
+type Stats struct {
+	Reads        metrics.Counter
+	Writes       metrics.Counter
+	Commits      metrics.Counter
+	Aborts       metrics.Counter
+	Restarts     metrics.Counter
+	BusyRetries  metrics.Counter
+	Repairs      metrics.Counter
+	ReadLatency  metrics.Histogram
+	WriteLatency metrics.Histogram
+	TxnLatency   metrics.Histogram
+}
+
+// Store is the client handle to a replicated store: it owns the DM server
+// nodes and executes nested transactions against them.
+type Store struct {
+	net    *sim.Network
+	client *sim.Node
+	opts   Options
+
+	items   map[string]ItemSpec
+	servers []*sim.Node
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	believed map[string]genCfg
+
+	// clientID prefixes every transaction ID issued by this client so IDs
+	// from different clients of the same cluster never alias in the DMs'
+	// lock tables.
+	clientID string
+	txnSeq   atomic.Uint64
+
+	Stats Stats
+}
+
+type genCfg struct {
+	gen int
+	cfg quorum.Config
+}
+
+// New spawns one DM server node per replica and a client node, returning
+// the store handle.
+func New(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
+	return newStore(net, items, opts, true)
+}
+
+// NewClient attaches an additional, independent client to a cluster whose
+// DM servers were already spawned by New over the same network and items.
+// Each client keeps its own cached configurations, so reconfigurations
+// performed through one client are discovered by others via the
+// generation-number chase of the read rule — the realistic stale-client
+// scenario of Section 4.
+func NewClient(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
+	return newStore(net, items, opts, false)
+}
+
+func newStore(net *sim.Network, items []ItemSpec, opts Options, spawnServers bool) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		net:      net,
+		opts:     opts,
+		items:    map[string]ItemSpec{},
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		believed: map[string]genCfg{},
+	}
+	seen := map[string]bool{}
+	for _, it := range items {
+		if err := it.Config.Validate(it.DMs); err != nil {
+			return nil, fmt.Errorf("cluster: item %q: %w", it.Name, err)
+		}
+		if _, dup := s.items[it.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate item %q", it.Name)
+		}
+		s.items[it.Name] = it
+		s.believed[it.Name] = genCfg{gen: 0, cfg: it.Config}
+		for _, dm := range it.DMs {
+			if seen[dm] {
+				return nil, fmt.Errorf("cluster: DM %q assigned twice", dm)
+			}
+			seen[dm] = true
+			if spawnServers {
+				s.servers = append(s.servers, NewDMServer(net, dm, []ItemSpec{it}))
+			}
+		}
+	}
+	s.clientID = fmt.Sprintf("c%d", clientSeq.Add(1))
+	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, opts.Seed), nil)
+	return s, nil
+}
+
+// clientSeq hands out process-unique client numbers; it exists solely to
+// keep transaction IDs from distinct clients disjoint.
+var clientSeq atomic.Uint64
+
+// Close shuts down the client and server nodes.
+func (s *Store) Close() {
+	s.client.Shutdown()
+	for _, srv := range s.servers {
+		srv.Shutdown()
+	}
+}
+
+// Items returns the item specs the store was opened with.
+func (s *Store) Items() []ItemSpec {
+	out := make([]ItemSpec, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// traceEvent records an event when tracing is enabled.
+func (s *Store) traceEvent(actor, kind, format string, args ...any) {
+	if s.opts.Trace != nil {
+		s.opts.Trace.Add(actor, kind, format, args...)
+	}
+}
+
+func (s *Store) config(item string) genCfg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.believed[item]
+}
+
+// ForgetConfig resets the client's cached configuration for item to the
+// initial one, simulating a client that has not heard about
+// reconfigurations; the next read phase rediscovers the current
+// configuration by chasing generation numbers.
+func (s *Store) ForgetConfig(item string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it, ok := s.items[item]; ok {
+		s.believed[item] = genCfg{gen: 0, cfg: it.Config}
+	}
+}
+
+func (s *Store) observeConfig(item string, gen int, cfg quorum.Config) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.believed[item]; !ok || gen > cur.gen {
+		s.believed[item] = genCfg{gen: gen, cfg: cfg.Clone()}
+	}
+}
+
+// shuffledQuorums returns the quorums in a random order, smallest first
+// among equal random keys so cheap quorums are preferred.
+func (s *Store) shuffledQuorums(qs []quorum.Set) []quorum.Set {
+	out := append([]quorum.Set(nil), qs...)
+	s.mu.Lock()
+	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+// backoff sleeps for the attempt-scaled, jittered backoff or until ctx
+// expires. The jitter breaks restart symmetry between conflicting
+// transactions, which plain linear backoff can lock into livelock.
+func (s *Store) backoff(ctx context.Context, attempt int) {
+	base := s.opts.RetryBackoff * time.Duration(attempt+1)
+	s.mu.Lock()
+	d := base/2 + time.Duration(s.rng.Int63n(int64(base)))
+	s.mu.Unlock()
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}
+
+// Txn is a (possibly nested) transaction handle. A Txn is not safe for
+// concurrent use; run concurrent work in subtransactions via SubAsync or
+// separate top-level transactions.
+type Txn struct {
+	store *Store
+	id    TxnID
+
+	mu       sync.Mutex
+	touched  map[string]bool
+	childSeq int
+	done     bool
+}
+
+// ID returns the transaction's hierarchical identifier.
+func (t *Txn) ID() TxnID { return t.id }
+
+func (t *Txn) touch(dm string) {
+	t.mu.Lock()
+	t.touched[dm] = true
+	t.mu.Unlock()
+}
+
+func (t *Txn) touchedDMs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.touched))
+	for dm := range t.touched {
+		out = append(out, dm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// readResult aggregates a completed read phase.
+type readResult struct {
+	vn  int
+	val any
+	gen int
+	cfg quorum.Config
+}
+
+// queryQuorum issues ReadReqs to every member of q concurrently and
+// reports whether all granted and whether any refused for a lock conflict.
+// Members that grant are recorded as touched (they now hold locks for the
+// transaction) even if the quorum as a whole fails.
+// memberResp pairs a replica's answer with its name, so the read phase
+// can repair stale members afterwards.
+type memberResp struct {
+	dm   string
+	resp ReadResp
+}
+
+func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quorum.Set) (granted []memberResp, sawBusy, allOK bool) {
+	members := q.Names()
+	resps := make([]ReadResp, len(members))
+	oks := make([]bool, len(members))
+	var wg sync.WaitGroup
+	for i, dm := range members {
+		wg.Add(1)
+		go func(i int, dm string) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+			defer cancel()
+			raw, err := t.store.client.Call(cctx, dm, ReadReq{Txn: t.id, Item: item, Lock: mode})
+			if err != nil {
+				return
+			}
+			if resp, ok := raw.(ReadResp); ok {
+				resps[i] = resp
+				oks[i] = resp.OK
+				if resp.Busy {
+					t.store.Stats.BusyRetries.Inc()
+				}
+			}
+		}(i, dm)
+	}
+	wg.Wait()
+	allOK = true
+	for i := range members {
+		if oks[i] {
+			t.touch(members[i])
+			granted = append(granted, memberResp{dm: members[i], resp: resps[i]})
+		} else {
+			allOK = false
+			if resps[i].Busy {
+				sawBusy = true
+			}
+		}
+	}
+	return granted, sawBusy, allOK
+}
+
+// readPhase assembles a read-quorum of the item's current configuration,
+// chasing generation numbers upward as newer configurations are discovered
+// (Section 4's read rule), and returns the highest-version value seen.
+func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readResult, error) {
+	it, ok := t.store.items[item]
+	if !ok {
+		return readResult{}, fmt.Errorf("cluster: unknown item %q", item)
+	}
+	believed := t.store.config(item)
+	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
+	sawBusy := false
+	for attempt := 0; attempt <= t.store.opts.LockRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return readResult{}, err
+		}
+		progressed := false
+		for _, q := range t.store.shuffledQuorums(believed.cfg.R) {
+			resps, busy, ok := t.queryQuorum(ctx, item, mode, q)
+			if busy {
+				sawBusy = true
+			}
+			for _, m := range resps {
+				r := m.resp
+				if r.Gen > res.gen {
+					res.gen, res.cfg = r.Gen, r.Cfg
+					t.store.observeConfig(item, r.Gen, r.Cfg)
+				}
+				if r.VN > res.vn {
+					res.vn, res.val = r.VN, r.Val
+				}
+				if r.VN == res.vn && r.Val != nil {
+					res.val = r.Val
+				}
+			}
+			if !ok {
+				continue
+			}
+			if res.gen > believed.gen {
+				// A newer configuration was installed: re-read under it.
+				believed = genCfg{gen: res.gen, cfg: res.cfg}
+				progressed = true
+				break
+			}
+			if t.store.opts.ReadRepair {
+				t.store.repairStale(item, res, resps)
+			}
+			return res, nil
+		}
+		if !progressed {
+			t.store.backoff(ctx, attempt)
+		}
+	}
+	if sawBusy {
+		return readResult{}, fmt.Errorf("%w: read phase of %s for %s", ErrConflict, item, t.id)
+	}
+	return readResult{}, fmt.Errorf("%w: read phase of %s for %s", ErrUnavailable, item, t.id)
+}
+
+// repairStale fire-and-forgets the quorum read's winning (version, value)
+// to the replicas that answered with older version numbers. The DM applies
+// it only if still strictly newer and idle; losing the message is
+// harmless.
+func (s *Store) repairStale(item string, res readResult, resps []memberResp) {
+	for _, m := range resps {
+		if m.resp.VN >= res.vn {
+			continue
+		}
+		s.Stats.Repairs.Inc()
+		go func(dm string) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.opts.CallTimeout)
+			defer cancel()
+			_, _ = s.client.Call(ctx, dm, RepairReq{Item: item, VN: res.vn, Val: res.val})
+		}(m.dm)
+	}
+}
+
+// Inspect returns a DM's committed replica state for tests and tooling.
+func (s *Store) Inspect(ctx context.Context, dm, item string) (InspectResp, error) {
+	cctx, cancel := context.WithTimeout(ctx, s.opts.CallTimeout)
+	defer cancel()
+	raw, err := s.client.Call(cctx, dm, InspectReq{Item: item})
+	if err != nil {
+		return InspectResp{}, err
+	}
+	resp, ok := raw.(InspectResp)
+	if !ok || !resp.OK {
+		return InspectResp{}, fmt.Errorf("cluster: no replica of %q at %s", item, dm)
+	}
+	return resp, nil
+}
+
+// writeQuorum sends req built by mk to every member of some write-quorum of
+// cfg, retrying across quorums and with backoff.
+func (t *Txn) writeQuorum(ctx context.Context, cfg quorum.Config, mk func() any) error {
+	sawBusy := false
+	for attempt := 0; attempt <= t.store.opts.LockRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, q := range t.store.shuffledQuorums(cfg.W) {
+			members := q.Names()
+			oks := make([]bool, len(members))
+			busy := make([]bool, len(members))
+			var wg sync.WaitGroup
+			for i, dm := range members {
+				wg.Add(1)
+				go func(i int, dm string) {
+					defer wg.Done()
+					cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+					defer cancel()
+					raw, err := t.store.client.Call(cctx, dm, mk())
+					if err != nil {
+						return
+					}
+					if resp, ok := raw.(WriteResp); ok {
+						oks[i] = resp.OK
+						busy[i] = resp.Busy
+					}
+				}(i, dm)
+			}
+			wg.Wait()
+			all := true
+			for i := range members {
+				if oks[i] {
+					t.touch(members[i])
+				} else {
+					all = false
+					if busy[i] {
+						sawBusy = true
+						t.store.Stats.BusyRetries.Inc()
+					}
+				}
+			}
+			if all {
+				return nil
+			}
+		}
+		t.store.backoff(ctx, attempt)
+	}
+	if sawBusy {
+		return fmt.Errorf("%w: write quorum for %s", ErrConflict, t.id)
+	}
+	return fmt.Errorf("%w: write quorum for %s", ErrUnavailable, t.id)
+}
+
+// Read performs a logical read: quorum-read the item and return the value
+// with the highest version number.
+func (t *Txn) Read(ctx context.Context, item string) (any, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	start := time.Now()
+	res, err := t.readPhase(ctx, item, LockRead)
+	if err != nil {
+		return nil, err
+	}
+	t.store.Stats.Reads.Inc()
+	t.store.Stats.ReadLatency.Observe(time.Since(start))
+	t.store.traceEvent(string(t.id), "read", "%s = %v (vn %d)", item, res.val, res.vn)
+	return res.val, nil
+}
+
+// ReadVersioned is Read exposing the version number that accompanied the
+// returned value — the linearization witness quorum consensus maintains.
+// Intended for verification tooling (internal/checker) and diagnostics.
+func (t *Txn) ReadVersioned(ctx context.Context, item string) (any, int, error) {
+	if t.done {
+		return nil, 0, ErrTxnDone
+	}
+	res, err := t.readPhase(ctx, item, LockRead)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.store.Stats.Reads.Inc()
+	return res.val, res.vn, nil
+}
+
+// ReadForUpdate performs a logical read that takes write locks, for
+// read-modify-write transactions: acquiring the write intent up front
+// avoids the read-to-write lock upgrade that deadlocks concurrent
+// updaters.
+func (t *Txn) ReadForUpdate(ctx context.Context, item string) (any, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	start := time.Now()
+	res, err := t.readPhase(ctx, item, LockWrite)
+	if err != nil {
+		return nil, err
+	}
+	t.store.Stats.Reads.Inc()
+	t.store.Stats.ReadLatency.Observe(time.Since(start))
+	return res.val, nil
+}
+
+// Write performs a logical write: discover the current version number from
+// a read-quorum (under write locks — update locking), then write
+// (vn+1, val) to a write-quorum.
+func (t *Txn) Write(ctx context.Context, item string, val any) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	start := time.Now()
+	res, err := t.readPhase(ctx, item, LockWrite)
+	if err != nil {
+		return err
+	}
+	req := WriteReq{Txn: t.id, Item: item, VN: res.vn + 1, Val: val}
+	if err := t.writeQuorum(ctx, res.cfg, func() any { return req }); err != nil {
+		return err
+	}
+	t.store.Stats.Writes.Inc()
+	t.store.Stats.WriteLatency.Observe(time.Since(start))
+	t.store.traceEvent(string(t.id), "write", "%s := %v (vn %d)", item, val, req.VN)
+	return nil
+}
+
+// WriteVersioned is Write exposing the version number the write installed
+// — the linearization witness. Intended for verification tooling.
+func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	res, err := t.readPhase(ctx, item, LockWrite)
+	if err != nil {
+		return 0, err
+	}
+	req := WriteReq{Txn: t.id, Item: item, VN: res.vn + 1, Val: val}
+	if err := t.writeQuorum(ctx, res.cfg, func() any { return req }); err != nil {
+		return 0, err
+	}
+	t.store.Stats.Writes.Inc()
+	return req.VN, nil
+}
+
+// control sends a commit/abort control message to each DM, retrying until
+// acknowledged or ctx expires.
+func (t *Txn) control(ctx context.Context, dms []string, req any) error {
+	var firstErr error
+	for _, dm := range dms {
+		acked := false
+		for attempt := 0; attempt <= t.store.opts.LockRetries && !acked; attempt++ {
+			cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+			raw, err := t.store.client.Call(cctx, dm, req)
+			cancel()
+			if err == nil {
+				if ack, ok := raw.(Ack); ok && ack.OK {
+					acked = true
+					break
+				}
+			}
+			t.store.backoff(ctx, attempt)
+		}
+		if !acked && firstErr == nil {
+			firstErr = fmt.Errorf("%w: no ack from %s", ErrUnavailable, dm)
+		}
+	}
+	return firstErr
+}
+
+// Sub runs fn in a subtransaction. If fn fails the subtransaction is
+// aborted — its locks and buffered writes are discarded — and the error is
+// returned for the parent to handle: a parent may tolerate the abort and
+// continue, exactly the failure-handling the paper's algorithm supports.
+// On success the subtransaction's locks and intentions are inherited by
+// the parent.
+func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.mu.Lock()
+	t.childSeq++
+	child := &Txn{
+		store:   t.store,
+		id:      TxnID(fmt.Sprintf("%s/%d", t.id, t.childSeq)),
+		touched: map[string]bool{},
+	}
+	t.mu.Unlock()
+	if err := fn(child); err != nil {
+		child.abort(ctx)
+		return err
+	}
+	child.done = true
+	if err := t.control(ctx, child.touchedDMs(), CommitSubReq{Txn: child.id}); err != nil {
+		// Could not promote everywhere: the sub's effects would be
+		// partial, so abort it instead.
+		child.done = false
+		child.abort(ctx)
+		return err
+	}
+	t.mu.Lock()
+	for dm := range child.touched {
+		t.touched[dm] = true
+	}
+	t.mu.Unlock()
+	t.store.traceEvent(string(child.id), "sub-commit", "promoted to %s", t.id)
+	return nil
+}
+
+// abort discards the transaction's locks and intentions everywhere it
+// touched (best effort; DMs it cannot reach will shed the state when the
+// top-level transaction resolves or on restart).
+func (t *Txn) abort(ctx context.Context) {
+	t.done = true
+	_ = t.control(ctx, t.touchedDMs(), AbortReq{Txn: t.id})
+	t.store.Stats.Aborts.Inc()
+	t.store.traceEvent(string(t.id), "abort", "discarded at %v", t.touchedDMs())
+}
+
+// Run executes fn as a top-level transaction, restarting it (with a fresh
+// transaction ID) up to Options.TxnRetries times when it aborts due to lock
+// conflicts — the cluster's deadlock/livelock resolution.
+func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
+	start := time.Now()
+	var err error
+	for attempt := 0; attempt <= s.opts.TxnRetries; attempt++ {
+		t := &Txn{
+			store:   s,
+			id:      TxnID(fmt.Sprintf("%s.t%d", s.clientID, s.txnSeq.Add(1))),
+			touched: map[string]bool{},
+		}
+		err = fn(t)
+		if err == nil {
+			err = t.control(ctx, t.touchedDMs(), CommitTopReq{Txn: t.id})
+			if err == nil {
+				t.done = true
+				s.Stats.Commits.Inc()
+				s.Stats.TxnLatency.Observe(time.Since(start))
+				s.traceEvent(string(t.id), "commit", "applied at %v", t.touchedDMs())
+				return nil
+			}
+		}
+		t.abort(ctx)
+		if !errors.Is(err, ErrConflict) || ctx.Err() != nil {
+			return err
+		}
+		s.Stats.Restarts.Inc()
+		s.backoff(ctx, attempt)
+	}
+	return err
+}
+
+// Reconfigure installs a new configuration for item as its own top-level
+// transaction, following Section 4: read (v, t, c, g) from a read-quorum of
+// the current configuration, write (v, t) to a write-quorum of the new
+// configuration, and write (c', g+1) to a write-quorum of the old one (and
+// also of the new one when WriteConfigToBothQuorums is set, Gifford's
+// original rule).
+func (s *Store) Reconfigure(ctx context.Context, item string, newCfg quorum.Config) error {
+	it, ok := s.items[item]
+	if !ok {
+		return fmt.Errorf("cluster: unknown item %q", item)
+	}
+	if err := newCfg.Validate(it.DMs); err != nil {
+		return err
+	}
+	return s.Run(ctx, func(t *Txn) error {
+		res, err := t.readPhase(ctx, item, LockWrite)
+		if err != nil {
+			return err
+		}
+		vw := WriteReq{Txn: t.id, Item: item, VN: res.vn, Val: res.val}
+		if err := t.writeQuorum(ctx, newCfg, func() any { return vw }); err != nil {
+			return err
+		}
+		cw := ConfigWriteReq{Txn: t.id, Item: item, Gen: res.gen + 1, Cfg: newCfg}
+		if err := t.writeQuorum(ctx, res.cfg, func() any { return cw }); err != nil {
+			return err
+		}
+		if s.opts.WriteConfigToBothQuorums {
+			if err := t.writeQuorum(ctx, newCfg, func() any { return cw }); err != nil {
+				return err
+			}
+		}
+		s.observeConfig(item, res.gen+1, newCfg)
+		s.traceEvent(string(t.id), "reconfig", "%s gen %d -> %d", item, res.gen, res.gen+1)
+		return nil
+	})
+}

@@ -1,0 +1,42 @@
+// Package cluster implements the systems-layer realization of the paper's
+// algorithm: a replicated key-value store with nested transactions over the
+// simulated network of internal/sim. TMs run inside the client library and
+// perform quorum reads and version-numbered quorum writes against DM server
+// nodes; DMs implement Moss read/write locking with lock inheritance and
+// intention lists (deferred update), so subtransaction aborts discard work
+// without undo; reconfiguration follows Section 4 with generation-numbered
+// configurations carried on the replicas.
+package cluster
+
+import "strings"
+
+// TxnID names a transaction in the cluster. IDs are hierarchical,
+// "/"-separated paths: a top-level transaction "t42" has subtransactions
+// "t42/0", "t42/1", and so on, mirroring the model layer's transaction
+// tree. A transaction is its own ancestor.
+type TxnID string
+
+// Parent returns the ID of the parent transaction and whether one exists.
+func (t TxnID) Parent() (TxnID, bool) {
+	i := strings.LastIndexByte(string(t), '/')
+	if i < 0 {
+		return "", false
+	}
+	return t[:i], true
+}
+
+// IsAncestorOf reports whether t is an ancestor of other (inclusive).
+func (t TxnID) IsAncestorOf(other TxnID) bool {
+	if t == other {
+		return true
+	}
+	return strings.HasPrefix(string(other), string(t)+"/")
+}
+
+// Top returns the top-level ancestor of t.
+func (t TxnID) Top() TxnID {
+	if i := strings.IndexByte(string(t), '/'); i >= 0 {
+		return t[:i]
+	}
+	return t
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// BlindWriteTM is an intentionally incorrect write-TM used as ablation A2:
+// it skips the version-number discovery read phase and writes its value
+// with a constant version number to a write-quorum. Without the read
+// phase, a second logical write does not dominate the first (version
+// numbers stop being monotone across writers), so reads can return stale
+// values. The A2 test demonstrates that the Lemma 8 checker catches this —
+// i.e. that the paper's read-before-write rule is load-bearing and that
+// the mechanized checks detect real protocol bugs.
+type BlindWriteTM struct {
+	tr    *tree.Tree
+	name  ioa.TxnName
+	item  string
+	cfg   quorum.Config
+	value ioa.Value
+
+	writeChildren []ioa.TxnName
+	dmOf          map[ioa.TxnName]string
+
+	awake     bool
+	requested map[ioa.TxnName]bool
+	written   map[string]bool
+}
+
+var _ ioa.Automaton = (*BlindWriteTM)(nil)
+
+// NewBlindWriteTM builds the faulty TM over the write-access children of
+// node name.
+func NewBlindWriteTM(tr *tree.Tree, name ioa.TxnName, item string, cfg quorum.Config, value ioa.Value) *BlindWriteTM {
+	t := &BlindWriteTM{
+		tr:        tr,
+		name:      name,
+		item:      item,
+		cfg:       cfg,
+		value:     value,
+		dmOf:      map[ioa.TxnName]string{},
+		requested: map[ioa.TxnName]bool{},
+		written:   map[string]bool{},
+	}
+	for _, c := range tr.Children(name) {
+		n := tr.Node(c)
+		if n.Access == tree.WriteAccess {
+			t.writeChildren = append(t.writeChildren, c)
+			t.dmOf[c] = n.Object
+		}
+	}
+	return t
+}
+
+// Name implements ioa.Automaton.
+func (t *BlindWriteTM) Name() string { return string(t.name) }
+
+// HasOp implements ioa.Automaton.
+func (t *BlindWriteTM) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (t *BlindWriteTM) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// Enabled implements ioa.Automaton.
+func (t *BlindWriteTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.writeChildren {
+		if !t.requested[c] {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.cfg.HasWriteQuorum(t.written) {
+		out = append(out, ioa.RequestCommit(t.name, nil))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *BlindWriteTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+	case ioa.OpCommit:
+		t.written[t.dmOf[op.Txn]] = true
+	case ioa.OpAbort:
+	case ioa.OpRequestCreate:
+		if !t.awake || t.requested[op.Txn] {
+			return fmt.Errorf("%w: %v", ioa.ErrNotEnabled, op)
+		}
+		// The bug: no read phase; every write uses version number 1.
+		t.tr.Node(op.Txn).Data = Versioned{VN: 1, Val: t.value}
+		t.requested[op.Txn] = true
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.cfg.HasWriteQuorum(t.written) {
+			return fmt.Errorf("%w: %v", ioa.ErrNotEnabled, op)
+		}
+		t.awake = false
+	default:
+		return fmt.Errorf("blind-write-TM %v: unexpected op %v", t.name, op)
+	}
+	return nil
+}
+
+// BuildBlindWriteSystem builds system B for spec but replaces every
+// write-TM with the faulty BlindWriteTM (ablation A2).
+func BuildBlindWriteSystem(spec Spec) (*SystemB, error) {
+	b, err := BuildB(spec)
+	if err != nil {
+		return nil, err
+	}
+	autos := make([]ioa.Automaton, 0, len(b.Sys.Components()))
+	for _, a := range b.Sys.Components() {
+		if tm, ok := a.(*WriteTM); ok {
+			it, _ := spec.item(tm.Item())
+			autos = append(autos, NewBlindWriteTM(b.Tree, ioa.TxnName(tm.Name()), tm.Item(), it.Config, tm.Value()))
+			continue
+		}
+		autos = append(autos, a)
+	}
+	b.Sys = ioa.NewSystem(autos...)
+	return b, nil
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+)
+
+// paperSpec is the Figure 1 scenario (see PaperSpec in figures.go).
+func paperSpec() Spec { return PaperSpec() }
+
+// run drives system b to quiescence with the given seed and abort bias,
+// checking Lemma 8 after every step.
+func run(t *testing.T, b *SystemB, seed int64, abortWeight float64) ioa.Schedule {
+	t.Helper()
+	d := ioa.NewDriver(b.Sys, seed)
+	d.Bias = func(op ioa.Op) float64 {
+		if op.Kind == ioa.OpAbort {
+			return abortWeight
+		}
+		return 1
+	}
+	d.OnStep = b.Lemma8Checker()
+	sched, quiescent, err := d.Run(100000)
+	if err != nil {
+		t.Fatalf("seed %d: driver: %v\nschedule:\n%v", seed, err, sched)
+	}
+	if !quiescent {
+		t.Fatalf("seed %d: system did not quiesce in 100000 steps", seed)
+	}
+	return sched
+}
+
+func TestPaperScenarioRunsToQuiescence(t *testing.T) {
+	b, err := BuildB(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := run(t, b, 1, 0)
+	if len(sched) == 0 {
+		t.Fatal("empty schedule")
+	}
+	// Without aborts every user transaction commits.
+	for _, u := range b.UserTxns() {
+		found := sched.Index(func(op ioa.Op) bool { return op.Kind == ioa.OpCommit && op.Txn == u })
+		if found < 0 {
+			t.Errorf("user transaction %v did not commit:\n%v", u, sched)
+		}
+	}
+}
+
+func TestScheduleWellFormed(t *testing.T) {
+	b, err := BuildB(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := run(t, b, 2, 0.3)
+	if err := b.Tree.CheckScheduleWellFormed(sched); err != nil {
+		t.Fatalf("serial schedule is not well-formed: %v\n%v", err, sched)
+	}
+}
+
+func TestTheorem10PaperScenario(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		b, err := BuildB(paperSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := run(t, b, seed, 0.2)
+		if err := b.CheckTheorem10(sched); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%v", seed, err, sched)
+		}
+	}
+}
+
+func TestLemma8RandomScenarios(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := RandomSpec(rng, DefaultRandParams())
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run(t, b, seed, 0.1) // Lemma 8 checked on every step
+	}
+}
+
+func TestTheorem10RandomScenarios(t *testing.T) {
+	params := DefaultRandParams()
+	params.RetryAccesses = true
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := RandomSpec(rng, params)
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sched := run(t, b, seed+1000, 0.25)
+		if err := b.CheckTheorem10(sched); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%v", seed, err, sched)
+		}
+	}
+}
+
+func TestSystemBExtendsSystemA(t *testing.T) {
+	spec := paperSpec()
+	b, err := BuildB(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := BuildA(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Tree.IsExtensionOf(a.Tree) {
+		t.Error("system B's tree should extend system A's (Lemma 9)")
+	}
+	if a.Tree.IsExtensionOf(b.Tree) {
+		t.Error("system A's tree should not extend system B's")
+	}
+}
+
+func TestLogicalStateFollowsWrites(t *testing.T) {
+	spec := Spec{
+		Items: []ItemSpec{{
+			Name: "x", Initial: "init",
+			DMs:    []string{"d1", "d2", "d3"},
+			Config: quorum.Majority([]string{"d1", "d2", "d3"}),
+		}},
+		Top: []TxnSpec{
+			Sub("u", WriteItem("w1", "x", "v1"), WriteItem("w2", "x", "v2"), ReadItem("r", "x")),
+		},
+	}
+	// Sequential to force w1 < w2 < r in the access sequence.
+	spec.Top[0].Sequential = true
+	b, err := BuildB(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := run(t, b, 7, 0)
+	if got := b.LogicalState("x", sched); got != "v2" {
+		t.Errorf("logical-state = %v, want v2", got)
+	}
+	if vn := b.CurrentVN("x", sched); vn != 2 {
+		t.Errorf("current-vn = %d, want 2", vn)
+	}
+	// The read-TM must have returned v2.
+	i := sched.Index(func(op ioa.Op) bool {
+		return op.Kind == ioa.OpRequestCommit && op.Txn == "T0/u/r"
+	})
+	if i < 0 {
+		t.Fatal("read-TM never requested to commit")
+	}
+	if sched[i].Val != "v2" {
+		t.Errorf("read-TM returned %v, want v2", sched[i].Val)
+	}
+}
+
+func TestAbortedTMsTolerated(t *testing.T) {
+	// With retry accesses and heavy abort bias, runs complete and the
+	// simulation still holds even when many accesses abort.
+	params := DefaultRandParams()
+	params.RetryAccesses = true
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := RandomSpec(rng, params)
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := run(t, b, seed, 1.5)
+		if err := b.CheckTheorem10(sched); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestProjectToARemovesExactlyReplicaAccesses(t *testing.T) {
+	b, err := BuildB(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := run(t, b, 11, 0.2)
+	alpha := b.ProjectToA(sched)
+	for _, op := range alpha {
+		if b.IsReplicaAccess(op.Txn) {
+			t.Fatalf("projection kept replica-access op %v", op)
+		}
+	}
+	kept := 0
+	for _, op := range sched {
+		if !b.IsReplicaAccess(op.Txn) {
+			kept++
+		}
+	}
+	if len(alpha) != kept {
+		t.Fatalf("projection dropped non-replica ops: %d != %d", len(alpha), kept)
+	}
+}
+
+func TestBuildBValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"duplicate item", Spec{Items: []ItemSpec{
+			{Name: "x", DMs: []string{"d1"}, Config: quorum.ReadOneWriteAll([]string{"d1"})},
+			{Name: "x", DMs: []string{"d2"}, Config: quorum.ReadOneWriteAll([]string{"d2"})},
+		}}},
+		{"shared DM", Spec{Items: []ItemSpec{
+			{Name: "x", DMs: []string{"d"}, Config: quorum.ReadOneWriteAll([]string{"d"})},
+			{Name: "y", DMs: []string{"d"}, Config: quorum.ReadOneWriteAll([]string{"d"})},
+		}}},
+		{"illegal config", Spec{Items: []ItemSpec{{
+			Name: "x", DMs: []string{"d1", "d2"},
+			Config: quorum.Config{R: []quorum.Set{quorum.NewSet("d1")}, W: []quorum.Set{quorum.NewSet("d2")}},
+		}}}},
+		{"unknown item", Spec{
+			Items: []ItemSpec{{Name: "x", DMs: []string{"d1"}, Config: quorum.ReadOneWriteAll([]string{"d1"})}},
+			Top:   []TxnSpec{Sub("u", ReadItem("r", "nope"))},
+		}},
+		{"foreign quorum member", Spec{Items: []ItemSpec{{
+			Name: "x", DMs: []string{"d1"},
+			Config: quorum.Config{R: []quorum.Set{quorum.NewSet("zz")}, W: []quorum.Set{quorum.NewSet("zz")}},
+		}}}},
+		{"object collides with system-A item object", Spec{
+			Items:   []ItemSpec{{Name: "x", DMs: []string{"d1"}, Config: quorum.ReadOneWriteAll([]string{"d1"})}},
+			Objects: []ObjectSpec{{Name: "O(x)"}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildB(tc.spec); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The same seed over the same scenario reproduces the same schedule,
+	// and the schedule replays cleanly on a fresh instance of B.
+	spec := paperSpec()
+	b1, _ := BuildB(spec)
+	s1 := run(t, b1, 42, 0.2)
+	b2, _ := BuildB(spec)
+	s2 := run(t, b2, 42, 0.2)
+	if !s1.Equal(s2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	b3, _ := BuildB(spec)
+	if i, err := b3.Sys.Replay(s1); err != nil {
+		t.Fatalf("replay failed at %d: %v", i, err)
+	}
+}
+
+func ExampleSystemB_CheckTheorem10() {
+	spec := Spec{
+		Items: []ItemSpec{{
+			Name: "x", Initial: 0,
+			DMs:    []string{"x1", "x2", "x3"},
+			Config: quorum.Majority([]string{"x1", "x2", "x3"}),
+		}},
+		Top: []TxnSpec{Sub("u", WriteItem("w", "x", 42), ReadItem("r", "x"))},
+	}
+	spec.Top[0].Sequential = true
+	b, _ := BuildB(spec)
+	d := ioa.NewDriver(b.Sys, 1)
+	d.Bias = func(op ioa.Op) float64 {
+		if op.Kind == ioa.OpAbort {
+			return 0 // failure-free run
+		}
+		return 1
+	}
+	sched, _, _ := d.Run(10000)
+	fmt.Println("theorem 10:", b.CheckTheorem10(sched) == nil)
+	fmt.Println("logical state:", b.LogicalState("x", sched))
+	// Output:
+	// theorem 10: true
+	// logical state: 42
+}

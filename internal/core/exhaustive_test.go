@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+)
+
+// tinySpec is small enough to explore exhaustively: one item on two DMs
+// (read-one/write-all), one user transaction with a write then a read.
+func tinySpec() Spec {
+	dms := []string{"d1", "d2"}
+	spec := Spec{
+		Items: []ItemSpec{{
+			Name: "x", Initial: 0, DMs: dms, Config: quorum.ReadOneWriteAll(dms),
+		}},
+		Top: []TxnSpec{Sub("u", WriteItem("w", "x", 1), ReadItem("r", "x"))},
+	}
+	spec.Top[0].Sequential = true
+	return spec
+}
+
+// TestExhaustiveLemma8NoAborts verifies the Lemma 8 invariant on EVERY
+// schedule of the tiny scenario's system B with aborts pruned — complete
+// coverage of the failure-free state space, not sampling.
+func TestExhaustiveLemma8NoAborts(t *testing.T) {
+	spec := tinySpec()
+	// Build stashes the SystemB handle so Visit can check the invariant on
+	// the very instance the explorer replayed into.
+	var cur *SystemB
+	ex := &ioa.Explorer{
+		Build: func() (*ioa.System, error) {
+			b, err := BuildB(spec)
+			if err != nil {
+				return nil, err
+			}
+			cur = b
+			return b.Sys, nil
+		},
+		Prune: func(op ioa.Op, _ int) bool { return op.Kind == ioa.OpAbort },
+	}
+	if testing.Short() {
+		ex.Budget = 50000
+	}
+	ex.Visit = func(sys *ioa.System, sched ioa.Schedule) error {
+		for _, it := range spec.Items {
+			if err := cur.CheckLemma8(it.Name, sched); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := ex.Run()
+	if err != nil && !errors.Is(err, ioa.ErrExploreBudget) {
+		t.Fatal(err)
+	}
+	if ex.Visited() < 1000 {
+		t.Fatalf("suspiciously small state space: %d schedules", ex.Visited())
+	}
+	t.Logf("exhaustively verified Lemma 8 over %d schedules (full space: %v)", ex.Visited(), err == nil)
+}
+
+// TestExhaustiveTheorem10WithAborts verifies the Theorem 10 simulation on
+// every complete (quiescent) schedule of the tiny scenario, with aborts
+// included but the state space bounded by budget.
+func TestExhaustiveTheorem10WithAborts(t *testing.T) {
+	spec := tinySpec()
+	quiescentChecked := 0
+	var cur *SystemB
+	ex := &ioa.Explorer{
+		Build: func() (*ioa.System, error) {
+			b, err := BuildB(spec)
+			if err != nil {
+				return nil, err
+			}
+			cur = b
+			return b.Sys, nil
+		},
+		Budget: 60000,
+	}
+	if testing.Short() {
+		ex.Budget = 15000
+	}
+	ex.Visit = func(sys *ioa.System, sched ioa.Schedule) error {
+		if len(sys.Enabled()) > 0 {
+			return nil // only check maximal schedules; prefixes are covered by extension
+		}
+		quiescentChecked++
+		return cur.CheckTheorem10(sched)
+	}
+	err := ex.Run()
+	if err != nil && !errors.Is(err, ioa.ErrExploreBudget) {
+		t.Fatal(err)
+	}
+	if quiescentChecked == 0 {
+		t.Fatal("no quiescent schedules reached within budget")
+	}
+	t.Logf("theorem 10 verified on %d quiescent schedules (%d visited, budget hit: %v)",
+		quiescentChecked, ex.Visited(), errors.Is(err, ioa.ErrExploreBudget))
+}
+
+// TestExhaustiveEverySchedulePrefixClosed checks a structural property on
+// the full bounded tree: every prefix of a schedule is a schedule (the
+// definition of schedules as behaviors of an automaton), exercised by the
+// explorer's replay machinery itself.
+func TestExhaustiveEverySchedulePrefixClosed(t *testing.T) {
+	spec := tinySpec()
+	ex := &ioa.Explorer{
+		Build: func() (*ioa.System, error) {
+			b, err := BuildB(spec)
+			if err != nil {
+				return nil, err
+			}
+			return b.Sys, nil
+		},
+		MaxDepth: 14,
+		Prune:    func(op ioa.Op, _ int) bool { return op.Kind == ioa.OpAbort },
+	}
+	ex.Visit = func(sys *ioa.System, sched ioa.Schedule) error {
+		// Well-formedness must hold for every prefix (the paper: all
+		// serial schedules are well-formed).
+		b, err := BuildB(spec)
+		if err != nil {
+			return err
+		}
+		return b.Tree.CheckScheduleWellFormed(sched)
+	}
+	if err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

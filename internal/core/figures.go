@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// PaperSpec returns the scenario of the paper's Figure 1: one replicated
+// logical data item x implemented by three DMs (x1, x2, x3), two
+// non-replica objects a and b, and user transactions that mix non-replica
+// accesses with logical reads and writes of x. Building system B from it
+// yields the Figure 1 transaction tree; building system A yields Figure 2.
+func PaperSpec() Spec {
+	dms := []string{"x1", "x2", "x3"}
+	return Spec{
+		Items: []ItemSpec{{
+			Name:    "x",
+			Initial: 0,
+			DMs:     dms,
+			Config:  quorum.Majority(dms),
+		}},
+		Objects: []ObjectSpec{
+			{Name: "a", Initial: "a0"},
+			{Name: "b", Initial: "b0"},
+		},
+		Top: []TxnSpec{
+			Sub("u1",
+				AccessObject("a", "a", tree.ReadAccess, nil),
+				ReadItem("r1", "x"),
+				WriteItem("w1", "x", 7),
+			),
+			Sub("u2",
+				WriteItem("w2", "x", 9),
+				AccessObject("b", "b", tree.WriteAccess, "b1"),
+				ReadItem("r2", "x"),
+			),
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// CheckLemma8 verifies the two conclusions of Lemma 8 for item x after the
+// schedule beta of system b, provided access(x, β) has even length (i.e. no
+// logical access to x is in progress):
+//
+//  1. (a) some write-quorum q ∈ config(x).w exists such that every DM in q
+//     holds version number current-vn(x, β), and (b) every DM holding
+//     version number current-vn(x, β) holds value logical-state(x, β);
+//  2. if β ends in REQUEST-COMMIT(T, u) with T ∈ tm_r(x), then
+//     u = logical-state(x, β).
+//
+// The DM states are read from the live object automata of b, which must be
+// in the state reached by executing beta.
+func (b *SystemB) CheckLemma8(item string, beta ioa.Schedule) error {
+	acc := b.AccessSequence(item, beta)
+	if len(acc)%2 != 0 {
+		return nil // a logical access is in progress; the lemma does not apply
+	}
+	it, ok := b.Spec.item(item)
+	if !ok {
+		return fmt.Errorf("lemma8: unknown item %q", item)
+	}
+	vn := b.CurrentVN(item, beta)
+	state := b.LogicalState(item, beta)
+
+	// Condition 1(a): a write-quorum entirely at current-vn.
+	atVN := map[string]bool{}
+	for _, dm := range it.DMs {
+		d, ok := b.DMs[dm].Data().(Versioned)
+		if !ok {
+			return fmt.Errorf("lemma8: DM %s holds non-versioned data %v", dm, b.DMs[dm].Data())
+		}
+		if d.VN == vn {
+			atVN[dm] = true
+		}
+		// Condition 1(b): DMs at current-vn hold the logical state.
+		if d.VN == vn && !reflect.DeepEqual(d.Val, state) {
+			return fmt.Errorf("lemma8(1b): item %s: DM %s at vn %d holds %v, logical-state is %v", item, dm, vn, d.Val, state)
+		}
+		if d.VN > vn {
+			return fmt.Errorf("lemma8: item %s: DM %s holds vn %d above current-vn %d (Lemma 7 violated)", item, dm, d.VN, vn)
+		}
+	}
+	if !it.Config.HasWriteQuorum(atVN) {
+		return fmt.Errorf("lemma8(1a): item %s: no write-quorum holds current-vn %d (DMs at vn: %v)", item, vn, atVN)
+	}
+
+	// Condition 2: a read-TM's REQUEST-COMMIT returns the logical state.
+	if len(beta) > 0 {
+		last := beta[len(beta)-1]
+		if last.Kind == ioa.OpRequestCommit && b.tms[last.Txn] == item &&
+			b.Tree.Node(last.Txn).Kind() == tree.KindReadTM {
+			if !reflect.DeepEqual(last.Val, state) {
+				return fmt.Errorf("lemma8(2): item %s: read-TM %v returned %v, logical-state is %v", item, last.Txn, last.Val, state)
+			}
+		}
+	}
+	return nil
+}
+
+// Lemma8Checker returns a driver OnStep hook checking Lemma 8 for every
+// item after every step.
+func (b *SystemB) Lemma8Checker() func(op ioa.Op, sched ioa.Schedule) error {
+	return func(_ ioa.Op, sched ioa.Schedule) error {
+		for _, it := range b.Spec.Items {
+			if err := b.CheckLemma8(it.Name, sched); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

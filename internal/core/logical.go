@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// AccessSequence returns access(x, β): the subsequence of β containing the
+// CREATE and REQUEST-COMMIT operations for the members of tm(x) — the
+// sequence of logical accesses to x (paper Section 3.1).
+func (b *SystemB) AccessSequence(item string, beta ioa.Schedule) ioa.Schedule {
+	return beta.Filter(func(op ioa.Op) bool {
+		if op.Kind != ioa.OpCreate && op.Kind != ioa.OpRequestCommit {
+			return false
+		}
+		return b.tms[op.Txn] == item
+	})
+}
+
+// LogicalState returns logical-state(x, β): value(T) of the last write-TM
+// whose REQUEST-COMMIT appears in access(x, β), or i_x if there is none —
+// the expected return value of a logical read after β.
+func (b *SystemB) LogicalState(item string, beta ioa.Schedule) ioa.Value {
+	var state ioa.Value
+	if it, ok := b.Spec.item(item); ok {
+		state = it.Initial
+	}
+	for _, op := range beta {
+		if op.Kind != ioa.OpRequestCommit || b.tms[op.Txn] != item {
+			continue
+		}
+		if n := b.Tree.Node(op.Txn); n.Kind() == tree.KindWriteTM {
+			state = n.Data // value(T)
+		}
+	}
+	return state
+}
+
+// CurrentVN returns current-vn(x, β): with last(x, β) the set of accesses T
+// in acc(x) whose REQUEST-COMMIT is the last REQUEST-COMMIT of a write
+// access to O(T) in β, current-vn is the maximum data(T).version-number
+// over last(x, β), or 0 if the set is empty.
+func (b *SystemB) CurrentVN(item string, beta ioa.Schedule) int {
+	lastPerDM := map[string]ioa.TxnName{}
+	for _, op := range beta {
+		if op.Kind != ioa.OpRequestCommit {
+			continue
+		}
+		n := b.Tree.Node(op.Txn)
+		if n == nil || !n.IsAccess() || n.Item != item || n.Access != tree.WriteAccess {
+			continue
+		}
+		lastPerDM[n.Object] = op.Txn
+	}
+	vn := 0
+	for _, acc := range lastPerDM {
+		if d, ok := b.Tree.Node(acc).Data.(Versioned); ok && d.VN > vn {
+			vn = d.VN
+		}
+	}
+	return vn
+}

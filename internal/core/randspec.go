@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// RandParams bounds the shape of randomly generated scenarios.
+type RandParams struct {
+	MaxItems    int // replicated items (≥1)
+	MaxDMs      int // DMs per item (≥1)
+	MaxObjects  int // non-replicated objects
+	MaxTop      int // top-level user transactions (≥1)
+	MaxChildren int // children per user transaction (≥1)
+	MaxDepth    int // nesting depth of user transactions (≥1)
+	// RetryAccesses gives TMs two accesses per DM instead of one, so a TM
+	// can tolerate an aborted access and still reach a quorum.
+	RetryAccesses bool
+	// DeadlockAverse shapes user transactions for lock-based concurrent
+	// schedulers: every user transaction is sequential and performs its
+	// logical writes before its logical reads, so no transaction acquires
+	// read locks it later needs to upgrade. (Cross-item cycles remain
+	// possible; lock-based systems resolve those by restarting, which the
+	// cluster layer implements and the model layer sidesteps by workload.)
+	DeadlockAverse bool
+}
+
+// DefaultRandParams returns the bounds used by the property tests.
+func DefaultRandParams() RandParams {
+	return RandParams{MaxItems: 3, MaxDMs: 4, MaxObjects: 2, MaxTop: 3, MaxChildren: 3, MaxDepth: 3}
+}
+
+// RandomSpec generates a valid random scenario: items with random DM counts
+// and random legal configurations, a few plain objects, and a random
+// user-transaction forest mixing nested transactions, logical reads/writes,
+// and non-replica accesses, with random behavior knobs.
+func RandomSpec(rng *rand.Rand, p RandParams) Spec {
+	var spec Spec
+	nItems := 1 + rng.Intn(p.MaxItems)
+	for i := 0; i < nItems; i++ {
+		name := fmt.Sprintf("x%d", i)
+		nDMs := 1 + rng.Intn(p.MaxDMs)
+		dms := make([]string, nDMs)
+		for j := range dms {
+			dms[j] = fmt.Sprintf("%s.dm%d", name, j)
+		}
+		spec.Items = append(spec.Items, ItemSpec{
+			Name:    name,
+			Initial: rng.Intn(100),
+			DMs:     dms,
+			Config:  randomConfig(rng, dms),
+		})
+	}
+	for i := 0; i < rng.Intn(p.MaxObjects+1); i++ {
+		spec.Objects = append(spec.Objects, ObjectSpec{Name: fmt.Sprintf("obj%d", i), Initial: rng.Intn(100)})
+	}
+	if p.RetryAccesses {
+		spec.ReadAccessesPerDM = 2
+		spec.WriteAccessesPerDM = 2
+	}
+
+	valueSeq := 1000
+	var gen func(depth int) []TxnSpec
+	gen = func(depth int) []TxnSpec {
+		n := 1 + rng.Intn(p.MaxChildren)
+		out := make([]TxnSpec, 0, n)
+		for i := 0; i < n; i++ {
+			label := fmt.Sprintf("t%d", i)
+			switch {
+			case depth < p.MaxDepth && rng.Float64() < 0.4:
+				sub := Sub(label, gen(depth+1)...)
+				sub.Sequential = rng.Float64() < 0.5
+				sub.Eager = rng.Float64() < 0.2
+				out = append(out, sub)
+			case rng.Float64() < 0.5:
+				it := spec.Items[rng.Intn(len(spec.Items))]
+				out = append(out, ReadItem(label, it.Name))
+			case len(spec.Objects) > 0 && rng.Float64() < 0.25:
+				obj := spec.Objects[rng.Intn(len(spec.Objects))]
+				kind := tree.ReadAccess
+				var val any
+				if rng.Float64() < 0.5 {
+					kind = tree.WriteAccess
+					val = rng.Intn(100)
+				}
+				out = append(out, AccessObject(label, obj.Name, kind, val))
+			default:
+				it := spec.Items[rng.Intn(len(spec.Items))]
+				valueSeq++
+				out = append(out, WriteItem(label, it.Name, valueSeq))
+			}
+		}
+		return out
+	}
+	nTop := 1 + rng.Intn(p.MaxTop)
+	for i := 0; i < nTop; i++ {
+		top := Sub(fmt.Sprintf("u%d", i), gen(1)...)
+		top.Sequential = rng.Float64() < 0.5
+		spec.Top = append(spec.Top, top)
+	}
+	if p.DeadlockAverse {
+		for i := range spec.Top {
+			makeDeadlockAverse(&spec.Top[i])
+		}
+	}
+	return spec
+}
+
+// makeDeadlockAverse rewrites a user-transaction spec in place: sequential
+// execution with logical writes ordered before logical reads at every
+// nesting level.
+func makeDeadlockAverse(t *TxnSpec) {
+	if t.Kind != StepSub {
+		return
+	}
+	t.Sequential = true
+	t.Eager = false
+	var writes, rest []TxnSpec
+	for i := range t.Children {
+		makeDeadlockAverse(&t.Children[i])
+		if t.Children[i].Kind == StepWriteItem {
+			writes = append(writes, t.Children[i])
+		} else {
+			rest = append(rest, t.Children[i])
+		}
+	}
+	t.Children = append(writes, rest...)
+}
+
+// randomConfig picks a random legal configuration over dms: one of the
+// standard strategies, or a voting configuration with random votes.
+func randomConfig(rng *rand.Rand, dms []string) quorum.Config {
+	switch rng.Intn(4) {
+	case 0:
+		return quorum.ReadOneWriteAll(dms)
+	case 1:
+		return quorum.Majority(dms)
+	case 2:
+		// Weighted voting with random votes; retry until thresholds valid.
+		votes := map[string]int{}
+		total := 0
+		for _, d := range dms {
+			v := 1 + rng.Intn(3)
+			votes[d] = v
+			total += v
+		}
+		wq := total/2 + 1 + rng.Intn((total+1)-(total/2+1))
+		if wq > total {
+			wq = total
+		}
+		minRQ := total - wq + 1
+		rq := minRQ + rng.Intn(total-minRQ+1)
+		cfg, err := quorum.Voting(votes, rq, wq)
+		if err == nil {
+			return cfg
+		}
+		return quorum.Majority(dms)
+	default:
+		// Read-all/write-all: the single quorum for both.
+		all := quorum.NewSet(dms...)
+		return quorum.Config{R: []quorum.Set{all.Clone()}, W: []quorum.Set{all}}
+	}
+}

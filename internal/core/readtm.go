@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// ReadTM is the read transaction manager automaton for a logical data item
+// (paper Section 3.1). It performs a logical read: it invokes read accesses
+// to DMs for x, always keeping the data from the DM with the highest
+// version number seen so far, and once COMMIT operations have been received
+// from some read-quorum of DMs it may request to commit, returning the
+// value component of its data.
+//
+// The automaton is deliberately nondeterministic, exactly as in the paper:
+// it does not set out to access a particular read-quorum, it simply invokes
+// accesses until it notices that commits from some read-quorum have
+// arrived. ABORT of a child has no postconditions.
+type ReadTM struct {
+	tr   *tree.Tree
+	name ioa.TxnName
+	item string
+	cfg  quorum.Config
+
+	children []ioa.TxnName          // read-access children, in tree order
+	dmOf     map[ioa.TxnName]string // O(T') for each child T'
+
+	// sequential restricts the TM to one outstanding access at a time,
+	// requested in child order (Spec.SequentialTMs).
+	sequential bool
+
+	awake       bool
+	data        Versioned
+	requested   map[ioa.TxnName]bool
+	outstanding int             // requested children that have not returned
+	read        map[string]bool // DMs whose accesses have committed
+}
+
+var _ ioa.Automaton = (*ReadTM)(nil)
+
+// NewReadTM builds the automaton for the read-TM node named name in tr,
+// whose children are read accesses to the DMs of item (Object field holds
+// the DM name). initial is (0, i_x), the initial data.
+func NewReadTM(tr *tree.Tree, name ioa.TxnName, item string, cfg quorum.Config, initial Versioned) *ReadTM {
+	t := &ReadTM{
+		tr:        tr,
+		name:      name,
+		item:      item,
+		cfg:       cfg,
+		dmOf:      map[ioa.TxnName]string{},
+		data:      initial,
+		requested: map[ioa.TxnName]bool{},
+		read:      map[string]bool{},
+	}
+	for _, c := range tr.Children(name) {
+		n := tr.Node(c)
+		t.children = append(t.children, c)
+		t.dmOf[c] = n.Object
+	}
+	return t
+}
+
+// SetSequential switches the TM to single-outstanding, in-order access
+// requests (see Spec.SequentialTMs).
+func (t *ReadTM) SetSequential(on bool) { t.sequential = on }
+
+// requestCreateEnabled reports whether the TM may request child c now.
+func (t *ReadTM) requestCreateEnabled(c ioa.TxnName) bool {
+	if !t.awake || t.requested[c] {
+		return false
+	}
+	if !t.sequential {
+		return true
+	}
+	if t.outstanding > 0 {
+		return false
+	}
+	for _, prev := range t.children {
+		if prev == c {
+			return true
+		}
+		if !t.requested[prev] {
+			return false
+		}
+	}
+	return false
+}
+
+// Name implements ioa.Automaton.
+func (t *ReadTM) Name() string { return string(t.name) }
+
+// Item returns the logical data item this TM reads.
+func (t *ReadTM) Item() string { return t.item }
+
+// HasOp implements ioa.Automaton.
+func (t *ReadTM) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (t *ReadTM) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// hasReadQuorum reports whether read(s) contains some read-quorum of the
+// configuration.
+func (t *ReadTM) hasReadQuorum() bool { return t.cfg.HasReadQuorum(t.read) }
+
+// Enabled implements ioa.Automaton.
+func (t *ReadTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.children {
+		if t.requestCreateEnabled(c) {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.hasReadQuorum() {
+		out = append(out, ioa.RequestCommit(t.name, t.data.Val))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *ReadTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+	case ioa.OpCommit:
+		d, ok := op.Val.(Versioned)
+		if !ok {
+			return fmt.Errorf("read-TM %v: COMMIT(%v) value %v is not versioned", t.name, op.Txn, op.Val)
+		}
+		t.read[t.dmOf[op.Txn]] = true
+		if d.VN > t.data.VN {
+			t.data = d
+		}
+		t.outstanding--
+	case ioa.OpAbort:
+		// The paper's automaton has no postconditions here; tracking the
+		// return is the efficiency heuristic sequential mode relies on.
+		t.outstanding--
+	case ioa.OpRequestCreate:
+		if !t.requestCreateEnabled(op.Txn) {
+			return fmt.Errorf("%w: %v by read-TM %v", ioa.ErrNotEnabled, op, t.name)
+		}
+		t.requested[op.Txn] = true
+		t.outstanding++
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.hasReadQuorum() {
+			return fmt.Errorf("%w: %v: no read-quorum read", ioa.ErrNotEnabled, op)
+		}
+		if !reflect.DeepEqual(op.Val, t.data.Val) {
+			return fmt.Errorf("%w: %v: state requires value %v", ioa.ErrNotEnabled, op, t.data.Val)
+		}
+		t.awake = false
+	default:
+		return fmt.Errorf("read-TM %v: unexpected op %v", t.name, op)
+	}
+	return nil
+}

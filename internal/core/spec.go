@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+	"repro/internal/txn"
+)
+
+// StepKind classifies a node of a scenario's user-transaction tree.
+type StepKind int
+
+// Scenario step kinds. Sub transactions nest; ReadItem and WriteItem are
+// logical accesses to replicated items (TMs in system B, accesses in system
+// A); AccessObject is a direct access to a non-replicated basic object,
+// identical in both systems.
+const (
+	StepSub StepKind = iota + 1
+	StepReadItem
+	StepWriteItem
+	StepAccessObject
+)
+
+// TxnSpec describes one user transaction or logical access in a scenario.
+type TxnSpec struct {
+	// Label names the node; it must be unique among its siblings.
+	Label string
+	Kind  StepKind
+
+	// Item is the logical data item (ReadItem/WriteItem).
+	Item string
+	// Value is the value written (WriteItem, or AccessObject with a write).
+	Value ioa.Value
+
+	// Object and Access describe a non-replica access (AccessObject).
+	Object string
+	Access tree.AccessKind
+
+	// Children are the sub-steps of a Sub transaction.
+	Children []TxnSpec
+
+	// Sequential and Eager select the user-transaction behavior (StepSub).
+	Sequential bool
+	Eager      bool
+	// ValueFn computes the commit value of a Sub transaction.
+	ValueFn txn.ValueFn
+}
+
+// Sub builds a nested user transaction spec.
+func Sub(label string, children ...TxnSpec) TxnSpec {
+	return TxnSpec{Label: label, Kind: StepSub, Children: children}
+}
+
+// ReadItem builds a logical-read spec for item.
+func ReadItem(label, item string) TxnSpec {
+	return TxnSpec{Label: label, Kind: StepReadItem, Item: item}
+}
+
+// WriteItem builds a logical-write spec for item with the given value.
+func WriteItem(label, item string, value ioa.Value) TxnSpec {
+	return TxnSpec{Label: label, Kind: StepWriteItem, Item: item, Value: value}
+}
+
+// AccessObject builds a direct access spec to a non-replicated object.
+func AccessObject(label, obj string, kind tree.AccessKind, value ioa.Value) TxnSpec {
+	return TxnSpec{Label: label, Kind: StepAccessObject, Object: obj, Access: kind, Value: value}
+}
+
+// ItemSpec describes a replicated logical data item: its domain's initial
+// value i_x, the DMs implementing it (dm(x) — disjoint across items), and
+// its legal quorum configuration.
+type ItemSpec struct {
+	Name    string
+	Initial ioa.Value
+	DMs     []string
+	Config  quorum.Config
+}
+
+// ObjectSpec describes a non-replicated basic object present in both
+// systems.
+type ObjectSpec struct {
+	Name    string
+	Initial ioa.Value
+}
+
+// Spec is a complete scenario: the replicated items, the plain objects, and
+// the user transaction forest under T0.
+type Spec struct {
+	Items   []ItemSpec
+	Objects []ObjectSpec
+	Top     []TxnSpec
+
+	// ReadAccessesPerDM is how many read-access children each TM gets per
+	// DM (default 1). Values above 1 let a TM retry a DM whose access
+	// aborted, exercising the algorithm's abort tolerance.
+	ReadAccessesPerDM int
+	// WriteAccessesPerDM is the analogous knob for write accesses of
+	// write-TMs (default 1).
+	WriteAccessesPerDM int
+
+	// SequentialTMs restricts each TM to one outstanding access at a time,
+	// requested in a fixed (DM-name) order. The paper's TMs are maximally
+	// nondeterministic and note that efficiency heuristics like this one
+	// preserve all results ("all of our results apply even if such
+	// heuristics are added"); under a lock-based concurrent scheduler,
+	// ordered single-outstanding acquisition is what keeps quorum gathering
+	// deadlock-averse, with scheduler aborts acting as lock-wait timeouts.
+	SequentialTMs bool
+}
+
+// Validate checks the scenario's static requirements: unique item names,
+// DM sets disjoint across items (dm(x) ∩ dm(y) = ∅), legal configurations
+// over the item's DMs, and references resolving.
+func (s Spec) Validate() error {
+	items := map[string]ItemSpec{}
+	dmOwner := map[string]string{}
+	for _, it := range s.Items {
+		if _, dup := items[it.Name]; dup {
+			return fmt.Errorf("spec: duplicate item %q", it.Name)
+		}
+		if len(it.DMs) == 0 {
+			return fmt.Errorf("spec: item %q has no DMs", it.Name)
+		}
+		items[it.Name] = it
+		for _, d := range it.DMs {
+			if owner, dup := dmOwner[d]; dup {
+				return fmt.Errorf("spec: DM %q belongs to both %q and %q", d, owner, it.Name)
+			}
+			dmOwner[d] = it.Name
+		}
+		if err := it.Config.Validate(it.DMs); err != nil {
+			return fmt.Errorf("spec: item %q: %w", it.Name, err)
+		}
+	}
+	objects := map[string]bool{}
+	for _, o := range s.Objects {
+		if objects[o.Name] {
+			return fmt.Errorf("spec: duplicate object %q", o.Name)
+		}
+		if dmOwner[o.Name] != "" {
+			return fmt.Errorf("spec: object %q collides with a DM name", o.Name)
+		}
+		for _, it := range s.Items {
+			if o.Name == "O("+it.Name+")" {
+				return fmt.Errorf("spec: object %q collides with item %q's object in system A", o.Name, it.Name)
+			}
+		}
+		objects[o.Name] = true
+	}
+	var walk func(path string, ts []TxnSpec) error
+	walk = func(path string, ts []TxnSpec) error {
+		seen := map[string]bool{}
+		for _, t := range ts {
+			if t.Label == "" || seen[t.Label] {
+				return fmt.Errorf("spec: missing or duplicate label %q under %s", t.Label, path)
+			}
+			seen[t.Label] = true
+			switch t.Kind {
+			case StepSub:
+				if err := walk(path+"/"+t.Label, t.Children); err != nil {
+					return err
+				}
+			case StepReadItem, StepWriteItem:
+				if _, ok := items[t.Item]; !ok {
+					return fmt.Errorf("spec: %s/%s references unknown item %q", path, t.Label, t.Item)
+				}
+			case StepAccessObject:
+				if !objects[t.Object] {
+					return fmt.Errorf("spec: %s/%s references unknown object %q", path, t.Label, t.Object)
+				}
+				if t.Access != tree.ReadAccess && t.Access != tree.WriteAccess {
+					return fmt.Errorf("spec: %s/%s has no access kind", path, t.Label)
+				}
+			default:
+				return fmt.Errorf("spec: %s/%s has unknown kind %d", path, t.Label, int(t.Kind))
+			}
+		}
+		return nil
+	}
+	return walk("T0", s.Top)
+}
+
+// readsPerDM returns the effective ReadAccessesPerDM.
+func (s Spec) readsPerDM() int {
+	if s.ReadAccessesPerDM <= 0 {
+		return 1
+	}
+	return s.ReadAccessesPerDM
+}
+
+// writesPerDM returns the effective WriteAccessesPerDM.
+func (s Spec) writesPerDM() int {
+	if s.WriteAccessesPerDM <= 0 {
+		return 1
+	}
+	return s.WriteAccessesPerDM
+}
+
+// item returns the ItemSpec with the given name.
+func (s Spec) item(name string) (ItemSpec, bool) {
+	for _, it := range s.Items {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return ItemSpec{}, false
+}

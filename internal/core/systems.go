@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/object"
+	"repro/internal/serial"
+	"repro/internal/tree"
+	"repro/internal/txn"
+)
+
+// SystemB is the replicated serial system of Section 3.1: logical data
+// items implemented as collections of DMs, with logical accesses managed by
+// read- and write-TM automata, composed with a serial scheduler.
+type SystemB struct {
+	Spec Spec
+	Sys  *ioa.System
+	Tree *tree.Tree
+
+	// DMs maps each DM name to its read-write object automaton.
+	DMs map[string]*object.RW
+	// dmItem maps a DM name to the item it replicates.
+	dmItem map[string]string
+	// tms maps a TM transaction name to its item.
+	tms map[ioa.TxnName]string
+}
+
+// SystemA is the corresponding non-replicated serial system of Section 3.2:
+// the same user transactions, with each logical data item implemented as a
+// single read-write object O(x) and the former TMs as its accesses.
+type SystemA struct {
+	Spec Spec
+	Sys  *ioa.System
+	Tree *tree.Tree
+
+	// Objects maps each logical item name to its read-write object O(x).
+	Objects map[string]*object.RW
+}
+
+// objectName returns the name of O(x) in system A.
+func objectName(item string) string { return "O(" + item + ")" }
+
+// buildUserTree adds the user-transaction forest of spec under T0,
+// specializing logical accesses per system: expand decides whether a
+// ReadItem/WriteItem spec becomes a TM subtree (system B) or a single
+// access to O(x) (system A). It returns the user-transaction nodes created.
+func buildUserTree(spec Spec, tr *tree.Tree, replicated bool) ([]*tree.Node, error) {
+	var users []*tree.Node
+	var walk func(parent ioa.TxnName, ts []TxnSpec) error
+	walk = func(parent ioa.TxnName, ts []TxnSpec) error {
+		for _, t := range ts {
+			switch t.Kind {
+			case StepSub:
+				n, err := tr.AddChild(parent, t.Label, tree.KindUser)
+				if err != nil {
+					return err
+				}
+				users = append(users, n)
+				if err := walk(n.Name(), t.Children); err != nil {
+					return err
+				}
+			case StepReadItem, StepWriteItem:
+				if replicated {
+					if err := addTMSubtree(spec, tr, parent, t); err != nil {
+						return err
+					}
+				} else if err := addLogicalAccess(tr, parent, t); err != nil {
+					return err
+				}
+			case StepAccessObject:
+				n, err := tr.AddChild(parent, t.Label, tree.KindAccess)
+				if err != nil {
+					return err
+				}
+				n.Object = t.Object
+				n.Access = t.Access
+				n.Data = t.Value
+			}
+		}
+		return nil
+	}
+	if err := walk(tree.Root, spec.Top); err != nil {
+		return nil, err
+	}
+	return users, nil
+}
+
+// addTMSubtree adds a read- or write-TM node plus its replica-access
+// children for system B.
+func addTMSubtree(spec Spec, tr *tree.Tree, parent ioa.TxnName, t TxnSpec) error {
+	it, ok := spec.item(t.Item)
+	if !ok {
+		return fmt.Errorf("core: unknown item %q", t.Item)
+	}
+	kind := tree.KindReadTM
+	if t.Kind == StepWriteItem {
+		kind = tree.KindWriteTM
+	}
+	tm, err := tr.AddChild(parent, t.Label, kind)
+	if err != nil {
+		return err
+	}
+	tm.Item = t.Item
+	tm.Data = t.Value
+	for _, dm := range it.DMs {
+		for i := 1; i <= spec.readsPerDM(); i++ {
+			a := tr.MustAddChild(tm.Name(), fmt.Sprintf("r%d.%s", i, dm), tree.KindAccess)
+			a.Object = dm
+			a.Access = tree.ReadAccess
+			a.Item = t.Item
+		}
+		if t.Kind == StepWriteItem {
+			for i := 1; i <= spec.writesPerDM(); i++ {
+				a := tr.MustAddChild(tm.Name(), fmt.Sprintf("w%d.%s", i, dm), tree.KindAccess)
+				a.Object = dm
+				a.Access = tree.WriteAccess
+				a.Item = t.Item
+				// Data is bound by the write-TM at REQUEST-CREATE time.
+			}
+		}
+	}
+	return nil
+}
+
+// addLogicalAccess adds the system-A access T_BA(tm): an access to O(x)
+// with the same name the TM has in system B.
+func addLogicalAccess(tr *tree.Tree, parent ioa.TxnName, t TxnSpec) error {
+	n, err := tr.AddChild(parent, t.Label, tree.KindAccess)
+	if err != nil {
+		return err
+	}
+	n.Object = objectName(t.Item)
+	n.Item = t.Item
+	if t.Kind == StepWriteItem {
+		n.Access = tree.WriteAccess
+		n.Data = t.Value
+	} else {
+		n.Access = tree.ReadAccess
+	}
+	return nil
+}
+
+// userOptions converts a TxnSpec's behavior knobs into txn options.
+func userOptions(t TxnSpec) []txn.Option {
+	var opts []txn.Option
+	if t.Sequential {
+		opts = append(opts, txn.Sequential())
+	}
+	if t.Eager {
+		opts = append(opts, txn.Eager())
+	}
+	if t.ValueFn != nil {
+		opts = append(opts, txn.WithValue(t.ValueFn))
+	}
+	return opts
+}
+
+// collectUserAutomata instantiates the user-transaction automata for the
+// scenario over the given tree (shared by systems A and B, whose user trees
+// are identical above the TM level).
+func collectUserAutomata(spec Spec, tr *tree.Tree) []ioa.Automaton {
+	var autos []ioa.Automaton
+	var walk func(parent ioa.TxnName, ts []TxnSpec)
+	walk = func(parent ioa.TxnName, ts []TxnSpec) {
+		for _, t := range ts {
+			if t.Kind != StepSub {
+				continue
+			}
+			name := parent + "/" + ioa.TxnName(t.Label)
+			autos = append(autos, txn.MustNewUser(tr, name, userOptions(t)...))
+			walk(name, t.Children)
+		}
+	}
+	walk(tree.Root, spec.Top)
+	return autos
+}
+
+// BuildB constructs the replicated serial system B for the scenario.
+func BuildB(spec Spec) (*SystemB, error) {
+	return NewReplicatedSystem(spec, func(tr *tree.Tree) ioa.Automaton { return serial.NewScheduler(tr) })
+}
+
+// NewReplicatedSystem builds the replicated system's primitives (user
+// transactions, TMs, DMs, plain objects) composed with the scheduler
+// returned by mkSched. With a serial scheduler this is system B; with a
+// concurrency-control scheduler (internal/cc) it is a concurrent system C
+// of the same type, as used by Theorem 11.
+func NewReplicatedSystem(spec Spec, mkSched func(*tree.Tree) ioa.Automaton) (*SystemB, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := tree.New()
+	if _, err := buildUserTree(spec, tr, true); err != nil {
+		return nil, err
+	}
+	b := &SystemB{
+		Spec:   spec,
+		Tree:   tr,
+		DMs:    map[string]*object.RW{},
+		dmItem: map[string]string{},
+		tms:    map[ioa.TxnName]string{},
+	}
+	autos := []ioa.Automaton{mkSched(tr), txn.NewRoot(tr)}
+	autos = append(autos, collectUserAutomata(spec, tr)...)
+	tr.Walk(func(n *tree.Node) {
+		switch n.Kind() {
+		case tree.KindReadTM:
+			it, _ := spec.item(n.Item)
+			tm := NewReadTM(tr, n.Name(), n.Item, it.Config, Versioned{VN: 0, Val: it.Initial})
+			tm.SetSequential(spec.SequentialTMs)
+			autos = append(autos, tm)
+			b.tms[n.Name()] = n.Item
+		case tree.KindWriteTM:
+			it, _ := spec.item(n.Item)
+			tm := NewWriteTM(tr, n.Name(), n.Item, it.Config, n.Data, 0)
+			tm.SetSequential(spec.SequentialTMs)
+			autos = append(autos, tm)
+			b.tms[n.Name()] = n.Item
+		}
+	})
+	for _, it := range spec.Items {
+		for _, dm := range it.DMs {
+			o := object.NewRW(tr, dm, Versioned{VN: 0, Val: it.Initial})
+			b.DMs[dm] = o
+			b.dmItem[dm] = it.Name
+			autos = append(autos, o)
+		}
+	}
+	for _, os := range spec.Objects {
+		autos = append(autos, object.NewRW(tr, os.Name, os.Initial))
+	}
+	b.Sys = ioa.NewSystem(autos...)
+	return b, nil
+}
+
+// BuildA constructs the non-replicated serial system A for the scenario.
+func BuildA(spec Spec) (*SystemA, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := tree.New()
+	if _, err := buildUserTree(spec, tr, false); err != nil {
+		return nil, err
+	}
+	a := &SystemA{Spec: spec, Tree: tr, Objects: map[string]*object.RW{}}
+	autos := []ioa.Automaton{serial.NewScheduler(tr), txn.NewRoot(tr)}
+	autos = append(autos, collectUserAutomata(spec, tr)...)
+	for _, it := range spec.Items {
+		o := object.NewRW(tr, objectName(it.Name), it.Initial)
+		a.Objects[it.Name] = o
+		autos = append(autos, o)
+	}
+	for _, os := range spec.Objects {
+		autos = append(autos, object.NewRW(tr, os.Name, os.Initial))
+	}
+	a.Sys = ioa.NewSystem(autos...)
+	return a, nil
+}
+
+// IsReplicaAccess reports whether name is an access in acc(x) for some
+// item x — i.e. an access to a DM.
+func (b *SystemB) IsReplicaAccess(name ioa.TxnName) bool {
+	n := b.Tree.Node(name)
+	return n != nil && n.IsAccess() && n.Item != ""
+}
+
+// IsTM reports whether name is in tm(x) for some item x.
+func (b *SystemB) IsTM(name ioa.TxnName) bool { return b.tms[name] != "" }
+
+// UserTxns returns the names of the user transactions of the system (the
+// non-access transactions not in tm(x) for any x), excluding the root.
+func (b *SystemB) UserTxns() []ioa.TxnName {
+	var out []ioa.TxnName
+	b.Tree.Walk(func(n *tree.Node) {
+		if n.Kind() == tree.KindUser {
+			out = append(out, n.Name())
+		}
+	})
+	return out
+}

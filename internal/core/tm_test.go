@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// tmFixture builds a tree holding one read-TM and one write-TM over three
+// DMs with majority quorums, returning the automata unattached to any
+// system so the paper's pre/postconditions can be probed step by step.
+func tmFixture(t *testing.T) (*tree.Tree, *ReadTM, *WriteTM) {
+	t.Helper()
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	dms := []string{"d1", "d2", "d3"}
+	cfg := quorum.Majority(dms)
+
+	rtm := tr.MustAddChild(u.Name(), "r", tree.KindReadTM)
+	rtm.Item = "x"
+	for _, dm := range dms {
+		a := tr.MustAddChild(rtm.Name(), "r1."+dm, tree.KindAccess)
+		a.Object = dm
+		a.Access = tree.ReadAccess
+		a.Item = "x"
+	}
+	wtm := tr.MustAddChild(u.Name(), "w", tree.KindWriteTM)
+	wtm.Item = "x"
+	wtm.Data = "val"
+	for _, dm := range dms {
+		a := tr.MustAddChild(wtm.Name(), "r1."+dm, tree.KindAccess)
+		a.Object = dm
+		a.Access = tree.ReadAccess
+		a.Item = "x"
+		wa := tr.MustAddChild(wtm.Name(), "w1."+dm, tree.KindAccess)
+		wa.Object = dm
+		wa.Access = tree.WriteAccess
+		wa.Item = "x"
+	}
+	r := NewReadTM(tr, rtm.Name(), "x", cfg, Versioned{VN: 0, Val: "init"})
+	w := NewWriteTM(tr, wtm.Name(), "x", cfg, "val", 0)
+	return tr, r, w
+}
+
+func TestReadTMAsleepHasNoOutputs(t *testing.T) {
+	_, r, _ := tmFixture(t)
+	if got := r.Enabled(); len(got) != 0 {
+		t.Errorf("asleep TM enabled %v", got)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u/r/r1.d1")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("request before CREATE: %v", err)
+	}
+}
+
+func TestReadTMKeepsHighestVersion(t *testing.T) {
+	_, r, _ := tmFixture(t)
+	step := func(op ioa.Op) {
+		t.Helper()
+		if err := r.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	step(ioa.Create("T0/u/r"))
+	step(ioa.RequestCreate("T0/u/r/r1.d1"))
+	step(ioa.RequestCreate("T0/u/r/r1.d2"))
+	// d2 returns a newer version than d1; order of arrival must not matter.
+	step(ioa.Commit("T0/u/r/r1.d2", Versioned{VN: 5, Val: "new"}))
+	step(ioa.Commit("T0/u/r/r1.d1", Versioned{VN: 2, Val: "old"}))
+	// Quorum (2 of 3) reached: REQUEST-COMMIT must carry the value of the
+	// highest version number seen.
+	want := ioa.RequestCommit("T0/u/r", "new")
+	found := false
+	for _, op := range r.Enabled() {
+		if op.Equal(want) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("enabled = %v, want %v", r.Enabled(), want)
+	}
+	// Any other return value violates the precondition.
+	if err := r.Step(ioa.RequestCommit("T0/u/r", "old")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("stale value accepted: %v", err)
+	}
+	step(want)
+	if got := r.Enabled(); len(got) != 0 {
+		t.Errorf("outputs after REQUEST-COMMIT: %v", got)
+	}
+}
+
+func TestReadTMNoCommitWithoutQuorum(t *testing.T) {
+	_, r, _ := tmFixture(t)
+	if err := r.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u/r/r1.d1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(ioa.Commit("T0/u/r/r1.d1", Versioned{VN: 1, Val: "v"})); err != nil {
+		t.Fatal(err)
+	}
+	// One DM of three is not a majority read-quorum.
+	if err := r.Step(ioa.RequestCommit("T0/u/r", "v")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit without read-quorum: %v", err)
+	}
+}
+
+func TestReadTMAbortHasNoPostconditions(t *testing.T) {
+	_, r, _ := tmFixture(t)
+	if err := r.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []ioa.TxnName{"T0/u/r/r1.d1", "T0/u/r/r1.d2", "T0/u/r/r1.d3"} {
+		if err := r.Step(ioa.RequestCreate(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Step(ioa.Abort("T0/u/r/r1.d1")); err != nil {
+		t.Fatal(err)
+	}
+	// The abort changed nothing: still no quorum, and d1 stays requested.
+	for _, op := range r.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			t.Fatal("abort must not contribute to the read set")
+		}
+		if op.Kind == ioa.OpRequestCreate && op.Txn == "T0/u/r/r1.d1" {
+			t.Fatal("aborted child re-offered; children are requested at most once")
+		}
+	}
+}
+
+func TestWriteTMPhases(t *testing.T) {
+	tr, _, w := tmFixture(t)
+	step := func(op ioa.Op) {
+		t.Helper()
+		if err := w.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	step(ioa.Create("T0/u/w"))
+	// Write accesses are not requestable before a read-quorum is seen.
+	if err := w.Step(ioa.RequestCreate("T0/u/w/w1.d1")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("write access before read-quorum: %v", err)
+	}
+	step(ioa.RequestCreate("T0/u/w/r1.d1"))
+	step(ioa.RequestCreate("T0/u/w/r1.d3"))
+	step(ioa.Commit("T0/u/w/r1.d1", Versioned{VN: 4, Val: "a"}))
+	step(ioa.Commit("T0/u/w/r1.d3", Versioned{VN: 9, Val: "b"}))
+	// Read-quorum reached: write accesses become requestable, carrying
+	// (highest vn + 1, value(T)).
+	step(ioa.RequestCreate("T0/u/w/w1.d2"))
+	if d, ok := tr.Node("T0/u/w/w1.d2").Data.(Versioned); !ok || d.VN != 10 || d.Val != "val" {
+		t.Fatalf("bound write data = %v, want (10, val)", tr.Node("T0/u/w/w1.d2").Data)
+	}
+	// No write-quorum yet: REQUEST-COMMIT disabled.
+	if err := w.Step(ioa.RequestCommit("T0/u/w", nil)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit without write-quorum: %v", err)
+	}
+	step(ioa.RequestCreate("T0/u/w/w1.d1"))
+	step(ioa.Commit("T0/u/w/w1.d2", nil))
+	step(ioa.Commit("T0/u/w/w1.d1", nil))
+	// Two writes committed = write-quorum; value must be nil.
+	if err := w.Step(ioa.RequestCommit("T0/u/w", "something")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("non-nil write-TM return: %v", err)
+	}
+	step(ioa.RequestCommit("T0/u/w", nil))
+}
+
+func TestWriteTMIgnoresLateReadsAfterWritePhase(t *testing.T) {
+	// "In order to prevent the write-TM from seeing the data it wrote and
+	// incorrectly increasing its version-number, the COMMIT operation for
+	// read accesses is defined so that the state of the write-TM is
+	// modified only if no write accesses have been invoked."
+	tr, _, w := tmFixture(t)
+	step := func(op ioa.Op) {
+		t.Helper()
+		if err := w.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	step(ioa.Create("T0/u/w"))
+	step(ioa.RequestCreate("T0/u/w/r1.d1"))
+	step(ioa.RequestCreate("T0/u/w/r1.d2"))
+	step(ioa.RequestCreate("T0/u/w/r1.d3"))
+	step(ioa.Commit("T0/u/w/r1.d1", Versioned{VN: 1, Val: "a"}))
+	step(ioa.Commit("T0/u/w/r1.d2", Versioned{VN: 1, Val: "a"}))
+	step(ioa.RequestCreate("T0/u/w/w1.d1")) // write phase begins: vn+1 = 2
+	// A straggler read returns the TM's own write (vn 2). It must not
+	// bump the version number.
+	step(ioa.Commit("T0/u/w/r1.d3", Versioned{VN: 2, Val: "val"}))
+	step(ioa.RequestCreate("T0/u/w/w1.d2"))
+	if d := tr.Node("T0/u/w/w1.d2").Data.(Versioned); d.VN != 2 {
+		t.Fatalf("version number incorrectly increased to %d after seeing own write", d.VN)
+	}
+}
+
+func TestSequentialTMOneOutstanding(t *testing.T) {
+	_, r, _ := tmFixture(t)
+	r.SetSequential(true)
+	if err := r.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Enabled()
+	if len(got) != 1 || got[0].Txn != "T0/u/r/r1.d1" {
+		t.Fatalf("sequential TM should offer exactly the first child, got %v", got)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u/r/r1.d2")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("out-of-order request: %v", err)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u/r/r1.d1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Enabled()) != 0 {
+		t.Fatalf("one outstanding access max, got %v", r.Enabled())
+	}
+	if err := r.Step(ioa.Abort("T0/u/r/r1.d1")); err != nil {
+		t.Fatal(err)
+	}
+	got = r.Enabled()
+	if len(got) != 1 || got[0].Txn != "T0/u/r/r1.d2" {
+		t.Fatalf("after return, next child should be offered: %v", got)
+	}
+}
+
+func TestTMOpOwnership(t *testing.T) {
+	_, r, w := tmFixture(t)
+	if !r.HasOp(ioa.Commit("T0/u/r/r1.d1", Versioned{})) {
+		t.Error("read-TM must receive its children's returns")
+	}
+	if r.HasOp(ioa.Commit("T0/u/w/r1.d1", Versioned{})) {
+		t.Error("read-TM must not receive the write-TM's children's returns")
+	}
+	if !r.IsOutput(ioa.RequestCommit("T0/u/r", "v")) {
+		t.Error("REQUEST-COMMIT is the TM's output")
+	}
+	if r.IsOutput(ioa.Commit("T0/u/r/r1.d1", nil)) {
+		t.Error("COMMIT is the scheduler's output, not the TM's")
+	}
+	if !w.IsOutput(ioa.RequestCreate("T0/u/w/w1.d3")) {
+		t.Error("write-TM owns its children's REQUEST-CREATEs")
+	}
+}
+
+func TestAccessSequenceAlternates(t *testing.T) {
+	// Lemma 6: access(x, β) alternates CREATE / REQUEST-COMMIT for TMs,
+	// starting with a CREATE.
+	b, err := BuildB(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ioa.NewDriver(b.Sys, 5)
+	sched, _, err := d.Run(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := b.AccessSequence("x", sched)
+	for i, op := range acc {
+		if i%2 == 0 && op.Kind != ioa.OpCreate {
+			t.Fatalf("access sequence position %d should be CREATE: %v", i, acc)
+		}
+		if i%2 == 1 {
+			if op.Kind != ioa.OpRequestCommit {
+				t.Fatalf("access sequence position %d should be REQUEST-COMMIT: %v", i, acc)
+			}
+			if op.Txn != acc[i-1].Txn {
+				t.Fatalf("REQUEST-COMMIT for %v does not match preceding CREATE(%v)", op.Txn, acc[i-1].Txn)
+			}
+		}
+	}
+}
+
+func TestCurrentVNEmpty(t *testing.T) {
+	b, err := BuildB(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vn := b.CurrentVN("x", nil); vn != 0 {
+		t.Errorf("current-vn of empty schedule = %d", vn)
+	}
+	if st := b.LogicalState("x", nil); st != 0 {
+		t.Errorf("logical-state of empty schedule = %v", st)
+	}
+}

@@ -1,0 +1,25 @@
+// Package core implements the paper's primary contribution: the
+// generalized Quorum Consensus algorithm for nested transaction systems
+// with fixed configurations (Section 3). It provides the DM, read-TM and
+// write-TM automata, builders for the replicated serial system B and the
+// corresponding non-replicated serial system A, the logical-state and
+// current-version-number functions, a mechanized Lemma 8 invariant checker,
+// and the Theorem 10 simulation checker.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// Versioned is an element of the DM domain D_x = N × V_x: a
+// (version-number, value) pair. DMs for item x are read-write objects over
+// this domain with initial data (0, i_x).
+type Versioned struct {
+	VN  int
+	Val ioa.Value
+}
+
+// String renders the pair as "(vn, value)".
+func (v Versioned) String() string { return fmt.Sprintf("(%d, %v)", v.VN, v.Val) }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// WriteTM is the write transaction manager automaton for a logical data
+// item (paper Section 3.1). It performs a logical write of value(T): it
+// first invokes read accesses to discover version numbers, and once
+// commits from a read-quorum of DMs have been collected it may invoke
+// write accesses carrying (highest-vn-seen + 1, value(T)); once commits
+// from a write-quorum of DMs have been received it may request to commit,
+// returning nil.
+//
+// Some read accesses may commit only after write accesses have been
+// invoked, possibly returning the TM's own data. To prevent the TM from
+// seeing its own writes and incorrectly increasing its version number, the
+// COMMIT of a read access modifies the state only if no write access has
+// been requested yet — exactly the paper's rule.
+type WriteTM struct {
+	tr    *tree.Tree
+	name  ioa.TxnName
+	item  string
+	cfg   quorum.Config
+	value ioa.Value // value(T)
+
+	readChildren  []ioa.TxnName
+	writeChildren []ioa.TxnName
+	dmOf          map[ioa.TxnName]string
+	kindOf        map[ioa.TxnName]tree.AccessKind
+
+	// sequential restricts the TM to one outstanding access at a time,
+	// requested in child order (Spec.SequentialTMs).
+	sequential bool
+
+	awake          bool
+	vn             int // data(s).version-number; the value component is never used
+	readRequested  map[ioa.TxnName]bool
+	writeRequested map[ioa.TxnName]bool
+	outstanding    int // requested children that have not returned
+	read           map[string]bool
+	written        map[string]bool
+	done           bool
+}
+
+var _ ioa.Automaton = (*WriteTM)(nil)
+
+// NewWriteTM builds the automaton for the write-TM node named name in tr.
+// Children with ReadAccess kind are the version-number-discovery accesses;
+// children with WriteAccess kind are the write accesses, whose data
+// attribute is bound when the TM first requests them. initialVN is 0, the
+// version number of (0, i_x).
+func NewWriteTM(tr *tree.Tree, name ioa.TxnName, item string, cfg quorum.Config, value ioa.Value, initialVN int) *WriteTM {
+	t := &WriteTM{
+		tr:             tr,
+		name:           name,
+		item:           item,
+		cfg:            cfg,
+		value:          value,
+		dmOf:           map[ioa.TxnName]string{},
+		kindOf:         map[ioa.TxnName]tree.AccessKind{},
+		vn:             initialVN,
+		readRequested:  map[ioa.TxnName]bool{},
+		writeRequested: map[ioa.TxnName]bool{},
+		read:           map[string]bool{},
+		written:        map[string]bool{},
+	}
+	for _, c := range tr.Children(name) {
+		n := tr.Node(c)
+		t.dmOf[c] = n.Object
+		t.kindOf[c] = n.Access
+		if n.Access == tree.ReadAccess {
+			t.readChildren = append(t.readChildren, c)
+		} else {
+			t.writeChildren = append(t.writeChildren, c)
+		}
+	}
+	return t
+}
+
+// SetSequential switches the TM to single-outstanding, in-order access
+// requests (see Spec.SequentialTMs).
+func (t *WriteTM) SetSequential(on bool) { t.sequential = on }
+
+// seqReady reports whether sequential mode permits requesting c next among
+// the given ordered children.
+func (t *WriteTM) seqReady(children []ioa.TxnName, requested map[ioa.TxnName]bool, c ioa.TxnName) bool {
+	if !t.sequential {
+		return true
+	}
+	if t.outstanding > 0 {
+		return false
+	}
+	for _, prev := range children {
+		if prev == c {
+			return true
+		}
+		if !requested[prev] {
+			return false
+		}
+	}
+	return false
+}
+
+// readRequestEnabled reports whether the TM may request read child c.
+func (t *WriteTM) readRequestEnabled(c ioa.TxnName) bool {
+	return t.awake && !t.readRequested[c] && t.seqReady(t.readChildren, t.readRequested, c)
+}
+
+// writeRequestEnabled reports whether the TM may request write child c.
+func (t *WriteTM) writeRequestEnabled(c ioa.TxnName) bool {
+	return t.awake && t.hasReadQuorum() && !t.writeRequested[c] && t.seqReady(t.writeChildren, t.writeRequested, c)
+}
+
+// Name implements ioa.Automaton.
+func (t *WriteTM) Name() string { return string(t.name) }
+
+// Item returns the logical data item this TM writes.
+func (t *WriteTM) Item() string { return t.item }
+
+// Value returns value(T), the value this TM writes.
+func (t *WriteTM) Value() ioa.Value { return t.value }
+
+// HasOp implements ioa.Automaton.
+func (t *WriteTM) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (t *WriteTM) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == t.name
+	case ioa.OpRequestCreate:
+		return t.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+func (t *WriteTM) hasReadQuorum() bool  { return t.cfg.HasReadQuorum(t.read) }
+func (t *WriteTM) hasWriteQuorum() bool { return t.cfg.HasWriteQuorum(t.written) }
+
+// Enabled implements ioa.Automaton.
+func (t *WriteTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.readChildren {
+		if t.readRequestEnabled(c) {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	for _, c := range t.writeChildren {
+		if t.writeRequestEnabled(c) {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.hasWriteQuorum() {
+		out = append(out, ioa.RequestCommit(t.name, nil))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *WriteTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+	case ioa.OpCommit:
+		switch t.kindOf[op.Txn] {
+		case tree.ReadAccess:
+			if len(t.writeRequested) == 0 {
+				d, ok := op.Val.(Versioned)
+				if !ok {
+					return fmt.Errorf("write-TM %v: COMMIT(%v) value %v is not versioned", t.name, op.Txn, op.Val)
+				}
+				t.read[t.dmOf[op.Txn]] = true
+				if d.VN > t.vn {
+					t.vn = d.VN
+				}
+			}
+		case tree.WriteAccess:
+			t.written[t.dmOf[op.Txn]] = true
+		}
+		t.outstanding--
+	case ioa.OpAbort:
+		// The paper's automaton has no postconditions here; tracking the
+		// return is the efficiency heuristic sequential mode relies on.
+		t.outstanding--
+	case ioa.OpRequestCreate:
+		switch t.kindOf[op.Txn] {
+		case tree.ReadAccess:
+			if !t.readRequestEnabled(op.Txn) {
+				return fmt.Errorf("%w: %v by write-TM %v", ioa.ErrNotEnabled, op, t.name)
+			}
+			t.readRequested[op.Txn] = true
+		case tree.WriteAccess:
+			if !t.writeRequestEnabled(op.Txn) {
+				return fmt.Errorf("%w: %v by write-TM %v", ioa.ErrNotEnabled, op, t.name)
+			}
+			// Bind the access's data attribute: d = (vn+1, value(T)).
+			// Conceptually this selects, from the infinite tree of
+			// possible write accesses, the one whose data attribute is d.
+			t.tr.Node(op.Txn).Data = Versioned{VN: t.vn + 1, Val: t.value}
+			t.writeRequested[op.Txn] = true
+		default:
+			return fmt.Errorf("write-TM %v: unknown child %v", t.name, op.Txn)
+		}
+		t.outstanding++
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.hasWriteQuorum() {
+			return fmt.Errorf("%w: %v: no write-quorum written", ioa.ErrNotEnabled, op)
+		}
+		if op.Val != nil {
+			return fmt.Errorf("%w: %v: write-TM must return nil", ioa.ErrNotEnabled, op)
+		}
+		t.awake = false
+		t.done = true
+	default:
+		return fmt.Errorf("write-TM %v: unexpected op %v", t.name, op)
+	}
+	return nil
+}

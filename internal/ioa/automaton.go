@@ -1,0 +1,40 @@
+package ioa
+
+// Automaton is an I/O automaton specialized to nested transaction systems.
+//
+// The model requires (Input Condition) that an automaton be prepared to
+// receive any input operation at any time; implementations therefore must
+// not return an error from Step for operations they claim as inputs.
+// For output operations, Step verifies the operation's preconditions
+// against the current state and returns an error if they do not hold; this
+// is what lets the replay checkers detect that a candidate sequence is not
+// a schedule.
+//
+// All automata in this repository are state-deterministic in the paper's
+// sense: their state is a function of their schedule. Nondeterminism shows
+// up only in which enabled operation is performed next, which is the
+// driver's choice.
+type Automaton interface {
+	// Name identifies the automaton within a system, for diagnostics.
+	Name() string
+
+	// HasOp reports whether op is an operation of this automaton (input or
+	// output). Composition routes each system operation to every component
+	// for which HasOp is true.
+	HasOp(op Op) bool
+
+	// IsOutput reports whether op is an output operation of this automaton.
+	// In a well-formed system each operation is the output of at most one
+	// component.
+	IsOutput(op Op) bool
+
+	// Enabled returns the output operations enabled in the current state.
+	// The returned slice is freshly allocated and may be in any order.
+	Enabled() []Op
+
+	// Step applies op atomically. If op is an output of this automaton and
+	// its preconditions do not hold, Step returns an error and leaves the
+	// state unchanged. Input operations are always accepted, per the Input
+	// Condition.
+	Step(op Op) error
+}

@@ -1,0 +1,38 @@
+package ioa
+
+import "testing"
+
+func BenchmarkSystemStepThroughput(b *testing.B) {
+	sys := NewSystem(&pinger{max: b.N}, &toggle{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Step(Create("in")); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Step(RequestCommit("out", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriverRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(&pinger{max: 100}, &toggle{})
+		if _, _, err := NewDriver(sys, int64(i)).Run(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleProject(b *testing.B) {
+	sys := NewSystem(&pinger{max: 500}, &toggle{})
+	sched, _, err := NewDriver(sys, 1).Run(2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg := sys.Components()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Project(pg)
+	}
+}

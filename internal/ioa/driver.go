@@ -1,0 +1,85 @@
+package ioa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Driver generates random executions of a system by repeatedly choosing a
+// uniformly random enabled output operation and performing it. This
+// realizes the model's nondeterminism: any schedule the system can exhibit
+// has positive probability of being explored (for the finite systems built
+// in this repository).
+type Driver struct {
+	sys *System
+	rng *rand.Rand
+
+	// Bias, if non-nil, adjusts the relative weight of an enabled op;
+	// returning 0 removes the op from consideration this step. Used e.g.
+	// to tune the frequency of scheduler ABORT decisions.
+	Bias func(Op) float64
+
+	// OnStep, if non-nil, runs after each performed operation with the
+	// schedule so far; returning an error stops the run. Used by invariant
+	// checkers (e.g. Lemma 8) that must hold after every step.
+	OnStep func(op Op, sched Schedule) error
+}
+
+// NewDriver returns a driver over sys using the given seed. Identical seeds
+// over identical systems reproduce identical executions.
+func NewDriver(sys *System, seed int64) *Driver {
+	return &Driver{sys: sys, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run performs up to maxSteps operations, stopping early when no output
+// operation is enabled (the system is quiescent). It returns the schedule
+// of the whole run and whether the system became quiescent.
+func (d *Driver) Run(maxSteps int) (Schedule, bool, error) {
+	for i := 0; i < maxSteps; i++ {
+		op, ok := d.pick()
+		if !ok {
+			return d.sys.Schedule(), true, nil
+		}
+		if err := d.sys.Step(op); err != nil {
+			return d.sys.Schedule(), false, fmt.Errorf("driver: enabled op rejected: %w", err)
+		}
+		if d.OnStep != nil {
+			if err := d.OnStep(op, d.sys.sched); err != nil {
+				return d.sys.Schedule(), false, err
+			}
+		}
+	}
+	return d.sys.Schedule(), false, nil
+}
+
+// pick chooses a weighted-random enabled op.
+func (d *Driver) pick() (Op, bool) {
+	enabled := d.sys.Enabled()
+	if len(enabled) == 0 {
+		return Op{}, false
+	}
+	if d.Bias == nil {
+		return enabled[d.rng.Intn(len(enabled))], true
+	}
+	weights := make([]float64, len(enabled))
+	var total float64
+	for i, op := range enabled {
+		w := d.Bias(op)
+		if w < 0 {
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		return Op{}, false
+	}
+	x := d.rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return enabled[i], true
+		}
+	}
+	return enabled[len(enabled)-1], true
+}

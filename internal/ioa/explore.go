@@ -1,0 +1,81 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExploreBudget is returned by Explore when the schedule budget is
+// exhausted before the state space was covered.
+var ErrExploreBudget = errors.New("exploration budget exhausted")
+
+// Explorer enumerates the complete tree of schedules of a system:
+// depth-first over every enabled output operation at every state. Because
+// systems are not copyable, branching is realized by rebuilding a fresh
+// system and replaying the prefix; this is quadratic in schedule length but
+// exact, and intended for the small scenarios used in exhaustive
+// verification tests.
+type Explorer struct {
+	// Build returns a fresh instance of the system under exploration.
+	Build func() (*System, error)
+	// MaxDepth bounds the schedule length explored (0 = unbounded).
+	MaxDepth int
+	// Budget bounds the total number of visited schedules; when exceeded,
+	// Run returns ErrExploreBudget. 0 means unbounded.
+	Budget int
+	// Prune, if non-nil, skips branches starting with the given operation
+	// at the given depth (e.g. to ignore ABORT branches).
+	Prune func(op Op, depth int) bool
+	// Visit runs for every reachable schedule (including intermediate
+	// prefixes) with the live system in the state reached by it. Returning
+	// an error stops the exploration.
+	Visit func(sys *System, sched Schedule) error
+
+	visited int
+}
+
+// Visited reports how many schedules the last Run visited.
+func (e *Explorer) Visited() int { return e.visited }
+
+// Run explores the schedule tree. It returns nil when the bounded state
+// space was covered with every visit succeeding.
+func (e *Explorer) Run() error {
+	e.visited = 0
+	return e.explore(nil)
+}
+
+// explore rebuilds the system, replays prefix, visits, and recurses on
+// every enabled op.
+func (e *Explorer) explore(prefix Schedule) error {
+	if e.Budget > 0 && e.visited >= e.Budget {
+		return ErrExploreBudget
+	}
+	e.visited++
+	sys, err := e.Build()
+	if err != nil {
+		return err
+	}
+	if i, err := sys.Replay(prefix); err != nil {
+		return fmt.Errorf("explore: replay diverged at %d: %w", i, err)
+	}
+	if e.Visit != nil {
+		if err := e.Visit(sys, prefix); err != nil {
+			return fmt.Errorf("explore: schedule %v: %w", prefix, err)
+		}
+	}
+	if e.MaxDepth > 0 && len(prefix) >= e.MaxDepth {
+		return nil
+	}
+	for _, op := range sys.Enabled() {
+		if e.Prune != nil && e.Prune(op, len(prefix)) {
+			continue
+		}
+		next := make(Schedule, len(prefix)+1)
+		copy(next, prefix)
+		next[len(prefix)] = op
+		if err := e.explore(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestOpConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Create("T0"), "CREATE(T0)"},
+		{RequestCreate("T0/u"), "REQUEST-CREATE(T0/u)"},
+		{RequestCommit("T0/u", 7), "REQUEST-COMMIT(T0/u, 7)"},
+		{Commit("T0/u", "v"), "COMMIT(T0/u, v)"},
+		{Abort("T0/u"), "ABORT(T0/u)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpEqualUsesDeepEqual(t *testing.T) {
+	type payload struct{ M map[string]int }
+	a := Commit("t", payload{M: map[string]int{"x": 1}})
+	b := Commit("t", payload{M: map[string]int{"x": 1}})
+	c := Commit("t", payload{M: map[string]int{"x": 2}})
+	if !a.Equal(b) {
+		t.Error("structurally equal ops should be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different payloads should not be Equal")
+	}
+	if a.Equal(Abort("t")) {
+		t.Error("different kinds should not be Equal")
+	}
+}
+
+func TestIsReturn(t *testing.T) {
+	if !Commit("t", nil).IsReturn() || !Abort("t").IsReturn() {
+		t.Error("COMMIT and ABORT are return operations")
+	}
+	if Create("t").IsReturn() || RequestCommit("t", nil).IsReturn() {
+		t.Error("CREATE/REQUEST-COMMIT are not return operations")
+	}
+}
+
+// toggle is a minimal automaton: input PING (modeled as CREATE(in)),
+// output PONG (REQUEST-COMMIT(out, n)) enabled once per ping.
+type toggle struct {
+	pings int
+	pongs int
+}
+
+func (a *toggle) Name() string { return "toggle" }
+func (a *toggle) HasOp(op Op) bool {
+	return (op.Kind == OpCreate && op.Txn == "in") || (op.Kind == OpRequestCommit && op.Txn == "out")
+}
+func (a *toggle) IsOutput(op Op) bool { return op.Kind == OpRequestCommit && op.Txn == "out" }
+func (a *toggle) Enabled() []Op {
+	if a.pongs < a.pings {
+		return []Op{RequestCommit("out", a.pongs)}
+	}
+	return nil
+}
+func (a *toggle) Step(op Op) error {
+	switch {
+	case op.Kind == OpCreate:
+		a.pings++
+		return nil
+	case op.Kind == OpRequestCommit:
+		if a.pongs >= a.pings {
+			return fmt.Errorf("%w: no ping outstanding", ErrNotEnabled)
+		}
+		a.pongs++
+		return nil
+	}
+	return errors.New("unexpected op")
+}
+
+// pinger owns the CREATE(in) output.
+type pinger struct{ sent, max int }
+
+func (p *pinger) Name() string        { return "pinger" }
+func (p *pinger) HasOp(op Op) bool    { return op.Kind == OpCreate && op.Txn == "in" }
+func (p *pinger) IsOutput(op Op) bool { return p.HasOp(op) }
+func (p *pinger) Enabled() []Op {
+	if p.sent < p.max {
+		return []Op{Create("in")}
+	}
+	return nil
+}
+func (p *pinger) Step(op Op) error {
+	if p.sent >= p.max {
+		return fmt.Errorf("%w: done", ErrNotEnabled)
+	}
+	p.sent++
+	return nil
+}
+
+func TestSystemComposition(t *testing.T) {
+	tg := &toggle{}
+	pg := &pinger{max: 3}
+	sys := NewSystem(pg, tg)
+	sched, quiescent, err := NewDriver(sys, 1).Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quiescent {
+		t.Error("system should quiesce")
+	}
+	if len(sched) != 6 {
+		t.Fatalf("expected 6 ops (3 pings + 3 pongs), got %d:\n%v", len(sched), sched)
+	}
+	if tg.pings != 3 || tg.pongs != 3 {
+		t.Errorf("toggle state: %+v", tg)
+	}
+}
+
+func TestSystemRejectsUnownedOp(t *testing.T) {
+	sys := NewSystem(&toggle{})
+	// CREATE(in) is an input of toggle but output of nobody here.
+	if err := sys.Step(Create("in")); !errors.Is(err, ErrNoOwner) {
+		t.Fatalf("want ErrNoOwner, got %v", err)
+	}
+}
+
+func TestSystemRejectsDisabledOutput(t *testing.T) {
+	sys := NewSystem(&pinger{max: 0})
+	if err := sys.Step(Create("in")); !errors.Is(err, ErrNotEnabled) {
+		t.Fatalf("want ErrNotEnabled, got %v", err)
+	}
+	if len(sys.Schedule()) != 0 {
+		t.Error("failed step must not be recorded")
+	}
+}
+
+func TestReplayStopsAtFirstBadStep(t *testing.T) {
+	sys := NewSystem(&pinger{max: 1}, &toggle{})
+	seq := Schedule{Create("in"), RequestCommit("out", 0), RequestCommit("out", 1)}
+	i, err := sys.Replay(seq)
+	if err == nil || i != 2 {
+		t.Fatalf("replay should fail at index 2, got i=%d err=%v", i, err)
+	}
+}
+
+func TestScheduleProjectAndFilter(t *testing.T) {
+	tg := &toggle{}
+	pg := &pinger{max: 2}
+	sys := NewSystem(pg, tg)
+	sched, _, err := NewDriver(sys, 3).Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pings := sched.Filter(func(op Op) bool { return op.Kind == OpCreate })
+	if len(pings) != 2 {
+		t.Errorf("filter: got %d pings", len(pings))
+	}
+	proj := sched.Project(pg)
+	if len(proj) != 2 {
+		t.Errorf("project onto pinger: got %d ops", len(proj))
+	}
+	if !sched.Project(tg).Equal(sched) {
+		t.Error("toggle participates in every op of this system")
+	}
+}
+
+func TestScheduleEqual(t *testing.T) {
+	a := Schedule{Create("x"), Commit("x", 1)}
+	b := Schedule{Create("x"), Commit("x", 1)}
+	c := Schedule{Create("x"), Commit("x", 2)}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(b[:1]) {
+		t.Error("schedule equality broken")
+	}
+}
+
+func TestOpsForProjection(t *testing.T) {
+	parent := func(t TxnName) (TxnName, bool) {
+		switch t {
+		case "T0/u":
+			return "T0", true
+		case "T0/u/c":
+			return "T0/u", true
+		}
+		return "", false
+	}
+	sched := Schedule{
+		Create("T0"),
+		RequestCreate("T0/u"),
+		Create("T0/u"),
+		RequestCreate("T0/u/c"),
+		Create("T0/u/c"),
+		RequestCommit("T0/u/c", 1),
+		Commit("T0/u/c", 1),
+		RequestCommit("T0/u", 2),
+		Commit("T0/u", 2),
+	}
+	u := sched.OpsFor("T0/u", parent)
+	want := Schedule{
+		Create("T0/u"),
+		RequestCreate("T0/u/c"),
+		Commit("T0/u/c", 1),
+		RequestCommit("T0/u", 2),
+	}
+	if !u.Equal(want) {
+		t.Errorf("OpsFor(T0/u):\n got %v\nwant %v", u, want)
+	}
+	root := sched.OpsFor("T0", parent)
+	if len(root) != 3 { // CREATE(T0), REQUEST-CREATE(u), COMMIT(u)
+		t.Errorf("OpsFor(T0) = %v", root)
+	}
+}
+
+func TestDriverDeterminism(t *testing.T) {
+	runOnce := func(seed int64) Schedule {
+		sys := NewSystem(&pinger{max: 5}, &toggle{})
+		sched, _, err := NewDriver(sys, seed).Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sched
+	}
+	if !runOnce(7).Equal(runOnce(7)) {
+		t.Error("same seed must reproduce the same schedule")
+	}
+}
+
+func TestDriverBiasZeroExcludesOps(t *testing.T) {
+	sys := NewSystem(&pinger{max: 5}, &toggle{})
+	d := NewDriver(sys, 1)
+	d.Bias = func(op Op) float64 {
+		if op.Kind == OpCreate {
+			return 0
+		}
+		return 1
+	}
+	sched, quiescent, err := d.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pings excluded and none sent, nothing is ever enabled.
+	if !quiescent || len(sched) != 0 {
+		t.Errorf("bias-0 ops must never be chosen; got %v", sched)
+	}
+}
+
+func TestDriverOnStepErrorStopsRun(t *testing.T) {
+	sys := NewSystem(&pinger{max: 5}, &toggle{})
+	d := NewDriver(sys, 1)
+	boom := errors.New("invariant broken")
+	steps := 0
+	d.OnStep = func(Op, Schedule) error {
+		steps++
+		if steps == 3 {
+			return boom
+		}
+		return nil
+	}
+	_, _, err := d.Run(100)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if steps != 3 {
+		t.Errorf("driver should stop at the failing step, ran %d", steps)
+	}
+}
+
+func TestScheduleIndex(t *testing.T) {
+	s := Schedule{Create("a"), Commit("a", 1)}
+	if i := s.Index(func(op Op) bool { return op.Kind == OpCommit }); i != 1 {
+		t.Errorf("Index = %d", i)
+	}
+	if i := s.Index(func(op Op) bool { return op.Kind == OpAbort }); i != -1 {
+		t.Errorf("Index of missing = %d", i)
+	}
+}

@@ -1,0 +1,111 @@
+// Package ioa implements the Lynch-Merritt / Lynch-Tuttle input-output
+// automaton model specialized to nested transaction systems, as used by
+// Goldman & Lynch, "Quorum Consensus in Nested Transaction Systems"
+// (PODC 1987), Section 2.
+//
+// Components of a system are modeled as (possibly nondeterministic) automata
+// whose state transitions are labeled with operation names. Communication
+// between automata is described by identifying their operations: when the
+// composed system performs an operation, every component that has that
+// operation performs it simultaneously, and the rest stay put. Exactly one
+// component has each operation as an output; the others have it as an input.
+//
+// Only finite behavior is treated, matching the paper ("We only prove
+// properties of finite behavior, so a simple special case of the general
+// model is sufficient").
+package ioa
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// TxnName names a transaction in the transaction tree. Names are
+// hierarchical, "/"-separated paths rooted at "T0" (e.g. "T0/u1/r1"), but
+// ioa treats them as opaque identifiers; the tree structure lives in
+// internal/tree.
+type TxnName string
+
+// Value is an element of the value set V that transactions may return.
+// Concrete values must be usable with reflect.DeepEqual; the model layer
+// uses ints, strings, and small structs.
+type Value any
+
+// OpKind enumerates the five operation kinds of a nested transaction system
+// (paper Section 2.2).
+type OpKind int
+
+// Operation kinds. CREATE(T) wakes transaction T up; REQUEST-CREATE(T') is
+// T's parent asking for T' to be created; REQUEST-COMMIT(T,v) is T
+// announcing it finished with value v; COMMIT(T,v) and ABORT(T) are the
+// return operations for T, reported to T's parent by the scheduler.
+const (
+	OpCreate OpKind = iota + 1
+	OpRequestCreate
+	OpRequestCommit
+	OpCommit
+	OpAbort
+)
+
+// String returns the paper's spelling of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "CREATE"
+	case OpRequestCreate:
+		return "REQUEST-CREATE"
+	case OpRequestCommit:
+		return "REQUEST-COMMIT"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single operation of a nested transaction system. Txn is the
+// transaction the operation concerns: for REQUEST-CREATE(T') and the return
+// operations COMMIT(T',v)/ABORT(T'), Txn is the child T', not the parent.
+// Val carries the value for REQUEST-COMMIT and COMMIT and is nil otherwise.
+type Op struct {
+	Kind OpKind
+	Txn  TxnName
+	Val  Value
+}
+
+// Create returns the operation CREATE(t).
+func Create(t TxnName) Op { return Op{Kind: OpCreate, Txn: t} }
+
+// RequestCreate returns the operation REQUEST-CREATE(t).
+func RequestCreate(t TxnName) Op { return Op{Kind: OpRequestCreate, Txn: t} }
+
+// RequestCommit returns the operation REQUEST-COMMIT(t, v).
+func RequestCommit(t TxnName, v Value) Op { return Op{Kind: OpRequestCommit, Txn: t, Val: v} }
+
+// Commit returns the operation COMMIT(t, v).
+func Commit(t TxnName, v Value) Op { return Op{Kind: OpCommit, Txn: t, Val: v} }
+
+// Abort returns the operation ABORT(t).
+func Abort(t TxnName) Op { return Op{Kind: OpAbort, Txn: t} }
+
+// IsReturn reports whether the op is a return operation (COMMIT or ABORT)
+// for op.Txn.
+func (o Op) IsReturn() bool { return o.Kind == OpCommit || o.Kind == OpAbort }
+
+// Equal reports whether two operations are identical, comparing values with
+// reflect.DeepEqual (values may contain maps, e.g. quorum configurations).
+func (o Op) Equal(p Op) bool {
+	return o.Kind == p.Kind && o.Txn == p.Txn && reflect.DeepEqual(o.Val, p.Val)
+}
+
+// String renders the op in the paper's notation, e.g. "COMMIT(T0/u1, 42)".
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRequestCommit, OpCommit:
+		return fmt.Sprintf("%s(%s, %v)", o.Kind, o.Txn, o.Val)
+	default:
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Txn)
+	}
+}

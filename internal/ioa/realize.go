@@ -1,0 +1,100 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoRealization is returned by FindRealization when the bounded search
+// exhausts its budget or the full space without realizing the target
+// projection.
+var ErrNoRealization = errors.New("no realizing schedule found")
+
+// FindRealization searches for a schedule u of the system returned by
+// build such that project(u) equals target — the paper's serial
+// correctness condition "γ|T = u|T for some schedule u of S", with
+// project(·) playing the role of ·|T.
+//
+// The search is depth-first with two prunings: a branch dies as soon as
+// its projection stops being a prefix of target, and branches that extend
+// the projection are explored before branches that do not (the projection
+// can only be completed by eventually performing its next operation).
+// Budget bounds the number of visited states; a nil error means a
+// realizing schedule was found and is returned.
+func FindRealization(build func() (*System, error), project func(Schedule) Schedule, target Schedule, budget int) (Schedule, error) {
+	visited := 0
+	var found Schedule
+
+	var rec func(prefix Schedule) (bool, error)
+	rec = func(prefix Schedule) (bool, error) {
+		if budget > 0 && visited >= budget {
+			return false, fmt.Errorf("%w: budget of %d states exhausted", ErrNoRealization, budget)
+		}
+		visited++
+		sys, err := build()
+		if err != nil {
+			return false, err
+		}
+		if i, err := sys.Replay(prefix); err != nil {
+			return false, fmt.Errorf("realize: replay diverged at %d: %w", i, err)
+		}
+		proj := project(prefix)
+		if !isPrefix(proj, target) {
+			return false, nil // dead branch
+		}
+		if len(proj) == len(target) {
+			found = prefix
+			return true, nil
+		}
+		// Explore extending ops first: the next target op, when enabled,
+		// is always worth trying immediately.
+		next := target[len(proj)]
+		var extending, others []Op
+		for _, op := range sys.Enabled() {
+			stepProj := project(Schedule{op})
+			switch {
+			case len(stepProj) == 0:
+				others = append(others, op)
+			case stepProj[0].Equal(next):
+				extending = append(extending, op)
+			default:
+				// Performing this op would break the prefix; skip it.
+			}
+		}
+		for _, op := range append(extending, others...) {
+			nextPrefix := make(Schedule, len(prefix)+1)
+			copy(nextPrefix, prefix)
+			nextPrefix[len(prefix)] = op
+			ok, err := rec(nextPrefix)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	ok, err := rec(nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: explored %d states", ErrNoRealization, visited)
+	}
+	return found, nil
+}
+
+// isPrefix reports whether a is a prefix of b.
+func isPrefix(a, b Schedule) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package ioa
+
+import (
+	"errors"
+	"testing"
+)
+
+func pingPongBuild() (*System, error) {
+	return NewSystem(&pinger{max: 3}, &toggle{}), nil
+}
+
+func pongProjection(s Schedule) Schedule {
+	return s.Filter(func(op Op) bool { return op.Kind == OpRequestCommit })
+}
+
+func TestFindRealizationFindsTarget(t *testing.T) {
+	target := Schedule{RequestCommit("out", 0), RequestCommit("out", 1)}
+	u, err := FindRealization(pingPongBuild, pongProjection, target, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pongProjection(u).Equal(target) {
+		t.Fatalf("realization %v does not project to %v", u, target)
+	}
+}
+
+func TestFindRealizationEmptyTargetTrivial(t *testing.T) {
+	u, err := FindRealization(pingPongBuild, pongProjection, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pongProjection(u)) != 0 {
+		t.Fatalf("empty target realized by %v", u)
+	}
+}
+
+func TestFindRealizationRejectsImpossible(t *testing.T) {
+	// The toggle numbers pongs sequentially; a pong "5" first is impossible.
+	target := Schedule{RequestCommit("out", 5)}
+	_, err := FindRealization(pingPongBuild, pongProjection, target, 10000)
+	if !errors.Is(err, ErrNoRealization) {
+		t.Fatalf("want ErrNoRealization, got %v", err)
+	}
+}
+
+func TestFindRealizationBudgetExhaustion(t *testing.T) {
+	// A reachable target with an absurdly small budget fails cleanly.
+	target := Schedule{RequestCommit("out", 0), RequestCommit("out", 1), RequestCommit("out", 2)}
+	_, err := FindRealization(pingPongBuild, pongProjection, target, 2)
+	if !errors.Is(err, ErrNoRealization) {
+		t.Fatalf("want ErrNoRealization (budget), got %v", err)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	a := Schedule{Create("x")}
+	b := Schedule{Create("x"), Commit("x", 1)}
+	if !isPrefix(a, b) || !isPrefix(nil, a) || !isPrefix(b, b) {
+		t.Error("prefix positives broken")
+	}
+	if isPrefix(b, a) || isPrefix(Schedule{Create("y")}, b) {
+		t.Error("prefix negatives broken")
+	}
+}

@@ -1,0 +1,88 @@
+package ioa
+
+import "strings"
+
+// Schedule is a finite sequence of operations — the observable part of an
+// execution (paper Section 2.1). Because all automata here are
+// state-deterministic, a schedule determines the resulting state.
+type Schedule []Op
+
+// Project returns the subsequence of operations that belong to the given
+// automaton (written β|A in the paper).
+func (s Schedule) Project(a Automaton) Schedule {
+	var out Schedule
+	for _, op := range s {
+		if a.HasOp(op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Filter returns the subsequence of operations for which keep returns true.
+func (s Schedule) Filter(keep func(Op) bool) Schedule {
+	var out Schedule
+	for _, op := range s {
+		if keep(op) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two schedules are identical op for op.
+func (s Schedule) Equal(t Schedule) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Equal(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the position of the first operation matching pred, or -1.
+func (s Schedule) Index(pred func(Op) bool) int {
+	for i, op := range s {
+		if pred(op) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schedule one operation per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for i, op := range s {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(op.String())
+	}
+	return b.String()
+}
+
+// OpsFor returns the subsequence of operations belonging to the transaction
+// automaton named t, given the parent function of the transaction tree:
+// CREATE(t) and REQUEST-COMMIT(t, v) belong to t, while
+// REQUEST-CREATE(t'), COMMIT(t', v) and ABORT(t') belong to parent(t').
+// This is the projection β|T used throughout the paper.
+func (s Schedule) OpsFor(t TxnName, parent func(TxnName) (TxnName, bool)) Schedule {
+	var out Schedule
+	for _, op := range s {
+		switch op.Kind {
+		case OpCreate, OpRequestCommit:
+			if op.Txn == t {
+				out = append(out, op)
+			}
+		case OpRequestCreate, OpCommit, OpAbort:
+			if p, ok := parent(op.Txn); ok && p == t {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package ioa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotEnabled is wrapped by Step errors when an output operation's
+// preconditions fail; replay checkers match it to report precondition
+// violations distinctly from structural errors.
+var ErrNotEnabled = errors.New("operation not enabled")
+
+// ErrNoOwner is returned when a sequence contains an operation that no
+// component claims as an output.
+var ErrNoOwner = errors.New("operation is not an output of any component")
+
+// System is the composition of a set of I/O automata (paper Section 2.1).
+// A system is itself an automaton: its state is the tuple of component
+// states, its outputs are the union of component outputs, and a step of the
+// system applies the operation to every component that has it.
+type System struct {
+	autos []Automaton
+	sched Schedule
+}
+
+// NewSystem composes the given automata. The caller is responsible for the
+// model's requirement that component output sets be disjoint; Step enforces
+// it lazily by rejecting operations claimed as output by two components.
+func NewSystem(autos ...Automaton) *System {
+	return &System{autos: append([]Automaton(nil), autos...)}
+}
+
+// Components returns the component automata.
+func (s *System) Components() []Automaton {
+	return append([]Automaton(nil), s.autos...)
+}
+
+// Component returns the component with the given name, or nil.
+func (s *System) Component(name string) Automaton {
+	for _, a := range s.autos {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Enabled returns the union of the enabled output operations of all
+// components, i.e. the output operations of the composed automaton that are
+// enabled in the current state.
+func (s *System) Enabled() []Op {
+	var out []Op
+	for _, a := range s.autos {
+		out = append(out, a.Enabled()...)
+	}
+	return out
+}
+
+// Step performs one operation of the composed system: it verifies that
+// exactly one component owns op as an output, then applies op to every
+// component that has op. If the owner rejects the op (precondition failure)
+// no component state changes. If any non-owner rejects an input, Step
+// panics: that would violate the Input Condition and indicates a bug in the
+// component, not in the schedule being executed.
+func (s *System) Step(op Op) error {
+	var owner Automaton
+	for _, a := range s.autos {
+		if a.IsOutput(op) {
+			if owner != nil {
+				return fmt.Errorf("op %v is an output of both %s and %s", op, owner.Name(), a.Name())
+			}
+			owner = a
+		}
+	}
+	if owner == nil {
+		return fmt.Errorf("%w: %v", ErrNoOwner, op)
+	}
+	// Apply to the owner first so a precondition failure leaves every
+	// component untouched.
+	if err := owner.Step(op); err != nil {
+		return fmt.Errorf("%s: %w", owner.Name(), err)
+	}
+	for _, a := range s.autos {
+		if a == owner || !a.HasOp(op) {
+			continue
+		}
+		if err := a.Step(op); err != nil {
+			panic(fmt.Sprintf("ioa: component %s rejected input %v: %v (Input Condition violated)", a.Name(), op, err))
+		}
+	}
+	s.sched = append(s.sched, op)
+	return nil
+}
+
+// Schedule returns a copy of the sequence of operations performed so far.
+func (s *System) Schedule() Schedule {
+	return append(Schedule(nil), s.sched...)
+}
+
+// Replay applies each operation of seq in order, returning the index and
+// error of the first operation that is not a step of the system from its
+// current state. A nil error means seq is a schedule of the system (from
+// the state the system was in when Replay was called).
+func (s *System) Replay(seq Schedule) (int, error) {
+	for i, op := range seq {
+		if err := s.Step(op); err != nil {
+			return i, fmt.Errorf("step %d (%v): %w", i, op, err)
+		}
+	}
+	return len(seq), nil
+}

@@ -1,0 +1,102 @@
+// Package metrics provides the small stdlib-only counters and latency
+// histograms the benchmark harness reports.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram records duration samples and reports simple summary statistics.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Summary holds the statistics of a histogram snapshot.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Count returns the number of samples recorded so far.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Snapshot computes summary statistics over the samples so far.
+func (h *Histogram) Snapshot() Summary { return h.SnapshotAfter(0) }
+
+// SnapshotAfter computes summary statistics over the samples recorded
+// after the first skip ones — a window for per-phase reporting.
+func (h *Histogram) SnapshotAfter(skip int) Summary {
+	h.mu.Lock()
+	var samples []time.Duration
+	if skip < len(h.samples) {
+		samples = append(samples, h.samples[skip:]...)
+	}
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return Summary{
+		Count: len(samples),
+		Mean:  total / time.Duration(len(samples)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v", s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 5000 {
+		t.Errorf("Value = %d, want 5000", c.Value())
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P95 < 90*time.Millisecond || s.P95 > 100*time.Millisecond {
+		t.Errorf("P95 = %v", s.P95)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotAfterWindows(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second) // old phase
+	mark := h.Count()
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	s := h.SnapshotAfter(mark)
+	if s.Count != 2 || s.Max != 20*time.Millisecond {
+		t.Errorf("windowed snapshot = %+v", s)
+	}
+	if s := h.SnapshotAfter(100); s.Count != 0 {
+		t.Errorf("over-skip snapshot = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	if got := h.Snapshot().String(); got == "" {
+		t.Error("empty String")
+	}
+}

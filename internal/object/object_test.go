@@ -1,0 +1,132 @@
+package object
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+func buildObject(t *testing.T) (*tree.Tree, *RW) {
+	t.Helper()
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	r := tr.MustAddChild(u.Name(), "r", tree.KindAccess)
+	r.Object = "x"
+	r.Access = tree.ReadAccess
+	w := tr.MustAddChild(u.Name(), "w", tree.KindAccess)
+	w.Object = "x"
+	w.Access = tree.WriteAccess
+	w.Data = 42
+	return tr, NewRW(tr, "x", 7)
+}
+
+func TestReadAccessReturnsData(t *testing.T) {
+	_, o := buildObject(t)
+	if err := o.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	enabled := o.Enabled()
+	if len(enabled) != 1 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	want := ioa.RequestCommit("T0/u/r", 7)
+	if !enabled[0].Equal(want) {
+		t.Fatalf("enabled = %v, want %v", enabled[0], want)
+	}
+	if err := o.Step(want); err != nil {
+		t.Fatal(err)
+	}
+	if o.Active() != "" {
+		t.Error("active must clear after return")
+	}
+}
+
+func TestReadAccessRejectsWrongValue(t *testing.T) {
+	_, o := buildObject(t)
+	if err := o.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	err := o.Step(ioa.RequestCommit("T0/u/r", 999))
+	if !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("want precondition failure, got %v", err)
+	}
+}
+
+func TestWriteAccessSetsData(t *testing.T) {
+	_, o := buildObject(t)
+	if err := o.Step(ioa.Create("T0/u/w")); err != nil {
+		t.Fatal(err)
+	}
+	// Write accesses return nil.
+	if err := o.Step(ioa.RequestCommit("T0/u/w", 7)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("non-nil return must fail, got %v", err)
+	}
+	if err := o.Step(ioa.RequestCommit("T0/u/w", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Data() != 42 {
+		t.Errorf("data = %v, want 42", o.Data())
+	}
+}
+
+func TestNoPendingMeansNothingEnabled(t *testing.T) {
+	_, o := buildObject(t)
+	if got := o.Enabled(); len(got) != 0 {
+		t.Errorf("idle object enabled %v", got)
+	}
+	err := o.Step(ioa.RequestCommit("T0/u/r", 7))
+	if !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("return without pending access must fail, got %v", err)
+	}
+}
+
+func TestHasOpAndIsOutput(t *testing.T) {
+	_, o := buildObject(t)
+	if !o.HasOp(ioa.Create("T0/u/r")) || !o.HasOp(ioa.RequestCommit("T0/u/w", nil)) {
+		t.Error("object must claim its accesses' invocations and returns")
+	}
+	if o.HasOp(ioa.RequestCreate("T0/u/r")) {
+		t.Error("REQUEST-CREATE is not an object operation")
+	}
+	if o.HasOp(ioa.Create("T0/u")) {
+		t.Error("non-access ops are foreign")
+	}
+	if o.IsOutput(ioa.Create("T0/u/r")) {
+		t.Error("CREATE is an input")
+	}
+	if !o.IsOutput(ioa.RequestCommit("T0/u/r", 1)) {
+		t.Error("REQUEST-COMMIT is an output")
+	}
+}
+
+func TestForeignAccessRejected(t *testing.T) {
+	_, o := buildObject(t)
+	if err := o.Step(ioa.Create("T0/u")); err == nil {
+		t.Error("non-access op must be rejected")
+	}
+}
+
+func TestSequentialAccessesAccumulateWrites(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	for i, val := range []int{1, 2, 3} {
+		w := tr.MustAddChild(u.Name(), string(rune('a'+i)), tree.KindAccess)
+		w.Object = "x"
+		w.Access = tree.WriteAccess
+		w.Data = val
+	}
+	o := NewRW(tr, "x", 0)
+	for _, acc := range tr.AccessesTo("x") {
+		if err := o.Step(ioa.Create(acc.Name())); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Step(ioa.RequestCommit(acc.Name(), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Data() != 3 {
+		t.Errorf("data = %v, want the last write (3)", o.Data())
+	}
+}

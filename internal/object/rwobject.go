@@ -1,0 +1,125 @@
+// Package object implements basic objects and, in particular, the fully
+// specified read-write objects of paper Section 2.3. Each replica (DM) and
+// each non-replicated data item is modeled as a read-write object.
+package object
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// RW is a read-write object: a basic object automaton over some domain D
+// with an initial value. Its state has two components, active (the name of
+// the current access, "" for nil) and data (an element of D).
+//
+// For a read access T, REQUEST-COMMIT(T, v) has preconditions active = T
+// and v = data; for a write access T with data(T) = d, the preconditions
+// are active = T and v = nil, and the postcondition sets data = d.
+type RW struct {
+	name string
+	tr   *tree.Tree
+
+	accesses map[ioa.TxnName]*tree.Node
+
+	active ioa.TxnName
+	data   ioa.Value
+}
+
+var _ ioa.Automaton = (*RW)(nil)
+
+// NewRW returns a read-write object automaton named name whose accesses are
+// the access leaves of tr with Object == name, with the given initial data.
+func NewRW(tr *tree.Tree, name string, initial ioa.Value) *RW {
+	o := &RW{
+		name:     name,
+		tr:       tr,
+		accesses: map[ioa.TxnName]*tree.Node{},
+		data:     initial,
+	}
+	for _, n := range tr.AccessesTo(name) {
+		o.accesses[n.Name()] = n
+	}
+	return o
+}
+
+// Name returns the object's name.
+func (o *RW) Name() string { return o.name }
+
+// Data returns the current data component of the object's state.
+func (o *RW) Data() ioa.Value { return o.data }
+
+// Active returns the name of the current access, or "" if none is pending.
+func (o *RW) Active() ioa.TxnName { return o.active }
+
+// HasOp reports whether op is an invocation or return operation of one of
+// this object's accesses.
+func (o *RW) HasOp(op ioa.Op) bool {
+	if op.Kind != ioa.OpCreate && op.Kind != ioa.OpRequestCommit {
+		return false
+	}
+	return o.accesses[op.Txn] != nil
+}
+
+// IsOutput reports whether op is REQUEST-COMMIT of one of this object's
+// accesses.
+func (o *RW) IsOutput(op ioa.Op) bool {
+	return op.Kind == ioa.OpRequestCommit && o.accesses[op.Txn] != nil
+}
+
+// Enabled returns the REQUEST-COMMIT operation for the active access, if
+// any. For read accesses the returned value is the current data; for write
+// accesses it is nil.
+func (o *RW) Enabled() []ioa.Op {
+	if o.active == "" {
+		return nil
+	}
+	n := o.accesses[o.active]
+	if n == nil {
+		return nil
+	}
+	if n.Access == tree.ReadAccess {
+		return []ioa.Op{ioa.RequestCommit(o.active, o.data)}
+	}
+	return []ioa.Op{ioa.RequestCommit(o.active, nil)}
+}
+
+// Step applies op. CREATE(T) is an input and always accepted, setting
+// active = T (the environment is responsible for preserving well-formedness
+// by not invoking an access while another is pending, exactly as in the
+// paper). REQUEST-COMMIT is an output and is validated.
+func (o *RW) Step(op ioa.Op) error {
+	n := o.accesses[op.Txn]
+	if n == nil {
+		return fmt.Errorf("object %s: %v is not an access", o.name, op.Txn)
+	}
+	switch op.Kind {
+	case ioa.OpCreate:
+		o.active = op.Txn
+		return nil
+	case ioa.OpRequestCommit:
+		if o.active != op.Txn {
+			return fmt.Errorf("%w: object %s: REQUEST-COMMIT(%v) but active = %q", ioa.ErrNotEnabled, o.name, op.Txn, o.active)
+		}
+		switch n.Access {
+		case tree.ReadAccess:
+			if !reflect.DeepEqual(op.Val, o.data) {
+				return fmt.Errorf("%w: object %s: read access %v returned %v, data is %v", ioa.ErrNotEnabled, o.name, op.Txn, op.Val, o.data)
+			}
+			o.active = ""
+		case tree.WriteAccess:
+			if op.Val != nil {
+				return fmt.Errorf("%w: object %s: write access %v must return nil, got %v", ioa.ErrNotEnabled, o.name, op.Txn, op.Val)
+			}
+			o.data = n.Data
+			o.active = ""
+		default:
+			return fmt.Errorf("object %s: access %v has no access kind", o.name, op.Txn)
+		}
+		return nil
+	default:
+		return fmt.Errorf("object %s: unexpected op %v", o.name, op)
+	}
+}

@@ -1,0 +1,100 @@
+package quorum
+
+import "math/rand"
+
+// Availability is the probability that a read (respectively write) quorum
+// of live DMs exists.
+type Availability struct {
+	Read  float64
+	Write float64
+}
+
+// ExactAvailability computes read/write availability exactly by enumerating
+// all up/down patterns of the configuration's members, assuming each DM is
+// up independently with probability up[name]. Exponential in the number of
+// members; fine for n ≤ ~20.
+func ExactAvailability(cfg Config, up map[string]float64) Availability {
+	members := cfg.Members()
+	n := len(members)
+	var avail Availability
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		live := map[string]bool{}
+		for i, m := range members {
+			if mask&(1<<i) != 0 {
+				p *= up[m]
+				live[m] = true
+			} else {
+				p *= 1 - up[m]
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		if cfg.HasReadQuorum(live) {
+			avail.Read += p
+		}
+		if cfg.HasWriteQuorum(live) {
+			avail.Write += p
+		}
+	}
+	return avail
+}
+
+// UniformUp returns an up-probability map assigning p to every name.
+func UniformUp(names []string, p float64) map[string]float64 {
+	m := make(map[string]float64, len(names))
+	for _, n := range names {
+		m[n] = p
+	}
+	return m
+}
+
+// MonteCarloAvailability estimates availability by sampling trials up/down
+// patterns with the given rng. Used to cross-check ExactAvailability and
+// for configurations too large to enumerate.
+func MonteCarloAvailability(cfg Config, up map[string]float64, trials int, rng *rand.Rand) Availability {
+	members := cfg.Members()
+	var readOK, writeOK int
+	live := map[string]bool{}
+	for t := 0; t < trials; t++ {
+		for k := range live {
+			delete(live, k)
+		}
+		for _, m := range members {
+			if rng.Float64() < up[m] {
+				live[m] = true
+			}
+		}
+		if cfg.HasReadQuorum(live) {
+			readOK++
+		}
+		if cfg.HasWriteQuorum(live) {
+			writeOK++
+		}
+	}
+	return Availability{
+		Read:  float64(readOK) / float64(trials),
+		Write: float64(writeOK) / float64(trials),
+	}
+}
+
+// MinReadQuorumSize returns the size of the smallest read-quorum, the
+// number of replicas a read must contact in the best case.
+func (c Config) MinReadQuorumSize() int { return minSize(c.R) }
+
+// MinWriteQuorumSize returns the size of the smallest write-quorum.
+func (c Config) MinWriteQuorumSize() int { return minSize(c.W) }
+
+func minSize(qs []Set) int {
+	if len(qs) == 0 {
+		return 0
+	}
+	min := len(qs[0])
+	for _, q := range qs[1:] {
+		if len(q) < min {
+			min = len(q)
+		}
+	}
+	return min
+}

@@ -1,0 +1,71 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLegalMajority7(b *testing.B) {
+	cfg := Majority(names(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cfg.Legal() {
+			b.Fatal("illegal")
+		}
+	}
+}
+
+func BenchmarkVoting7(b *testing.B) {
+	votes := map[string]int{}
+	for _, n := range names(7) {
+		votes[n] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Voting(votes, 4, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeQuorum13(b *testing.B) {
+	dms := names(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TreeQuorum(dms, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHasReadQuorum(b *testing.B) {
+	cfg := Majority(names(7))
+	have := map[string]bool{"d0": true, "d2": true, "d4": true, "d6": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cfg.HasReadQuorum(have) {
+			b.Fatal("no quorum")
+		}
+	}
+}
+
+func BenchmarkExactAvailability9(b *testing.B) {
+	dms := names(9)
+	cfg := Majority(dms)
+	up := UniformUp(dms, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactAvailability(cfg, up)
+	}
+}
+
+func BenchmarkMonteCarloAvailability(b *testing.B) {
+	dms := names(9)
+	cfg := Majority(dms)
+	up := UniformUp(dms, 0.9)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MonteCarloAvailability(cfg, up, 100, rng)
+	}
+}

@@ -1,0 +1,190 @@
+// Package quorum implements quorum configurations in the generalized form
+// the paper adopts from Barbara & Garcia-Molina: a configuration is a pair
+// (r, w) of sets of quorums, each quorum a set of DM names, and a legal
+// configuration is one in which every read-quorum intersects every
+// write-quorum. Gifford's original vote-based scheme is provided as a
+// constructor, and the package includes exact and Monte-Carlo availability
+// analysis used by the benchmark harness.
+package quorum
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a quorum: a set of DM names.
+type Set map[string]bool
+
+// NewSet returns a Set containing the given names.
+func NewSet(names ...string) Set {
+	s := make(Set, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Contains reports whether s contains name.
+func (s Set) Contains(name string) bool { return s[name] }
+
+// SubsetOf reports whether every member of s is in t, where t is given as a
+// membership set.
+func (s Set) SubsetOf(t map[string]bool) bool {
+	for n := range s {
+		if !t[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share a member.
+func (s Set) Intersects(t Set) bool {
+	for n := range s {
+		if t[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns the members of s, sorted.
+func (s Set) Names() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a copy of s.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for n := range s {
+		out[n] = true
+	}
+	return out
+}
+
+// String renders the set as "{a,b,c}".
+func (s Set) String() string { return "{" + strings.Join(s.Names(), ",") + "}" }
+
+// Config is a configuration: a set of read-quorums and a set of
+// write-quorums.
+type Config struct {
+	R []Set
+	W []Set
+}
+
+// Legal reports whether the configuration is legal: every read-quorum has a
+// non-empty intersection with every write-quorum.
+func (c Config) Legal() bool {
+	if len(c.R) == 0 || len(c.W) == 0 {
+		return false
+	}
+	for _, r := range c.R {
+		for _, w := range c.W {
+			if !r.Intersects(w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasReadQuorum reports whether some read-quorum is a subset of the set of
+// names marked true in have.
+func (c Config) HasReadQuorum(have map[string]bool) bool {
+	for _, r := range c.R {
+		if r.SubsetOf(have) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasWriteQuorum reports whether some write-quorum is a subset of have.
+func (c Config) HasWriteQuorum(have map[string]bool) bool {
+	for _, w := range c.W {
+		if w.SubsetOf(have) {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns every DM name mentioned by any quorum, sorted.
+func (c Config) Members() []string {
+	set := map[string]bool{}
+	for _, q := range c.R {
+		for n := range q {
+			set[n] = true
+		}
+	}
+	for _, q := range c.W {
+		for n := range q {
+			set[n] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of c.
+func (c Config) Clone() Config {
+	out := Config{R: make([]Set, len(c.R)), W: make([]Set, len(c.W))}
+	for i, q := range c.R {
+		out.R[i] = q.Clone()
+	}
+	for i, q := range c.W {
+		out.W[i] = q.Clone()
+	}
+	return out
+}
+
+// String renders the configuration.
+func (c Config) String() string {
+	var b strings.Builder
+	b.WriteString("r:[")
+	for i, q := range c.R {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(q.String())
+	}
+	b.WriteString("] w:[")
+	for i, q := range c.W {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(q.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Validate returns a descriptive error if c is not a legal configuration
+// over exactly the given DM names.
+func (c Config) Validate(dms []string) error {
+	if !c.Legal() {
+		return fmt.Errorf("quorum: configuration is not legal: %v", c)
+	}
+	allowed := map[string]bool{}
+	for _, d := range dms {
+		allowed[d] = true
+	}
+	for _, q := range append(append([]Set{}, c.R...), c.W...) {
+		for n := range q {
+			if !allowed[n] {
+				return fmt.Errorf("quorum: quorum member %q is not a DM of this item", n)
+			}
+		}
+	}
+	return nil
+}

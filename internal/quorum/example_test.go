@@ -1,0 +1,50 @@
+package quorum_test
+
+import (
+	"fmt"
+
+	"repro/internal/quorum"
+)
+
+func ExampleVoting() {
+	// Gifford's example shape: one strong site with 2 votes, two weak
+	// sites with 1 vote each; read threshold 2, write threshold 3.
+	cfg, err := quorum.Voting(map[string]int{"a": 2, "b": 1, "c": 1}, 2, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("legal:", cfg.Legal())
+	fmt.Println("min read quorum:", cfg.MinReadQuorumSize())
+	fmt.Println("min write quorum:", cfg.MinWriteQuorumSize())
+	// Output:
+	// legal: true
+	// min read quorum: 1
+	// min write quorum: 2
+}
+
+func ExampleMajority() {
+	cfg := quorum.Majority([]string{"d1", "d2", "d3"})
+	fmt.Println("read quorums:", len(cfg.R))
+	fmt.Println("intersecting:", cfg.Legal())
+	// Output:
+	// read quorums: 3
+	// intersecting: true
+}
+
+func ExampleExactAvailability() {
+	dms := []string{"d1", "d2", "d3"}
+	cfg := quorum.ReadOneWriteAll(dms)
+	a := quorum.ExactAvailability(cfg, quorum.UniformUp(dms, 0.9))
+	fmt.Printf("read %.3f write %.3f\n", a.Read, a.Write)
+	// Output:
+	// read 0.999 write 0.729
+}
+
+func ExampleConfig_HasReadQuorum() {
+	cfg := quorum.Majority([]string{"d1", "d2", "d3"})
+	live := map[string]bool{"d1": true, "d3": true}
+	fmt.Println(cfg.HasReadQuorum(live))
+	// Output:
+	// true
+}

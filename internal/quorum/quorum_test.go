@@ -1,0 +1,306 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("d%d", i)
+	}
+	return out
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet("b", "a")
+	if !s.Contains("a") || s.Contains("c") {
+		t.Error("Contains broken")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+	if s.String() != "{a,b}" {
+		t.Errorf("String = %q", s.String())
+	}
+	c := s.Clone()
+	c["z"] = true
+	if s.Contains("z") {
+		t.Error("Clone must not alias")
+	}
+	if !s.Intersects(NewSet("b", "q")) || s.Intersects(NewSet("q")) {
+		t.Error("Intersects broken")
+	}
+	if !s.SubsetOf(map[string]bool{"a": true, "b": true, "c": true}) {
+		t.Error("SubsetOf broken")
+	}
+	if s.SubsetOf(map[string]bool{"a": true}) {
+		t.Error("SubsetOf must require every member")
+	}
+}
+
+func TestLegal(t *testing.T) {
+	legal := Config{R: []Set{NewSet("a")}, W: []Set{NewSet("a", "b")}}
+	if !legal.Legal() {
+		t.Error("intersecting config is legal")
+	}
+	illegal := Config{R: []Set{NewSet("a")}, W: []Set{NewSet("b")}}
+	if illegal.Legal() {
+		t.Error("disjoint quorums are illegal")
+	}
+	if (Config{}).Legal() {
+		t.Error("empty config is illegal")
+	}
+	if (Config{R: []Set{NewSet("a")}}).Legal() {
+		t.Error("config without write-quorums is illegal")
+	}
+}
+
+func TestStandardStrategiesLegal(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		dms := names(n)
+		for label, cfg := range map[string]Config{
+			"read-one/write-all": ReadOneWriteAll(dms),
+			"majority":           Majority(dms),
+			"read-all/write-one": ReadAllWriteOne(dms),
+		} {
+			if !cfg.Legal() {
+				t.Errorf("%s over %d DMs not legal", label, n)
+			}
+			if err := cfg.Validate(dms); err != nil {
+				t.Errorf("%s over %d DMs: %v", label, n, err)
+			}
+		}
+	}
+}
+
+func TestMajorityQuorumSizes(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		cfg := Majority(names(n))
+		want := n/2 + 1
+		if cfg.MinReadQuorumSize() != want || cfg.MinWriteQuorumSize() != want {
+			t.Errorf("n=%d: min sizes %d/%d, want %d", n, cfg.MinReadQuorumSize(), cfg.MinWriteQuorumSize(), want)
+		}
+	}
+}
+
+func TestVotingRejectsBadThresholds(t *testing.T) {
+	votes := map[string]int{"a": 1, "b": 1, "c": 1}
+	if _, err := Voting(votes, 1, 1); err == nil {
+		t.Error("rq+wq <= total must fail")
+	}
+	if _, err := Voting(votes, 3, 1); err == nil {
+		t.Error("2wq <= total must fail (write/write intersection)")
+	}
+	if _, err := Voting(map[string]int{"a": -1}, 1, 1); err == nil {
+		t.Error("negative votes must fail")
+	}
+}
+
+func TestVotingGeneralizesClassicSchemes(t *testing.T) {
+	dms := names(3)
+	votes := map[string]int{"d0": 1, "d1": 1, "d2": 1}
+	// rq=1, wq=3 == read-one/write-all.
+	rowa, err := Voting(votes, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowa.MinReadQuorumSize() != 1 || rowa.MinWriteQuorumSize() != 3 {
+		t.Errorf("rowa sizes: %d/%d", rowa.MinReadQuorumSize(), rowa.MinWriteQuorumSize())
+	}
+	// rq=2, wq=2 == majority.
+	maj, err := Voting(votes, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maj.R) != len(Majority(dms).R) {
+		t.Errorf("majority voting has %d read-quorums, want %d", len(maj.R), len(Majority(dms).R))
+	}
+}
+
+func TestVotingWeighted(t *testing.T) {
+	// A replica with all the weight becomes a mandatory member.
+	cfg, err := Voting(map[string]int{"big": 3, "s1": 1, "s2": 1}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range append(append([]Set{}, cfg.R...), cfg.W...) {
+		if !q.Contains("big") && len(q) < 2 {
+			t.Errorf("quorum %v reaches 3 votes without big?", q)
+		}
+	}
+	if !cfg.Legal() {
+		t.Error("weighted config must be legal")
+	}
+}
+
+// Property: every Voting configuration with valid thresholds is legal, its
+// quorums are minimal, and write-quorums pairwise intersect.
+func TestVotingPropertyLegalAndMinimal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		votes := map[string]int{}
+		total := 0
+		for i := 0; i < n; i++ {
+			v := 1 + rng.Intn(3)
+			votes[fmt.Sprintf("d%d", i)] = v
+			total += v
+		}
+		wq := total/2 + 1 + rng.Intn(total-total/2)
+		if wq > total {
+			wq = total
+		}
+		rq := total - wq + 1 + rng.Intn(wq)
+		if rq > total {
+			rq = total
+		}
+		cfg, err := Voting(votes, rq, wq)
+		if err != nil {
+			return true // thresholds rejected; nothing to check
+		}
+		if !cfg.Legal() {
+			return false
+		}
+		// Write/write intersection (Gifford's second constraint).
+		for _, w1 := range cfg.W {
+			for _, w2 := range cfg.W {
+				if !w1.Intersects(w2) {
+					return false
+				}
+			}
+		}
+		// Minimality: removing any member of a quorum drops below the
+		// threshold.
+		check := func(qs []Set, threshold int) bool {
+			for _, q := range qs {
+				sum := 0
+				for m := range q {
+					sum += votes[m]
+				}
+				if sum < threshold {
+					return false
+				}
+				for m := range q {
+					if sum-votes[m] >= threshold {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		return check(cfg.R, rq) && check(cfg.W, wq)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	dms := names(6)
+	cfg, err := Grid(dms, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Legal() {
+		t.Error("grid config must be legal")
+	}
+	if len(cfg.R) != 3 {
+		t.Errorf("grid should have one read-quorum per column, got %d", len(cfg.R))
+	}
+	// Grid reads are cheaper than majority reads for larger n.
+	if cfg.MinReadQuorumSize() != 2 {
+		t.Errorf("grid read quorum size = %d", cfg.MinReadQuorumSize())
+	}
+	if _, err := Grid(dms, 2, 2); err == nil {
+		t.Error("mismatched grid dims must fail")
+	}
+}
+
+func TestHasQuorum(t *testing.T) {
+	cfg := Majority(names(3))
+	if cfg.HasReadQuorum(map[string]bool{"d0": true}) {
+		t.Error("one of three is not a majority")
+	}
+	if !cfg.HasReadQuorum(map[string]bool{"d0": true, "d2": true}) {
+		t.Error("two of three is a majority")
+	}
+	if !cfg.HasWriteQuorum(map[string]bool{"d0": true, "d1": true, "d2": true}) {
+		t.Error("all three contain a write-quorum")
+	}
+}
+
+func TestValidateRejectsForeignMembers(t *testing.T) {
+	cfg := Config{R: []Set{NewSet("zz")}, W: []Set{NewSet("zz")}}
+	if err := cfg.Validate(names(3)); err == nil {
+		t.Error("foreign member must fail validation")
+	}
+}
+
+func TestExactAvailabilityKnownValues(t *testing.T) {
+	dms := names(3)
+	p := 0.9
+	up := UniformUp(dms, p)
+	// Read-one/write-all: read needs any replica up, write needs all.
+	a := ExactAvailability(ReadOneWriteAll(dms), up)
+	wantRead := 1 - math.Pow(1-p, 3)
+	wantWrite := math.Pow(p, 3)
+	if math.Abs(a.Read-wantRead) > 1e-9 || math.Abs(a.Write-wantWrite) > 1e-9 {
+		t.Errorf("rowa availability = %+v, want %.6f/%.6f", a, wantRead, wantWrite)
+	}
+	// Majority of 3: at least 2 up.
+	m := ExactAvailability(Majority(dms), up)
+	wantMaj := math.Pow(p, 3) + 3*math.Pow(p, 2)*(1-p)
+	if math.Abs(m.Read-wantMaj) > 1e-9 || math.Abs(m.Write-wantMaj) > 1e-9 {
+		t.Errorf("majority availability = %+v, want %.6f", m, wantMaj)
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	dms := names(5)
+	cfg := Majority(dms)
+	up := UniformUp(dms, 0.8)
+	exact := ExactAvailability(cfg, up)
+	mc := MonteCarloAvailability(cfg, up, 200000, rand.New(rand.NewSource(1)))
+	if math.Abs(exact.Read-mc.Read) > 0.01 || math.Abs(exact.Write-mc.Write) > 0.01 {
+		t.Errorf("monte carlo %+v vs exact %+v", mc, exact)
+	}
+}
+
+// Property: for any legal configuration, read availability plus write
+// availability of the *same* live set never exceeds... rather: if a live
+// set has a write quorum, adding replicas preserves it (monotonicity).
+func TestAvailabilityMonotoneInUpProbability(t *testing.T) {
+	dms := names(4)
+	cfgs := []Config{ReadOneWriteAll(dms), Majority(dms), ReadAllWriteOne(dms)}
+	for _, cfg := range cfgs {
+		prev := Availability{}
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+			a := ExactAvailability(cfg, UniformUp(dms, p))
+			if a.Read+1e-12 < prev.Read || a.Write+1e-12 < prev.Write {
+				t.Errorf("availability not monotone at p=%v: %+v < %+v", p, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestConfigCloneIsDeep(t *testing.T) {
+	cfg := Majority(names(3))
+	clone := cfg.Clone()
+	clone.R[0]["zzz"] = true
+	if cfg.R[0].Contains("zzz") {
+		t.Error("Clone must deep-copy quorums")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg := Config{R: []Set{NewSet("a")}, W: []Set{NewSet("a", "b")}}
+	if got := cfg.String(); got != "r:[{a}] w:[{a,b}]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,171 @@
+package quorum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Voting builds a configuration from Gifford's weighted-voting scheme: each
+// DM is assigned a number of votes, and (rq, wq) are the vote thresholds
+// for read and write quorums. The constraint rq + wq > total guarantees
+// legality (read/write intersection); Gifford additionally requires
+// 2*wq > total so that two write-quorums intersect, which the version-number
+// scheme needs to keep version numbers monotone. The returned configuration
+// contains the *minimal* quorums: subsets of DMs whose votes meet the
+// threshold and that are minimal under set inclusion.
+func Voting(votes map[string]int, rq, wq int) (Config, error) {
+	total := 0
+	names := make([]string, 0, len(votes))
+	for n, v := range votes {
+		if v < 0 {
+			return Config{}, fmt.Errorf("quorum: negative votes for %s", n)
+		}
+		total += v
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if rq+wq <= total {
+		return Config{}, fmt.Errorf("quorum: read-quorum %d + write-quorum %d must exceed total votes %d", rq, wq, total)
+	}
+	if 2*wq <= total {
+		return Config{}, fmt.Errorf("quorum: write-quorum %d must exceed half of total votes %d", wq, total)
+	}
+	cfg := Config{
+		R: minimalQuorums(names, votes, rq),
+		W: minimalQuorums(names, votes, wq),
+	}
+	if !cfg.Legal() {
+		return Config{}, fmt.Errorf("quorum: internal error: voting construction produced illegal configuration")
+	}
+	return cfg, nil
+}
+
+// minimalQuorums enumerates the subsets of names whose votes sum to at
+// least threshold and that are minimal under inclusion. Exponential in
+// len(names); intended for the small replica counts (≤ ~12) used here.
+func minimalQuorums(names []string, votes map[string]int, threshold int) []Set {
+	var result []Set
+	n := len(names)
+	for mask := 1; mask < 1<<n; mask++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += votes[names[i]]
+			}
+		}
+		if sum < threshold {
+			continue
+		}
+		// Minimal: removing any member drops below threshold.
+		minimal := true
+		for i := 0; i < n && minimal; i++ {
+			if mask&(1<<i) != 0 && sum-votes[names[i]] >= threshold {
+				minimal = false
+			}
+		}
+		if !minimal {
+			continue
+		}
+		q := Set{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				q[names[i]] = true
+			}
+		}
+		result = append(result, q)
+	}
+	return result
+}
+
+// ReadOneWriteAll returns the configuration whose read-quorums are the
+// singletons and whose single write-quorum is all DMs.
+func ReadOneWriteAll(dms []string) Config {
+	cfg := Config{W: []Set{NewSet(dms...)}}
+	for _, d := range dms {
+		cfg.R = append(cfg.R, NewSet(d))
+	}
+	return cfg
+}
+
+// Majority returns the configuration whose read- and write-quorums are the
+// minimal majorities (⌊n/2⌋+1 members) of dms.
+func Majority(dms []string) Config {
+	k := len(dms)/2 + 1
+	qs := subsetsOfSize(dms, k)
+	return Config{R: qs, W: cloneSets(qs)}
+}
+
+// ReadAllWriteOne returns the "inverse" configuration: the single
+// read-quorum is all DMs and the write-quorums are the singletons. Legal,
+// but note it does not satisfy Gifford's write/write intersection
+// constraint; it is included for the availability ablation.
+func ReadAllWriteOne(dms []string) Config {
+	cfg := Config{R: []Set{NewSet(dms...)}}
+	for _, d := range dms {
+		cfg.W = append(cfg.W, NewSet(d))
+	}
+	return cfg
+}
+
+// Grid arranges dms (row-major) into a rows×cols grid: read-quorums are the
+// full columns and write-quorums are a full column plus one member from
+// every column. rows*cols must equal len(dms).
+func Grid(dms []string, rows, cols int) (Config, error) {
+	if rows*cols != len(dms) {
+		return Config{}, fmt.Errorf("quorum: grid %dx%d does not fit %d DMs", rows, cols, len(dms))
+	}
+	cell := func(r, c int) string { return dms[r*cols+c] }
+	var cfg Config
+	for c := 0; c < cols; c++ {
+		col := Set{}
+		for r := 0; r < rows; r++ {
+			col[cell(r, c)] = true
+		}
+		cfg.R = append(cfg.R, col)
+	}
+	// Write-quorums: one full column plus one representative per column.
+	// Enumerate representatives row choices per column (rows^cols sets per
+	// column choice); keep it bounded by using each row uniformly.
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			w := Set{}
+			for rr := 0; rr < rows; rr++ {
+				w[cell(rr, c)] = true
+			}
+			for cc := 0; cc < cols; cc++ {
+				w[cell(r, cc)] = true
+			}
+			cfg.W = append(cfg.W, w)
+		}
+	}
+	if !cfg.Legal() {
+		return Config{}, fmt.Errorf("quorum: internal error: grid construction produced illegal configuration")
+	}
+	return cfg, nil
+}
+
+// subsetsOfSize returns all subsets of names with exactly k members.
+func subsetsOfSize(names []string, k int) []Set {
+	var out []Set
+	n := len(names)
+	var rec func(start int, cur []string)
+	rec = func(start int, cur []string) {
+		if len(cur) == k {
+			out = append(out, NewSet(cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, names[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func cloneSets(qs []Set) []Set {
+	out := make([]Set, len(qs))
+	for i, q := range qs {
+		out[i] = q.Clone()
+	}
+	return out
+}

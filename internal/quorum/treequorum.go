@@ -1,0 +1,170 @@
+package quorum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TreeQuorum builds the tree quorum protocol of Agrawal & El Abbadi over
+// the given DMs, arranged level-order into a complete k-ary logical tree.
+// A read quorum for a subtree is either its root alone or read quorums of
+// a majority of its children; a write quorum is the root together with
+// write quorums of a majority of its children. In the failure-free case
+// reads cost O(1) (just the root) while writes cost O(log n); under root
+// failure reads degrade gracefully to deeper quorums.
+//
+// The paper places Gifford-style quorum consensus at the base of this
+// family ("the ideas of this method underlie many of the more recent and
+// sophisticated replication techniques"); TreeQuorum is provided as an
+// extension strategy and is validated against the same legality predicate.
+func TreeQuorum(dms []string, branching int) (Config, error) {
+	if branching < 2 {
+		return Config{}, fmt.Errorf("quorum: tree branching must be ≥ 2")
+	}
+	if len(dms) == 0 {
+		return Config{}, fmt.Errorf("quorum: no DMs")
+	}
+	reads := treeReadQuorums(dms, 0, branching)
+	writes := treeWriteQuorums(dms, 0, branching)
+	cfg := Config{R: dedupSets(reads), W: dedupSets(writes)}
+	if !cfg.Legal() {
+		return Config{}, fmt.Errorf("quorum: internal error: tree quorum construction produced illegal configuration")
+	}
+	return cfg, nil
+}
+
+// children returns the level-order child indices of node i.
+func childIndices(n, i, k int) []int {
+	var out []int
+	for c := i*k + 1; c <= i*k+k && c < n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// treeReadQuorums enumerates the read quorums of the subtree rooted at i.
+func treeReadQuorums(dms []string, i, k int) []Set {
+	out := []Set{NewSet(dms[i])}
+	kids := childIndices(len(dms), i, k)
+	if len(kids) == 0 {
+		return out
+	}
+	perChild := make([][]Set, len(kids))
+	for j, c := range kids {
+		perChild[j] = treeReadQuorums(dms, c, k)
+	}
+	need := len(kids)/2 + 1
+	out = append(out, combineMajorities(perChild, need, nil)...)
+	return out
+}
+
+// treeWriteQuorums enumerates the write quorums of the subtree rooted at i.
+func treeWriteQuorums(dms []string, i, k int) []Set {
+	kids := childIndices(len(dms), i, k)
+	if len(kids) == 0 {
+		return []Set{NewSet(dms[i])}
+	}
+	perChild := make([][]Set, len(kids))
+	for j, c := range kids {
+		perChild[j] = treeWriteQuorums(dms, c, k)
+	}
+	need := len(kids)/2 + 1
+	var out []Set
+	for _, q := range combineMajorities(perChild, need, nil) {
+		q[dms[i]] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// combineMajorities enumerates unions of one quorum from each of `need`
+// children chosen among perChild.
+func combineMajorities(perChild [][]Set, need int, chosen []Set) []Set {
+	if need == 0 {
+		u := Set{}
+		for _, q := range chosen {
+			for m := range q {
+				u[m] = true
+			}
+		}
+		return []Set{u}
+	}
+	if len(perChild) < need {
+		return nil
+	}
+	var out []Set
+	// Either use the first child (each of its quorums) or skip it.
+	for _, q := range perChild[0] {
+		out = append(out, combineMajorities(perChild[1:], need-1, append(chosen, q))...)
+	}
+	out = append(out, combineMajorities(perChild[1:], need, chosen)...)
+	return out
+}
+
+// dedupSets removes duplicate and non-minimal quorums.
+func dedupSets(qs []Set) []Set {
+	// Sort by size so minimal sets come first.
+	sort.Slice(qs, func(i, j int) bool { return len(qs[i]) < len(qs[j]) })
+	var out []Set
+	for _, q := range qs {
+		redundant := false
+		for _, kept := range out {
+			if kept.SubsetOf(map[string]bool(q)) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Load summarizes the best-case access load a configuration places on its
+// busiest replica, in the Naor–Wool sense approximated over minimal
+// quorums: assuming operations pick uniformly among the smallest quorums,
+// Load is the highest per-replica selection frequency. Lower is better;
+// majority systems approach 1/2 while read-one/write-all reads approach
+// 1/n.
+type Load struct {
+	Read  float64
+	Write float64
+}
+
+// UniformLoad computes the load under the uniform-over-minimal-quorums
+// strategy.
+func UniformLoad(cfg Config) Load {
+	return Load{Read: uniformLoad(cfg.R), Write: uniformLoad(cfg.W)}
+}
+
+func uniformLoad(qs []Set) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	min := qs[0]
+	for _, q := range qs[1:] {
+		if len(q) < len(min) {
+			min = q
+		}
+	}
+	var minimal []Set
+	for _, q := range qs {
+		if len(q) == len(min) {
+			minimal = append(minimal, q)
+		}
+	}
+	counts := map[string]int{}
+	for _, q := range minimal {
+		for m := range q {
+			counts[m]++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	return float64(maxCount) / float64(len(minimal))
+}

@@ -1,0 +1,143 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeQuorumLegal(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 15, 13} {
+		cfg, err := TreeQuorum(names(n), 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !cfg.Legal() {
+			t.Errorf("n=%d: tree quorum config not legal", n)
+		}
+		if err := cfg.Validate(names(n)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTreeQuorumRootReadsCheap(t *testing.T) {
+	cfg, err := TreeQuorum(names(7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the failure-free case a read needs only the root.
+	if cfg.MinReadQuorumSize() != 1 {
+		t.Errorf("min read quorum = %d, want 1 (the root)", cfg.MinReadQuorumSize())
+	}
+	// Writes pay a root-to-majority path: strictly more than one replica.
+	if cfg.MinWriteQuorumSize() < 3 {
+		t.Errorf("min write quorum = %d, want ≥ 3", cfg.MinWriteQuorumSize())
+	}
+}
+
+func TestTreeQuorumDegradedReads(t *testing.T) {
+	dms := names(7)
+	cfg, err := TreeQuorum(dms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the root (d0) down, reads must still find a quorum among the
+	// remaining replicas.
+	live := map[string]bool{}
+	for _, d := range dms[1:] {
+		live[d] = true
+	}
+	if !cfg.HasReadQuorum(live) {
+		t.Error("tree quorum reads must survive root failure")
+	}
+	// Writes, too — majority of children with their subtree majorities —
+	// except the root is mandatory in every write quorum.
+	if cfg.HasWriteQuorum(live) {
+		t.Log("note: root participates in every write quorum of this construction")
+	}
+}
+
+func TestTreeQuorumAvailabilityBeatsROWAWrites(t *testing.T) {
+	// A binary tree is degenerate (a majority of 2 children is both, so a
+	// write quorum is the whole tree); the protocol shines on ternary
+	// trees, where a write needs the root plus 2-of-3 subtrees.
+	dms := names(13) // complete ternary tree: 1 + 3 + 9
+	tq, err := TreeQuorum(dms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tq.MinWriteQuorumSize() >= len(dms) {
+		t.Fatalf("ternary tree write quorum should not need every replica (got %d)", tq.MinWriteQuorumSize())
+	}
+	up := UniformUp(dms, 0.9)
+	tqa := ExactAvailability(tq, up)
+	rowa := ExactAvailability(ReadOneWriteAll(dms), up)
+	if tqa.Write <= rowa.Write {
+		t.Errorf("tree quorum write availability %.4f should beat read-one/write-all %.4f", tqa.Write, rowa.Write)
+	}
+}
+
+func TestTreeQuorumRejectsBadInput(t *testing.T) {
+	if _, err := TreeQuorum(nil, 2); err == nil {
+		t.Error("no DMs must fail")
+	}
+	if _, err := TreeQuorum(names(3), 1); err == nil {
+		t.Error("branching < 2 must fail")
+	}
+}
+
+// Property: tree quorum configs are legal for any size/branching in range.
+func TestTreeQuorumPropertyLegal(t *testing.T) {
+	prop := func(nRaw, kRaw uint8) bool {
+		n := 1 + int(nRaw)%12
+		k := 2 + int(kRaw)%3
+		cfg, err := TreeQuorum(names(n), k)
+		if err != nil {
+			return false
+		}
+		return cfg.Legal()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupSetsMinimality(t *testing.T) {
+	qs := []Set{NewSet("a", "b"), NewSet("a"), NewSet("a", "b", "c"), NewSet("a")}
+	out := dedupSets(qs)
+	if len(out) != 1 || !out[0].Contains("a") || len(out[0]) != 1 {
+		t.Errorf("dedup = %v", out)
+	}
+}
+
+func TestUniformLoad(t *testing.T) {
+	dms := names(4)
+	rowa := UniformLoad(ReadOneWriteAll(dms))
+	if rowa.Read != 0.25 {
+		t.Errorf("read-one load = %v, want 0.25", rowa.Read)
+	}
+	if rowa.Write != 1 {
+		t.Errorf("write-all load = %v, want 1", rowa.Write)
+	}
+	maj := UniformLoad(Majority(names(3)))
+	// Each replica appears in 2 of the 3 minimal majorities.
+	if maj.Read < 0.66 || maj.Read > 0.67 {
+		t.Errorf("majority load = %v, want 2/3", maj.Read)
+	}
+	if got := UniformLoad(Config{}); got.Read != 0 || got.Write != 0 {
+		t.Errorf("empty config load = %v", got)
+	}
+}
+
+func TestTreeQuorumWorksInCluster(t *testing.T) {
+	// The strategy plugs into the same Config machinery the store uses.
+	dms := names(7)
+	cfg, err := TreeQuorum(dms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{dms[0]: true}
+	if !cfg.HasReadQuorum(have) {
+		t.Error("root alone should satisfy a read")
+	}
+}

@@ -1,0 +1,215 @@
+package reconfig
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// AccessSequence returns the logical access sequence of item in beta: the
+// CREATE and REQUEST-COMMIT operations of the read-, write- and
+// reconfigure-TMs for item.
+func (b *SystemB) AccessSequence(item string, beta ioa.Schedule) ioa.Schedule {
+	return beta.Filter(func(op ioa.Op) bool {
+		if op.Kind != ioa.OpCreate && op.Kind != ioa.OpRequestCommit {
+			return false
+		}
+		return b.tmItem[op.Txn] == item
+	})
+}
+
+// LogicalState returns the expected value of a logical read of item after
+// beta: value(T) of the last committed write-TM, or the initial value.
+// Reconfigure-TMs never change the logical state.
+func (b *SystemB) LogicalState(item string, beta ioa.Schedule) ioa.Value {
+	var state ioa.Value
+	if it, ok := itemSpec(b.Spec.Core, item); ok {
+		state = it.Initial
+	}
+	for _, op := range beta {
+		if op.Kind == ioa.OpRequestCommit && b.tmItem[op.Txn] == item && b.tmKind[op.Txn] == tree.KindWriteTM {
+			state = b.Tree.Node(op.Txn).Data
+		}
+	}
+	return state
+}
+
+// configChain reconstructs the installed configurations by generation
+// number from the committed config writes in beta: generation 0 is the
+// initial configuration; each committed CWrite installs its generation.
+func (b *SystemB) configChain(item string, beta ioa.Schedule) map[int]quorum.Config {
+	chain := map[int]quorum.Config{}
+	if it, ok := itemSpec(b.Spec.Core, item); ok {
+		chain[0] = it.Config
+	}
+	for _, op := range beta {
+		if op.Kind != ioa.OpRequestCommit {
+			continue
+		}
+		n := b.Tree.Node(op.Txn)
+		if n == nil || !n.IsAccess() || n.Item != item {
+			continue
+		}
+		if cw, ok := n.Data.(CWrite); ok {
+			chain[cw.Gen] = cw.Cfg
+		}
+	}
+	return chain
+}
+
+// CheckInvariant verifies the reconfigurable analog of Lemma 8 for item
+// after beta, when no logical access to item is in progress:
+//
+//   - no replica's generation exceeds the highest installed generation G,
+//     and no replica's version number exceeds the highest VN held;
+//   - for every g < G, some write-quorum of configuration c_g holds
+//     generation ≥ g+1 (so any read-quorum of a stale configuration
+//     discovers a newer one);
+//   - some write-quorum of the current configuration c_G holds the current
+//     version number, and every replica at the current version number holds
+//     the logical state.
+func (b *SystemB) CheckInvariant(item string, beta ioa.Schedule) error {
+	if len(b.AccessSequence(item, beta))%2 != 0 {
+		return nil // a logical access is in progress
+	}
+	it, ok := itemSpec(b.Spec.Core, item)
+	if !ok {
+		return fmt.Errorf("reconfig: unknown item %q", item)
+	}
+	chain := b.configChain(item, beta)
+	maxGen := 0
+	for g := range chain {
+		if g > maxGen {
+			maxGen = g
+		}
+	}
+	state := b.LogicalState(item, beta)
+
+	// Replica snapshot.
+	curVN := 0
+	for _, dm := range it.DMs {
+		d := b.DMs[dm].Data()
+		if d.Gen > maxGen {
+			return fmt.Errorf("reconfig: item %s: DM %s at generation %d above installed max %d", item, dm, d.Gen, maxGen)
+		}
+		if d.VN > curVN {
+			curVN = d.VN
+		}
+	}
+
+	// Chain reachability: every stale configuration's write-quorums expose
+	// the next generation.
+	for g := 0; g < maxGen; g++ {
+		cfg, ok := chain[g]
+		if !ok {
+			return fmt.Errorf("reconfig: item %s: missing configuration for generation %d", item, g)
+		}
+		newer := map[string]bool{}
+		for _, dm := range it.DMs {
+			if b.DMs[dm].Data().Gen >= g+1 {
+				newer[dm] = true
+			}
+		}
+		if !cfg.HasWriteQuorum(newer) {
+			return fmt.Errorf("reconfig: item %s: no write-quorum of generation-%d config exposes generation %d", item, g, g+1)
+		}
+	}
+
+	// Current configuration carries the current version number and state.
+	cur := chain[maxGen]
+	atVN := map[string]bool{}
+	for _, dm := range it.DMs {
+		d := b.DMs[dm].Data()
+		if d.VN == curVN {
+			atVN[dm] = true
+			if !reflect.DeepEqual(d.Val, state) {
+				return fmt.Errorf("reconfig: item %s: DM %s at current vn %d holds %v, logical-state is %v", item, dm, curVN, d.Val, state)
+			}
+		}
+	}
+	if !cur.HasWriteQuorum(atVN) {
+		return fmt.Errorf("reconfig: item %s: no write-quorum of the current config holds current vn %d", item, curVN)
+	}
+	return nil
+}
+
+// Checker returns a driver hook verifying, after every step, the
+// reconfiguration invariant for every item and — the user-visible
+// correctness condition — that every read-TM that requests to commit
+// returns the logical state.
+func (b *SystemB) Checker() func(op ioa.Op, sched ioa.Schedule) error {
+	return func(op ioa.Op, sched ioa.Schedule) error {
+		if op.Kind == ioa.OpRequestCommit && b.tmKind[op.Txn] == tree.KindReadTM {
+			item := b.tmItem[op.Txn]
+			if want := b.LogicalState(item, sched); !reflect.DeepEqual(op.Val, want) {
+				return fmt.Errorf("reconfig: read-TM %v returned %v, logical-state is %v", op.Txn, op.Val, want)
+			}
+		}
+		for _, it := range b.Spec.Core.Items {
+			if err := b.CheckInvariant(it.Name, sched); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// removedFromA reports whether ops of txn are absent from the
+// non-replicated system A: replica accesses, coordinators, and
+// reconfigure-TMs (which run transparently and have no counterpart in A).
+func (b *SystemB) removedFromA(txn ioa.TxnName) bool {
+	n := b.Tree.Node(txn)
+	if n == nil {
+		return true
+	}
+	switch n.Kind() {
+	case tree.KindCoordinator, tree.KindReconfigTM:
+		return true
+	case tree.KindAccess:
+		return n.Item != ""
+	default:
+		return false
+	}
+}
+
+// ProjectToA builds the system-A schedule corresponding to beta by removing
+// every operation of the replication machinery.
+func (b *SystemB) ProjectToA(beta ioa.Schedule) ioa.Schedule {
+	return beta.Filter(func(op ioa.Op) bool { return !b.removedFromA(op.Txn) })
+}
+
+// CheckSimulation verifies the Theorem 10 analog for the reconfigurable
+// system: the projection of beta is a schedule of the non-replicated serial
+// system A built from the same core scenario, and every user transaction's
+// own operations (excluding the spy-driven reconfigure machinery, which the
+// user program never sees) are identical in both.
+func (b *SystemB) CheckSimulation(beta ioa.Schedule) error {
+	alpha := b.ProjectToA(beta)
+	a, err := core.BuildA(b.Spec.Core)
+	if err != nil {
+		return fmt.Errorf("reconfig simulation: build system A: %w", err)
+	}
+	if i, err := a.Sys.Replay(alpha); err != nil {
+		return fmt.Errorf("reconfig simulation: α is not a schedule of A at index %d: %w", i, err)
+	}
+	for name, autoB := range b.userAutos {
+		autoA := a.Sys.Component(string(name))
+		if autoA == nil {
+			return fmt.Errorf("reconfig simulation: user %v missing from system A", name)
+		}
+		if !beta.Project(autoB).Equal(alpha.Project(autoA)) {
+			return fmt.Errorf("reconfig simulation: user transaction %v distinguishes the systems", name)
+		}
+	}
+	for _, os := range b.Spec.Core.Objects {
+		oB, oA := b.Sys.Component(os.Name), a.Sys.Component(os.Name)
+		if !beta.Project(oB).Equal(alpha.Project(oA)) {
+			return fmt.Errorf("reconfig simulation: projections on object %s differ", os.Name)
+		}
+	}
+	return nil
+}

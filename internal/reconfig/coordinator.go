@@ -1,0 +1,256 @@
+package reconfig
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// ReadCoordinator performs the read phase shared by all three TM kinds
+// (Section 4): it reads DMs for x, keeping the value v and version number t
+// from the replica with the highest version number seen, the configuration
+// c and generation number g from the replica with the highest generation
+// number seen, and the set d of replicas read. When c acquires a
+// read-quorum that is a subset of d, the coordinator may commit, reporting
+// (v, t, c, g) to its TM.
+type ReadCoordinator struct {
+	tr   *tree.Tree
+	name ioa.TxnName
+
+	children []ioa.TxnName
+	dmOf     map[ioa.TxnName]string
+
+	awake     bool
+	res       ReadResult
+	read      map[string]bool // d
+	requested map[ioa.TxnName]bool
+}
+
+var _ ioa.Automaton = (*ReadCoordinator)(nil)
+
+// NewReadCoordinator builds the automaton for the coordinator node name,
+// whose children are read accesses to the item's DMs. initial is the
+// replicas' common initial state.
+func NewReadCoordinator(tr *tree.Tree, name ioa.TxnName, initial RData) *ReadCoordinator {
+	c := &ReadCoordinator{
+		tr:        tr,
+		name:      name,
+		dmOf:      map[ioa.TxnName]string{},
+		res:       ReadResult{VN: initial.VN, Val: initial.Val, Gen: initial.Gen, Cfg: initial.Cfg},
+		read:      map[string]bool{},
+		requested: map[ioa.TxnName]bool{},
+	}
+	for _, ch := range tr.Children(name) {
+		c.children = append(c.children, ch)
+		c.dmOf[ch] = tr.Node(ch).Object
+	}
+	return c
+}
+
+// Name implements ioa.Automaton.
+func (c *ReadCoordinator) Name() string { return string(c.name) }
+
+// HasOp implements ioa.Automaton.
+func (c *ReadCoordinator) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == c.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return c.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (c *ReadCoordinator) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == c.name
+	case ioa.OpRequestCreate:
+		return c.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// quorumRead reports whether c (the highest-generation configuration seen)
+// has a read-quorum contained in d.
+func (c *ReadCoordinator) quorumRead() bool { return c.res.Cfg.HasReadQuorum(c.read) }
+
+// Enabled implements ioa.Automaton.
+func (c *ReadCoordinator) Enabled() []ioa.Op {
+	if !c.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, ch := range c.children {
+		if !c.requested[ch] {
+			out = append(out, ioa.RequestCreate(ch))
+		}
+	}
+	if c.quorumRead() {
+		out = append(out, ioa.RequestCommit(c.name, c.res))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (c *ReadCoordinator) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		c.awake = true
+	case ioa.OpCommit:
+		d, ok := op.Val.(RData)
+		if !ok {
+			return fmt.Errorf("read-coordinator %v: COMMIT(%v) value %v is not replica data", c.name, op.Txn, op.Val)
+		}
+		c.read[c.dmOf[op.Txn]] = true
+		if d.VN > c.res.VN {
+			c.res.VN, c.res.Val = d.VN, d.Val
+		}
+		if d.Gen > c.res.Gen {
+			c.res.Gen, c.res.Cfg = d.Gen, d.Cfg
+		}
+	case ioa.OpAbort:
+		// No postconditions.
+	case ioa.OpRequestCreate:
+		if !c.awake || c.requested[op.Txn] {
+			return fmt.Errorf("%w: %v by read-coordinator %v", ioa.ErrNotEnabled, op, c.name)
+		}
+		c.requested[op.Txn] = true
+	case ioa.OpRequestCommit:
+		if !c.awake || !c.quorumRead() {
+			return fmt.Errorf("%w: %v: no read-quorum of the current configuration read", ioa.ErrNotEnabled, op)
+		}
+		if !reflect.DeepEqual(op.Val, c.res) {
+			return fmt.Errorf("%w: %v: state requires %v", ioa.ErrNotEnabled, op, c.res)
+		}
+		c.awake = false
+	default:
+		return fmt.Errorf("read-coordinator %v: unexpected op %v", c.name, op)
+	}
+	return nil
+}
+
+// WriteCoordinator performs a write phase: it writes its task's payload to
+// the item's DMs until commits have been received from some write-quorum of
+// the task's configuration, then may commit (returning nil). The task is
+// bound to the coordinator's tree node by the parent TM at REQUEST-CREATE
+// time and loaded when the coordinator is created.
+type WriteCoordinator struct {
+	tr   *tree.Tree
+	name ioa.TxnName
+
+	children []ioa.TxnName
+	dmOf     map[ioa.TxnName]string
+
+	awake     bool
+	task      WriteTask
+	written   map[string]bool
+	requested map[ioa.TxnName]bool
+}
+
+var _ ioa.Automaton = (*WriteCoordinator)(nil)
+
+// NewWriteCoordinator builds the automaton for the coordinator node name,
+// whose children are write accesses to the item's DMs.
+func NewWriteCoordinator(tr *tree.Tree, name ioa.TxnName) *WriteCoordinator {
+	c := &WriteCoordinator{
+		tr:        tr,
+		name:      name,
+		dmOf:      map[ioa.TxnName]string{},
+		written:   map[string]bool{},
+		requested: map[ioa.TxnName]bool{},
+	}
+	for _, ch := range tr.Children(name) {
+		c.children = append(c.children, ch)
+		c.dmOf[ch] = tr.Node(ch).Object
+	}
+	return c
+}
+
+// Name implements ioa.Automaton.
+func (c *WriteCoordinator) Name() string { return string(c.name) }
+
+// HasOp implements ioa.Automaton.
+func (c *WriteCoordinator) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == c.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return c.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (c *WriteCoordinator) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == c.name
+	case ioa.OpRequestCreate:
+		return c.dmOf[op.Txn] != ""
+	default:
+		return false
+	}
+}
+
+// quorumWritten reports whether the task's configuration has a write-quorum
+// among the committed writes.
+func (c *WriteCoordinator) quorumWritten() bool { return c.task.Cfg.HasWriteQuorum(c.written) }
+
+// Enabled implements ioa.Automaton.
+func (c *WriteCoordinator) Enabled() []ioa.Op {
+	if !c.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, ch := range c.children {
+		if !c.requested[ch] {
+			out = append(out, ioa.RequestCreate(ch))
+		}
+	}
+	if c.quorumWritten() {
+		out = append(out, ioa.RequestCommit(c.name, nil))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (c *WriteCoordinator) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		task, ok := c.tr.Node(c.name).Data.(WriteTask)
+		if !ok {
+			return fmt.Errorf("write-coordinator %v: created without a bound task", c.name)
+		}
+		c.task = task
+		c.awake = true
+	case ioa.OpCommit:
+		c.written[c.dmOf[op.Txn]] = true
+	case ioa.OpAbort:
+		// No postconditions.
+	case ioa.OpRequestCreate:
+		if !c.awake || c.requested[op.Txn] {
+			return fmt.Errorf("%w: %v by write-coordinator %v", ioa.ErrNotEnabled, op, c.name)
+		}
+		// Bind the access's data attribute to the task payload.
+		c.tr.Node(op.Txn).Data = c.task.Payload
+		c.requested[op.Txn] = true
+	case ioa.OpRequestCommit:
+		if !c.awake || !c.quorumWritten() {
+			return fmt.Errorf("%w: %v: no write-quorum written", ioa.ErrNotEnabled, op)
+		}
+		if op.Val != nil {
+			return fmt.Errorf("%w: %v: write-coordinator must return nil", ioa.ErrNotEnabled, op)
+		}
+		c.awake = false
+	default:
+		return fmt.Errorf("write-coordinator %v: unexpected op %v", c.name, op)
+	}
+	return nil
+}

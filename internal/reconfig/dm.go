@@ -1,0 +1,115 @@
+package reconfig
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// DM is a reconfigurable data manager: a basic object over the RData
+// domain. Read accesses return the whole replica state; write accesses
+// carry either a VWrite (value/version update) or a CWrite
+// (configuration/generation update) as their data attribute. The two write
+// kinds update disjoint fields, which is what lets a reconfiguration write
+// the new configuration without touching the value.
+//
+// The PODC abstract describes the replicas only abstractly; the split into
+// field-masked writes is our reconstruction of the full algorithm of
+// TR-390, and is the minimal structure the Section 4 prose requires.
+type DM struct {
+	name string
+	tr   *tree.Tree
+
+	accesses map[ioa.TxnName]*tree.Node
+
+	active ioa.TxnName
+	data   RData
+}
+
+var _ ioa.Automaton = (*DM)(nil)
+
+// NewDM returns a reconfigurable DM named name holding initial.
+func NewDM(tr *tree.Tree, name string, initial RData) *DM {
+	d := &DM{name: name, tr: tr, accesses: map[ioa.TxnName]*tree.Node{}, data: initial}
+	for _, n := range tr.AccessesTo(name) {
+		d.accesses[n.Name()] = n
+	}
+	return d
+}
+
+// Name implements ioa.Automaton.
+func (d *DM) Name() string { return d.name }
+
+// Data returns the replica's current state.
+func (d *DM) Data() RData { return d.data }
+
+// HasOp implements ioa.Automaton.
+func (d *DM) HasOp(op ioa.Op) bool {
+	if op.Kind != ioa.OpCreate && op.Kind != ioa.OpRequestCommit {
+		return false
+	}
+	return d.accesses[op.Txn] != nil
+}
+
+// IsOutput implements ioa.Automaton.
+func (d *DM) IsOutput(op ioa.Op) bool {
+	return op.Kind == ioa.OpRequestCommit && d.accesses[op.Txn] != nil
+}
+
+// Enabled implements ioa.Automaton.
+func (d *DM) Enabled() []ioa.Op {
+	if d.active == "" {
+		return nil
+	}
+	n := d.accesses[d.active]
+	if n == nil {
+		return nil
+	}
+	if n.Access == tree.ReadAccess {
+		return []ioa.Op{ioa.RequestCommit(d.active, d.data)}
+	}
+	return []ioa.Op{ioa.RequestCommit(d.active, nil)}
+}
+
+// Step implements ioa.Automaton.
+func (d *DM) Step(op ioa.Op) error {
+	n := d.accesses[op.Txn]
+	if n == nil {
+		return fmt.Errorf("dm %s: %v is not an access", d.name, op.Txn)
+	}
+	switch op.Kind {
+	case ioa.OpCreate:
+		d.active = op.Txn
+		return nil
+	case ioa.OpRequestCommit:
+		if d.active != op.Txn {
+			return fmt.Errorf("%w: dm %s: REQUEST-COMMIT(%v) but active = %q", ioa.ErrNotEnabled, d.name, op.Txn, d.active)
+		}
+		if n.Access == tree.ReadAccess {
+			if !reflect.DeepEqual(op.Val, d.data) {
+				return fmt.Errorf("%w: dm %s: read access %v returned %v, data is %v", ioa.ErrNotEnabled, d.name, op.Txn, op.Val, d.data)
+			}
+			d.active = ""
+			return nil
+		}
+		if op.Val != nil {
+			return fmt.Errorf("%w: dm %s: write access %v must return nil", ioa.ErrNotEnabled, d.name, op.Txn)
+		}
+		switch w := n.Data.(type) {
+		case VWrite:
+			d.data.VN = w.VN
+			d.data.Val = w.Val
+		case CWrite:
+			d.data.Gen = w.Gen
+			d.data.Cfg = w.Cfg
+		default:
+			return fmt.Errorf("dm %s: write access %v carries unknown payload %T", d.name, op.Txn, n.Data)
+		}
+		d.active = ""
+		return nil
+	default:
+		return fmt.Errorf("dm %s: unexpected op %v", d.name, op)
+	}
+}

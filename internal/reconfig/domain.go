@@ -1,0 +1,64 @@
+// Package reconfig implements Section 4 of the paper: Quorum Consensus
+// with dynamic reconfiguration. Each replica of x carries, in addition to a
+// value and version number, a configuration and a generation number. Read-,
+// write- and reconfigure-TMs delegate their work to coordinator
+// subtransactions (one extra level of nesting, as the paper introduces to
+// modularize the algorithm), and reconfigure-TMs are invoked spontaneously
+// and transparently by spy automata attached to the user transactions.
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+)
+
+// RData is the domain of a reconfigurable DM: value, version number,
+// configuration and generation number. Initially every replica of x holds
+// (i_x, 0, c0, 0) for the item's initial configuration c0.
+type RData struct {
+	VN  int
+	Val ioa.Value
+	Gen int
+	Cfg quorum.Config
+}
+
+// String renders the replica state.
+func (d RData) String() string {
+	return fmt.Sprintf("(vn=%d val=%v gen=%d)", d.VN, d.Val, d.Gen)
+}
+
+// VWrite is the payload of a write access that updates the value and
+// version number of a replica, leaving its configuration untouched.
+type VWrite struct {
+	VN  int
+	Val ioa.Value
+}
+
+// CWrite is the payload of a write access that updates the configuration
+// and generation number of a replica, leaving its value untouched.
+type CWrite struct {
+	Gen int
+	Cfg quorum.Config
+}
+
+// ReadResult is the value a read coordinator reports to its TM: the value
+// and version number from the replica with the highest version number seen,
+// and the configuration and generation number from the replica with the
+// highest generation number seen.
+type ReadResult struct {
+	VN  int
+	Val ioa.Value
+	Gen int
+	Cfg quorum.Config
+}
+
+// WriteTask parameterizes a write coordinator: the payload to write to
+// every access and the configuration whose write-quorums must be covered.
+// The TM binds the task to the coordinator's tree node at REQUEST-CREATE
+// time, just as write-access data is bound in the fixed algorithm.
+type WriteTask struct {
+	Payload ioa.Value // VWrite or CWrite
+	Cfg     quorum.Config
+}

@@ -1,0 +1,194 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// scenario returns a reconfigurable spec: one item on 5 DMs starting as
+// majority, reconfigurable to read-one/write-all and back; nested user
+// transactions doing reads and writes.
+func scenario() Spec {
+	dms := []string{"d1", "d2", "d3", "d4", "d5"}
+	coreSpec := core.Spec{
+		Items: []core.ItemSpec{{
+			Name:    "x",
+			Initial: 0,
+			DMs:     dms,
+			Config:  quorum.Majority(dms),
+		}},
+		Top: []core.TxnSpec{
+			core.Sub("u1", core.WriteItem("w1", "x", 100), core.ReadItem("r1", "x")),
+			core.Sub("u2",
+				core.Sub("s", core.WriteItem("w2", "x", 200)),
+				core.ReadItem("r2", "x"),
+			),
+			core.Sub("u3", core.ReadItem("r3", "x"), core.WriteItem("w3", "x", 300)),
+		},
+	}
+	return Spec{
+		Core: coreSpec,
+		NewConfigs: map[string][]quorum.Config{
+			"x": {quorum.ReadOneWriteAll(dms), quorum.Majority(dms)},
+		},
+		ReconfigsPerUser: 2,
+	}
+}
+
+func drive(t *testing.T, b *SystemB, seed int64, abortWeight float64) ioa.Schedule {
+	t.Helper()
+	d := ioa.NewDriver(b.Sys, seed)
+	d.Bias = func(op ioa.Op) float64 {
+		if op.Kind == ioa.OpAbort {
+			return abortWeight
+		}
+		return 1
+	}
+	d.OnStep = b.Checker()
+	sched, quiescent, err := d.Run(200000)
+	if err != nil {
+		t.Fatalf("seed %d: %v\nschedule:\n%v", seed, err, sched)
+	}
+	if !quiescent {
+		t.Fatalf("seed %d: system did not quiesce", seed)
+	}
+	return sched
+}
+
+func TestReconfigRunsWithInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		b, err := BuildB(scenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(t, b, seed, 0.15) // Checker validates reads + invariant each step
+	}
+}
+
+func TestReconfigSimulation(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		b, err := BuildB(scenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := drive(t, b, seed+500, 0.15)
+		if err := b.CheckSimulation(sched); err != nil {
+			t.Fatalf("seed %d: %v\nschedule:\n%v", seed, err, sched)
+		}
+	}
+}
+
+func TestReconfigurationsActuallyHappen(t *testing.T) {
+	happened := false
+	for seed := int64(0); seed < 20 && !happened; seed++ {
+		b, err := BuildB(scenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := drive(t, b, seed, 0)
+		for _, op := range sched {
+			if op.Kind == ioa.OpCommit && b.tmKind[op.Txn] == tree.KindReconfigTM {
+				happened = true
+				break
+			}
+		}
+	}
+	if !happened {
+		t.Fatal("no reconfigure-TM ever committed across 20 seeds")
+	}
+}
+
+func TestSpyStopsAfterUserCommits(t *testing.T) {
+	// In every run, no REQUEST-CREATE of a reconfigure-TM appears after the
+	// REQUEST-COMMIT of its user transaction.
+	for seed := int64(0); seed < 20; seed++ {
+		b, err := BuildB(scenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := drive(t, b, seed, 0.1)
+		committed := map[ioa.TxnName]bool{}
+		for _, op := range sched {
+			switch op.Kind {
+			case ioa.OpRequestCommit:
+				committed[op.Txn] = true
+			case ioa.OpRequestCreate:
+				if b.tmKind[op.Txn] == tree.KindReconfigTM {
+					if parent, ok := b.Tree.Parent(op.Txn); ok && committed[parent] {
+						t.Fatalf("seed %d: spy invoked %v after %v requested to commit", seed, op.Txn, parent)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWellFormedWithReconfig(t *testing.T) {
+	b, err := BuildB(scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := drive(t, b, 3, 0.2)
+	if err := b.Tree.CheckScheduleWellFormed(sched); err != nil {
+		t.Fatalf("schedule not well-formed: %v", err)
+	}
+}
+
+func TestFixedSubsetBehavesLikeCore(t *testing.T) {
+	// With ReconfigsPerUser = 0 the reconfigurable machinery reduces to
+	// fixed quorum consensus with coordinators; the simulation still holds.
+	spec := scenario()
+	spec.ReconfigsPerUser = 0
+	for seed := int64(0); seed < 20; seed++ {
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := drive(t, b, seed, 0.2)
+		if err := b.CheckSimulation(sched); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCoordinatorRetriesSurviveAborts(t *testing.T) {
+	spec := scenario()
+	spec.CoordsPerPhase = 2
+	for seed := int64(0); seed < 15; seed++ {
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := drive(t, b, seed, 0.8)
+		if err := b.CheckSimulation(sched); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomScenariosWithReconfig(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cs := core.RandomSpec(rng, core.DefaultRandParams())
+		spec := Spec{Core: cs, NewConfigs: map[string][]quorum.Config{}, ReconfigsPerUser: 1}
+		for _, it := range cs.Items {
+			spec.NewConfigs[it.Name] = []quorum.Config{
+				quorum.ReadOneWriteAll(it.DMs),
+				quorum.Majority(it.DMs),
+			}
+		}
+		b, err := BuildB(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sched := drive(t, b, seed+900, 0.1)
+		if err := b.CheckSimulation(sched); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

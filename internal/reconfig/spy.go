@@ -1,0 +1,94 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// Spy is the automaton the paper associates with each user transaction to
+// resolve the modeling conflict of Section 4: reconfigure-TMs must be
+// children of user transactions (for atomicity) but must run spontaneously
+// and transparently (the user program never sees their invocations or
+// returns). The spy wakes up with its associated transaction and
+// nondeterministically invokes reconfigure-TMs until the transaction
+// requests to commit.
+//
+// The spy — not the user-transaction automaton — owns the REQUEST-CREATE
+// operations of the reconfigure-TM children, and receives their return
+// operations; the user automaton's operation set excludes them entirely.
+type Spy struct {
+	tr   *tree.Tree
+	user ioa.TxnName
+
+	pool []ioa.TxnName // reconfigure-TM children of user
+
+	awake     bool
+	requested map[ioa.TxnName]bool
+}
+
+var _ ioa.Automaton = (*Spy)(nil)
+
+// NewSpy builds the spy attached to user, driving the given reconfigure-TM
+// children.
+func NewSpy(tr *tree.Tree, user ioa.TxnName, pool []ioa.TxnName) *Spy {
+	return &Spy{tr: tr, user: user, pool: pool, requested: map[ioa.TxnName]bool{}}
+}
+
+// Name implements ioa.Automaton.
+func (s *Spy) Name() string { return "spy(" + string(s.user) + ")" }
+
+// HasOp implements ioa.Automaton. The spy observes its transaction's
+// CREATE and REQUEST-COMMIT and owns the reconfigure-TMs' invocations.
+func (s *Spy) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == s.user
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return isIn(s.pool, op.Txn)
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton: only the REQUEST-CREATE of the
+// reconfigure-TMs. CREATE and REQUEST-COMMIT of the user transaction are
+// inputs here (they are outputs of the scheduler and the user automaton).
+func (s *Spy) IsOutput(op ioa.Op) bool {
+	return op.Kind == ioa.OpRequestCreate && isIn(s.pool, op.Txn)
+}
+
+// Enabled implements ioa.Automaton.
+func (s *Spy) Enabled() []ioa.Op {
+	if !s.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, r := range s.pool {
+		if !s.requested[r] {
+			out = append(out, ioa.RequestCreate(r))
+		}
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (s *Spy) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		s.awake = true
+	case ioa.OpRequestCommit:
+		s.awake = false
+	case ioa.OpCommit, ioa.OpAbort:
+		// The spy does not care how its reconfigurations fare.
+	case ioa.OpRequestCreate:
+		if !s.awake || s.requested[op.Txn] {
+			return fmt.Errorf("%w: %v by %s", ioa.ErrNotEnabled, op, s.Name())
+		}
+		s.requested[op.Txn] = true
+	default:
+		return fmt.Errorf("%s: unexpected op %v", s.Name(), op)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ioa"
+	"repro/internal/object"
+	"repro/internal/quorum"
+	"repro/internal/serial"
+	"repro/internal/tree"
+	"repro/internal/txn"
+)
+
+// Spec describes a reconfigurable scenario: a core scenario (whose item
+// configurations become the initial configurations held by every replica)
+// plus the reconfigurations the spies may launch.
+type Spec struct {
+	Core core.Spec
+
+	// NewConfigs lists, per item, the configurations reconfigure-TMs may
+	// install. Spies cycle through them.
+	NewConfigs map[string][]quorum.Config
+
+	// ReconfigsPerUser is how many reconfigure-TM children each user
+	// transaction gets (cycling through items and NewConfigs). 0 disables
+	// reconfiguration, reducing the system to fixed quorum consensus with
+	// coordinators.
+	ReconfigsPerUser int
+
+	// CoordsPerPhase is how many coordinators each TM phase gets (default
+	// 1); higher values let a TM retry a phase whose coordinator aborted.
+	CoordsPerPhase int
+}
+
+func (s Spec) coordsPerPhase() int {
+	if s.CoordsPerPhase <= 0 {
+		return 1
+	}
+	return s.CoordsPerPhase
+}
+
+// SystemB is the replicated serial system with reconfiguration.
+type SystemB struct {
+	Spec Spec
+	Sys  *ioa.System
+	Tree *tree.Tree
+
+	DMs map[string]*DM
+	// tms maps read-/write-TM names to their item ("user visible" logical
+	// accesses); recTMs maps reconfigure-TM names to their item.
+	tms    map[ioa.TxnName]ioa.TxnName
+	tmItem map[ioa.TxnName]string
+	tmKind map[ioa.TxnName]tree.Kind
+
+	userAutos map[ioa.TxnName]*txn.User
+}
+
+// initialRData returns the common initial replica state for an item.
+func initialRData(it core.ItemSpec) RData {
+	return RData{VN: 0, Val: it.Initial, Gen: 0, Cfg: it.Config}
+}
+
+// addCoordinator adds a coordinator node with one access child per DM.
+func addCoordinator(tr *tree.Tree, parent ioa.TxnName, label, item string, dms []string, kind tree.AccessKind) ioa.TxnName {
+	c := tr.MustAddChild(parent, label, tree.KindCoordinator)
+	c.Item = item
+	for _, dm := range dms {
+		a := tr.MustAddChild(c.Name(), string(kind.String()[0])+"."+dm, tree.KindAccess)
+		a.Object = dm
+		a.Access = kind
+		a.Item = item
+	}
+	return c.Name()
+}
+
+// BuildB constructs the reconfigurable replicated serial system.
+func BuildB(spec Spec) (*SystemB, error) {
+	if err := spec.Core.Validate(); err != nil {
+		return nil, err
+	}
+	for item, cfgs := range spec.NewConfigs {
+		it, ok := itemSpec(spec.Core, item)
+		if !ok {
+			return nil, fmt.Errorf("reconfig: NewConfigs references unknown item %q", item)
+		}
+		for _, c := range cfgs {
+			if err := c.Validate(it.DMs); err != nil {
+				return nil, fmt.Errorf("reconfig: item %q: %w", item, err)
+			}
+		}
+	}
+
+	b := &SystemB{
+		Spec:      spec,
+		Tree:      tree.New(),
+		DMs:       map[string]*DM{},
+		tms:       map[ioa.TxnName]ioa.TxnName{},
+		tmItem:    map[ioa.TxnName]string{},
+		tmKind:    map[ioa.TxnName]tree.Kind{},
+		userAutos: map[ioa.TxnName]*txn.User{},
+	}
+	tr := b.Tree
+	var autos []ioa.Automaton
+
+	// Recursively build the user forest, expanding logical accesses into
+	// TM + coordinator + access subtrees.
+	type userRec struct {
+		name ioa.TxnName
+		spec core.TxnSpec
+	}
+	var users []userRec
+	var walk func(parent ioa.TxnName, ts []core.TxnSpec) error
+	walk = func(parent ioa.TxnName, ts []core.TxnSpec) error {
+		for _, t := range ts {
+			switch t.Kind {
+			case core.StepSub:
+				n, err := tr.AddChild(parent, t.Label, tree.KindUser)
+				if err != nil {
+					return err
+				}
+				users = append(users, userRec{n.Name(), t})
+				if err := walk(n.Name(), t.Children); err != nil {
+					return err
+				}
+			case core.StepReadItem:
+				it, _ := itemSpec(spec.Core, t.Item)
+				tm := tr.MustAddChild(parent, t.Label, tree.KindReadTM)
+				tm.Item = t.Item
+				var rcs []ioa.TxnName
+				for i := 1; i <= spec.coordsPerPhase(); i++ {
+					rcs = append(rcs, addCoordinator(tr, tm.Name(), fmt.Sprintf("rc%d", i), t.Item, it.DMs, tree.ReadAccess))
+				}
+				autos = append(autos, NewReadTM(tr, tm.Name(), t.Item, rcs))
+				b.registerTM(tm.Name(), t.Item, tree.KindReadTM)
+				for _, rc := range rcs {
+					autos = append(autos, NewReadCoordinator(tr, rc, initialRData(it)))
+				}
+			case core.StepWriteItem:
+				it, _ := itemSpec(spec.Core, t.Item)
+				tm := tr.MustAddChild(parent, t.Label, tree.KindWriteTM)
+				tm.Item = t.Item
+				tm.Data = t.Value
+				var rcs, wcs []ioa.TxnName
+				for i := 1; i <= spec.coordsPerPhase(); i++ {
+					rcs = append(rcs, addCoordinator(tr, tm.Name(), fmt.Sprintf("rc%d", i), t.Item, it.DMs, tree.ReadAccess))
+					wcs = append(wcs, addCoordinator(tr, tm.Name(), fmt.Sprintf("wc%d", i), t.Item, it.DMs, tree.WriteAccess))
+				}
+				autos = append(autos, NewWriteTM(tr, tm.Name(), t.Item, t.Value, rcs, wcs))
+				b.registerTM(tm.Name(), t.Item, tree.KindWriteTM)
+				for _, rc := range rcs {
+					autos = append(autos, NewReadCoordinator(tr, rc, initialRData(it)))
+				}
+				for _, wc := range wcs {
+					autos = append(autos, NewWriteCoordinator(tr, wc))
+				}
+			case core.StepAccessObject:
+				n, err := tr.AddChild(parent, t.Label, tree.KindAccess)
+				if err != nil {
+					return err
+				}
+				n.Object = t.Object
+				n.Access = t.Access
+				n.Data = t.Value
+			}
+		}
+		return nil
+	}
+	if err := walk(tree.Root, spec.Core.Top); err != nil {
+		return nil, err
+	}
+
+	// Attach reconfigure-TMs (with their coordinators) and spies to every
+	// user transaction.
+	reconfigurable := reconfigurableItems(spec)
+	for _, u := range users {
+		var pool []ioa.TxnName
+		for i := 0; i < spec.ReconfigsPerUser && len(reconfigurable) > 0; i++ {
+			item := reconfigurable[i%len(reconfigurable)]
+			it, _ := itemSpec(spec.Core, item)
+			cfgs := spec.NewConfigs[item]
+			newCfg := cfgs[i%len(cfgs)]
+			tm := tr.MustAddChild(u.name, fmt.Sprintf("reconf%d", i), tree.KindReconfigTM)
+			tm.Item = item
+			tm.Data = newCfg
+			var rcs, wvs, wcs []ioa.TxnName
+			for j := 1; j <= spec.coordsPerPhase(); j++ {
+				rcs = append(rcs, addCoordinator(tr, tm.Name(), fmt.Sprintf("rc%d", j), item, it.DMs, tree.ReadAccess))
+				wvs = append(wvs, addCoordinator(tr, tm.Name(), fmt.Sprintf("wv%d", j), item, it.DMs, tree.WriteAccess))
+				wcs = append(wcs, addCoordinator(tr, tm.Name(), fmt.Sprintf("wcfg%d", j), item, it.DMs, tree.WriteAccess))
+			}
+			autos = append(autos, NewReconfigTM(tr, tm.Name(), item, newCfg, rcs, wvs, wcs))
+			b.registerTM(tm.Name(), item, tree.KindReconfigTM)
+			for _, rc := range rcs {
+				autos = append(autos, NewReadCoordinator(tr, rc, initialRData(it)))
+			}
+			for _, wc := range append(append([]ioa.TxnName{}, wvs...), wcs...) {
+				autos = append(autos, NewWriteCoordinator(tr, wc))
+			}
+			pool = append(pool, tm.Name())
+		}
+		if len(pool) > 0 {
+			autos = append(autos, NewSpy(tr, u.name, pool))
+		}
+	}
+
+	// User automata manage only their non-reconfigure children.
+	for _, u := range users {
+		var managed []ioa.TxnName
+		for _, c := range tr.Children(u.name) {
+			if tr.Node(c).Kind() != tree.KindReconfigTM {
+				managed = append(managed, c)
+			}
+		}
+		opts := []txn.Option{txn.Manage(managed...)}
+		if u.spec.Sequential {
+			opts = append(opts, txn.Sequential())
+		}
+		if u.spec.Eager {
+			opts = append(opts, txn.Eager())
+		}
+		if u.spec.ValueFn != nil {
+			opts = append(opts, txn.WithValue(u.spec.ValueFn))
+		}
+		ua, err := txn.NewUser(tr, u.name, opts...)
+		if err != nil {
+			return nil, err
+		}
+		b.userAutos[u.name] = ua
+		autos = append(autos, ua)
+	}
+
+	// DMs and non-replica objects.
+	for _, it := range spec.Core.Items {
+		for _, dm := range it.DMs {
+			d := NewDM(tr, dm, initialRData(it))
+			b.DMs[dm] = d
+			autos = append(autos, d)
+		}
+	}
+	for _, os := range spec.Core.Objects {
+		autos = append(autos, object.NewRW(tr, os.Name, os.Initial))
+	}
+
+	autos = append(autos, serial.NewScheduler(tr), txn.NewRoot(tr))
+	b.Sys = ioa.NewSystem(autos...)
+	return b, nil
+}
+
+func (b *SystemB) registerTM(name ioa.TxnName, item string, kind tree.Kind) {
+	b.tmItem[name] = item
+	b.tmKind[name] = kind
+}
+
+func itemSpec(s core.Spec, name string) (core.ItemSpec, bool) {
+	for _, it := range s.Items {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return core.ItemSpec{}, false
+}
+
+func reconfigurableItems(spec Spec) []string {
+	var out []string
+	for _, it := range spec.Core.Items {
+		if len(spec.NewConfigs[it.Name]) > 0 {
+			out = append(out, it.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package reconfig
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+// tmBase carries the bookkeeping shared by the three TM kinds: waking up,
+// requesting coordinators once each, and recording the read phase's result.
+type tmBase struct {
+	tr   *tree.Tree
+	name ioa.TxnName
+	item string
+
+	coords map[ioa.TxnName]bool // all coordinator children
+
+	awake     bool
+	requested map[ioa.TxnName]bool
+	have      bool
+	res       ReadResult
+}
+
+func newTMBase(tr *tree.Tree, name ioa.TxnName, item string) tmBase {
+	return tmBase{
+		tr:        tr,
+		name:      name,
+		item:      item,
+		coords:    map[ioa.TxnName]bool{},
+		requested: map[ioa.TxnName]bool{},
+	}
+}
+
+func (b *tmBase) register(children []ioa.TxnName) {
+	for _, c := range children {
+		b.coords[c] = true
+	}
+}
+
+func (b *tmBase) hasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == b.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return b.coords[op.Txn]
+	default:
+		return false
+	}
+}
+
+func (b *tmBase) isOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == b.name
+	case ioa.OpRequestCreate:
+		return b.coords[op.Txn]
+	default:
+		return false
+	}
+}
+
+// recordRead stores the first read-coordinator result. Later results are
+// necessarily identical in a serial system (nothing intervenes between two
+// coordinators of the same TM), so keeping the first preserves
+// state-determinism without loss.
+func (b *tmBase) recordRead(v ioa.Value) error {
+	res, ok := v.(ReadResult)
+	if !ok {
+		return fmt.Errorf("tm %v: coordinator committed non-result %v", b.name, v)
+	}
+	if !b.have {
+		b.have = true
+		b.res = res
+	}
+	return nil
+}
+
+// requestCoord validates and records a REQUEST-CREATE of a coordinator.
+func (b *tmBase) requestCoord(op ioa.Op) error {
+	if !b.awake || b.requested[op.Txn] {
+		return fmt.Errorf("%w: %v by TM %v", ioa.ErrNotEnabled, op, b.name)
+	}
+	b.requested[op.Txn] = true
+	return nil
+}
+
+// ReadTM performs a logical read of item x under reconfiguration: it runs a
+// read coordinator and returns the value component of the result.
+type ReadTM struct {
+	tmBase
+	readCoords []ioa.TxnName
+}
+
+var _ ioa.Automaton = (*ReadTM)(nil)
+
+// NewReadTM builds the reconfigurable read-TM named name whose children are
+// the given read coordinators.
+func NewReadTM(tr *tree.Tree, name ioa.TxnName, item string, readCoords []ioa.TxnName) *ReadTM {
+	t := &ReadTM{tmBase: newTMBase(tr, name, item), readCoords: readCoords}
+	t.register(readCoords)
+	return t
+}
+
+// Name implements ioa.Automaton.
+func (t *ReadTM) Name() string { return string(t.name) }
+
+// HasOp implements ioa.Automaton.
+func (t *ReadTM) HasOp(op ioa.Op) bool { return t.hasOp(op) }
+
+// IsOutput implements ioa.Automaton.
+func (t *ReadTM) IsOutput(op ioa.Op) bool { return t.isOutput(op) }
+
+// Enabled implements ioa.Automaton.
+func (t *ReadTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.readCoords {
+		if !t.requested[c] {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.have {
+		out = append(out, ioa.RequestCommit(t.name, t.res.Val))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *ReadTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+		return nil
+	case ioa.OpCommit:
+		return t.recordRead(op.Val)
+	case ioa.OpAbort:
+		return nil
+	case ioa.OpRequestCreate:
+		return t.requestCoord(op)
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.have {
+			return fmt.Errorf("%w: %v: read phase incomplete", ioa.ErrNotEnabled, op)
+		}
+		if !reflect.DeepEqual(op.Val, t.res.Val) {
+			return fmt.Errorf("%w: %v: state requires value %v", ioa.ErrNotEnabled, op, t.res.Val)
+		}
+		t.awake = false
+		return nil
+	default:
+		return fmt.Errorf("read-TM %v: unexpected op %v", t.name, op)
+	}
+}
+
+// WriteTM performs a logical write of value(T) under reconfiguration: it
+// runs a read coordinator, then a write coordinator carrying
+// (t+1, value(T)) aimed at a write-quorum of the configuration the read
+// phase discovered, then commits with nil.
+type WriteTM struct {
+	tmBase
+	value       ioa.Value
+	readCoords  []ioa.TxnName
+	writeCoords []ioa.TxnName
+
+	written bool
+}
+
+var _ ioa.Automaton = (*WriteTM)(nil)
+
+// NewWriteTM builds the reconfigurable write-TM named name.
+func NewWriteTM(tr *tree.Tree, name ioa.TxnName, item string, value ioa.Value, readCoords, writeCoords []ioa.TxnName) *WriteTM {
+	t := &WriteTM{
+		tmBase:      newTMBase(tr, name, item),
+		value:       value,
+		readCoords:  readCoords,
+		writeCoords: writeCoords,
+	}
+	t.register(readCoords)
+	t.register(writeCoords)
+	return t
+}
+
+// Name implements ioa.Automaton.
+func (t *WriteTM) Name() string { return string(t.name) }
+
+// HasOp implements ioa.Automaton.
+func (t *WriteTM) HasOp(op ioa.Op) bool { return t.hasOp(op) }
+
+// IsOutput implements ioa.Automaton.
+func (t *WriteTM) IsOutput(op ioa.Op) bool { return t.isOutput(op) }
+
+// task returns the write task derived from the read phase.
+func (t *WriteTM) task() WriteTask {
+	return WriteTask{Payload: VWrite{VN: t.res.VN + 1, Val: t.value}, Cfg: t.res.Cfg}
+}
+
+// Enabled implements ioa.Automaton.
+func (t *WriteTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.readCoords {
+		if !t.requested[c] {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.have {
+		for _, c := range t.writeCoords {
+			if !t.requested[c] {
+				out = append(out, ioa.RequestCreate(c))
+			}
+		}
+	}
+	if t.written {
+		out = append(out, ioa.RequestCommit(t.name, nil))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *WriteTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+		return nil
+	case ioa.OpCommit:
+		if isIn(t.readCoords, op.Txn) {
+			return t.recordRead(op.Val)
+		}
+		t.written = true
+		return nil
+	case ioa.OpAbort:
+		return nil
+	case ioa.OpRequestCreate:
+		if isIn(t.writeCoords, op.Txn) {
+			if !t.have {
+				return fmt.Errorf("%w: %v: write phase before read-quorum", ioa.ErrNotEnabled, op)
+			}
+			if err := t.requestCoord(op); err != nil {
+				return err
+			}
+			t.tr.Node(op.Txn).Data = t.task()
+			return nil
+		}
+		return t.requestCoord(op)
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.written {
+			return fmt.Errorf("%w: %v: no write-quorum written", ioa.ErrNotEnabled, op)
+		}
+		if op.Val != nil {
+			return fmt.Errorf("%w: %v: write-TM must return nil", ioa.ErrNotEnabled, op)
+		}
+		t.awake = false
+		return nil
+	default:
+		return fmt.Errorf("write-TM %v: unexpected op %v", t.name, op)
+	}
+}
+
+// ReconfigTM changes the configuration of item x to value(T) = c': after
+// the read phase discovers (v, t, c, g), it writes (v, t) to a write-quorum
+// of c' and writes (c', g+1) to a write-quorum of the old configuration c.
+// Per the paper's observation (footnote 6), writing the new configuration
+// to an old write-quorum alone suffices; Gifford's original writes it to
+// both, which the cluster layer offers as an ablation.
+type ReconfigTM struct {
+	tmBase
+	newCfg       quorum.Config
+	readCoords   []ioa.TxnName
+	valueCoords  []ioa.TxnName // write (v, t) to a write-quorum of c'
+	configCoords []ioa.TxnName // write (c', g+1) to a write-quorum of c
+
+	valWritten bool
+	cfgWritten bool
+}
+
+var _ ioa.Automaton = (*ReconfigTM)(nil)
+
+// NewReconfigTM builds the reconfigure-TM named name installing newCfg.
+func NewReconfigTM(tr *tree.Tree, name ioa.TxnName, item string, newCfg quorum.Config, readCoords, valueCoords, configCoords []ioa.TxnName) *ReconfigTM {
+	t := &ReconfigTM{
+		tmBase:       newTMBase(tr, name, item),
+		newCfg:       newCfg,
+		readCoords:   readCoords,
+		valueCoords:  valueCoords,
+		configCoords: configCoords,
+	}
+	t.register(readCoords)
+	t.register(valueCoords)
+	t.register(configCoords)
+	return t
+}
+
+// Name implements ioa.Automaton.
+func (t *ReconfigTM) Name() string { return string(t.name) }
+
+// HasOp implements ioa.Automaton.
+func (t *ReconfigTM) HasOp(op ioa.Op) bool { return t.hasOp(op) }
+
+// IsOutput implements ioa.Automaton.
+func (t *ReconfigTM) IsOutput(op ioa.Op) bool { return t.isOutput(op) }
+
+// Enabled implements ioa.Automaton.
+func (t *ReconfigTM) Enabled() []ioa.Op {
+	if !t.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range t.readCoords {
+		if !t.requested[c] {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if t.have {
+		for _, c := range t.valueCoords {
+			if !t.requested[c] {
+				out = append(out, ioa.RequestCreate(c))
+			}
+		}
+		for _, c := range t.configCoords {
+			if !t.requested[c] {
+				out = append(out, ioa.RequestCreate(c))
+			}
+		}
+	}
+	if t.valWritten && t.cfgWritten {
+		out = append(out, ioa.RequestCommit(t.name, nil))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (t *ReconfigTM) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		t.awake = true
+		return nil
+	case ioa.OpCommit:
+		switch {
+		case isIn(t.readCoords, op.Txn):
+			return t.recordRead(op.Val)
+		case isIn(t.valueCoords, op.Txn):
+			t.valWritten = true
+		default:
+			t.cfgWritten = true
+		}
+		return nil
+	case ioa.OpAbort:
+		return nil
+	case ioa.OpRequestCreate:
+		switch {
+		case isIn(t.readCoords, op.Txn):
+			return t.requestCoord(op)
+		case !t.have:
+			return fmt.Errorf("%w: %v: write phase before read-quorum", ioa.ErrNotEnabled, op)
+		case isIn(t.valueCoords, op.Txn):
+			if err := t.requestCoord(op); err != nil {
+				return err
+			}
+			t.tr.Node(op.Txn).Data = WriteTask{Payload: VWrite{VN: t.res.VN, Val: t.res.Val}, Cfg: t.newCfg}
+			return nil
+		default:
+			if err := t.requestCoord(op); err != nil {
+				return err
+			}
+			t.tr.Node(op.Txn).Data = WriteTask{Payload: CWrite{Gen: t.res.Gen + 1, Cfg: t.newCfg}, Cfg: t.res.Cfg}
+			return nil
+		}
+	case ioa.OpRequestCommit:
+		if !t.awake || !t.valWritten || !t.cfgWritten {
+			return fmt.Errorf("%w: %v: reconfiguration incomplete", ioa.ErrNotEnabled, op)
+		}
+		if op.Val != nil {
+			return fmt.Errorf("%w: %v: reconfigure-TM must return nil", ioa.ErrNotEnabled, op)
+		}
+		t.awake = false
+		return nil
+	default:
+		return fmt.Errorf("reconfigure-TM %v: unexpected op %v", t.name, op)
+	}
+}
+
+func isIn(list []ioa.TxnName, t ioa.TxnName) bool {
+	for _, x := range list {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

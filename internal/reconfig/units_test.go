@@ -1,0 +1,311 @@
+package reconfig
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/quorum"
+	"repro/internal/tree"
+)
+
+func dmFixture(t *testing.T) (*tree.Tree, *DM, RData) {
+	t.Helper()
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	mk := func(label string, kind tree.AccessKind) *tree.Node {
+		n := tr.MustAddChild(u.Name(), label, tree.KindAccess)
+		n.Object = "d1"
+		n.Access = kind
+		n.Item = "x"
+		return n
+	}
+	mk("r", tree.ReadAccess)
+	mk("wv", tree.WriteAccess)
+	mk("wc", tree.WriteAccess)
+	initial := RData{VN: 0, Val: "init", Gen: 0, Cfg: quorum.ReadOneWriteAll([]string{"d1"})}
+	return tr, NewDM(tr, "d1", initial), initial
+}
+
+func TestDMReadReturnsWholeReplicaState(t *testing.T) {
+	_, dm, initial := dmFixture(t)
+	if err := dm.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	enabled := dm.Enabled()
+	if len(enabled) != 1 || !enabled[0].Equal(ioa.RequestCommit("T0/u/r", initial)) {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	if err := dm.Step(enabled[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMValueWriteLeavesConfigUntouched(t *testing.T) {
+	tr, dm, initial := dmFixture(t)
+	tr.Node("T0/u/wv").Data = VWrite{VN: 3, Val: "new"}
+	if err := dm.Step(ioa.Create("T0/u/wv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Step(ioa.RequestCommit("T0/u/wv", nil)); err != nil {
+		t.Fatal(err)
+	}
+	d := dm.Data()
+	if d.VN != 3 || d.Val != "new" {
+		t.Errorf("value write not applied: %v", d)
+	}
+	if d.Gen != initial.Gen || !d.Cfg.Legal() {
+		t.Errorf("value write must not touch configuration: %v", d)
+	}
+}
+
+func TestDMConfigWriteLeavesValueUntouched(t *testing.T) {
+	tr, dm, _ := dmFixture(t)
+	newCfg := quorum.Majority([]string{"d1"})
+	tr.Node("T0/u/wc").Data = CWrite{Gen: 1, Cfg: newCfg}
+	if err := dm.Step(ioa.Create("T0/u/wc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Step(ioa.RequestCommit("T0/u/wc", nil)); err != nil {
+		t.Fatal(err)
+	}
+	d := dm.Data()
+	if d.Gen != 1 {
+		t.Errorf("config write not applied: %v", d)
+	}
+	if d.VN != 0 || d.Val != "init" {
+		t.Errorf("config write must not touch the value: %v", d)
+	}
+}
+
+func TestDMRejectsUnboundWritePayload(t *testing.T) {
+	_, dm, _ := dmFixture(t)
+	if err := dm.Step(ioa.Create("T0/u/wv")); err != nil {
+		t.Fatal(err)
+	}
+	// Data never bound: neither VWrite nor CWrite.
+	if err := dm.Step(ioa.RequestCommit("T0/u/wv", nil)); err == nil {
+		t.Fatal("write access with unbound payload accepted")
+	}
+}
+
+func TestDMReadValueValidated(t *testing.T) {
+	_, dm, _ := dmFixture(t)
+	if err := dm.Step(ioa.Create("T0/u/r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Step(ioa.RequestCommit("T0/u/r", RData{VN: 99})); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("wrong read value accepted: %v", err)
+	}
+}
+
+func coordFixture(t *testing.T) (*tree.Tree, RData) {
+	t.Helper()
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	tm := tr.MustAddChild(u.Name(), "tm", tree.KindReadTM)
+	tm.Item = "x"
+	rc := tr.MustAddChild(tm.Name(), "rc", tree.KindCoordinator)
+	rc.Item = "x"
+	wc := tr.MustAddChild(tm.Name(), "wc", tree.KindCoordinator)
+	wc.Item = "x"
+	for _, dm := range []string{"d1", "d2", "d3"} {
+		a := tr.MustAddChild(rc.Name(), "r."+dm, tree.KindAccess)
+		a.Object = dm
+		a.Access = tree.ReadAccess
+		a.Item = "x"
+		wa := tr.MustAddChild(wc.Name(), "w."+dm, tree.KindAccess)
+		wa.Object = dm
+		wa.Access = tree.WriteAccess
+		wa.Item = "x"
+	}
+	initial := RData{VN: 0, Val: "init", Gen: 0, Cfg: quorum.Majority([]string{"d1", "d2", "d3"})}
+	return tr, initial
+}
+
+func TestReadCoordinatorChasesGenerations(t *testing.T) {
+	tr, initial := coordFixture(t)
+	c := NewReadCoordinator(tr, "T0/u/tm/rc", initial)
+	step := func(op ioa.Op) {
+		t.Helper()
+		if err := c.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	step(ioa.Create("T0/u/tm/rc"))
+	step(ioa.RequestCreate("T0/u/tm/rc/r.d1"))
+	step(ioa.RequestCreate("T0/u/tm/rc/r.d2"))
+	// d1 and d2 form a majority of the initial config, but d2 reveals a
+	// newer generation whose only read-quorum is {d3}: the coordinator
+	// must keep reading.
+	newCfg := quorum.Config{R: []quorum.Set{quorum.NewSet("d3")}, W: []quorum.Set{quorum.NewSet("d3", "d1"), quorum.NewSet("d3", "d2")}}
+	step(ioa.Commit("T0/u/tm/rc/r.d1", RData{VN: 1, Val: "a", Gen: 0, Cfg: initial.Cfg}))
+	step(ioa.Commit("T0/u/tm/rc/r.d2", RData{VN: 1, Val: "a", Gen: 1, Cfg: newCfg}))
+	for _, op := range c.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			t.Fatal("coordinator committed with a stale configuration's quorum")
+		}
+	}
+	step(ioa.RequestCreate("T0/u/tm/rc/r.d3"))
+	step(ioa.Commit("T0/u/tm/rc/r.d3", RData{VN: 2, Val: "b", Gen: 1, Cfg: newCfg}))
+	want := ReadResult{VN: 2, Val: "b", Gen: 1, Cfg: newCfg}
+	found := false
+	for _, op := range c.Enabled() {
+		if op.Kind == ioa.OpRequestCommit && op.Equal(ioa.RequestCommit("T0/u/tm/rc", want)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("coordinator should commit %v; enabled = %v", want, c.Enabled())
+	}
+}
+
+func TestWriteCoordinatorRequiresTask(t *testing.T) {
+	tr, _ := coordFixture(t)
+	c := NewWriteCoordinator(tr, "T0/u/tm/wc")
+	if err := c.Step(ioa.Create("T0/u/tm/wc")); err == nil {
+		t.Fatal("write coordinator created without a bound task")
+	}
+	tr.Node("T0/u/tm/wc").Data = WriteTask{
+		Payload: VWrite{VN: 1, Val: "v"},
+		Cfg:     quorum.Majority([]string{"d1", "d2", "d3"}),
+	}
+	if err := c.Step(ioa.Create("T0/u/tm/wc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(ioa.RequestCreate("T0/u/tm/wc/w.d1")); err != nil {
+		t.Fatal(err)
+	}
+	// The payload is bound onto the access at request time.
+	if d, ok := tr.Node("T0/u/tm/wc/w.d1").Data.(VWrite); !ok || d.VN != 1 {
+		t.Fatalf("access payload = %v", tr.Node("T0/u/tm/wc/w.d1").Data)
+	}
+	// One commit of three is not a write-quorum.
+	if err := c.Step(ioa.Commit("T0/u/tm/wc/w.d1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(ioa.RequestCommit("T0/u/tm/wc", nil)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit without write-quorum: %v", err)
+	}
+	if err := c.Step(ioa.RequestCreate("T0/u/tm/wc/w.d2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(ioa.Commit("T0/u/tm/wc/w.d2", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(ioa.RequestCommit("T0/u/tm/wc", nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpyLifecycle(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	rec := tr.MustAddChild(u.Name(), "reconf0", tree.KindReconfigTM)
+	s := NewSpy(tr, u.Name(), []ioa.TxnName{rec.Name()})
+
+	// Asleep until its transaction is created.
+	if got := s.Enabled(); len(got) != 0 {
+		t.Errorf("asleep spy enabled %v", got)
+	}
+	if err := s.Step(ioa.RequestCreate(rec.Name())); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("asleep spy acted: %v", err)
+	}
+	if err := s.Step(ioa.Create(u.Name())); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Enabled()
+	if len(got) != 1 || !got[0].Equal(ioa.RequestCreate(rec.Name())) {
+		t.Fatalf("awake spy enabled %v", got)
+	}
+	// The spy falls silent when the user transaction requests to commit.
+	if err := s.Step(ioa.RequestCommit(u.Name(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Enabled(); len(got) != 0 {
+		t.Errorf("spy active after user's REQUEST-COMMIT: %v", got)
+	}
+	if err := s.Step(ioa.RequestCreate(rec.Name())); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("spy invoked reconfiguration after commit request: %v", err)
+	}
+}
+
+func TestSpyOwnsReconfigInvocations(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	rec := tr.MustAddChild(u.Name(), "reconf0", tree.KindReconfigTM)
+	s := NewSpy(tr, u.Name(), []ioa.TxnName{rec.Name()})
+	if !s.IsOutput(ioa.RequestCreate(rec.Name())) {
+		t.Error("REQUEST-CREATE of the reconfigure-TM is the spy's output")
+	}
+	if s.IsOutput(ioa.Create(u.Name())) || s.IsOutput(ioa.RequestCommit(u.Name(), nil)) {
+		t.Error("the user's operations are inputs to the spy")
+	}
+	if !s.HasOp(ioa.Commit(rec.Name(), nil)) || !s.HasOp(ioa.Abort(rec.Name())) {
+		t.Error("the reconfigure-TM's returns go to the spy")
+	}
+}
+
+func TestReconfigTMWritesBothTasks(t *testing.T) {
+	tr := tree.New()
+	u := tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	tmNode := tr.MustAddChild(u.Name(), "rec", tree.KindReconfigTM)
+	tmNode.Item = "x"
+	mkCoord := func(label string, kind tree.AccessKind) ioa.TxnName {
+		c := tr.MustAddChild(tmNode.Name(), label, tree.KindCoordinator)
+		c.Item = "x"
+		a := tr.MustAddChild(c.Name(), "a.d1", tree.KindAccess)
+		a.Object = "d1"
+		a.Access = kind
+		a.Item = "x"
+		return c.Name()
+	}
+	rc := mkCoord("rc", tree.ReadAccess)
+	wv := mkCoord("wv", tree.WriteAccess)
+	wc := mkCoord("wcfg", tree.WriteAccess)
+	oldCfg := quorum.ReadOneWriteAll([]string{"d1"})
+	newCfg := quorum.Majority([]string{"d1"})
+	tm := NewReconfigTM(tr, tmNode.Name(), "x", newCfg, []ioa.TxnName{rc}, []ioa.TxnName{wv}, []ioa.TxnName{wc})
+
+	step := func(op ioa.Op) {
+		t.Helper()
+		if err := tm.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	step(ioa.Create(tmNode.Name()))
+	// Write coordinators gated on the read phase.
+	if err := tm.Step(ioa.RequestCreate(wv)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("value write before read phase: %v", err)
+	}
+	step(ioa.RequestCreate(rc))
+	step(ioa.Commit(rc, ReadResult{VN: 7, Val: "v", Gen: 2, Cfg: oldCfg}))
+	step(ioa.RequestCreate(wv))
+	step(ioa.RequestCreate(wc))
+	// The value task copies (v, t) unchanged to the NEW configuration; the
+	// config task writes (c', g+1) to the OLD configuration.
+	vt, ok := tr.Node(wv).Data.(WriteTask)
+	if !ok {
+		t.Fatal("value task unbound")
+	}
+	if p := vt.Payload.(VWrite); p.VN != 7 || p.Val != "v" {
+		t.Errorf("value task payload = %v", p)
+	}
+	if vt.Cfg.String() != newCfg.String() {
+		t.Errorf("value task targets %v, want the new config", vt.Cfg)
+	}
+	ct := tr.Node(wc).Data.(WriteTask)
+	if p := ct.Payload.(CWrite); p.Gen != 3 {
+		t.Errorf("config task generation = %d, want 3", p.Gen)
+	}
+	if ct.Cfg.String() != oldCfg.String() {
+		t.Errorf("config task targets %v, want the old config", ct.Cfg)
+	}
+	// Commit only after both write phases.
+	if err := tm.Step(ioa.RequestCommit(tmNode.Name(), nil)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit before writes: %v", err)
+	}
+	step(ioa.Commit(wv, nil))
+	step(ioa.Commit(wc, nil))
+	step(ioa.RequestCommit(tmNode.Name(), nil))
+}

@@ -1,0 +1,194 @@
+// Package serial implements the serial scheduler of paper Section 2.2 and
+// helpers for building and checking serial systems. The serial scheduler
+// controls communication between the system primitives (transactions and
+// basic objects) and runs transactions according to a depth-first traversal
+// of the transaction tree: a transaction is created only after all its
+// created siblings have returned, and commits only after all its created
+// children have returned. It may nondeterministically abort any transaction
+// that was requested but never created ("the semantics of ABORT(T) are that
+// T was never created").
+package serial
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// Scheduler is the serial scheduler automaton. Its state components are
+// exactly the paper's: create-requested, created, commit-requested,
+// committed, aborted, and returned. Initially create-requested = {T0} and
+// the rest are empty.
+type Scheduler struct {
+	tr *tree.Tree
+
+	createRequested map[ioa.TxnName]bool
+	created         map[ioa.TxnName]bool
+	aborted         map[ioa.TxnName]bool
+	returned        map[ioa.TxnName]bool
+	commitRequested map[ioa.TxnName][]ioa.Value
+	committed       map[ioa.TxnName]ioa.Value
+}
+
+var _ ioa.Automaton = (*Scheduler)(nil)
+
+// NewScheduler returns a serial scheduler for the given transaction tree.
+func NewScheduler(tr *tree.Tree) *Scheduler {
+	return &Scheduler{
+		tr:              tr,
+		createRequested: map[ioa.TxnName]bool{tree.Root: true},
+		created:         map[ioa.TxnName]bool{},
+		aborted:         map[ioa.TxnName]bool{},
+		returned:        map[ioa.TxnName]bool{},
+		commitRequested: map[ioa.TxnName][]ioa.Value{},
+		committed:       map[ioa.TxnName]ioa.Value{},
+	}
+}
+
+// Name implements ioa.Automaton.
+func (s *Scheduler) Name() string { return "serial-scheduler" }
+
+// HasOp reports true for every operation naming a transaction of the tree:
+// the scheduler mediates all communication in the system.
+func (s *Scheduler) HasOp(op ioa.Op) bool { return s.tr.Contains(op.Txn) }
+
+// IsOutput reports whether op is CREATE, COMMIT or ABORT.
+func (s *Scheduler) IsOutput(op ioa.Op) bool {
+	if !s.tr.Contains(op.Txn) {
+		return false
+	}
+	return op.Kind == ioa.OpCreate || op.Kind == ioa.OpCommit || op.Kind == ioa.OpAbort
+}
+
+// Created reports whether CREATE(t) has occurred.
+func (s *Scheduler) Created(t ioa.TxnName) bool { return s.created[t] }
+
+// Returned reports whether t has committed or aborted.
+func (s *Scheduler) Returned(t ioa.TxnName) bool { return s.returned[t] }
+
+// Committed returns the commit value for t and whether t committed.
+func (s *Scheduler) Committed(t ioa.TxnName) (ioa.Value, bool) {
+	v, ok := s.committed[t]
+	return v, ok
+}
+
+// siblingsQuiet reports whether siblings(T) ∩ created ⊆ returned, the
+// depth-first condition shared by the CREATE and ABORT preconditions.
+func (s *Scheduler) siblingsQuiet(t ioa.TxnName) bool {
+	for _, sib := range s.tr.Siblings(t) {
+		if s.created[sib] && !s.returned[sib] {
+			return false
+		}
+	}
+	return true
+}
+
+// childrenReturned reports whether children(T) ∩ create-requested ⊆
+// returned, the COMMIT precondition.
+func (s *Scheduler) childrenReturned(t ioa.TxnName) bool {
+	for _, c := range s.tr.Children(t) {
+		if s.createRequested[c] && !s.returned[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// createEnabled reports whether the shared CREATE/ABORT precondition holds
+// for t.
+func (s *Scheduler) createEnabled(t ioa.TxnName) bool {
+	return s.createRequested[t] && !s.created[t] && !s.aborted[t] && s.siblingsQuiet(t)
+}
+
+// Enabled returns the enabled CREATE, COMMIT and ABORT operations.
+// ABORT(T0) is excluded: the root models the environment and may neither
+// commit nor abort. Candidates are enumerated in sorted name order so that
+// drivers are reproducible from their seed.
+func (s *Scheduler) Enabled() []ioa.Op {
+	var out []ioa.Op
+	for _, t := range sortedKeys(s.createRequested) {
+		if s.createEnabled(t) {
+			out = append(out, ioa.Create(t))
+			if t != tree.Root {
+				out = append(out, ioa.Abort(t))
+			}
+		}
+	}
+	for _, t := range sortedCommitKeys(s.commitRequested) {
+		if s.returned[t] || !s.childrenReturned(t) {
+			continue
+		}
+		for _, v := range s.commitRequested[t] {
+			out = append(out, ioa.Commit(t, v))
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[ioa.TxnName]bool) []ioa.TxnName {
+	out := make([]ioa.TxnName, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedCommitKeys(m map[ioa.TxnName][]ioa.Value) []ioa.TxnName {
+	out := make([]ioa.TxnName, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step implements ioa.Automaton, validating the paper's preconditions for
+// output operations and applying the postconditions.
+func (s *Scheduler) Step(op ioa.Op) error {
+	if !s.tr.Contains(op.Txn) {
+		return fmt.Errorf("scheduler: unknown transaction %v", op.Txn)
+	}
+	switch op.Kind {
+	case ioa.OpRequestCreate:
+		s.createRequested[op.Txn] = true
+		return nil
+	case ioa.OpRequestCommit:
+		s.commitRequested[op.Txn] = append(s.commitRequested[op.Txn], op.Val)
+		return nil
+	case ioa.OpCreate:
+		if !s.createEnabled(op.Txn) {
+			return fmt.Errorf("%w: CREATE(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.created[op.Txn] = true
+		return nil
+	case ioa.OpAbort:
+		if op.Txn == tree.Root || !s.createEnabled(op.Txn) {
+			return fmt.Errorf("%w: ABORT(%v)", ioa.ErrNotEnabled, op.Txn)
+		}
+		s.aborted[op.Txn] = true
+		s.returned[op.Txn] = true
+		return nil
+	case ioa.OpCommit:
+		if s.returned[op.Txn] || !s.childrenReturned(op.Txn) || !s.commitRequestedWith(op.Txn, op.Val) {
+			return fmt.Errorf("%w: COMMIT(%v, %v)", ioa.ErrNotEnabled, op.Txn, op.Val)
+		}
+		s.committed[op.Txn] = op.Val
+		s.returned[op.Txn] = true
+		return nil
+	default:
+		return fmt.Errorf("scheduler: unknown op kind %v", op.Kind)
+	}
+}
+
+func (s *Scheduler) commitRequestedWith(t ioa.TxnName, v ioa.Value) bool {
+	for _, w := range s.commitRequested[t] {
+		if reflect.DeepEqual(v, w) {
+			return true
+		}
+	}
+	return false
+}

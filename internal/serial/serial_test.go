@@ -1,0 +1,157 @@
+package serial
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+func sampleTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	tr := tree.New()
+	tr.MustAddChild(tree.Root, "u1", tree.KindUser)
+	tr.MustAddChild(tree.Root, "u2", tree.KindUser)
+	tr.MustAddChild("T0/u1", "c1", tree.KindUser)
+	tr.MustAddChild("T0/u1", "c2", tree.KindUser)
+	return tr
+}
+
+func TestInitiallyOnlyRootCreatable(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	enabled := s.Enabled()
+	if len(enabled) != 1 || !enabled[0].Equal(ioa.Create(tree.Root)) {
+		t.Fatalf("enabled = %v, want only CREATE(T0)", enabled)
+	}
+}
+
+func TestRootCannotAbort(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	if err := s.Step(ioa.Abort(tree.Root)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("ABORT(T0) must be rejected, got %v", err)
+	}
+}
+
+func TestDepthFirstSiblingRule(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	must := func(op ioa.Op) {
+		t.Helper()
+		if err := s.Step(op); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+	must(ioa.Create(tree.Root))
+	must(ioa.RequestCreate("T0/u1"))
+	must(ioa.RequestCreate("T0/u2"))
+	must(ioa.Create("T0/u1"))
+	// u1 is created and unreturned: CREATE(u2) violates the sibling rule.
+	if err := s.Step(ioa.Create("T0/u2")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("sibling rule not enforced: %v", err)
+	}
+	// ABORT(u2) shares the precondition.
+	if err := s.Step(ioa.Abort("T0/u2")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("abort sibling rule not enforced: %v", err)
+	}
+	must(ioa.RequestCommit("T0/u1", nil))
+	must(ioa.Commit("T0/u1", nil))
+	// Now u2 can be created (or aborted).
+	must(ioa.Create("T0/u2"))
+}
+
+func TestCommitRequiresChildrenReturned(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	for _, op := range []ioa.Op{
+		ioa.Create(tree.Root),
+		ioa.RequestCreate("T0/u1"),
+		ioa.Create("T0/u1"),
+		ioa.RequestCreate("T0/u1/c1"),
+		ioa.RequestCommit("T0/u1", "v"),
+	} {
+		if err := s.Step(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// c1 was requested and has not returned: COMMIT(u1) must wait.
+	if err := s.Step(ioa.Commit("T0/u1", "v")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit before children returned: %v", err)
+	}
+	if err := s.Step(ioa.Abort("T0/u1/c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(ioa.Commit("T0/u1", "v")); err != nil {
+		t.Fatalf("commit after child aborted: %v", err)
+	}
+	if v, ok := s.Committed("T0/u1"); !ok || v != "v" {
+		t.Errorf("Committed = %v %v", v, ok)
+	}
+}
+
+func TestCommitValueMustMatchRequest(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	for _, op := range []ioa.Op{
+		ioa.Create(tree.Root),
+		ioa.RequestCreate("T0/u2"),
+		ioa.Create("T0/u2"),
+		ioa.RequestCommit("T0/u2", 1),
+	} {
+		if err := s.Step(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Step(ioa.Commit("T0/u2", 2)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("commit with unrequested value: %v", err)
+	}
+	if err := s.Step(ioa.Commit("T0/u2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A second return is rejected.
+	if err := s.Step(ioa.Commit("T0/u2", 1)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("duplicate commit: %v", err)
+	}
+}
+
+func TestAbortMeansNeverCreated(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	for _, op := range []ioa.Op{
+		ioa.Create(tree.Root),
+		ioa.RequestCreate("T0/u1"),
+		ioa.Create("T0/u1"),
+	} {
+		if err := s.Step(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// u1 is created: it can no longer abort.
+	if err := s.Step(ioa.Abort("T0/u1")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("abort of created transaction: %v", err)
+	}
+}
+
+func TestCreateRequiresRequest(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	if err := s.Step(ioa.Create("T0/u1")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("create without request: %v", err)
+	}
+	if err := s.Step(ioa.Create("nope")); err == nil {
+		t.Fatal("unknown transaction accepted")
+	}
+}
+
+func TestSchedulerOwnsAllTreeOps(t *testing.T) {
+	s := NewScheduler(sampleTree(t))
+	for _, op := range []ioa.Op{
+		ioa.Create("T0/u1"), ioa.RequestCreate("T0/u1"),
+		ioa.RequestCommit("T0/u1", nil), ioa.Commit("T0/u1", nil), ioa.Abort("T0/u1"),
+	} {
+		if !s.HasOp(op) {
+			t.Errorf("scheduler must have op %v", op)
+		}
+	}
+	if s.HasOp(ioa.Create("zzz")) {
+		t.Error("foreign transaction op claimed")
+	}
+	if s.IsOutput(ioa.RequestCreate("T0/u1")) || !s.IsOutput(ioa.Create("T0/u1")) {
+		t.Error("output classification broken")
+	}
+}

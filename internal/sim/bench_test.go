@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	net := NewNetwork(Config{Seed: 1})
+	defer net.Close()
+	server := NewNode(net, "s", func(from string, req any) any { return req })
+	defer server.Shutdown()
+	client := NewNode(net, "c", nil)
+	defer client.Shutdown()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, "s", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	net := NewNetwork(Config{Seed: 2, InboxSize: 4096})
+	defer net.Close()
+	inbox := net.Register("b")
+	go func() {
+		for range inbox {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send("a", "b", i)
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim provides the simulated distributed substrate the systems-
+// layer experiments run on: named nodes connected by a message-passing
+// network with configurable latency, loss, partitions and crash/restart,
+// plus a small request/reply (RPC) layer. Everything runs in one process
+// with goroutines standing in for machines, per the reproduction plan.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Message is a network datagram.
+type Message struct {
+	From    string
+	To      string
+	Payload any
+}
+
+// Config parameterizes the network.
+type Config struct {
+	// MinLatency and MaxLatency bound the uniformly sampled one-way
+	// delivery delay. Zero values deliver with only scheduling delay.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+	// Seed makes latency and loss reproducible.
+	Seed int64
+	// InboxSize bounds each node's receive buffer; messages arriving at a
+	// full inbox are dropped, modeling receiver overload. Default 1024.
+	InboxSize int
+}
+
+// Stats is a snapshot of network counters.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	ByType    map[string]int64
+}
+
+// Network connects nodes. All methods are safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	inboxes  map[string]chan Message
+	crashed  map[string]bool
+	cut      map[string]bool // "a|b" with a<b: link severed
+	closed   bool
+	sent     int64
+	deliverd int64
+	dropped  int64
+	byType   map[string]int64
+
+	wg sync.WaitGroup
+}
+
+// NewNetwork returns a network with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 1024
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		inboxes: map[string]chan Message{},
+		crashed: map[string]bool{},
+		cut:     map[string]bool{},
+		byType:  map[string]int64{},
+	}
+}
+
+// Register creates (or returns) the inbox for a node id.
+func (n *Network) Register(id string) <-chan Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ch, ok := n.inboxes[id]; ok {
+		return ch
+	}
+	ch := make(chan Message, n.cfg.InboxSize)
+	n.inboxes[id] = ch
+	return ch
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Send queues a message for asynchronous delivery after a sampled latency.
+// Messages to or from crashed nodes, across severed links, or sampled as
+// lost are silently dropped — exactly how the algorithms under test
+// experience failures.
+func (n *Network) Send(from, to string, payload any) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.sent++
+	n.byType[fmt.Sprintf("%T", payload)]++
+	if n.crashed[from] || n.rng.Float64() < n.cfg.DropProb {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	delay := n.cfg.MinLatency
+	if span := n.cfg.MaxLatency - n.cfg.MinLatency; span > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(span)))
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	go func() {
+		defer n.wg.Done()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		n.mu.Lock()
+		ch, ok := n.inboxes[to]
+		blocked := n.crashed[to] || n.cut[linkKey(from, to)] || n.closed
+		n.mu.Unlock()
+		if !ok || blocked {
+			n.note(&n.dropped)
+			return
+		}
+		select {
+		case ch <- Message{From: from, To: to, Payload: payload}:
+			n.note(&n.deliverd)
+		default:
+			n.note(&n.dropped) // receiver overloaded
+		}
+	}()
+}
+
+func (n *Network) note(counter *int64) {
+	n.mu.Lock()
+	*counter++
+	n.mu.Unlock()
+}
+
+// Crash makes a node unreachable (its state is preserved; restart with
+// Restart). In-flight messages to it are lost.
+func (n *Network) Crash(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restart brings a crashed node back.
+func (n *Network) Restart(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Crashed reports whether a node is currently crashed.
+func (n *Network) Crashed(id string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Disconnect severs the bidirectional link between a and b.
+func (n *Network) Disconnect(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey(a, b)] = true
+}
+
+// Reconnect restores the link between a and b.
+func (n *Network) Reconnect(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey(a, b))
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byType := make(map[string]int64, len(n.byType))
+	for k, v := range n.byType {
+		byType[k] = v
+	}
+	return Stats{Sent: n.sent, Delivered: n.deliverd, Dropped: n.dropped, ByType: byType}
+}
+
+// Close stops accepting sends and waits for in-flight deliveries to drain.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrRPCTimeout is returned by Call when the context expires before a reply
+// arrives (lost request, lost reply, crashed server, or slow link — the
+// caller cannot tell, exactly as in a real network).
+var ErrRPCTimeout = errors.New("rpc timeout")
+
+// envelope is an RPC request on the wire.
+type envelope struct {
+	ID  uint64
+	Req any
+}
+
+// reply is an RPC response on the wire.
+type reply struct {
+	ID   uint64
+	Resp any
+}
+
+// Handler processes a request on a node and returns the response. Handlers
+// run on the node's single loop goroutine, so a node's state needs no
+// additional locking — the actor discipline. Handlers must not block.
+type Handler func(from string, req any) any
+
+// Node is a network participant with an RPC loop: it can serve requests via
+// its handler and issue calls to other nodes.
+type Node struct {
+	id  string
+	net *Network
+
+	handler Handler
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan any
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode registers id on the network and starts its loop. handler may be
+// nil for client-only nodes.
+func NewNode(net *Network, id string, handler Handler) *Node {
+	n := &Node{
+		id:      id,
+		net:     net,
+		handler: handler,
+		pending: map[uint64]chan any{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	inbox := net.Register(id)
+	go n.loop(inbox)
+	return n
+}
+
+// ID returns the node's network identifier.
+func (n *Node) ID() string { return n.id }
+
+func (n *Node) loop(inbox <-chan Message) {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m := <-inbox:
+			switch p := m.Payload.(type) {
+			case envelope:
+				if n.handler == nil {
+					continue
+				}
+				resp := n.handler(m.From, p.Req)
+				n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
+			case reply:
+				n.mu.Lock()
+				ch := n.pending[p.ID]
+				delete(n.pending, p.ID)
+				n.mu.Unlock()
+				if ch != nil {
+					ch <- p.Resp
+				}
+			}
+		}
+	}
+}
+
+// Call sends req to the node named to and waits for its reply or ctx
+// expiry. Lost messages surface as ErrRPCTimeout via the context.
+func (n *Node) Call(ctx context.Context, to string, req any) (any, error) {
+	id := n.nextID.Add(1)
+	ch := make(chan any, 1)
+	n.mu.Lock()
+	n.pending[id] = ch
+	n.mu.Unlock()
+	n.net.Send(n.id, to, envelope{ID: id, Req: req})
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.pending, id)
+		n.mu.Unlock()
+		return nil, ErrRPCTimeout
+	case <-n.stop:
+		return nil, errors.New("node shut down")
+	}
+}
+
+// Shutdown stops the node's loop and waits for it to exit.
+func (n *Node) Shutdown() {
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendDeliver(t *testing.T) {
+	net := NewNetwork(Config{Seed: 1})
+	defer net.Close()
+	inbox := net.Register("b")
+	net.Send("a", "b", "hello")
+	select {
+	case m := <-inbox:
+		if m.From != "a" || m.To != "b" || m.Payload != "hello" {
+			t.Errorf("message = %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLatencyBounds(t *testing.T) {
+	const min, max = 2 * time.Millisecond, 10 * time.Millisecond
+	net := NewNetwork(Config{MinLatency: min, MaxLatency: max, Seed: 2})
+	defer net.Close()
+	inbox := net.Register("b")
+	start := time.Now()
+	net.Send("a", "b", 1)
+	<-inbox
+	elapsed := time.Since(start)
+	if elapsed < min {
+		t.Errorf("delivered after %v, below min latency %v", elapsed, min)
+	}
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	net := NewNetwork(Config{Seed: 3})
+	defer net.Close()
+	inbox := net.Register("b")
+	net.Crash("b")
+	net.Send("a", "b", 1)
+	select {
+	case m := <-inbox:
+		t.Fatalf("crashed node received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	net.Restart("b")
+	net.Send("a", "b", 2)
+	select {
+	case <-inbox:
+	case <-time.After(time.Second):
+		t.Fatal("restarted node should receive")
+	}
+	if net.Crashed("b") {
+		t.Error("Crashed after restart")
+	}
+}
+
+func TestCrashedSenderDrops(t *testing.T) {
+	net := NewNetwork(Config{Seed: 4})
+	defer net.Close()
+	inbox := net.Register("b")
+	net.Crash("a")
+	net.Send("a", "b", 1)
+	select {
+	case <-inbox:
+		t.Fatal("message from crashed sender delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPartition(t *testing.T) {
+	net := NewNetwork(Config{Seed: 5})
+	defer net.Close()
+	inbox := net.Register("b")
+	net.Disconnect("a", "b")
+	net.Send("a", "b", 1)
+	select {
+	case <-inbox:
+		t.Fatal("message across severed link delivered")
+	case <-time.After(50 * time.Millisecond):
+	}
+	net.Reconnect("a", "b")
+	net.Send("a", "b", 2)
+	select {
+	case <-inbox:
+	case <-time.After(time.Second):
+		t.Fatal("message after reconnect lost")
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	net := NewNetwork(Config{DropProb: 1, Seed: 6})
+	defer net.Close()
+	inbox := net.Register("b")
+	for i := 0; i < 10; i++ {
+		net.Send("a", "b", i)
+	}
+	select {
+	case <-inbox:
+		t.Fatal("DropProb=1 delivered a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := net.Stats(); st.Dropped != 10 {
+		t.Errorf("dropped = %d", st.Dropped)
+	}
+}
+
+func TestStatsByType(t *testing.T) {
+	net := NewNetwork(Config{Seed: 7})
+	defer net.Close()
+	net.Register("b")
+	net.Send("a", "b", 42)
+	net.Send("a", "b", "str")
+	st := net.Stats()
+	if st.ByType["int"] != 1 || st.ByType["string"] != 1 {
+		t.Errorf("byType = %v", st.ByType)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	net := NewNetwork(Config{Seed: 8})
+	defer net.Close()
+	server := NewNode(net, "server", func(from string, req any) any {
+		return req.(int) * 2
+	})
+	defer server.Shutdown()
+	client := NewNode(net, "client", nil)
+	defer client.Shutdown()
+
+	resp, err := client.Call(context.Background(), "server", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 42 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestRPCTimeout(t *testing.T) {
+	net := NewNetwork(Config{Seed: 9})
+	defer net.Close()
+	client := NewNode(net, "client", nil)
+	defer client.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := client.Call(ctx, "nobody", 1)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("want ErrRPCTimeout, got %v", err)
+	}
+}
+
+func TestRPCConcurrentCalls(t *testing.T) {
+	net := NewNetwork(Config{MinLatency: 100 * time.Microsecond, MaxLatency: time.Millisecond, Seed: 10})
+	defer net.Close()
+	server := NewNode(net, "server", func(from string, req any) any { return req })
+	defer server.Shutdown()
+	client := NewNode(net, "client", nil)
+	defer client.Shutdown()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Call(context.Background(), "server", i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp != i {
+				errs[i] = errors.New("reply routed to wrong caller")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerStatePerActorDiscipline(t *testing.T) {
+	net := NewNetwork(Config{Seed: 11})
+	defer net.Close()
+	// Handler mutates unsynchronized state; safe because handlers run on
+	// the node's single loop goroutine.
+	counter := 0
+	server := NewNode(net, "server", func(from string, req any) any {
+		counter++
+		return counter
+	})
+	defer server.Shutdown()
+	client := NewNode(net, "client", nil)
+	defer client.Shutdown()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Call(context.Background(), "server", 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 20 {
+		t.Errorf("counter = %d", counter)
+	}
+}
+
+func TestCloseStopsDeliveries(t *testing.T) {
+	net := NewNetwork(Config{Seed: 12})
+	net.Register("b")
+	net.Close()
+	net.Send("a", "b", 1) // must not panic or deliver
+	if st := net.Stats(); st.Delivered != 0 {
+		t.Errorf("delivered after close: %+v", st)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	net := NewNetwork(Config{Seed: 13})
+	defer net.Close()
+	n := NewNode(net, "n", nil)
+	n.Shutdown()
+	n.Shutdown() // second call must not panic
+}

@@ -1,0 +1,97 @@
+// Package trace records structured, timestamped event logs from cluster
+// runs and renders them as human-readable timelines. It is the systems
+// layer's counterpart of the model layer's schedules: where a schedule is
+// the formal object the theorems quantify over, a trace is the operational
+// record an engineer reads when a run misbehaves.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At    time.Time
+	Actor string // transaction ID, node name, or subsystem
+	Kind  string // short category: "read", "write", "commit", "abort", "crash", ...
+	Msg   string
+}
+
+// Log collects events; safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewLog returns an empty log whose timeline starts now.
+func NewLog() *Log {
+	return &Log{start: time.Now()}
+}
+
+// Add records an event with the current timestamp.
+func (l *Log) Add(actor, kind, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{
+		At:    time.Now(),
+		Actor: actor,
+		Kind:  kind,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a time-sorted copy of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Filter returns the events whose kind is in kinds (all if empty).
+func (l *Log) Filter(kinds ...string) []Event {
+	want := map[string]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range l.Events() {
+		if len(want) == 0 || want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render draws the timeline, one event per line, with offsets from the
+// log's start.
+func (l *Log) Render() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%10s  %-10s %-8s %s\n",
+			e.At.Sub(l.start).Round(10*time.Microsecond), e.Actor, e.Kind, e.Msg)
+	}
+	return b.String()
+}
+
+// Summary counts events per kind.
+func (l *Log) Summary() map[string]int {
+	out := map[string]int{}
+	for _, e := range l.Events() {
+		out[e.Kind]++
+	}
+	return out
+}

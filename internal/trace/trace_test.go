@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogRecordsAndRenders(t *testing.T) {
+	l := NewLog()
+	l.Add("t1", "write", "x := %d", 42)
+	l.Add("t1", "commit", "done")
+	l.Add("dm0", "crash", "killed by harness")
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	out := l.Render()
+	for _, frag := range []string{"t1", "write", "x := 42", "commit", "crash"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFilterByKind(t *testing.T) {
+	l := NewLog()
+	l.Add("a", "read", "r1")
+	l.Add("a", "write", "w1")
+	l.Add("b", "read", "r2")
+	reads := l.Filter("read")
+	if len(reads) != 2 {
+		t.Fatalf("filter returned %d", len(reads))
+	}
+	if all := l.Filter(); len(all) != 3 {
+		t.Fatalf("empty filter should return all, got %d", len(all))
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	l := NewLog()
+	l.Add("a", "read", "")
+	l.Add("a", "read", "")
+	l.Add("a", "commit", "")
+	s := l.Summary()
+	if s["read"] != 2 || s["commit"] != 1 {
+		t.Errorf("summary = %v", s)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Add("w", "op", "n")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 1000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Events() must be time-sorted.
+	evs := l.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatal("events not time-sorted")
+		}
+	}
+}

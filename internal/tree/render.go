@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the transaction tree as ASCII art, labeling nodes in the
+// paper's Figure 1/Figure 2 style: U for user transactions, TM kinds for
+// transaction managers, and the object name for accesses.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	var rec func(n *Node, prefix string, last bool)
+	rec = func(n *Node, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if n.parent == nil {
+			connector, childPrefix = "", ""
+		}
+		b.WriteString(prefix + connector + label(n) + "\n")
+		kids := n.children
+		for i, c := range kids {
+			rec(c, childPrefix, i == len(kids)-1)
+		}
+	}
+	rec(t.root, "", true)
+	return b.String()
+}
+
+// label renders one node in the figure style.
+func label(n *Node) string {
+	short := string(n.name)
+	if i := strings.LastIndexByte(short, '/'); i >= 0 {
+		short = short[i+1:]
+	}
+	switch n.kind {
+	case KindRoot:
+		return "T0 (root)"
+	case KindUser:
+		return fmt.Sprintf("U:%s", short)
+	case KindReadTM:
+		return fmt.Sprintf("read-TM:%s [item %s]", short, n.Item)
+	case KindWriteTM:
+		return fmt.Sprintf("write-TM:%s [item %s := %v]", short, n.Item, n.Data)
+	case KindReconfigTM:
+		return fmt.Sprintf("reconfigure-TM:%s [item %s]", short, n.Item)
+	case KindCoordinator:
+		return fmt.Sprintf("coordinator:%s [item %s]", short, n.Item)
+	case KindAccess:
+		return fmt.Sprintf("%s access %s → %s", n.Access, short, n.Object)
+	default:
+		return short
+	}
+}

@@ -1,0 +1,345 @@
+// Package tree implements system types for nested transaction systems
+// (paper Section 2.2): the transaction tree (T, parent), the partition O of
+// accesses into objects, and the extension relation between system types
+// used to relate replicated and non-replicated systems (Section 2.3).
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ioa"
+)
+
+// Root is the name of the root transaction T0, which models the external
+// environment. It may neither commit nor abort.
+const Root ioa.TxnName = "T0"
+
+// Kind classifies a transaction node.
+type Kind int
+
+// Transaction kinds. User transactions are the non-access transactions that
+// do not model part of the replication algorithm; TMs are the read-, write-
+// and reconfigure- transaction managers; coordinators are the extra nesting
+// level of Section 4; accesses are the leaves.
+const (
+	KindRoot Kind = iota + 1
+	KindUser
+	KindReadTM
+	KindWriteTM
+	KindReconfigTM
+	KindCoordinator
+	KindAccess
+)
+
+// String returns a short label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindUser:
+		return "user"
+	case KindReadTM:
+		return "read-TM"
+	case KindWriteTM:
+		return "write-TM"
+	case KindReconfigTM:
+		return "reconfigure-TM"
+	case KindCoordinator:
+		return "coordinator"
+	case KindAccess:
+		return "access"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AccessKind distinguishes read and write accesses to read-write objects.
+type AccessKind int
+
+// Access kinds for read-write objects (paper Section 2.3).
+const (
+	ReadAccess AccessKind = iota + 1
+	WriteAccess
+)
+
+// String returns "read" or "write".
+func (k AccessKind) String() string {
+	if k == ReadAccess {
+		return "read"
+	}
+	return "write"
+}
+
+// Node is one transaction in the tree.
+type Node struct {
+	name     ioa.TxnName
+	kind     Kind
+	parent   *Node
+	children []*Node
+
+	// Object is the object the access belongs to (accesses only). For
+	// replica accesses this is the DM name; for non-replica accesses the
+	// basic object name.
+	Object string
+	// Access is the access kind (accesses only, read-write objects).
+	Access AccessKind
+	// Item is the logical data item the node serves (TMs, coordinators and
+	// replica accesses); empty for user transactions and non-replica
+	// accesses.
+	Item string
+	// Data is kind(T)-dependent payload: for write accesses, data(T) (the
+	// value to be written, possibly bound at REQUEST-CREATE time); for
+	// write-TMs, value(T); for reconfigure-TMs, the new configuration.
+	Data ioa.Value
+}
+
+// Name returns the transaction's name.
+func (n *Node) Name() ioa.TxnName { return n.name }
+
+// Kind returns the node's kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Parent returns the parent node, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children in insertion order.
+func (n *Node) Children() []*Node { return append([]*Node(nil), n.children...) }
+
+// IsAccess reports whether the node is a leaf access.
+func (n *Node) IsAccess() bool { return n.kind == KindAccess }
+
+// Tree is a finite transaction tree. The paper's tree is conceptually
+// infinite — a naming scheme for all transactions that might ever be
+// invoked — but any finite execution touches only finitely many names, so
+// each scenario instantiates the finite subtree it can use.
+type Tree struct {
+	root   *Node
+	byName map[ioa.TxnName]*Node
+}
+
+// New returns a tree containing only the root transaction T0.
+func New() *Tree {
+	root := &Node{name: Root, kind: KindRoot}
+	return &Tree{root: root, byName: map[ioa.TxnName]*Node{Root: root}}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Node returns the node with the given name, or nil.
+func (t *Tree) Node(name ioa.TxnName) *Node { return t.byName[name] }
+
+// Contains reports whether name is a transaction of this tree.
+func (t *Tree) Contains(name ioa.TxnName) bool { return t.byName[name] != nil }
+
+// Len returns the number of transactions in the tree.
+func (t *Tree) Len() int { return len(t.byName) }
+
+// Names returns all transaction names, sorted.
+func (t *Tree) Names() []ioa.TxnName {
+	out := make([]ioa.TxnName, 0, len(t.byName))
+	for n := range t.byName {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddChild inserts a new node under parent and returns it. The child's name
+// is parent's name + "/" + label.
+func (t *Tree) AddChild(parent ioa.TxnName, label string, kind Kind) (*Node, error) {
+	p := t.byName[parent]
+	if p == nil {
+		return nil, fmt.Errorf("tree: unknown parent %q", parent)
+	}
+	if p.kind == KindAccess {
+		return nil, fmt.Errorf("tree: access %q cannot have children", parent)
+	}
+	if strings.ContainsRune(label, '/') || label == "" {
+		return nil, fmt.Errorf("tree: invalid label %q", label)
+	}
+	name := parent + "/" + ioa.TxnName(label)
+	if t.byName[name] != nil {
+		return nil, fmt.Errorf("tree: duplicate transaction %q", name)
+	}
+	n := &Node{name: name, kind: kind, parent: p}
+	p.children = append(p.children, n)
+	t.byName[name] = n
+	return n, nil
+}
+
+// MustAddChild is AddChild that panics on error; for use by builders with
+// programmatically generated, collision-free labels.
+func (t *Tree) MustAddChild(parent ioa.TxnName, label string, kind Kind) *Node {
+	n, err := t.AddChild(parent, label, kind)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Parent returns the parent of name and whether name has one (the root and
+// unknown names do not).
+func (t *Tree) Parent(name ioa.TxnName) (ioa.TxnName, bool) {
+	n := t.byName[name]
+	if n == nil || n.parent == nil {
+		return "", false
+	}
+	return n.parent.name, true
+}
+
+// ParentFn returns the parent function in the form used by
+// ioa.Schedule.OpsFor.
+func (t *Tree) ParentFn() func(ioa.TxnName) (ioa.TxnName, bool) {
+	return t.Parent
+}
+
+// Children returns the names of name's children.
+func (t *Tree) Children(name ioa.TxnName) []ioa.TxnName {
+	n := t.byName[name]
+	if n == nil {
+		return nil
+	}
+	out := make([]ioa.TxnName, len(n.children))
+	for i, c := range n.children {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Siblings returns the names of name's siblings (excluding name itself).
+func (t *Tree) Siblings(name ioa.TxnName) []ioa.TxnName {
+	n := t.byName[name]
+	if n == nil || n.parent == nil {
+		return nil
+	}
+	out := make([]ioa.TxnName, 0, len(n.parent.children)-1)
+	for _, c := range n.parent.children {
+		if c.name != name {
+			out = append(out, c.name)
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of b. Per the paper, a
+// transaction is its own ancestor.
+func (t *Tree) IsAncestor(a, b ioa.TxnName) bool {
+	n := t.byName[b]
+	for n != nil {
+		if n.name == a {
+			return true
+		}
+		n = n.parent
+	}
+	return false
+}
+
+// LCA returns the least common ancestor of a and b, or "" if either name is
+// unknown.
+func (t *Tree) LCA(a, b ioa.TxnName) ioa.TxnName {
+	na, nb := t.byName[a], t.byName[b]
+	if na == nil || nb == nil {
+		return ""
+	}
+	seen := map[ioa.TxnName]bool{}
+	for n := na; n != nil; n = n.parent {
+		seen[n.name] = true
+	}
+	for n := nb; n != nil; n = n.parent {
+		if seen[n.name] {
+			return n.name
+		}
+	}
+	return ""
+}
+
+// Depth returns the number of edges from the root to name (root has depth
+// 0), or -1 for unknown names.
+func (t *Tree) Depth(name ioa.TxnName) int {
+	n := t.byName[name]
+	if n == nil {
+		return -1
+	}
+	d := 0
+	for n.parent != nil {
+		d++
+		n = n.parent
+	}
+	return d
+}
+
+// Accesses returns all leaf access nodes, sorted by name. Together with the
+// Object field this realizes the partition O of the system type.
+func (t *Tree) Accesses() []*Node {
+	var out []*Node
+	for _, n := range t.byName {
+		if n.kind == KindAccess {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// AccessesTo returns the access nodes of the given object, sorted by name.
+func (t *Tree) AccessesTo(object string) []*Node {
+	var out []*Node
+	for _, n := range t.byName {
+		if n.kind == KindAccess && n.Object == object {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Objects returns the distinct object names accessed in the tree, sorted.
+func (t *Tree) Objects() []string {
+	set := map[string]bool{}
+	for _, n := range t.byName {
+		if n.kind == KindAccess && n.Object != "" {
+			set[n.Object] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walk visits every node in depth-first order, parents before children.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// IsExtensionOf reports whether t's transaction tree extends other's: every
+// transaction of other appears in t with the same parent, and the trees
+// share the root (paper Section 2.3). When true, the identity mapping on
+// names is the T_{other,t} correspondence.
+func (t *Tree) IsExtensionOf(other *Tree) bool {
+	for name, n := range other.byName {
+		m := t.byName[name]
+		if m == nil {
+			return false
+		}
+		switch {
+		case n.parent == nil && m.parent != nil,
+			n.parent != nil && m.parent == nil,
+			n.parent != nil && m.parent != nil && n.parent.name != m.parent.name:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,305 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ioa"
+)
+
+func buildSample(t *testing.T) *Tree {
+	t.Helper()
+	tr := New()
+	u1 := tr.MustAddChild(Root, "u1", KindUser)
+	u2 := tr.MustAddChild(Root, "u2", KindUser)
+	tm := tr.MustAddChild(u1.Name(), "r", KindReadTM)
+	a := tr.MustAddChild(tm.Name(), "a1", KindAccess)
+	a.Object = "x1"
+	a.Access = ReadAccess
+	b := tr.MustAddChild(u2.Name(), "w", KindAccess)
+	b.Object = "obj"
+	b.Access = WriteAccess
+	return tr
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := buildSample(t)
+	if tr.Len() != 6 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if p, ok := tr.Parent("T0/u1/r"); !ok || p != "T0/u1" {
+		t.Errorf("Parent = %v %v", p, ok)
+	}
+	if _, ok := tr.Parent(Root); ok {
+		t.Error("root has no parent")
+	}
+	if got := tr.Children(Root); len(got) != 2 {
+		t.Errorf("Children(root) = %v", got)
+	}
+	if sib := tr.Siblings("T0/u1"); len(sib) != 1 || sib[0] != "T0/u2" {
+		t.Errorf("Siblings = %v", sib)
+	}
+	if d := tr.Depth("T0/u1/r/a1"); d != 3 {
+		t.Errorf("Depth = %d", d)
+	}
+	if d := tr.Depth("nope"); d != -1 {
+		t.Errorf("Depth(unknown) = %d", d)
+	}
+}
+
+func TestAncestryAndLCA(t *testing.T) {
+	tr := buildSample(t)
+	if !tr.IsAncestor("T0", "T0/u1/r/a1") {
+		t.Error("root is everyone's ancestor")
+	}
+	if !tr.IsAncestor("T0/u1/r", "T0/u1/r") {
+		t.Error("a transaction is its own ancestor")
+	}
+	if tr.IsAncestor("T0/u1/r/a1", "T0/u1") {
+		t.Error("descendant is not ancestor")
+	}
+	if tr.IsAncestor("T0/u1", "T0/u2") {
+		t.Error("siblings are not ancestors")
+	}
+	if lca := tr.LCA("T0/u1/r/a1", "T0/u2/w"); lca != "T0" {
+		t.Errorf("LCA = %v", lca)
+	}
+	if lca := tr.LCA("T0/u1/r", "T0/u1/r/a1"); lca != "T0/u1/r" {
+		t.Errorf("LCA = %v", lca)
+	}
+}
+
+func TestAddChildValidation(t *testing.T) {
+	tr := buildSample(t)
+	if _, err := tr.AddChild("nope", "x", KindUser); err == nil {
+		t.Error("unknown parent must fail")
+	}
+	if _, err := tr.AddChild(Root, "u1", KindUser); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if _, err := tr.AddChild(Root, "a/b", KindUser); err == nil {
+		t.Error("label with slash must fail")
+	}
+	if _, err := tr.AddChild(Root, "", KindUser); err == nil {
+		t.Error("empty label must fail")
+	}
+	if _, err := tr.AddChild("T0/u1/r/a1", "c", KindUser); err == nil {
+		t.Error("accesses are leaves; children must fail")
+	}
+}
+
+func TestAccessesAndObjects(t *testing.T) {
+	tr := buildSample(t)
+	if got := tr.Objects(); len(got) != 2 || got[0] != "obj" || got[1] != "x1" {
+		t.Errorf("Objects = %v", got)
+	}
+	if got := tr.AccessesTo("x1"); len(got) != 1 || got[0].Name() != "T0/u1/r/a1" {
+		t.Errorf("AccessesTo = %v", got)
+	}
+	if got := tr.Accesses(); len(got) != 2 {
+		t.Errorf("Accesses = %v", got)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tr := buildSample(t)
+	var names []ioa.TxnName
+	tr.Walk(func(n *Node) { names = append(names, n.Name()) })
+	if names[0] != Root {
+		t.Error("walk must start at the root")
+	}
+	seen := map[ioa.TxnName]bool{Root: true}
+	for _, n := range names[1:] {
+		p, _ := tr.Parent(n)
+		if !seen[p] {
+			t.Errorf("node %v visited before its parent", n)
+		}
+		seen[n] = true
+	}
+	if len(names) != tr.Len() {
+		t.Errorf("walk visited %d of %d", len(names), tr.Len())
+	}
+}
+
+func TestExtension(t *testing.T) {
+	small := New()
+	small.MustAddChild(Root, "u", KindUser)
+	big := New()
+	big.MustAddChild(Root, "u", KindUser)
+	big.MustAddChild("T0/u", "c", KindAccess)
+	if !big.IsExtensionOf(small) {
+		t.Error("big extends small")
+	}
+	if small.IsExtensionOf(big) {
+		t.Error("small does not extend big")
+	}
+	// Same name, different parent: not an extension.
+	other := New()
+	other.MustAddChild(Root, "v", KindUser)
+	other.MustAddChild("T0/v", "u", KindUser)
+	if other.IsExtensionOf(small) {
+		t.Error("differently-parented name must break extension")
+	}
+}
+
+// TestRandomTreeProperties exercises structural invariants on random trees
+// via testing/quick.
+func TestRandomTreeProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		nodes := []ioa.TxnName{Root}
+		for i := 0; i < 40; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			if tr.Node(parent).Kind() == KindAccess {
+				continue
+			}
+			kind := KindUser
+			if rng.Float64() < 0.3 {
+				kind = KindAccess
+			}
+			n, err := tr.AddChild(parent, string(rune('a'+i%26))+strings.Repeat("x", i/26), kind)
+			if err != nil {
+				return false
+			}
+			nodes = append(nodes, n.Name())
+		}
+		// Invariants: every node's LCA with an ancestor is the ancestor;
+		// depth increases by one from parent to child; sibling lists
+		// exclude self.
+		for _, n := range nodes {
+			if p, ok := tr.Parent(n); ok {
+				if tr.LCA(p, n) != p {
+					return false
+				}
+				if tr.Depth(n) != tr.Depth(p)+1 {
+					return false
+				}
+			}
+			for _, s := range tr.Siblings(n) {
+				if s == n {
+					return false
+				}
+			}
+			if !tr.IsAncestor(Root, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckTxnWellFormed(t *testing.T) {
+	tr := New()
+	tr.MustAddChild(Root, "u", KindUser)
+	tr.MustAddChild("T0/u", "c", KindUser)
+	u := ioa.TxnName("T0/u")
+	c := ioa.TxnName("T0/u/c")
+
+	good := ioa.Schedule{
+		ioa.Create(u),
+		ioa.RequestCreate(c),
+		ioa.Commit(c, 1),
+		ioa.RequestCommit(u, 2),
+	}
+	if err := tr.CheckTxnWellFormed(u, good); err != nil {
+		t.Errorf("good sequence rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		seq  ioa.Schedule
+	}{
+		{"duplicate create", ioa.Schedule{ioa.Create(u), ioa.Create(u)}},
+		{"return before request", ioa.Schedule{ioa.Create(u), ioa.Commit(c, 1)}},
+		{"duplicate return", ioa.Schedule{ioa.Create(u), ioa.RequestCreate(c), ioa.Commit(c, 1), ioa.Abort(c)}},
+		{"request before create", ioa.Schedule{ioa.RequestCreate(c)}},
+		{"request after commit", ioa.Schedule{ioa.Create(u), ioa.RequestCommit(u, nil), ioa.RequestCreate(c)}},
+		{"double request-commit", ioa.Schedule{ioa.Create(u), ioa.RequestCommit(u, nil), ioa.RequestCommit(u, nil)}},
+		{"duplicate request-create", ioa.Schedule{ioa.Create(u), ioa.RequestCreate(c), ioa.RequestCreate(c)}},
+	}
+	for _, tc := range bad {
+		if err := tr.CheckTxnWellFormed(u, tc.seq); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckObjectWellFormed(t *testing.T) {
+	tr := New()
+	tm := tr.MustAddChild(Root, "u", KindUser)
+	a1 := tr.MustAddChild(tm.Name(), "a1", KindAccess)
+	a1.Object = "x"
+	a2 := tr.MustAddChild(tm.Name(), "a2", KindAccess)
+	a2.Object = "x"
+
+	good := ioa.Schedule{
+		ioa.Create(a1.Name()), ioa.RequestCommit(a1.Name(), 1),
+		ioa.Create(a2.Name()), ioa.RequestCommit(a2.Name(), 1),
+	}
+	if err := tr.CheckObjectWellFormed("x", good); err != nil {
+		t.Errorf("good object sequence rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		seq  ioa.Schedule
+	}{
+		{"create while pending", ioa.Schedule{ioa.Create(a1.Name()), ioa.Create(a2.Name())}},
+		{"commit without create", ioa.Schedule{ioa.RequestCommit(a1.Name(), 1)}},
+		{"duplicate create", ioa.Schedule{
+			ioa.Create(a1.Name()), ioa.RequestCommit(a1.Name(), 1), ioa.Create(a1.Name()),
+		}},
+		{"mismatched commit", ioa.Schedule{ioa.Create(a1.Name()), ioa.RequestCommit(a2.Name(), 1)}},
+	}
+	for _, tc := range bad {
+		if err := tr.CheckObjectWellFormed("x", tc.seq); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestOrphans(t *testing.T) {
+	tr := New()
+	tr.MustAddChild(Root, "u", KindUser)
+	tr.MustAddChild("T0/u", "c", KindUser)
+	tr.MustAddChild("T0/u/c", "d", KindAccess)
+	sched := ioa.Schedule{ioa.Abort("T0/u/c")}
+	orphans := tr.Orphans(sched)
+	if !orphans["T0/u/c"] || !orphans["T0/u/c/d"] {
+		t.Errorf("orphans = %v", orphans)
+	}
+	if orphans["T0/u"] || orphans[Root] {
+		t.Error("ancestors of the aborted transaction are not orphans")
+	}
+}
+
+func TestRenderContainsAllNodes(t *testing.T) {
+	tr := buildSample(t)
+	out := tr.Render()
+	for _, frag := range []string{"T0 (root)", "U:u1", "U:u2", "read-TM:r", "read access a1 → x1", "write access w → obj"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindRoot: "root", KindUser: "user", KindReadTM: "read-TM",
+		KindWriteTM: "write-TM", KindReconfigTM: "reconfigure-TM",
+		KindCoordinator: "coordinator", KindAccess: "access",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if ReadAccess.String() != "read" || WriteAccess.String() != "write" {
+		t.Error("access kind strings")
+	}
+}

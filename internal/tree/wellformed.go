@@ -1,0 +1,166 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/ioa"
+)
+
+// CheckTxnWellFormed verifies that seq is a well-formed sequence of
+// operations of transaction t, per the recursive definition in Section 2.2:
+//
+//   - CREATE(t) occurs at most once;
+//   - COMMIT(t',v)/ABORT(t') only for children t' whose REQUEST-CREATE(t')
+//     appeared earlier and that have no earlier return operation;
+//   - REQUEST-CREATE(t') at most once per child, only after CREATE(t) and
+//     never after a REQUEST-COMMIT for t;
+//   - REQUEST-COMMIT for t at most once, only after CREATE(t).
+//
+// seq must already be projected onto t (e.g. via Schedule.OpsFor).
+func (t *Tree) CheckTxnWellFormed(txn ioa.TxnName, seq ioa.Schedule) error {
+	created := false
+	committed := false // REQUEST-COMMIT for txn seen
+	requested := map[ioa.TxnName]bool{}
+	returned := map[ioa.TxnName]bool{}
+	for i, op := range seq {
+		switch op.Kind {
+		case ioa.OpCreate:
+			if op.Txn != txn {
+				return fmt.Errorf("op %d: CREATE for foreign transaction %v", i, op.Txn)
+			}
+			if created {
+				return fmt.Errorf("op %d: duplicate CREATE(%v)", i, txn)
+			}
+			created = true
+		case ioa.OpCommit, ioa.OpAbort:
+			if p, ok := t.Parent(op.Txn); !ok || p != txn {
+				return fmt.Errorf("op %d: return for non-child %v", i, op.Txn)
+			}
+			if !requested[op.Txn] {
+				return fmt.Errorf("op %d: return for %v before REQUEST-CREATE", i, op.Txn)
+			}
+			if returned[op.Txn] {
+				return fmt.Errorf("op %d: duplicate return for %v", i, op.Txn)
+			}
+			returned[op.Txn] = true
+		case ioa.OpRequestCreate:
+			if p, ok := t.Parent(op.Txn); !ok || p != txn {
+				return fmt.Errorf("op %d: REQUEST-CREATE for non-child %v", i, op.Txn)
+			}
+			if requested[op.Txn] {
+				return fmt.Errorf("op %d: duplicate REQUEST-CREATE(%v)", i, op.Txn)
+			}
+			if committed {
+				return fmt.Errorf("op %d: REQUEST-CREATE(%v) after REQUEST-COMMIT of %v", i, op.Txn, txn)
+			}
+			if !created {
+				return fmt.Errorf("op %d: REQUEST-CREATE(%v) before CREATE(%v)", i, op.Txn, txn)
+			}
+			requested[op.Txn] = true
+		case ioa.OpRequestCommit:
+			if op.Txn != txn {
+				return fmt.Errorf("op %d: REQUEST-COMMIT for foreign transaction %v", i, op.Txn)
+			}
+			if committed {
+				return fmt.Errorf("op %d: duplicate REQUEST-COMMIT of %v", i, txn)
+			}
+			if !created {
+				return fmt.Errorf("op %d: REQUEST-COMMIT before CREATE(%v)", i, txn)
+			}
+			committed = true
+		default:
+			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// CheckObjectWellFormed verifies that seq is a well-formed sequence of
+// operations of a basic object: alternating CREATE / REQUEST-COMMIT
+// operations starting with a CREATE, each pair for the same access, each
+// access created at most once (Section 2.2).
+//
+// seq must already be projected onto the object's accesses.
+func (t *Tree) CheckObjectWellFormed(object string, seq ioa.Schedule) error {
+	var pending ioa.TxnName
+	created := map[ioa.TxnName]bool{}
+	for i, op := range seq {
+		n := t.Node(op.Txn)
+		if n == nil || n.kind != KindAccess || n.Object != object {
+			return fmt.Errorf("op %d: %v is not an access to %s", i, op.Txn, object)
+		}
+		switch op.Kind {
+		case ioa.OpCreate:
+			if created[op.Txn] {
+				return fmt.Errorf("op %d: duplicate CREATE(%v)", i, op.Txn)
+			}
+			if pending != "" {
+				return fmt.Errorf("op %d: CREATE(%v) while %v is pending", i, op.Txn, pending)
+			}
+			created[op.Txn] = true
+			pending = op.Txn
+		case ioa.OpRequestCommit:
+			if pending != op.Txn {
+				return fmt.Errorf("op %d: REQUEST-COMMIT(%v) but pending access is %q", i, op.Txn, pending)
+			}
+			pending = ""
+		default:
+			return fmt.Errorf("op %d: operation %v is not an object operation", i, op)
+		}
+	}
+	return nil
+}
+
+// CheckScheduleWellFormed verifies that every transaction projection and
+// every basic-object projection of sched is well-formed. Per [16] all
+// schedules of serial systems are well-formed; this checker is used to
+// validate that property empirically and to vet hand-built sequences.
+func (t *Tree) CheckScheduleWellFormed(sched ioa.Schedule) error {
+	for _, name := range t.Names() {
+		n := t.Node(name)
+		if n.kind == KindAccess {
+			continue
+		}
+		if err := t.CheckTxnWellFormed(name, sched.OpsFor(name, t.Parent)); err != nil {
+			return fmt.Errorf("transaction %v: %w", name, err)
+		}
+	}
+	for _, obj := range t.Objects() {
+		proj := sched.Filter(func(op ioa.Op) bool {
+			n := t.Node(op.Txn)
+			if n == nil || n.kind != KindAccess || n.Object != obj {
+				return false
+			}
+			return op.Kind == ioa.OpCreate || op.Kind == ioa.OpRequestCommit
+		})
+		if err := t.CheckObjectWellFormed(obj, proj); err != nil {
+			return fmt.Errorf("object %s: %w", obj, err)
+		}
+	}
+	return nil
+}
+
+// Orphans returns the transactions that are orphans in sched: T is an
+// orphan if ABORT(T') occurs in sched for some ancestor T' of T (footnote
+// 4 of the paper).
+func (t *Tree) Orphans(sched ioa.Schedule) map[ioa.TxnName]bool {
+	aborted := map[ioa.TxnName]bool{}
+	for _, op := range sched {
+		if op.Kind == ioa.OpAbort {
+			aborted[op.Txn] = true
+		}
+	}
+	orphans := map[ioa.TxnName]bool{}
+	var rec func(n *Node, orphan bool)
+	rec = func(n *Node, orphan bool) {
+		orphan = orphan || aborted[n.name]
+		if orphan {
+			orphans[n.name] = true
+		}
+		for _, c := range n.children {
+			rec(c, orphan)
+		}
+	}
+	rec(t.root, false)
+	return orphans
+}

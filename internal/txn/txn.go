@@ -1,0 +1,324 @@
+// Package txn provides transaction automata for the model layer: the root
+// transaction T0 (modeling the external environment) and a configurable
+// user-transaction automaton. The paper deliberately leaves user
+// transactions unspecified beyond preserving well-formedness; User supports
+// the spectrum of behaviors the model allows — requesting children in any
+// order, tolerating aborts, and even requesting to commit before learning
+// the fate of all requested children.
+package txn
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+// Root is the automaton for the root transaction T0. It wakes on CREATE(T0)
+// and requests the creation of each of its children (the top-level user
+// transactions); it may neither commit nor abort, so it never issues a
+// REQUEST-COMMIT.
+type Root struct {
+	tr       *tree.Tree
+	children map[ioa.TxnName]bool
+
+	awake     bool
+	requested map[ioa.TxnName]bool
+}
+
+var _ ioa.Automaton = (*Root)(nil)
+
+// NewRoot returns the root automaton managing all children of T0 in tr.
+func NewRoot(tr *tree.Tree) *Root {
+	r := &Root{tr: tr, children: map[ioa.TxnName]bool{}, requested: map[ioa.TxnName]bool{}}
+	for _, c := range tr.Children(tree.Root) {
+		r.children[c] = true
+	}
+	return r
+}
+
+// Name implements ioa.Automaton.
+func (r *Root) Name() string { return string(tree.Root) }
+
+// HasOp implements ioa.Automaton.
+func (r *Root) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate:
+		return op.Txn == tree.Root
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return r.children[op.Txn]
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (r *Root) IsOutput(op ioa.Op) bool {
+	return op.Kind == ioa.OpRequestCreate && r.children[op.Txn]
+}
+
+// Enabled returns REQUEST-CREATE for every child not yet requested.
+func (r *Root) Enabled() []ioa.Op {
+	if !r.awake {
+		return nil
+	}
+	var out []ioa.Op
+	for _, c := range sortedNames(r.children) {
+		if !r.requested[c] {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (r *Root) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		r.awake = true
+	case ioa.OpRequestCreate:
+		if !r.awake || r.requested[op.Txn] {
+			return fmt.Errorf("%w: %v", ioa.ErrNotEnabled, op)
+		}
+		r.requested[op.Txn] = true
+	case ioa.OpCommit, ioa.OpAbort:
+		// Results reported to the environment; no state needed.
+	default:
+		return fmt.Errorf("root: unexpected op %v", op)
+	}
+	return nil
+}
+
+// ChildResult records the fate of a requested child.
+type ChildResult struct {
+	// Committed is true if the child committed; false if it aborted.
+	Committed bool
+	// Value is the child's commit value (nil for aborts).
+	Value ioa.Value
+}
+
+// ValueFn computes a transaction's REQUEST-COMMIT value from the fates of
+// its children. It must be a pure function of its argument so that the
+// automaton stays state-deterministic.
+type ValueFn func(results map[ioa.TxnName]ChildResult) ioa.Value
+
+// User is a non-access transaction automaton with configurable behavior.
+// The zero behavior (no options) requests all managed children in arbitrary
+// order, waits for every requested child to return, and then requests to
+// commit with a nil value.
+type User struct {
+	tr   *tree.Tree
+	name ioa.TxnName
+
+	children map[ioa.TxnName]bool
+	order    []ioa.TxnName // request order when sequential
+
+	sequential bool
+	eager      bool
+	valueFn    ValueFn
+
+	awake           bool
+	requestedCommit bool
+	requested       map[ioa.TxnName]bool
+	nRequested      int
+	results         map[ioa.TxnName]ChildResult
+}
+
+var _ ioa.Automaton = (*User)(nil)
+
+// Option configures a User automaton.
+type Option func(*User)
+
+// Sequential makes the transaction request its children strictly in tree
+// order, waiting for each requested child to return before requesting the
+// next (the Argus discipline the paper mentions).
+func Sequential() Option { return func(u *User) { u.sequential = true } }
+
+// Eager allows the transaction to request to commit at any time after its
+// creation, without discovering the fate of all requested children — a
+// behavior the model explicitly permits.
+func Eager() Option { return func(u *User) { u.eager = true } }
+
+// WithValue sets the function computing the commit value.
+func WithValue(fn ValueFn) Option { return func(u *User) { u.valueFn = fn } }
+
+// Manage restricts the set of children this automaton manages to the given
+// names. Unmanaged children (e.g. reconfigure-TMs driven by a spy) are not
+// part of this automaton's operations at all, so the user program is
+// unaware of their invocation and return, as Section 4 requires.
+func Manage(children ...ioa.TxnName) Option {
+	return func(u *User) {
+		u.children = map[ioa.TxnName]bool{}
+		for _, c := range children {
+			u.children[c] = true
+		}
+	}
+}
+
+// NewUser returns a user-transaction automaton for name, managing all of
+// name's children in tr unless Manage overrides the set.
+func NewUser(tr *tree.Tree, name ioa.TxnName, opts ...Option) (*User, error) {
+	n := tr.Node(name)
+	if n == nil {
+		return nil, fmt.Errorf("txn: unknown transaction %v", name)
+	}
+	if n.IsAccess() {
+		return nil, fmt.Errorf("txn: %v is an access, not a non-access transaction", name)
+	}
+	u := &User{
+		tr:        tr,
+		name:      name,
+		children:  map[ioa.TxnName]bool{},
+		requested: map[ioa.TxnName]bool{},
+		results:   map[ioa.TxnName]ChildResult{},
+	}
+	for _, c := range tr.Children(name) {
+		u.children[c] = true
+	}
+	for _, o := range opts {
+		o(u)
+	}
+	for _, c := range tr.Children(name) {
+		if u.children[c] {
+			u.order = append(u.order, c)
+		}
+	}
+	return u, nil
+}
+
+// MustNewUser is NewUser that panics on error, for builders.
+func MustNewUser(tr *tree.Tree, name ioa.TxnName, opts ...Option) *User {
+	u, err := NewUser(tr, name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Name implements ioa.Automaton.
+func (u *User) Name() string { return string(u.name) }
+
+// HasOp implements ioa.Automaton.
+func (u *User) HasOp(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpCreate, ioa.OpRequestCommit:
+		return op.Txn == u.name
+	case ioa.OpRequestCreate, ioa.OpCommit, ioa.OpAbort:
+		return u.children[op.Txn]
+	default:
+		return false
+	}
+}
+
+// IsOutput implements ioa.Automaton.
+func (u *User) IsOutput(op ioa.Op) bool {
+	switch op.Kind {
+	case ioa.OpRequestCommit:
+		return op.Txn == u.name
+	case ioa.OpRequestCreate:
+		return u.children[op.Txn]
+	default:
+		return false
+	}
+}
+
+// allRequestedReturned reports whether every requested child has returned.
+func (u *User) allRequestedReturned() bool { return len(u.results) == u.nRequested }
+
+// commitValue computes the value this transaction will report.
+func (u *User) commitValue() ioa.Value {
+	if u.valueFn == nil {
+		return nil
+	}
+	res := make(map[ioa.TxnName]ChildResult, len(u.results))
+	for k, v := range u.results {
+		res[k] = v
+	}
+	return u.valueFn(res)
+}
+
+// requestCreateEnabled reports whether REQUEST-CREATE(c) is enabled.
+func (u *User) requestCreateEnabled(c ioa.TxnName) bool {
+	if !u.awake || u.requestedCommit || !u.children[c] || u.requested[c] {
+		return false
+	}
+	if u.sequential {
+		for _, prev := range u.order {
+			if prev == c {
+				break
+			}
+			if !u.requested[prev] {
+				return false
+			}
+			if _, returned := u.results[prev]; !returned {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// requestCommitEnabled reports whether a REQUEST-COMMIT is enabled.
+func (u *User) requestCommitEnabled() bool {
+	if !u.awake || u.requestedCommit {
+		return false
+	}
+	if u.eager {
+		return true
+	}
+	return u.nRequested == len(u.children) && u.allRequestedReturned()
+}
+
+// Enabled implements ioa.Automaton.
+func (u *User) Enabled() []ioa.Op {
+	var out []ioa.Op
+	for _, c := range u.order {
+		if u.requestCreateEnabled(c) {
+			out = append(out, ioa.RequestCreate(c))
+		}
+	}
+	if u.requestCommitEnabled() {
+		out = append(out, ioa.RequestCommit(u.name, u.commitValue()))
+	}
+	return out
+}
+
+// Step implements ioa.Automaton.
+func (u *User) Step(op ioa.Op) error {
+	switch op.Kind {
+	case ioa.OpCreate:
+		u.awake = true
+	case ioa.OpCommit:
+		u.results[op.Txn] = ChildResult{Committed: true, Value: op.Val}
+	case ioa.OpAbort:
+		u.results[op.Txn] = ChildResult{}
+	case ioa.OpRequestCreate:
+		if !u.requestCreateEnabled(op.Txn) {
+			return fmt.Errorf("%w: %v by %v", ioa.ErrNotEnabled, op, u.name)
+		}
+		u.requested[op.Txn] = true
+		u.nRequested++
+	case ioa.OpRequestCommit:
+		if !u.requestCommitEnabled() {
+			return fmt.Errorf("%w: %v", ioa.ErrNotEnabled, op)
+		}
+		if want := u.commitValue(); !reflect.DeepEqual(op.Val, want) {
+			return fmt.Errorf("%w: %v: value %v, state requires %v", ioa.ErrNotEnabled, op, op.Val, want)
+		}
+		u.requestedCommit = true
+	default:
+		return fmt.Errorf("user %v: unexpected op %v", u.name, op)
+	}
+	return nil
+}
+
+func sortedNames(set map[ioa.TxnName]bool) []ioa.TxnName {
+	out := make([]ioa.TxnName, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,203 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ioa"
+	"repro/internal/tree"
+)
+
+func userTree(t *testing.T) *tree.Tree {
+	t.Helper()
+	tr := tree.New()
+	tr.MustAddChild(tree.Root, "u", tree.KindUser)
+	tr.MustAddChild("T0/u", "a", tree.KindUser)
+	tr.MustAddChild("T0/u", "b", tree.KindUser)
+	tr.MustAddChild("T0/u", "rec", tree.KindReconfigTM)
+	return tr
+}
+
+func TestRootRequestsAllChildrenOnce(t *testing.T) {
+	tr := tree.New()
+	tr.MustAddChild(tree.Root, "u1", tree.KindUser)
+	tr.MustAddChild(tree.Root, "u2", tree.KindUser)
+	r := NewRoot(tr)
+	if got := r.Enabled(); len(got) != 0 {
+		t.Errorf("asleep root enabled %v", got)
+	}
+	if err := r.Step(ioa.Create(tree.Root)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Enabled(); len(got) != 2 {
+		t.Errorf("root should offer both children, got %v", got)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(ioa.RequestCreate("T0/u1")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("duplicate request: %v", err)
+	}
+	// Root never requests to commit.
+	for _, op := range r.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			t.Error("root must never request to commit")
+		}
+	}
+}
+
+func TestUserDefaultWaitsForAllChildren(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u", Manage("T0/u/a", "T0/u/b"))
+	if err := u.Step(ioa.Create("T0/u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/b")); err != nil {
+		t.Fatal(err)
+	}
+	// Neither child returned: no REQUEST-COMMIT offered.
+	for _, op := range u.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			t.Fatal("commit offered before children returned")
+		}
+	}
+	if err := u.Step(ioa.Commit("T0/u/a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.Abort("T0/u/b")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range u.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("commit not offered after all children returned")
+	}
+}
+
+func TestUserManageExcludesReconfigChildren(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u", Manage("T0/u/a", "T0/u/b"))
+	if u.HasOp(ioa.RequestCreate("T0/u/rec")) {
+		t.Error("unmanaged child must not be in the user's operation set")
+	}
+	if u.HasOp(ioa.Commit("T0/u/rec", nil)) {
+		t.Error("unmanaged child's return must not reach the user")
+	}
+	if !u.HasOp(ioa.RequestCreate("T0/u/a")) {
+		t.Error("managed child missing")
+	}
+}
+
+func TestUserSequentialOrder(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u", Manage("T0/u/a", "T0/u/b"), Sequential())
+	if err := u.Step(ioa.Create("T0/u")); err != nil {
+		t.Fatal(err)
+	}
+	enabled := u.Enabled()
+	if len(enabled) != 1 || enabled[0].Txn != "T0/u/a" {
+		t.Fatalf("sequential user should offer only the first child, got %v", enabled)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/b")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("out-of-order request: %v", err)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/a")); err != nil {
+		t.Fatal(err)
+	}
+	// b must wait until a returns.
+	if len(u.Enabled()) != 0 {
+		t.Fatalf("b offered before a returned: %v", u.Enabled())
+	}
+	if err := u.Step(ioa.Commit("T0/u/a", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Enabled(); len(got) != 1 || got[0].Txn != "T0/u/b" {
+		t.Fatalf("after a returns, b should be offered: %v", got)
+	}
+}
+
+func TestUserEagerCanCommitEarly(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u", Manage("T0/u/a", "T0/u/b"), Eager())
+	if err := u.Step(ioa.Create("T0/u")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range u.Enabled() {
+		if op.Kind == ioa.OpRequestCommit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("eager user should offer commit immediately after creation")
+	}
+}
+
+func TestUserValueFnDeterminesCommitValue(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u",
+		Manage("T0/u/a"),
+		WithValue(func(res map[ioa.TxnName]ChildResult) ioa.Value {
+			if r, ok := res["T0/u/a"]; ok && r.Committed {
+				return r.Value.(int) * 2
+			}
+			return -1
+		}))
+	if err := u.Step(ioa.Create("T0/u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.Commit("T0/u/a", 21)); err != nil {
+		t.Fatal(err)
+	}
+	want := ioa.RequestCommit("T0/u", 42)
+	got := u.Enabled()
+	if len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("enabled = %v, want %v", got, want)
+	}
+	// A REQUEST-COMMIT with any other value is rejected: the automaton is
+	// state-deterministic.
+	if err := u.Step(ioa.RequestCommit("T0/u", 43)); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("wrong value accepted: %v", err)
+	}
+	if err := u.Step(want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserNoOutputsAfterRequestCommit(t *testing.T) {
+	tr := userTree(t)
+	u := MustNewUser(tr, "T0/u", Manage("T0/u/a", "T0/u/b"), Eager())
+	if err := u.Step(ioa.Create("T0/u")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Step(ioa.RequestCommit("T0/u", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Enabled(); len(got) != 0 {
+		t.Fatalf("outputs after REQUEST-COMMIT: %v", got)
+	}
+	if err := u.Step(ioa.RequestCreate("T0/u/a")); !errors.Is(err, ioa.ErrNotEnabled) {
+		t.Fatalf("request after commit: %v", err)
+	}
+}
+
+func TestNewUserErrors(t *testing.T) {
+	tr := userTree(t)
+	if _, err := NewUser(tr, "nope"); err == nil {
+		t.Error("unknown transaction accepted")
+	}
+	acc := tr.MustAddChild("T0/u/a", "leaf", tree.KindAccess)
+	if _, err := NewUser(tr, acc.Name()); err == nil {
+		t.Error("access accepted as user transaction")
+	}
+}

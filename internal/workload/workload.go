@@ -1,0 +1,163 @@
+// Package workload generates and drives transaction workloads against a
+// cluster store, for the benchmark harness: read/write mixes over item
+// sets, optional nesting, and deliberate subtransaction aborts (exercising
+// the algorithm's abort tolerance).
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Profile shapes a workload.
+type Profile struct {
+	// ReadFraction is the probability an operation is a logical read.
+	ReadFraction float64
+	// OpsPerTxn is the number of logical operations per top-level
+	// transaction (default 2).
+	OpsPerTxn int
+	// NestDepth wraps each operation in this many levels of
+	// subtransactions (0 = flat).
+	NestDepth int
+	// SubAbortProb is the probability a subtransaction deliberately aborts
+	// after doing its work; the parent tolerates the abort and continues.
+	SubAbortProb float64
+	// Items are the logical data items to touch.
+	Items []string
+	// Hotspot, when in (0, 1], is the probability an operation targets
+	// Items[0] rather than a uniform choice — a simple contention knob.
+	Hotspot float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.OpsPerTxn <= 0 {
+		p.OpsPerTxn = 2
+	}
+	return p
+}
+
+// Result summarizes a run.
+type Result struct {
+	Committed int
+	Failed    int
+	Tolerated int // deliberate subtransaction aborts survived
+	Elapsed   time.Duration
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) / r.Elapsed.Seconds()
+}
+
+// errDeliberate marks the injected subtransaction failures.
+var errDeliberate = errors.New("workload: deliberate abort")
+
+// Run executes txns top-level transactions across workers concurrent
+// workers against the store.
+func Run(ctx context.Context, store *cluster.Store, p Profile, txns, workers int) (Result, error) {
+	p = p.withDefaults()
+	if len(p.Items) == 0 {
+		return Result{}, errors.New("workload: no items")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	var (
+		mu  sync.Mutex
+		res Result
+	)
+	start := time.Now()
+	work := make(chan int64)
+	var wg sync.WaitGroup
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seed := range work {
+				rng := rand.New(rand.NewSource(p.Seed + seed))
+				tolerated, err := runTxn(ctx, store, p, rng)
+				mu.Lock()
+				res.Tolerated += tolerated
+				if err != nil {
+					res.Failed++
+					if firstErr == nil && !errors.Is(err, context.DeadlineExceeded) {
+						firstErr = fmt.Errorf("worker %d: %w", w, err)
+					}
+				} else {
+					res.Committed++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for i := 0; i < txns; i++ {
+		work <- int64(i)
+	}
+	close(work)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, firstErr
+}
+
+// runTxn executes one top-level transaction per the profile.
+func runTxn(ctx context.Context, store *cluster.Store, p Profile, rng *rand.Rand) (tolerated int, err error) {
+	err = store.Run(ctx, func(tx *cluster.Txn) error {
+		for op := 0; op < p.OpsPerTxn; op++ {
+			item := p.Items[rng.Intn(len(p.Items))]
+			if p.Hotspot > 0 && rng.Float64() < p.Hotspot {
+				item = p.Items[0]
+			}
+			isRead := rng.Float64() < p.ReadFraction
+			val := rng.Intn(1 << 20)
+			// Deliberate aborts only make sense inside a subtransaction;
+			// at the top level the failure would kill the whole txn.
+			abortHere := p.NestDepth > 0 && p.SubAbortProb > 0 && rng.Float64() < p.SubAbortProb
+
+			body := func(t *cluster.Txn) error {
+				if isRead {
+					_, err := t.Read(ctx, item)
+					return err
+				}
+				if err := t.Write(ctx, item, val); err != nil {
+					return err
+				}
+				if abortHere {
+					return errDeliberate
+				}
+				return nil
+			}
+			err := nest(ctx, tx, p.NestDepth, body)
+			if errors.Is(err, errDeliberate) {
+				tolerated++
+				continue // the parent tolerates the subtransaction abort
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return tolerated, err
+}
+
+// nest wraps body in depth levels of subtransactions.
+func nest(ctx context.Context, tx *cluster.Txn, depth int, body func(*cluster.Txn) error) error {
+	if depth <= 0 {
+		return body(tx)
+	}
+	return tx.Sub(ctx, func(sub *cluster.Txn) error {
+		return nest(ctx, sub, depth-1, body)
+	})
+}

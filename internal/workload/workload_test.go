@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func testStore(t *testing.T, seed int64) *cluster.Store {
+	t.Helper()
+	dms := []string{"d0", "d1", "d2"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: seed})
+	store, err := cluster.New(net, []cluster.ItemSpec{
+		{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
+	}, cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store
+}
+
+func TestRunCommitsAll(t *testing.T) {
+	store := testStore(t, 1)
+	res, err := Run(context.Background(), store, Profile{
+		ReadFraction: 0.5, OpsPerTxn: 2, Items: []string{"x"}, Seed: 1,
+	}, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 20 || res.Failed != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestNestedWorkloadToleratesAborts(t *testing.T) {
+	store := testStore(t, 2)
+	res, err := Run(context.Background(), store, Profile{
+		ReadFraction: 0, OpsPerTxn: 3, NestDepth: 2, SubAbortProb: 0.5,
+		Items: []string{"x"}, Seed: 2,
+	}, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 20 {
+		t.Errorf("committed = %d", res.Committed)
+	}
+	if res.Tolerated == 0 {
+		t.Error("expected some tolerated subtransaction aborts")
+	}
+}
+
+func TestFlatWorkloadNeverInjectsTopLevelAborts(t *testing.T) {
+	store := testStore(t, 3)
+	res, err := Run(context.Background(), store, Profile{
+		ReadFraction: 0, OpsPerTxn: 2, NestDepth: 0, SubAbortProb: 1,
+		Items: []string{"x"}, Seed: 3,
+	}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tolerated != 0 || res.Failed != 0 {
+		t.Errorf("flat workload must not inject aborts: %+v", res)
+	}
+}
+
+func TestNoItemsRejected(t *testing.T) {
+	store := testStore(t, 4)
+	if _, err := Run(context.Background(), store, Profile{}, 1, 1); err == nil {
+		t.Error("empty item list must fail")
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	p := Profile{}.withDefaults()
+	if p.OpsPerTxn != 2 {
+		t.Errorf("default OpsPerTxn = %d", p.OpsPerTxn)
+	}
+}
+
+func TestHotspotSkewsTowardFirstItem(t *testing.T) {
+	// Pure generator-level test: with Hotspot = 1 every op hits Items[0].
+	dms := []string{"h0", "h1", "h2"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 8})
+	store, err := cluster.New(net, []cluster.ItemSpec{
+		{Name: "hot", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
+		{Name: "cold", Initial: 0, DMs: []string{"c0"}, Config: quorum.ReadOneWriteAll([]string{"c0"})},
+	}, cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	res, err := Run(context.Background(), store, Profile{
+		ReadFraction: 0, OpsPerTxn: 1, Hotspot: 1,
+		Items: []string{"hot", "cold"}, Seed: 8,
+	}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 10 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	// All writes went to "hot": its version number is 10, cold's stays 0.
+	if err := store.Run(context.Background(), func(tx *cluster.Txn) error {
+		_, vn, err := tx.ReadVersioned(context.Background(), "hot")
+		if err != nil {
+			return err
+		}
+		if vn != 10 {
+			t.Errorf("hot vn = %d, want 10", vn)
+		}
+		_, vn, err = tx.ReadVersioned(context.Background(), "cold")
+		if err != nil {
+			return err
+		}
+		if vn != 0 {
+			t.Errorf("cold vn = %d, want 0", vn)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func facadeSpec() Spec {
+	dms := []string{"d1", "d2", "d3"}
+	return Spec{
+		Items: []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: Majority(dms)}},
+		Top: []TxnSpec{
+			Sub("u", WriteItem("w", "x", 42), ReadItem("r", "x")),
+		},
+	}
+}
+
+func TestRunAndCheckFacade(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		sched, err := RunAndCheck(facadeSpec(), seed, 0.1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(sched) == 0 {
+			t.Fatal("empty schedule")
+		}
+	}
+}
+
+func TestRunSerialReportsInvariantViolationsAsErrors(t *testing.T) {
+	// RunSerial wires the Lemma 8 checker; a healthy system never trips it.
+	b, err := BuildB(facadeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSerial(b, 1, 100000, 0.2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCAndCheckTheorem11Facade(t *testing.T) {
+	spec := facadeSpec()
+	spec.SequentialTMs = true
+	spec.ReadAccessesPerDM = 2
+	spec.WriteAccessesPerDM = 2
+	c, err := BuildC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := RunSerialNoChecks(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTheorem11(c, sched); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenSimEndToEnd(t *testing.T) {
+	dms := []string{"a", "b", "c"}
+	store, net, err := OpenSim([]ClusterItem{
+		{Name: "k", Initial: "v0", DMs: dms, Config: ReadOneWriteAll(dms)},
+	}, 50*time.Microsecond, 500*time.Microsecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		store.Close()
+		net.Close()
+	}()
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error {
+		return tx.Write(ctx, "k", "v1")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "k")
+		if err != nil {
+			return err
+		}
+		if v != "v1" {
+			t.Errorf("read %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTreeFacade(t *testing.T) {
+	b, err := BuildB(facadeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTree(b.Tree)
+	if !strings.Contains(out, "write-TM") || !strings.Contains(out, "read-TM") {
+		t.Errorf("render missing TMs:\n%s", out)
+	}
+}
+
+func TestVotingFacade(t *testing.T) {
+	cfg, err := Voting(map[string]int{"a": 1, "b": 1, "c": 1}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Legal() {
+		t.Error("voting config must be legal")
+	}
+}
+
+func TestReconfigurableFacade(t *testing.T) {
+	spec := facadeSpec()
+	dms := spec.Items[0].DMs
+	rs := ReconfigSpec{
+		Core:             spec,
+		NewConfigs:       map[string][]Config{"x": {ReadOneWriteAll(dms)}},
+		ReconfigsPerUser: 1,
+	}
+	b, err := BuildReconfigurable(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sys == nil || b.Tree == nil {
+		t.Fatal("incomplete system")
+	}
+}
