@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The cluster and sim packages are the concurrency-heavy ones; run them
+# under the race detector.
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# CI entry point: everything tier-1 checks plus vet and the race pass.
+verify: build vet test race

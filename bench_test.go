@@ -377,3 +377,52 @@ func BenchmarkE9_ReadRepairCatchUp(b *testing.B) {
 		net.Close()
 	}
 }
+
+// E10: phase latency under a skewed network. One of five replicas answers
+// in 30–40ms while the rest answer in microseconds; majority quorums never
+// need the straggler. The seed's sequential path queries one shuffled
+// quorum per attempt, so ~6/10 attempts include the straggler and wait for
+// it; first-to-quorum fan-out broadcasts to all five and completes with
+// the fastest three. Compare the reported p50-us/p99-us metrics.
+
+func benchStraggler(b *testing.B, opts ...cluster.Option) {
+	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
+	net.SetNodeLatency("dm4", 30*time.Millisecond, 40*time.Millisecond)
+	store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		append([]cluster.Option{cluster.WithSeed(1), cluster.WithCallTimeout(100 * time.Millisecond)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := store.Run(ctx, func(tx *cluster.Txn) error {
+			_, err := tx.Read(ctx, "x")
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := store.Stats.ReadPhaseLatency.Snapshot()
+	b.ReportMetric(float64(s.P50.Microseconds()), "p50-us")
+	b.ReportMetric(float64(s.P99.Microseconds()), "p99-us")
+}
+
+func BenchmarkE10_StragglerRead_FirstToQuorum(b *testing.B) {
+	benchStraggler(b)
+}
+
+func BenchmarkE10_StragglerRead_SequentialQuorums(b *testing.B) {
+	benchStraggler(b, cluster.WithSequentialPhases(true))
+}
+
+func BenchmarkE10_StragglerRead_FanoutNoHedge(b *testing.B) {
+	benchStraggler(b, cluster.WithHedgeDelay(0))
+}

@@ -39,9 +39,9 @@ func run(n int, seed int64, showLog bool) error {
 	net := sim.NewNetwork(sim.Config{MinLatency: 200 * time.Microsecond, MaxLatency: 2 * time.Millisecond, Seed: seed})
 	defer net.Close()
 	log := trace.NewLog()
-	store, err := cluster.New(net, []cluster.ItemSpec{
+	store, err := cluster.Open(net, []cluster.ItemSpec{
 		{Name: "balance/alice", Initial: 100, DMs: dms, Config: quorum.Majority(dms)},
-	}, cluster.Options{Seed: seed, Trace: log})
+	}, cluster.WithSeed(seed), cluster.WithTrace(log))
 	if err != nil {
 		return err
 	}
@@ -114,7 +114,8 @@ func run(n int, seed int64, showLog bool) error {
 	}
 	stats := net.Stats()
 	fmt.Printf("network: %d messages sent, %d delivered, %d dropped\n", stats.Sent, stats.Delivered, stats.Dropped)
-	fmt.Printf("store:   %d commits, %d aborts, %d busy-retries\n",
-		store.Stats.Commits.Value(), store.Stats.Aborts.Value(), store.Stats.BusyRetries.Value())
+	fmt.Printf("store:   %d commits, %d aborts, %d busy-retries, %d hedges, %d extra-lock releases\n",
+		store.Stats.Commits.Value(), store.Stats.Aborts.Value(), store.Stats.BusyRetries.Value(),
+		store.Stats.Hedges.Value(), store.Stats.ExtraLockReleases.Value())
 	return nil
 }

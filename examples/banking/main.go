@@ -24,31 +24,31 @@ var errInsufficient = errors.New("insufficient funds")
 // not lose the transfer.
 func transfer(ctx context.Context, store *repro.Store, from, to string, amount int, feeOK *bool) error {
 	return store.Run(ctx, func(tx *repro.Txn) error {
-		fromBal, err := tx.ReadForUpdate(ctx, from)
+		fromBal, err := repro.ReadForUpdateAs[int](ctx, tx, from)
 		if err != nil {
 			return err
 		}
-		if fromBal.(int) < amount {
+		if fromBal < amount {
 			return errInsufficient
 		}
-		toBal, err := tx.ReadForUpdate(ctx, to)
+		toBal, err := repro.ReadForUpdateAs[int](ctx, tx, to)
 		if err != nil {
 			return err
 		}
-		if err := tx.Write(ctx, from, fromBal.(int)-amount); err != nil {
+		if err := repro.WriteAs(ctx, tx, from, fromBal-amount); err != nil {
 			return err
 		}
-		if err := tx.Write(ctx, to, toBal.(int)+amount); err != nil {
+		if err := repro.WriteAs(ctx, tx, to, toBal+amount); err != nil {
 			return err
 		}
 		// Best-effort fee: run in a subtransaction so its failure aborts
 		// only the fee, not the transfer.
 		err = tx.Sub(ctx, func(sub *repro.Txn) error {
-			rev, err := sub.ReadForUpdate(ctx, "bank/revenue")
+			rev, err := repro.ReadForUpdateAs[int](ctx, sub, "bank/revenue")
 			if err != nil {
 				return err
 			}
-			return sub.Write(ctx, "bank/revenue", rev.(int)+1)
+			return repro.WriteAs(ctx, sub, "bank/revenue", rev+1)
 		})
 		*feeOK = err == nil
 		return nil
@@ -95,15 +95,15 @@ func main() {
 	fmt.Println("transfer with revenue replicas down committed; fee collected:", feeOK)
 
 	if err := store.Run(ctx, func(tx *repro.Txn) error {
-		a, err := tx.Read(ctx, "acct/alice")
+		a, err := repro.ReadAs[int](ctx, tx, "acct/alice")
 		if err != nil {
 			return err
 		}
-		b, err := tx.Read(ctx, "acct/bob")
+		b, err := repro.ReadAs[int](ctx, tx, "acct/bob")
 		if err != nil {
 			return err
 		}
-		fmt.Printf("final balances: alice=%v bob=%v (conserved: %v)\n", a, b, a.(int)+b.(int) == 150)
+		fmt.Printf("final balances: alice=%v bob=%v (conserved: %v)\n", a, b, a+b == 150)
 		return nil
 	}); err != nil {
 		log.Fatal(err)

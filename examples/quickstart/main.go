@@ -29,18 +29,19 @@ func main() {
 
 	ctx := context.Background()
 	if err := store.Run(ctx, func(tx *repro.Txn) error {
-		v, err := tx.Read(ctx, "greeting")
+		// The typed accessors return string directly — no type assertions.
+		v, err := repro.ReadAs[string](ctx, tx, "greeting")
 		if err != nil {
 			return err
 		}
 		fmt.Println("initial value:", v)
-		if err := tx.Write(ctx, "greeting", "hello, quorum"); err != nil {
+		if err := repro.WriteAs(ctx, tx, "greeting", "hello, quorum"); err != nil {
 			return err
 		}
 		// Work can nest arbitrarily; this subtransaction commits into its
 		// parent.
 		return tx.Sub(ctx, func(sub *repro.Txn) error {
-			v, err := sub.Read(ctx, "greeting")
+			v, err := repro.ReadAs[string](ctx, sub, "greeting")
 			if err != nil {
 				return err
 			}
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	if err := store.Run(ctx, func(tx *repro.Txn) error {
-		v, err := tx.Read(ctx, "greeting")
+		v, err := repro.ReadAs[string](ctx, tx, "greeting")
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,14 @@ type replica struct {
 
 	locks   map[TxnID]LockMode
 	intents []intent
+
+	// lockSeqs is the highest phase Seq that granted each live lock and
+	// lockBorn the Seq that created it; together with the released
+	// tombstones they decide whether a ReleaseReq may free the lock.
+	// Lazily allocated so zero-value replicas (tests) keep working.
+	lockSeqs map[TxnID]int
+	lockBorn map[TxnID]int
+	released map[TxnID]int
 }
 
 // intent is a buffered (deferred) update owned by a transaction.
@@ -35,15 +43,17 @@ type dmServer struct {
 	id       string
 	replicas map[string]*replica
 
-	// appliedTop remembers applied top-level commits so CommitTopReq is
-	// idempotent under client retries.
-	appliedTop map[TxnID]bool
+	// resolved remembers finished top-level transactions (committed or
+	// aborted) so CommitTopReq is idempotent under client retries and so
+	// late request copies from cancelled fan-outs cannot grant locks for a
+	// transaction that no longer exists.
+	resolved map[TxnID]bool
 }
 
 // NewDMServer starts a DM node hosting the given items and returns its
 // sim.Node. Each item maps to its initial value and configuration.
 func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
-	s := &dmServer{id: id, replicas: map[string]*replica{}, appliedTop: map[TxnID]bool{}}
+	s := &dmServer{id: id, replicas: map[string]*replica{}, resolved: map[TxnID]bool{}}
 	for _, it := range items {
 		s.replicas[it.Name] = &replica{
 			val:   it.Initial,
@@ -75,6 +85,85 @@ func (r *replica) grant(t TxnID, m LockMode) {
 	}
 }
 
+// noteGrant records which phase granted (and, when fresh, created) the
+// transaction's lock, for the release guards.
+func (r *replica) noteGrant(t TxnID, seq int, held bool) {
+	if seq == 0 {
+		return
+	}
+	if r.lockSeqs == nil {
+		r.lockSeqs = map[TxnID]int{}
+	}
+	if r.lockSeqs[t] < seq {
+		r.lockSeqs[t] = seq
+	}
+	if !held {
+		if r.lockBorn == nil {
+			r.lockBorn = map[TxnID]int{}
+		}
+		r.lockBorn[t] = seq
+	}
+}
+
+// tombstoned reports whether phase seq of t was already released here, in
+// which case a (late) request copy from that phase must not grant.
+func (r *replica) tombstoned(t TxnID, seq int) bool {
+	return seq != 0 && seq <= r.released[t]
+}
+
+// release processes a ReleaseReq: tombstone the phase, then free the lock
+// only if this very phase created it, no later phase re-granted it, and no
+// buffered intention of the transaction depends on it. Reports whether the
+// lock was freed.
+func (r *replica) release(t TxnID, seq int) bool {
+	if seq == 0 {
+		return false
+	}
+	if r.released == nil {
+		r.released = map[TxnID]int{}
+	}
+	if r.released[t] < seq {
+		r.released[t] = seq
+	}
+	if _, held := r.locks[t]; !held {
+		return false
+	}
+	if r.lockBorn[t] != seq || r.lockSeqs[t] > seq || r.ownsIntent(t) {
+		return false
+	}
+	delete(r.locks, t)
+	delete(r.lockSeqs, t)
+	delete(r.lockBorn, t)
+	return true
+}
+
+// ownsIntent reports whether t owns a buffered intention on this replica.
+func (r *replica) ownsIntent(t TxnID) bool {
+	for _, in := range r.intents {
+		if in.owner == t {
+			return true
+		}
+	}
+	return false
+}
+
+// hasIntentCopy reports whether t already buffered this exact logical
+// write, so hedged duplicate requests install a single intention.
+func (r *replica) hasIntentCopy(t TxnID, isConfig bool, vn, gen int) bool {
+	for _, in := range r.intents {
+		if in.owner != t || in.isConfig != isConfig {
+			continue
+		}
+		if isConfig && in.gen == gen {
+			return true
+		}
+		if !isConfig && in.vn == vn {
+			return true
+		}
+	}
+	return false
+}
+
 // view folds the intentions visible to t (those owned by t or its
 // ancestors) over the committed state, yielding the state t must read.
 func (r *replica) view(t TxnID) (vn int, val any, gen int, cfg quorum.Config) {
@@ -92,11 +181,15 @@ func (r *replica) view(t TxnID) (vn int, val any, gen int, cfg quorum.Config) {
 	return vn, val, gen, cfg
 }
 
-// promote hands t's locks and intentions to its parent.
+// promote hands t's locks and intentions to its parent. The release
+// tombstones stay behind: t's phases are over, and late copies of them
+// must still be refused.
 func (r *replica) promote(t TxnID) {
 	parent, ok := t.Parent()
 	if m, held := r.locks[t]; held {
 		delete(r.locks, t)
+		delete(r.lockSeqs, t)
+		delete(r.lockBorn, t)
 		if ok {
 			if r.locks[parent] < m {
 				r.locks[parent] = m
@@ -112,11 +205,27 @@ func (r *replica) promote(t TxnID) {
 	}
 }
 
-// drop removes every lock and intention owned by t or its descendants.
+// drop removes every lock, intention, and phase record owned by t or its
+// descendants.
 func (r *replica) drop(t TxnID) {
 	for holder := range r.locks {
 		if t.IsAncestorOf(holder) {
 			delete(r.locks, holder)
+		}
+	}
+	for holder := range r.lockSeqs {
+		if t.IsAncestorOf(holder) {
+			delete(r.lockSeqs, holder)
+		}
+	}
+	for holder := range r.lockBorn {
+		if t.IsAncestorOf(holder) {
+			delete(r.lockBorn, holder)
+		}
+	}
+	for holder := range r.released {
+		if t.IsAncestorOf(holder) {
+			delete(r.released, holder)
 		}
 	}
 	kept := r.intents[:0]
@@ -147,6 +256,19 @@ func (r *replica) applyTop(t TxnID) {
 	r.drop(t)
 }
 
+// txnResolved reports whether the request's top-level transaction already
+// committed or aborted, in which case no new lock may be granted to it.
+func (s *dmServer) txnResolved(t TxnID) bool {
+	return s.resolved[t.Top()]
+}
+
+func (s *dmServer) markResolved(t TxnID) {
+	if s.resolved == nil {
+		s.resolved = map[TxnID]bool{}
+	}
+	s.resolved[t] = true
+}
+
 // handle is the DM's RPC handler.
 func (s *dmServer) handle(_ string, req any) any {
 	switch q := req.(type) {
@@ -155,34 +277,58 @@ func (s *dmServer) handle(_ string, req any) any {
 		if r == nil {
 			return ReadResp{}
 		}
+		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
+			return ReadResp{}
+		}
 		if !r.canLock(q.Txn, q.Lock) {
 			return ReadResp{Busy: true}
 		}
+		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, q.Lock)
+		r.noteGrant(q.Txn, q.Seq, held)
 		vn, val, gen, cfg := r.view(q.Txn)
-		return ReadResp{OK: true, VN: vn, Val: val, Gen: gen, Cfg: cfg}
+		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg}
 	case WriteReq:
 		r := s.replicas[q.Item]
 		if r == nil {
 			return WriteResp{}
 		}
-		if !r.canLock(q.Txn, LockWrite) {
-			return WriteResp{Busy: true}
-		}
-		r.grant(q.Txn, LockWrite)
-		r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
-		return WriteResp{OK: true}
-	case ConfigWriteReq:
-		r := s.replicas[q.Item]
-		if r == nil {
+		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
 			return WriteResp{}
 		}
 		if !r.canLock(q.Txn, LockWrite) {
 			return WriteResp{Busy: true}
 		}
+		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, LockWrite)
-		r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
-		return WriteResp{OK: true}
+		r.noteGrant(q.Txn, q.Seq, held)
+		if !r.hasIntentCopy(q.Txn, false, q.VN, 0) {
+			r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
+		}
+		return WriteResp{OK: true, Held: held}
+	case ConfigWriteReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			return WriteResp{}
+		}
+		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
+			return WriteResp{}
+		}
+		if !r.canLock(q.Txn, LockWrite) {
+			return WriteResp{Busy: true}
+		}
+		_, held := r.locks[q.Txn]
+		r.grant(q.Txn, LockWrite)
+		r.noteGrant(q.Txn, q.Seq, held)
+		if !r.hasIntentCopy(q.Txn, true, 0, q.Gen) {
+			r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
+		}
+		return WriteResp{OK: true, Held: held}
+	case ReleaseReq:
+		if r := s.replicas[q.Item]; r != nil {
+			r.release(q.Txn, q.Seq)
+		}
+		return Ack{OK: true}
 	case RepairReq:
 		r := s.replicas[q.Item]
 		if r == nil {
@@ -217,13 +363,16 @@ func (s *dmServer) handle(_ string, req any) any {
 		}
 		return Ack{OK: true}
 	case AbortReq:
+		if q.Txn.Top() == q.Txn {
+			s.markResolved(q.Txn)
+		}
 		for _, r := range s.replicas {
 			r.drop(q.Txn)
 		}
 		return Ack{OK: true}
 	case CommitTopReq:
-		if !s.appliedTop[q.Txn] {
-			s.appliedTop[q.Txn] = true
+		if !s.resolved[q.Txn] {
+			s.markResolved(q.Txn)
 			for _, r := range s.replicas {
 				r.applyTop(q.Txn)
 			}

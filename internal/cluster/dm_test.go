@@ -131,7 +131,7 @@ func TestReplicaApplyTopFoldsInOrder(t *testing.T) {
 }
 
 func TestHandleUnknownItemAndMessage(t *testing.T) {
-	s := &dmServer{id: "d", replicas: map[string]*replica{}, appliedTop: map[TxnID]bool{}}
+	s := &dmServer{id: "d", replicas: map[string]*replica{}, resolved: map[TxnID]bool{}}
 	if resp := s.handle("x", ReadReq{Txn: "c1.t1", Item: "nope"}); resp.(ReadResp).OK {
 		t.Error("unknown item must not grant")
 	}
@@ -148,9 +148,9 @@ func TestHandleUnknownItemAndMessage(t *testing.T) {
 
 func TestCommitTopIdempotent(t *testing.T) {
 	s := &dmServer{
-		id:         "d",
-		replicas:   map[string]*replica{"x": newReplica()},
-		appliedTop: map[TxnID]bool{},
+		id:       "d",
+		replicas: map[string]*replica{"x": newReplica()},
+		resolved: map[TxnID]bool{},
 	}
 	r := s.replicas["x"]
 	r.intents = append(r.intents, intent{owner: "c1.t1", vn: 1, val: "v"})
@@ -168,9 +168,9 @@ func TestCommitTopIdempotent(t *testing.T) {
 
 func TestRepairAppliesOnlyWhenNewerAndIdle(t *testing.T) {
 	s := &dmServer{
-		id:         "d",
-		replicas:   map[string]*replica{"x": newReplica()},
-		appliedTop: map[TxnID]bool{},
+		id:       "d",
+		replicas: map[string]*replica{"x": newReplica()},
+		resolved: map[TxnID]bool{},
 	}
 	r := s.replicas["x"]
 	r.vn = 2
@@ -194,5 +194,137 @@ func TestRepairAppliesOnlyWhenNewerAndIdle(t *testing.T) {
 	s.handle("c", RepairReq{Item: "x", VN: 12, Val: "busy"})
 	if r.vn != 12-3 {
 		t.Error("repair applied under a write lock")
+	}
+}
+
+func TestReplicaReleaseGuards(t *testing.T) {
+	r := newReplica()
+
+	// Phase 1 creates the lock; releasing phase 1 frees it and tombstones
+	// the phase so a late duplicate of phase 1 cannot re-grant.
+	r.grant("c1.t1", LockRead)
+	r.noteGrant("c1.t1", 1, false)
+	if !r.release("c1.t1", 1) {
+		t.Fatal("release of the creating phase must free the lock")
+	}
+	if !r.tombstoned("c1.t1", 1) {
+		t.Error("released phase must be tombstoned")
+	}
+	if r.tombstoned("c1.t1", 2) {
+		t.Error("later phases must not be tombstoned")
+	}
+
+	// A lock created by phase 1 must not be freed by releasing phase 2
+	// (phase 2's grant reported Held, so the lock predates it).
+	r.grant("c1.t2", LockWrite)
+	r.noteGrant("c1.t2", 1, false)
+	r.noteGrant("c1.t2", 2, true)
+	if r.release("c1.t2", 2) {
+		t.Error("release must not free a lock an earlier phase created")
+	}
+	// Nor by releasing phase 1, since phase 2 re-granted it.
+	if r.release("c1.t2", 1) {
+		t.Error("release must not free a lock a later phase re-granted")
+	}
+	if _, held := r.locks["c1.t2"]; !held {
+		t.Fatal("lock must survive both refused releases")
+	}
+
+	// A lock backing a buffered intention is never freed.
+	r.grant("c1.t3", LockWrite)
+	r.noteGrant("c1.t3", 1, false)
+	r.intents = append(r.intents, intent{owner: "c1.t3", vn: 1, val: "v"})
+	if r.release("c1.t3", 1) {
+		t.Error("release must not free a lock that backs an intention")
+	}
+
+	// Seq 0 (sequential path) is a no-op.
+	if r.release("c1.t2", 0) {
+		t.Error("seq 0 release must be a no-op")
+	}
+}
+
+func TestHandleRefusesTombstonedAndResolved(t *testing.T) {
+	s := &dmServer{
+		id:       "d",
+		replicas: map[string]*replica{"x": newReplica()},
+		resolved: map[TxnID]bool{},
+	}
+	// Release phase 3 before its (late, reordered) request arrives: the
+	// request must not grant.
+	s.handle("c", ReleaseReq{Txn: "c1.t1", Item: "x", Seq: 3})
+	resp := s.handle("c", ReadReq{Txn: "c1.t1", Item: "x", Lock: LockRead, Seq: 3}).(ReadResp)
+	if resp.OK || resp.Busy {
+		t.Errorf("tombstoned phase must be refused outright, got %+v", resp)
+	}
+	// A later phase of the same transaction still works.
+	resp = s.handle("c", ReadReq{Txn: "c1.t1", Item: "x", Lock: LockRead, Seq: 4}).(ReadResp)
+	if !resp.OK {
+		t.Error("later phase must still be granted")
+	}
+
+	// Once the top-level transaction resolves, no copy of any phase grants.
+	s.handle("c", CommitTopReq{Txn: "c1.t1"})
+	resp = s.handle("c", ReadReq{Txn: "c1.t1/2", Item: "x", Lock: LockRead, Seq: 9}).(ReadResp)
+	if resp.OK || resp.Busy {
+		t.Errorf("resolved txn must be refused outright, got %+v", resp)
+	}
+	w := s.handle("c", WriteReq{Txn: "c1.t1", Item: "x", VN: 1, Val: "v", Seq: 9}).(WriteResp)
+	if w.OK || w.Busy {
+		t.Errorf("resolved txn must not buffer writes, got %+v", w)
+	}
+	if got := len(s.replicas["x"].intents); got != 0 {
+		t.Errorf("no intent may be installed after resolve, got %d", got)
+	}
+
+	// Top-level abort resolves too.
+	s.handle("c", AbortReq{Txn: "c1.t9"})
+	resp = s.handle("c", ReadReq{Txn: "c1.t9", Item: "x", Lock: LockRead, Seq: 1}).(ReadResp)
+	if resp.OK {
+		t.Error("aborted top-level txn must be refused")
+	}
+}
+
+func TestHandleDedupesHedgedWriteIntents(t *testing.T) {
+	s := &dmServer{
+		id:       "d",
+		replicas: map[string]*replica{"x": newReplica()},
+		resolved: map[TxnID]bool{},
+	}
+	// Two hedged copies of the same phase's WriteReq must install one
+	// intention.
+	s.handle("c", WriteReq{Txn: "c1.t1", Item: "x", VN: 7, Val: "v", Seq: 2})
+	s.handle("c", WriteReq{Txn: "c1.t1", Item: "x", VN: 7, Val: "v", Seq: 2})
+	if got := len(s.replicas["x"].intents); got != 1 {
+		t.Errorf("duplicate WriteReq must dedupe, got %d intents", got)
+	}
+	// A genuinely new write (higher vn) still appends.
+	s.handle("c", WriteReq{Txn: "c1.t1", Item: "x", VN: 8, Val: "w", Seq: 3})
+	if got := len(s.replicas["x"].intents); got != 2 {
+		t.Errorf("new write must append, got %d intents", got)
+	}
+
+	cfg := quorum.Majority([]string{"a", "b"})
+	s.handle("c", ConfigWriteReq{Txn: "c1.t1", Item: "x", Gen: 1, Cfg: cfg, Seq: 4})
+	s.handle("c", ConfigWriteReq{Txn: "c1.t1", Item: "x", Gen: 1, Cfg: cfg, Seq: 4})
+	if got := len(s.replicas["x"].intents); got != 3 {
+		t.Errorf("duplicate ConfigWriteReq must dedupe, got %d intents", got)
+	}
+}
+
+func TestReplicaPromoteKeepsTombstones(t *testing.T) {
+	r := newReplica()
+	r.grant("c1.t1/1", LockWrite)
+	r.noteGrant("c1.t1/1", 2, false)
+	r.release("c1.t1/1", 1) // tombstone an earlier phase, lock survives
+	r.promote("c1.t1/1")
+	if r.locks["c1.t1"] != LockWrite {
+		t.Fatal("parent must inherit the lock")
+	}
+	if _, ok := r.lockSeqs["c1.t1/1"]; ok {
+		t.Error("child phase records must be cleared on promote")
+	}
+	if !r.tombstoned("c1.t1/1", 1) {
+		t.Error("tombstones must survive promotion")
 	}
 }

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sentinel errors. Structured errors returned by the store wrap these, so
+// errors.Is(err, ErrConflict) / errors.Is(err, ErrUnavailable) keep
+// working for callers that do not need the detail.
+var (
+	// ErrConflict means a lock conflict persisted past the retry budget;
+	// the transaction aborted and may be re-run.
+	ErrConflict = errors.New("cluster: lock conflict")
+	// ErrUnavailable means no read or write quorum was reachable.
+	ErrUnavailable = errors.New("cluster: quorum unavailable")
+	// ErrTxnDone means the transaction already committed or aborted.
+	ErrTxnDone = errors.New("cluster: transaction finished")
+)
+
+// ConflictError reports a lock conflict that exhausted the retry budget.
+// It wraps ErrConflict, so errors.Is(err, ErrConflict) still matches;
+// errors.As exposes the detail.
+type ConflictError struct {
+	// Item is the data item whose lock could not be acquired.
+	Item string
+	// Txn is the transaction that gave up.
+	Txn TxnID
+	// Phase is the quorum phase that conflicted ("read", "write",
+	// "reconfigure").
+	Phase string
+	// Attempts is how many times the phase was tried (first try included).
+	Attempts int
+	// Responded lists the DMs that answered the final attempt (sorted);
+	// DMs that reported the conflict are among them.
+	Responded []string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf(
+		"cluster: %s phase of %s on item %q hit a lock conflict after %d attempt(s) (responding DMs: %s); another transaction holds the lock — retry with backoff or raise WithLockRetries",
+		e.Phase, e.Txn, e.Item, e.Attempts, dmList(e.Responded))
+}
+
+func (e *ConflictError) Unwrap() error { return ErrConflict }
+
+// UnavailableError reports that a quorum phase could not assemble any
+// read or write quorum from the replicas that answered. It wraps
+// ErrUnavailable.
+type UnavailableError struct {
+	// Item is the data item being accessed.
+	Item string
+	// Txn is the transaction that failed.
+	Txn TxnID
+	// Phase is the quorum phase that failed ("read", "write",
+	// "reconfigure", "commit", "abort").
+	Phase string
+	// Attempts is how many times the phase was tried.
+	Attempts int
+	// Responded lists the DMs that answered (sorted).
+	Responded []string
+	// Missing lists configured DMs that never answered (sorted) —
+	// crashed, partitioned, or too slow for the call timeout.
+	Missing []string
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf(
+		"cluster: %s phase of %s on item %q found no quorum after %d attempt(s): heard from %s, missing %s — check partitions/crashes or raise WithCallTimeout",
+		e.Phase, e.Txn, e.Item, e.Attempts, dmList(e.Responded), dmList(e.Missing))
+}
+
+func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
+
+func dmList(dms []string) string {
+	if len(dms) == 0 {
+		return "none"
+	}
+	sorted := append([]string(nil), dms...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/quorum"
+)
+
+// memberResp pairs a replica's answer with its name, so the read phase can
+// fold versions and repair stale members afterwards.
+type memberResp struct {
+	dm   string
+	resp ReadResp
+}
+
+// collector is the pure state machine of one first-to-quorum fan-out: it
+// tracks which replicas were asked, which answered how, and whether the
+// responses received so far cover any quorum. It has no concurrency of its
+// own — runPhase drives it from a single goroutine — which keeps it
+// directly unit-testable.
+type collector struct {
+	quorums []quorum.Set
+
+	issued  map[string]int // request copies sent, per DM
+	replied map[string]int // responses received, per DM (any kind)
+	granted map[string]bool
+	held    map[string]bool // grant reported a pre-existing lock
+	busy    map[string]bool // DM refused for a lock conflict at least once
+	resps   map[string]memberResp
+	dups    int // responses beyond the first, per DM, summed
+}
+
+func newCollector(quorums []quorum.Set) *collector {
+	return &collector{
+		quorums: quorums,
+		issued:  map[string]int{},
+		replied: map[string]int{},
+		granted: map[string]bool{},
+		held:    map[string]bool{},
+		busy:    map[string]bool{},
+		resps:   map[string]memberResp{},
+	}
+}
+
+// issue records that one request copy was sent to dm.
+func (c *collector) issue(dm string) { c.issued[dm]++ }
+
+// reply folds one response in. Responses past the first per DM are counted
+// as duplicates, but a grant always registers even if an earlier copy was
+// refused: the DM holds a lock for us now, and forgetting that would leak
+// it. The first grant's payload wins — its Held bit is the one that
+// reflects the lock's true provenance.
+func (c *collector) reply(dm string, granted, busy, held bool, m memberResp) {
+	c.replied[dm]++
+	if c.replied[dm] > 1 {
+		c.dups++
+	}
+	if busy {
+		c.busy[dm] = true
+	}
+	if granted && !c.granted[dm] {
+		c.granted[dm] = true
+		c.held[dm] = held
+		c.resps[dm] = m
+	}
+}
+
+// done reports whether the grants so far cover some quorum.
+func (c *collector) done() bool {
+	_, ok := c.winner()
+	return ok
+}
+
+// winner returns the smallest quorum fully covered by grants, if any.
+func (c *collector) winner() (quorum.Set, bool) {
+	var best quorum.Set
+	for _, q := range c.quorums {
+		if best != nil && len(q) >= len(best) {
+			continue
+		}
+		if q.SubsetOf(c.granted) {
+			best = q
+		}
+	}
+	return best, best != nil
+}
+
+// outstanding reports whether dm has request copies in flight (or lost):
+// more issued than answered.
+func (c *collector) outstanding(dm string) bool {
+	return c.issued[dm] > c.replied[dm]
+}
+
+// hedgeTargets returns the DMs worth re-asking: no response yet and fewer
+// than max copies issued. Busy or refusing DMs have answered — re-sending
+// within the phase would just spin on the conflict.
+func (c *collector) hedgeTargets(targets []string, max int) []string {
+	var out []string
+	for _, dm := range targets {
+		if c.replied[dm] == 0 && c.issued[dm] < max {
+			out = append(out, dm)
+		}
+	}
+	return out
+}
+
+// sawBusy reports whether any DM refused for a lock conflict.
+func (c *collector) sawBusy() bool { return len(c.busy) > 0 }
+
+// respondedDMs returns every DM that answered at least once, sorted.
+func (c *collector) respondedDMs() []string {
+	out := make([]string, 0, len(c.replied))
+	for dm := range c.replied {
+		out = append(out, dm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// missingDMs returns the targets that never answered, sorted.
+func (c *collector) missingDMs(targets []string) []string {
+	var out []string
+	for _, dm := range targets {
+		if c.replied[dm] == 0 {
+			out = append(out, dm)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// grantedResps returns the payloads of all granting DMs, sorted by name.
+func (c *collector) grantedResps() []memberResp {
+	out := make([]memberResp, 0, len(c.resps))
+	for _, m := range c.resps {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dm < out[j].dm })
+	return out
+}
+
+// winnerResps returns the payloads of the winning quorum's members only.
+// Folding versions over just the winner is sufficient: the winner is a
+// read-quorum, and quorum intersection guarantees it contains the highest
+// committed version any configuration write-quorum installed.
+func (c *collector) winnerResps(win quorum.Set) []memberResp {
+	out := make([]memberResp, 0, len(win))
+	for dm := range win {
+		if m, ok := c.resps[dm]; ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dm < out[j].dm })
+	return out
+}
+
+// phaseSpec describes one quorum phase to fan out.
+type phaseSpec struct {
+	item    string
+	targets []string     // every replica the phase may ask
+	quorums []quorum.Set // the quorums any of which completes the phase
+	req     any          // the request, Seq already stamped
+	seq     int          // the phase's sequence number
+	isWrite bool         // write phases never release extra locks (intents need them)
+}
+
+// phaseResp is one RPC outcome delivered to the fan-out loop.
+type phaseResp struct {
+	dm  string
+	raw any
+	err error
+}
+
+// parseGrant normalizes a DM response. Read payloads are preserved; write
+// acks carry no state.
+func parseGrant(raw any) (granted, busy, held bool, resp ReadResp) {
+	switch v := raw.(type) {
+	case ReadResp:
+		return v.OK, v.Busy, v.Held, v
+	case WriteResp:
+		return v.OK, v.Busy, v.Held, ReadResp{}
+	}
+	return false, false, false, ReadResp{}
+}
+
+// runPhase broadcasts spec.req to every target concurrently and returns as
+// soon as the grants cover any of spec.quorums ("first to quorum wins"),
+// all targets have answered without covering one, or the phase times out.
+// While waiting it hedges: every hedgeDelay it re-issues the request to
+// targets that have not answered at all, up to hedgeMax copies each, so
+// one slow replica cannot stall the phase. Returning cancels the phase
+// context, abandoning in-flight copies; settlePhase squares that with the
+// DMs.
+func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
+	st := t.store.opts
+	col := newCollector(spec.quorums)
+	pctx, cancel := context.WithTimeout(ctx, st.callTimeout)
+	defer cancel()
+
+	results := make(chan phaseResp, len(spec.targets)*st.hedgeMax)
+	inflight := 0
+	issue := func(dm string) {
+		col.issue(dm)
+		inflight++
+		go func() {
+			raw, err := t.store.client.Call(pctx, dm, spec.req)
+			results <- phaseResp{dm: dm, raw: raw, err: err}
+		}()
+	}
+	for _, dm := range spec.targets {
+		issue(dm)
+	}
+
+	var hedgeC <-chan time.Time
+	if st.hedgeDelay > 0 && st.hedgeMax > 1 {
+		tick := time.NewTicker(st.hedgeDelay)
+		defer tick.Stop()
+		hedgeC = tick.C
+	}
+
+	for {
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				granted, busy, held, resp := parseGrant(r.raw)
+				if busy {
+					t.store.Stats.BusyRetries.Inc()
+				}
+				col.reply(r.dm, granted, busy, held, memberResp{dm: r.dm, resp: resp})
+			}
+			if col.done() {
+				return col
+			}
+			if inflight == 0 {
+				// Every copy resolved without covering a quorum. Hedging
+				// cannot help: it only re-asks targets that never answered,
+				// and those have no copies left in flight to answer.
+				return col
+			}
+		case <-hedgeC:
+			for _, dm := range col.hedgeTargets(spec.targets, st.hedgeMax) {
+				t.store.Stats.Hedges.Inc()
+				issue(dm)
+			}
+		case <-pctx.Done():
+			return col
+		}
+	}
+}
+
+// settlePhase reconciles a finished fan-out with the DMs. Every replica
+// that granted — or that might still grant to an abandoned in-flight copy
+// — is marked touched so commit/abort control reaches it. Then, if the
+// phase found a winning quorum, the grants it does not need are retracted:
+// extra fresh read-phase locks are released outright (Moss fairness — a
+// lock the transaction never uses should not block others), and abandoned
+// copies are tombstoned so a late grant at the DM frees itself. Locks the
+// transaction already held from earlier phases, and write locks backing
+// buffered intentions, are never released; the DM enforces the same
+// guards.
+func (t *Txn) settlePhase(spec phaseSpec, col *collector) {
+	win, won := col.winner()
+	for _, dm := range spec.targets {
+		switch {
+		case col.granted[dm]:
+			t.touch(dm)
+			if won && !spec.isWrite && !win.Contains(dm) && !col.held[dm] {
+				t.store.Stats.ExtraLockReleases.Inc()
+				t.store.client.Notify(dm, ReleaseReq{Txn: t.id, Item: spec.item, Seq: spec.seq})
+			}
+		case col.outstanding(dm):
+			t.touchTentative(dm)
+			t.store.client.Notify(dm, ReleaseReq{Txn: t.id, Item: spec.item, Seq: spec.seq})
+		}
+	}
+}
+
+// union returns the sorted union of the quorums' members — the targets of
+// a phase that may be completed by any of them.
+func union(qs []quorum.Set) []string {
+	set := map[string]bool{}
+	for _, q := range qs {
+		for n := range q {
+			set[n] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,20 +13,28 @@ const (
 )
 
 // ReadReq asks a DM for its replica state of an item, acquiring a lock of
-// the given mode for the transaction first.
+// the given mode for the transaction first. Seq identifies the quorum
+// phase that issued the request (monotonic per transaction); hedged
+// duplicates of one phase share a Seq, and a ReleaseReq carrying the same
+// Seq tombstones the phase so late copies cannot re-grant. Seq 0 means
+// "no phase tracking" (the sequential ablation path).
 type ReadReq struct {
 	Txn  TxnID
 	Item string
 	Lock LockMode
+	Seq  int
 }
 
 // ReadResp carries the replica state visible to the transaction (committed
 // state plus the intentions of its ancestors). Busy reports a lock
 // conflict; the caller backs off and retries, which doubles as the
-// cluster's deadlock resolution.
+// cluster's deadlock resolution. Held reports that the transaction already
+// held a lock on the item before this request — such locks belong to an
+// earlier phase and must never be released by this one.
 type ReadResp struct {
 	OK   bool
 	Busy bool
+	Held bool
 	VN   int
 	Val  any
 	Gen  int
@@ -34,12 +42,14 @@ type ReadResp struct {
 }
 
 // WriteReq buffers a versioned value write as an intention of the
-// transaction, acquiring a write lock first.
+// transaction, acquiring a write lock first. Seq is the issuing phase, as
+// in ReadReq.
 type WriteReq struct {
 	Txn  TxnID
 	Item string
 	VN   int
 	Val  any
+	Seq  int
 }
 
 // ConfigWriteReq buffers a configuration write (generation bump) as an
@@ -49,12 +59,28 @@ type ConfigWriteReq struct {
 	Item string
 	Gen  int
 	Cfg  quorum.Config
+	Seq  int
 }
 
-// WriteResp acknowledges a write (or reports a lock conflict).
+// WriteResp acknowledges a write (or reports a lock conflict). Held is as
+// in ReadResp.
 type WriteResp struct {
 	OK   bool
 	Busy bool
+	Held bool
+}
+
+// ReleaseReq retracts phase Seq of a transaction at one replica: the
+// replica records a tombstone so late (hedged or cancelled) copies of the
+// phase's request cannot re-grant, and frees the lock if — and only if —
+// that phase created it, no later phase re-granted it, and no buffered
+// intention depends on it. Sent fire-and-forget when a first-to-quorum
+// fan-out completes with more grants than the winning quorum needs, so
+// Moss locking fairness is preserved.
+type ReleaseReq struct {
+	Txn  TxnID
+	Item string
+	Seq  int
 }
 
 // CommitSubReq promotes a subtransaction's locks and intentions to its

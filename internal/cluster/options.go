@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// settings is the resolved store configuration. Construct one with
+// resolve(...); zero values never appear unless an option explicitly set
+// them.
+type settings struct {
+	callTimeout  time.Duration
+	hedgeDelay   time.Duration
+	hedgeMax     int
+	lockRetries  int
+	retryBackoff time.Duration
+	txnRetries   int
+	readRepair   bool
+	bothQuorums  bool
+	sequential   bool
+	seed         int64
+	trace        *trace.Log
+}
+
+func defaultSettings() settings {
+	return settings{
+		callTimeout:  100 * time.Millisecond,
+		hedgeDelay:   5 * time.Millisecond,
+		hedgeMax:     3,
+		lockRetries:  12,
+		retryBackoff: time.Millisecond,
+		txnRetries:   8,
+	}
+}
+
+// An Option configures a Store. Unlike the deprecated Options struct,
+// options state intent explicitly: WithLockRetries(0) means "no retries",
+// not "use the default".
+type Option func(*settings)
+
+// resolve applies opts over the defaults.
+func resolve(opts []Option) settings {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// WithCallTimeout bounds each quorum phase (the whole fan-out, hedges
+// included) and each control RPC. Default 100ms.
+func WithCallTimeout(d time.Duration) Option {
+	return func(s *settings) { s.callTimeout = d }
+}
+
+// WithHedgeDelay sets how long a fan-out waits before re-issuing a phase's
+// request to replicas that have not answered. Zero disables hedging.
+// Default 5ms.
+func WithHedgeDelay(d time.Duration) Option {
+	return func(s *settings) { s.hedgeDelay = d }
+}
+
+// WithHedgeMax caps the total request copies sent to one replica in one
+// phase (first send included). Values below 1 are treated as 1. Default 3.
+func WithHedgeMax(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			n = 1
+		}
+		s.hedgeMax = n
+	}
+}
+
+// WithLockRetries sets how many times a phase retries after a lock
+// conflict before the transaction aborts with a ConflictError. Zero means
+// fail on the first conflict. Default 12.
+func WithLockRetries(n int) Option {
+	return func(s *settings) { s.lockRetries = n }
+}
+
+// WithRetryBackoff sets the base backoff between lock-conflict retries
+// (jittered, grows linearly with the attempt). Default 1ms.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(s *settings) { s.retryBackoff = d }
+}
+
+// WithTxnRetries sets how many times Run restarts a transaction that
+// aborted with ErrConflict. Zero means no restarts. Default 8.
+func WithTxnRetries(n int) Option {
+	return func(s *settings) { s.txnRetries = n }
+}
+
+// WithReadRepair enables Gifford read repair: quorum reads that observe
+// stale replicas push the quorum-maximum version to them in the
+// background. Default off.
+func WithReadRepair(on bool) Option {
+	return func(s *settings) { s.readRepair = on }
+}
+
+// WithWriteConfigToBothQuorums makes Reconfigure write the new
+// configuration to a write quorum of the new configuration as well as the
+// old one (Section 4's belt-and-suspenders variant). Default off: the old
+// write quorum alone is sufficient.
+func WithWriteConfigToBothQuorums(on bool) Option {
+	return func(s *settings) { s.bothQuorums = on }
+}
+
+// WithSequentialPhases restores the seed's quorum assembly: pick one
+// shuffled quorum set per attempt and query only it, instead of the
+// first-to-quorum fan-out. Kept as an ablation baseline for benchmarks.
+func WithSequentialPhases(on bool) Option {
+	return func(s *settings) { s.sequential = on }
+}
+
+// WithSeed seeds the store's private RNG (quorum shuffling, backoff
+// jitter) for reproducible runs. Default 0.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithTrace directs structured per-operation events (reads, writes,
+// commits, aborts, reconfigurations) to the given trace log. Nil disables
+// tracing.
+func WithTrace(l *trace.Log) Option {
+	return func(s *settings) { s.trace = l }
+}
+
+// Options is the legacy flat configuration struct.
+//
+// Deprecated: use Open with functional options instead. The struct cannot
+// distinguish an explicit zero from "unset" — Options{LockRetries: 0}
+// silently becomes 12 retries — which the option constructors fix. It is
+// kept so existing callers compile; zero fields mean "use the default",
+// exactly as before.
+type Options struct {
+	// CallTimeout bounds each individual RPC / quorum phase.
+	CallTimeout time.Duration
+	// LockRetries is how many times to retry a busy lock before aborting.
+	LockRetries int
+	// RetryBackoff is the base backoff between lock retries.
+	RetryBackoff time.Duration
+	// TxnRetries is how many times Run restarts a conflicted transaction.
+	TxnRetries int
+	// ReadRepair enables background repair of stale replicas.
+	ReadRepair bool
+	// WriteConfigToBothQuorums writes new configs to both old and new
+	// write quorums during reconfiguration.
+	WriteConfigToBothQuorums bool
+	// Seed seeds quorum shuffling and backoff jitter.
+	Seed int64
+	// Trace, when set, receives a structured event per logical operation.
+	Trace *trace.Log
+}
+
+// options converts the legacy struct to functional options, preserving
+// its historical zero-means-default semantics.
+func (o Options) options() []Option {
+	var opts []Option
+	if o.CallTimeout > 0 {
+		opts = append(opts, WithCallTimeout(o.CallTimeout))
+	}
+	if o.LockRetries > 0 {
+		opts = append(opts, WithLockRetries(o.LockRetries))
+	}
+	if o.RetryBackoff > 0 {
+		opts = append(opts, WithRetryBackoff(o.RetryBackoff))
+	}
+	if o.TxnRetries > 0 {
+		opts = append(opts, WithTxnRetries(o.TxnRetries))
+	}
+	if o.ReadRepair {
+		opts = append(opts, WithReadRepair(true))
+	}
+	if o.WriteConfigToBothQuorums {
+		opts = append(opts, WithWriteConfigToBothQuorums(true))
+	}
+	if o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	if o.Trace != nil {
+		opts = append(opts, WithTrace(o.Trace))
+	}
+	return opts
+}

@@ -13,7 +13,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // ItemSpec describes one replicated logical data item: its initial value,
@@ -25,77 +24,30 @@ type ItemSpec struct {
 	Config  quorum.Config
 }
 
-// Options tune the client library.
-type Options struct {
-	// CallTimeout bounds each RPC (default 100ms).
-	CallTimeout time.Duration
-	// LockRetries is how many times a quorum phase is retried on lock
-	// conflicts or unreachable replicas before giving up (default 12).
-	LockRetries int
-	// RetryBackoff is the base backoff between retries, growing linearly
-	// (default 1ms).
-	RetryBackoff time.Duration
-	// TxnRetries is how many times Run restarts an aborted transaction
-	// (default 8). Restart-on-conflict is the cluster's deadlock
-	// resolution.
-	TxnRetries int
-	// ReadRepair propagates the winning (version, value) of a quorum read
-	// to the stale replicas that answered with older versions — Gifford's
-	// update of out-of-date copies, done fire-and-forget off the read
-	// path.
-	ReadRepair bool
-	// WriteConfigToBothQuorums reproduces Gifford's original
-	// reconfiguration rule (write the new configuration to both an old and
-	// a new write-quorum); the paper observes an old write-quorum alone
-	// suffices, which is the default. Benchmarked as ablation A1.
-	WriteConfigToBothQuorums bool
-	// Seed drives quorum selection randomness.
-	Seed int64
-	// Trace, when non-nil, receives a structured event per logical
-	// operation, commit, abort, and reconfiguration.
-	Trace *trace.Log
-}
-
-func (o Options) withDefaults() Options {
-	if o.CallTimeout <= 0 {
-		o.CallTimeout = 100 * time.Millisecond
-	}
-	if o.LockRetries <= 0 {
-		o.LockRetries = 12
-	}
-	if o.RetryBackoff <= 0 {
-		o.RetryBackoff = time.Millisecond
-	}
-	if o.TxnRetries <= 0 {
-		o.TxnRetries = 8
-	}
-	return o
-}
-
-// Exported error conditions.
-var (
-	// ErrConflict reports that a quorum phase kept losing lock conflicts;
-	// Run restarts the transaction when it sees this.
-	ErrConflict = errors.New("cluster: lock conflict")
-	// ErrUnavailable reports that no quorum could be assembled (too many
-	// replicas down or unreachable).
-	ErrUnavailable = errors.New("cluster: quorum unavailable")
-	// ErrTxnDone reports use of a transaction after it finished.
-	ErrTxnDone = errors.New("cluster: transaction already finished")
-)
-
 // Stats aggregates client-side operation metrics.
 type Stats struct {
-	Reads        metrics.Counter
-	Writes       metrics.Counter
-	Commits      metrics.Counter
-	Aborts       metrics.Counter
-	Restarts     metrics.Counter
-	BusyRetries  metrics.Counter
-	Repairs      metrics.Counter
-	ReadLatency  metrics.Histogram
-	WriteLatency metrics.Histogram
-	TxnLatency   metrics.Histogram
+	Reads       metrics.Counter
+	Writes      metrics.Counter
+	Commits     metrics.Counter
+	Aborts      metrics.Counter
+	Restarts    metrics.Counter
+	BusyRetries metrics.Counter
+	Repairs     metrics.Counter
+	// Hedges counts duplicate request copies sent to replicas that had not
+	// answered within the hedge delay.
+	Hedges metrics.Counter
+	// ExtraLockReleases counts read-phase locks retracted because the
+	// fan-out assembled its quorum without them.
+	ExtraLockReleases metrics.Counter
+	ReadLatency       metrics.Histogram
+	WriteLatency      metrics.Histogram
+	TxnLatency        metrics.Histogram
+	// ReadPhaseLatency and WritePhaseLatency time individual quorum
+	// phases (one fan-out or one sequential quorum attempt), hedges
+	// included; ControlLatency times commit/abort propagation rounds.
+	ReadPhaseLatency  metrics.Histogram
+	WritePhaseLatency metrics.Histogram
+	ControlLatency    metrics.Histogram
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -103,7 +55,7 @@ type Stats struct {
 type Store struct {
 	net    *sim.Network
 	client *sim.Node
-	opts   Options
+	opts   settings
 
 	items   map[string]ItemSpec
 	servers []*sim.Node
@@ -126,29 +78,42 @@ type genCfg struct {
 	cfg quorum.Config
 }
 
-// New spawns one DM server node per replica and a client node, returning
+// Open spawns one DM server node per replica and a client node, returning
 // the store handle.
-func New(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
-	return newStore(net, items, opts, true)
+func Open(net *sim.Network, items []ItemSpec, opts ...Option) (*Store, error) {
+	return newStore(net, items, resolve(opts), true)
 }
 
-// NewClient attaches an additional, independent client to a cluster whose
-// DM servers were already spawned by New over the same network and items.
+// OpenClient attaches an additional, independent client to a cluster whose
+// DM servers were already spawned by Open over the same network and items.
 // Each client keeps its own cached configurations, so reconfigurations
 // performed through one client are discovered by others via the
 // generation-number chase of the read rule — the realistic stale-client
 // scenario of Section 4.
-func NewClient(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
-	return newStore(net, items, opts, false)
+func OpenClient(net *sim.Network, items []ItemSpec, opts ...Option) (*Store, error) {
+	return newStore(net, items, resolve(opts), false)
 }
 
-func newStore(net *sim.Network, items []ItemSpec, opts Options, spawnServers bool) (*Store, error) {
-	opts = opts.withDefaults()
+// New is Open taking the legacy Options struct.
+//
+// Deprecated: use Open with functional options.
+func New(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
+	return Open(net, items, opts.options()...)
+}
+
+// NewClient is OpenClient taking the legacy Options struct.
+//
+// Deprecated: use OpenClient with functional options.
+func NewClient(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
+	return OpenClient(net, items, opts.options()...)
+}
+
+func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool) (*Store, error) {
 	s := &Store{
 		net:      net,
-		opts:     opts,
+		opts:     st,
 		items:    map[string]ItemSpec{},
-		rng:      rand.New(rand.NewSource(opts.Seed)),
+		rng:      rand.New(rand.NewSource(st.seed)),
 		believed: map[string]genCfg{},
 	}
 	seen := map[string]bool{}
@@ -172,7 +137,7 @@ func newStore(net *sim.Network, items []ItemSpec, opts Options, spawnServers boo
 		}
 	}
 	s.clientID = fmt.Sprintf("c%d", clientSeq.Add(1))
-	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, opts.Seed), nil)
+	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, st.seed), nil)
 	return s, nil
 }
 
@@ -200,8 +165,8 @@ func (s *Store) Items() []ItemSpec {
 
 // traceEvent records an event when tracing is enabled.
 func (s *Store) traceEvent(actor, kind, format string, args ...any) {
-	if s.opts.Trace != nil {
-		s.opts.Trace.Add(actor, kind, format, args...)
+	if s.opts.trace != nil {
+		s.opts.trace.Add(actor, kind, format, args...)
 	}
 }
 
@@ -232,7 +197,8 @@ func (s *Store) observeConfig(item string, gen int, cfg quorum.Config) {
 }
 
 // shuffledQuorums returns the quorums in a random order, smallest first
-// among equal random keys so cheap quorums are preferred.
+// among equal random keys so cheap quorums are preferred. Used by the
+// sequential ablation path.
 func (s *Store) shuffledQuorums(qs []quorum.Set) []quorum.Set {
 	out := append([]quorum.Set(nil), qs...)
 	s.mu.Lock()
@@ -246,7 +212,7 @@ func (s *Store) shuffledQuorums(qs []quorum.Set) []quorum.Set {
 // expires. The jitter breaks restart symmetry between conflicting
 // transactions, which plain linear backoff can lock into livelock.
 func (s *Store) backoff(ctx context.Context, attempt int) {
-	base := s.opts.RetryBackoff * time.Duration(attempt+1)
+	base := s.opts.retryBackoff * time.Duration(attempt+1)
 	s.mu.Lock()
 	d := base/2 + time.Duration(s.rng.Int63n(int64(base)))
 	s.mu.Unlock()
@@ -256,16 +222,31 @@ func (s *Store) backoff(ctx context.Context, attempt int) {
 	}
 }
 
+// touchLevel grades how certain the client is that a DM holds state for
+// the transaction.
+type touchLevel int
+
+const (
+	// touchMaybe: a request copy to the DM was abandoned in flight — it
+	// may have granted after the phase completed. Control messages are
+	// sent best-effort; the DM owes us nothing we can prove.
+	touchMaybe touchLevel = iota + 1
+	// touchGranted: the DM acknowledged a grant. Control messages must be
+	// acknowledged or the operation fails.
+	touchGranted
+)
+
 // Txn is a (possibly nested) transaction handle. A Txn is not safe for
-// concurrent use; run concurrent work in subtransactions via SubAsync or
+// concurrent use; run concurrent work in subtransactions via Sub or
 // separate top-level transactions.
 type Txn struct {
 	store *Store
 	id    TxnID
 
 	mu       sync.Mutex
-	touched  map[string]bool
+	touched  map[string]touchLevel
 	childSeq int
+	phaseSeq int
 	done     bool
 }
 
@@ -274,7 +255,17 @@ func (t *Txn) ID() TxnID { return t.id }
 
 func (t *Txn) touch(dm string) {
 	t.mu.Lock()
-	t.touched[dm] = true
+	t.touched[dm] = touchGranted
+	t.mu.Unlock()
+}
+
+// touchTentative records a DM an abandoned in-flight request copy may have
+// granted at. A confirmed grant always outranks it.
+func (t *Txn) touchTentative(dm string) {
+	t.mu.Lock()
+	if t.touched[dm] < touchMaybe {
+		t.touched[dm] = touchMaybe
+	}
 	t.mu.Unlock()
 }
 
@@ -289,6 +280,34 @@ func (t *Txn) touchedDMs() []string {
 	return out
 }
 
+// controlSets partitions the touched DMs into those whose control acks are
+// required (confirmed grants) and those handled best-effort (tentative).
+func (t *Txn) controlSets() (required, tentative []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for dm, lvl := range t.touched {
+		if lvl >= touchGranted {
+			required = append(required, dm)
+		} else {
+			tentative = append(tentative, dm)
+		}
+	}
+	sort.Strings(required)
+	sort.Strings(tentative)
+	return required, tentative
+}
+
+// nextSeq issues the transaction's next quorum-phase sequence number.
+// Seq numbers order a transaction's phases at each DM, letting a
+// ReleaseReq tombstone exactly one phase.
+func (t *Txn) nextSeq() int {
+	t.mu.Lock()
+	t.phaseSeq++
+	s := t.phaseSeq
+	t.mu.Unlock()
+	return s
+}
+
 // readResult aggregates a completed read phase.
 type readResult struct {
 	vn  int
@@ -297,17 +316,166 @@ type readResult struct {
 	cfg quorum.Config
 }
 
+// readPhase assembles a read-quorum of the item's current configuration,
+// chasing generation numbers upward as newer configurations are discovered
+// (Section 4's read rule), and returns the highest-version value seen.
+//
+// The fan-out path broadcasts to every replica any read-quorum mentions
+// and completes on the first covered quorum; versions are folded over the
+// winning quorum only, because grants beyond it are released (folding a
+// released replica's value would use state no lock protects, breaking
+// two-phase locking). Quorum intersection makes the winner sufficient:
+// any read-quorum contains the highest version any write-quorum committed.
+func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readResult, error) {
+	it, ok := t.store.items[item]
+	if !ok {
+		return readResult{}, fmt.Errorf("cluster: unknown item %q", item)
+	}
+	if t.store.opts.sequential {
+		return t.readPhaseSequential(ctx, item, mode)
+	}
+	believed := t.store.config(item)
+	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
+	sawBusy := false
+	attempts := 0
+	var lastCol *collector
+	var lastTargets []string
+	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return readResult{}, err
+		}
+		attempts++
+		start := time.Now()
+		seq := t.nextSeq()
+		spec := phaseSpec{
+			item:    item,
+			targets: union(believed.cfg.R),
+			quorums: believed.cfg.R,
+			req:     ReadReq{Txn: t.id, Item: item, Lock: mode, Seq: seq},
+			seq:     seq,
+		}
+		col := t.runPhase(ctx, spec)
+		t.store.Stats.ReadPhaseLatency.ObserveSince(start)
+		t.settlePhase(spec, col)
+		lastCol, lastTargets = col, spec.targets
+		if col.sawBusy() {
+			sawBusy = true
+		}
+		// Generation discovery may use every grant, winner or not: a newer
+		// generation only redirects the next attempt, which assembles a
+		// proper quorum of the newer configuration on its own.
+		for _, m := range col.grantedResps() {
+			if m.resp.Gen > res.gen {
+				res.gen, res.cfg = m.resp.Gen, m.resp.Cfg
+				t.store.observeConfig(item, m.resp.Gen, m.resp.Cfg)
+			}
+		}
+		win, won := col.winner()
+		if won && res.gen <= believed.gen {
+			winner := col.winnerResps(win)
+			for _, m := range winner {
+				if m.resp.VN > res.vn {
+					res.vn, res.val = m.resp.VN, m.resp.Val
+				}
+				if m.resp.VN == res.vn && m.resp.Val != nil {
+					res.val = m.resp.Val
+				}
+			}
+			if t.store.opts.readRepair {
+				t.store.repairStale(item, res, col.grantedResps())
+			}
+			return res, nil
+		}
+		if res.gen > believed.gen {
+			// A newer configuration was installed: re-read under it
+			// immediately — that is progress, not a conflict.
+			believed = genCfg{gen: res.gen, cfg: res.cfg}
+			continue
+		}
+		t.store.backoff(ctx, attempt)
+	}
+	if err := ctx.Err(); err != nil {
+		return readResult{}, err
+	}
+	if sawBusy {
+		return readResult{}, &ConflictError{
+			Item: item, Txn: t.id, Phase: "read",
+			Attempts: attempts, Responded: lastCol.respondedDMs(),
+		}
+	}
+	return readResult{}, &UnavailableError{
+		Item: item, Txn: t.id, Phase: "read",
+		Attempts: attempts, Responded: lastCol.respondedDMs(),
+		Missing: lastCol.missingDMs(lastTargets),
+	}
+}
+
+// readPhaseSequential is the seed's quorum assembly — pick one shuffled
+// quorum set per attempt and query only it — kept as the ablation baseline
+// (WithSequentialPhases) that the fan-out benchmarks compare against.
+func (t *Txn) readPhaseSequential(ctx context.Context, item string, mode LockMode) (readResult, error) {
+	it := t.store.items[item]
+	believed := t.store.config(item)
+	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
+	sawBusy := false
+	attempts := 0
+	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return readResult{}, err
+		}
+		progressed := false
+		for _, q := range t.store.shuffledQuorums(believed.cfg.R) {
+			attempts++
+			start := time.Now()
+			resps, busy, ok := t.queryQuorum(ctx, item, mode, q)
+			t.store.Stats.ReadPhaseLatency.ObserveSince(start)
+			if busy {
+				sawBusy = true
+			}
+			for _, m := range resps {
+				r := m.resp
+				if r.Gen > res.gen {
+					res.gen, res.cfg = r.Gen, r.Cfg
+					t.store.observeConfig(item, r.Gen, r.Cfg)
+				}
+				if r.VN > res.vn {
+					res.vn, res.val = r.VN, r.Val
+				}
+				if r.VN == res.vn && r.Val != nil {
+					res.val = r.Val
+				}
+			}
+			if !ok {
+				continue
+			}
+			if res.gen > believed.gen {
+				// A newer configuration was installed: re-read under it.
+				believed = genCfg{gen: res.gen, cfg: res.cfg}
+				progressed = true
+				break
+			}
+			if t.store.opts.readRepair {
+				t.store.repairStale(item, res, resps)
+			}
+			return res, nil
+		}
+		if !progressed {
+			t.store.backoff(ctx, attempt)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return readResult{}, err
+	}
+	if sawBusy {
+		return readResult{}, &ConflictError{Item: item, Txn: t.id, Phase: "read", Attempts: attempts}
+	}
+	return readResult{}, &UnavailableError{Item: item, Txn: t.id, Phase: "read", Attempts: attempts}
+}
+
 // queryQuorum issues ReadReqs to every member of q concurrently and
 // reports whether all granted and whether any refused for a lock conflict.
 // Members that grant are recorded as touched (they now hold locks for the
-// transaction) even if the quorum as a whole fails.
-// memberResp pairs a replica's answer with its name, so the read phase
-// can repair stale members afterwards.
-type memberResp struct {
-	dm   string
-	resp ReadResp
-}
-
+// transaction) even if the quorum as a whole fails. Sequential-path only.
 func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quorum.Set) (granted []memberResp, sawBusy, allOK bool) {
 	members := q.Names()
 	resps := make([]ReadResp, len(members))
@@ -317,7 +485,7 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 		wg.Add(1)
 		go func(i int, dm string) {
 			defer wg.Done()
-			cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 			defer cancel()
 			raw, err := t.store.client.Call(cctx, dm, ReadReq{Txn: t.id, Item: item, Lock: mode})
 			if err != nil {
@@ -348,64 +516,6 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 	return granted, sawBusy, allOK
 }
 
-// readPhase assembles a read-quorum of the item's current configuration,
-// chasing generation numbers upward as newer configurations are discovered
-// (Section 4's read rule), and returns the highest-version value seen.
-func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readResult, error) {
-	it, ok := t.store.items[item]
-	if !ok {
-		return readResult{}, fmt.Errorf("cluster: unknown item %q", item)
-	}
-	believed := t.store.config(item)
-	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
-	sawBusy := false
-	for attempt := 0; attempt <= t.store.opts.LockRetries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return readResult{}, err
-		}
-		progressed := false
-		for _, q := range t.store.shuffledQuorums(believed.cfg.R) {
-			resps, busy, ok := t.queryQuorum(ctx, item, mode, q)
-			if busy {
-				sawBusy = true
-			}
-			for _, m := range resps {
-				r := m.resp
-				if r.Gen > res.gen {
-					res.gen, res.cfg = r.Gen, r.Cfg
-					t.store.observeConfig(item, r.Gen, r.Cfg)
-				}
-				if r.VN > res.vn {
-					res.vn, res.val = r.VN, r.Val
-				}
-				if r.VN == res.vn && r.Val != nil {
-					res.val = r.Val
-				}
-			}
-			if !ok {
-				continue
-			}
-			if res.gen > believed.gen {
-				// A newer configuration was installed: re-read under it.
-				believed = genCfg{gen: res.gen, cfg: res.cfg}
-				progressed = true
-				break
-			}
-			if t.store.opts.ReadRepair {
-				t.store.repairStale(item, res, resps)
-			}
-			return res, nil
-		}
-		if !progressed {
-			t.store.backoff(ctx, attempt)
-		}
-	}
-	if sawBusy {
-		return readResult{}, fmt.Errorf("%w: read phase of %s for %s", ErrConflict, item, t.id)
-	}
-	return readResult{}, fmt.Errorf("%w: read phase of %s for %s", ErrUnavailable, item, t.id)
-}
-
 // repairStale fire-and-forgets the quorum read's winning (version, value)
 // to the replicas that answered with older version numbers. The DM applies
 // it only if still strictly newer and idle; losing the message is
@@ -416,17 +526,13 @@ func (s *Store) repairStale(item string, res readResult, resps []memberResp) {
 			continue
 		}
 		s.Stats.Repairs.Inc()
-		go func(dm string) {
-			ctx, cancel := context.WithTimeout(context.Background(), s.opts.CallTimeout)
-			defer cancel()
-			_, _ = s.client.Call(ctx, dm, RepairReq{Item: item, VN: res.vn, Val: res.val})
-		}(m.dm)
+		s.client.Notify(m.dm, RepairReq{Item: item, VN: res.vn, Val: res.val})
 	}
 }
 
 // Inspect returns a DM's committed replica state for tests and tooling.
 func (s *Store) Inspect(ctx context.Context, dm, item string) (InspectResp, error) {
-	cctx, cancel := context.WithTimeout(ctx, s.opts.CallTimeout)
+	cctx, cancel := context.WithTimeout(ctx, s.opts.callTimeout)
 	defer cancel()
 	raw, err := s.client.Call(cctx, dm, InspectReq{Item: item})
 	if err != nil {
@@ -439,15 +545,74 @@ func (s *Store) Inspect(ctx context.Context, dm, item string) (InspectResp, erro
 	return resp, nil
 }
 
-// writeQuorum sends req built by mk to every member of some write-quorum of
-// cfg, retrying across quorums and with backoff.
-func (t *Txn) writeQuorum(ctx context.Context, cfg quorum.Config, mk func() any) error {
+// writeQuorum fans the request built by mk out to every replica any
+// write-quorum of cfg mentions and completes on the first covered
+// write-quorum, retrying with backoff on conflicts. Replicas beyond the
+// winning quorum that granted keep their intentions — extra copies of a
+// committed write only help availability — so no locks are released.
+func (t *Txn) writeQuorum(ctx context.Context, item, phase string, cfg quorum.Config, mk func(seq int) any) error {
+	if t.store.opts.sequential {
+		return t.writeQuorumSequential(ctx, item, phase, cfg, mk)
+	}
 	sawBusy := false
-	for attempt := 0; attempt <= t.store.opts.LockRetries; attempt++ {
+	attempts := 0
+	var lastCol *collector
+	targets := union(cfg.W)
+	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		attempts++
+		start := time.Now()
+		seq := t.nextSeq()
+		spec := phaseSpec{
+			item:    item,
+			targets: targets,
+			quorums: cfg.W,
+			req:     mk(seq),
+			seq:     seq,
+			isWrite: true,
+		}
+		col := t.runPhase(ctx, spec)
+		t.store.Stats.WritePhaseLatency.ObserveSince(start)
+		t.settlePhase(spec, col)
+		lastCol = col
+		if col.sawBusy() {
+			sawBusy = true
+		}
+		if col.done() {
+			return nil
+		}
+		t.store.backoff(ctx, attempt)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if sawBusy {
+		return &ConflictError{
+			Item: item, Txn: t.id, Phase: phase,
+			Attempts: attempts, Responded: lastCol.respondedDMs(),
+		}
+	}
+	return &UnavailableError{
+		Item: item, Txn: t.id, Phase: phase,
+		Attempts: attempts, Responded: lastCol.respondedDMs(),
+		Missing: lastCol.missingDMs(targets),
+	}
+}
+
+// writeQuorumSequential is the seed's write path (one shuffled quorum set
+// at a time), kept as the ablation baseline.
+func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg quorum.Config, mk func(seq int) any) error {
+	sawBusy := false
+	attempts := 0
+	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		for _, q := range t.store.shuffledQuorums(cfg.W) {
+			attempts++
+			start := time.Now()
 			members := q.Names()
 			oks := make([]bool, len(members))
 			busy := make([]bool, len(members))
@@ -456,9 +621,9 @@ func (t *Txn) writeQuorum(ctx context.Context, cfg quorum.Config, mk func() any)
 				wg.Add(1)
 				go func(i int, dm string) {
 					defer wg.Done()
-					cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+					cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 					defer cancel()
-					raw, err := t.store.client.Call(cctx, dm, mk())
+					raw, err := t.store.client.Call(cctx, dm, mk(0))
 					if err != nil {
 						return
 					}
@@ -469,6 +634,7 @@ func (t *Txn) writeQuorum(ctx context.Context, cfg quorum.Config, mk func() any)
 				}(i, dm)
 			}
 			wg.Wait()
+			t.store.Stats.WritePhaseLatency.ObserveSince(start)
 			all := true
 			for i := range members {
 				if oks[i] {
@@ -487,10 +653,13 @@ func (t *Txn) writeQuorum(ctx context.Context, cfg quorum.Config, mk func() any)
 		}
 		t.store.backoff(ctx, attempt)
 	}
-	if sawBusy {
-		return fmt.Errorf("%w: write quorum for %s", ErrConflict, t.id)
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	return fmt.Errorf("%w: write quorum for %s", ErrUnavailable, t.id)
+	if sawBusy {
+		return &ConflictError{Item: item, Txn: t.id, Phase: phase, Attempts: attempts}
+	}
+	return &UnavailableError{Item: item, Txn: t.id, Phase: phase, Attempts: attempts}
 }
 
 // Read performs a logical read: quorum-read the item and return the value
@@ -505,7 +674,7 @@ func (t *Txn) Read(ctx context.Context, item string) (any, error) {
 		return nil, err
 	}
 	t.store.Stats.Reads.Inc()
-	t.store.Stats.ReadLatency.Observe(time.Since(start))
+	t.store.Stats.ReadLatency.ObserveSince(start)
 	t.store.traceEvent(string(t.id), "read", "%s = %v (vn %d)", item, res.val, res.vn)
 	return res.val, nil
 }
@@ -539,7 +708,7 @@ func (t *Txn) ReadForUpdate(ctx context.Context, item string) (any, error) {
 		return nil, err
 	}
 	t.store.Stats.Reads.Inc()
-	t.store.Stats.ReadLatency.Observe(time.Since(start))
+	t.store.Stats.ReadLatency.ObserveSince(start)
 	return res.val, nil
 }
 
@@ -555,13 +724,16 @@ func (t *Txn) Write(ctx context.Context, item string, val any) error {
 	if err != nil {
 		return err
 	}
-	req := WriteReq{Txn: t.id, Item: item, VN: res.vn + 1, Val: val}
-	if err := t.writeQuorum(ctx, res.cfg, func() any { return req }); err != nil {
+	vn := res.vn + 1
+	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
+		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
+	})
+	if err != nil {
 		return err
 	}
 	t.store.Stats.Writes.Inc()
-	t.store.Stats.WriteLatency.Observe(time.Since(start))
-	t.store.traceEvent(string(t.id), "write", "%s := %v (vn %d)", item, val, req.VN)
+	t.store.Stats.WriteLatency.ObserveSince(start)
+	t.store.traceEvent(string(t.id), "write", "%s := %v (vn %d)", item, val, vn)
 	return nil
 }
 
@@ -575,37 +747,91 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 	if err != nil {
 		return 0, err
 	}
-	req := WriteReq{Txn: t.id, Item: item, VN: res.vn + 1, Val: val}
-	if err := t.writeQuorum(ctx, res.cfg, func() any { return req }); err != nil {
+	vn := res.vn + 1
+	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
+		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
+	})
+	if err != nil {
 		return 0, err
 	}
 	t.store.Stats.Writes.Inc()
-	return req.VN, nil
+	return vn, nil
 }
 
-// control sends a commit/abort control message to each DM, retrying until
-// acknowledged or ctx expires.
-func (t *Txn) control(ctx context.Context, dms []string, req any) error {
-	var firstErr error
-	for _, dm := range dms {
-		acked := false
-		for attempt := 0; attempt <= t.store.opts.LockRetries && !acked; attempt++ {
-			cctx, cancel := context.WithTimeout(ctx, t.store.opts.CallTimeout)
+// tentativeControlRetries bounds control attempts to tentatively-touched
+// DMs. Their acks are not required — they may hold nothing at all — so a
+// few tries to clean up a possible late grant are enough; a crashed DM
+// must not stall commits it was never part of.
+const tentativeControlRetries = 2
+
+// control sends a commit/abort control message to every required DM and
+// every tentative DM concurrently. Required DMs (confirmed grants) are
+// retried until acknowledged or the retry budget runs out, and a missing
+// ack fails the call; tentative DMs (abandoned in-flight copies that may
+// have granted) are retried a few times and then given up on silently.
+func (t *Txn) control(ctx context.Context, required, tentative []string, req any) error {
+	if len(required) == 0 && len(tentative) == 0 {
+		return nil
+	}
+	start := time.Now()
+	errs := make([]error, len(required))
+	send := func(dm string, retries int) bool {
+		for attempt := 0; attempt <= retries; attempt++ {
+			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 			raw, err := t.store.client.Call(cctx, dm, req)
 			cancel()
 			if err == nil {
 				if ack, ok := raw.(Ack); ok && ack.OK {
-					acked = true
-					break
+					return true
 				}
 			}
 			t.store.backoff(ctx, attempt)
 		}
-		if !acked && firstErr == nil {
-			firstErr = fmt.Errorf("%w: no ack from %s", ErrUnavailable, dm)
+		return false
+	}
+	var wg sync.WaitGroup
+	for i, dm := range required {
+		wg.Add(1)
+		go func(i int, dm string) {
+			defer wg.Done()
+			if !send(dm, t.store.opts.lockRetries) {
+				errs[i] = fmt.Errorf("%w: no ack from %s", ErrUnavailable, dm)
+			}
+		}(i, dm)
+	}
+	// Tentative cleanup runs detached: the operation's outcome does not
+	// depend on it, and waiting would let a slow or dead replica the
+	// transaction never used stall every commit.
+	for _, dm := range tentative {
+		go send(dm, tentativeControlRetries)
+	}
+	wg.Wait()
+	t.store.Stats.ControlLatency.ObserveSince(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
+}
+
+// absorb merges a child's touched set into the parent, so the parent's
+// final commit or abort reaches every DM the child may have left state at
+// — including DMs a cancelled or failed child phase touched.
+func (t *Txn) absorb(child *Txn) {
+	child.mu.Lock()
+	merged := make(map[string]touchLevel, len(child.touched))
+	for dm, lvl := range child.touched {
+		merged[dm] = lvl
+	}
+	child.mu.Unlock()
+	t.mu.Lock()
+	for dm, lvl := range merged {
+		if t.touched[dm] < lvl {
+			t.touched[dm] = lvl
+		}
+	}
+	t.mu.Unlock()
 }
 
 // Sub runs fn in a subtransaction. If fn fails the subtransaction is
@@ -623,26 +849,27 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 	child := &Txn{
 		store:   t.store,
 		id:      TxnID(fmt.Sprintf("%s/%d", t.id, t.childSeq)),
-		touched: map[string]bool{},
+		touched: map[string]touchLevel{},
 	}
 	t.mu.Unlock()
 	if err := fn(child); err != nil {
 		child.abort(ctx)
+		// The child's DMs stay on the parent's control list: its abort is
+		// best-effort, and the top-level resolve must sweep any leftovers.
+		t.absorb(child)
 		return err
 	}
 	child.done = true
-	if err := t.control(ctx, child.touchedDMs(), CommitSubReq{Txn: child.id}); err != nil {
+	required, tentative := child.controlSets()
+	if err := t.control(ctx, required, tentative, CommitSubReq{Txn: child.id}); err != nil {
 		// Could not promote everywhere: the sub's effects would be
 		// partial, so abort it instead.
 		child.done = false
 		child.abort(ctx)
+		t.absorb(child)
 		return err
 	}
-	t.mu.Lock()
-	for dm := range child.touched {
-		t.touched[dm] = true
-	}
-	t.mu.Unlock()
+	t.absorb(child)
 	t.store.traceEvent(string(child.id), "sub-commit", "promoted to %s", t.id)
 	return nil
 }
@@ -652,30 +879,32 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 // top-level transaction resolves or on restart).
 func (t *Txn) abort(ctx context.Context) {
 	t.done = true
-	_ = t.control(ctx, t.touchedDMs(), AbortReq{Txn: t.id})
+	required, tentative := t.controlSets()
+	_ = t.control(ctx, required, tentative, AbortReq{Txn: t.id})
 	t.store.Stats.Aborts.Inc()
 	t.store.traceEvent(string(t.id), "abort", "discarded at %v", t.touchedDMs())
 }
 
 // Run executes fn as a top-level transaction, restarting it (with a fresh
-// transaction ID) up to Options.TxnRetries times when it aborts due to lock
+// transaction ID) up to WithTxnRetries times when it aborts due to lock
 // conflicts — the cluster's deadlock/livelock resolution.
 func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 	start := time.Now()
 	var err error
-	for attempt := 0; attempt <= s.opts.TxnRetries; attempt++ {
+	for attempt := 0; attempt <= s.opts.txnRetries; attempt++ {
 		t := &Txn{
 			store:   s,
 			id:      TxnID(fmt.Sprintf("%s.t%d", s.clientID, s.txnSeq.Add(1))),
-			touched: map[string]bool{},
+			touched: map[string]touchLevel{},
 		}
 		err = fn(t)
 		if err == nil {
-			err = t.control(ctx, t.touchedDMs(), CommitTopReq{Txn: t.id})
+			required, tentative := t.controlSets()
+			err = t.control(ctx, required, tentative, CommitTopReq{Txn: t.id})
 			if err == nil {
 				t.done = true
 				s.Stats.Commits.Inc()
-				s.Stats.TxnLatency.Observe(time.Since(start))
+				s.Stats.TxnLatency.ObserveSince(start)
 				s.traceEvent(string(t.id), "commit", "applied at %v", t.touchedDMs())
 				return nil
 			}
@@ -694,7 +923,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 // transaction, following Section 4: read (v, t, c, g) from a read-quorum of
 // the current configuration, write (v, t) to a write-quorum of the new
 // configuration, and write (c', g+1) to a write-quorum of the old one (and
-// also of the new one when WriteConfigToBothQuorums is set, Gifford's
+// also of the new one when WithWriteConfigToBothQuorums is set, Gifford's
 // original rule).
 func (s *Store) Reconfigure(ctx context.Context, item string, newCfg quorum.Config) error {
 	it, ok := s.items[item]
@@ -709,16 +938,20 @@ func (s *Store) Reconfigure(ctx context.Context, item string, newCfg quorum.Conf
 		if err != nil {
 			return err
 		}
-		vw := WriteReq{Txn: t.id, Item: item, VN: res.vn, Val: res.val}
-		if err := t.writeQuorum(ctx, newCfg, func() any { return vw }); err != nil {
+		err = t.writeQuorum(ctx, item, "reconfigure", newCfg, func(seq int) any {
+			return WriteReq{Txn: t.id, Item: item, VN: res.vn, Val: res.val, Seq: seq}
+		})
+		if err != nil {
 			return err
 		}
-		cw := ConfigWriteReq{Txn: t.id, Item: item, Gen: res.gen + 1, Cfg: newCfg}
-		if err := t.writeQuorum(ctx, res.cfg, func() any { return cw }); err != nil {
+		mkCfg := func(seq int) any {
+			return ConfigWriteReq{Txn: t.id, Item: item, Gen: res.gen + 1, Cfg: newCfg, Seq: seq}
+		}
+		if err := t.writeQuorum(ctx, item, "reconfigure", res.cfg, mkCfg); err != nil {
 			return err
 		}
-		if s.opts.WriteConfigToBothQuorums {
-			if err := t.writeQuorum(ctx, newCfg, func() any { return cw }); err != nil {
+		if s.opts.bothQuorums {
+			if err := t.writeQuorum(ctx, item, "reconfigure", newCfg, mkCfg); err != nil {
 				return err
 			}
 		}

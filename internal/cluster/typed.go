@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+)
+
+// ReadAs is Txn.Read with a typed result: it reads item and asserts the
+// value to T. A nil stored value yields T's zero value (an item never
+// written whose ItemSpec.Initial is nil). A value of any other type is an
+// error naming both types, so schema drift fails loudly instead of
+// panicking at the caller's type assertion.
+func ReadAs[T any](ctx context.Context, t *Txn, item string) (T, error) {
+	var zero T
+	v, err := t.Read(ctx, item)
+	if err != nil {
+		return zero, err
+	}
+	return as[T](item, v)
+}
+
+// ReadForUpdateAs is Txn.ReadForUpdate with a typed result, for
+// read-modify-write transactions.
+func ReadForUpdateAs[T any](ctx context.Context, t *Txn, item string) (T, error) {
+	var zero T
+	v, err := t.ReadForUpdate(ctx, item)
+	if err != nil {
+		return zero, err
+	}
+	return as[T](item, v)
+}
+
+// WriteAs is Txn.Write constrained to T, so a transaction using the typed
+// accessors cannot accidentally change an item's type mid-stream.
+func WriteAs[T any](ctx context.Context, t *Txn, item string, val T) error {
+	return t.Write(ctx, item, val)
+}
+
+func as[T any](item string, v any) (T, error) {
+	var zero T
+	if v == nil {
+		return zero, nil
+	}
+	typed, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("cluster: item %q holds %T, not %T", item, v, zero)
+	}
+	return typed, nil
+}

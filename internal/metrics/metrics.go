@@ -45,6 +45,13 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// ObserveSince records the time elapsed since t0 as one sample — the
+// common "time this phase" pattern without the time.Since noise at every
+// call site.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0))
+}
+
 // Summary holds the statistics of a histogram snapshot.
 type Summary struct {
 	Count int

@@ -85,3 +85,13 @@ func TestSummaryString(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	t0 := time.Now().Add(-10 * time.Millisecond)
+	h.ObserveSince(t0)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max < 10*time.Millisecond {
+		t.Errorf("ObserveSince sample = %+v, want one sample >= 10ms", s)
+	}
+}

@@ -42,6 +42,11 @@ type Stats struct {
 	ByType    map[string]int64
 }
 
+// latencyRange is a per-node delivery delay override.
+type latencyRange struct {
+	min, max time.Duration
+}
+
 // Network connects nodes. All methods are safe for concurrent use.
 type Network struct {
 	cfg Config
@@ -51,6 +56,7 @@ type Network struct {
 	inboxes  map[string]chan Message
 	crashed  map[string]bool
 	cut      map[string]bool // "a|b" with a<b: link severed
+	nodeLat  map[string]latencyRange
 	closed   bool
 	sent     int64
 	deliverd int64
@@ -71,6 +77,7 @@ func NewNetwork(cfg Config) *Network {
 		inboxes: map[string]chan Message{},
 		crashed: map[string]bool{},
 		cut:     map[string]bool{},
+		nodeLat: map[string]latencyRange{},
 		byType:  map[string]int64{},
 	}
 }
@@ -111,8 +118,17 @@ func (n *Network) Send(from, to string, payload any) {
 		n.mu.Unlock()
 		return
 	}
-	delay := n.cfg.MinLatency
-	if span := n.cfg.MaxLatency - n.cfg.MinLatency; span > 0 {
+	lo, hi := n.cfg.MinLatency, n.cfg.MaxLatency
+	// A per-node override applies to messages the node sends or receives;
+	// when both endpoints have one, the slower range wins — a message is
+	// only as fast as its slowest endpoint.
+	for _, id := range [2]string{from, to} {
+		if lr, ok := n.nodeLat[id]; ok && lr.min >= lo {
+			lo, hi = lr.min, lr.max
+		}
+	}
+	delay := lo
+	if span := hi - lo; span > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(span)))
 	}
 	n.wg.Add(1)
@@ -180,6 +196,22 @@ func (n *Network) Reconnect(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.cut, linkKey(a, b))
+}
+
+// SetNodeLatency overrides the delivery delay for messages to or from one
+// node, modeling a straggler (overloaded or distant) machine on an
+// otherwise fast network. Zero min and max clear the override.
+func (n *Network) SetNodeLatency(id string, min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if min == 0 && max == 0 {
+		delete(n.nodeLat, id)
+		return
+	}
+	if max < min {
+		max = min
+	}
+	n.nodeLat[id] = latencyRange{min: min, max: max}
 }
 
 // Stats returns a snapshot of the counters.

@@ -77,7 +77,9 @@ func (n *Node) loop(inbox <-chan Message) {
 					continue
 				}
 				resp := n.handler(m.From, p.Req)
-				n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
+				if p.ID != 0 {
+					n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
+				}
 			case reply:
 				n.mu.Lock()
 				ch := n.pending[p.ID]
@@ -111,6 +113,15 @@ func (n *Node) Call(ctx context.Context, to string, req any) (any, error) {
 	case <-n.stop:
 		return nil, errors.New("node shut down")
 	}
+}
+
+// Notify sends req to the node named to without waiting for — or ever
+// receiving — a reply: the envelope carries ID 0, which the receiver's
+// loop handles but does not answer. Use it for fire-and-forget protocol
+// messages (lock releases, read repair) where the sender cannot act on
+// the outcome anyway and a lost message is harmless.
+func (n *Node) Notify(to string, req any) {
+	n.net.Send(n.id, to, envelope{ID: 0, Req: req})
 }
 
 // Shutdown stops the node's loop and waits for it to exit.

@@ -236,3 +236,78 @@ func TestShutdownIdempotent(t *testing.T) {
 	n.Shutdown()
 	n.Shutdown() // second call must not panic
 }
+
+func TestSetNodeLatencyStraggler(t *testing.T) {
+	net := NewNetwork(Config{MinLatency: 10 * time.Microsecond, MaxLatency: 50 * time.Microsecond, Seed: 9})
+	defer net.Close()
+	fast := net.Register("fast")
+	slow := net.Register("slow")
+	net.SetNodeLatency("slow", 20*time.Millisecond, 25*time.Millisecond)
+
+	start := time.Now()
+	net.Send("a", "fast", 1)
+	<-fast
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("fast node took %v; override leaked onto other nodes", elapsed)
+	}
+
+	// The override applies to messages the straggler receives …
+	start = time.Now()
+	net.Send("a", "slow", 1)
+	<-slow
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("message to straggler took %v, want >= 20ms", elapsed)
+	}
+	// … and to messages it sends.
+	start = time.Now()
+	net.Send("slow", "fast", 1)
+	<-fast
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("message from straggler took %v, want >= 20ms", elapsed)
+	}
+
+	// Clearing the override restores the base latency.
+	net.SetNodeLatency("slow", 0, 0)
+	start = time.Now()
+	net.Send("a", "slow", 1)
+	<-slow
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("cleared straggler still took %v", elapsed)
+	}
+}
+
+func TestNotifyFireAndForget(t *testing.T) {
+	net := NewNetwork(Config{Seed: 10})
+	defer net.Close()
+	got := make(chan any, 1)
+	server := NewNode(net, "srv", func(from string, req any) any {
+		got <- req
+		return "reply-that-must-not-be-sent"
+	})
+	defer server.Shutdown()
+	client := NewNode(net, "cli", nil)
+	defer client.Shutdown()
+
+	client.Notify("srv", "ping")
+	select {
+	case req := <-got:
+		if req != "ping" {
+			t.Errorf("server saw %v", req)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("notify not delivered")
+	}
+	// No reply envelope may come back: the network's per-type counters
+	// would show a reply if one was sent.
+	time.Sleep(20 * time.Millisecond)
+	if n := net.Stats().ByType["sim.reply"]; n != 0 {
+		t.Errorf("notify generated %d replies, want 0", n)
+	}
+	// Calls on the same pair still work, so notify and RPC coexist.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, "srv", "ping2")
+	if err != nil || resp != "reply-that-must-not-be-sent" {
+		t.Errorf("call after notify = %v, %v", resp, err)
+	}
+}

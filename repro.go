@@ -20,6 +20,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -158,24 +159,95 @@ type (
 	Txn = cluster.Txn
 	// ClusterItem describes one replicated item of a cluster store.
 	ClusterItem = cluster.ItemSpec
+	// ClusterOption configures the store client (see the With… option
+	// constructors).
+	ClusterOption = cluster.Option
 	// ClusterOptions tunes the store client.
+	//
+	// Deprecated: pass ClusterOption values (WithCallTimeout, …) to
+	// OpenSimOptions instead.
 	ClusterOptions = cluster.Options
 	// Network is the simulated network.
 	Network = sim.Network
 	// NetworkConfig parameterizes the simulated network.
 	NetworkConfig = sim.Config
+	// ConflictError details a lock conflict that exhausted its retries.
+	ConflictError = cluster.ConflictError
+	// UnavailableError details a quorum phase that found no quorum.
+	UnavailableError = cluster.UnavailableError
+)
+
+// Cluster sentinel errors (match with errors.Is).
+var (
+	// ErrConflict is wrapped by every ConflictError.
+	ErrConflict = cluster.ErrConflict
+	// ErrUnavailable is wrapped by every UnavailableError.
+	ErrUnavailable = cluster.ErrUnavailable
+)
+
+// Store option constructors (re-exported from internal/cluster).
+var (
+	// WithCallTimeout bounds each quorum phase and control RPC.
+	WithCallTimeout = cluster.WithCallTimeout
+	// WithHedgeDelay sets the delay before re-issuing a phase's request to
+	// silent replicas; zero disables hedging.
+	WithHedgeDelay = cluster.WithHedgeDelay
+	// WithHedgeMax caps request copies per replica per phase.
+	WithHedgeMax = cluster.WithHedgeMax
+	// WithLockRetries sets the per-phase lock-conflict retry budget;
+	// zero means fail on the first conflict.
+	WithLockRetries = cluster.WithLockRetries
+	// WithRetryBackoff sets the base backoff between lock retries.
+	WithRetryBackoff = cluster.WithRetryBackoff
+	// WithTxnRetries sets how many times Run restarts a conflicted
+	// transaction.
+	WithTxnRetries = cluster.WithTxnRetries
+	// WithReadRepair enables background repair of stale replicas.
+	WithReadRepair = cluster.WithReadRepair
+	// WithSequentialPhases restores the seed's one-quorum-at-a-time
+	// assembly (ablation baseline).
+	WithSequentialPhases = cluster.WithSequentialPhases
+	// WithSeed seeds quorum shuffling and backoff jitter.
+	WithSeed = cluster.WithSeed
+	// WithTrace directs structured per-operation events to a trace log.
+	WithTrace = cluster.WithTrace
 )
 
 // OpenSim builds a simulated network with the given latency range and a
 // store over it. Close the store and then the network when done.
 func OpenSim(items []ClusterItem, minLatency, maxLatency time.Duration, seed int64) (*Store, *Network, error) {
-	net := sim.NewNetwork(sim.Config{MinLatency: minLatency, MaxLatency: maxLatency, Seed: seed})
-	store, err := cluster.New(net, items, cluster.Options{Seed: seed})
+	return OpenSimOptions(items, NetworkConfig{MinLatency: minLatency, MaxLatency: maxLatency, Seed: seed},
+		cluster.WithSeed(seed))
+}
+
+// OpenSimOptions is OpenSim with full control: an explicit network
+// configuration and any store options. Close the store and then the
+// network when done.
+func OpenSimOptions(items []ClusterItem, netCfg NetworkConfig, opts ...ClusterOption) (*Store, *Network, error) {
+	net := sim.NewNetwork(netCfg)
+	store, err := cluster.Open(net, items, opts...)
 	if err != nil {
 		net.Close()
 		return nil, nil, err
 	}
 	return store, net, nil
+}
+
+// ReadAs reads item inside t and asserts the value to T (zero value for
+// never-written nil items).
+func ReadAs[T any](ctx context.Context, t *Txn, item string) (T, error) {
+	return cluster.ReadAs[T](ctx, t, item)
+}
+
+// ReadForUpdateAs is ReadAs taking write locks, for read-modify-write
+// transactions.
+func ReadForUpdateAs[T any](ctx context.Context, t *Txn, item string) (T, error) {
+	return cluster.ReadForUpdateAs[T](ctx, t, item)
+}
+
+// WriteAs writes a T to item inside t.
+func WriteAs[T any](ctx context.Context, t *Txn, item string, val T) error {
+	return cluster.WriteAs[T](ctx, t, item, val)
 }
 
 // RenderTree draws a system's transaction tree in the style of the paper's
