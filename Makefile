@@ -1,23 +1,32 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench chaos fuzz verify
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package, surfacing
+# inter-test state leaks a fixed order would mask.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
-# The cluster and sim packages are the concurrency-heavy ones; run them
-# under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/sim/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Seeded chaos campaigns with full-history serializability checking. A
+# failing campaign prints its seed and the exact replay command.
+chaos:
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 10
+
+# Short coverage-guided fuzz pass over the quorum construction invariants.
+fuzz:
+	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 30s
 
 # CI entry point: everything tier-1 checks plus vet and the race pass.
 verify: build vet test race

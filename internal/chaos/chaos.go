@@ -1,0 +1,476 @@
+// Package chaos runs seeded, deterministic fault campaigns against a
+// replicated cluster store and checks every committed operation against
+// the serializability checker. A campaign interleaves rounds of randomized
+// nested-transaction workload with a fault scheduler that crashes and
+// restarts replicas, partitions them from the client, slows them down, and
+// injects message loss, duplication and bounded reordering — all driven by
+// one int64 seed, so a failing campaign replays exactly from its seed.
+//
+// Determinism engineering: fault transitions happen only between rounds,
+// behind a network Quiesce barrier, so no transaction ever spans a fault
+// toggle; the store runs with sequential quorum phases, no hedging,
+// synchronous control cleanup and a single workload worker, so the message
+// sequence on every network lane — and with it every per-lane fate stream
+// — is a pure function of the seed. Live mode (Config.Live) re-enables the
+// fan-out, hedging and concurrency for realism at the cost of exact
+// replay; histories are verified either way.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/cluster"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fault identifies one injectable fault class.
+type Fault string
+
+// The fault classes a campaign can inject.
+const (
+	FaultCrash     Fault = "crash"     // crash a replica, restart it later
+	FaultPartition Fault = "partition" // sever the client↔replica link
+	FaultStraggler Fault = "straggler" // per-node delivery latency
+	FaultDrop      Fault = "drop"      // network-wide message loss
+	FaultDup       Fault = "dup"       // network-wide message duplication
+	FaultReorder   Fault = "reorder"   // bounded cross-lane reordering
+)
+
+// AllFaults lists every fault class in canonical order.
+var AllFaults = []Fault{FaultCrash, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder}
+
+// ParseFaults parses a comma-separated fault list such as
+// "crash,partition,dup". Empty input and "all" select every class.
+func ParseFaults(s string) ([]Fault, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return append([]Fault(nil), AllFaults...), nil
+	}
+	known := map[Fault]bool{}
+	for _, f := range AllFaults {
+		known[f] = true
+	}
+	var out []Fault
+	for _, part := range strings.Split(s, ",") {
+		f := Fault(strings.TrimSpace(part))
+		if !known[f] {
+			return nil, fmt.Errorf("chaos: unknown fault %q (known: %v)", f, AllFaults)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Seed drives everything: workload content, fault schedule, and the
+	// network's per-lane fate streams.
+	Seed int64
+	// Items is the number of replicated logical items (default 2). Each
+	// item gets its own disjoint replica group.
+	Items int
+	// Replicas is the number of DMs per item (default 3), under a
+	// majority quorum configuration.
+	Replicas int
+	// Rounds is the number of workload rounds; the fault schedule advances
+	// between rounds (default 4).
+	Rounds int
+	// TxnsPerRound is the number of top-level transactions per round
+	// (default 8).
+	TxnsPerRound int
+	// OpsPerTxn, NestDepth, SubAbortProb and ReadFraction shape the
+	// workload profile (defaults 3, 1, 0.1, 0.5).
+	OpsPerTxn    int
+	NestDepth    int
+	SubAbortProb float64
+	ReadFraction float64
+	// Faults is the set of fault classes to inject; nil means all.
+	Faults []Fault
+	// CallTimeout bounds each RPC (default 10ms). It must exceed the
+	// worst straggler latency or timeouts become scheduling races.
+	CallTimeout time.Duration
+	// Live disables the determinism constraints: first-to-quorum fan-out,
+	// hedging and concurrent workers come back on. Campaigns still verify,
+	// but exact replay of network counters is no longer guaranteed.
+	Live bool
+	// Workers is the number of concurrent workload workers in live mode
+	// (default 2; deterministic mode always uses 1).
+	Workers int
+	// MutateVN, when set, is installed as the store's test-only write
+	// version mutation hook — the self-test uses it to plant a
+	// fault-masking bug and assert the checker catches it.
+	MutateVN func(item string, vn int) int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Items <= 0 {
+		c.Items = 2
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.TxnsPerRound <= 0 {
+		c.TxnsPerRound = 8
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 3
+	}
+	if c.NestDepth == 0 {
+		c.NestDepth = 1
+	}
+	if c.SubAbortProb == 0 {
+		c.SubAbortProb = 0.1
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.5
+	}
+	if c.Faults == nil {
+		c.Faults = AllFaults
+	}
+	if c.CallTimeout <= 0 {
+		// With fate feedback on, every lost call fails the instant its
+		// fate is decided, so the timeout is pure backstop and almost
+		// never fires. It sits far above the worst straggler round trip
+		// because a timeout that CAN fire on a scheduling hiccup is a
+		// wall-clock race that would fork an otherwise seeded replay.
+		c.CallTimeout = 100 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// Result summarizes one campaign.
+type Result struct {
+	Seed      int64
+	Rounds    int
+	Committed int
+	Failed    int
+	Tolerated int
+	// Ops is the number of committed operations the checker verified.
+	Ops int
+	// Injected counts fault episodes started, by class.
+	Injected map[Fault]int
+	// Net is the network's final counter snapshot; with the same seed and
+	// deterministic mode it is identical run to run.
+	Net sim.Stats
+}
+
+// CampaignSeed derives the i-th campaign's seed from a base seed using a
+// splitmix64 finalization round, so campaign seeds are decorrelated while
+// remaining a pure function of (base, i).
+func CampaignSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes one campaign and verifies the recorded history. The error
+// is a *checker.Violation when the history fails verification; the Result
+// is valid (counters populated) in that case too.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	// FateFeedback makes a lost call fail the moment the network decides
+	// its fate instead of waiting out a timeout: campaigns run orders of
+	// magnitude faster under crash/partition/loss, and failure detection
+	// stops being a wall-clock race the replay could lose.
+	net := sim.NewNetwork(sim.Config{Seed: cfg.Seed, FateFeedback: true})
+	defer net.Close()
+
+	rec := checker.NewRecorder()
+	items := make([]cluster.ItemSpec, cfg.Items)
+	itemNames := make([]string, cfg.Items)
+	groups := make([][]string, cfg.Items)
+	for i := range items {
+		name := fmt.Sprintf("x%d", i)
+		dms := make([]string, cfg.Replicas)
+		for j := range dms {
+			dms[j] = fmt.Sprintf("%s-dm%d", name, j)
+		}
+		items[i] = cluster.ItemSpec{Name: name, Initial: 0, DMs: dms, Config: quorum.Majority(dms)}
+		itemNames[i] = name
+		groups[i] = dms
+		rec.DeclareItem(name, 0)
+	}
+
+	opts := []cluster.Option{
+		cluster.WithSeed(cfg.Seed),
+		cluster.WithCallTimeout(cfg.CallTimeout),
+		cluster.WithHistory(rec),
+	}
+	if !cfg.Live {
+		opts = append(opts,
+			cluster.WithSequentialPhases(true),
+			cluster.WithHedgeDelay(0),
+			cluster.WithSynchronousCleanup(true),
+			// One worker means lock conflicts cannot happen, so deep retry
+			// loops would only re-probe quorums whose members stay crashed
+			// for the whole round — each probe a full call timeout. A few
+			// retries still ride out transient message loss.
+			cluster.WithLockRetries(4),
+		)
+	}
+	store, err := cluster.Open(net, items, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	defer store.Close()
+	store.Hooks.MutateWriteVN = cfg.MutateVN
+
+	// Prime every client↔DM lane in a fixed order. Lane fate streams are
+	// seeded by creation order; without priming, the first concurrent
+	// quorum phase would race lanes into existence and reshuffle the
+	// streams run to run.
+	client := store.ClientNode()
+	var allDMs []string
+	for _, g := range groups {
+		allDMs = append(allDMs, g...)
+	}
+	sort.Strings(allDMs)
+	for _, dm := range allDMs {
+		net.PrimeLane(client, dm)
+		net.PrimeLane(dm, client)
+	}
+
+	sched := newScheduler(net, client, groups, cfg)
+	res := Result{Seed: cfg.Seed, Injected: map[Fault]int{}}
+	workers := 1
+	if cfg.Live {
+		workers = cfg.Workers
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		net.Quiesce()
+		sched.advance(round, res.Injected)
+		p := workload.Profile{
+			ReadFraction: cfg.ReadFraction,
+			OpsPerTxn:    cfg.OpsPerTxn,
+			NestDepth:    cfg.NestDepth,
+			SubAbortProb: cfg.SubAbortProb,
+			Items:        itemNames,
+			// Each round draws fresh transactions; workload seeds per-txn
+			// generators at Seed+txnIndex, so offset rounds far apart.
+			Seed: cfg.Seed + int64(round)*1_000_003,
+		}
+		wres, werr := workload.Run(ctx, store, p, cfg.TxnsPerRound, workers)
+		res.Committed += wres.Committed
+		res.Failed += wres.Failed
+		res.Tolerated += wres.Tolerated
+		if werr != nil && !expectedUnderFaults(werr) {
+			return res, werr
+		}
+		res.Rounds++
+	}
+	// Settle the last round's stragglers under the round's own fault state
+	// BEFORE healing: a stray held-back message racing the heal would be
+	// delivered in some runs and dropped in others, forking the counters.
+	net.Quiesce()
+	sched.healAll()
+	net.Quiesce()
+
+	hist := rec.History()
+	res.Ops = hist.Events()
+	res.Net = net.Stats()
+	if err := hist.Verify(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// expectedUnderFaults reports whether a workload error is an anticipated
+// consequence of fault injection rather than a harness failure: lock
+// conflicts past the retry budget, unreachable quorums, and deadline
+// expiry all happen by design while faults are active.
+func expectedUnderFaults(err error) bool {
+	return errors.Is(err, cluster.ErrConflict) ||
+		errors.Is(err, cluster.ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// episode is one active fault: what was injected, where, and the round
+// index at which it heals.
+type episode struct {
+	fault Fault
+	dm    string // node-scoped faults; "" for network-wide ones
+	group int    // replica group index for node-scoped faults
+	until int
+}
+
+// scheduler owns the fault schedule. All randomness comes from its own
+// generator, and every decision is made in a fixed iteration order, so the
+// schedule is a pure function of the campaign seed.
+type scheduler struct {
+	rng     *rand.Rand
+	net     *sim.Network
+	client  string
+	groups  [][]string
+	cfg     Config
+	enabled map[Fault]bool
+	active  []episode
+}
+
+func newScheduler(net *sim.Network, client string, groups [][]string, cfg Config) *scheduler {
+	enabled := map[Fault]bool{}
+	for _, f := range cfg.Faults {
+		enabled[f] = true
+	}
+	return &scheduler{
+		// Offset the seed so the scheduler's stream is independent of the
+		// store's and the network's.
+		rng:     rand.New(rand.NewSource(CampaignSeed(cfg.Seed, 0x5eed))),
+		net:     net,
+		client:  client,
+		groups:  groups,
+		cfg:     cfg,
+		enabled: enabled,
+	}
+}
+
+// impairBudget is how many replicas of one group may be node-impaired at
+// once: a minority, so every item keeps a live majority quorum.
+func (s *scheduler) impairBudget() int {
+	return (s.cfg.Replicas - 1) / 2
+}
+
+// impaired counts the active node-scoped faults per group.
+func (s *scheduler) impaired(group int) int {
+	n := 0
+	for _, e := range s.active {
+		if e.dm != "" && e.group == group {
+			n++
+		}
+	}
+	return n
+}
+
+// advance heals expired episodes and rolls for new ones. It must only be
+// called with the network quiesced and no transactions in flight, so no
+// transaction observes a fault transition mid-run.
+func (s *scheduler) advance(round int, injected map[Fault]int) {
+	kept := s.active[:0]
+	for _, e := range s.active {
+		if e.until <= round {
+			s.heal(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	s.active = kept
+
+	for _, f := range AllFaults { // fixed order: determinism
+		if !s.enabled[f] {
+			continue
+		}
+		if s.rng.Float64() >= 0.5 {
+			continue
+		}
+		ttl := round + 1 + s.rng.Intn(2)
+		switch f {
+		case FaultCrash, FaultPartition, FaultStraggler:
+			g := s.rng.Intn(len(s.groups))
+			if s.impaired(g) >= s.impairBudget() {
+				continue
+			}
+			dm := s.groups[g][s.rng.Intn(len(s.groups[g]))]
+			if s.nodeFaulted(dm) {
+				continue
+			}
+			switch f {
+			case FaultCrash:
+				s.net.Crash(dm)
+			case FaultPartition:
+				s.net.Disconnect(s.client, dm)
+			case FaultStraggler:
+				// Kept far below the call timeout so a straggler's reply —
+				// the one case fate feedback cannot settle early — never
+				// races the timer.
+				d := time.Duration(1+s.rng.Intn(2)) * time.Millisecond
+				s.net.SetNodeLatency(dm, d, d)
+			}
+			s.active = append(s.active, episode{fault: f, dm: dm, group: g, until: ttl})
+		case FaultDrop:
+			if s.faultActive(f) {
+				continue
+			}
+			// Kept modest: every lost request or reply stalls its caller
+			// for a full call timeout, so loss dominates campaign wall
+			// time well before it adds test power.
+			s.net.SetDropProb(0.03 + 0.07*s.rng.Float64())
+			s.active = append(s.active, episode{fault: f, until: ttl})
+		case FaultDup:
+			if s.faultActive(f) {
+				continue
+			}
+			s.net.SetDupProb(0.10 + 0.20*s.rng.Float64())
+			s.active = append(s.active, episode{fault: f, until: ttl})
+		case FaultReorder:
+			if s.faultActive(f) {
+				continue
+			}
+			s.net.SetReorder(0.10+0.20*s.rng.Float64(), time.Millisecond)
+			s.active = append(s.active, episode{fault: f, until: ttl})
+		}
+		injected[f]++
+	}
+}
+
+func (s *scheduler) nodeFaulted(dm string) bool {
+	for _, e := range s.active {
+		if e.dm == dm {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) faultActive(f Fault) bool {
+	for _, e := range s.active {
+		if e.fault == f {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) heal(e episode) {
+	switch e.fault {
+	case FaultCrash:
+		s.net.Restart(e.dm)
+	case FaultPartition:
+		s.net.Reconnect(s.client, e.dm)
+	case FaultStraggler:
+		s.net.SetNodeLatency(e.dm, 0, 0)
+	case FaultDrop:
+		s.net.SetDropProb(0)
+	case FaultDup:
+		s.net.SetDupProb(0)
+	case FaultReorder:
+		s.net.SetReorder(0, 0)
+	}
+}
+
+// healAll reverts every active fault; the final verification round runs on
+// a healthy network.
+func (s *scheduler) healAll() {
+	for _, e := range s.active {
+		s.heal(e)
+	}
+	s.active = nil
+}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// shortCfg keeps campaigns small enough for the tier-1 suite.
+func shortCfg(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Items:        2,
+		Replicas:     3,
+		Rounds:       2,
+		TxnsPerRound: 4,
+	}
+}
+
+// TestCampaignSmoke is the tier-1 chaos gate: ten short seeded campaigns
+// with the full fault mix, every history verified.
+func TestCampaignSmoke(t *testing.T) {
+	ctx := testCtx(t)
+	for i := 0; i < 10; i++ {
+		seed := CampaignSeed(1, i)
+		res, err := Run(ctx, shortCfg(seed))
+		if err != nil {
+			t.Fatalf("campaign %d (seed %d): %v", i, seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d (seed %d): no transactions committed", i, seed)
+		}
+	}
+}
+
+// TestCampaignDeterministic reruns one campaign with the same seed and
+// demands identical results down to the network's fate counters — the
+// property that makes a failing seed replayable.
+func TestCampaignDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(7)
+	cfg.Rounds = 3
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
+// TestMutationIsCaught plants a fault-masking bug via the store's
+// test-only hook — version increments past 1 are silently masked, so a
+// second write reinstalls an existing version — and asserts the checker
+// rejects the campaign with the minimal two-event witness.
+func TestMutationIsCaught(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(3)
+	cfg.Faults = []Fault{} // healthy network: the bug alone must trip it
+	cfg.ReadFraction = 0.2 // mostly writes, to collide versions quickly
+	cfg.MutateVN = func(item string, vn int) int {
+		if vn > 1 {
+			return vn - 1
+		}
+		return vn
+	}
+	_, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("masked version increments went undetected")
+	}
+	var v *checker.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want *checker.Violation, got %T: %v", err, err)
+	}
+	if !strings.Contains(v.Reason, "installed twice") {
+		t.Errorf("reason = %q, want duplicate-install", v.Reason)
+	}
+	if len(v.Events) != 2 {
+		t.Errorf("witness has %d events, want the minimal pair:\n%s", len(v.Events), v.Diagnostic())
+	}
+}
+
+// TestLiveCampaignVerifies runs a campaign in live mode — fan-out,
+// hedging, concurrent workers — and requires the history to still verify;
+// only exact counter replay is forfeited.
+func TestLiveCampaignVerifies(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(11)
+	cfg.Live = true
+	cfg.Rounds = 3
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatalf("live campaign: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Error("live campaign committed nothing")
+	}
+}
+
+// TestParseFaults covers the CLI's fault-list parsing.
+func TestParseFaults(t *testing.T) {
+	all, err := ParseFaults("all")
+	if err != nil || len(all) != len(AllFaults) {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	got, err := ParseFaults("crash, dup")
+	if err != nil || len(got) != 2 || got[0] != FaultCrash || got[1] != FaultDup {
+		t.Fatalf("crash,dup: %v %v", got, err)
+	}
+	if _, err := ParseFaults("crash,flood"); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}

@@ -6,12 +6,21 @@
 // ordering operations by version number (reads after their dictating
 // write) is consistent with the real-time partial order. The checker
 // verifies exactly that, making it sound and complete given the witness.
+//
+// Beyond the single-item register check, the package verifies cross-item
+// serializability of whole transactions (MultiHistory.Verify): version
+// numbers give every transaction a serialization point per item, and the
+// union of those per-item orders with real time must be acyclic. A
+// Recorder collects committed transactions concurrently from live
+// clients; failures come back as *Violation values that carry the
+// minimal witnessing events for diagnostics.
 package checker
 
 import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -27,12 +36,14 @@ const (
 // Event is one committed client operation on one item. Start is taken
 // before the operation is issued and End after its top-level transaction
 // commits; VN is the version number observed (reads) or installed
-// (writes).
+// (writes). Txn, when set, names the top-level transaction the operation
+// committed under (diagnostics only; verification ignores it).
 type Event struct {
 	Kind  Kind
 	Item  string
 	Value any
 	VN    int
+	Txn   string
 	Start time.Time
 	End   time.Time
 }
@@ -44,6 +55,34 @@ type History struct {
 	Events  []Event
 }
 
+// Violation is a failed check: a reason plus the minimal set of events —
+// usually a pair — that witnesses the contradiction. Error returns the
+// reason alone; Diagnostic renders the witnessing events too.
+type Violation struct {
+	Reason string
+	Events []Event
+}
+
+// Error implements error.
+func (v *Violation) Error() string { return v.Reason }
+
+// Diagnostic renders the violation with its witnessing events, one per
+// line, for failure reports.
+func (v *Violation) Diagnostic() string {
+	var b strings.Builder
+	b.WriteString(v.Reason)
+	for _, e := range v.Events {
+		b.WriteString("\n  ")
+		b.WriteString(describe(e))
+	}
+	return b.String()
+}
+
+// violate builds a Violation whose reason is prefixed "checker: ".
+func violate(events []Event, format string, args ...any) *Violation {
+	return &Violation{Reason: "checker: " + fmt.Sprintf(format, args...), Events: events}
+}
+
 // Verify checks that the history is linearizable as an atomic register,
 // using version numbers as the witness:
 //
@@ -52,20 +91,22 @@ type History struct {
 //     or exactly one write;
 //  3. the version order respects real time: if event A ended before event
 //     B started, then VN(A) ≤ VN(B), strictly so when both are writes.
+//
+// Failures are returned as *Violation carrying the witnessing events.
 func (h History) Verify() error {
 	writes := map[int]Event{}
 	for _, e := range h.Events {
 		if e.Item != h.Item {
-			return fmt.Errorf("checker: event for foreign item %q", e.Item)
+			return violate([]Event{e}, "event for foreign item %q", e.Item)
 		}
 		if e.Kind != OpWrite {
 			continue
 		}
 		if e.VN < 1 {
-			return fmt.Errorf("checker: write installed version %d < 1", e.VN)
+			return violate([]Event{e}, "write installed version %d < 1", e.VN)
 		}
 		if prev, dup := writes[e.VN]; dup {
-			return fmt.Errorf("checker: version %d installed twice (%v and %v)", e.VN, prev.Value, e.Value)
+			return violate([]Event{prev, e}, "version %d installed twice (%v and %v)", e.VN, prev.Value, e.Value)
 		}
 		writes[e.VN] = e
 	}
@@ -76,15 +117,15 @@ func (h History) Verify() error {
 		switch {
 		case e.VN == 0:
 			if !reflect.DeepEqual(e.Value, h.Initial) {
-				return fmt.Errorf("checker: read of version 0 returned %v, initial is %v", e.Value, h.Initial)
+				return violate([]Event{e}, "read of version 0 returned %v, initial is %v", e.Value, h.Initial)
 			}
 		default:
 			w, ok := writes[e.VN]
 			if !ok {
-				return fmt.Errorf("checker: read returned version %d, which no committed write installed", e.VN)
+				return violate([]Event{e}, "read returned version %d, which no committed write installed", e.VN)
 			}
 			if !reflect.DeepEqual(e.Value, w.Value) {
-				return fmt.Errorf("checker: read of version %d returned %v, write installed %v", e.VN, e.Value, w.Value)
+				return violate([]Event{w, e}, "read of version %d returned %v, write installed %v", e.VN, e.Value, w.Value)
 			}
 		}
 	}
@@ -98,11 +139,11 @@ func (h History) Verify() error {
 				continue // concurrent: no constraint
 			}
 			if a.VN > b.VN {
-				return fmt.Errorf("checker: real-time violation: %v (vn %d) finished before %v (vn %d) started",
+				return violate([]Event{a, b}, "real-time violation: %v (vn %d) finished before %v (vn %d) started",
 					describe(a), a.VN, describe(b), b.VN)
 			}
 			if a.VN == b.VN && a.Kind == OpWrite && b.Kind == OpWrite {
-				return fmt.Errorf("checker: two sequential writes share version %d", a.VN)
+				return violate([]Event{a, b}, "two sequential writes share version %d", a.VN)
 			}
 			// A write must not be ordered after a read that already saw a
 			// later state... covered by a.VN > b.VN above; a read before a
@@ -110,7 +151,7 @@ func (h History) Verify() error {
 			// before the write's top-level commit ended — impossible for
 			// committed reads under 2PL, and detectable:
 			if a.VN == b.VN && a.Kind == OpRead && b.Kind == OpWrite {
-				return fmt.Errorf("checker: read of version %d completed before its dictating write", a.VN)
+				return violate([]Event{a, b}, "read of version %d completed before its dictating write", a.VN)
 			}
 		}
 	}
@@ -118,8 +159,12 @@ func (h History) Verify() error {
 }
 
 func describe(e Event) string {
-	if e.Kind == OpRead {
-		return fmt.Sprintf("read(%s)=%v", e.Item, e.Value)
+	who := ""
+	if e.Txn != "" {
+		who = fmt.Sprintf(" [txn %s]", e.Txn)
 	}
-	return fmt.Sprintf("write(%s, %v)", e.Item, e.Value)
+	if e.Kind == OpRead {
+		return fmt.Sprintf("read(%s)=%v (vn %d)%s", e.Item, e.Value, e.VN, who)
+	}
+	return fmt.Sprintf("write(%s, %v) (vn %d)%s", e.Item, e.Value, e.VN, who)
 }

@@ -119,6 +119,71 @@ func TestVerifyRejectsForeignItem(t *testing.T) {
 	}
 }
 
+func TestVerifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       History
+		wantErr string // substring of the Violation reason; "" means the history must verify
+	}{
+		{
+			name: "empty history",
+			h:    History{Item: "x", Initial: 0},
+		},
+		{
+			name: "duplicate write VN",
+			h: History{Item: "x", Initial: 0, Events: []Event{
+				ev(OpWrite, "a", 3, 0, 1),
+				ev(OpWrite, "b", 3, 0, 1), // concurrent, so only the install check sees it
+			}},
+			wantErr: "installed twice",
+		},
+		{
+			name: "read of never-installed version",
+			h: History{Item: "x", Initial: 0, Events: []Event{
+				ev(OpWrite, "a", 1, 0, 1),
+				ev(OpRead, "a", 2, 2, 3),
+			}},
+			wantErr: "no committed write",
+		},
+		{
+			name: "foreign-item event",
+			h: History{Item: "x", Initial: 0, Events: []Event{
+				{Kind: OpWrite, Item: "y", Value: "a", VN: 1, Start: at(0), End: at(1)},
+			}},
+			wantErr: "foreign item",
+		},
+		{
+			name: "equal-VN concurrent reads",
+			h: History{Item: "x", Initial: 0, Events: []Event{
+				ev(OpWrite, "a", 1, 0, 1),
+				ev(OpRead, "a", 1, 2, 10),
+				ev(OpRead, "a", 1, 3, 9), // overlapping reads of one version commute
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.h.Verify()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want reason containing %q", err, tc.wantErr)
+			}
+			v, ok := err.(*Violation)
+			if !ok {
+				t.Fatalf("error is %T, want *Violation", err)
+			}
+			if len(v.Events) == 0 {
+				t.Error("violation carries no witnessing events")
+			}
+		})
+	}
+}
+
 func TestVerifyRejectsZeroVersionWrite(t *testing.T) {
 	h := History{Item: "x", Initial: 0, Events: []Event{
 		ev(OpWrite, "a", 0, 0, 1),

@@ -1,0 +1,331 @@
+package checker
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is one logical operation a transaction committed: what it read or
+// wrote, and the version-number witness that came with it. Start is taken
+// when the operation was issued; the operation takes effect no later than
+// its transaction's commit.
+type Op struct {
+	Kind  Kind
+	Item  string
+	Value any
+	VN    int
+	Start time.Time
+}
+
+// TxnRecord is one committed top-level transaction: its identity, its
+// real-time interval (Start when the attempt began, End after commit
+// acknowledgement), and its operations in program order. Operations of
+// aborted transactions — and of aborted subtransactions inside committed
+// ones — must not appear; only effects that became durable belong here.
+type TxnRecord struct {
+	ID    string
+	Start time.Time
+	End   time.Time
+	Ops   []Op
+}
+
+// Recorder accumulates committed transactions from concurrently running
+// clients. It is safe for concurrent use; clients attach it via the
+// cluster store's WithHistory option and call RecordTxn at each top-level
+// commit.
+type Recorder struct {
+	mu       sync.Mutex
+	initials map[string]any
+	txns     []TxnRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{initials: map[string]any{}}
+}
+
+// DeclareItem registers an item's initial value, the version-0 state
+// reads may legitimately observe.
+func (r *Recorder) DeclareItem(item string, initial any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.initials[item] = initial
+}
+
+// RecordTxn appends one committed transaction.
+func (r *Recorder) RecordTxn(t TxnRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txns = append(r.txns, t)
+}
+
+// History snapshots everything recorded so far as a MultiHistory.
+func (r *Recorder) History() MultiHistory {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := MultiHistory{Initials: make(map[string]any, len(r.initials)), Txns: append([]TxnRecord(nil), r.txns...)}
+	for k, v := range r.initials {
+		m.Initials[k] = v
+	}
+	return m
+}
+
+// MultiHistory is a set of committed transactions over many items, with
+// each item's initial value.
+type MultiHistory struct {
+	Initials map[string]any
+	Txns     []TxnRecord
+}
+
+// Events returns the total number of committed operations.
+func (m MultiHistory) Events() int {
+	n := 0
+	for _, t := range m.Txns {
+		n += len(t.Ops)
+	}
+	return n
+}
+
+// Histories projects the transactions onto per-item single-item
+// histories, sorted by item name. Each event's End is its transaction's
+// commit time — the latest moment the operation can have taken effect.
+func (m MultiHistory) Histories() []History {
+	byItem := map[string]*History{}
+	for item, init := range m.Initials {
+		byItem[item] = &History{Item: item, Initial: init}
+	}
+	for _, t := range m.Txns {
+		for _, op := range t.Ops {
+			h, ok := byItem[op.Item]
+			if !ok {
+				h = &History{Item: op.Item}
+				byItem[op.Item] = h
+			}
+			h.Events = append(h.Events, Event{
+				Kind: op.Kind, Item: op.Item, Value: op.Value, VN: op.VN,
+				Txn: t.ID, Start: op.Start, End: t.End,
+			})
+		}
+	}
+	names := make([]string, 0, len(byItem))
+	for n := range byItem {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]History, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byItem[n])
+	}
+	return out
+}
+
+// span is one transaction's footprint on one item in serialization-point
+// coordinates: a write of version v sits at point 2v, a read of version v
+// at 2v+1 (after its dictating write, before the next). A serializable
+// transaction occupies the contiguous range [lo, hi].
+type span struct {
+	lo, hi     int
+	loOp, hiOp Event
+}
+
+// edge justifies one precedence between two transactions.
+type edge struct {
+	item   string // "" for real-time edges
+	before Event  // the earlier transaction's witnessing op
+	after  Event  // the later transaction's witnessing op
+}
+
+func pos(op Op) int {
+	if op.Kind == OpWrite {
+		return 2 * op.VN
+	}
+	return 2*op.VN + 1
+}
+
+// Verify checks the whole multi-item history:
+//
+//  1. each item's projection is linearizable as an atomic register
+//     (History.Verify, version numbers as the witness);
+//  2. the transactions are serializable across items: version numbers
+//     assign every transaction a serialization point per item, and the
+//     union of the per-item orders with the real-time order (txn A
+//     committed before txn B began) must be acyclic.
+//
+// Failures are *Violation values carrying the minimal witnessing events.
+func (m MultiHistory) Verify() error {
+	for _, h := range m.Histories() {
+		if err := h.Verify(); err != nil {
+			return err
+		}
+	}
+	n := len(m.Txns)
+	spans := make([]map[string]*span, n)
+	for i, t := range m.Txns {
+		spans[i] = map[string]*span{}
+		for _, op := range t.Ops {
+			p := pos(op)
+			ev := Event{Kind: op.Kind, Item: op.Item, Value: op.Value, VN: op.VN, Txn: t.ID, Start: op.Start, End: t.End}
+			s, ok := spans[i][op.Item]
+			if !ok {
+				spans[i][op.Item] = &span{lo: p, hi: p, loOp: ev, hiOp: ev}
+				continue
+			}
+			if p < s.lo {
+				s.lo, s.loOp = p, ev
+			}
+			if p > s.hi {
+				s.hi, s.hiOp = p, ev
+			}
+		}
+	}
+
+	// Item-order edges between every pair sharing an item. A nil entry
+	// means no order; a present edge means row-txn precedes column-txn.
+	adj := make([]map[int]edge, n)
+	for i := range adj {
+		adj[i] = map[int]edge{}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for item, a := range spans[i] {
+				b, shared := spans[j][item]
+				if !shared {
+					continue
+				}
+				rel, err := relate(item, m.Txns[i].ID, m.Txns[j].ID, a, b)
+				if err != nil {
+					return err
+				}
+				switch {
+				case rel < 0:
+					if _, dup := adj[i][j]; !dup {
+						adj[i][j] = edge{item: item, before: a.hiOp, after: b.loOp}
+					}
+				case rel > 0:
+					if _, dup := adj[j][i]; !dup {
+						adj[j][i] = edge{item: item, before: b.hiOp, after: a.loOp}
+					}
+				}
+			}
+			// Direct contradiction: two items order the pair both ways.
+			if eij, ok := adj[i][j]; ok {
+				if eji, ok := adj[j][i]; ok {
+					return violate(
+						[]Event{eij.before, eij.after, eji.before, eji.after},
+						"serializability violation: txn %s precedes %s on item %s but follows it on item %s",
+						m.Txns[i].ID, m.Txns[j].ID, eij.item, eji.item)
+				}
+			}
+		}
+	}
+
+	// Real-time edges: a transaction that committed before another began
+	// must serialize before it. A real-time edge against an item-order
+	// edge is a direct contradiction with a two-event witness.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !m.Txns[i].End.Before(m.Txns[j].Start) {
+				continue
+			}
+			if e, ok := adj[j][i]; ok {
+				return violate([]Event{e.before, e.after},
+					"serializability violation: txn %s committed before %s began, but item %s orders %s first",
+					m.Txns[i].ID, m.Txns[j].ID, e.item, m.Txns[j].ID)
+			}
+			if _, ok := adj[i][j]; !ok {
+				adj[i][j] = edge{}
+			}
+		}
+	}
+
+	// Longer cycles: depth-first search over the combined order.
+	if cyc := findCycle(adj); cyc != nil {
+		var events []Event
+		var names []string
+		for k, from := range cyc {
+			to := cyc[(k+1)%len(cyc)]
+			names = append(names, m.Txns[from].ID)
+			if e := adj[from][to]; e.item != "" {
+				events = append(events, e.before, e.after)
+			}
+		}
+		return violate(events, "serializability violation: cycle %s -> %s",
+			strings.Join(names, " -> "), names[0])
+	}
+	return nil
+}
+
+// relate orders two spans on one item: -1 if a precedes b, +1 if b
+// precedes a, 0 if unordered (identical single read points). Interleaved
+// spans — neither wholly before the other — admit no serialization point
+// at all and are an immediate violation.
+func relate(item, aID, bID string, a, b *span) (int, error) {
+	singleReads := a.lo == a.hi && b.lo == b.hi && a.lo == b.lo && a.lo%2 == 1
+	switch {
+	case singleReads:
+		return 0, nil
+	case a.hi < b.lo || (a.hi == b.lo && a.hi%2 == 1):
+		return -1, nil
+	case b.hi < a.lo || (b.hi == a.lo && b.hi%2 == 1):
+		return 1, nil
+	}
+	// Overlapping footprints: some operation of one transaction lands
+	// strictly inside the other's range. Witness with the enclosing
+	// transaction's endpoints around the intruding op.
+	intruder, enclosing := a, b
+	if a.lo <= b.lo {
+		intruder, enclosing = b, a
+	}
+	return 0, violate([]Event{enclosing.loOp, intruder.loOp, enclosing.hiOp},
+		"serializability violation: txns %s and %s interleave on item %s (no single serialization point)",
+		aID, bID, item)
+}
+
+// findCycle returns the node indices of one cycle in adj, or nil.
+func findCycle(adj []map[int]edge) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(adj))
+	parent := make([]int, len(adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for v := range adj[u] {
+			if color[v] == gray {
+				// Back edge: walk parents from u back to v.
+				cycle = append(cycle, v)
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse into cycle order v -> ... -> u.
+				for l, r := 0, len(cycle)-1; l < r; l, r = l+1, r-1 {
+					cycle[l], cycle[r] = cycle[r], cycle[l]
+				}
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range adj {
+		if color[i] == white && dfs(i) {
+			return cycle
+		}
+	}
+	return nil
+}

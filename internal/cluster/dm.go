@@ -238,11 +238,16 @@ func (r *replica) drop(t TxnID) {
 }
 
 // applyTop folds t's intentions into the committed state and releases its
-// locks.
-func (r *replica) applyTop(t TxnID) {
+// locks. committed names the committed subtransactions of t's tree: an
+// intention still owned by one of them (its promote never arrived here)
+// is committed state too and is applied, not discarded. Intentions fold
+// in arrival order, which per item is write order: a later write is only
+// issued after the earlier one's quorum acked, and tombstones refuse
+// late duplicate copies.
+func (r *replica) applyTop(t TxnID, committed map[TxnID]bool) {
 	kept := r.intents[:0]
 	for _, in := range r.intents {
-		if in.owner != t {
+		if in.owner != t && !committed[in.owner] {
 			kept = append(kept, in)
 			continue
 		}
@@ -373,8 +378,12 @@ func (s *dmServer) handle(_ string, req any) any {
 	case CommitTopReq:
 		if !s.resolved[q.Txn] {
 			s.markResolved(q.Txn)
+			committed := make(map[TxnID]bool, len(q.Subs))
+			for _, sub := range q.Subs {
+				committed[sub] = true
+			}
 			for _, r := range s.replicas {
-				r.applyTop(q.Txn)
+				r.applyTop(q.Txn, committed)
 			}
 		}
 		return Ack{OK: true}

@@ -115,7 +115,7 @@ func TestReplicaApplyTopFoldsInOrder(t *testing.T) {
 		intent{owner: "c1.t9", vn: 9, val: "unrelated"},
 	)
 	r.grant("c1.t1", LockWrite)
-	r.applyTop("c1.t1")
+	r.applyTop("c1.t1", nil)
 	if r.vn != 2 || r.val != "second" {
 		t.Errorf("committed state = (%d, %v)", r.vn, r.val)
 	}
@@ -127,6 +127,29 @@ func TestReplicaApplyTopFoldsInOrder(t *testing.T) {
 	}
 	if len(r.locks) != 0 {
 		t.Errorf("locks must be released: %v", r.locks)
+	}
+}
+
+// A committed subtransaction whose CommitSubReq never arrived leaves its
+// intentions under its own id; the top-level commit must apply them (the
+// write is committed state) while still discarding aborted children.
+func TestReplicaApplyTopAppliesOrphanCommittedSubs(t *testing.T) {
+	r := newReplica()
+	r.intents = append(r.intents,
+		intent{owner: "c1.t1/1", vn: 1, val: "committed-sub"},
+		intent{owner: "c1.t1/2", vn: 2, val: "aborted-sub"},
+	)
+	r.grant("c1.t1/1", LockWrite)
+	r.grant("c1.t1/2", LockWrite)
+	r.applyTop("c1.t1", map[TxnID]bool{"c1.t1/1": true})
+	if r.vn != 1 || r.val != "committed-sub" {
+		t.Errorf("committed state = (%d, %v), want (1, committed-sub)", r.vn, r.val)
+	}
+	if len(r.intents) != 0 {
+		t.Errorf("aborted child's intent must be discarded: %v", r.intents)
+	}
+	if len(r.locks) != 0 {
+		t.Errorf("all descendants' locks must be released: %v", r.locks)
 	}
 }
 

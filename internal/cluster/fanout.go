@@ -266,7 +266,11 @@ func (t *Txn) settlePhase(spec phaseSpec, col *collector) {
 	for _, dm := range spec.targets {
 		switch {
 		case col.granted[dm]:
-			t.touch(dm)
+			if spec.isWrite {
+				t.touchWrite(dm)
+			} else {
+				t.touch(dm)
+			}
 			if won && !spec.isWrite && !win.Contains(dm) && !col.held[dm] {
 				t.store.Stats.ExtraLockReleases.Inc()
 				t.store.client.Notify(dm, ReleaseReq{Txn: t.id, Item: spec.item, Seq: spec.seq})

@@ -97,8 +97,15 @@ type AbortReq struct {
 
 // CommitTopReq applies a top-level transaction's intentions to the
 // committed replica state and releases its locks. Idempotent.
+//
+// Subs lists every committed subtransaction in Txn's tree. A DM that
+// missed a CommitSubReq still holds that child's intentions under the
+// child's own id; the list lets it apply them at top-level commit
+// instead of discarding them, which would leave the write visible only
+// at the replicas the promote reached.
 type CommitTopReq struct {
-	Txn TxnID
+	Txn  TxnID
+	Subs []TxnID
 }
 
 // Ack acknowledges a commit/abort control message.

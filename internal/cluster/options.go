@@ -3,6 +3,7 @@ package cluster
 import (
 	"time"
 
+	"repro/internal/checker"
 	"repro/internal/trace"
 )
 
@@ -21,6 +22,8 @@ type settings struct {
 	sequential   bool
 	seed         int64
 	trace        *trace.Log
+	history      *checker.Recorder
+	syncCleanup  bool
 }
 
 func defaultSettings() settings {
@@ -124,6 +127,26 @@ func WithSeed(seed int64) Option {
 // tracing.
 func WithTrace(l *trace.Log) Option {
 	return func(s *settings) { s.trace = l }
+}
+
+// WithHistory attaches a checker recorder: every committed top-level
+// transaction's reads and writes (with their version-number witnesses)
+// are recorded into it for offline serializability checking. Operations
+// of aborted transactions — and of aborted subtransactions inside
+// committed ones — are never recorded. Nil disables recording.
+func WithHistory(r *checker.Recorder) Option {
+	return func(s *settings) { s.history = r }
+}
+
+// WithSynchronousCleanup makes commit/abort control rounds wait for the
+// best-effort cleanup of tentatively-touched DMs instead of detaching it.
+// The default (off) matches production behaviour — a dead replica the
+// transaction never used must not stall commits — but detached cleanup
+// leaves goroutines drawing from the store's RNG after the operation
+// returns, which perturbs replay; the deterministic chaos harness turns
+// this on.
+func WithSynchronousCleanup(on bool) Option {
+	return func(s *settings) { s.syncCleanup = on }
 }
 
 // Options is the legacy flat configuration struct.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checker"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/sim"
@@ -64,6 +65,14 @@ type Store struct {
 	rng      *rand.Rand
 	believed map[string]genCfg
 
+	// jitter feeds backoff sleeps and nothing else. It is separate from
+	// rng because backoff is reached from concurrent control goroutines:
+	// were they to share rng with quorum selection, the scheduling order
+	// of their draws would reshuffle the quorum stream and break seeded
+	// replay. Jitter order still varies, but jitter only shapes time.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
 	// clientID prefixes every transaction ID issued by this client so IDs
 	// from different clients of the same cluster never alias in the DMs'
 	// lock tables.
@@ -71,6 +80,21 @@ type Store struct {
 	txnSeq   atomic.Uint64
 
 	Stats Stats
+
+	// Hooks are test-only fault-injection points; leave zero in production
+	// use. The chaos harness's self-test uses them to plant a bug and
+	// assert the history checker catches it.
+	Hooks Hooks
+}
+
+// Hooks are test-only fault-injection points on a Store.
+type Hooks struct {
+	// MutateWriteVN, when set, rewrites the version number a logical write
+	// is about to install. The returned version is both sent to the
+	// replicas and recorded in the attached history, so a mutation that
+	// masks a version increment surfaces as a duplicate install to the
+	// checker — the harness's detector-of-the-detector.
+	MutateWriteVN func(item string, vn int) int
 }
 
 type genCfg struct {
@@ -114,6 +138,7 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		opts:     st,
 		items:    map[string]ItemSpec{},
 		rng:      rand.New(rand.NewSource(st.seed)),
+		jitter:   rand.New(rand.NewSource(st.seed ^ 0x5DEECE66D)),
 		believed: map[string]genCfg{},
 	}
 	seen := map[string]bool{}
@@ -152,6 +177,10 @@ func (s *Store) Close() {
 		srv.Shutdown()
 	}
 }
+
+// ClientNode returns the network node id of this store's client, so test
+// harnesses can aim partitions at the client side of the cluster.
+func (s *Store) ClientNode() string { return s.client.ID() }
 
 // Items returns the item specs the store was opened with.
 func (s *Store) Items() []ItemSpec {
@@ -213,9 +242,9 @@ func (s *Store) shuffledQuorums(qs []quorum.Set) []quorum.Set {
 // transactions, which plain linear backoff can lock into livelock.
 func (s *Store) backoff(ctx context.Context, attempt int) {
 	base := s.opts.retryBackoff * time.Duration(attempt+1)
-	s.mu.Lock()
-	d := base/2 + time.Duration(s.rng.Int63n(int64(base)))
-	s.mu.Unlock()
+	s.jitterMu.Lock()
+	d := base/2 + time.Duration(s.jitter.Int63n(int64(base)))
+	s.jitterMu.Unlock()
 	select {
 	case <-time.After(d):
 	case <-ctx.Done():
@@ -231,9 +260,15 @@ const (
 	// may have granted after the phase completed. Control messages are
 	// sent best-effort; the DM owes us nothing we can prove.
 	touchMaybe touchLevel = iota + 1
-	// touchGranted: the DM acknowledged a grant. Control messages must be
-	// acknowledged or the operation fails.
+	// touchGranted: the DM acknowledged a lock grant but buffered no
+	// intention — it holds nothing a commit needs, only locks that should
+	// be swept. Its commit ack is pursued but not required; aborts and
+	// subtransaction promotions still demand it.
 	touchGranted
+	// touchWritten: the DM acknowledged a write-phase grant and buffers an
+	// intention. The top-level commit must be acknowledged by every such
+	// DM or the operation fails.
+	touchWritten
 )
 
 // Txn is a (possibly nested) transaction handle. A Txn is not safe for
@@ -248,6 +283,8 @@ type Txn struct {
 	childSeq int
 	phaseSeq int
 	done     bool
+	ops      []checker.Op
+	subs     []TxnID
 }
 
 // ID returns the transaction's hierarchical identifier.
@@ -255,7 +292,17 @@ func (t *Txn) ID() TxnID { return t.id }
 
 func (t *Txn) touch(dm string) {
 	t.mu.Lock()
-	t.touched[dm] = touchGranted
+	if t.touched[dm] < touchGranted {
+		t.touched[dm] = touchGranted
+	}
+	t.mu.Unlock()
+}
+
+// touchWrite records a DM that granted a write phase and now buffers an
+// intention for the transaction.
+func (t *Txn) touchWrite(dm string) {
+	t.mu.Lock()
+	t.touched[dm] = touchWritten
 	t.mu.Unlock()
 }
 
@@ -280,21 +327,53 @@ func (t *Txn) touchedDMs() []string {
 	return out
 }
 
-// controlSets partitions the touched DMs into those whose control acks are
-// required (confirmed grants) and those handled best-effort (tentative).
-func (t *Txn) controlSets() (required, tentative []string) {
+// controlSets partitions the touched DMs by how much the transaction's
+// resolution owes them: written DMs buffer intentions, granted DMs hold
+// only locks, tentative DMs may hold a late grant from an abandoned
+// request copy.
+func (t *Txn) controlSets() (written, granted, tentative []string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for dm, lvl := range t.touched {
-		if lvl >= touchGranted {
-			required = append(required, dm)
-		} else {
+		switch {
+		case lvl >= touchWritten:
+			written = append(written, dm)
+		case lvl >= touchGranted:
+			granted = append(granted, dm)
+		default:
 			tentative = append(tentative, dm)
 		}
 	}
-	sort.Strings(required)
+	sort.Strings(written)
+	sort.Strings(granted)
 	sort.Strings(tentative)
-	return required, tentative
+	return written, granted, tentative
+}
+
+// record logs one logical operation for the attached history recorder.
+// Ops accumulate on the transaction and reach the recorder only if the
+// top level commits; Sub adopts a child's ops only when the child
+// promotes, so aborted effects never pollute the history.
+func (t *Txn) record(kind checker.Kind, item string, val any, vn int, start time.Time) {
+	if t.store.opts.history == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ops = append(t.ops, checker.Op{Kind: kind, Item: item, Value: val, VN: vn, Start: start})
+	t.mu.Unlock()
+}
+
+// adoptOps appends a promoted child's operation log to the parent's.
+func (t *Txn) adoptOps(child *Txn) {
+	if t.store.opts.history == nil {
+		return
+	}
+	child.mu.Lock()
+	ops := append([]checker.Op(nil), child.ops...)
+	child.mu.Unlock()
+	t.mu.Lock()
+	t.ops = append(t.ops, ops...)
+	t.mu.Unlock()
 }
 
 // nextSeq issues the transaction's next quorum-phase sequence number.
@@ -306,6 +385,30 @@ func (t *Txn) nextSeq() int {
 	s := t.phaseSeq
 	t.mu.Unlock()
 	return s
+}
+
+// writeSet records one successful write phase: the item, the quorum sets
+// the phase was judged against, and the DMs that granted (and so buffer
+// an intention). The top-level commit is decided against these: it
+// succeeds when every write phase has a complete quorum among the DMs
+// that acknowledged the commit.
+// adoptSubs records a committed child (and its own committed subs) on the
+// parent, so the top-level CommitTopReq can name every committed
+// subtransaction in the tree.
+func (t *Txn) adoptSubs(child *Txn) {
+	child.mu.Lock()
+	ids := append([]TxnID{child.id}, child.subs...)
+	child.mu.Unlock()
+	t.mu.Lock()
+	t.subs = append(t.subs, ids...)
+	t.mu.Unlock()
+}
+
+// committedSubs snapshots the transaction's committed-subtransaction ids.
+func (t *Txn) committedSubs() []TxnID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TxnID(nil), t.subs...)
 }
 
 // readResult aggregates a completed read phase.
@@ -638,7 +741,7 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 			all := true
 			for i := range members {
 				if oks[i] {
-					t.touch(members[i])
+					t.touchWrite(members[i])
 				} else {
 					all = false
 					if busy[i] {
@@ -675,6 +778,7 @@ func (t *Txn) Read(ctx context.Context, item string) (any, error) {
 	}
 	t.store.Stats.Reads.Inc()
 	t.store.Stats.ReadLatency.ObserveSince(start)
+	t.record(checker.OpRead, item, res.val, res.vn, start)
 	t.store.traceEvent(string(t.id), "read", "%s = %v (vn %d)", item, res.val, res.vn)
 	return res.val, nil
 }
@@ -686,11 +790,13 @@ func (t *Txn) ReadVersioned(ctx context.Context, item string) (any, int, error) 
 	if t.done {
 		return nil, 0, ErrTxnDone
 	}
+	start := time.Now()
 	res, err := t.readPhase(ctx, item, LockRead)
 	if err != nil {
 		return nil, 0, err
 	}
 	t.store.Stats.Reads.Inc()
+	t.record(checker.OpRead, item, res.val, res.vn, start)
 	return res.val, res.vn, nil
 }
 
@@ -709,6 +815,7 @@ func (t *Txn) ReadForUpdate(ctx context.Context, item string) (any, error) {
 	}
 	t.store.Stats.Reads.Inc()
 	t.store.Stats.ReadLatency.ObserveSince(start)
+	t.record(checker.OpRead, item, res.val, res.vn, start)
 	return res.val, nil
 }
 
@@ -724,7 +831,7 @@ func (t *Txn) Write(ctx context.Context, item string, val any) error {
 	if err != nil {
 		return err
 	}
-	vn := res.vn + 1
+	vn := t.nextWriteVN(item, res.vn)
 	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
 		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
 	})
@@ -733,8 +840,20 @@ func (t *Txn) Write(ctx context.Context, item string, val any) error {
 	}
 	t.store.Stats.Writes.Inc()
 	t.store.Stats.WriteLatency.ObserveSince(start)
+	t.record(checker.OpWrite, item, val, vn, start)
 	t.store.traceEvent(string(t.id), "write", "%s := %v (vn %d)", item, val, vn)
 	return nil
+}
+
+// nextWriteVN computes the version a logical write installs: one past the
+// read-quorum maximum, routed through the test-only mutation hook when one
+// is planted.
+func (t *Txn) nextWriteVN(item string, readVN int) int {
+	vn := readVN + 1
+	if mut := t.store.Hooks.MutateWriteVN; mut != nil {
+		vn = mut(item, vn)
+	}
+	return vn
 }
 
 // WriteVersioned is Write exposing the version number the write installed
@@ -743,11 +862,12 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 	if t.done {
 		return 0, ErrTxnDone
 	}
+	start := time.Now()
 	res, err := t.readPhase(ctx, item, LockWrite)
 	if err != nil {
 		return 0, err
 	}
-	vn := res.vn + 1
+	vn := t.nextWriteVN(item, res.vn)
 	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
 		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
 	})
@@ -755,6 +875,7 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 		return 0, err
 	}
 	t.store.Stats.Writes.Inc()
+	t.record(checker.OpWrite, item, val, vn, start)
 	return vn, nil
 }
 
@@ -764,17 +885,21 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 // must not stall commits it was never part of.
 const tentativeControlRetries = 2
 
-// control sends a commit/abort control message to every required DM and
-// every tentative DM concurrently. Required DMs (confirmed grants) are
-// retried until acknowledged or the retry budget runs out, and a missing
-// ack fails the call; tentative DMs (abandoned in-flight copies that may
-// have granted) are retried a few times and then given up on silently.
-func (t *Txn) control(ctx context.Context, required, tentative []string, req any) error {
-	if len(required) == 0 && len(tentative) == 0 {
+// control sends a commit/abort control message to every touched DM
+// concurrently and returns the required DMs that never acknowledged.
+// Required DMs are retried until acknowledged or the retry budget runs
+// out; the caller decides what a missing ack means (Sub fails outright,
+// Run's commit checks write-quorum coverage). Cleanup DMs get the same
+// retry budget but are never reported missing: they hold only locks the
+// resolution should sweep, not state the outcome depends on. Tentative
+// DMs (abandoned in-flight copies that may have granted) are retried a
+// few times and given up on silently.
+func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string, req any) (missing []string) {
+	if len(required) == 0 && len(cleanup) == 0 && len(tentative) == 0 {
 		return nil
 	}
 	start := time.Now()
-	errs := make([]error, len(required))
+	acked := make([]bool, len(required))
 	send := func(dm string, retries int) bool {
 		for attempt := 0; attempt <= retries; attempt++ {
 			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
@@ -794,25 +919,39 @@ func (t *Txn) control(ctx context.Context, required, tentative []string, req any
 		wg.Add(1)
 		go func(i int, dm string) {
 			defer wg.Done()
-			if !send(dm, t.store.opts.lockRetries) {
-				errs[i] = fmt.Errorf("%w: no ack from %s", ErrUnavailable, dm)
-			}
+			acked[i] = send(dm, t.store.opts.lockRetries)
 		}(i, dm)
 	}
-	// Tentative cleanup runs detached: the operation's outcome does not
-	// depend on it, and waiting would let a slow or dead replica the
-	// transaction never used stall every commit.
+	// Cleanup and tentative rounds run detached: the operation's outcome
+	// does not depend on them, and waiting would let a slow or dead
+	// replica the transaction never used stall every commit. Under
+	// WithSynchronousCleanup they are awaited instead, so no goroutine
+	// outlives the operation — a replay requirement.
+	detached := func(dm string, retries int) {
+		if t.store.opts.syncCleanup {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				send(dm, retries)
+			}()
+		} else {
+			go send(dm, retries)
+		}
+	}
+	for _, dm := range cleanup {
+		detached(dm, t.store.opts.lockRetries)
+	}
 	for _, dm := range tentative {
-		go send(dm, tentativeControlRetries)
+		detached(dm, tentativeControlRetries)
 	}
 	wg.Wait()
 	t.store.Stats.ControlLatency.ObserveSince(start)
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for i, ok := range acked {
+		if !ok {
+			missing = append(missing, required[i])
 		}
 	}
-	return nil
+	return missing
 }
 
 // absorb merges a child's touched set into the parent, so the parent's
@@ -860,16 +999,23 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 		return err
 	}
 	child.done = true
-	required, tentative := child.controlSets()
-	if err := t.control(ctx, required, tentative, CommitSubReq{Txn: child.id}); err != nil {
-		// Could not promote everywhere: the sub's effects would be
-		// partial, so abort it instead.
-		child.done = false
-		child.abort(ctx)
-		t.absorb(child)
-		return err
+	written, granted, tentative := child.controlSets()
+	// Promotion transfers locks as well as intentions to the parent, so
+	// lock-only DMs are asked to confirm it too. The first CommitSubReq
+	// send is a point of no return: a DM that promoted cannot demote, so
+	// aborting the child here would leave its writes applied wherever the
+	// promote landed while the history records an abort. Stragglers keep
+	// the child's state under its own id; the top-level resolution sweeps
+	// it — CommitTopReq names the child in Subs and applies it, AbortReq
+	// drops the whole tree.
+	required := append(written, granted...)
+	sort.Strings(required)
+	if m := t.control(ctx, required, nil, tentative, CommitSubReq{Txn: child.id}); len(m) > 0 {
+		t.store.traceEvent(string(child.id), "sub-commit", "promote stragglers %v", m)
 	}
 	t.absorb(child)
+	t.adoptOps(child)
+	t.adoptSubs(child)
 	t.store.traceEvent(string(child.id), "sub-commit", "promoted to %s", t.id)
 	return nil
 }
@@ -879,8 +1025,10 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 // top-level transaction resolves or on restart).
 func (t *Txn) abort(ctx context.Context) {
 	t.done = true
-	required, tentative := t.controlSets()
-	_ = t.control(ctx, required, tentative, AbortReq{Txn: t.id})
+	written, granted, tentative := t.controlSets()
+	required := append(written, granted...)
+	sort.Strings(required)
+	_ = t.control(ctx, required, nil, tentative, AbortReq{Txn: t.id})
 	t.store.Stats.Aborts.Inc()
 	t.store.traceEvent(string(t.id), "abort", "discarded at %v", t.touchedDMs())
 }
@@ -892,6 +1040,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 	start := time.Now()
 	var err error
 	for attempt := 0; attempt <= s.opts.txnRetries; attempt++ {
+		attemptStart := time.Now()
 		t := &Txn{
 			store:   s,
 			id:      TxnID(fmt.Sprintf("%s.t%d", s.clientID, s.txnSeq.Add(1))),
@@ -899,15 +1048,32 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 		}
 		err = fn(t)
 		if err == nil {
-			required, tentative := t.controlSets()
-			err = t.control(ctx, required, tentative, CommitTopReq{Txn: t.id})
-			if err == nil {
-				t.done = true
-				s.Stats.Commits.Inc()
-				s.Stats.TxnLatency.ObserveSince(start)
-				s.traceEvent(string(t.id), "commit", "applied at %v", t.touchedDMs())
-				return nil
+			written, granted, tentative := t.controlSets()
+			// The first CommitTopReq send is the commit point: every
+			// written DM buffered the intention at a full write quorum, so
+			// any delivered copy publishes the write to readers. Reporting
+			// failure (or worse, aborting) after that would misreport a
+			// visible commit — the unknown-outcome window chaos checking
+			// trips over. A straggler that never hears the commit keeps
+			// its locks, so no quorum it belongs to can read a stale
+			// version or re-issue the version number: readers and writers
+			// route around it through quorums whose intersection members
+			// did apply.
+			missing := t.control(ctx, written, granted, tentative,
+				CommitTopReq{Txn: t.id, Subs: t.committedSubs()})
+			if len(missing) > 0 {
+				s.traceEvent(string(t.id), "commit", "stragglers %v", missing)
 			}
+			t.done = true
+			s.Stats.Commits.Inc()
+			s.Stats.TxnLatency.ObserveSince(start)
+			if s.opts.history != nil {
+				s.opts.history.RecordTxn(checker.TxnRecord{
+					ID: string(t.id), Start: attemptStart, End: time.Now(), Ops: t.ops,
+				})
+			}
+			s.traceEvent(string(t.id), "commit", "applied at %v", t.touchedDMs())
+			return nil
 		}
 		t.abort(ctx)
 		if !errors.Is(err, ErrConflict) || ctx.Err() != nil {

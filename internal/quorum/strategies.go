@@ -30,6 +30,12 @@ func Voting(votes map[string]int, rq, wq int) (Config, error) {
 	if 2*wq <= total {
 		return Config{}, fmt.Errorf("quorum: write-quorum %d must exceed half of total votes %d", wq, total)
 	}
+	// The intersection constraints alone don't force satisfiability: with
+	// few (or zero) total votes a threshold can exceed what any subset
+	// carries, leaving no quorums at all.
+	if rq > total || wq > total {
+		return Config{}, fmt.Errorf("quorum: thresholds rq=%d wq=%d unsatisfiable with %d total votes", rq, wq, total)
+	}
 	cfg := Config{
 		R: minimalQuorums(names, votes, rq),
 		W: minimalQuorums(names, votes, wq),

@@ -12,6 +12,18 @@ import (
 // caller cannot tell, exactly as in a real network).
 var ErrRPCTimeout = errors.New("rpc timeout")
 
+// ErrCallLost is returned by Call under Config.FateFeedback when the
+// network reports that the request or its reply was dropped — crashed
+// peer, severed link, or sampled loss. It carries the same meaning as
+// ErrRPCTimeout (no answer is coming) but arrives the moment the fate is
+// decided, so deterministic harnesses never race a timer against the
+// scheduler.
+var ErrCallLost = errors.New("rpc call lost")
+
+// callLost is the sentinel a drop watcher delivers on a pending call's
+// channel in place of a response.
+type callLost struct{}
+
 // envelope is an RPC request on the wire.
 type envelope struct {
 	ID  uint64
@@ -57,8 +69,40 @@ func NewNode(net *Network, id string, handler Handler) *Node {
 		done:    make(chan struct{}),
 	}
 	inbox := net.Register(id)
+	net.watchDrops(id, n.onDrop) // no-op unless Config.FateFeedback
 	go n.loop(inbox)
 	return n
+}
+
+// onDrop receives the fate of a lost message that named this node. If the
+// message was a request this node sent, or a reply addressed to it, the
+// matching pending call fails immediately with ErrCallLost.
+func (n *Node) onDrop(m Message) {
+	var id uint64
+	switch p := m.Payload.(type) {
+	case envelope:
+		if m.From != n.id {
+			return // a request we were meant to serve; nothing pending here
+		}
+		id = p.ID
+	case reply:
+		if m.To != n.id {
+			return
+		}
+		id = p.ID
+	default:
+		return
+	}
+	if id == 0 {
+		return // Notify traffic has no waiter
+	}
+	n.mu.Lock()
+	ch := n.pending[id]
+	delete(n.pending, id)
+	n.mu.Unlock()
+	if ch != nil {
+		ch <- callLost{}
+	}
 }
 
 // ID returns the node's network identifier.
@@ -104,6 +148,9 @@ func (n *Node) Call(ctx context.Context, to string, req any) (any, error) {
 	n.net.Send(n.id, to, envelope{ID: id, Req: req})
 	select {
 	case resp := <-ch:
+		if _, lost := resp.(callLost); lost {
+			return nil, ErrCallLost
+		}
 		return resp, nil
 	case <-ctx.Done():
 		n.mu.Lock()
@@ -126,6 +173,7 @@ func (n *Node) Notify(to string, req any) {
 
 // Shutdown stops the node's loop and waits for it to exit.
 func (n *Node) Shutdown() {
+	n.net.unwatchDrops(n.id)
 	select {
 	case <-n.stop:
 	default:
