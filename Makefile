@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench chaos fuzz verify
+.PHONY: build test vet race bench bench-json chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,28 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Machine-readable benchmark snapshot: runs the full suite and writes the
+# first unused BENCH_<n>.json (name, ns/op, allocs/op, custom metrics).
+bench-json:
+	$(GO) test -bench=. -benchmem . | $(GO) run ./cmd/benchjson
+
 # Seeded chaos campaigns with full-history serializability checking. A
 # failing campaign prints its seed and the exact replay command.
 chaos:
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 10
 
-# Short coverage-guided fuzz pass over the quorum construction invariants.
+# Coverage-guided fuzz passes: quorum construction invariants, then WAL
+# record framing (decode must reject every corruption of what encode
+# wrote, and round-trip what it accepts).
 fuzz:
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 30s
 
-# CI entry point: everything tier-1 checks plus vet and the race pass.
+# CI entry point: everything tier-1 checks plus vet, the race pass, short
+# fuzz smokes, and the qcstore durable-mode end-to-end demo (open, write,
+# close, reopen from the WALs, read back).
 verify: build vet test race
+	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
+	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
+	d=$$(mktemp -d) && $(GO) run ./cmd/qcstore -dir $$d >/dev/null && rm -rf $$d
+	@echo verify: OK

@@ -16,6 +16,7 @@ import (
 	"repro/internal/quorum"
 	"repro/internal/reconfig"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -425,4 +426,60 @@ func BenchmarkE10_StragglerRead_SequentialQuorums(b *testing.B) {
 
 func BenchmarkE10_StragglerRead_FanoutNoHedge(b *testing.B) {
 	benchStraggler(b, cluster.WithHedgeDelay(0))
+}
+
+// E12: group commit vs per-record fsync. Both variants append the same
+// 64-byte records to a real on-disk WAL with fsync on; the baseline syncs
+// after every record, group commit lets concurrent appenders share one
+// fsync (a flush leader syncs everything framed since the last round and
+// waiters piggyback). The reported batch-size metric is the realized
+// records-per-fsync ratio.
+
+func benchWAL(b *testing.B, parallel bool, opts ...wal.Option) {
+	log, _, err := wal.Open(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { log.Close() })
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	if parallel {
+		// Many appender goroutines per core: group commit's win is batching
+		// concurrent appends behind one fsync, and the leader blocks in the
+		// sync syscall, so waiters accumulate even on a single core.
+		b.SetParallelism(32)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := log.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	} else {
+		for i := 0; i < b.N; i++ {
+			if err := log.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	m := log.Metrics()
+	if f := m.Flushes.Value(); f > 0 {
+		b.ReportMetric(float64(m.Appends.Value())/float64(f), "records/fsync")
+	}
+}
+
+func BenchmarkE12_WAL_FsyncEachRecord(b *testing.B) {
+	benchWAL(b, false, wal.WithGroupCommit(false))
+}
+
+func BenchmarkE12_WAL_GroupCommit(b *testing.B) {
+	benchWAL(b, true)
+}
+
+// The no-fsync variant isolates the cost of stability itself: it is the
+// simulated-crash harness configuration, where a crash loses memory but
+// not the page cache.
+func BenchmarkE12_WAL_NoFsync(b *testing.B) {
+	benchWAL(b, true, wal.WithFsync(false))
 }

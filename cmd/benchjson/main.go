@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON snapshot. It writes BENCH_<n>.json in the current
+// directory, picking the smallest unused n (override with -o), so
+// successive runs accumulate side by side for comparison:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson
+//
+// Each benchmark becomes one object with its name (CPU suffix stripped),
+// iteration count, ns/op, B/op and allocs/op when -benchmem was on, and
+// any custom b.ReportMetric units under "extra".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type row struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: the first unused BENCH_<n>.json)")
+	flag.Parse()
+
+	rows, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		for n := 1; ; n++ {
+			path = fmt.Sprintf("BENCH_%d.json", n)
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				break
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(rows), path)
+}
+
+// parse extracts benchmark result lines. The text format is
+//
+//	BenchmarkName[-P]  <iters>  <value> <unit>  [<value> <unit>]...
+//
+// where -P is the GOMAXPROCS suffix (absent on single-proc runs).
+func parse(r *os.File) ([]row, error) {
+	var rows []row
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rw := row{Name: name, Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			val, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				rw.NsPerOp = val
+				seen = true
+			case "B/op":
+				v := int64(val)
+				rw.BytesPerOp = &v
+			case "allocs/op":
+				v := int64(val)
+				rw.AllocsPerOp = &v
+			default:
+				if rw.Extra == nil {
+					rw.Extra = map[string]float64{}
+				}
+				rw.Extra[unit] = val
+			}
+		}
+		if seen {
+			rows = append(rows, rw)
+		}
+	}
+	return rows, sc.Err()
+}

@@ -29,7 +29,7 @@ func main() {
 		campaigns = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration  = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first     = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,partition,straggler,drop,dup,reorder")
+		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder")
 		items     = flag.Int("items", 2, "replicated items per campaign")
 		replicas  = flag.Int("replicas", 3, "replicas (DMs) per item")
 		rounds    = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
@@ -70,10 +70,11 @@ func main() {
 		res, err := chaos.Run(ctx, cfg)
 		ran++
 		if *verbose {
-			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d injected=%v\n",
+			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d recoveries=%d replayed=%d injected=%v\n",
 				i, cseed, res.Committed, res.Failed, res.Tolerated, res.Ops,
 				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
-				res.Net.Duplicated, res.Net.Reordered, res.Injected)
+				res.Net.Duplicated, res.Net.Reordered,
+				res.Recoveries, res.ReplayedRecords, res.Injected)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %d (seed %d) FAILED: %v\n", i, cseed, err)
@@ -89,14 +90,17 @@ func main() {
 		agg.Failed += res.Failed
 		agg.Tolerated += res.Tolerated
 		agg.Ops += res.Ops
+		agg.Recoveries += res.Recoveries
+		agg.ReplayedRecords += res.ReplayedRecords
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
 		agg.Net.Dropped += res.Net.Dropped
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d recoveries=%d replayed=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops,
+		agg.Recoveries, agg.ReplayedRecords,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }

@@ -1,7 +1,10 @@
 // Command qcstore demonstrates the cluster-layer store end to end on a
 // simulated network: nested transactions with tolerated subtransaction
 // aborts, replica crashes survived through quorums, and an online
-// reconfiguration that shrinks the quorums to the live replicas.
+// reconfiguration that shrinks the quorums to the live replicas. With
+// -dir, every replica keeps a write-ahead log there, and the demo closes
+// the whole store and reopens it from the logs alone before reading the
+// final state back.
 package main
 
 import (
@@ -22,16 +25,17 @@ func main() {
 	var (
 		n       = flag.Int("replicas", 5, "number of DMs")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		dir     = flag.String("dir", "", "durable mode: keep per-replica write-ahead logs under this directory, then close, reopen from them, and read the state back")
 		showLog = flag.Bool("trace", false, "print the event timeline at the end")
 	)
 	flag.Parse()
-	if err := run(*n, *seed, *showLog); err != nil {
+	if err := run(*n, *seed, *dir, *showLog); err != nil {
 		fmt.Fprintln(os.Stderr, "qcstore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, showLog bool) error {
+func run(n int, seed int64, dir string, showLog bool) error {
 	dms := make([]string, n)
 	for i := range dms {
 		dms[i] = fmt.Sprintf("dm%d", i)
@@ -39,13 +43,23 @@ func run(n int, seed int64, showLog bool) error {
 	net := sim.NewNetwork(sim.Config{MinLatency: 200 * time.Microsecond, MaxLatency: 2 * time.Millisecond, Seed: seed})
 	defer net.Close()
 	log := trace.NewLog()
-	store, err := cluster.Open(net, []cluster.ItemSpec{
+	items := []cluster.ItemSpec{
 		{Name: "balance/alice", Initial: 100, DMs: dms, Config: quorum.Majority(dms)},
-	}, cluster.WithSeed(seed), cluster.WithTrace(log))
+	}
+	opts := []cluster.Option{cluster.WithSeed(seed), cluster.WithTrace(log)}
+	if dir != "" {
+		opts = append(opts, cluster.WithDurability(dir))
+	}
+	store, err := cluster.Open(net, items, opts...)
 	if err != nil {
 		return err
 	}
-	defer store.Close()
+	closed := false
+	defer func() {
+		if !closed {
+			store.Close()
+		}
+	}()
 	ctx := context.Background()
 
 	fmt.Printf("cluster: %d replicas, majority quorums\n", n)
@@ -108,6 +122,36 @@ func run(n int, seed int64, showLog bool) error {
 	}); err != nil {
 		return err
 	}
+	if dir != "" {
+		// Durability proof: restart the crashed replicas, tear the whole
+		// store down (memory gone), and reopen it from the write-ahead logs
+		// alone. The recovered cluster must serve the last committed balance.
+		net.Restart(dms[n-1])
+		net.Restart(dms[n-2])
+		store.Close()
+		closed = true
+		fmt.Printf("closed store; reopening from write-ahead logs under %s\n", dir)
+		reopened, err := cluster.Open(net, items, opts...)
+		if err != nil {
+			return err
+		}
+		store = reopened
+		closed = false
+		var got any
+		if err := store.Run(ctx, func(tx *cluster.Txn) error {
+			v, err := tx.Read(ctx, "balance/alice")
+			got = v
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("recovered: balance = %v (%d replica recoveries, %d log records replayed)\n",
+			got, store.Stats.Recoveries.Value(), store.Stats.ReplayedRecords.Value())
+		if got != 175 {
+			return fmt.Errorf("recovered balance = %v, want 175", got)
+		}
+	}
+
 	if showLog {
 		fmt.Println("\nevent timeline:")
 		fmt.Print(log.Render())

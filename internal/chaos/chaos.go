@@ -2,9 +2,11 @@
 // replicated cluster store and checks every committed operation against
 // the serializability checker. A campaign interleaves rounds of randomized
 // nested-transaction workload with a fault scheduler that crashes and
-// restarts replicas, partitions them from the client, slows them down, and
-// injects message loss, duplication and bounded reordering — all driven by
-// one int64 seed, so a failing campaign replays exactly from its seed.
+// restarts replicas, amnesia-crashes them (memory wiped, state rebuilt
+// from the replica's write-ahead log), partitions them from the client,
+// slows them down, and injects message loss, duplication and bounded
+// reordering — all driven by one int64 seed, so a failing campaign
+// replays exactly from its seed.
 //
 // Determinism engineering: fault transitions happen only between rounds,
 // behind a network Quiesce barrier, so no transaction ever spans a fault
@@ -21,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/quorum"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -38,6 +42,7 @@ type Fault string
 // The fault classes a campaign can inject.
 const (
 	FaultCrash     Fault = "crash"     // crash a replica, restart it later
+	FaultAmnesia   Fault = "amnesia"   // crash a replica, wipe its memory, recover it from its WAL
 	FaultPartition Fault = "partition" // sever the client↔replica link
 	FaultStraggler Fault = "straggler" // per-node delivery latency
 	FaultDrop      Fault = "drop"      // network-wide message loss
@@ -46,7 +51,7 @@ const (
 )
 
 // AllFaults lists every fault class in canonical order.
-var AllFaults = []Fault{FaultCrash, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder}
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder}
 
 // ParseFaults parses a comma-separated fault list such as
 // "crash,partition,dup". Empty input and "all" select every class.
@@ -164,6 +169,11 @@ type Result struct {
 	Ops int
 	// Injected counts fault episodes started, by class.
 	Injected map[Fault]int
+	// Recoveries counts DM state machines rebuilt from their write-ahead
+	// logs (amnesia heals); ReplayedRecords totals the log records those
+	// recoveries re-applied. Zero when FaultAmnesia is not in play.
+	Recoveries      int
+	ReplayedRecords int64
 	// Net is the network's final counter snapshot; with the same seed and
 	// deterministic mode it is identical run to run.
 	Net sim.Stats
@@ -212,6 +222,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithCallTimeout(cfg.CallTimeout),
 		cluster.WithHistory(rec),
 	}
+	amnesiaOn := false
+	for _, f := range cfg.Faults {
+		if f == FaultAmnesia {
+			amnesiaOn = true
+		}
+	}
+	if amnesiaOn {
+		// Amnesia needs somewhere to forget from: give every DM a WAL in a
+		// scratch directory. Fsync stays off because a simulated crash
+		// loses the process heap, not the page cache — the recovery logic
+		// exercised is identical, and the wal package's own tests plus the
+		// E12 experiment cover real fsync.
+		dir, err := os.MkdirTemp("", "chaos-wal-")
+		if err != nil {
+			return Result{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts,
+			cluster.WithDurability(dir),
+			cluster.WithWALOptions(wal.WithFsync(false)),
+		)
+	}
 	if !cfg.Live {
 		opts = append(opts,
 			cluster.WithSequentialPhases(true),
@@ -246,7 +278,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		net.PrimeLane(dm, client)
 	}
 
-	sched := newScheduler(net, client, groups, cfg)
+	sched := newScheduler(net, store, client, groups, cfg)
 	res := Result{Seed: cfg.Seed, Injected: map[Fault]int{}}
 	workers := 1
 	if cfg.Live {
@@ -258,6 +290,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 		net.Quiesce()
 		sched.advance(round, res.Injected)
+		if sched.err != nil {
+			return res, sched.err
+		}
 		p := workload.Profile{
 			ReadFraction: cfg.ReadFraction,
 			OpsPerTxn:    cfg.OpsPerTxn,
@@ -282,11 +317,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	// delivered in some runs and dropped in others, forking the counters.
 	net.Quiesce()
 	sched.healAll()
+	if sched.err != nil {
+		return res, sched.err
+	}
 	net.Quiesce()
 
 	hist := rec.History()
 	res.Ops = hist.Events()
 	res.Net = net.Stats()
+	res.Recoveries = int(store.Stats.Recoveries.Value())
+	res.ReplayedRecords = store.Stats.ReplayedRecords.Value()
 	if err := hist.Verify(); err != nil {
 		return res, err
 	}
@@ -319,14 +359,16 @@ type episode struct {
 type scheduler struct {
 	rng     *rand.Rand
 	net     *sim.Network
+	store   *cluster.Store
 	client  string
 	groups  [][]string
 	cfg     Config
 	enabled map[Fault]bool
 	active  []episode
+	err     error // first amnesia-recovery failure; fails the campaign
 }
 
-func newScheduler(net *sim.Network, client string, groups [][]string, cfg Config) *scheduler {
+func newScheduler(net *sim.Network, store *cluster.Store, client string, groups [][]string, cfg Config) *scheduler {
 	enabled := map[Fault]bool{}
 	for _, f := range cfg.Faults {
 		enabled[f] = true
@@ -336,6 +378,7 @@ func newScheduler(net *sim.Network, client string, groups [][]string, cfg Config
 		// store's and the network's.
 		rng:     rand.New(rand.NewSource(CampaignSeed(cfg.Seed, 0x5eed))),
 		net:     net,
+		store:   store,
 		client:  client,
 		groups:  groups,
 		cfg:     cfg,
@@ -383,7 +426,7 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 		}
 		ttl := round + 1 + s.rng.Intn(2)
 		switch f {
-		case FaultCrash, FaultPartition, FaultStraggler:
+		case FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler:
 			g := s.rng.Intn(len(s.groups))
 			if s.impaired(g) >= s.impairBudget() {
 				continue
@@ -393,7 +436,9 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 				continue
 			}
 			switch f {
-			case FaultCrash:
+			case FaultCrash, FaultAmnesia:
+				// Amnesia injects like a crash; the difference is the heal,
+				// which wipes the DM's memory and rebuilds it from its WAL.
 				s.net.Crash(dm)
 			case FaultPartition:
 				s.net.Disconnect(s.client, dm)
@@ -452,6 +497,17 @@ func (s *scheduler) faultActive(f Fault) bool {
 func (s *scheduler) heal(e episode) {
 	switch e.fault {
 	case FaultCrash:
+		s.net.Restart(e.dm)
+	case FaultAmnesia:
+		// The heal IS the amnesia: discard the replica's state machine,
+		// rebuild it from its log, and only then let traffic back in. Heals
+		// run behind a Quiesce barrier, so replay sees a settled log.
+		if _, err := s.store.RestartDM(e.dm); err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("chaos: amnesia recovery of %s: %w", e.dm, err)
+			}
+			return
+		}
 		s.net.Restart(e.dm)
 	case FaultPartition:
 		s.net.Reconnect(s.client, e.dm)

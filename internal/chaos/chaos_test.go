@@ -62,6 +62,39 @@ func TestCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// TestAmnesiaCampaign runs amnesia-only campaigns: replicas keep having
+// their memory wiped and rebuilt from their write-ahead logs mid-campaign,
+// and every history must still verify. Aggregate recovery counters prove
+// the fate actually fired and actually replayed log records.
+func TestAmnesiaCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	injected, recoveries := 0, 0
+	var replayed int64
+	for i := 0; i < 5; i++ {
+		cfg := shortCfg(CampaignSeed(21, i))
+		cfg.Faults = []Fault{FaultAmnesia}
+		cfg.Rounds = 3
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("amnesia campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d committed nothing", i)
+		}
+		if res.Injected[FaultAmnesia] > 0 && res.Recoveries == 0 {
+			t.Errorf("campaign %d injected amnesia %d times but recovered no DM",
+				i, res.Injected[FaultAmnesia])
+		}
+		injected += res.Injected[FaultAmnesia]
+		recoveries += res.Recoveries
+		replayed += res.ReplayedRecords
+	}
+	if injected == 0 || recoveries == 0 || replayed == 0 {
+		t.Errorf("amnesia fate never exercised recovery: injected=%d recoveries=%d replayed=%d",
+			injected, recoveries, replayed)
+	}
+}
+
 // TestMutationIsCaught plants a fault-masking bug via the store's
 // test-only hook — version increments past 1 are silently masked, so a
 // second write reinstalls an existing version — and asserts the checker

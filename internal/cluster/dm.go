@@ -50,9 +50,9 @@ type dmServer struct {
 	resolved map[TxnID]bool
 }
 
-// NewDMServer starts a DM node hosting the given items and returns its
-// sim.Node. Each item maps to its initial value and configuration.
-func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
+// newDMState builds the state machine of a DM hosting the given items,
+// each at its initial value and configuration.
+func newDMState(id string, items []ItemSpec) *dmServer {
 	s := &dmServer{id: id, replicas: map[string]*replica{}, resolved: map[TxnID]bool{}}
 	for _, it := range items {
 		s.replicas[it.Name] = &replica{
@@ -61,7 +61,13 @@ func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
 			locks: map[TxnID]LockMode{},
 		}
 	}
-	return sim.NewNode(net, id, s.handle)
+	return s
+}
+
+// NewDMServer starts a volatile DM node hosting the given items and returns
+// its sim.Node.
+func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
+	return sim.NewNode(net, id, newDMState(id, items).handle)
 }
 
 // canLock applies Moss's rule: a conflicting lock may be held only by
@@ -274,35 +280,50 @@ func (s *dmServer) markResolved(t TxnID) {
 	s.resolved[t] = true
 }
 
-// handle is the DM's RPC handler.
+// handle is the DM's RPC handler for the volatile (in-memory) path.
 func (s *dmServer) handle(_ string, req any) any {
+	resp, _ := s.apply(req)
+	return resp
+}
+
+// apply executes one request against the DM state machine and reports
+// whether it mutated state the replica is answerable for after a restart —
+// lock grants, intentions, tombstones, committed versions, resolutions.
+// The durable path logs exactly the requests apply reports as mutating, in
+// arrival order, and recovery replays them through this same function, so
+// apply must stay deterministic: same state + same request → same state and
+// response.
+func (s *dmServer) apply(req any) (resp any, mutated bool) {
 	switch q := req.(type) {
 	case ReadReq:
 		r := s.replicas[q.Item]
 		if r == nil {
-			return ReadResp{}
+			return ReadResp{}, false
 		}
 		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
-			return ReadResp{}
+			return ReadResp{}, false
 		}
 		if !r.canLock(q.Txn, q.Lock) {
-			return ReadResp{Busy: true}
+			return ReadResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, q.Lock)
 		r.noteGrant(q.Txn, q.Seq, held)
 		vn, val, gen, cfg := r.view(q.Txn)
-		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg}
+		// A granted read mutates the lock table: the grant is a promise
+		// two-phase locking depends on, so a restarted replica must still
+		// remember it.
+		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg}, true
 	case WriteReq:
 		r := s.replicas[q.Item]
 		if r == nil {
-			return WriteResp{}
+			return WriteResp{}, false
 		}
 		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
-			return WriteResp{}
+			return WriteResp{}, false
 		}
 		if !r.canLock(q.Txn, LockWrite) {
-			return WriteResp{Busy: true}
+			return WriteResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, LockWrite)
@@ -310,17 +331,17 @@ func (s *dmServer) handle(_ string, req any) any {
 		if !r.hasIntentCopy(q.Txn, false, q.VN, 0) {
 			r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
 		}
-		return WriteResp{OK: true, Held: held}
+		return WriteResp{OK: true, Held: held}, true
 	case ConfigWriteReq:
 		r := s.replicas[q.Item]
 		if r == nil {
-			return WriteResp{}
+			return WriteResp{}, false
 		}
 		if s.txnResolved(q.Txn) || r.tombstoned(q.Txn, q.Seq) {
-			return WriteResp{}
+			return WriteResp{}, false
 		}
 		if !r.canLock(q.Txn, LockWrite) {
-			return WriteResp{Busy: true}
+			return WriteResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, LockWrite)
@@ -328,16 +349,20 @@ func (s *dmServer) handle(_ string, req any) any {
 		if !r.hasIntentCopy(q.Txn, true, 0, q.Gen) {
 			r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
 		}
-		return WriteResp{OK: true, Held: held}
+		return WriteResp{OK: true, Held: held}, true
 	case ReleaseReq:
-		if r := s.replicas[q.Item]; r != nil {
-			r.release(q.Txn, q.Seq)
+		r := s.replicas[q.Item]
+		if r == nil || q.Seq == 0 {
+			return Ack{OK: true}, false
 		}
-		return Ack{OK: true}
+		// Even a refused release installs the phase tombstone, which must
+		// survive a restart or late request copies could re-grant.
+		r.release(q.Txn, q.Seq)
+		return Ack{OK: true}, true
 	case RepairReq:
 		r := s.replicas[q.Item]
 		if r == nil {
-			return Ack{}
+			return Ack{}, false
 		}
 		// Safe when strictly newer and no writer is in flight: the repair
 		// only advances the committed state to a value that is already
@@ -351,22 +376,23 @@ func (s *dmServer) handle(_ string, req any) any {
 		}
 		if q.VN > r.vn && !writerInFlight {
 			r.vn, r.val = q.VN, q.Val
+			return Ack{OK: true}, true
 		}
-		return Ack{OK: true}
+		return Ack{OK: true}, false
 	case InspectReq:
 		r := s.replicas[q.Item]
 		if r == nil {
-			return InspectResp{}
+			return InspectResp{}, false
 		}
 		return InspectResp{
 			OK: true, VN: r.vn, Val: r.val, Gen: r.gen, Cfg: r.cfg.Clone(),
 			Locks: len(r.locks), Intents: len(r.intents),
-		}
+		}, false
 	case CommitSubReq:
 		for _, r := range s.replicas {
 			r.promote(q.Txn)
 		}
-		return Ack{OK: true}
+		return Ack{OK: true}, true
 	case AbortReq:
 		if q.Txn.Top() == q.Txn {
 			s.markResolved(q.Txn)
@@ -374,20 +400,21 @@ func (s *dmServer) handle(_ string, req any) any {
 		for _, r := range s.replicas {
 			r.drop(q.Txn)
 		}
-		return Ack{OK: true}
+		return Ack{OK: true}, true
 	case CommitTopReq:
-		if !s.resolved[q.Txn] {
-			s.markResolved(q.Txn)
-			committed := make(map[TxnID]bool, len(q.Subs))
-			for _, sub := range q.Subs {
-				committed[sub] = true
-			}
-			for _, r := range s.replicas {
-				r.applyTop(q.Txn, committed)
-			}
+		if s.resolved[q.Txn] {
+			return Ack{OK: true}, false
 		}
-		return Ack{OK: true}
+		s.markResolved(q.Txn)
+		committed := make(map[TxnID]bool, len(q.Subs))
+		for _, sub := range q.Subs {
+			committed[sub] = true
+		}
+		for _, r := range s.replicas {
+			r.applyTop(q.Txn, committed)
+		}
+		return Ack{OK: true}, true
 	default:
-		return Ack{OK: false}
+		return Ack{OK: false}, false
 	}
 }

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// The durable replica path makes the paper's resilient-object assumption
+// honest: a DM's versioned value, quorum configuration, lock table,
+// intention list and resolution set live in a write-ahead log, and no
+// state-mutating request is acknowledged before its log record is durable.
+// Recovery rebuilds the DM by replaying the log through the same apply()
+// state machine that produced it, so a restarted replica answers exactly as
+// the pre-crash one would — which is what lets an amnesia-crashed
+// write-quorum member keep counting toward the quorum intersection
+// invariant (Lemma 8) after it comes back.
+
+// walRecord wraps one logged request so gob can carry the request types
+// through an interface field.
+type walRecord struct {
+	Req any
+}
+
+func init() {
+	gob.Register(ReadReq{})
+	gob.Register(WriteReq{})
+	gob.Register(ConfigWriteReq{})
+	gob.Register(ReleaseReq{})
+	gob.Register(RepairReq{})
+	gob.Register(CommitSubReq{})
+	gob.Register(AbortReq{})
+	gob.Register(CommitTopReq{})
+}
+
+// encodeRecord serializes one state-mutating request for the log.
+func encodeRecord(req any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(walRecord{Req: req}); err != nil {
+		return nil, fmt.Errorf("cluster: encode wal record: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRecord reverses encodeRecord.
+func decodeRecord(b []byte) (any, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("cluster: decode wal record: %w", err)
+	}
+	return rec.Req, nil
+}
+
+// intentSnap is the exported mirror of intent for snapshots.
+type intentSnap struct {
+	Owner    TxnID
+	IsConfig bool
+	VN       int
+	Val      any
+	Gen      int
+	Cfg      quorum.Config
+}
+
+// replicaSnap is the exported mirror of one replica's full state.
+type replicaSnap struct {
+	Item     string
+	VN       int
+	Val      any
+	Gen      int
+	Cfg      quorum.Config
+	Locks    map[TxnID]LockMode
+	Intents  []intentSnap
+	LockSeqs map[TxnID]int
+	LockBorn map[TxnID]int
+	Released map[TxnID]int
+}
+
+// dmSnap is a whole DM's state at one point in the log.
+type dmSnap struct {
+	Replicas []replicaSnap
+	Resolved map[TxnID]bool
+}
+
+// encodeSnapshot serializes the DM's complete state. Replicas are listed in
+// item order so snapshots of identical state are structurally identical.
+func encodeSnapshot(s *dmServer) ([]byte, error) {
+	snap := dmSnap{Resolved: s.resolved}
+	names := make([]string, 0, len(s.replicas))
+	for name := range s.replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := s.replicas[name]
+		rs := replicaSnap{
+			Item: name, VN: r.vn, Val: r.val, Gen: r.gen, Cfg: r.cfg.Clone(),
+			Locks:    r.locks,
+			LockSeqs: r.lockSeqs, LockBorn: r.lockBorn, Released: r.released,
+		}
+		for _, in := range r.intents {
+			rs.Intents = append(rs.Intents, intentSnap{
+				Owner: in.owner, IsConfig: in.isConfig,
+				VN: in.vn, Val: in.val, Gen: in.gen, Cfg: in.cfg.Clone(),
+			})
+		}
+		snap.Replicas = append(snap.Replicas, rs)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("cluster: encode wal snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreSnapshot overwrites the DM's state with a decoded snapshot.
+func restoreSnapshot(s *dmServer, b []byte) error {
+	var snap dmSnap
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return fmt.Errorf("cluster: decode wal snapshot: %w", err)
+	}
+	s.resolved = snap.Resolved
+	if s.resolved == nil {
+		s.resolved = map[TxnID]bool{}
+	}
+	s.replicas = map[string]*replica{}
+	for _, rs := range snap.Replicas {
+		r := &replica{
+			vn: rs.VN, val: rs.Val, gen: rs.Gen, cfg: rs.Cfg,
+			locks:    rs.Locks,
+			lockSeqs: rs.LockSeqs, lockBorn: rs.LockBorn, released: rs.Released,
+		}
+		if r.locks == nil {
+			r.locks = map[TxnID]LockMode{}
+		}
+		for _, in := range rs.Intents {
+			r.intents = append(r.intents, intent{
+				owner: in.Owner, isConfig: in.IsConfig,
+				vn: in.VN, val: in.Val, gen: in.Gen, cfg: in.Cfg,
+			})
+		}
+		s.replicas[rs.Item] = r
+	}
+	return nil
+}
+
+// RecoveryStats reports what a durable DM rebuilt when it opened its log.
+type RecoveryStats struct {
+	// Replayed is the number of log records re-applied through the state
+	// machine.
+	Replayed int
+	// FromSnapshot reports whether a snapshot seeded the state before
+	// replay.
+	FromSnapshot bool
+	// TruncatedBytes is the torn log tail dropped during open.
+	TruncatedBytes int64
+}
+
+// defaultSnapshotEvery is how many logged records a durable DM absorbs
+// before writing a compacting snapshot.
+const defaultSnapshotEvery = 1024
+
+// dmWAL couples one DM state machine to its write-ahead log. Its handle
+// method runs on the sim node's single loop goroutine (actor discipline);
+// only the deferred replies escape to the log's flusher goroutine.
+type dmWAL struct {
+	srv *dmServer
+	log *wal.Log
+
+	snapEvery int
+	sinceSnap int
+}
+
+// handle applies a request and defers its reply until the corresponding log
+// record is durable — the persist-before-ack discipline. Requests that
+// mutate nothing (refusals, inspections, idempotent re-deliveries) reply
+// immediately: a restart loses nothing they promised. Because the log is
+// sequential, a record's durability implies every earlier record's, so an
+// acked request can never be contradicted by recovery.
+func (d *dmWAL) handle(_ string, req any, reply func(any)) {
+	resp, mutated := d.srv.apply(req)
+	if !mutated {
+		reply(resp)
+		return
+	}
+	rec, err := encodeRecord(req)
+	if err != nil {
+		return // cannot persist ⇒ never acknowledge
+	}
+	if d.log.AppendCallback(rec, func(ferr error) {
+		if ferr == nil {
+			reply(resp)
+		}
+	}) != nil {
+		return
+	}
+	d.sinceSnap++
+	if d.sinceSnap >= d.snapEvery {
+		d.sinceSnap = 0
+		// The state already reflects every appended record (single-writer:
+		// this goroutine is the only appender), which is exactly what
+		// WriteSnapshot requires.
+		if state, err := encodeSnapshot(d.srv); err == nil {
+			d.log.WriteSnapshot(state)
+		}
+	}
+}
+
+// newDurableDM opens (or recovers) the write-ahead log in dir, rebuilds the
+// DM state machine from it, and starts its server node.
+func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int) (*dmHandle, RecoveryStats, error) {
+	log, rec, err := wal.Open(dir, walOpts...)
+	if err != nil {
+		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
+	}
+	srv := newDMState(id, items)
+	stats := RecoveryStats{TruncatedBytes: rec.TruncatedBytes}
+	if rec.Snapshot != nil {
+		if err := restoreSnapshot(srv, rec.Snapshot); err != nil {
+			log.Close()
+			return nil, RecoveryStats{}, err
+		}
+		stats.FromSnapshot = true
+	}
+	for _, raw := range rec.Records {
+		req, err := decodeRecord(raw)
+		if err != nil {
+			log.Close()
+			return nil, RecoveryStats{}, err
+		}
+		srv.apply(req)
+		stats.Replayed++
+	}
+	if snapEvery <= 0 {
+		snapEvery = defaultSnapshotEvery
+	}
+	d := &dmWAL{srv: srv, log: log, snapEvery: snapEvery}
+	h := &dmHandle{id: id, items: items, srv: srv, wal: d}
+	h.node = sim.NewAsyncNode(net, id, d.handle)
+	return h, stats, nil
+}
+
+// RestartDM simulates recovery from an amnesia crash of one DM: the server
+// node is torn down, its in-memory state discarded, and a fresh state
+// machine is rebuilt purely from the DM's write-ahead log. The node then
+// rejoins the network under the same id (its inbox persists across the
+// restart). Only valid on stores opened with WithDurability.
+func (s *Store) RestartDM(id string) (RecoveryStats, error) {
+	s.mu.Lock()
+	h := s.dms[id]
+	s.mu.Unlock()
+	if h == nil {
+		return RecoveryStats{}, fmt.Errorf("cluster: unknown DM %q", id)
+	}
+	if h.wal == nil {
+		return RecoveryStats{}, fmt.Errorf("cluster: DM %q is not durable", id)
+	}
+	h.node.Shutdown()
+	if err := h.wal.log.Close(); err != nil {
+		return RecoveryStats{}, fmt.Errorf("cluster: dm %s: close wal: %w", id, err)
+	}
+	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery)
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	s.mu.Lock()
+	s.dms[id] = nh
+	s.mu.Unlock()
+	s.Stats.Recoveries.Inc()
+	s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
+	return stats, nil
+}
+
+// WALMetrics returns the write-ahead-log metrics of one durable DM, or nil
+// for volatile stores and unknown ids.
+func (s *Store) WALMetrics(id string) *wal.Metrics {
+	s.mu.Lock()
+	h := s.dms[id]
+	s.mu.Unlock()
+	if h == nil || h.wal == nil {
+		return nil
+	}
+	return h.wal.log.Metrics()
+}

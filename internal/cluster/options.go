@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // settings is the resolved store configuration. Construct one with
@@ -24,6 +25,9 @@ type settings struct {
 	trace        *trace.Log
 	history      *checker.Recorder
 	syncCleanup  bool
+	walDir       string
+	walOpts      []wal.Option
+	snapEvery    int
 }
 
 func defaultSettings() settings {
@@ -136,6 +140,31 @@ func WithTrace(l *trace.Log) Option {
 // committed ones — are never recorded. Nil disables recording.
 func WithHistory(r *checker.Recorder) Option {
 	return func(s *settings) { s.history = r }
+}
+
+// WithDurability gives every DM the store spawns a segmented write-ahead
+// log under dir (one subdirectory per DM): state-mutating requests are
+// logged and made durable before they are acknowledged, and Open replays an
+// existing log to rebuild each DM's versioned value, configuration
+// generation, lock table and pending intentions — so a restarted replica
+// keeps every promise the pre-crash one made. Empty dir (the default)
+// keeps DMs volatile. Only meaningful on Open; OpenClient spawns no
+// servers.
+func WithDurability(dir string) Option {
+	return func(s *settings) { s.walDir = dir }
+}
+
+// WithWALOptions forwards options to each DM's write-ahead log — segment
+// size, fsync, group commit. Only meaningful together with WithDurability.
+func WithWALOptions(opts ...wal.Option) Option {
+	return func(s *settings) { s.walOpts = opts }
+}
+
+// WithSnapshotEvery sets how many logged records a durable DM absorbs
+// before writing a compacting snapshot. Values below 1 keep the default
+// (1024).
+func WithSnapshotEvery(n int) Option {
+	return func(s *settings) { s.snapEvery = n }
 }
 
 // WithSynchronousCleanup makes commit/abort control rounds wait for the

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestWithLockRetriesZeroMeansZero(t *testing.T) {
 	// Unset still means the defaults.
 	st = resolve(nil)
 	def := defaultSettings()
-	if st != def {
+	if !reflect.DeepEqual(st, def) {
 		t.Fatalf("resolve(nil) = %+v, want defaults %+v", st, def)
 	}
 }
@@ -38,7 +39,7 @@ func TestWithLockRetriesZeroMeansZero(t *testing.T) {
 // defaults, set fields stick.
 func TestLegacyOptionsAdapterParity(t *testing.T) {
 	st := resolve(Options{}.options())
-	if st != defaultSettings() {
+	if !reflect.DeepEqual(st, defaultSettings()) {
 		t.Errorf("Options{} must resolve to the defaults, got %+v", st)
 	}
 	st = resolve(Options{

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +52,11 @@ type Stats struct {
 	ReadPhaseLatency  metrics.Histogram
 	WritePhaseLatency metrics.Histogram
 	ControlLatency    metrics.Histogram
+	// Recoveries counts DM state machines rebuilt from a write-ahead log
+	// (at Open of a non-empty log and at every RestartDM);
+	// ReplayedRecords totals the log records those recoveries re-applied.
+	Recoveries      metrics.Counter
+	ReplayedRecords metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -58,8 +66,8 @@ type Store struct {
 	client *sim.Node
 	opts   settings
 
-	items   map[string]ItemSpec
-	servers []*sim.Node
+	items map[string]ItemSpec
+	dms   map[string]*dmHandle
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -79,6 +87,12 @@ type Store struct {
 	clientID string
 	txnSeq   atomic.Uint64
 
+	// detached counts control goroutines (commit/abort sweeps to replicas
+	// whose ack the outcome does not need) still in flight. Close waits
+	// them out: with durable replicas a resolution that dies with the
+	// process would leave its locks held in the logs forever.
+	detached sync.WaitGroup
+
 	Stats Stats
 
 	// Hooks are test-only fault-injection points; leave zero in production
@@ -95,6 +109,21 @@ type Hooks struct {
 	// masks a version increment surfaces as a duplicate install to the
 	// checker — the harness's detector-of-the-detector.
 	MutateWriteVN func(item string, vn int) int
+	// BeforeCommitTop, when set, runs immediately before the transaction's
+	// CommitTopReq broadcast — after the commit decision, before any DM
+	// hears it. Durability tests use it to crash replicas exactly inside
+	// the commit-point window.
+	BeforeCommitTop func(txn TxnID)
+}
+
+// dmHandle tracks one DM server the store spawned: its node, state
+// machine, hosted items, and (for durable stores) its write-ahead log.
+type dmHandle struct {
+	id    string
+	items []ItemSpec
+	node  *sim.Node
+	srv   *dmServer
+	wal   *dmWAL // nil on volatile stores
 }
 
 type genCfg struct {
@@ -137,6 +166,7 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		net:      net,
 		opts:     st,
 		items:    map[string]ItemSpec{},
+		dms:      map[string]*dmHandle{},
 		rng:      rand.New(rand.NewSource(st.seed)),
 		jitter:   rand.New(rand.NewSource(st.seed ^ 0x5DEECE66D)),
 		believed: map[string]genCfg{},
@@ -156,12 +186,41 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 				return nil, fmt.Errorf("cluster: DM %q assigned twice", dm)
 			}
 			seen[dm] = true
-			if spawnServers {
-				s.servers = append(s.servers, NewDMServer(net, dm, []ItemSpec{it}))
+			if !spawnServers {
+				continue
+			}
+			if st.walDir == "" {
+				srv := newDMState(dm, []ItemSpec{it})
+				s.dms[dm] = &dmHandle{
+					id: dm, items: []ItemSpec{it}, srv: srv,
+					node: sim.NewNode(net, dm, srv.handle),
+				}
+				continue
+			}
+			h, stats, err := newDurableDM(net, dm, []ItemSpec{it}, filepath.Join(st.walDir, dm), st.walOpts, st.snapEvery)
+			if err != nil {
+				return nil, err
+			}
+			s.dms[dm] = h
+			if stats.Replayed > 0 || stats.FromSnapshot {
+				s.Stats.Recoveries.Inc()
+				s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
 			}
 		}
 	}
 	s.clientID = fmt.Sprintf("c%d", clientSeq.Add(1))
+	if spawnServers && st.walDir != "" {
+		// Durable replicas remember resolved transaction ids across process
+		// restarts, but clientSeq does not: a fresh process would mint c1
+		// again and its c1.t1 would collide with a transaction the recovered
+		// DMs already resolved. A persisted epoch, bumped once per durable
+		// Open, keeps transaction ids unique across the directory's lifetime.
+		epoch, err := bumpEpoch(st.walDir)
+		if err != nil {
+			return nil, err
+		}
+		s.clientID = fmt.Sprintf("e%d%s", epoch, s.clientID)
+	}
 	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, st.seed), nil)
 	return s, nil
 }
@@ -170,11 +229,48 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 // keep transaction IDs from distinct clients disjoint.
 var clientSeq atomic.Uint64
 
-// Close shuts down the client and server nodes.
+// bumpEpoch increments the restart epoch persisted at dir/epoch and
+// returns the new value. The write is tmp+rename so a crash mid-bump
+// leaves either the old or the new epoch, never a torn file.
+func bumpEpoch(dir string) (uint64, error) {
+	path := filepath.Join(dir, "epoch")
+	var e uint64
+	if b, err := os.ReadFile(path); err == nil {
+		fmt.Sscanf(strings.TrimSpace(string(b)), "%d", &e)
+	}
+	e++
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", e)), 0o644); err != nil {
+		return 0, fmt.Errorf("cluster: persist client epoch: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("cluster: persist client epoch: %w", err)
+	}
+	return e, nil
+}
+
+// Close shuts down the client and server nodes and closes any write-ahead
+// logs, flushing their tails.
 func (s *Store) Close() {
+	// An orderly Close is not a crash (net.Crash models those, and loses
+	// exactly what a crash may lose). Wait out detached commit/abort
+	// sweeps, then let the network finish delivering their traffic and
+	// any fire-and-forget releases, so durable replicas log every
+	// resolution the client believes delivered before their WALs close.
+	s.detached.Wait()
+	s.net.Quiesce()
 	s.client.Shutdown()
-	for _, srv := range s.servers {
-		srv.Shutdown()
+	s.mu.Lock()
+	handles := make([]*dmHandle, 0, len(s.dms))
+	for _, h := range s.dms {
+		handles = append(handles, h)
+	}
+	s.mu.Unlock()
+	for _, h := range handles {
+		h.node.Shutdown()
+		if h.wal != nil {
+			h.wal.log.Close()
+		}
 	}
 }
 
@@ -935,7 +1031,11 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 				send(dm, retries)
 			}()
 		} else {
-			go send(dm, retries)
+			t.store.detached.Add(1)
+			go func() {
+				defer t.store.detached.Done()
+				send(dm, retries)
+			}()
 		}
 	}
 	for _, dm := range cleanup {
@@ -1059,6 +1159,9 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			// version or re-issue the version number: readers and writers
 			// route around it through quorums whose intersection members
 			// did apply.
+			if hook := s.Hooks.BeforeCommitTop; hook != nil {
+				hook(t.id)
+			}
 			missing := t.control(ctx, written, granted, tentative,
 				CommitTopReq{Txn: t.id, Subs: t.committedSubs()})
 			if len(missing) > 0 {

@@ -52,6 +52,67 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0))
 }
 
+// IntHistogram records dimensionless integer samples (batch sizes, queue
+// depths, replay counts) and reports simple summary statistics. The
+// duration Histogram stays separate so call sites never mix units.
+type IntHistogram struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+// Observe records one sample.
+func (h *IntHistogram) Observe(v int64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+// IntSummary holds the statistics of an IntHistogram snapshot.
+type IntSummary struct {
+	Count int
+	Mean  float64
+	P50   int64
+	P95   int64
+	Max   int64
+}
+
+// Count returns the number of samples recorded so far.
+func (h *IntHistogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Snapshot computes summary statistics over the samples so far.
+func (h *IntHistogram) Snapshot() IntSummary {
+	h.mu.Lock()
+	samples := append([]int64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return IntSummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total int64
+	for _, s := range samples {
+		total += s
+	}
+	pct := func(p float64) int64 {
+		return samples[int(p*float64(len(samples)-1))]
+	}
+	return IntSummary{
+		Count: len(samples),
+		Mean:  float64(total) / float64(len(samples)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+// String renders the summary compactly.
+func (s IntSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d max=%d", s.Count, s.Mean, s.P50, s.P95, s.Max)
+}
+
 // Summary holds the statistics of a histogram snapshot.
 type Summary struct {
 	Count int

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAsyncNodeDeferredReply exercises the AsyncHandler path: the handler
+// banks the reply functions and a separate goroutine answers them later, in
+// order — the shape a durable replica uses to ack after a log flush while
+// its actor loop keeps absorbing requests.
+func TestAsyncNodeDeferredReply(t *testing.T) {
+	net := NewNetwork(Config{Seed: 7})
+	defer net.Close()
+
+	type banked struct {
+		req   any
+		reply func(any)
+	}
+	var mu sync.Mutex
+	var queue []banked
+	notifies := 0
+	srv := NewAsyncNode(net, "srv", func(_ string, req any, reply func(any)) {
+		mu.Lock()
+		defer mu.Unlock()
+		if req == "notify" {
+			notifies++
+			reply("ignored") // no-op for Notify traffic
+			return
+		}
+		queue = append(queue, banked{req: req, reply: reply})
+	})
+	defer srv.Shutdown()
+	cli := NewNode(net, "cli", nil)
+	defer cli.Shutdown()
+
+	// Drain the bank on a delay, like a group-commit flusher would.
+	go func() {
+		for {
+			time.Sleep(2 * time.Millisecond)
+			mu.Lock()
+			for _, b := range queue {
+				b.reply("echo:" + b.req.(string))
+			}
+			queue = nil
+			mu.Unlock()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, msg := range []string{"a", "b", "c"} {
+		resp, err := cli.Call(ctx, "srv", msg)
+		if err != nil {
+			t.Fatalf("call %q: %v", msg, err)
+		}
+		if resp != "echo:"+msg {
+			t.Fatalf("call %q answered %v", msg, resp)
+		}
+	}
+
+	cli.Notify("srv", "notify")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := notifies
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("notify handled %d times, want 1", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -120,7 +120,15 @@ type Network struct {
 	byType      map[string]int64
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+
+	// inflight counts messages accepted into lanes but not yet delivered
+	// or dropped; idle (on mu) is broadcast when it reaches zero. A
+	// counter+condvar rather than a WaitGroup because durable replicas
+	// reply from their WAL flush goroutine, so a straggling send may race
+	// a Quiesce — legal here (Quiesce only promises that earlier sends
+	// have settled), but a WaitGroup forbids Add during a Wait at zero.
+	inflight int
+	idle     *sync.Cond
 }
 
 // NewNetwork returns a network with the given configuration.
@@ -128,7 +136,7 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 1024
 	}
-	return &Network{
+	n := &Network{
 		cfg:         cfg,
 		inboxes:     map[string]chan Message{},
 		crashed:     map[string]bool{},
@@ -143,6 +151,8 @@ func NewNetwork(cfg Config) *Network {
 		byType:      map[string]int64{},
 		stop:        make(chan struct{}),
 	}
+	n.idle = sync.NewCond(&n.mu)
+	return n
 }
 
 // Register creates (or returns) the inbox for a node id.
@@ -217,7 +227,9 @@ func (n *Network) laneLoop(l *lane) {
 				time.Sleep(d)
 			}
 			n.deliver(m.msg)
-			n.wg.Done()
+			n.mu.Lock()
+			n.settleLocked()
+			n.mu.Unlock()
 		}
 	}
 }
@@ -305,11 +317,11 @@ func (n *Network) Send(from, to string, payload any) {
 	deliverAt := time.Now().Add(delay)
 	congested := 0
 	for i := 0; i < copies; i++ {
-		n.wg.Add(1)
+		n.inflight++
 		select {
 		case l.ch <- laneMsg{msg: m, deliverAt: deliverAt}:
 		default:
-			n.wg.Done()
+			n.settleLocked()
 			n.dropped++ // link congested
 			congested++
 		}
@@ -458,7 +470,19 @@ func (n *Network) Stats() Stats {
 // (which would make replays diverge); with senders still active it only
 // guarantees the messages sent before the call have settled.
 func (n *Network) Quiesce() {
-	n.wg.Wait()
+	n.mu.Lock()
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// settleLocked records one message leaving transit. Caller holds mu.
+func (n *Network) settleLocked() {
+	n.inflight--
+	if n.inflight == 0 {
+		n.idle.Broadcast()
+	}
 }
 
 // Close stops accepting sends, waits for in-flight deliveries to drain,
@@ -470,7 +494,9 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
+	for n.inflight > 0 {
+		n.idle.Wait()
+	}
 	n.mu.Unlock()
-	n.wg.Wait()
 	close(n.stop)
 }

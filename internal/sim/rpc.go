@@ -41,13 +41,24 @@ type reply struct {
 // additional locking — the actor discipline. Handlers must not block.
 type Handler func(from string, req any) any
 
+// AsyncHandler processes a request on a node and replies through the given
+// function instead of a return value. reply may be called at most once,
+// either synchronously or later from another goroutine — the decoupling a
+// durable replica needs to keep absorbing requests while earlier acks wait
+// on a write-ahead-log flush. For fire-and-forget traffic (Notify), reply
+// is a no-op. The handler itself still runs on the node's single loop
+// goroutine, so node state keeps the actor discipline; only the reply
+// escapes it.
+type AsyncHandler func(from string, req any, reply func(resp any))
+
 // Node is a network participant with an RPC loop: it can serve requests via
 // its handler and issue calls to other nodes.
 type Node struct {
 	id  string
 	net *Network
 
-	handler Handler
+	handler  Handler
+	ahandler AsyncHandler
 
 	nextID  atomic.Uint64
 	mu      sync.Mutex
@@ -70,6 +81,24 @@ func NewNode(net *Network, id string, handler Handler) *Node {
 	}
 	inbox := net.Register(id)
 	net.watchDrops(id, n.onDrop) // no-op unless Config.FateFeedback
+	go n.loop(inbox)
+	return n
+}
+
+// NewAsyncNode registers id on the network and starts its loop with an
+// asynchronous handler: the reply is sent whenever the handler invokes its
+// reply function, not when the handler returns.
+func NewAsyncNode(net *Network, id string, handler AsyncHandler) *Node {
+	n := &Node{
+		id:       id,
+		net:      net,
+		ahandler: handler,
+		pending:  map[uint64]chan any{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	inbox := net.Register(id)
+	net.watchDrops(id, n.onDrop)
 	go n.loop(inbox)
 	return n
 }
@@ -105,6 +134,17 @@ func (n *Node) onDrop(m Message) {
 	}
 }
 
+// replier builds the reply function for one request. Notify traffic
+// (envelope ID 0) expects no answer, so its replier is a no-op.
+func (n *Node) replier(to string, id uint64) func(any) {
+	if id == 0 {
+		return func(any) {}
+	}
+	return func(resp any) {
+		n.net.Send(n.id, to, reply{ID: id, Resp: resp})
+	}
+}
+
 // ID returns the node's network identifier.
 func (n *Node) ID() string { return n.id }
 
@@ -113,26 +153,47 @@ func (n *Node) loop(inbox <-chan Message) {
 	for {
 		select {
 		case <-n.stop:
-			return
-		case m := <-inbox:
-			switch p := m.Payload.(type) {
-			case envelope:
-				if n.handler == nil {
-					continue
-				}
-				resp := n.handler(m.From, p.Req)
-				if p.ID != 0 {
-					n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
-				}
-			case reply:
-				n.mu.Lock()
-				ch := n.pending[p.ID]
-				delete(n.pending, p.ID)
-				n.mu.Unlock()
-				if ch != nil {
-					ch <- p.Resp
+			// Drain what the network already delivered: Shutdown is an
+			// orderly departure, not a crash (net.Crash models those), so a
+			// protocol message that reached this node must not be silently
+			// lost — a durable replica's log would otherwise miss a release
+			// or commit its sender rightly believes delivered.
+			for {
+				select {
+				case m := <-inbox:
+					n.dispatch(m)
+				default:
+					return
 				}
 			}
+		case m := <-inbox:
+			n.dispatch(m)
+		}
+	}
+}
+
+// dispatch handles one delivered message on the loop goroutine.
+func (n *Node) dispatch(m Message) {
+	switch p := m.Payload.(type) {
+	case envelope:
+		if n.ahandler != nil {
+			n.ahandler(m.From, p.Req, n.replier(m.From, p.ID))
+			return
+		}
+		if n.handler == nil {
+			return
+		}
+		resp := n.handler(m.From, p.Req)
+		if p.ID != 0 {
+			n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
+		}
+	case reply:
+		n.mu.Lock()
+		ch := n.pending[p.ID]
+		delete(n.pending, p.ID)
+		n.mu.Unlock()
+		if ch != nil {
+			ch <- p.Resp
 		}
 	}
 }

@@ -1,0 +1,555 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = fmt.Errorf("wal: log closed")
+
+// Segment and snapshot file names carry the segment index they begin at:
+// snap-N covers everything before segment N, so recovery loads the newest
+// snapshot and replays segments >= N.
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segName(idx uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, idx, segSuffix) }
+func snapName(idx uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, idx, snapSuffix) }
+
+func parseIdx(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return idx, err == nil
+}
+
+// options is the resolved configuration.
+type options struct {
+	segmentBytes int64
+	fsync        bool
+	groupCommit  bool
+}
+
+// Option configures a Log at Open.
+type Option func(*options)
+
+// WithSegmentBytes sets the rotation threshold: a segment that grows past
+// it is closed and a fresh one started. Default 4 MiB.
+func WithSegmentBytes(n int64) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.segmentBytes = n
+		}
+	}
+}
+
+// WithFsync controls whether flushes reach stable storage (fsync) or stop
+// at the OS (write only). Default on. Simulated-crash harnesses turn it
+// off: their "crashes" lose process memory, not the page cache, and the
+// recovery logic under test is identical.
+func WithFsync(on bool) Option {
+	return func(o *options) { o.fsync = on }
+}
+
+// WithGroupCommit controls fsync batching. On (the default), a flush
+// leader syncs every record framed since the last flush and concurrent
+// appenders piggyback on its fsync. Off, every append flushes and syncs by
+// itself, serialized, before returning — the per-record-fsync baseline the
+// E12 experiment measures group commit against.
+func WithGroupCommit(on bool) Option {
+	return func(o *options) { o.groupCommit = on }
+}
+
+// Metrics exposes the log's operational counters.
+type Metrics struct {
+	// Appends counts records appended; Flushes counts flush+fsync rounds.
+	// Their ratio is the realized group-commit batch size.
+	Appends metrics.Counter
+	Flushes metrics.Counter
+	// BatchSize samples the number of records each flush made durable.
+	BatchSize metrics.IntHistogram
+	// FlushLatency times each flush+fsync round.
+	FlushLatency metrics.Histogram
+	// Rotations and Snapshots count segment rolls and snapshot compactions.
+	Rotations metrics.Counter
+	Snapshots metrics.Counter
+}
+
+// Recovery reports what Open rebuilt from disk.
+type Recovery struct {
+	// Snapshot is the newest durable snapshot payload, nil if none.
+	Snapshot []byte
+	// Records holds every record appended after the snapshot, in order.
+	Records [][]byte
+	// TruncatedBytes is the torn tail dropped from the last segment.
+	TruncatedBytes int64
+}
+
+// A Log is an open write-ahead log. Append and AppendCallback are safe for
+// concurrent use; WriteSnapshot must not run concurrently with appends
+// whose records the snapshot state does not reflect (single-writer
+// discipline — the replica layer's actor loop satisfies it trivially).
+type Log struct {
+	dir  string
+	opts options
+	m    Metrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast when a flush round ends or the leader retires
+	f        *os.File
+	bw       *bufio.Writer
+	segIdx   uint64
+	segBytes int64
+	appended uint64 // records framed into the buffer
+	flushed  uint64 // records made durable
+	waiters  []waiter
+	flushing bool  // a group-commit leader is active
+	err      error // sticky: first flush failure poisons the log
+	closed   bool
+}
+
+// waiter is one append awaiting durability.
+type waiter struct {
+	seq uint64
+	fn  func(error)
+}
+
+// Open opens (creating if needed) the log in dir, recovers its durable
+// state, and starts a fresh segment for new appends. The returned Recovery
+// carries the newest snapshot and the records appended after it; a torn
+// record at the very tail of the last segment is truncated away, while
+// corruption anywhere else fails the open — a log must never silently skip
+// past a valid record.
+func Open(dir string, opt ...Option) (*Log, Recovery, error) {
+	o := options{segmentBytes: 4 << 20, fsync: true, groupCommit: true}
+	for _, fn := range opt {
+		fn(&o)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	rec, nextIdx, err := scan(dir)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	l := &Log{dir: dir, opts: o, segIdx: nextIdx}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.openSegmentLocked(nextIdx); err != nil {
+		return nil, Recovery{}, err
+	}
+	return l, rec, nil
+}
+
+// scan reads dir and rebuilds the durable state: the newest valid
+// snapshot, then every record in the segments at or after it. It returns
+// the next free segment index.
+func scan(dir string) (Recovery, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return Recovery{}, 0, err
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		if idx, ok := parseIdx(e.Name(), segPrefix, segSuffix); ok {
+			segs = append(segs, idx)
+		}
+		if idx, ok := parseIdx(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	var rec Recovery
+	var from uint64
+	if len(snaps) > 0 {
+		// Snapshots are written to a temp name and renamed, so any .snap
+		// present is complete; its checksum still guards bit rot.
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+		idx := snaps[len(snaps)-1]
+		b, err := os.ReadFile(filepath.Join(dir, snapName(idx)))
+		if err != nil {
+			return Recovery{}, 0, err
+		}
+		payload, n, err := DecodeFrame(b)
+		if err != nil || n != len(b) {
+			return Recovery{}, 0, fmt.Errorf("wal: snapshot %s: %w", snapName(idx), ErrCorrupt)
+		}
+		rec.Snapshot = append([]byte(nil), payload...)
+		from = idx
+	}
+
+	nextIdx := from
+	for i, idx := range segs {
+		if idx >= nextIdx {
+			nextIdx = idx + 1
+		}
+		if idx < from {
+			continue // superseded by the snapshot; compaction leftover
+		}
+		last := i == len(segs)-1
+		records, truncated, err := readSegment(filepath.Join(dir, segName(idx)), last)
+		if err != nil {
+			return Recovery{}, 0, err
+		}
+		rec.Records = append(rec.Records, records...)
+		rec.TruncatedBytes += truncated
+	}
+	return rec, nextIdx, nil
+}
+
+// readSegment reads every record of one segment file. On the last segment
+// a frame cut short by the end of the file — the torn tail of a crashed
+// append — is truncated away; a corrupt frame with intact data after it is
+// an error everywhere.
+func readSegment(path string, last bool) (records [][]byte, truncated int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := 0
+	for off < len(b) {
+		payload, n, err := DecodeFrame(b[off:])
+		if err == nil {
+			records = append(records, append([]byte(nil), payload...))
+			off += n
+			continue
+		}
+		tornTail := err == ErrTorn
+		if !tornTail {
+			// A checksum mismatch on a frame that reaches exactly to the end
+			// of the file is a torn overwrite; one followed by more bytes is
+			// interior corruption that must not be skipped.
+			if frameLen, ok := frameExtent(b[off:]); ok && off+frameLen >= len(b) {
+				tornTail = true
+			}
+		}
+		if last && tornTail {
+			truncated = int64(len(b) - off)
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return nil, 0, terr
+			}
+			return records, truncated, nil
+		}
+		return nil, 0, fmt.Errorf("wal: %s at offset %d: %w", filepath.Base(path), off, err)
+	}
+	return records, 0, nil
+}
+
+// frameExtent reports the byte extent the frame at the head of b claims,
+// without validating its checksum. ok is false when the header itself is
+// short or claims an impossible length.
+func frameExtent(b []byte) (frameLen int, ok bool) {
+	if len(b) < frameHeaderSize {
+		return len(b), false
+	}
+	size := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	if size > MaxRecord {
+		return frameHeaderSize, false
+	}
+	return frameHeaderSize + int(size), true
+}
+
+// openSegmentLocked starts segment idx as the append target.
+func (l *Log) openSegmentLocked(idx uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(idx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	l.segIdx = idx
+	l.segBytes = 0
+	return nil
+}
+
+// Metrics returns the log's counters.
+func (l *Log) Metrics() *Metrics { return &l.m }
+
+// Dir returns the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Append frames payload into the log and returns once it is durable
+// (flushed, and fsynced unless WithFsync(false)).
+func (l *Log) Append(payload []byte) error {
+	ch := make(chan error, 1)
+	if err := l.AppendCallback(payload, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// AppendCallback frames payload into the log and returns immediately; fn
+// is invoked with the flush outcome once the record is durable, possibly
+// on another goroutine and possibly with internal locks held — it must be
+// quick and must not call back into the log. Under group commit, callbacks
+// fire in append order. The fast return is what lets a single-threaded
+// replica actor keep absorbing requests while a flush is in flight — its
+// acks ride the next group commit.
+func (l *Log) AppendCallback(payload []byte, fn func(error)) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	frame := AppendFrame(nil, payload)
+	if _, err := l.bw.Write(frame); err != nil {
+		l.poisonLocked(err)
+		l.mu.Unlock()
+		return err
+	}
+	l.appended++
+	l.segBytes += int64(len(frame))
+	l.m.Appends.Inc()
+	if fn != nil {
+		l.waiters = append(l.waiters, waiter{seq: l.appended, fn: fn})
+	}
+	if !l.opts.groupCommit {
+		// Per-record durability: flush and sync right here, fully
+		// serialized under the lock, so every append pays its own disk
+		// round trip — the baseline group commit exists to beat.
+		err := l.flushRoundLocked(false)
+		l.mu.Unlock()
+		return err
+	}
+	if !l.flushing {
+		l.flushing = true
+		go l.flushLoop()
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// flushLoop is the group-commit leader: it flushes everything framed so
+// far, fires the covered callbacks, and repeats until no new records
+// arrived during the flush, then retires.
+func (l *Log) flushLoop() {
+	l.mu.Lock()
+	for l.err == nil && !l.closed && l.appended > l.flushed {
+		if err := l.flushRoundLocked(true); err != nil {
+			break
+		}
+	}
+	l.flushing = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// flushRoundLocked makes every record framed so far durable and fires the
+// callbacks it covers. Called with l.mu held and returns with it held.
+// When unlockDuringSync is set (the group-commit leader), the fsync runs
+// without the lock so concurrent appenders keep framing into the next
+// batch; only one such caller may be active at a time.
+func (l *Log) flushRoundLocked(unlockDuringSync bool) error {
+	covered := l.appended
+	batch := covered - l.flushed
+	err := l.bw.Flush()
+	f := l.f
+	split := 0
+	for split < len(l.waiters) && l.waiters[split].seq <= covered {
+		split++
+	}
+	ws := l.waiters[:split:split]
+	l.waiters = l.waiters[split:]
+
+	if unlockDuringSync {
+		l.mu.Unlock()
+	}
+	start := time.Now()
+	if err == nil && l.opts.fsync {
+		err = f.Sync()
+	}
+	l.m.FlushLatency.ObserveSince(start)
+	l.m.Flushes.Inc()
+	l.m.BatchSize.Observe(int64(batch))
+	for _, w := range ws {
+		w.fn(err)
+	}
+	if unlockDuringSync {
+		l.mu.Lock()
+	}
+
+	if err != nil {
+		l.poisonLocked(err)
+		return err
+	}
+	l.flushed = covered
+	l.cond.Broadcast()
+	// Rotate only at a clean point: every framed record flushed, so the
+	// buffered writer is empty and swapping files cannot strand bytes.
+	if l.segBytes >= l.opts.segmentBytes && l.appended == l.flushed {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// poisonLocked latches the first I/O failure and fails every waiter: a log
+// that cannot make records durable must stop acknowledging them.
+func (l *Log) poisonLocked(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+	for _, w := range l.waiters {
+		w.fn(l.err)
+	}
+	l.waiters = nil
+	l.cond.Broadcast()
+}
+
+// rotateLocked closes the current (fully flushed) segment and starts the
+// next.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Close(); err != nil {
+		l.poisonLocked(err)
+		return err
+	}
+	l.m.Rotations.Inc()
+	if err := l.openSegmentLocked(l.segIdx + 1); err != nil {
+		l.poisonLocked(err)
+		return err
+	}
+	return nil
+}
+
+// WriteSnapshot durably records state as a snapshot superseding every
+// record appended so far, then deletes the segments and snapshots it
+// obsoletes — the log's compaction. state must reflect every appended
+// record (see the Log doc comment on the single-writer discipline).
+func (l *Log) WriteSnapshot(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	// Seal the current segment: flush, sync, settle the waiters this
+	// covers, and rotate, so everything appended so far lives in segments
+	// below the new one — exactly what the snapshot supersedes.
+	if err := l.flushRoundLocked(false); err != nil {
+		return err
+	}
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+
+	idx := l.segIdx // the snapshot covers segments < idx
+	tmp := filepath.Join(l.dir, snapName(idx)+".tmp")
+	if err := os.WriteFile(tmp, AppendFrame(nil, state), 0o644); err != nil {
+		return err
+	}
+	if l.opts.fsync {
+		if err := syncFile(tmp); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(idx))); err != nil {
+		return err
+	}
+	if l.opts.fsync {
+		syncDir(l.dir)
+	}
+	l.m.Snapshots.Inc()
+
+	// Compaction: everything before the snapshot is dead weight.
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if i, ok := parseIdx(e.Name(), segPrefix, segSuffix); ok && i < idx {
+			os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+		if i, ok := parseIdx(e.Name(), snapPrefix, snapSuffix); ok && i < idx {
+			os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory so renames within it are durable; best
+// effort, as not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Sync blocks until every record appended before the call is durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.appended
+	for l.flushed < target {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if !l.flushing {
+			l.flushing = true
+			go l.flushLoop()
+		}
+		l.cond.Wait()
+	}
+	return l.err
+}
+
+// Close flushes, syncs and closes the log. Pending callbacks fire before
+// Close returns.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	for l.flushing {
+		l.cond.Wait()
+	}
+	l.closed = true // rejects new appends before the final flush below
+	var err error
+	if l.err == nil && l.appended > l.flushed {
+		err = l.flushRoundLocked(false)
+	}
+	if l.err != nil && err == nil {
+		err = l.err
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

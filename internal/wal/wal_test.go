@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// reopen closes nothing: it opens the directory fresh, as a restart would.
+func reopen(t *testing.T, dir string, opts ...Option) (*Log, Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return l, rec
+}
+
+func TestAppendReopenReplaysInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := reopen(t, dir, WithFsync(false))
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, rec := reopen(t, dir, WithFsync(false))
+	defer l2.Close()
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if !bytes.Equal(r, want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+}
+
+func TestReopenWithoutCloseRecoversFlushed(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false))
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the "process" dies with the log open. Append returned only
+	// after the flush, so everything must still be on disk.
+	_, rec := reopen(t, dir, WithFsync(false))
+	if len(rec.Records) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(rec.Records))
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	for _, cut := range []int{1, 5, frameHeaderSize, frameHeaderSize + 3} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := reopen(t, dir, WithFsync(false))
+			if err := l.Append([]byte("keep-me")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Append([]byte("tail-record")); err != nil {
+				t.Fatal(err)
+			}
+			seg := filepath.Join(dir, segName(0))
+			l.Close()
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tear the tail: drop the last cut bytes, simulating a crash
+			// mid-append.
+			if err := os.WriteFile(seg, b[:len(b)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l2, rec := reopen(t, dir, WithFsync(false))
+			defer l2.Close()
+			if len(rec.Records) != 1 || string(rec.Records[0]) != "keep-me" {
+				t.Fatalf("recovered %q, want just keep-me", rec.Records)
+			}
+			if rec.TruncatedBytes == 0 {
+				t.Error("truncation not reported")
+			}
+			// The torn bytes must be physically gone so the segment ends at
+			// its last intact record.
+			b2, _ := os.ReadFile(seg)
+			if _, n, err := DecodeFrame(b2); err != nil || n != len(b2) {
+				t.Errorf("segment not truncated to the last intact record: %d bytes left, err %v", len(b2), err)
+			}
+		})
+	}
+}
+
+func TestInteriorCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false))
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	seg := filepath.Join(dir, segName(0))
+	b, _ := os.ReadFile(seg)
+	// Flip one payload byte of the FIRST record: the corrupt frame is
+	// followed by an intact one, so open must refuse rather than skip.
+	b[frameHeaderSize] ^= 0xFF
+	os.WriteFile(seg, b, 0o644)
+	if _, _, err := Open(dir, WithFsync(false)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open on interior corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotationSpreadsSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false), WithSegmentBytes(256))
+	for i := 0; i < 50; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Metrics().Rotations.Value(); got == 0 {
+		t.Fatal("no rotations despite tiny segment size")
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %v", segs)
+	}
+	_, rec := reopen(t, dir, WithFsync(false))
+	if len(rec.Records) != 50 {
+		t.Fatalf("recovered %d records across segments, want 50", len(rec.Records))
+	}
+}
+
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false), WithSegmentBytes(128))
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteSnapshot([]byte("state-at-20")); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("post-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	_, rec := reopen(t, dir, WithFsync(false))
+	if string(rec.Snapshot) != "state-at-20" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if len(rec.Records) != 3 || string(rec.Records[0]) != "post-0" {
+		t.Fatalf("post-snapshot records = %q, want the 3 post records", rec.Records)
+	}
+	// Compaction must actually delete the pre-snapshot segments.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) > 3 {
+		t.Errorf("compaction left %d segments: %v", len(segs), segs)
+	}
+}
+
+func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	// Real fsync so flushes are slow enough to batch.
+	l, _ := reopen(t, dir)
+	defer l.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Append([]byte(fmt.Sprintf("concurrent-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	appends := l.Metrics().Appends.Value()
+	flushes := l.Metrics().Flushes.Value()
+	if appends != n {
+		t.Fatalf("appends = %d, want %d", appends, n)
+	}
+	if flushes >= appends {
+		t.Errorf("group commit never batched: %d flushes for %d appends", flushes, appends)
+	}
+}
+
+func TestPerRecordFsyncMode(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithGroupCommit(false), WithFsync(false))
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Metrics().Flushes.Value(); got != 10 {
+		t.Errorf("per-record mode did %d flushes for 10 appends", got)
+	}
+	l.Close()
+	_, rec := reopen(t, dir, WithFsync(false))
+	if len(rec.Records) != 10 {
+		t.Fatalf("recovered %d records", len(rec.Records))
+	}
+}
+
+func TestAppendCallbackOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false))
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		err := l.AppendCallback([]byte{byte(i)}, func(err error) {
+			if err != nil {
+				t.Errorf("callback %d: %v", i, err)
+			}
+			mu.Lock()
+			got = append(got, i)
+			if len(got) == n {
+				close(done)
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	l.Close()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("callback order broken at %d: got %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false))
+	l.Close()
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v", err)
+	}
+	if err := l.WriteSnapshot([]byte("s")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("snapshot after close = %v", err)
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := reopen(t, dir, WithFsync(false))
+	l.Append([]byte("r"))
+	if err := l.WriteSnapshot([]byte("good-state")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	b, _ := os.ReadFile(snaps[0])
+	b[len(b)-1] ^= 0xFF
+	os.WriteFile(snaps[0], b, 0o644)
+	if _, _, err := Open(dir, WithFsync(false)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with corrupt snapshot = %v, want ErrCorrupt", err)
+	}
+}
