@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json chaos fuzz verify
+.PHONY: build test vet staticcheck race bench bench-json chaos fuzz verify
 
 build:
 	$(GO) build ./...
@@ -36,11 +36,24 @@ fuzz:
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 30s
 
-# CI entry point: everything tier-1 checks plus vet, the race pass, short
-# fuzz smokes, and the qcstore durable-mode end-to-end demo (open, write,
-# close, reopen from the WALs, read back).
-verify: build vet test race
+# CI entry point: everything tier-1 checks plus vet, staticcheck (when
+# installed — the toolchain image may not carry it), an explicit race pass
+# over the chaos campaigns (they stress every cross-goroutine path the
+# self-healing machinery added), the race pass, short fuzz smokes, and the
+# qcstore durable-mode end-to-end demo (open, write, close, reopen from the
+# WALs, read back).
+verify: build vet staticcheck test race
+	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
 	d=$$(mktemp -d) && $(GO) run ./cmd/qcstore -dir $$d >/dev/null && rm -rf $$d
 	@echo verify: OK
+
+# Static analysis beyond vet; skipped with a notice when the binary is not
+# on PATH, so verify works on minimal toolchain images.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping"; \
+	fi

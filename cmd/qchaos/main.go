@@ -29,12 +29,13 @@ func main() {
 		campaigns = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration  = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first     = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder")
+		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash")
 		items     = flag.Int("items", 2, "replicated items per campaign")
 		replicas  = flag.Int("replicas", 3, "replicas (DMs) per item")
 		rounds    = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
 		txns      = flag.Int("txns", 8, "top-level transactions per round")
 		live      = flag.Bool("live", false, "live mode: fan-out, hedging, concurrent workers (forfeits exact replay)")
+		selfheal  = flag.String("selfheal", "auto", "lease reaper + failure detector: auto (on when flap/clientcrash faults run), on, off")
 		verbose   = flag.Bool("v", false, "print one line per campaign")
 	)
 	flag.Parse()
@@ -42,6 +43,18 @@ func main() {
 	fs, err := chaos.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var heal chaos.SelfHealMode
+	switch *selfheal {
+	case "auto":
+		heal = chaos.SelfHealAuto
+	case "on":
+		heal = chaos.SelfHealOn
+	case "off":
+		heal = chaos.SelfHealOff
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -selfheal mode %q (want auto, on or off)\n", *selfheal)
 		os.Exit(2)
 	}
 
@@ -66,15 +79,18 @@ func main() {
 			TxnsPerRound: *txns,
 			Faults:       fs,
 			Live:         *live,
+			SelfHeal:     heal,
 		}
 		res, err := chaos.Run(ctx, cfg)
 		ran++
 		if *verbose {
-			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d recoveries=%d replayed=%d injected=%v\n",
-				i, cseed, res.Committed, res.Failed, res.Tolerated, res.Ops,
+			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d finalround=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d recoveries=%d replayed=%d orphans=%d reaps=%d/%d queries=%d wedged=%d injected=%v\n",
+				i, cseed, res.Committed, res.Failed, res.Tolerated, res.Ops, res.FinalRoundCommitted,
 				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
 				res.Net.Duplicated, res.Net.Reordered,
-				res.Recoveries, res.ReplayedRecords, res.Injected)
+				res.Recoveries, res.ReplayedRecords,
+				res.Orphans, res.ReapsAborted, res.ReapsCommitted,
+				res.ResolutionQueries, res.Wedged, res.Injected)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %d (seed %d) FAILED: %v\n", i, cseed, err)
@@ -82,8 +98,8 @@ func main() {
 			if errors.As(err, &v) {
 				fmt.Fprintln(os.Stderr, v.Diagnostic())
 			}
-			fmt.Fprintf(os.Stderr, "replay: go run ./cmd/qchaos -seed %d -first %d -campaigns 1 -faults %s -items %d -replicas %d -rounds %d -txns %d -v\n",
-				*seed, i, *faults, *items, *replicas, *rounds, *txns)
+			fmt.Fprintf(os.Stderr, "replay: go run ./cmd/qchaos -seed %d -first %d -campaigns 1 -faults %s -selfheal %s -items %d -replicas %d -rounds %d -txns %d -v\n",
+				*seed, i, *faults, *selfheal, *items, *replicas, *rounds, *txns)
 			os.Exit(1)
 		}
 		agg.Committed += res.Committed
@@ -92,15 +108,22 @@ func main() {
 		agg.Ops += res.Ops
 		agg.Recoveries += res.Recoveries
 		agg.ReplayedRecords += res.ReplayedRecords
+		agg.Orphans += res.Orphans
+		agg.ReapsAborted += res.ReapsAborted
+		agg.ReapsCommitted += res.ReapsCommitted
+		agg.ResolutionQueries += res.ResolutionQueries
+		agg.Wedged += res.Wedged
+		agg.FinalRoundCommitted += res.FinalRoundCommitted
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
 		agg.Net.Dropped += res.Net.Dropped
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d recoveries=%d replayed=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
-		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops,
+		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
+		agg.Orphans, agg.ReapsAborted, agg.ReapsCommitted, agg.ResolutionQueries, agg.Wedged,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }

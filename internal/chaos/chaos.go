@@ -48,10 +48,20 @@ const (
 	FaultDrop      Fault = "drop"      // network-wide message loss
 	FaultDup       Fault = "dup"       // network-wide message duplication
 	FaultReorder   Fault = "reorder"   // bounded cross-lane reordering
+	// FaultFlap bounces one replica at every round boundary for the
+	// episode's lifetime — never down long enough to count as dead, never
+	// up long enough to be trusted. The failure detector's worst customer.
+	FaultFlap Fault = "flap"
+	// FaultClientCrash simulates a client that died mid-transaction: a
+	// write-quorum's worth of write locks is planted under a transaction id
+	// nobody will ever resolve. Without the lease reaper the item wedges
+	// forever; with it, the orphan is presumed aborted once its lease
+	// lapses. There is no heal — recovery is the store's job.
+	FaultClientCrash Fault = "clientcrash"
 )
 
 // AllFaults lists every fault class in canonical order.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder}
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash}
 
 // ParseFaults parses a comma-separated fault list such as
 // "crash,partition,dup". Empty input and "all" select every class.
@@ -114,7 +124,29 @@ type Config struct {
 	// version mutation hook — the self-test uses it to plant a
 	// fault-masking bug and assert the checker catches it.
 	MutateVN func(item string, vn int) int
+	// SelfHeal controls the self-healing stack: lock leases with orphan
+	// reaping (on a campaign-driven manual clock, one TTL per round
+	// boundary), failure-detector steering, and anti-entropy sweeps between
+	// rounds. Auto (the default) enables it exactly when a fault class that
+	// needs it — flap or clientcrash — is selected.
+	SelfHeal SelfHealMode
+	// LeaseTTL is the lock-lease duration under self-healing (default 1s).
+	// The campaign's manual clock advances one TTL per round boundary, so a
+	// lease stamped in round k is expired — and its holder reapable — from
+	// round k+1 on.
+	LeaseTTL time.Duration
 }
+
+// SelfHealMode selects how a campaign decides to run the self-healing
+// stack.
+type SelfHealMode int
+
+// Self-heal modes.
+const (
+	SelfHealAuto SelfHealMode = iota // on iff flap or clientcrash is enabled
+	SelfHealOn
+	SelfHealOff
+)
 
 func (c Config) withDefaults() Config {
 	if c.Items <= 0 {
@@ -155,7 +187,26 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Second
+	}
 	return c
+}
+
+// selfHeal resolves the SelfHealMode against the selected faults.
+func (c Config) selfHeal() bool {
+	switch c.SelfHeal {
+	case SelfHealOn:
+		return true
+	case SelfHealOff:
+		return false
+	}
+	for _, f := range c.Faults {
+		if f == FaultFlap || f == FaultClientCrash {
+			return true
+		}
+	}
+	return false
 }
 
 // Result summarizes one campaign.
@@ -174,6 +225,22 @@ type Result struct {
 	// recoveries re-applied. Zero when FaultAmnesia is not in play.
 	Recoveries      int
 	ReplayedRecords int64
+	// Orphans counts transactions deliberately orphaned by clientcrash
+	// faults. ReapsAborted and ReapsCommitted count the lease reaper's
+	// resolutions (presumed aborts and peer-served commits);
+	// ResolutionQueries the peer inquiries behind them.
+	Orphans           int
+	ReapsAborted      int64
+	ReapsCommitted    int64
+	ResolutionQueries int64
+	// Wedged counts items still unwritable after the final heal and two
+	// lease TTLs of reap settling — the campaign's permanently-wedged
+	// check. Always zero with self-healing on; the self-heal-off ablation
+	// with clientcrash faults shows why.
+	Wedged int
+	// FinalRoundCommitted is the last round's committed transactions — the
+	// throughput the cluster re-attained after its accumulated damage.
+	FinalRoundCommitted int
 	// Net is the network's final counter snapshot; with the same seed and
 	// deterministic mode it is identical run to run.
 	Net sim.Stats
@@ -256,6 +323,32 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			cluster.WithLockRetries(4),
 		)
 	}
+	selfHeal := cfg.selfHeal()
+	var clk *sim.ManualClock
+	if selfHeal {
+		// Leases expire against a campaign-driven manual clock: time moves
+		// only at round boundaries, behind a quiesce barrier, so lease
+		// expiry — and every reap it triggers — is a pure function of the
+		// seed, never of wall-clock scheduling.
+		clk = sim.NewManualClock(time.Unix(0, 0))
+		opts = append(opts,
+			cluster.WithLeaseTTL(cfg.LeaseTTL),
+			cluster.WithClock(clk),
+			cluster.WithHealthProbes(true),
+			// Adaptive timeouts derive from measured wall-clock latency
+			// EWMAs — the one health-board input the seed does not fix.
+			// Under load (think -race) a borderline call could time out in
+			// one run and retry, forking the message counters of an exact
+			// replay; pin every call to the full budget instead.
+			cluster.WithFixedTimeouts(true),
+			// Reap-vs-retry margin: a conflict retry that raced the inquiry
+			// round trip it triggered would make the retry's outcome a
+			// scheduling race. 4ms of backoff dwarfs the in-process message
+			// round trip, so by the time a conflicted writer retries, the
+			// reap it provoked has long settled.
+			cluster.WithRetryBackoff(4*time.Millisecond),
+		)
+	}
 	store, err := cluster.Open(net, items, opts...)
 	if err != nil {
 		return Result{}, err
@@ -277,6 +370,17 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		net.PrimeLane(client, dm)
 		net.PrimeLane(dm, client)
 	}
+	if selfHeal {
+		// Lease-resolution inquiries gossip DM↔DM; prime those lanes too so
+		// their fate streams do not depend on which conflict fired first.
+		for _, a := range allDMs {
+			for _, b := range allDMs {
+				if a != b {
+					net.PrimeLane(a, b)
+				}
+			}
+		}
+	}
 
 	sched := newScheduler(net, store, client, groups, cfg)
 	res := Result{Seed: cfg.Seed, Injected: map[Fault]int{}}
@@ -289,9 +393,30 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			return res, err
 		}
 		net.Quiesce()
+		if clk != nil {
+			// One TTL per boundary: every lease stamped last round is now
+			// expired, so this round's conflicts (and the sweep's
+			// inspections) reap last round's orphans. The quiesce after the
+			// sweep drains the inquiry/answer/reap cascade before any fault
+			// state changes.
+			clk.Advance(cfg.LeaseTTL + time.Millisecond)
+			if _, err := store.SweepOnce(ctx); err != nil {
+				return res, err
+			}
+			net.Quiesce()
+		}
 		sched.advance(round, res.Injected)
 		if sched.err != nil {
 			return res, sched.err
+		}
+		if clk != nil {
+			// Orphans planted by this boundary's clientcrash rolls carry a
+			// fresh lease; expire it now, before the round's workload runs,
+			// so the first transaction that trips over the orphan reaps it
+			// after one backoff instead of burning its whole retry budget
+			// against a lease that cannot lapse mid-round (the clock only
+			// moves at boundaries).
+			clk.Advance(cfg.LeaseTTL + time.Millisecond)
 		}
 		p := workload.Profile{
 			ReadFraction: cfg.ReadFraction,
@@ -307,6 +432,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		res.Committed += wres.Committed
 		res.Failed += wres.Failed
 		res.Tolerated += wres.Tolerated
+		res.FinalRoundCommitted = wres.Committed
 		if werr != nil && !expectedUnderFaults(werr) {
 			return res, werr
 		}
@@ -321,14 +447,46 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return res, sched.err
 	}
 	net.Quiesce()
+	if clk != nil {
+		// Reap settle: two TTL advances with a sweep each, so even an
+		// inquiry that went stale against a then-crashed peer re-polls and
+		// resolves on the now-healthy network.
+		for i := 0; i < 2; i++ {
+			clk.Advance(cfg.LeaseTTL + time.Millisecond)
+			if _, err := store.SweepOnce(ctx); err != nil {
+				return res, err
+			}
+			net.Quiesce()
+		}
+	}
+	// Final writability probe: after every fault healed (and, under
+	// self-healing, every orphan given two TTLs to be reaped), each item
+	// must accept a write within the store's normal retry budget. An item
+	// that cannot is permanently wedged — exactly what the lease reaper
+	// exists to rule out.
+	for _, name := range itemNames {
+		perr := store.Run(ctx, func(t *cluster.Txn) error {
+			return t.Write(ctx, name, fmt.Sprintf("final-%s", name))
+		})
+		if perr != nil {
+			res.Wedged++
+		}
+	}
 
 	hist := rec.History()
 	res.Ops = hist.Events()
 	res.Net = net.Stats()
 	res.Recoveries = int(store.Stats.Recoveries.Value())
 	res.ReplayedRecords = store.Stats.ReplayedRecords.Value()
+	res.Orphans = sched.orphans
+	res.ReapsAborted = store.Stats.OrphanReapsAborted.Value()
+	res.ReapsCommitted = store.Stats.OrphanReapsCommitted.Value()
+	res.ResolutionQueries = store.Stats.ResolutionQueries.Value()
 	if err := hist.Verify(); err != nil {
 		return res, err
+	}
+	if selfHeal && res.Wedged > 0 {
+		return res, fmt.Errorf("chaos: %d item(s) permanently wedged after heal and reap settle", res.Wedged)
 	}
 	return res, nil
 }
@@ -351,6 +509,7 @@ type episode struct {
 	dm    string // node-scoped faults; "" for network-wide ones
 	group int    // replica group index for node-scoped faults
 	until int
+	down  bool // flap only: whether the replica is currently crashed
 }
 
 // scheduler owns the fault schedule. All randomness comes from its own
@@ -365,6 +524,7 @@ type scheduler struct {
 	cfg     Config
 	enabled map[Fault]bool
 	active  []episode
+	orphans int   // transactions orphaned by clientcrash faults
 	err     error // first amnesia-recovery failure; fails the campaign
 }
 
@@ -411,9 +571,20 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 	for _, e := range s.active {
 		if e.until <= round {
 			s.heal(e)
-		} else {
-			kept = append(kept, e)
+			continue
 		}
+		if e.fault == FaultFlap {
+			// The flap IS the fault: the replica bounces at every boundary,
+			// never down long enough to be declared dead, never up long
+			// enough to be trusted again.
+			if e.down {
+				s.net.Restart(e.dm)
+			} else {
+				s.net.Crash(e.dm)
+			}
+			e.down = !e.down
+		}
+		kept = append(kept, e)
 	}
 	s.active = kept
 
@@ -426,7 +597,7 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 		}
 		ttl := round + 1 + s.rng.Intn(2)
 		switch f {
-		case FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler:
+		case FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultFlap:
 			g := s.rng.Intn(len(s.groups))
 			if s.impaired(g) >= s.impairBudget() {
 				continue
@@ -440,6 +611,8 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 				// Amnesia injects like a crash; the difference is the heal,
 				// which wipes the DM's memory and rebuilds it from its WAL.
 				s.net.Crash(dm)
+			case FaultFlap:
+				s.net.Crash(dm)
 			case FaultPartition:
 				s.net.Disconnect(s.client, dm)
 			case FaultStraggler:
@@ -449,7 +622,7 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 				d := time.Duration(1+s.rng.Intn(2)) * time.Millisecond
 				s.net.SetNodeLatency(dm, d, d)
 			}
-			s.active = append(s.active, episode{fault: f, dm: dm, group: g, until: ttl})
+			s.active = append(s.active, episode{fault: f, dm: dm, group: g, until: ttl, down: f == FaultFlap})
 		case FaultDrop:
 			if s.faultActive(f) {
 				continue
@@ -471,6 +644,18 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 			}
 			s.net.SetReorder(0.10+0.20*s.rng.Float64(), time.Millisecond)
 			s.active = append(s.active, episode{fault: f, until: ttl})
+		case FaultClientCrash:
+			g := s.rng.Intn(len(s.groups))
+			item := fmt.Sprintf("x%d", g)
+			// The orphaned transaction holds write locks at a full write
+			// quorum, so the item is unreadable and unwritable until the
+			// lease reaper presumes it aborted. No episode is recorded:
+			// there is nothing the scheduler can heal — recovery is the
+			// store's job, and the final writability probe checks it did.
+			if _, perr := s.store.PlantOrphan(context.Background(), item); perr != nil {
+				continue // a fully impaired group may refuse; the roll is spent
+			}
+			s.orphans++
 		}
 		injected[f]++
 	}
@@ -498,6 +683,10 @@ func (s *scheduler) heal(e episode) {
 	switch e.fault {
 	case FaultCrash:
 		s.net.Restart(e.dm)
+	case FaultFlap:
+		if e.down {
+			s.net.Restart(e.dm)
+		}
 	case FaultAmnesia:
 		// The heal IS the amnesia: discard the replica's state machine,
 		// rebuild it from its log, and only then let traffic back in. Heals

@@ -95,6 +95,96 @@ func TestAmnesiaCampaign(t *testing.T) {
 	}
 }
 
+// TestClientCrashCampaign runs clientcrash-focused campaigns with
+// self-healing on (the default for this fault): orphans are planted every
+// campaign, the lease reaper resolves every one of them, no item ends
+// permanently wedged, and the final round still commits transactions —
+// throughput is re-attained after the damage.
+func TestClientCrashCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	orphans, queries := 0, int64(0)
+	var reaped int64
+	for i := 0; i < 3; i++ {
+		cfg := shortCfg(CampaignSeed(31, i))
+		cfg.Faults = []Fault{FaultClientCrash}
+		cfg.Rounds = 3
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("clientcrash campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Wedged != 0 {
+			t.Errorf("campaign %d left %d item(s) wedged", i, res.Wedged)
+		}
+		if res.Orphans > 0 && res.ReapsAborted+res.ReapsCommitted == 0 {
+			t.Errorf("campaign %d planted %d orphan(s) but reaped none", i, res.Orphans)
+		}
+		if res.Committed == 0 || res.FinalRoundCommitted == 0 {
+			t.Errorf("campaign %d: committed=%d finalRound=%d, want both > 0",
+				i, res.Committed, res.FinalRoundCommitted)
+		}
+		orphans += res.Orphans
+		reaped += res.ReapsAborted + res.ReapsCommitted
+		queries += res.ResolutionQueries
+	}
+	if orphans == 0 || reaped == 0 || queries == 0 {
+		t.Errorf("clientcrash fate never exercised the reaper: orphans=%d reaped=%d queries=%d",
+			orphans, reaped, queries)
+	}
+}
+
+// TestSelfHealCampaignDeterministic reruns one campaign combining the two
+// self-healing faults — flapping replicas and crashed clients — and
+// demands byte-identical results: the manual lease clock, the
+// counter-driven health board, and the quiesce-fenced reap cascades keep
+// the whole self-healing machinery inside the seeded replay.
+func TestSelfHealCampaignDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(5) // seed 5 injects both flap episodes and orphans
+	cfg.Faults = []Fault{FaultFlap, FaultClientCrash}
+	cfg.Rounds = 3
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+	if a.Injected[FaultFlap] == 0 {
+		t.Error("no flap episodes injected")
+	}
+}
+
+// TestSelfHealOffAblation is the control group: the same clientcrash fate
+// with the reaper disabled leaves orphaned locks in place forever, and the
+// final writability probe finds wedged items — the failure mode the lease
+// subsystem exists to rule out. (Without self-healing the wedge is
+// reported, not fatal: it is the expected outcome.)
+func TestSelfHealOffAblation(t *testing.T) {
+	ctx := testCtx(t)
+	wedged, orphans := 0, 0
+	for i := 0; i < 3; i++ {
+		cfg := shortCfg(CampaignSeed(41, i))
+		cfg.Faults = []Fault{FaultClientCrash}
+		cfg.SelfHeal = SelfHealOff
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("ablation campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.ReapsAborted+res.ReapsCommitted != 0 {
+			t.Errorf("campaign %d reaped with self-healing off", i)
+		}
+		wedged += res.Wedged
+		orphans += res.Orphans
+	}
+	if orphans == 0 {
+		t.Fatal("ablation planted no orphans; the comparison is vacuous")
+	}
+	if wedged == 0 {
+		t.Error("no wedged items with the reaper off — the ablation shows no effect")
+	}
+}
+
 // TestMutationIsCaught plants a fault-masking bug via the store's
 // test-only hook — version increments past 1 are silently masked, so a
 // second write reinstalls an existing version — and asserts the checker

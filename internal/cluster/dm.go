@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"sync"
+	"time"
+
 	"repro/internal/quorum"
 	"repro/internal/sim"
 )
@@ -36,24 +39,69 @@ type intent struct {
 	cfg      quorum.Config
 }
 
+// resolution records the outcome of a finished top-level transaction. For
+// commits it keeps the committed-subs list, so a lease-resolution inquiry
+// can re-serve the full commit record to a straggler that must apply the
+// transaction's subtree consistently.
+type resolution struct {
+	committed bool
+	subs      []TxnID
+}
+
 // dmServer is the handler state of one DM node. It runs under the sim.Node
 // actor discipline: the handler is invoked on a single goroutine, so no
-// locking is needed.
+// locking is needed (the lease sender hook is the one documented
+// exception).
 type dmServer struct {
 	id       string
 	replicas map[string]*replica
 
 	// resolved remembers finished top-level transactions (committed or
-	// aborted) so CommitTopReq is idempotent under client retries and so
-	// late request copies from cancelled fan-outs cannot grant locks for a
-	// transaction that no longer exists.
-	resolved map[TxnID]bool
+	// aborted) so CommitTopReq is idempotent under client retries, so late
+	// request copies from cancelled fan-outs cannot grant locks for a
+	// transaction that no longer exists, and so lease-resolution inquiries
+	// from peers can be answered authoritatively.
+	resolved map[TxnID]*resolution
+
+	// Lease machinery (soft state: never snapshotted, never replayed —
+	// recovery re-stamps fresh leases, which only delays reaping).
+	leaseTTL  time.Duration
+	clock     sim.Clock
+	peers     []string // every other DM of the cluster, sorted
+	stats     *Stats   // shared with the owning Store; nil for standalone DMs
+	leases    map[TxnID]time.Time
+	inquiries map[TxnID]*inquiry
+
+	// selfApply routes a reap decision into the state machine: the durable
+	// path logs it like any other mutation, the volatile path applies it
+	// directly. Nil (standalone servers) applies directly.
+	selfApply func(req any)
+
+	// send delivers fire-and-forget protocol messages to peers. Guarded by
+	// sendMu because the node that carries the messages is wired up after
+	// the state machine is built.
+	sendMu sync.Mutex
+	send   func(to string, req any)
+}
+
+// inquiry tracks one in-flight resolution poll: which peers still owe an
+// answer and when the poll started (stale polls are re-sent).
+type inquiry struct {
+	waiting map[string]bool
+	started time.Time
 }
 
 // newDMState builds the state machine of a DM hosting the given items,
 // each at its initial value and configuration.
 func newDMState(id string, items []ItemSpec) *dmServer {
-	s := &dmServer{id: id, replicas: map[string]*replica{}, resolved: map[TxnID]bool{}}
+	s := &dmServer{
+		id:        id,
+		replicas:  map[string]*replica{},
+		resolved:  map[TxnID]*resolution{},
+		clock:     sim.Wall,
+		leases:    map[TxnID]time.Time{},
+		inquiries: map[TxnID]*inquiry{},
+	}
 	for _, it := range items {
 		s.replicas[it.Name] = &replica{
 			val:   it.Initial,
@@ -62,6 +110,34 @@ func newDMState(id string, items []ItemSpec) *dmServer {
 		}
 	}
 	return s
+}
+
+// configureLeases arms the lease reaper: grants stamp leases of ttl, and
+// conflicts with expired-lease holders trigger resolution inquiries to
+// peers. Must be called before the server's node starts.
+func (s *dmServer) configureLeases(ttl time.Duration, clock sim.Clock, peers []string, stats *Stats) {
+	s.leaseTTL = ttl
+	if clock != nil {
+		s.clock = clock
+	}
+	s.peers = peers
+	s.stats = stats
+}
+
+// setSender installs the peer-message transport.
+func (s *dmServer) setSender(fn func(to string, req any)) {
+	s.sendMu.Lock()
+	s.send = fn
+	s.sendMu.Unlock()
+}
+
+func (s *dmServer) notifyPeer(to string, req any) {
+	s.sendMu.Lock()
+	fn := s.send
+	s.sendMu.Unlock()
+	if fn != nil {
+		fn(to, req)
+	}
 }
 
 // NewDMServer starts a volatile DM node hosting the given items and returns
@@ -270,18 +346,27 @@ func (r *replica) applyTop(t TxnID, committed map[TxnID]bool) {
 // txnResolved reports whether the request's top-level transaction already
 // committed or aborted, in which case no new lock may be granted to it.
 func (s *dmServer) txnResolved(t TxnID) bool {
-	return s.resolved[t.Top()]
+	return s.resolved[t.Top()] != nil
 }
 
-func (s *dmServer) markResolved(t TxnID) {
+func (s *dmServer) markResolved(t TxnID, committed bool, subs []TxnID) {
 	if s.resolved == nil {
-		s.resolved = map[TxnID]bool{}
+		s.resolved = map[TxnID]*resolution{}
 	}
-	s.resolved[t] = true
+	s.resolved[t] = &resolution{committed: committed, subs: subs}
+	if s.leases != nil {
+		delete(s.leases, t)
+	}
+	if s.inquiries != nil {
+		delete(s.inquiries, t)
+	}
 }
 
 // handle is the DM's RPC handler for the volatile (in-memory) path.
 func (s *dmServer) handle(_ string, req any) any {
+	if resp, handled := s.coordinate(req); handled {
+		return resp
+	}
 	resp, _ := s.apply(req)
 	return resp
 }
@@ -304,11 +389,13 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 			return ReadResp{}, false
 		}
 		if !r.canLock(q.Txn, q.Lock) {
+			s.noteConflict(r, q.Txn)
 			return ReadResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, q.Lock)
 		r.noteGrant(q.Txn, q.Seq, held)
+		s.stampLease(q.Txn)
 		vn, val, gen, cfg := r.view(q.Txn)
 		// A granted read mutates the lock table: the grant is a promise
 		// two-phase locking depends on, so a restarted replica must still
@@ -323,11 +410,13 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 			return WriteResp{}, false
 		}
 		if !r.canLock(q.Txn, LockWrite) {
+			s.noteConflict(r, q.Txn)
 			return WriteResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, LockWrite)
 		r.noteGrant(q.Txn, q.Seq, held)
+		s.stampLease(q.Txn)
 		if !r.hasIntentCopy(q.Txn, false, q.VN, 0) {
 			r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
 		}
@@ -341,11 +430,13 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 			return WriteResp{}, false
 		}
 		if !r.canLock(q.Txn, LockWrite) {
+			s.noteConflict(r, q.Txn)
 			return WriteResp{Busy: true}, false
 		}
 		_, held := r.locks[q.Txn]
 		r.grant(q.Txn, LockWrite)
 		r.noteGrant(q.Txn, q.Seq, held)
+		s.stampLease(q.Txn)
 		if !r.hasIntentCopy(q.Txn, true, 0, q.Gen) {
 			r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
 		}
@@ -367,23 +458,35 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		// Safe when strictly newer and no writer is in flight: the repair
 		// only advances the committed state to a value that is already
 		// committed at a write-quorum, which every quorum read would
-		// return anyway. Read locks do not block it.
+		// return anyway. Read locks do not block it. The same argument
+		// covers configuration generations: a newer (gen, cfg) was
+		// installed by a committed reconfiguration, and propagating it
+		// only redirects clients sooner.
 		writerInFlight := len(r.intents) > 0
 		for _, m := range r.locks {
 			if m == LockWrite {
 				writerInFlight = true
 			}
 		}
+		applied := false
 		if q.VN > r.vn && !writerInFlight {
 			r.vn, r.val = q.VN, q.Val
-			return Ack{OK: true}, true
+			applied = true
 		}
-		return Ack{OK: true}, false
+		if q.Gen > r.gen && !writerInFlight {
+			r.gen, r.cfg = q.Gen, q.Cfg.Clone()
+			applied = true
+		}
+		return Ack{OK: true}, applied
 	case InspectReq:
 		r := s.replicas[q.Item]
 		if r == nil {
 			return InspectResp{}, false
 		}
+		// An inspection doubles as an orphan sweep: the anti-entropy
+		// sweeper's idle-tick inspections hunt expired-lease holders even
+		// when no client is conflicting with them.
+		s.noteInspect(r)
 		return InspectResp{
 			OK: true, VN: r.vn, Val: r.val, Gen: r.gen, Cfg: r.cfg.Clone(),
 			Locks: len(r.locks), Intents: len(r.intents),
@@ -395,23 +498,55 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		return Ack{OK: true}, true
 	case AbortReq:
 		if q.Txn.Top() == q.Txn {
-			s.markResolved(q.Txn)
+			s.markResolved(q.Txn, false, nil)
 		}
 		for _, r := range s.replicas {
 			r.drop(q.Txn)
 		}
 		return Ack{OK: true}, true
 	case CommitTopReq:
-		if s.resolved[q.Txn] {
-			return Ack{OK: true}, false
+		if res := s.resolved[q.Txn]; res != nil {
+			// A transaction the lease reaper already presumed aborted must
+			// not commit late — under the lease fence the client never
+			// reaches this point, but a refused ack keeps even a fence
+			// bypass from silently diverging.
+			return Ack{OK: res.committed}, false
 		}
-		s.markResolved(q.Txn)
+		s.markResolved(q.Txn, true, q.Subs)
 		committed := make(map[TxnID]bool, len(q.Subs))
 		for _, sub := range q.Subs {
 			committed[sub] = true
 		}
 		for _, r := range s.replicas {
 			r.applyTop(q.Txn, committed)
+		}
+		return Ack{OK: true}, true
+	case ReapReq:
+		top := q.Txn.Top()
+		if s.resolved[top] != nil {
+			return Ack{OK: true}, false
+		}
+		if q.Commit {
+			// A peer produced the commit record: apply the transaction here
+			// exactly as a late CommitTopReq would, Subs and all.
+			s.markResolved(top, true, q.Subs)
+			committed := make(map[TxnID]bool, len(q.Subs))
+			for _, sub := range q.Subs {
+				committed[sub] = true
+			}
+			for _, r := range s.replicas {
+				r.applyTop(top, committed)
+			}
+		} else {
+			// Presumed abort: no replica anywhere holds a commit record and
+			// the lease lapsed, so the commit point was never passed. Drop
+			// the whole subtree — descendants a promote already folded into
+			// the parent fall with it, and descendants still under their own
+			// ids are covered by drop's ancestor sweep.
+			s.markResolved(top, false, nil)
+			for _, r := range s.replicas {
+				r.drop(top)
+			}
 		}
 		return Ack{OK: true}, true
 	default:

@@ -154,7 +154,7 @@ func TestReplicaApplyTopAppliesOrphanCommittedSubs(t *testing.T) {
 }
 
 func TestHandleUnknownItemAndMessage(t *testing.T) {
-	s := &dmServer{id: "d", replicas: map[string]*replica{}, resolved: map[TxnID]bool{}}
+	s := &dmServer{id: "d", replicas: map[string]*replica{}, resolved: map[TxnID]*resolution{}}
 	if resp := s.handle("x", ReadReq{Txn: "c1.t1", Item: "nope"}); resp.(ReadResp).OK {
 		t.Error("unknown item must not grant")
 	}
@@ -173,7 +173,7 @@ func TestCommitTopIdempotent(t *testing.T) {
 	s := &dmServer{
 		id:       "d",
 		replicas: map[string]*replica{"x": newReplica()},
-		resolved: map[TxnID]bool{},
+		resolved: map[TxnID]*resolution{},
 	}
 	r := s.replicas["x"]
 	r.intents = append(r.intents, intent{owner: "c1.t1", vn: 1, val: "v"})
@@ -193,7 +193,7 @@ func TestRepairAppliesOnlyWhenNewerAndIdle(t *testing.T) {
 	s := &dmServer{
 		id:       "d",
 		replicas: map[string]*replica{"x": newReplica()},
-		resolved: map[TxnID]bool{},
+		resolved: map[TxnID]*resolution{},
 	}
 	r := s.replicas["x"]
 	r.vn = 2
@@ -271,7 +271,7 @@ func TestHandleRefusesTombstonedAndResolved(t *testing.T) {
 	s := &dmServer{
 		id:       "d",
 		replicas: map[string]*replica{"x": newReplica()},
-		resolved: map[TxnID]bool{},
+		resolved: map[TxnID]*resolution{},
 	}
 	// Release phase 3 before its (late, reordered) request arrives: the
 	// request must not grant.
@@ -312,7 +312,7 @@ func TestHandleDedupesHedgedWriteIntents(t *testing.T) {
 	s := &dmServer{
 		id:       "d",
 		replicas: map[string]*replica{"x": newReplica()},
-		resolved: map[TxnID]bool{},
+		resolved: map[TxnID]*resolution{},
 	}
 	// Two hedged copies of the same phase's WriteReq must install one
 	// intention.

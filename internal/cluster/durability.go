@@ -36,6 +36,7 @@ func init() {
 	gob.Register(CommitSubReq{})
 	gob.Register(AbortReq{})
 	gob.Register(CommitTopReq{})
+	gob.Register(ReapReq{})
 }
 
 // encodeRecord serializes one state-mutating request for the log.
@@ -80,16 +81,27 @@ type replicaSnap struct {
 	Released map[TxnID]int
 }
 
+// resolutionSnap is the exported mirror of a resolution record.
+type resolutionSnap struct {
+	Committed bool
+	Subs      []TxnID
+}
+
 // dmSnap is a whole DM's state at one point in the log.
 type dmSnap struct {
 	Replicas []replicaSnap
-	Resolved map[TxnID]bool
+	Resolved map[TxnID]resolutionSnap
 }
 
 // encodeSnapshot serializes the DM's complete state. Replicas are listed in
 // item order so snapshots of identical state are structurally identical.
+// Leases and in-flight inquiries are soft state and deliberately absent:
+// recovery re-stamps fresh leases, which only delays reaping.
 func encodeSnapshot(s *dmServer) ([]byte, error) {
-	snap := dmSnap{Resolved: s.resolved}
+	snap := dmSnap{Resolved: map[TxnID]resolutionSnap{}}
+	for t, res := range s.resolved {
+		snap.Resolved[t] = resolutionSnap{Committed: res.committed, Subs: res.subs}
+	}
 	names := make([]string, 0, len(s.replicas))
 	for name := range s.replicas {
 		names = append(names, name)
@@ -123,9 +135,9 @@ func restoreSnapshot(s *dmServer, b []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
 		return fmt.Errorf("cluster: decode wal snapshot: %w", err)
 	}
-	s.resolved = snap.Resolved
-	if s.resolved == nil {
-		s.resolved = map[TxnID]bool{}
+	s.resolved = map[TxnID]*resolution{}
+	for t, rs := range snap.Resolved {
+		s.resolved[t] = &resolution{committed: rs.Committed, subs: rs.Subs}
 	}
 	s.replicas = map[string]*replica{}
 	for _, rs := range snap.Replicas {
@@ -182,6 +194,13 @@ type dmWAL struct {
 // sequential, a record's durability implies every earlier record's, so an
 // acked request can never be contradicted by recovery.
 func (d *dmWAL) handle(_ string, req any, reply func(any)) {
+	if resp, handled := d.srv.coordinate(req); handled {
+		// Lease coordination (renewals, resolution queries and answers) is
+		// soft state and never logged; the reap decisions it produces come
+		// back through selfApply, which does persist them.
+		reply(resp)
+		return
+	}
 	resp, mutated := d.srv.apply(req)
 	if !mutated {
 		reply(resp)
@@ -198,21 +217,49 @@ func (d *dmWAL) handle(_ string, req any, reply func(any)) {
 	}) != nil {
 		return
 	}
+	d.maybeSnapshot()
+}
+
+// selfApply routes a reap decision through the same apply+log path as
+// client requests, minus the reply — there is no caller to acknowledge.
+// It runs on the node's loop goroutine (coordinate calls it), so the
+// single-writer discipline of the log holds. A reap whose record is lost
+// to a crash before the flush is simply re-decided after recovery: the
+// restored locks get fresh leases, lapse again, and the inquiry re-runs.
+func (d *dmWAL) selfApply(req any) {
+	_, mutated := d.srv.apply(req)
+	if !mutated {
+		return
+	}
+	rec, err := encodeRecord(req)
+	if err != nil {
+		return
+	}
+	if d.log.AppendCallback(rec, func(error) {}) != nil {
+		return
+	}
+	d.maybeSnapshot()
+}
+
+func (d *dmWAL) maybeSnapshot() {
 	d.sinceSnap++
-	if d.sinceSnap >= d.snapEvery {
-		d.sinceSnap = 0
-		// The state already reflects every appended record (single-writer:
-		// this goroutine is the only appender), which is exactly what
-		// WriteSnapshot requires.
-		if state, err := encodeSnapshot(d.srv); err == nil {
-			d.log.WriteSnapshot(state)
-		}
+	if d.sinceSnap < d.snapEvery {
+		return
+	}
+	d.sinceSnap = 0
+	// The state already reflects every appended record (single-writer:
+	// this goroutine is the only appender), which is exactly what
+	// WriteSnapshot requires.
+	if state, err := encodeSnapshot(d.srv); err == nil {
+		d.log.WriteSnapshot(state)
 	}
 }
 
 // newDurableDM opens (or recovers) the write-ahead log in dir, rebuilds the
-// DM state machine from it, and starts its server node.
-func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int) (*dmHandle, RecoveryStats, error) {
+// DM state machine from it, and starts its server node. wire, when non-nil,
+// configures the recovered state machine (lease parameters, peer transport)
+// after replay and before the node starts serving.
+func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer)) (*dmHandle, RecoveryStats, error) {
 	log, rec, err := wal.Open(dir, walOpts...)
 	if err != nil {
 		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
@@ -239,6 +286,14 @@ func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, wal
 		snapEvery = defaultSnapshotEvery
 	}
 	d := &dmWAL{srv: srv, log: log, snapEvery: snapEvery}
+	if wire != nil {
+		wire(srv)
+	}
+	srv.selfApply = d.selfApply
+	// Lease stamps from the previous incarnation are meaningless wall-clock
+	// values; give every recovered lock holder a fresh lease. Delayed
+	// reaping is always safe, invented expiry is not.
+	srv.refreshLeases()
 	h := &dmHandle{id: id, items: items, srv: srv, wal: d}
 	h.node = sim.NewAsyncNode(net, id, d.handle)
 	return h, stats, nil
@@ -263,7 +318,14 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	if err := h.wal.log.Close(); err != nil {
 		return RecoveryStats{}, fmt.Errorf("cluster: dm %s: close wal: %w", id, err)
 	}
-	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery)
+	s.mu.Lock()
+	all := make([]string, 0, len(s.dms))
+	for dm := range s.dms {
+		all = append(all, dm)
+	}
+	s.mu.Unlock()
+	sort.Strings(all)
+	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)))
 	if err != nil {
 		return RecoveryStats{}, err
 	}

@@ -25,7 +25,7 @@ func amnesia(t *testing.T, store *Store, dm string) RecoveryStats {
 	// Zero the state machine before reopening: anything the recovered DM
 	// serves afterwards can only have come from the log.
 	h.srv.replicas = map[string]*replica{}
-	h.srv.resolved = map[TxnID]bool{}
+	h.srv.resolved = map[TxnID]*resolution{}
 	stats, err := store.RestartDM(dm)
 	if err != nil {
 		t.Fatalf("restart %s: %v", dm, err)
@@ -295,6 +295,101 @@ func TestDurableReopenAcrossStores(t *testing.T) {
 	cycle(1, 71, 100)
 	cycle(2, 72, 175)
 	cycle(3, 73, 175)
+}
+
+// TestReaperAndReplayConverge crosses the lease reaper with amnesia
+// recovery: a replica crashes across the commit point, is amnesia-restarted
+// (WAL replay resurrects the committed transaction's lock and intention,
+// with a fresh lease), and the reaper then resolves the orphan from the
+// peers' commit records. A second amnesia restart must converge to the same
+// state purely from the log — the reap decision was persisted as a ReapReq
+// record — and must not double-count the reap.
+func TestReaperAndReplayConverge(t *testing.T) {
+	ttl := 50 * time.Millisecond
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	net, store, _ := openDurable(t, 65,
+		WithCallTimeout(20*time.Millisecond),
+		WithLockRetries(3),
+		WithSynchronousCleanup(true),
+		WithLeaseTTL(ttl),
+		WithClock(clk),
+	)
+	defer func() { store.Close(); net.Close() }()
+	ctx := context.Background()
+
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	store.Hooks.BeforeCommitTop = func(TxnID) {
+		if !crashed {
+			crashed = true
+			net.Crash("dm0")
+		}
+	}
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 42) }); err != nil {
+		t.Fatalf("commit with crashed minority: %v", err)
+	}
+	store.Hooks.BeforeCommitTop = nil
+
+	// Amnesia-restart the straggler: replay resurrects the committed
+	// transaction's write lock and intention (persist-before-ack covered the
+	// write phase), and recovery stamps them a fresh lease.
+	stats := amnesia(t, store, "dm0")
+	net.Restart("dm0")
+	if stats.Replayed == 0 && !stats.FromSnapshot {
+		t.Fatalf("recovery replayed nothing: %+v", stats)
+	}
+	pre, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Intents == 0 || pre.Locks == 0 {
+		t.Fatalf("precondition: recovered dm0 should hold the orphan lock+intent, got %+v", pre)
+	}
+
+	clk.Advance(ttl + time.Millisecond)
+	if _, err := store.SweepOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	if got := store.Stats.OrphanReapsCommitted.Value(); got != 1 {
+		t.Fatalf("%d commit-reaps after sweep, want 1", got)
+	}
+	post, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Intents != 0 || post.Locks != 0 || post.Val != 42 {
+		t.Fatalf("reap did not converge dm0: %+v", post)
+	}
+
+	// Second amnesia restart, with no clock advance and no sweep: the only
+	// way dm0 can come back already resolved is the logged ReapReq.
+	amnesia(t, store, "dm0")
+	replayed, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Intents != 0 || replayed.Locks != 0 || replayed.Val != 42 {
+		t.Fatalf("replay lost the reap: %+v", replayed)
+	}
+	if got := store.Stats.OrphanReapsCommitted.Value(); got != 1 {
+		t.Fatalf("replay double-counted the reap: %d", got)
+	}
+	// And the cluster as a whole still serves the committed value.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := ReadAs[int](ctx, tx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("read %d, want 42", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestReconfigGenerationSurvivesAmnesia reconfigures an item (generation

@@ -18,7 +18,33 @@ var (
 	ErrUnavailable = errors.New("cluster: quorum unavailable")
 	// ErrTxnDone means the transaction already committed or aborted.
 	ErrTxnDone = errors.New("cluster: transaction finished")
+	// ErrLeaseExpired means the transaction's lock lease lapsed before the
+	// commit point and could not be renewed everywhere — some replica may
+	// already have reaped the transaction as a presumed abort, so committing
+	// would be unsafe. The transaction aborted; Run restarts it like a lock
+	// conflict.
+	ErrLeaseExpired = errors.New("cluster: lock lease expired")
 )
+
+// LeaseExpiredError reports which replica refused (or failed) the
+// pre-commit lease renewal. It wraps both ErrLeaseExpired and ErrConflict:
+// the transaction's locks are gone exactly as after a conflict-driven
+// abort, and a fresh attempt is the right response, so Run's conflict
+// restart logic applies.
+type LeaseExpiredError struct {
+	// Txn is the transaction whose lease lapsed.
+	Txn TxnID
+	// DM is the replica that refused or failed the renewal.
+	DM string
+}
+
+func (e *LeaseExpiredError) Error() string {
+	return fmt.Sprintf(
+		"cluster: lease of %s expired before commit (renewal refused or unreachable at %s); the transaction may have been reaped as a presumed abort and was aborted locally — it is safe to re-run",
+		e.Txn, e.DM)
+}
+
+func (e *LeaseExpiredError) Unwrap() []error { return []error{ErrLeaseExpired, ErrConflict} }
 
 // ConflictError reports a lock conflict that exhausted the retry budget.
 // It wraps ErrConflict, so errors.Is(err, ErrConflict) still matches;

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -199,17 +200,59 @@ func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 	pctx, cancel := context.WithTimeout(ctx, st.callTimeout)
 	defer cancel()
 
+	// Circuit-broken steering: with the failure detector on, suspects are
+	// skipped (when healthy replicas still cover a quorum) except for the
+	// occasional half-open probe copy, which is also exempt from hedging —
+	// one trial per probe window is the whole point.
+	board := t.store.health
+	targets := spec.targets
+	var probes map[string]bool
+	if board != nil {
+		var skipped int
+		targets, probes, skipped = board.plan(spec.targets, spec.quorums)
+		if skipped > 0 {
+			t.store.Stats.SuspectSkips.Add(int64(skipped))
+		}
+		if len(probes) > 0 {
+			t.store.Stats.ProbeTrials.Add(int64(len(probes)))
+		}
+	}
+
 	results := make(chan phaseResp, len(spec.targets)*st.hedgeMax)
 	inflight := 0
 	issue := func(dm string) {
 		col.issue(dm)
 		inflight++
 		go func() {
-			raw, err := t.store.client.Call(pctx, dm, spec.req)
+			cctx := pctx
+			if board != nil && !probes[dm] {
+				// Adaptive timeout: a replica that usually answers in
+				// microseconds gets milliseconds, not the full phase budget,
+				// so its failures feed the scoreboard quickly. Probes keep
+				// the full budget — they exist to give a suspect every
+				// chance to prove itself back.
+				if d := board.timeout(dm, st.callTimeout); d < st.callTimeout {
+					var ccancel context.CancelFunc
+					cctx, ccancel = context.WithTimeout(pctx, d)
+					defer ccancel()
+				}
+			}
+			callStart := time.Now()
+			raw, err := t.store.client.Call(cctx, dm, spec.req)
+			if board != nil {
+				if err == nil {
+					board.observe(dm, true, time.Since(callStart))
+				} else if !errors.Is(pctx.Err(), context.Canceled) || errors.Is(cctx.Err(), context.DeadlineExceeded) {
+					// A copy abandoned because the phase already completed
+					// says nothing about the replica; a per-call timeout or
+					// a network-reported loss does.
+					board.observe(dm, false, 0)
+				}
+			}
 			results <- phaseResp{dm: dm, raw: raw, err: err}
 		}()
 	}
-	for _, dm := range spec.targets {
+	for _, dm := range targets {
 		issue(dm)
 	}
 
@@ -241,7 +284,10 @@ func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 				return col
 			}
 		case <-hedgeC:
-			for _, dm := range col.hedgeTargets(spec.targets, st.hedgeMax) {
+			for _, dm := range col.hedgeTargets(targets, st.hedgeMax) {
+				if probes[dm] {
+					continue // half-open probes get exactly one copy
+				}
 				t.store.Stats.Hedges.Inc()
 				issue(dm)
 			}

@@ -113,15 +113,20 @@ type Ack struct {
 	OK bool
 }
 
-// RepairReq propagates an already-committed (version, value) pair to a
-// stale replica — Gifford's background update of out-of-date copies,
-// triggered by quorum reads that observe stale version numbers. Applied
-// only when strictly newer than the replica's committed state and no
-// transaction holds conflicting state on the item.
+// RepairReq propagates already-committed state to a stale replica —
+// Gifford's background update of out-of-date copies, triggered by quorum
+// reads that observe stale version numbers and by the anti-entropy
+// sweeper. Applied only when strictly newer than the replica's committed
+// state and no transaction holds conflicting state on the item. Gen/Cfg,
+// when Gen is non-zero, propagate a newer quorum configuration the same
+// way (the sweeper's reconfiguration catch-up); read repair leaves them
+// zero.
 type RepairReq struct {
 	Item string
 	VN   int
 	Val  any
+	Gen  int
+	Cfg  quorum.Config
 }
 
 // InspectReq asks a DM for its committed replica state (diagnostics and
@@ -139,4 +144,53 @@ type InspectResp struct {
 	Cfg     quorum.Config
 	Locks   int
 	Intents int
+}
+
+// RenewLeaseReq refreshes the lock lease of a live transaction at one DM.
+// The DM refuses (Ack{OK: false}) when the transaction is already resolved
+// — committed, aborted, or reaped — which is how a client whose lease
+// lapsed learns it must not pass the commit point. Non-mutating: leases are
+// soft state, re-stamped fresh on recovery.
+type RenewLeaseReq struct {
+	Txn TxnID
+}
+
+// ResolutionQueryReq asks a peer DM whether it knows the outcome of a
+// top-level transaction. A DM sends it (fire-and-forget, to every peer)
+// when a lock conflict runs into a holder whose lease expired: before
+// presuming the orphan aborted, the cluster is polled for a commit record
+// — a replica that heard CommitTopReq proves the transaction committed and
+// supplies its committed-subs list.
+type ResolutionQueryReq struct {
+	Txn  TxnID
+	From string
+}
+
+// ResolutionAnswer is the fire-and-forget reply to a ResolutionQueryReq.
+// Known reports whether the answering DM has a resolution record for the
+// transaction; Committed and Subs are meaningful only when Known. Active
+// reports that the answering DM holds an unexpired lease for the
+// transaction — its client renewed there recently, so it is alive and the
+// inquirer extends grace instead of reaping.
+type ResolutionAnswer struct {
+	Txn       TxnID
+	From      string
+	Known     bool
+	Committed bool
+	Subs      []TxnID
+	Active    bool
+}
+
+// ReapReq resolves an orphaned transaction at the DM that decided its
+// fate. It is self-applied — synthesized by the lease reaper from the
+// inquiry outcome, never sent by clients — and routed through the same
+// apply/WAL path as every other mutation so recovery replays the reap
+// deterministically. Commit true means a peer produced a commit record
+// (the DM applies the intentions, Subs naming the committed subtree);
+// false is the presumed abort: no replica anywhere knew the transaction,
+// so its commit point was never reached.
+type ReapReq struct {
+	Txn    TxnID
+	Commit bool
+	Subs   []TxnID
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -28,6 +29,11 @@ type settings struct {
 	walDir       string
 	walOpts      []wal.Option
 	snapEvery    int
+	leaseTTL     time.Duration
+	health       bool
+	fixedTimeout bool
+	antiEntropy  time.Duration
+	clock        sim.Clock
 }
 
 func defaultSettings() settings {
@@ -38,6 +44,7 @@ func defaultSettings() settings {
 		lockRetries:  12,
 		retryBackoff: time.Millisecond,
 		txnRetries:   8,
+		clock:        sim.Wall,
 	}
 }
 
@@ -176,6 +183,61 @@ func WithSnapshotEvery(n int) Option {
 // this on.
 func WithSynchronousCleanup(on bool) Option {
 	return func(s *settings) { s.syncCleanup = on }
+}
+
+// WithLeaseTTL enables lock leases and orphan reaping: every lock grant
+// carries a lease of duration ttl, renewed implicitly by further grants,
+// by the background renewer (wall clock only), and synchronously at every
+// touched DM just before the commit point (the lease fence). A DM that
+// runs into an expired-lease holder polls its peers for a commit record
+// and — when every peer answers "unknown" — reaps the holder as a
+// presumed abort, so a crashed client can never permanently wedge an item.
+// Zero (the default) disables leases entirely. The ttl must comfortably
+// exceed a transaction's inter-phase gaps; the TTL/3 background renewer
+// covers long-running transactions.
+func WithLeaseTTL(ttl time.Duration) Option {
+	return func(s *settings) { s.leaseTTL = ttl }
+}
+
+// WithHealthProbes enables the per-replica failure detector: call outcomes
+// feed a health scoreboard, fan-outs steer toward healthy replicas and
+// probe suspects with single half-open trials instead of hedging them, and
+// per-replica call timeouts adapt to observed latency EWMAs. Default off.
+func WithHealthProbes(on bool) Option {
+	return func(s *settings) { s.health = on }
+}
+
+// WithFixedTimeouts disables the failure detector's latency-adaptive
+// per-replica call timeouts, keeping the scoreboard and circuit breaker
+// but issuing every call with the full WithCallTimeout budget.
+// Deterministic harnesses need this: adaptive timeouts derive from
+// *measured* wall-clock EWMAs, so scheduler noise could time out a call
+// in one run and not its replay, forking the seeded message stream.
+func WithFixedTimeouts(on bool) Option {
+	return func(s *settings) { s.fixedTimeout = on }
+}
+
+// WithAntiEntropy starts a background sweeper that, every interval,
+// inspects every replica and pushes the observed maximum committed version
+// and configuration generation to stale ones — so long partitions heal
+// during idle ticks without waiting for a lucky read-repair. Zero (the
+// default) disables the loop; Store.SweepOnce is always available for
+// explicit passes.
+func WithAntiEntropy(interval time.Duration) Option {
+	return func(s *settings) { s.antiEntropy = interval }
+}
+
+// WithClock injects the clock lock leases expire against. Deterministic
+// harnesses pass a sim.ManualClock and advance it explicitly between
+// rounds; the default is the wall clock. The background lease renewer only
+// runs under the wall clock — under a manual clock, timer-driven renewal
+// traffic would fork seeded replays.
+func WithClock(c sim.Clock) Option {
+	return func(s *settings) {
+		if c != nil {
+			s.clock = c
+		}
+	}
 }
 
 // Options is the legacy flat configuration struct.

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// selfHealCluster opens a volatile three-replica majority cluster with
+// leases driven by a manual clock, so tests control exactly when leases
+// lapse. Synchronous cleanup keeps commit control inside Run, so a Quiesce
+// after an operation settles every message the operation caused.
+func selfHealCluster(t *testing.T, seed int64, ttl time.Duration, extra ...Option) (*Store, *sim.Network, *sim.ManualClock, []string) {
+	t.Helper()
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{
+		MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond,
+		Seed: seed, FateFeedback: true,
+	})
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	opts := append([]Option{
+		WithSeed(seed),
+		WithCallTimeout(25 * time.Millisecond),
+		WithLeaseTTL(ttl),
+		WithClock(clk),
+		WithRetryBackoff(2 * time.Millisecond),
+		WithSynchronousCleanup(true),
+	}, extra...)
+	store, err := Open(net, items, opts...)
+	if err != nil {
+		net.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net, clk, dms
+}
+
+// TestCloseIdempotent pins Store.Close's contract: any number of calls,
+// from any number of goroutines, is safe and shuts the store down exactly
+// once.
+func TestCloseIdempotent(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(fastNet(301))
+	defer net.Close()
+	store, err := Open(net,
+		[]ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		WithSeed(301),
+		// Background loops make double-Close genuinely dangerous (a second
+		// close of stopBg would panic), so run with both enabled.
+		WithLeaseTTL(50*time.Millisecond),
+		WithAntiEntropy(5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Run(context.Background(), func(tx *Txn) error {
+		return tx.Write(context.Background(), "x", 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			store.Close()
+		}()
+	}
+	wg.Wait()
+	store.Close() // and once more after everyone is done
+}
+
+// TestConflictRetryHonorsCancel is the satellite-1 regression: a
+// transaction stuck behind a foreign lock, with a retry budget worth many
+// seconds of backoff, must return promptly when its context is cancelled —
+// from the retry loops and from the commit/abort control sends alike.
+func TestConflictRetryHonorsCancel(t *testing.T) {
+	store, _, _, dms := selfHealCluster(t, 302, 0, // leases off: the blocker must never be reaped
+		WithLockRetries(100),
+		WithRetryBackoff(50*time.Millisecond),
+		WithTxnRetries(100),
+	)
+	ctx := context.Background()
+	// A foreign transaction write-locks every replica; nobody will ever
+	// resolve it, so the write below can only end by cancellation.
+	blocker := TxnID("zz.t1")
+	for _, dm := range dms {
+		raw, err := store.client.Call(ctx, dm, WriteReq{Txn: blocker, Item: "x", VN: 999, Val: 0, Seq: 1})
+		if err != nil {
+			t.Fatalf("plant blocker at %s: %v", dm, err)
+		}
+		if wr, ok := raw.(WriteResp); !ok || !wr.OK {
+			t.Fatalf("blocker refused at %s: %#v", dm, raw)
+		}
+	}
+	cctx, cancel := context.WithTimeout(ctx, 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := store.Run(cctx, func(tx *Txn) error { return tx.Write(cctx, "x", 7) })
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("write through a permanently locked item succeeded")
+	}
+	// The budget is 100 retries × ≥50ms ≈ 5s+ per attempt, times 100
+	// restarts. Honoring cancellation means returning within a breath of
+	// the 25ms deadline, not a slice of that budget.
+	if elapsed > 2*time.Second {
+		t.Fatalf("Run returned after %v; cancellation not honored through the retry budget", elapsed)
+	}
+}
+
+// TestHealthBoardTransitions unit-tests the failure detector's counters:
+// circuits open after failThreshold consecutive failures, close on one
+// success, and expose their state through suspect().
+func TestHealthBoardTransitions(t *testing.T) {
+	var stats Stats
+	b := newHealthBoard(&stats, false)
+	for i := 0; i < defaultFailThreshold-1; i++ {
+		b.observe("dm0", false, 0)
+	}
+	if b.suspect("dm0") {
+		t.Fatalf("circuit opened after %d failures, threshold is %d", defaultFailThreshold-1, defaultFailThreshold)
+	}
+	b.observe("dm0", false, 0)
+	if !b.suspect("dm0") {
+		t.Fatal("circuit not open at the fail threshold")
+	}
+	if stats.CircuitOpens.Value() != 1 || stats.SuspectReplicas.Value() != 1 {
+		t.Fatalf("counters: opens=%d suspects=%d, want 1/1", stats.CircuitOpens.Value(), stats.SuspectReplicas.Value())
+	}
+	// A success — even after a long failure streak — closes the circuit.
+	b.observe("dm0", true, time.Millisecond)
+	if b.suspect("dm0") {
+		t.Fatal("circuit still open after a success")
+	}
+	if stats.SuspectReplicas.Value() != 0 {
+		t.Fatalf("suspect gauge %d after recovery, want 0", stats.SuspectReplicas.Value())
+	}
+	// Interleaved successes keep resetting the streak.
+	b.observe("dm1", false, 0)
+	b.observe("dm1", false, 0)
+	b.observe("dm1", true, time.Millisecond)
+	b.observe("dm1", false, 0)
+	b.observe("dm1", false, 0)
+	if b.suspect("dm1") {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+}
+
+// TestHealthBoardPlan checks fan-out planning: suspects are skipped only
+// while healthy replicas still cover a quorum, and an open circuit gets a
+// single half-open probe every probeEvery passes.
+func TestHealthBoardPlan(t *testing.T) {
+	b := newHealthBoard(nil, false)
+	targets := []string{"dm0", "dm1", "dm2"}
+	quorums := []quorum.Set{
+		quorum.NewSet("dm0", "dm1"), quorum.NewSet("dm0", "dm2"), quorum.NewSet("dm1", "dm2"),
+	}
+	// All healthy: everyone is dialed.
+	send, probes, skipped := b.plan(targets, quorums)
+	if len(send) != 3 || probes != nil || skipped != 0 {
+		t.Fatalf("healthy plan: send=%v probes=%v skipped=%d", send, probes, skipped)
+	}
+	for i := 0; i < defaultFailThreshold; i++ {
+		b.observe("dm2", false, 0)
+	}
+	// dm2 suspect, {dm0,dm1} covers a quorum: skip dm2 for probeEvery-1
+	// passes, then probe it exactly once.
+	probed := 0
+	for pass := 1; pass <= defaultProbeEvery; pass++ {
+		send, probes, skipped = b.plan(targets, quorums)
+		if len(probes) > 0 {
+			probed++
+			if !probes["dm2"] || len(send) != 3 || skipped != 0 {
+				t.Fatalf("pass %d: probe plan send=%v probes=%v skipped=%d", pass, send, probes, skipped)
+			}
+		} else if len(send) != 2 || skipped != 1 {
+			t.Fatalf("pass %d: skip plan send=%v skipped=%d", pass, send, skipped)
+		}
+	}
+	if probed != 1 {
+		t.Fatalf("%d probes in %d passes, want exactly 1", probed, defaultProbeEvery)
+	}
+	// Two suspects leave no healthy quorum: availability first, dial all.
+	for i := 0; i < defaultFailThreshold; i++ {
+		b.observe("dm1", false, 0)
+	}
+	send, probes, skipped = b.plan(targets, quorums)
+	if len(send) != 3 || probes != nil || skipped != 0 {
+		t.Fatalf("uncovered plan must dial everyone: send=%v probes=%v skipped=%d", send, probes, skipped)
+	}
+}
+
+// TestHealthBoardTimeout checks the adaptive timeout clamps: unknown
+// replicas get the full base, fast replicas get mult×EWMA floored, and the
+// base is never exceeded.
+func TestHealthBoardTimeout(t *testing.T) {
+	b := newHealthBoard(nil, false)
+	base := 100 * time.Millisecond
+	if d := b.timeout("dm0", base); d != base {
+		t.Fatalf("unknown replica timeout %v, want base %v", d, base)
+	}
+	b.observe("dm0", true, 100*time.Microsecond)
+	if d := b.timeout("dm0", base); d != adaptiveTimeoutFloor {
+		t.Fatalf("fast replica timeout %v, want floor %v", d, adaptiveTimeoutFloor)
+	}
+	b.observe("dm1", true, 2*time.Millisecond)
+	if d := b.timeout("dm1", base); d != adaptiveTimeoutMult*2*time.Millisecond {
+		t.Fatalf("timeout %v, want %v", d, adaptiveTimeoutMult*2*time.Millisecond)
+	}
+	b.observe("dm2", true, time.Second)
+	if d := b.timeout("dm2", base); d != base {
+		t.Fatalf("slow replica timeout %v, want clamped to base %v", d, base)
+	}
+	b.fixedTimeout = true
+	if d := b.timeout("dm0", base); d != base {
+		t.Fatalf("fixed-timeout board gave %v, want base %v", d, base)
+	}
+}
+
+// TestHealthBoardOrderQuorums checks the sequential path's steering:
+// quorums are stably reordered by suspect count, fewest first.
+func TestHealthBoardOrderQuorums(t *testing.T) {
+	b := newHealthBoard(nil, false)
+	for i := 0; i < defaultFailThreshold; i++ {
+		b.observe("dm0", false, 0)
+	}
+	qs := []quorum.Set{
+		quorum.NewSet("dm0", "dm1"), // 1 suspect
+		quorum.NewSet("dm1", "dm2"), // 0 suspects
+		quorum.NewSet("dm0", "dm2"), // 1 suspect
+	}
+	out := b.orderQuorums(qs)
+	if !out[0].Contains("dm1") || !out[0].Contains("dm2") || out[0].Contains("dm0") {
+		t.Fatalf("healthiest quorum not first: %v", out)
+	}
+	// Stable: the two one-suspect quorums keep their relative order.
+	if !out[1].Contains("dm1") || !out[2].Contains("dm2") {
+		t.Fatalf("equal-count quorums reordered: %v", out)
+	}
+}
+
+// TestFanOutSteersAroundCrashedReplica drives the detector end to end: a
+// crashed replica opens its circuit after a few writes, later fan-outs skip
+// it, and once it restarts a half-open probe closes the circuit again.
+func TestFanOutSteersAroundCrashedReplica(t *testing.T) {
+	store, net, _, _ := selfHealCluster(t, 303, 0, WithHealthProbes(true))
+	ctx := context.Background()
+	write := func(i int) {
+		t.Helper()
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", i) }); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	write(0) // seed the EWMAs while everyone is up
+	net.Crash("dm2")
+	for i := 1; i <= 8; i++ {
+		write(i)
+	}
+	if store.Stats.CircuitOpens.Value() == 0 {
+		t.Fatal("crashed replica never opened its circuit")
+	}
+	if store.Stats.SuspectSkips.Value() == 0 {
+		t.Fatal("fan-outs never steered around the suspect")
+	}
+	net.Restart("dm2")
+	for i := 9; i <= 20; i++ {
+		write(i)
+	}
+	if store.Stats.ProbeTrials.Value() == 0 {
+		t.Fatal("no half-open probes were sent")
+	}
+	for _, h := range store.Health() {
+		if h.Suspect {
+			t.Fatalf("%s still suspect after restart and probes: %+v", h.DM, h)
+		}
+	}
+	if g := store.Stats.SuspectReplicas.Value(); g != 0 {
+		t.Fatalf("suspect gauge %d after recovery, want 0", g)
+	}
+}
+
+// TestLeaseReapsOrphanedLocks is the reaper's core promise: a client that
+// crashed holding write locks wedges the item only until its lease lapses;
+// the next conflicting writer triggers a peer inquiry, every peer answers
+// "unknown", and the orphan is presumed aborted — locks freed, intention
+// dropped, the writer's retry succeeds.
+func TestLeaseReapsOrphanedLocks(t *testing.T) {
+	ttl := 50 * time.Millisecond
+	store, net, clk, dms := selfHealCluster(t, 304, ttl)
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.PlantOrphan(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	clk.Advance(ttl + time.Millisecond)
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 2) }); err != nil {
+		t.Fatalf("write after orphan's lease lapsed: %v", err)
+	}
+	net.Quiesce()
+	if got := store.Stats.OrphanReapsAborted.Value(); got == 0 {
+		t.Fatal("no orphan was reaped")
+	}
+	if got := store.Stats.ResolutionQueries.Value(); got == 0 {
+		t.Fatal("reap happened without a peer inquiry")
+	}
+	for _, dm := range dms {
+		insp, err := store.Inspect(ctx, dm, "x")
+		if err != nil {
+			t.Fatalf("inspect %s: %v", dm, err)
+		}
+		if insp.Locks != 0 || insp.Intents != 0 {
+			t.Fatalf("%s still holds %d lock(s), %d intent(s) after reap", dm, insp.Locks, insp.Intents)
+		}
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := ReadAs[int](ctx, tx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 2 {
+			t.Errorf("read %d, want 2 — the orphan's buffered write must not survive", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReapAppliesPeerCommitRecord covers the other reap outcome: a replica
+// that missed the commit broadcast (crashed across the commit point) still
+// holds the committed transaction's locks and intention. Once the lease
+// lapses, its inquiry reaches peers that DID resolve the transaction, and
+// the straggler applies the commit — intention folded in, not discarded.
+func TestReapAppliesPeerCommitRecord(t *testing.T) {
+	ttl := 50 * time.Millisecond
+	store, net, clk, _ := selfHealCluster(t, 305, ttl, WithLockRetries(3))
+	ctx := context.Background()
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	store.Hooks.BeforeCommitTop = func(TxnID) {
+		if !crashed {
+			crashed = true
+			net.Crash("dm0")
+		}
+	}
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 42) }); err != nil {
+		t.Fatalf("commit with crashed minority: %v", err)
+	}
+	store.Hooks.BeforeCommitTop = nil
+	net.Restart("dm0")
+	pre, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Intents == 0 || pre.Locks == 0 {
+		t.Fatalf("precondition: dm0 should be a straggler with lock+intent, got %+v", pre)
+	}
+
+	clk.Advance(ttl + time.Millisecond)
+	// The sweep's inspection is the orphan hunter here — no client is
+	// waiting on dm0, since quorums route around it.
+	if _, err := store.SweepOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+
+	if got := store.Stats.OrphanReapsCommitted.Value(); got == 0 {
+		t.Fatal("straggler never applied the peers' commit record")
+	}
+	post, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Intents != 0 || post.Locks != 0 {
+		t.Fatalf("straggler still holds %d intent(s), %d lock(s)", post.Intents, post.Locks)
+	}
+	if post.Val != 42 {
+		t.Fatalf("straggler reaped to value %v, want the committed 42", post.Val)
+	}
+}
+
+// TestLeaseFenceStopsReapedCommit is the safety half of presumed abort: a
+// slow client whose locks were reaped must NOT be able to commit. The
+// pre-commit lease fence hits the replicas that resolved the transaction,
+// they refuse the renewal, and Run surfaces ErrLeaseExpired instead of
+// committing a transaction the cluster already aborted.
+func TestLeaseFenceStopsReapedCommit(t *testing.T) {
+	ttl := 50 * time.Millisecond
+	store, net, clk, _ := selfHealCluster(t, 306, ttl, WithTxnRetries(0))
+	ctx := context.Background()
+	other, err := OpenClient(net, store.Items(),
+		WithSeed(307), WithCallTimeout(25*time.Millisecond),
+		WithLeaseTTL(ttl), WithClock(clk), WithRetryBackoff(2*time.Millisecond),
+		WithSynchronousCleanup(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	err = store.Run(ctx, func(tx *Txn) error {
+		if err := tx.Write(ctx, "x", 111); err != nil {
+			return err
+		}
+		// The client now "stalls": its lease lapses, and a second client's
+		// conflicting write gets the locks reaped out from under it.
+		clk.Advance(ttl + time.Millisecond)
+		if err := other.Run(ctx, func(tx2 *Txn) error { return tx2.Write(ctx, "x", 222) }); err != nil {
+			return fmt.Errorf("second client could not write past the expired lease: %w", err)
+		}
+		return nil // and then tries to commit
+	})
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("stalled client's commit returned %v, want ErrLeaseExpired", err)
+	}
+	if store.Stats.LeaseExpiries.Value() == 0 {
+		t.Fatal("lease expiry not counted")
+	}
+	net.Quiesce()
+	if err := other.Run(ctx, func(tx *Txn) error {
+		v, err := ReadAs[int](ctx, tx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 222 {
+			t.Errorf("final value %d, want the surviving client's 222", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAntiEntropySweepHealsStaleReplica checks the sweeper repairs both
+// dimensions of staleness — committed version and configuration generation
+// — without waiting for a lucky quorum read, and that a converged cluster
+// sweeps clean.
+func TestAntiEntropySweepHealsStaleReplica(t *testing.T) {
+	store, net, _, dms := selfHealCluster(t, 308, 0)
+	ctx := context.Background()
+	net.Crash("dm2")
+	for i := 1; i <= 3; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bump the configuration generation while dm2 is down; the config write
+	// needs only a write quorum of the old configuration.
+	if err := store.Reconfigure(ctx, "x", quorum.Majority(dms)); err != nil {
+		t.Fatal(err)
+	}
+	net.Restart("dm2")
+	stale, err := store.Inspect(ctx, "dm2", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.VN >= fresh.VN && stale.Gen >= fresh.Gen {
+		t.Fatalf("precondition: dm2 should be stale (dm2 %+v, dm0 %+v)", stale, fresh)
+	}
+	repairs, err := store.SweepOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairs == 0 {
+		t.Fatal("sweep saw a stale replica but sent no repairs")
+	}
+	net.Quiesce()
+	healed, err := store.Inspect(ctx, "dm2", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.VN != fresh.VN || healed.Val != fresh.Val || healed.Gen != fresh.Gen {
+		t.Fatalf("dm2 not healed: %+v, want vn/gen of %+v", healed, fresh)
+	}
+	if store.Stats.AntiEntropyRepairs.Value() == 0 || store.Stats.AntiEntropySweeps.Value() == 0 {
+		t.Fatal("sweep counters not advanced")
+	}
+	// A converged cluster has nothing to repair.
+	repairs, err = store.SweepOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairs != 0 {
+		t.Fatalf("second sweep sent %d repairs on a converged cluster", repairs)
+	}
+}

@@ -57,6 +57,31 @@ type Stats struct {
 	// ReplayedRecords totals the log records those recoveries re-applied.
 	Recoveries      metrics.Counter
 	ReplayedRecords metrics.Counter
+	// LeaseRenewals counts successful synchronous lease-renewal rounds
+	// (pre-commit fences and background keep-alives); LeaseExpiries counts
+	// transactions that failed the fence — some DM had already resolved or
+	// reaped them — and were aborted and restarted.
+	LeaseRenewals metrics.Counter
+	LeaseExpiries metrics.Counter
+	// OrphanReapsAborted and OrphanReapsCommitted count lease-reaper
+	// resolutions of orphaned transactions: presumed aborts, and commits
+	// re-served from a peer's resolution record. ResolutionQueries counts
+	// the peer inquiries that preceded them.
+	OrphanReapsAborted   metrics.Counter
+	OrphanReapsCommitted metrics.Counter
+	ResolutionQueries    metrics.Counter
+	// CircuitOpens counts replica circuits opened by the failure detector;
+	// SuspectReplicas gauges how many are open right now. ProbeTrials
+	// counts half-open probe copies sent to suspects; SuspectSkips counts
+	// fan-out sends avoided because the target was suspect.
+	CircuitOpens    metrics.Counter
+	SuspectReplicas metrics.Gauge
+	ProbeTrials     metrics.Counter
+	SuspectSkips    metrics.Counter
+	// AntiEntropySweeps counts sweeper passes; AntiEntropyRepairs the
+	// repair messages those passes pushed to stale replicas.
+	AntiEntropySweeps  metrics.Counter
+	AntiEntropyRepairs metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -92,6 +117,21 @@ type Store struct {
 	// them out: with durable replicas a resolution that dies with the
 	// process would leave its locks held in the logs forever.
 	detached sync.WaitGroup
+
+	// health is the failure detector's scoreboard; nil unless
+	// WithHealthProbes is on.
+	health *healthBoard
+
+	// closeOnce makes Close idempotent and safe to race; stopBg and bg
+	// manage the background goroutines (lease renewer, anti-entropy loop).
+	closeOnce sync.Once
+	stopBg    chan struct{}
+	bg        sync.WaitGroup
+
+	// openTxns tracks in-flight top-level transactions for the background
+	// lease renewer (guarded by mu); orphanSeq numbers PlantOrphan ids.
+	openTxns  map[TxnID]*Txn
+	orphanSeq atomic.Uint64
 
 	Stats Stats
 
@@ -171,7 +211,18 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		jitter:   rand.New(rand.NewSource(st.seed ^ 0x5DEECE66D)),
 		believed: map[string]genCfg{},
 	}
+	if st.health {
+		s.health = newHealthBoard(&s.Stats, st.fixedTimeout)
+	}
+	s.stopBg = make(chan struct{})
+	// Validation first, then spawning: the lease reaper needs every DM to
+	// know its full peer set, which only exists once all items are walked.
 	seen := map[string]bool{}
+	type dmSite struct {
+		id string
+		it ItemSpec
+	}
+	var sites []dmSite
 	for _, it := range items {
 		if err := it.Config.Validate(it.DMs); err != nil {
 			return nil, fmt.Errorf("cluster: item %q: %w", it.Name, err)
@@ -186,26 +237,35 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 				return nil, fmt.Errorf("cluster: DM %q assigned twice", dm)
 			}
 			seen[dm] = true
-			if !spawnServers {
-				continue
+			if spawnServers {
+				sites = append(sites, dmSite{id: dm, it: it})
 			}
-			if st.walDir == "" {
-				srv := newDMState(dm, []ItemSpec{it})
-				s.dms[dm] = &dmHandle{
-					id: dm, items: []ItemSpec{it}, srv: srv,
-					node: sim.NewNode(net, dm, srv.handle),
-				}
-				continue
+		}
+	}
+	allDMs := make([]string, 0, len(sites))
+	for _, site := range sites {
+		allDMs = append(allDMs, site.id)
+	}
+	sort.Strings(allDMs)
+	for _, site := range sites {
+		wire := s.leaseWiring(site.id, peersOf(site.id, allDMs))
+		if st.walDir == "" {
+			srv := newDMState(site.id, []ItemSpec{site.it})
+			wire(srv)
+			s.dms[site.id] = &dmHandle{
+				id: site.id, items: []ItemSpec{site.it}, srv: srv,
+				node: sim.NewNode(net, site.id, srv.handle),
 			}
-			h, stats, err := newDurableDM(net, dm, []ItemSpec{it}, filepath.Join(st.walDir, dm), st.walOpts, st.snapEvery)
-			if err != nil {
-				return nil, err
-			}
-			s.dms[dm] = h
-			if stats.Replayed > 0 || stats.FromSnapshot {
-				s.Stats.Recoveries.Inc()
-				s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
-			}
+			continue
+		}
+		h, stats, err := newDurableDM(net, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire)
+		if err != nil {
+			return nil, err
+		}
+		s.dms[site.id] = h
+		if stats.Replayed > 0 || stats.FromSnapshot {
+			s.Stats.Recoveries.Inc()
+			s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
 		}
 	}
 	s.clientID = fmt.Sprintf("c%d", clientSeq.Add(1))
@@ -222,7 +282,50 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		s.clientID = fmt.Sprintf("e%d%s", epoch, s.clientID)
 	}
 	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, st.seed), nil)
+	if st.leaseTTL > 0 && st.clock == sim.Wall {
+		// The background renewer exists for wall-clock deployments only:
+		// under a manual clock (deterministic harnesses) time moves between
+		// rounds, and a timer-driven renewal would fork seeded replays.
+		s.bg.Add(1)
+		go s.leaseRenewer()
+	}
+	if st.antiEntropy > 0 {
+		s.bg.Add(1)
+		go s.antiEntropyLoop()
+	}
 	return s, nil
+}
+
+// leaseWiring builds the pre-start configuration hook for one DM: lease
+// parameters, the peer set for resolution inquiries, and the
+// fire-and-forget transport those inquiries ride on.
+func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
+	return func(srv *dmServer) {
+		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
+		srv.setSender(func(to string, req any) { sim.SendNotify(s.net, id, to, req) })
+	}
+}
+
+// peersOf returns all of the cluster's DMs except id, sorted.
+func peersOf(id string, all []string) []string {
+	out := make([]string, 0, len(all))
+	for _, dm := range all {
+		if dm != id {
+			out = append(out, dm)
+		}
+	}
+	return out
+}
+
+// now reads the store's clock (wall by default, manual in deterministic
+// harnesses).
+func (s *Store) now() time.Time { return s.opts.clock.Now() }
+
+// observeDM feeds one call outcome to the failure detector, when present.
+func (s *Store) observeDM(dm string, ok bool, rtt time.Duration) {
+	if s.health != nil {
+		s.health.observe(dm, ok, rtt)
+	}
 }
 
 // clientSeq hands out process-unique client numbers; it exists solely to
@@ -250,8 +353,17 @@ func bumpEpoch(dir string) (uint64, error) {
 }
 
 // Close shuts down the client and server nodes and closes any write-ahead
-// logs, flushing their tails.
+// logs, flushing their tails. Idempotent and safe to call concurrently:
+// the first call does the work, the rest wait for nothing and return.
 func (s *Store) Close() {
+	s.closeOnce.Do(s.doClose)
+}
+
+func (s *Store) doClose() {
+	// Stop the background goroutines (lease renewer, anti-entropy sweeper)
+	// first so they do not issue new traffic into a closing cluster.
+	close(s.stopBg)
+	s.bg.Wait()
 	// An orderly Close is not a crash (net.Crash models those, and loses
 	// exactly what a crash may lose). Wait out detached commit/abort
 	// sweeps, then let the network finish delivering their traffic and
@@ -330,6 +442,11 @@ func (s *Store) shuffledQuorums(qs []quorum.Set) []quorum.Set {
 	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	s.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	if s.health != nil {
+		// Steer: quorums with the fewest suspect members first, keeping the
+		// shuffled small-first order among equals.
+		out = s.health.orderQuorums(out)
+	}
 	return out
 }
 
@@ -381,6 +498,12 @@ type Txn struct {
 	done     bool
 	ops      []checker.Op
 	subs     []TxnID
+
+	// leaseStamp is the last time this client knowingly (re)stamped the
+	// transaction's leases everywhere — at creation (no leases exist yet)
+	// and after each successful renewLeases round. The pre-commit fence
+	// skips its renewal round when the stamp is fresher than TTL/2.
+	leaseStamp time.Time
 }
 
 // ID returns the transaction's hierarchical identifier.
@@ -684,12 +807,17 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 		wg.Add(1)
 		go func(i int, dm string) {
 			defer wg.Done()
+			callStart := time.Now()
 			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 			defer cancel()
 			raw, err := t.store.client.Call(cctx, dm, ReadReq{Txn: t.id, Item: item, Lock: mode})
 			if err != nil {
+				if ctx.Err() == nil {
+					t.store.observeDM(dm, false, 0)
+				}
 				return
 			}
+			t.store.observeDM(dm, true, time.Since(callStart))
 			if resp, ok := raw.(ReadResp); ok {
 				resps[i] = resp
 				oks[i] = resp.OK
@@ -820,12 +948,17 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 				wg.Add(1)
 				go func(i int, dm string) {
 					defer wg.Done()
+					callStart := time.Now()
 					cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 					defer cancel()
 					raw, err := t.store.client.Call(cctx, dm, mk(0))
 					if err != nil {
+						if ctx.Err() == nil {
+							t.store.observeDM(dm, false, 0)
+						}
 						return
 					}
+					t.store.observeDM(dm, true, time.Since(callStart))
 					if resp, ok := raw.(WriteResp); ok {
 						oks[i] = resp.OK
 						busy[i] = resp.Busy
@@ -998,9 +1131,24 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 	acked := make([]bool, len(required))
 	send := func(dm string, retries int) bool {
 		for attempt := 0; attempt <= retries; attempt++ {
+			// A dead context must end the round promptly: every Call below
+			// inherits it and fails instantly, so without this check a
+			// cancelled caller would still grind through the whole retry
+			// budget of doomed calls and backoffs.
+			if ctx.Err() != nil {
+				return false
+			}
+			callStart := time.Now()
 			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
 			raw, err := t.store.client.Call(cctx, dm, req)
 			cancel()
+			if err == nil {
+				t.store.observeDM(dm, true, time.Since(callStart))
+			} else if ctx.Err() == nil {
+				// Only a genuine non-answer blames the replica; a cancelled
+				// caller proves nothing about the other end.
+				t.store.observeDM(dm, false, 0)
+			}
 			if err == nil {
 				if ack, ok := raw.(Ack); ok && ack.OK {
 					return true
@@ -1125,6 +1273,18 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 // top-level transaction resolves or on restart).
 func (t *Txn) abort(ctx context.Context) {
 	t.done = true
+	if ctx.Err() != nil {
+		// The caller's context is dead, so acked control rounds are
+		// impossible — every Call would fail instantly. One fire-and-forget
+		// AbortReq per touched DM still usually lands, and whatever it
+		// misses the lease reaper sweeps once the leases lapse.
+		for _, dm := range t.touchedDMs() {
+			t.store.client.Notify(dm, AbortReq{Txn: t.id})
+		}
+		t.store.Stats.Aborts.Inc()
+		t.store.traceEvent(string(t.id), "abort", "notified %v (ctx dead)", t.touchedDMs())
+		return
+	}
 	written, granted, tentative := t.controlSets()
 	required := append(written, granted...)
 	sort.Strings(required)
@@ -1142,11 +1302,24 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 	for attempt := 0; attempt <= s.opts.txnRetries; attempt++ {
 		attemptStart := time.Now()
 		t := &Txn{
-			store:   s,
-			id:      TxnID(fmt.Sprintf("%s.t%d", s.clientID, s.txnSeq.Add(1))),
-			touched: map[string]touchLevel{},
+			store:      s,
+			id:         TxnID(fmt.Sprintf("%s.t%d", s.clientID, s.txnSeq.Add(1))),
+			touched:    map[string]touchLevel{},
+			leaseStamp: s.now(),
 		}
+		s.trackTxn(t)
 		err = fn(t)
+		if err == nil {
+			// The lease fence: renew at every touched DM before the commit
+			// point. A refusal means some DM already resolved the
+			// transaction — most likely the lease reaper presumed it aborted
+			// — so committing would diverge; abort this attempt and restart
+			// under a fresh id (LeaseExpiredError unwraps to ErrConflict).
+			if ferr := t.ensureLease(ctx); ferr != nil {
+				s.Stats.LeaseExpiries.Inc()
+				err = ferr
+			}
+		}
 		if err == nil {
 			written, granted, tentative := t.controlSets()
 			// The first CommitTopReq send is the commit point: every
@@ -1168,6 +1341,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 				s.traceEvent(string(t.id), "commit", "stragglers %v", missing)
 			}
 			t.done = true
+			s.untrackTxn(t)
 			s.Stats.Commits.Inc()
 			s.Stats.TxnLatency.ObserveSince(start)
 			if s.opts.history != nil {
@@ -1179,6 +1353,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			return nil
 		}
 		t.abort(ctx)
+		s.untrackTxn(t)
 		if !errors.Is(err, ErrConflict) || ctx.Err() != nil {
 			return err
 		}

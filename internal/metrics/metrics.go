@@ -32,6 +32,35 @@ func (c *Counter) Value() int64 {
 	return c.n
 }
 
+// Gauge is a settable instantaneous value safe for concurrent use — the
+// "how many right now" counterpart to Counter (suspect replicas, open
+// circuits, live leases).
+type Gauge struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.n = v
+	g.mu.Unlock()
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	g.mu.Lock()
+	g.n += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
 // Histogram records duration samples and reports simple summary statistics.
 type Histogram struct {
 	mu      sync.Mutex

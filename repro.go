@@ -175,6 +175,10 @@ type (
 	ConflictError = cluster.ConflictError
 	// UnavailableError details a quorum phase that found no quorum.
 	UnavailableError = cluster.UnavailableError
+	// LeaseExpiredError reports a commit fenced out because the
+	// transaction's lock lease lapsed (matches both ErrLeaseExpired and
+	// ErrConflict, so Run retries it).
+	LeaseExpiredError = cluster.LeaseExpiredError
 )
 
 // Cluster sentinel errors (match with errors.Is).
@@ -183,6 +187,8 @@ var (
 	ErrConflict = cluster.ErrConflict
 	// ErrUnavailable is wrapped by every UnavailableError.
 	ErrUnavailable = cluster.ErrUnavailable
+	// ErrLeaseExpired is wrapped by every LeaseExpiredError.
+	ErrLeaseExpired = cluster.ErrLeaseExpired
 )
 
 // Store option constructors (re-exported from internal/cluster).
@@ -211,6 +217,15 @@ var (
 	WithSeed = cluster.WithSeed
 	// WithTrace directs structured per-operation events to a trace log.
 	WithTrace = cluster.WithTrace
+	// WithLeaseTTL enables lock leases and the presumed-abort orphan
+	// reaper; a client crash wedges an item for at most one TTL.
+	WithLeaseTTL = cluster.WithLeaseTTL
+	// WithHealthProbes enables the per-replica failure detector and
+	// circuit-broken quorum selection.
+	WithHealthProbes = cluster.WithHealthProbes
+	// WithAntiEntropy starts a background sweeper repairing stale
+	// replicas at the given interval.
+	WithAntiEntropy = cluster.WithAntiEntropy
 )
 
 // OpenSim builds a simulated network with the given latency range and a
