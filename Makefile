@@ -39,14 +39,17 @@ fuzz:
 # CI entry point: everything tier-1 checks plus vet, staticcheck (when
 # installed — the toolchain image may not carry it), an explicit race pass
 # over the chaos campaigns (they stress every cross-goroutine path the
-# self-healing machinery added), the race pass, short fuzz smokes, and the
+# self-healing machinery added), the race pass, short fuzz smokes, the
 # qcstore durable-mode end-to-end demo (open, write, close, reopen from the
-# WALs, read back).
+# WALs, read back), and the overload smoke: the three-arm goodput gate —
+# protections under 2x load must stay within 20% of capacity while the
+# ablated cluster collapses.
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
 	d=$$(mktemp -d) && $(GO) run ./cmd/qcstore -dir $$d >/dev/null && rm -rf $$d
+	$(GO) run ./cmd/qchaos -overload
 	@echo verify: OK
 
 # Static analysis beyond vet; skipped with a notice when the binary is not

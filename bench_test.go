@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -550,6 +551,56 @@ func BenchmarkE13_Write_LeasesOn(b *testing.B) {
 
 func BenchmarkE12_WAL_GroupCommit(b *testing.B) {
 	benchWAL(b, true)
+}
+
+// E14: overload robustness. Each benchmark runs one arm of the three-arm
+// overload experiment (finite service capacity, per-transaction deadlines)
+// and reports the goodput / shed / expired-on-arrival series: a healthy
+// cluster at capacity, the full protection stack (bounded admission,
+// deadline propagation, retry budget, AIMD concurrency limit) under 2x
+// load, and 2x load with every protection ablated — unbounded queues that
+// serve expired work. Compare goodput-txn/s across the three: the
+// protected 2x arm holds near capacity, the ablation collapses.
+
+func benchOverloadArm(b *testing.B, arm string) {
+	ctx := context.Background()
+	var committed int
+	var shed, expired, served int64
+	var elapsed time.Duration
+	var last chaos.OverloadArm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chaos.RunOverloadArm(ctx, chaos.OverloadConfig{Seed: int64(i + 1)}, arm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += res.Committed
+		shed += res.Shed
+		expired += res.ExpiredOnArrival
+		served += res.ServedExpired
+		elapsed += res.Elapsed
+		last = res
+	}
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(committed)/elapsed.Seconds(), "goodput-txn/s")
+	}
+	b.ReportMetric(float64(shed)/float64(b.N), "shed/op")
+	b.ReportMetric(float64(expired)/float64(b.N), "expired-on-arrival/op")
+	b.ReportMetric(float64(served)/float64(b.N), "served-expired/op")
+	b.ReportMetric(float64(last.P99.Microseconds()), "p99-us")
+}
+
+func BenchmarkE14_Goodput_Capacity(b *testing.B) {
+	benchOverloadArm(b, "capacity")
+}
+
+func BenchmarkE14_Goodput_Overload2x(b *testing.B) {
+	benchOverloadArm(b, "overload")
+}
+
+func BenchmarkE14_Goodput_Ablation2x(b *testing.B) {
+	benchOverloadArm(b, "ablation")
 }
 
 // The no-fsync variant isolates the cost of stability itself: it is the

@@ -4,11 +4,17 @@
 // replay instructions; with the same flags and seed, the campaign — down
 // to the network's fate counters — reproduces bit-for-bit.
 //
+// With -overload it instead runs the three-arm overload experiment (E14):
+// a cluster at capacity, the same protections under 2x load, and 2x load
+// with every protection ablated — and gates on goodput: the protected arm
+// must stay within 20% of capacity while the ablation collapses.
+//
 // Usage:
 //
 //	qchaos -seed 1 -campaigns 50
 //	qchaos -seed 99 -duration 30s -faults crash,partition,dup
 //	qchaos -seed 1 -first 17 -campaigns 1 -v   # replay campaign 17
+//	qchaos -overload                           # goodput-under-overload gate
 package main
 
 import (
@@ -29,16 +35,22 @@ func main() {
 		campaigns = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration  = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first     = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash")
+		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload")
 		items     = flag.Int("items", 2, "replicated items per campaign")
 		replicas  = flag.Int("replicas", 3, "replicas (DMs) per item")
 		rounds    = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
 		txns      = flag.Int("txns", 8, "top-level transactions per round")
 		live      = flag.Bool("live", false, "live mode: fan-out, hedging, concurrent workers (forfeits exact replay)")
 		selfheal  = flag.String("selfheal", "auto", "lease reaper + failure detector: auto (on when flap/clientcrash faults run), on, off")
+		overload  = flag.Bool("overload", false, "run the three-arm overload goodput experiment instead of campaigns")
 		verbose   = flag.Bool("v", false, "print one line per campaign")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *overload {
+		os.Exit(runOverloadGate(ctx, *seed))
+	}
 
 	fs, err := chaos.ParseFaults(*faults)
 	if err != nil {
@@ -58,7 +70,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := context.Background()
 	start := time.Now()
 	var agg chaos.Result
 	ran := 0
@@ -84,13 +95,14 @@ func main() {
 		res, err := chaos.Run(ctx, cfg)
 		ran++
 		if *verbose {
-			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d finalround=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d recoveries=%d replayed=%d orphans=%d reaps=%d/%d queries=%d wedged=%d injected=%v\n",
+			fmt.Printf("campaign %d seed=%d committed=%d failed=%d tolerated=%d ops=%d finalround=%d sent=%d delivered=%d dropped=%d dup=%d reordered=%d recoveries=%d replayed=%d orphans=%d reaps=%d/%d queries=%d wedged=%d bursts=%d shed=%d expired=%d injected=%v\n",
 				i, cseed, res.Committed, res.Failed, res.Tolerated, res.Ops, res.FinalRoundCommitted,
 				res.Net.Sent, res.Net.Delivered, res.Net.Dropped,
 				res.Net.Duplicated, res.Net.Reordered,
 				res.Recoveries, res.ReplayedRecords,
 				res.Orphans, res.ReapsAborted, res.ReapsCommitted,
-				res.ResolutionQueries, res.Wedged, res.Injected)
+				res.ResolutionQueries, res.Wedged,
+				res.Bursts, res.Shed, res.ExpiredOnArrival, res.Injected)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %d (seed %d) FAILED: %v\n", i, cseed, err)
@@ -113,6 +125,9 @@ func main() {
 		agg.ReapsCommitted += res.ReapsCommitted
 		agg.ResolutionQueries += res.ResolutionQueries
 		agg.Wedged += res.Wedged
+		agg.Bursts += res.Bursts
+		agg.Shed += res.Shed
+		agg.ExpiredOnArrival += res.ExpiredOnArrival
 		agg.FinalRoundCommitted += res.FinalRoundCommitted
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
@@ -120,10 +135,41 @@ func main() {
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
 		agg.Orphans, agg.ReapsAborted, agg.ReapsCommitted, agg.ResolutionQueries, agg.Wedged,
+		agg.Bursts, agg.Shed, agg.ExpiredOnArrival,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
+}
+
+// runOverloadGate runs the three-arm overload experiment and applies the
+// E14 gate. Goodput is a wall-clock measurement, so a failed gate gets one
+// retry on a fresh seed before it is declared real.
+func runOverloadGate(ctx context.Context, seed int64) int {
+	for attempt := 0; ; attempt++ {
+		res, err := chaos.RunOverload(ctx, chaos.OverloadConfig{Seed: seed + int64(attempt)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overload experiment: %v\n", err)
+			return 1
+		}
+		for _, a := range []chaos.OverloadArm{res.Capacity, res.Overload, res.Ablation} {
+			fmt.Printf("arm=%-8s workers=%2d offered=%d committed=%d overloaded=%d expired=%d shed=%d expired_on_arrival=%d served_expired=%d p50=%v p99=%v goodput=%.0f txn/s\n",
+				a.Name, a.Workers, a.Offered, a.Committed, a.Overloaded, a.Expired,
+				a.Shed, a.ExpiredOnArrival, a.ServedExpired, a.P50, a.P99, a.Goodput)
+		}
+		gerr := res.Check()
+		if gerr == nil {
+			fmt.Printf("overload gate PASS: 2x-load goodput %.0f txn/s >= 80%% of capacity %.0f txn/s; ablation collapsed to %.0f txn/s\n",
+				res.Overload.Goodput, res.Capacity.Goodput, res.Ablation.Goodput)
+			return 0
+		}
+		if attempt == 0 {
+			fmt.Fprintf(os.Stderr, "overload gate failed (%v); retrying once with seed %d\n", gerr, seed+1)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "overload gate FAILED: %v\n", gerr)
+		return 1
+	}
 }

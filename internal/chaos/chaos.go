@@ -58,10 +58,22 @@ const (
 	// forever; with it, the orphan is presumed aborted once its lease
 	// lapses. There is no heal — recovery is the store's job.
 	FaultClientCrash Fault = "clientcrash"
+	// FaultOverload slams one replica's admission queue with a seeded burst
+	// of inert requests (some pre-expired), injected behind a held service
+	// loop and bypassing the network, so the admit/shed/expire verdicts are
+	// a pure function of the burst shape. Selecting it runs every DM with
+	// bounded admission; the burst is instantaneous, so there is no heal.
+	FaultOverload Fault = "overload"
 )
 
 // AllFaults lists every fault class in canonical order.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash}
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload}
+
+// overloadAdmitCap is the per-DM admission queue capacity campaigns use
+// when FaultOverload is selected: small enough that a burst always sheds,
+// large enough that the campaign's own workload (queue depth ≤ a few under
+// sequential phases) never does.
+const overloadAdmitCap = 8
 
 // ParseFaults parses a comma-separated fault list such as
 // "crash,partition,dup". Empty input and "all" select every class.
@@ -238,6 +250,14 @@ type Result struct {
 	// check. Always zero with self-healing on; the self-heal-off ablation
 	// with clientcrash faults shows why.
 	Wedged int
+	// Bursts counts overload fault injections; Shed and ExpiredOnArrival
+	// total the admission verdicts across them (requests rejected at a full
+	// queue, and admitted requests discarded at dequeue because their
+	// deadline had lapsed). Bursts bypass the network, so all three are
+	// replayable bit for bit from the seed.
+	Bursts           int
+	Shed             int64
+	ExpiredOnArrival int64
 	// FinalRoundCommitted is the last round's committed transactions — the
 	// throughput the cluster re-attained after its accumulated damage.
 	FinalRoundCommitted int
@@ -289,11 +309,23 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithCallTimeout(cfg.CallTimeout),
 		cluster.WithHistory(rec),
 	}
-	amnesiaOn := false
+	amnesiaOn, overloadOn := false, false
 	for _, f := range cfg.Faults {
 		if f == FaultAmnesia {
 			amnesiaOn = true
 		}
+		if f == FaultOverload {
+			overloadOn = true
+		}
+	}
+	if overloadOn {
+		// Overload needs something to overload: run every DM behind a
+		// bounded admission queue. The client-side retry budget stays off —
+		// under the campaign's loss faults it would (by design) deny the
+		// very retries that ride out transient drops, starving the workload;
+		// the budget is exercised by the overload experiment instead, where
+		// load, not loss, is the failure mode.
+		opts = append(opts, cluster.WithAdmissionCapacity(overloadAdmitCap))
 	}
 	if amnesiaOn {
 		// Amnesia needs somewhere to forget from: give every DM a WAL in a
@@ -479,6 +511,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Recoveries = int(store.Stats.Recoveries.Value())
 	res.ReplayedRecords = store.Stats.ReplayedRecords.Value()
 	res.Orphans = sched.orphans
+	res.Bursts = sched.bursts
+	res.Shed = sched.shed
+	res.ExpiredOnArrival = sched.expired
 	res.ReapsAborted = store.Stats.OrphanReapsAborted.Value()
 	res.ReapsCommitted = store.Stats.OrphanReapsCommitted.Value()
 	res.ResolutionQueries = store.Stats.ResolutionQueries.Value()
@@ -525,6 +560,9 @@ type scheduler struct {
 	enabled map[Fault]bool
 	active  []episode
 	orphans int   // transactions orphaned by clientcrash faults
+	bursts  int   // overload bursts fired
+	shed    int64 // requests shed at admission across all bursts
+	expired int64 // admitted requests expired at dequeue across all bursts
 	err     error // first amnesia-recovery failure; fails the campaign
 }
 
@@ -656,6 +694,19 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 				continue // a fully impaired group may refuse; the roll is spent
 			}
 			s.orphans++
+		case FaultOverload:
+			// A seeded burst at one replica's admission queue: always larger
+			// than the queue, with a pre-expired prefix. Injection bypasses
+			// the network behind a held service loop, and the scheduler only
+			// runs with the network quiesced, so the queue is empty and the
+			// verdict counts depend on nothing but the burst shape.
+			g := s.rng.Intn(len(s.groups))
+			dm := s.groups[g][s.rng.Intn(len(s.groups[g]))]
+			k := overloadAdmitCap + 2 + s.rng.Intn(8)
+			rep := s.store.Burst(dm, k, s.rng.Intn(3))
+			s.bursts++
+			s.shed += int64(rep.Shed)
+			s.expired += int64(rep.Expired)
 		}
 		injected[f]++
 	}

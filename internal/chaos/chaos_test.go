@@ -233,6 +233,90 @@ func TestLiveCampaignVerifies(t *testing.T) {
 	}
 }
 
+// TestOverloadCampaign runs overload-focused campaigns: seeded bursts slam
+// replica admission queues between rounds, requests are shed and expired
+// deterministically, and the workload still commits — overload at one
+// replica must never corrupt or wedge the cluster.
+func TestOverloadCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	bursts := 0
+	var shed, expired int64
+	for i := 0; i < 5; i++ {
+		cfg := shortCfg(CampaignSeed(51, i))
+		cfg.Faults = []Fault{FaultOverload}
+		cfg.Rounds = 3
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("overload campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d committed nothing", i)
+		}
+		if res.Injected[FaultOverload] != res.Bursts {
+			t.Errorf("campaign %d: injected=%d bursts=%d, want equal",
+				i, res.Injected[FaultOverload], res.Bursts)
+		}
+		if res.Bursts > 0 && res.Shed == 0 {
+			t.Errorf("campaign %d fired %d burst(s) but shed nothing — bursts always exceed capacity",
+				i, res.Bursts)
+		}
+		bursts += res.Bursts
+		shed += res.Shed
+		expired += res.ExpiredOnArrival
+	}
+	if bursts == 0 || shed == 0 || expired == 0 {
+		t.Errorf("overload fate never exercised admission: bursts=%d shed=%d expired=%d",
+			bursts, shed, expired)
+	}
+
+	// Bursts bypass the network, so the overload counters replay bit for bit.
+	cfg := shortCfg(CampaignSeed(51, 0))
+	cfg.Faults = []Fault{FaultOverload}
+	cfg.Rounds = 3
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("replay errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
+// TestOverloadExperimentMechanics runs a scaled-down three-arm overload
+// experiment and checks its structural invariants — the ones that do not
+// depend on wall-clock throughput, which the qchaos -overload gate (and
+// E14) measures on top: protected arms never serve expired work, admission
+// engages under 2x load, and the ablation demonstrably serves dead work.
+func TestOverloadExperimentMechanics(t *testing.T) {
+	ctx := testCtx(t)
+	res, err := RunOverload(ctx, OverloadConfig{Seed: 1, TxnsPerWorker: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []OverloadArm{res.Capacity, res.Overload, res.Ablation} {
+		if a.Offered != a.Workers*30 {
+			t.Errorf("%s: offered %d, want %d", a.Name, a.Offered, a.Workers*30)
+		}
+		if a.Committed == 0 {
+			t.Errorf("%s: committed nothing", a.Name)
+		}
+	}
+	if res.Capacity.ServedExpired != 0 || res.Overload.ServedExpired != 0 {
+		t.Errorf("protected arms served expired work: %d/%d",
+			res.Capacity.ServedExpired, res.Overload.ServedExpired)
+	}
+	if res.Overload.Shed == 0 {
+		t.Error("2x load never shed — admission did not engage")
+	}
+	if res.Ablation.Shed != 0 {
+		t.Errorf("ablation shed %d despite an unbounded queue", res.Ablation.Shed)
+	}
+	if res.Ablation.ServedExpired == 0 {
+		t.Error("ablation served no expired work — the ablated discard had no effect")
+	}
+}
+
 // TestParseFaults covers the CLI's fault-list parsing.
 func TestParseFaults(t *testing.T) {
 	all, err := ParseFaults("all")

@@ -380,6 +380,10 @@ func (s *dmServer) handle(_ string, req any) any {
 // response.
 func (s *dmServer) apply(req any) (resp any, mutated bool) {
 	switch q := req.(type) {
+	case PingReq:
+		// Inert by contract (see PingReq): no locks, no leases, no state.
+		_ = q
+		return Ack{OK: true}, false
 	case ReadReq:
 		r := s.replicas[q.Item]
 		if r == nil {

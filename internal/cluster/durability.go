@@ -259,7 +259,7 @@ func (d *dmWAL) maybeSnapshot() {
 // DM state machine from it, and starts its server node. wire, when non-nil,
 // configures the recovered state machine (lease parameters, peer transport)
 // after replay and before the node starts serving.
-func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer)) (*dmHandle, RecoveryStats, error) {
+func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer), nodeOpts ...sim.NodeOption) (*dmHandle, RecoveryStats, error) {
 	log, rec, err := wal.Open(dir, walOpts...)
 	if err != nil {
 		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
@@ -295,7 +295,7 @@ func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, wal
 	// reaping is always safe, invented expiry is not.
 	srv.refreshLeases()
 	h := &dmHandle{id: id, items: items, srv: srv, wal: d}
-	h.node = sim.NewAsyncNode(net, id, d.handle)
+	h.node = sim.NewAsyncNode(net, id, d.handle, nodeOpts...)
 	return h, stats, nil
 }
 
@@ -325,7 +325,7 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	}
 	s.mu.Unlock()
 	sort.Strings(all)
-	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)))
+	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)), s.dmNodeOpts(id)...)
 	if err != nil {
 		return RecoveryStats{}, err
 	}

@@ -24,6 +24,17 @@ var (
 	// would be unsafe. The transaction aborted; Run restarts it like a lock
 	// conflict.
 	ErrLeaseExpired = errors.New("cluster: lock lease expired")
+	// ErrOverloaded means replicas shed the request at admission (bounded
+	// queue full) or discarded it expired-on-arrival. The work was refused,
+	// not half-done: no locks were taken by the shed calls, so a retry —
+	// if the retry budget allows one — is safe.
+	ErrOverloaded = errors.New("cluster: replica overloaded")
+	// ErrDegraded means the store is in brownout (read-only degraded) mode:
+	// write quorums were recently unreachable or shed, so write-locking
+	// operations fail fast instead of queueing more doomed work. Reads
+	// still assemble read quorums. The store exits brownout automatically
+	// when the failure detector sees the replicas recover.
+	ErrDegraded = errors.New("cluster: degraded read-only mode")
 )
 
 // LeaseExpiredError reports which replica refused (or failed) the
@@ -99,6 +110,69 @@ func (e *UnavailableError) Error() string {
 }
 
 func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
+
+// OverloadedError reports that a quorum phase failed because replicas shed
+// the request at admission or discarded it expired-on-arrival, and the
+// retry budget (when one denied a retry) refused to add more load. It
+// wraps ErrOverloaded.
+type OverloadedError struct {
+	// Item is the data item being accessed.
+	Item string
+	// Txn is the transaction that was refused.
+	Txn TxnID
+	// Phase is the quorum phase that was shed ("read", "write").
+	Phase string
+	// Attempts is how many times the phase was tried.
+	Attempts int
+	// Shed lists the DMs that explicitly rejected the request (sorted).
+	Shed []string
+	// Expired reports that the rejection was expired-on-arrival: the
+	// request outlived its propagated deadline in a replica queue.
+	Expired bool
+	// BudgetDenied reports that the per-store retry budget refused a
+	// retry that plain retry policy would have allowed.
+	BudgetDenied bool
+}
+
+func (e *OverloadedError) Error() string {
+	cause := "replicas shed the request at admission"
+	if e.Expired {
+		cause = "the request expired in a replica queue before service"
+	}
+	suffix := "retry with backoff once load drops"
+	if e.BudgetDenied {
+		suffix = "the retry budget refused further attempts — shed load upstream"
+	}
+	return fmt.Sprintf(
+		"cluster: %s phase of %s on item %q overloaded after %d attempt(s): %s (shedding DMs: %s); %s",
+		e.Phase, e.Txn, e.Item, e.Attempts, cause, dmList(e.Shed), suffix)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// DegradedError reports that a write-locking operation was refused because
+// the store is in brownout (read-only) mode. It wraps both ErrDegraded and
+// ErrUnavailable: the proximate cause of entering brownout is that write
+// quorums stopped being serviceable, so callers that only check
+// errors.Is(err, ErrUnavailable) keep doing the right thing.
+type DegradedError struct {
+	// Op is the refused operation ("write", "read-for-update",
+	// "reconfigure").
+	Op string
+	// Item is the data item the operation targeted.
+	Item string
+	// Since is how many consecutive write-phase failures triggered the
+	// brownout.
+	Since int
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf(
+		"cluster: %s on item %q refused — store is in read-only degraded mode after %d consecutive write-quorum failures; reads still work, writes resume automatically when replicas recover",
+		e.Op, e.Item, e.Since)
+}
+
+func (e *DegradedError) Unwrap() []error { return []error{ErrDegraded, ErrUnavailable} }
 
 func dmList(dms []string) string {
 	if len(dms) == 0 {

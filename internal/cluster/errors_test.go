@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTypedErrors pins the error contract across the shed, expiry-at-
+// dequeue, brownout, conflict, unavailability and lease paths: every
+// structured error matches its sentinel(s) through errors.Is, exposes its
+// detail through errors.As, and never matches sentinels from other
+// failure families.
+func TestTypedErrors(t *testing.T) {
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"conflict", ErrConflict},
+		{"unavailable", ErrUnavailable},
+		{"lease", ErrLeaseExpired},
+		{"overloaded", ErrOverloaded},
+		{"degraded", ErrDegraded},
+	}
+	cases := []struct {
+		name    string
+		err     error
+		is      []error // sentinels that must match
+		mention string  // substring the message must carry
+	}{
+		{
+			name:    "conflict",
+			err:     &ConflictError{Item: "x", Txn: "c1.t1", Phase: "read", Attempts: 3, Responded: []string{"B", "A"}},
+			is:      []error{ErrConflict},
+			mention: "lock conflict",
+		},
+		{
+			name:    "unavailable",
+			err:     &UnavailableError{Item: "x", Txn: "c1.t1", Phase: "write", Attempts: 2, Missing: []string{"C"}},
+			is:      []error{ErrUnavailable},
+			mention: "no quorum",
+		},
+		{
+			name: "lease expired",
+			err:  &LeaseExpiredError{Txn: "c1.t1", DM: "A"},
+			// A lapsed lease aborts the transaction exactly like a conflict,
+			// so Run's restart logic must see both.
+			is:      []error{ErrLeaseExpired, ErrConflict},
+			mention: "lease",
+		},
+		{
+			name:    "shed at admission",
+			err:     &OverloadedError{Item: "x", Txn: "c1.t1", Phase: "read", Attempts: 1, Shed: []string{"A", "B"}},
+			is:      []error{ErrOverloaded},
+			mention: "shed the request at admission",
+		},
+		{
+			name:    "expired on arrival",
+			err:     &OverloadedError{Item: "x", Txn: "c1.t1", Phase: "read", Attempts: 1, Shed: []string{"A"}, Expired: true},
+			is:      []error{ErrOverloaded},
+			mention: "expired in a replica queue",
+		},
+		{
+			name:    "retry budget denied",
+			err:     &OverloadedError{Item: "x", Txn: "c1.t1", Phase: "write", Attempts: 2, Shed: []string{"A"}, BudgetDenied: true},
+			is:      []error{ErrOverloaded},
+			mention: "retry budget",
+		},
+		{
+			name: "brownout",
+			err:  &DegradedError{Op: "write", Item: "x", Since: 3},
+			// Brownout exists because write quorums stopped being
+			// serviceable, so unavailability-aware callers must match too.
+			is:      []error{ErrDegraded, ErrUnavailable},
+			mention: "read-only degraded mode",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, want := range tc.is {
+				if !errors.Is(tc.err, want) {
+					t.Errorf("errors.Is(%T, %v) = false, want true", tc.err, want)
+				}
+			}
+			// No cross-family matches beyond the declared ones.
+			for _, s := range sentinels {
+				declared := false
+				for _, want := range tc.is {
+					if s.err == want {
+						declared = true
+					}
+				}
+				if !declared && errors.Is(tc.err, s.err) {
+					t.Errorf("errors.Is(%T, %v) = true, want false", tc.err, s.err)
+				}
+			}
+			if !strings.Contains(tc.err.Error(), tc.mention) {
+				t.Errorf("message %q does not mention %q", tc.err.Error(), tc.mention)
+			}
+		})
+	}
+}
+
+// TestTypedErrorsAs pins errors.As extraction of the overload-path detail.
+func TestTypedErrorsAs(t *testing.T) {
+	var wrapped error = &OverloadedError{
+		Item: "x", Txn: "c1.t1", Phase: "read",
+		Attempts: 4, Shed: []string{"B", "A"}, Expired: true, BudgetDenied: true,
+	}
+	var oe *OverloadedError
+	if !errors.As(wrapped, &oe) {
+		t.Fatal("errors.As failed for OverloadedError")
+	}
+	if oe.Attempts != 4 || len(oe.Shed) != 2 || !oe.Expired || !oe.BudgetDenied {
+		t.Errorf("extracted detail = %+v", oe)
+	}
+
+	var derr error = &DegradedError{Op: "reconfigure", Item: "y", Since: 5}
+	var de *DegradedError
+	if !errors.As(derr, &de) {
+		t.Fatal("errors.As failed for DegradedError")
+	}
+	if de.Op != "reconfigure" || de.Since != 5 {
+		t.Errorf("extracted detail = %+v", de)
+	}
+	var ue *UnavailableError
+	if errors.As(derr, &ue) {
+		t.Error("DegradedError must not extract as *UnavailableError (it only shares the sentinel)")
+	}
+}

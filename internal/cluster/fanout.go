@@ -29,8 +29,10 @@ type collector struct {
 	granted map[string]bool
 	held    map[string]bool // grant reported a pre-existing lock
 	busy    map[string]bool // DM refused for a lock conflict at least once
+	shed    map[string]bool // DM rejected at admission (overloaded)
 	resps   map[string]memberResp
-	dups    int // responses beyond the first, per DM, summed
+	dups    int  // responses beyond the first, per DM, summed
+	expired bool // at least one shed was expired-on-arrival
 }
 
 func newCollector(quorums []quorum.Set) *collector {
@@ -41,6 +43,7 @@ func newCollector(quorums []quorum.Set) *collector {
 		granted: map[string]bool{},
 		held:    map[string]bool{},
 		busy:    map[string]bool{},
+		shed:    map[string]bool{},
 		resps:   map[string]memberResp{},
 	}
 }
@@ -107,8 +110,35 @@ func (c *collector) hedgeTargets(targets []string, max int) []string {
 	return out
 }
 
+// noteShed folds in an explicit admission rejection. The DM answered — it
+// is alive, just refusing load — so it counts as replied: hedging it would
+// only add to the overload, and it is not "missing" for error reporting.
+func (c *collector) noteShed(dm string, expired bool) {
+	c.replied[dm]++
+	if c.replied[dm] > 1 {
+		c.dups++
+	}
+	c.shed[dm] = true
+	if expired {
+		c.expired = true
+	}
+}
+
 // sawBusy reports whether any DM refused for a lock conflict.
 func (c *collector) sawBusy() bool { return len(c.busy) > 0 }
+
+// sawShed reports whether any DM rejected the phase at admission.
+func (c *collector) sawShed() bool { return len(c.shed) > 0 }
+
+// shedDMs returns every DM that rejected at admission, sorted.
+func (c *collector) shedDMs() []string {
+	out := make([]string, 0, len(c.shed))
+	for dm := range c.shed {
+		out = append(out, dm)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // respondedDMs returns every DM that answered at least once, sorted.
 func (c *collector) respondedDMs() []string {
@@ -197,7 +227,17 @@ func parseGrant(raw any) (granted, busy, held bool, resp ReadResp) {
 func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 	st := t.store.opts
 	col := newCollector(spec.quorums)
-	pctx, cancel := context.WithTimeout(ctx, st.callTimeout)
+	// Deadline arithmetic: the phase budget is the call timeout clamped to
+	// the caller's remaining deadline minus the hop allowance, so hedged
+	// copies — which all derive from pctx — can never run on a fresh full
+	// call timeout after the caller's own deadline has nearly elapsed. A
+	// caller without budget left gets an empty collector without a single
+	// send.
+	budget, err := t.store.callBudget(ctx)
+	if err != nil {
+		return col
+	}
+	pctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 
 	// Circuit-broken steering: with the failure detector on, suspects are
@@ -268,11 +308,20 @@ func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 		case r := <-results:
 			inflight--
 			if r.err == nil {
-				granted, busy, held, resp := parseGrant(r.raw)
-				if busy {
-					t.store.Stats.BusyRetries.Inc()
+				if o, ok := r.raw.(OverloadedResp); ok {
+					col.noteShed(r.dm, o.Expired)
+					if o.Expired {
+						t.store.Stats.ExpiredOnArrival.Inc()
+					} else {
+						t.store.Stats.AdmissionSheds.Inc()
+					}
+				} else {
+					granted, busy, held, resp := parseGrant(r.raw)
+					if busy {
+						t.store.Stats.BusyRetries.Inc()
+					}
+					col.reply(r.dm, granted, busy, held, memberResp{dm: r.dm, resp: resp})
 				}
-				col.reply(r.dm, granted, busy, held, memberResp{dm: r.dm, resp: resp})
 			}
 			if col.done() {
 				return col

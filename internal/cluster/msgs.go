@@ -129,6 +129,32 @@ type RepairReq struct {
 	Cfg  quorum.Config
 }
 
+// OverloadedResp is the explicit admission rejection a DM sends when its
+// bounded service queue sheds a request (queue full) or discards it
+// expired-on-arrival (its propagated deadline passed while it queued).
+// The caller learns "overloaded" the moment the verdict is decided instead
+// of burning its call timeout, and the fan-out counts the replica as
+// responsive-but-shedding — it is alive, so health probes must not suspect
+// it, and hedging it would only add load.
+type OverloadedResp struct {
+	// DM is the replica that shed the request.
+	DM string
+	// Expired reports expired-on-arrival (deadline passed in queue) rather
+	// than a queue-full shed.
+	Expired bool
+}
+
+// PingReq is an inert request: a DM answers Ack{OK: true} without touching
+// locks, leases or replica state. Overload harnesses use it as burst
+// filler — it exercises admission, priority classification and deadline
+// expiry like any bulk request, but a shed or served ping can never
+// interact with the transaction protocol, which keeps seeded campaigns
+// deterministic.
+type PingReq struct {
+	// Seq distinguishes burst pings in traces.
+	Seq int
+}
+
 // InspectReq asks a DM for its committed replica state (diagnostics and
 // tests only — not part of the protocol).
 type InspectReq struct {

@@ -34,6 +34,15 @@ type settings struct {
 	fixedTimeout bool
 	antiEntropy  time.Duration
 	clock        sim.Clock
+
+	// Overload protection (see DESIGN.md §7).
+	admitCap          int           // bounded DM admission queue; 0 = unbounded (off)
+	serviceTime       time.Duration // modeled per-request service cost at DMs
+	admitServeExpired bool          // ablation: serve expired-on-arrival work anyway
+	retryRatio        float64       // retry budget deposit per first attempt; 0 = off
+	inflightMax       int           // AIMD in-flight top-level txn ceiling; 0 = off
+	brownoutAfter     int           // consecutive write-quorum failures before brownout; 0 = off
+	hopAllowance      time.Duration // deadline budget reserved per fan-out hop
 }
 
 func defaultSettings() settings {
@@ -45,6 +54,7 @@ func defaultSettings() settings {
 		retryBackoff: time.Millisecond,
 		txnRetries:   8,
 		clock:        sim.Wall,
+		hopAllowance: time.Millisecond,
 	}
 }
 
@@ -237,6 +247,99 @@ func WithClock(c sim.Clock) Option {
 		if c != nil {
 			s.clock = c
 		}
+	}
+}
+
+// WithAdmissionCapacity bounds every DM's service queue to n queued bulk
+// requests (reads + writes; control traffic — commit, abort, release,
+// lease, reap — is exempt and always admitted). A full queue sheds the
+// request with an explicit OverloadedResp instead of queueing or silently
+// dropping it, and requests whose propagated deadline passes while queued
+// are discarded at dequeue. Zero (the default) keeps the unbounded
+// pre-overload-protection behavior. See DESIGN.md §7.
+func WithAdmissionCapacity(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			n = 0
+		}
+		s.admitCap = n
+	}
+}
+
+// WithServiceTime models the CPU cost of serving one request at a DM:
+// each dequeued request sleeps d before its handler runs, giving replicas
+// a finite service rate worth protecting. Only meaningful together with
+// WithAdmissionCapacity; zero (the default) serves instantly.
+func WithServiceTime(d time.Duration) Option {
+	return func(s *settings) { s.serviceTime = d }
+}
+
+// WithExpiredService makes DMs serve expired-on-arrival requests anyway
+// (counting them as dead work) instead of discarding them at dequeue —
+// the no-deadline-propagation ablation arm of overload experiments.
+// Default off.
+func WithExpiredService(on bool) Option {
+	return func(s *settings) { s.admitServeExpired = on }
+}
+
+// WithRetryBudget enables the SRE-style per-store retry budget: every
+// first attempt of a quorum phase deposits ratio tokens into a bucket and
+// every conflict/overload/lease retry withdraws one, so retry traffic can
+// never exceed the given fraction of first-attempt traffic. When the
+// bucket is empty the retry is refused and the operation fails with the
+// underlying error (marked BudgetDenied on overloads) instead of adding
+// load to an overloaded cluster. Ratio at or below zero (the default)
+// disables the budget.
+func WithRetryBudget(ratio float64) Option {
+	return func(s *settings) {
+		if ratio < 0 {
+			ratio = 0
+		}
+		s.retryRatio = ratio
+	}
+}
+
+// WithInflightLimit caps concurrently running top-level transactions
+// (Run callers) with an AIMD limiter: the ceiling starts at n, shrinks
+// multiplicatively when transactions fail on overload or quorum timeouts,
+// and regrows additively on success — so offered load adapts to what the
+// replicas can actually serve. Zero (the default) disables the limiter.
+func WithInflightLimit(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			n = 0
+		}
+		s.inflightMax = n
+	}
+}
+
+// WithBrownoutThreshold arms graceful read-only degradation: after n
+// consecutive write-quorum phase failures caused by overload or
+// unavailability, the store enters brownout — write-locking operations
+// fail fast with a DegradedError while reads keep assembling read quorums
+// — and exits automatically when the failure detector sees replicas
+// recover (or a periodic probe write-phase succeeds). Zero (the default)
+// disables brownout.
+func WithBrownoutThreshold(n int) Option {
+	return func(s *settings) {
+		if n < 0 {
+			n = 0
+		}
+		s.brownoutAfter = n
+	}
+}
+
+// WithHopAllowance reserves d of the caller's remaining context budget at
+// every fan-out hop: a phase call's timeout is min(WithCallTimeout,
+// remaining-deadline − d), and when the remainder is not positive the call
+// fails fast instead of being sent — work that cannot finish in time is
+// refused at the earliest possible hop. Default 1ms.
+func WithHopAllowance(d time.Duration) Option {
+	return func(s *settings) {
+		if d < 0 {
+			d = 0
+		}
+		s.hopAllowance = d
 	}
 }
 

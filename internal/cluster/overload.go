@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// classifyRequest maps a wire request to its admission priority at a DM.
+// Control traffic — everything that finishes transactions and frees locks —
+// must always get through: an overloaded replica that sheds a commit or a
+// release strands locks the whole cluster waits on. Write-intent traffic
+// outranks fresh reads because writers usually hold locks elsewhere
+// already. Everything else (reads, pings, repairs, inspections) is the
+// bulk that admission exists to bound.
+func classifyRequest(req any) sim.Priority {
+	switch req.(type) {
+	case CommitTopReq, CommitSubReq, AbortReq, ReleaseReq,
+		RenewLeaseReq, ReapReq, ResolutionQueryReq, ResolutionAnswer:
+		return sim.PrioControl
+	case WriteReq, ConfigWriteReq:
+		return sim.PrioWrite
+	}
+	return sim.PrioRead
+}
+
+// callBudget computes the timeout for one outbound call or fan-out phase:
+// the configured call timeout, clamped to the caller's remaining context
+// budget minus the per-hop allowance. When the remaining budget cannot
+// even cover the allowance the call is refused before it is sent — a
+// request that cannot finish in time must be dropped at the earliest
+// possible hop, not forwarded to die in a replica queue. This is also the
+// hedge clamp: every hedged copy of a phase derives from the phase context
+// this budget bounds, so a hedge can never outlive the caller's deadline
+// on the strength of a fresh full call timeout.
+func (s *Store) callBudget(ctx context.Context) (time.Duration, error) {
+	d := s.opts.callTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl) - s.opts.hopAllowance
+		if rem <= 0 {
+			return 0, context.DeadlineExceeded
+		}
+		if rem < d {
+			d = rem
+		}
+	}
+	return d, nil
+}
+
+// retryBudget is the SRE-style token bucket that bounds retry traffic to a
+// fraction of first-attempt traffic. Every first attempt of a quorum phase
+// deposits ratio tokens; every retry withdraws one. Under healthy load the
+// bucket sits full and retries are free; under sustained overload the
+// bucket drains and the sustainable retry rate converges to ratio times
+// the first-attempt rate — retries can amplify load only by that factor,
+// never into a retry storm. A nil *retryBudget (budget disabled) admits
+// every retry.
+type retryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	tokens float64
+	max    float64
+}
+
+// retryBudgetMax caps the bucket so a long quiet period cannot bank an
+// unbounded burst of retries.
+const retryBudgetMax = 16
+
+func newRetryBudget(ratio float64) *retryBudget {
+	if ratio <= 0 {
+		return nil
+	}
+	// Start full: the budget exists to stop sustained retry storms, not to
+	// make a cold store fail its first conflict.
+	return &retryBudget{ratio: ratio, tokens: retryBudgetMax, max: retryBudgetMax}
+}
+
+// deposit credits one first attempt.
+func (b *retryBudget) deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// allow withdraws one retry token, reporting whether the retry may run.
+func (b *retryBudget) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// aimdLimiter bounds in-flight top-level transactions with an
+// additive-increase / multiplicative-decrease ceiling: successes grow the
+// limit by ~1 per limit-many successes, overload signals halve it. The
+// classic TCP-shaped probe keeps offered concurrency near what the
+// replicas can actually serve without an explicit capacity oracle.
+type aimdLimiter struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	limit    float64
+	max      float64
+	inflight int
+}
+
+func newAIMDLimiter(max int) *aimdLimiter {
+	if max <= 0 {
+		return nil
+	}
+	l := &aimdLimiter{limit: float64(max), max: float64(max)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// ceilLocked is the current integer ceiling, never below 1 so the limiter
+// can shed load but not wedge the store.
+func (l *aimdLimiter) ceilLocked() int {
+	c := int(l.limit)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// acquire blocks until an in-flight slot frees up or ctx dies.
+func (l *aimdLimiter) acquire(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.inflight < l.ceilLocked() {
+		l.inflight++
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	// Slow path: a watcher turns ctx expiry into a wakeup. It takes the
+	// mutex before broadcasting so the wakeup cannot land between our
+	// ctx.Err check and cond.Wait.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.inflight >= l.ceilLocked() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.cond.Wait()
+	}
+	l.inflight++
+	return nil
+}
+
+// release frees an in-flight slot.
+func (l *aimdLimiter) release() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.inflight--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// onSuccess grows the ceiling additively (+1 after limit-many successes).
+func (l *aimdLimiter) onSuccess() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.limit += 1 / l.limit
+	if l.limit > l.max {
+		l.limit = l.max
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// onOverload halves the ceiling (floor 1).
+func (l *aimdLimiter) onOverload() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.limit /= 2
+	if l.limit < 1 {
+		l.limit = 1
+	}
+	l.mu.Unlock()
+}
+
+// ceiling returns the current integer in-flight limit.
+func (l *aimdLimiter) ceiling() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ceilLocked()
+}
+
+// brownoutProbeEvery is how many rejected writes pass between probe writes
+// while degraded: every Nth write that would be refused is admitted
+// instead, so a recovered cluster is rediscovered by the traffic itself.
+const brownoutProbeEvery = 4
+
+// brownout is the store's graceful-degradation state machine. Consecutive
+// write-quorum failures caused by overload or unavailability trip it into
+// degraded (read-only) mode: write-locking operations fail fast with a
+// DegradedError instead of queueing more doomed work against replicas that
+// cannot assemble a write quorum, while reads keep assembling read
+// quorums. It exits when a probe write-phase succeeds — either the
+// periodic every-Nth admitted probe, or any write once the failure
+// detector reports the replicas healthy again.
+type brownout struct {
+	mu        sync.Mutex
+	threshold int
+	fails     int // consecutive write-quorum overload/unavailable failures
+	degraded  bool
+	since     int // fails at the moment of entry, for error messages
+	rejects   int // writes refused while degraded, drives probe cadence
+}
+
+func newBrownout(threshold int) *brownout {
+	if threshold <= 0 {
+		return nil
+	}
+	return &brownout{threshold: threshold}
+}
+
+// noteFailure records one write-quorum overload/unavailable failure and
+// reports whether it tripped the store into degraded mode.
+func (b *brownout) noteFailure() (entered bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if !b.degraded && b.fails >= b.threshold {
+		b.degraded = true
+		b.since = b.fails
+		b.rejects = 0
+		return true
+	}
+	return false
+}
+
+// noteSuccess records a write-quorum phase that completed (or failed only
+// on a lock conflict — the replicas answered, which is liveness) and
+// reports whether it ended a brownout.
+func (b *brownout) noteSuccess() (exited bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.degraded {
+		b.degraded = false
+		return true
+	}
+	return false
+}
+
+// gate decides one write-locking operation's fate at entry. healthy is the
+// failure detector's opinion that no replica is suspect: when it says the
+// cluster recovered, every write becomes a probe so the first success ends
+// the brownout immediately instead of waiting out the probe cadence.
+func (b *brownout) gate(healthy bool) (reject bool, since int) {
+	if b == nil {
+		return false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.degraded {
+		return false, 0
+	}
+	if healthy {
+		return false, 0 // probe: detector says replicas recovered
+	}
+	b.rejects++
+	if b.rejects%brownoutProbeEvery == 0 {
+		return false, 0 // periodic probe
+	}
+	return true, b.since
+}
+
+// degradedNow reports whether the store is currently in read-only mode.
+func (b *brownout) degradedNow() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.degraded
+}
+
+// writeGate refuses a write-locking operation while the store is in
+// brownout (except probes). Callers pass the operation name for the error.
+func (s *Store) writeGate(op, item string) error {
+	if s.brown == nil {
+		return nil
+	}
+	healthy := s.health != nil && s.Stats.SuspectReplicas.Value() == 0
+	if reject, since := s.brown.gate(healthy); reject {
+		s.Stats.BrownoutWrites.Inc()
+		return &DegradedError{Op: op, Item: item, Since: since}
+	}
+	return nil
+}
+
+// noteWriteOutcome feeds one write-locking operation's result to the
+// brownout state machine. Conflicts count as liveness — a replica that
+// answers Busy is alive and serving — so only overload and unavailability
+// push toward degradation.
+func (s *Store) noteWriteOutcome(err error) {
+	if s.brown == nil {
+		return
+	}
+	switch {
+	case err == nil || errors.Is(err, ErrConflict):
+		s.brown.noteSuccess()
+	case errors.Is(err, ErrDegraded):
+		// A gate rejection says nothing new about the replicas.
+	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable):
+		if s.brown.noteFailure() {
+			s.Stats.BrownoutEntries.Inc()
+		}
+	}
+}
+
+// Degraded reports whether the store is currently in brownout (read-only)
+// mode.
+func (s *Store) Degraded() bool { return s.brown.degradedNow() }
+
+// noteTxnOutcome feeds one top-level transaction's result to the AIMD
+// limiter: successes regrow the in-flight ceiling, overload and
+// unavailability signals halve it. Brownout gate rejections are excluded —
+// they are the store refusing work, not the replicas failing it.
+func (s *Store) noteTxnOutcome(err error) {
+	if s.limiter == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		s.limiter.onSuccess()
+	case errors.Is(err, ErrDegraded):
+	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrUnavailable):
+		s.limiter.onOverload()
+	}
+	s.Stats.InflightLimit.Set(int64(s.limiter.ceiling()))
+}
+
+// BurstReport summarizes one injected admission burst at a DM.
+type BurstReport struct {
+	// Offered is the number of requests injected.
+	Offered int
+	// Admitted, Shed and Expired are the admission verdicts: queued,
+	// rejected queue-full, and discarded expired-on-arrival at dequeue.
+	Admitted int
+	Shed     int
+	Expired  int
+}
+
+// Burst offers total inert PingReqs straight to dm's admission queue while
+// its service loop is held, then resumes service and waits for the queue
+// to drain. The first preExpired requests carry an already-passed deadline
+// (one nanosecond before the store clock's now), so they are deterministic
+// expired-on-arrival discards at dequeue. Injection bypasses the network —
+// no lanes, no drops, no scheduler — which makes the report a pure
+// function of the burst: seeded chaos campaigns rely on that for
+// bit-for-bit replayable shed counters. Zero report when dm does not exist
+// or has no admission queue.
+func (s *Store) Burst(dm string, total, preExpired int) BurstReport {
+	s.mu.Lock()
+	h := s.dms[dm]
+	s.mu.Unlock()
+	if h == nil || total <= 0 {
+		return BurstReport{}
+	}
+	if preExpired > total {
+		preExpired = total
+	}
+	before := h.node.Overload()
+	h.node.HoldService()
+	expired := s.now().Add(-time.Nanosecond)
+	for i := 0; i < total; i++ {
+		var dl time.Time
+		if i < preExpired {
+			dl = expired
+		}
+		h.node.Inject("burst", PingReq{Seq: i}, dl)
+	}
+	h.node.ResumeService()
+	h.node.WaitServiceIdle()
+	after := h.node.Overload()
+	return BurstReport{
+		Offered:  total,
+		Admitted: int(after.Admitted - before.Admitted),
+		Shed:     int(after.Shed - before.Shed),
+		Expired:  int(after.ExpiredDropped - before.ExpiredDropped),
+	}
+}
+
+// OverloadTotals sums the admission counters of every DM this store
+// spawned.
+func (s *Store) OverloadTotals() sim.OverloadStats {
+	s.mu.Lock()
+	handles := make([]*dmHandle, 0, len(s.dms))
+	for _, h := range s.dms {
+		handles = append(handles, h)
+	}
+	s.mu.Unlock()
+	var out sim.OverloadStats
+	for _, h := range handles {
+		st := h.node.Overload()
+		out.Admitted += st.Admitted
+		out.Shed += st.Shed
+		out.ExpiredDropped += st.ExpiredDropped
+		out.ServedExpired += st.ServedExpired
+	}
+	return out
+}

@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func TestCallBudgetArithmetic(t *testing.T) {
+	s := &Store{opts: settings{callTimeout: 100 * time.Millisecond, hopAllowance: time.Millisecond}}
+
+	if d, err := s.callBudget(context.Background()); err != nil || d != 100*time.Millisecond {
+		t.Errorf("no deadline: budget = %v, %v; want full call timeout", d, err)
+	}
+
+	loose, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if d, err := s.callBudget(loose); err != nil || d != 100*time.Millisecond {
+		t.Errorf("loose deadline: budget = %v, %v; want full call timeout", d, err)
+	}
+
+	tight, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	d, err := s.callBudget(tight)
+	if err != nil {
+		t.Fatalf("tight deadline: %v", err)
+	}
+	// Remaining (~20ms) minus the 1ms hop allowance, clamped strictly under
+	// the caller's own budget — never the full call timeout.
+	if d <= 0 || d > 20*time.Millisecond {
+		t.Errorf("tight deadline: budget = %v, want within (0, 20ms]", d)
+	}
+
+	spent, cancel3 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel3()
+	time.Sleep(time.Millisecond)
+	if _, err := s.callBudget(spent); err == nil {
+		t.Error("exhausted deadline: want fail-fast error, got a budget")
+	}
+}
+
+func TestRetryBudgetTokens(t *testing.T) {
+	b := newRetryBudget(0.5)
+	for i := 0; i < retryBudgetMax; i++ {
+		if !b.allow() {
+			t.Fatalf("retry %d denied with a full bucket", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("retry allowed from an empty bucket")
+	}
+	// Two first attempts redeposit one retry's worth at ratio 0.5.
+	b.deposit()
+	b.deposit()
+	if !b.allow() {
+		t.Fatal("retry denied after deposits refilled a token")
+	}
+	if b.allow() {
+		t.Fatal("second retry allowed; deposits only funded one")
+	}
+
+	var nilBudget *retryBudget
+	nilBudget.deposit()
+	if !nilBudget.allow() {
+		t.Fatal("disabled budget must allow every retry")
+	}
+}
+
+func TestAIMDLimiter(t *testing.T) {
+	l := newAIMDLimiter(8)
+	if got := l.ceiling(); got != 8 {
+		t.Fatalf("initial ceiling = %d", got)
+	}
+	l.onOverload()
+	l.onOverload()
+	if got := l.ceiling(); got != 2 {
+		t.Errorf("ceiling after two overloads = %d, want 2 (multiplicative decrease)", got)
+	}
+	for i := 0; i < 200; i++ {
+		l.onSuccess()
+	}
+	if got := l.ceiling(); got != 8 {
+		t.Errorf("ceiling after sustained success = %d, want regrowth to max 8", got)
+	}
+	for i := 0; i < 10; i++ {
+		l.onOverload()
+	}
+	if got := l.ceiling(); got != 1 {
+		t.Errorf("ceiling floor = %d, want 1 (limiter may shed, never wedge)", got)
+	}
+
+	// One slot at ceiling 1: the second acquire must block until release,
+	// and a dead context must abort the wait.
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.acquire(dead); err == nil {
+		t.Fatal("acquire beyond the ceiling with a dead context must fail")
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.acquire(context.Background()) }()
+	select {
+	case <-done:
+		t.Fatal("acquire succeeded beyond the ceiling")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.release()
+	if err := <-done; err != nil {
+		t.Fatalf("blocked acquire failed after release: %v", err)
+	}
+}
+
+func TestBrownoutStateMachine(t *testing.T) {
+	b := newBrownout(3)
+	if b.noteFailure() || b.noteFailure() {
+		t.Fatal("entered brownout below the threshold")
+	}
+	if !b.noteFailure() {
+		t.Fatal("third consecutive failure must enter brownout")
+	}
+	if !b.degradedNow() {
+		t.Fatal("not degraded after entry")
+	}
+	// Probe cadence: every brownoutProbeEvery'th gated write is admitted.
+	admitted := 0
+	for i := 0; i < 2*brownoutProbeEvery; i++ {
+		if reject, since := b.gate(false); !reject {
+			admitted++
+		} else if since != 3 {
+			t.Errorf("gate since = %d, want 3", since)
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("probes admitted = %d of %d gated writes, want 2", admitted, 2*brownoutProbeEvery)
+	}
+	// A healthy failure detector turns every write into a probe.
+	if reject, _ := b.gate(true); reject {
+		t.Error("gate rejected despite healthy detector")
+	}
+	if !b.noteSuccess() {
+		t.Fatal("successful probe must exit brownout")
+	}
+	if b.degradedNow() {
+		t.Fatal("still degraded after exit")
+	}
+	// A lock conflict is liveness: it resets the failure streak.
+	b.noteFailure()
+	b.noteFailure()
+	b.noteSuccess()
+	if b.noteFailure() {
+		t.Fatal("entered brownout although a success reset the streak")
+	}
+}
+
+// TestHedgeClampToCallerDeadline pins the deadline arithmetic of runPhase:
+// with unresponsive replicas and a caller deadline far below the call
+// timeout, the phase (hedges included) must give up by the caller's
+// deadline, and no request copies may be issued after the operation
+// returns — a hedge must never outlive the transaction on a fresh full
+// call timeout.
+func TestHedgeClampToCallerDeadline(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{Seed: 11})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	store, err := Open(net, items,
+		WithSeed(11),
+		WithCallTimeout(2*time.Second), // far beyond the caller's budget
+		WithHedgeDelay(5*time.Millisecond),
+		WithHedgeMax(3),
+		WithLockRetries(0),
+		WithTxnRetries(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for _, dm := range dms {
+		net.Crash(dm)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rerr := store.Run(ctx, func(tx *Txn) error {
+		_, err := tx.Read(ctx, "x")
+		return err
+	})
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Fatal("read of a fully crashed cluster succeeded")
+	}
+	if elapsed > time.Second {
+		t.Fatalf("operation took %v; the 2s call timeout leaked past the 50ms caller deadline", elapsed)
+	}
+	// No stray traffic after return: the phase context is cancelled, so
+	// neither the hedge ticker nor abandoned copies may issue new sends.
+	sent := net.Stats().Sent
+	time.Sleep(50 * time.Millisecond)
+	if after := net.Stats().Sent; after != sent {
+		t.Errorf("%d sends issued after the operation returned", after-sent)
+	}
+}
+
+// TestOverloadedErrorSurfacesOnShed drives more concurrent reads at a
+// capacity-1 replica than its queue admits: shed callers must get a typed
+// OverloadedError naming the DM — not a timeout — while admitted callers
+// complete normally.
+func TestOverloadedErrorSurfacesOnShed(t *testing.T) {
+	dms := []string{"dm0"}
+	net := sim.NewNetwork(sim.Config{Seed: 12})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	store, err := Open(net, items,
+		WithSeed(12),
+		WithCallTimeout(2*time.Second),
+		WithHedgeDelay(0),
+		WithLockRetries(0),
+		WithTxnRetries(0),
+		WithAdmissionCapacity(1),
+		WithServiceTime(30*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const clients = 6
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = store.Run(context.Background(), func(tx *Txn) error {
+				_, err := tx.Read(context.Background(), "x")
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			shed++
+			var oe *OverloadedError
+			if !errors.As(err, &oe) {
+				t.Errorf("overload error lacks detail: %v", err)
+			} else if len(oe.Shed) != 1 || oe.Shed[0] != "dm0" {
+				t.Errorf("shed DMs = %v, want [dm0]", oe.Shed)
+			}
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Error("no client completed; admission starved everyone")
+	}
+	if shed == 0 {
+		t.Error("no client was shed; admission never bounded the queue")
+	}
+	if got := store.Stats.AdmissionSheds.Value(); got == 0 {
+		t.Error("AdmissionSheds counter never incremented")
+	}
+}
+
+// TestBurstReport pins the deterministic overload device the chaos harness
+// uses: injected bursts bypass the network, so the admission verdicts are
+// a pure function of the burst shape.
+func TestBurstReport(t *testing.T) {
+	run := func() (BurstReport, sim.OverloadStats) {
+		dms := []string{"dm0", "dm1", "dm2"}
+		net := sim.NewNetwork(sim.Config{Seed: 13})
+		defer net.Close()
+		items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+		store, err := Open(net, items, WithSeed(13), WithAdmissionCapacity(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		rep := store.Burst("dm0", 10, 3)
+		return rep, store.OverloadTotals()
+	}
+
+	rep, totals := run()
+	// Capacity 4 of 10 offered: 4 admitted, 6 shed. The 3 pre-expired ones
+	// were admitted first and discarded at dequeue.
+	want := BurstReport{Offered: 10, Admitted: 4, Shed: 6, Expired: 3}
+	if rep != want {
+		t.Errorf("burst report = %+v, want %+v", rep, want)
+	}
+	if totals.Admitted != 4 || totals.Shed != 6 || totals.ExpiredDropped != 3 {
+		t.Errorf("overload totals = %+v", totals)
+	}
+
+	rep2, totals2 := run()
+	if rep2 != rep || totals2 != totals {
+		t.Errorf("burst not deterministic: %+v vs %+v, %+v vs %+v", rep, rep2, totals, totals2)
+	}
+
+	if rep := (&Store{opts: settings{}, dms: map[string]*dmHandle{}}).Burst("nope", 5, 0); rep != (BurstReport{}) {
+		t.Errorf("burst at unknown DM = %+v, want zero", rep)
+	}
+}
+
+// TestBrownoutEntersAndExits drives the full degradation cycle: write
+// failures trip read-only mode, gated writes fail fast with a typed
+// DegradedError, reads keep working, and the probe ladder exits the
+// brownout once the replicas answer again.
+func TestBrownoutEntersAndExits(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{Seed: 14})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	store, err := Open(net, items,
+		WithSeed(14),
+		WithCallTimeout(30*time.Millisecond),
+		WithHedgeDelay(0),
+		WithLockRetries(0),
+		WithTxnRetries(0),
+		WithBrownoutThreshold(2),
+		// The mid-test read must have released its locks before the probe
+		// writes start, or a probe hits a transient conflict instead of
+		// exercising the ladder.
+		WithSynchronousCleanup(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	write := func(v int) error {
+		return store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", v) })
+	}
+
+	if err := write(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, dm := range dms {
+		net.Crash(dm)
+	}
+	for i := 0; i < 2; i++ {
+		if err := write(2); err == nil {
+			t.Fatal("write to a crashed cluster succeeded")
+		}
+	}
+	if !store.Degraded() {
+		t.Fatal("two consecutive write-quorum failures did not enter brownout")
+	}
+	// Gated write: fails fast with the typed error, no call timeout burned.
+	start := time.Now()
+	err = write(3)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("gated write error = %v, want DegradedError", err)
+	}
+	var de *DegradedError
+	if !errors.As(err, &de) || de.Op != "write" {
+		t.Errorf("degraded detail = %+v", de)
+	}
+	if time.Since(start) > 20*time.Millisecond {
+		t.Errorf("gated write took %v, want fail-fast", time.Since(start))
+	}
+	if store.Stats.BrownoutEntries.Value() != 1 || store.Stats.BrownoutWrites.Value() == 0 {
+		t.Errorf("brownout counters: entries=%d writes=%d",
+			store.Stats.BrownoutEntries.Value(), store.Stats.BrownoutWrites.Value())
+	}
+
+	for _, dm := range dms {
+		net.Restart(dm)
+	}
+	// Reads never brown out: with the replicas back, a read completes while
+	// the store is still degraded for writes.
+	if rerr := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("read %v during brownout, want 1", v)
+		}
+		return nil
+	}); rerr != nil {
+		t.Fatalf("read during brownout failed: %v", rerr)
+	}
+	if !store.Degraded() {
+		t.Fatal("a read must not exit brownout")
+	}
+	// The probe ladder: within a handful of attempts, one gated write is
+	// admitted as a probe, succeeds against the recovered replicas, and
+	// ends the brownout.
+	recovered := false
+	for i := 0; i < 2*brownoutProbeEvery; i++ {
+		switch err := write(10 + i); {
+		case err == nil:
+			recovered = true
+		case errors.Is(err, ErrConflict):
+			// A probe that loses a lock race still proved the write quorum
+			// reachable — it exits the brownout too; the next write settles it.
+		case !errors.Is(err, ErrDegraded):
+			t.Fatalf("unexpected error while probing: %v", err)
+		}
+		if recovered {
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("no probe write succeeded after recovery")
+	}
+	if store.Degraded() {
+		t.Fatal("successful probe did not exit brownout")
+	}
+	if err := write(99); err != nil {
+		t.Fatalf("write after brownout exit failed: %v", err)
+	}
+}
+
+// TestRetryBudgetBoundsAttempts pins that a dry retry budget stops a
+// phase's conflict/unavailability retries long before WithLockRetries
+// would, so retry traffic cannot storm an unavailable cluster.
+func TestRetryBudgetBoundsAttempts(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{Seed: 15})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	store, err := Open(net, items,
+		WithSeed(15),
+		WithCallTimeout(10*time.Millisecond),
+		WithHedgeDelay(0),
+		WithLockRetries(40),
+		WithTxnRetries(0),
+		WithRetryBudget(0.1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	for _, dm := range dms {
+		net.Crash(dm)
+	}
+
+	rerr := store.Run(context.Background(), func(tx *Txn) error {
+		_, err := tx.Read(context.Background(), "x")
+		return err
+	})
+	if rerr == nil {
+		t.Fatal("read of a crashed cluster succeeded")
+	}
+	var ue *UnavailableError
+	if !errors.As(rerr, &ue) {
+		t.Fatalf("error = %v, want UnavailableError", rerr)
+	}
+	// The bucket starts at retryBudgetMax tokens; 40 configured retries
+	// must have been cut off when it drained.
+	if ue.Attempts > retryBudgetMax+2 {
+		t.Errorf("attempts = %d, want the budget to stop well under the %d configured",
+			ue.Attempts, 41)
+	}
+	if store.Stats.RetryBudgetDenied.Value() == 0 {
+		t.Error("RetryBudgetDenied never incremented")
+	}
+}
+
+// TestInflightLimiterShedsUnderOverload wires the AIMD limiter end to end:
+// overload failures shrink the in-flight ceiling gauge.
+func TestInflightLimiterReactsToOverload(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{Seed: 16})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	store, err := Open(net, items,
+		WithSeed(16),
+		WithCallTimeout(10*time.Millisecond),
+		WithHedgeDelay(0),
+		WithLockRetries(0),
+		WithTxnRetries(0),
+		WithInflightLimit(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := store.Stats.InflightLimit.Value(); got != 8 {
+		t.Fatalf("initial in-flight ceiling = %d, want 8", got)
+	}
+	for _, dm := range dms {
+		net.Crash(dm)
+	}
+	for i := 0; i < 3; i++ {
+		if err := store.Run(context.Background(), func(tx *Txn) error {
+			_, err := tx.Read(context.Background(), "x")
+			return err
+		}); err == nil {
+			t.Fatal("read of a crashed cluster succeeded")
+		}
+	}
+	if got := store.Stats.InflightLimit.Value(); got != 1 {
+		t.Errorf("ceiling after three overload failures = %d, want 1 (8 -> 4 -> 2 -> 1)", got)
+	}
+	for _, dm := range dms {
+		net.Restart(dm)
+	}
+	for i := 0; i < 50; i++ {
+		if err := store.Run(context.Background(), func(tx *Txn) error {
+			_, err := tx.Read(context.Background(), "x")
+			return err
+		}); err != nil {
+			t.Fatalf("read after restart failed: %v", err)
+		}
+	}
+	if got := store.Stats.InflightLimit.Value(); got <= 1 {
+		t.Errorf("ceiling after sustained success = %d, want additive regrowth", got)
+	}
+}

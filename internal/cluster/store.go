@@ -82,6 +82,22 @@ type Stats struct {
 	// repair messages those passes pushed to stale replicas.
 	AntiEntropySweeps  metrics.Counter
 	AntiEntropyRepairs metrics.Counter
+	// Overload protection (DESIGN.md §7). AdmissionSheds counts replies
+	// where a DM rejected the request at its bounded queue;
+	// ExpiredOnArrival counts replies where a DM discarded the request at
+	// dequeue because its propagated deadline had passed.
+	AdmissionSheds   metrics.Counter
+	ExpiredOnArrival metrics.Counter
+	// RetryBudgetDenied counts retries the token-bucket retry budget
+	// refused; BrownoutEntries counts transitions into read-only degraded
+	// mode and BrownoutWrites the write operations refused while in it.
+	// InflightLimit gauges the AIMD limiter's current in-flight ceiling;
+	// QueueDepth histograms the admission queue depths observed at DMs.
+	RetryBudgetDenied metrics.Counter
+	BrownoutEntries   metrics.Counter
+	BrownoutWrites    metrics.Counter
+	InflightLimit     metrics.Gauge
+	QueueDepth        metrics.IntHistogram
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -121,6 +137,13 @@ type Store struct {
 	// health is the failure detector's scoreboard; nil unless
 	// WithHealthProbes is on.
 	health *healthBoard
+
+	// Overload protection (all nil/off unless the matching option armed
+	// them): the retry token bucket, the AIMD in-flight limiter, and the
+	// brownout state machine.
+	budget  *retryBudget
+	limiter *aimdLimiter
+	brown   *brownout
 
 	// closeOnce makes Close idempotent and safe to race; stopBg and bg
 	// manage the background goroutines (lease renewer, anti-entropy loop).
@@ -214,6 +237,12 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 	if st.health {
 		s.health = newHealthBoard(&s.Stats, st.fixedTimeout)
 	}
+	s.budget = newRetryBudget(st.retryRatio)
+	s.limiter = newAIMDLimiter(st.inflightMax)
+	s.brown = newBrownout(st.brownoutAfter)
+	if s.limiter != nil {
+		s.Stats.InflightLimit.Set(int64(s.limiter.ceiling()))
+	}
 	s.stopBg = make(chan struct{})
 	// Validation first, then spawning: the lease reaper needs every DM to
 	// know its full peer set, which only exists once all items are walked.
@@ -254,11 +283,11 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 			wire(srv)
 			s.dms[site.id] = &dmHandle{
 				id: site.id, items: []ItemSpec{site.it}, srv: srv,
-				node: sim.NewNode(net, site.id, srv.handle),
+				node: sim.NewNode(net, site.id, srv.handle, s.dmNodeOpts(site.id)...),
 			}
 			continue
 		}
-		h, stats, err := newDurableDM(net, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire)
+		h, stats, err := newDurableDM(net, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire, s.dmNodeOpts(site.id)...)
 		if err != nil {
 			return nil, err
 		}
@@ -304,6 +333,25 @@ func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
 		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
 		srv.setSender(func(to string, req any) { sim.SendNotify(s.net, id, to, req) })
 	}
+}
+
+// dmNodeOpts builds the sim node options for one DM the store spawns:
+// with WithAdmissionCapacity armed, the node gets a bounded priority
+// service queue that rejects shed and expired work with an explicit
+// OverloadedResp naming the DM. Empty otherwise.
+func (s *Store) dmNodeOpts(dm string) []sim.NodeOption {
+	if s.opts.admitCap <= 0 {
+		return nil
+	}
+	return []sim.NodeOption{sim.WithAdmission(sim.AdmissionConfig{
+		Capacity:     s.opts.admitCap,
+		Classify:     classifyRequest,
+		Reject:       func(req any, expired bool) any { return OverloadedResp{DM: dm, Expired: expired} },
+		Clock:        s.opts.clock,
+		ServiceDelay: s.opts.serviceTime,
+		ServeExpired: s.opts.admitServeExpired,
+		OnDepth:      func(d int) { s.Stats.QueueDepth.Observe(int64(d)) },
+	})}
 }
 
 // peersOf returns all of the cluster's DMs except id, sorted.
@@ -659,12 +707,23 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 	believed := t.store.config(item)
 	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
 	sawBusy := false
+	budgetDenied := false
 	attempts := 0
 	var lastCol *collector
 	var lastTargets []string
 	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return readResult{}, err
+		}
+		if attempt == 0 {
+			t.store.budget.deposit()
+		} else if !t.store.budget.allow() {
+			// The retry budget is dry: retry traffic already runs at its
+			// allowed fraction of first-attempt traffic, so piling on more
+			// would amplify the very overload causing the retries.
+			t.store.Stats.RetryBudgetDenied.Inc()
+			budgetDenied = true
+			break
 		}
 		attempts++
 		start := time.Now()
@@ -723,6 +782,13 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 		return readResult{}, &ConflictError{
 			Item: item, Txn: t.id, Phase: "read",
 			Attempts: attempts, Responded: lastCol.respondedDMs(),
+		}
+	}
+	if lastCol.sawShed() {
+		return readResult{}, &OverloadedError{
+			Item: item, Txn: t.id, Phase: "read",
+			Attempts: attempts, Shed: lastCol.shedDMs(),
+			Expired: lastCol.expired, BudgetDenied: budgetDenied,
 		}
 	}
 	return readResult{}, &UnavailableError{
@@ -808,7 +874,11 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 		go func(i int, dm string) {
 			defer wg.Done()
 			callStart := time.Now()
-			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
+			budget, derr := t.store.callBudget(ctx)
+			if derr != nil {
+				return
+			}
+			cctx, cancel := context.WithTimeout(ctx, budget)
 			defer cancel()
 			raw, err := t.store.client.Call(cctx, dm, ReadReq{Txn: t.id, Item: item, Lock: mode})
 			if err != nil {
@@ -859,7 +929,11 @@ func (s *Store) repairStale(item string, res readResult, resps []memberResp) {
 
 // Inspect returns a DM's committed replica state for tests and tooling.
 func (s *Store) Inspect(ctx context.Context, dm, item string) (InspectResp, error) {
-	cctx, cancel := context.WithTimeout(ctx, s.opts.callTimeout)
+	budget, err := s.callBudget(ctx)
+	if err != nil {
+		return InspectResp{}, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	raw, err := s.client.Call(cctx, dm, InspectReq{Item: item})
 	if err != nil {
@@ -882,12 +956,20 @@ func (t *Txn) writeQuorum(ctx context.Context, item, phase string, cfg quorum.Co
 		return t.writeQuorumSequential(ctx, item, phase, cfg, mk)
 	}
 	sawBusy := false
+	budgetDenied := false
 	attempts := 0
 	var lastCol *collector
 	targets := union(cfg.W)
 	for attempt := 0; attempt <= t.store.opts.lockRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if attempt == 0 {
+			t.store.budget.deposit()
+		} else if !t.store.budget.allow() {
+			t.store.Stats.RetryBudgetDenied.Inc()
+			budgetDenied = true
+			break
 		}
 		attempts++
 		start := time.Now()
@@ -921,6 +1003,13 @@ func (t *Txn) writeQuorum(ctx context.Context, item, phase string, cfg quorum.Co
 			Attempts: attempts, Responded: lastCol.respondedDMs(),
 		}
 	}
+	if lastCol.sawShed() {
+		return &OverloadedError{
+			Item: item, Txn: t.id, Phase: phase,
+			Attempts: attempts, Shed: lastCol.shedDMs(),
+			Expired: lastCol.expired, BudgetDenied: budgetDenied,
+		}
+	}
 	return &UnavailableError{
 		Item: item, Txn: t.id, Phase: phase,
 		Attempts: attempts, Responded: lastCol.respondedDMs(),
@@ -949,7 +1038,11 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 				go func(i int, dm string) {
 					defer wg.Done()
 					callStart := time.Now()
-					cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
+					budget, derr := t.store.callBudget(ctx)
+					if derr != nil {
+						return
+					}
+					cctx, cancel := context.WithTimeout(ctx, budget)
 					defer cancel()
 					raw, err := t.store.client.Call(cctx, dm, mk(0))
 					if err != nil {
@@ -1037,11 +1130,16 @@ func (t *Txn) ReadForUpdate(ctx context.Context, item string) (any, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
+	if err := t.store.writeGate("read-for-update", item); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := t.readPhase(ctx, item, LockWrite)
 	if err != nil {
+		t.store.noteWriteOutcome(err)
 		return nil, err
 	}
+	t.store.noteWriteOutcome(nil)
 	t.store.Stats.Reads.Inc()
 	t.store.Stats.ReadLatency.ObserveSince(start)
 	t.record(checker.OpRead, item, res.val, res.vn, start)
@@ -1055,15 +1153,20 @@ func (t *Txn) Write(ctx context.Context, item string, val any) error {
 	if t.done {
 		return ErrTxnDone
 	}
+	if err := t.store.writeGate("write", item); err != nil {
+		return err
+	}
 	start := time.Now()
 	res, err := t.readPhase(ctx, item, LockWrite)
 	if err != nil {
+		t.store.noteWriteOutcome(err)
 		return err
 	}
 	vn := t.nextWriteVN(item, res.vn)
 	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
 		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
 	})
+	t.store.noteWriteOutcome(err)
 	if err != nil {
 		return err
 	}
@@ -1091,15 +1194,20 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 	if t.done {
 		return 0, ErrTxnDone
 	}
+	if err := t.store.writeGate("write", item); err != nil {
+		return 0, err
+	}
 	start := time.Now()
 	res, err := t.readPhase(ctx, item, LockWrite)
 	if err != nil {
+		t.store.noteWriteOutcome(err)
 		return 0, err
 	}
 	vn := t.nextWriteVN(item, res.vn)
 	err = t.writeQuorum(ctx, item, "write", res.cfg, func(seq int) any {
 		return WriteReq{Txn: t.id, Item: item, VN: vn, Val: val, Seq: seq}
 	})
+	t.store.noteWriteOutcome(err)
 	if err != nil {
 		return 0, err
 	}
@@ -1139,7 +1247,11 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 				return false
 			}
 			callStart := time.Now()
-			cctx, cancel := context.WithTimeout(ctx, t.store.opts.callTimeout)
+			budget, derr := t.store.callBudget(ctx)
+			if derr != nil {
+				return false
+			}
+			cctx, cancel := context.WithTimeout(ctx, budget)
 			raw, err := t.store.client.Call(cctx, dm, req)
 			cancel()
 			if err == nil {
@@ -1297,6 +1409,14 @@ func (t *Txn) abort(ctx context.Context) {
 // transaction ID) up to WithTxnRetries times when it aborts due to lock
 // conflicts — the cluster's deadlock/livelock resolution.
 func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
+	// Admission before work: the AIMD limiter bounds in-flight top-level
+	// transactions, and TxnLatency starts after the slot is granted so it
+	// measures admitted work — the p99 an overload gate holds steady — not
+	// time spent queueing for a slot.
+	if err := s.limiter.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.limiter.release()
 	start := time.Now()
 	var err error
 	for attempt := 0; attempt <= s.opts.txnRetries; attempt++ {
@@ -1342,6 +1462,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			}
 			t.done = true
 			s.untrackTxn(t)
+			s.noteTxnOutcome(nil)
 			s.Stats.Commits.Inc()
 			s.Stats.TxnLatency.ObserveSince(start)
 			if s.opts.history != nil {
@@ -1355,11 +1476,25 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 		t.abort(ctx)
 		s.untrackTxn(t)
 		if !errors.Is(err, ErrConflict) || ctx.Err() != nil {
+			// Overload and unavailability deliberately do NOT restart here:
+			// retrying a transaction the replicas just refused would amplify
+			// the overload. The AIMD limiter hears the signal instead and
+			// shrinks the in-flight ceiling.
+			s.noteTxnOutcome(err)
+			return err
+		}
+		if !s.budget.allow() {
+			// Conflict restarts draw from the same retry budget as phase
+			// retries: under overload-driven conflict storms the budget is
+			// what stops goodput from collapsing into retry traffic.
+			s.Stats.RetryBudgetDenied.Inc()
+			s.noteTxnOutcome(err)
 			return err
 		}
 		s.Stats.Restarts.Inc()
 		s.backoff(ctx, attempt)
 	}
+	s.noteTxnOutcome(err)
 	return err
 }
 
@@ -1375,6 +1510,9 @@ func (s *Store) Reconfigure(ctx context.Context, item string, newCfg quorum.Conf
 		return fmt.Errorf("cluster: unknown item %q", item)
 	}
 	if err := newCfg.Validate(it.DMs); err != nil {
+		return err
+	}
+	if err := s.writeGate("reconfigure", item); err != nil {
 		return err
 	}
 	return s.Run(ctx, func(t *Txn) error {

@@ -6,60 +6,41 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing counter safe for concurrent use.
+// It is lock-free: replica service loops increment counters on every
+// request, so a mutex here would serialize the hot path it measures.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d int64) {
-	c.mu.Lock()
-	c.n += d
-	c.mu.Unlock()
-}
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Gauge is a settable instantaneous value safe for concurrent use — the
 // "how many right now" counterpart to Counter (suspect replicas, open
-// circuits, live leases).
+// circuits, live leases). Lock-free for the same reason Counter is.
 type Gauge struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Set replaces the gauge's value.
-func (g *Gauge) Set(v int64) {
-	g.mu.Lock()
-	g.n = v
-	g.mu.Unlock()
-}
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
 
 // Add moves the gauge by d (negative to decrease).
-func (g *Gauge) Add(d int64) {
-	g.mu.Lock()
-	g.n += d
-	g.mu.Unlock()
-}
+func (g *Gauge) Add(d int64) { g.n.Add(d) }
 
 // Value returns the current value.
-func (g *Gauge) Value() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.n
-}
+func (g *Gauge) Value() int64 { return g.n.Load() }
 
 // Histogram records duration samples and reports simple summary statistics.
 type Histogram struct {
@@ -81,22 +62,40 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0))
 }
 
+// intHistWindow bounds how many samples an IntHistogram retains. Queue
+// depths are observed once per admitted request, so a sustained overload
+// campaign would otherwise grow the sample slice without bound while
+// Snapshot sorts it under the same lock the recording path needs.
+const intHistWindow = 1 << 16
+
 // IntHistogram records dimensionless integer samples (batch sizes, queue
-// depths, replay counts) and reports simple summary statistics. The
+// depths, replay counts) and reports simple summary statistics over a
+// sliding window of the most recent intHistWindow observations. The
 // duration Histogram stays separate so call sites never mix units.
+//
+// It is safe for concurrent use: replica service goroutines record into it
+// while store accessors snapshot it.
 type IntHistogram struct {
 	mu      sync.Mutex
 	samples []int64
+	total   int64 // observations ever, including ones the window evicted
 }
 
 // Observe records one sample.
 func (h *IntHistogram) Observe(v int64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	if len(h.samples) < intHistWindow {
+		h.samples = append(h.samples, v)
+	} else {
+		h.samples[h.total%intHistWindow] = v
+	}
+	h.total++
 	h.mu.Unlock()
 }
 
-// IntSummary holds the statistics of an IntHistogram snapshot.
+// IntSummary holds the statistics of an IntHistogram snapshot. Count is
+// the total number of observations ever recorded; the quantiles summarize
+// the retained window.
 type IntSummary struct {
 	Count int
 	Mean  float64
@@ -109,28 +108,29 @@ type IntSummary struct {
 func (h *IntHistogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.total)
 }
 
-// Snapshot computes summary statistics over the samples so far.
+// Snapshot computes summary statistics over the retained sample window.
 func (h *IntHistogram) Snapshot() IntSummary {
 	h.mu.Lock()
 	samples := append([]int64(nil), h.samples...)
+	total := h.total
 	h.mu.Unlock()
 	if len(samples) == 0 {
 		return IntSummary{}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var total int64
+	var sum int64
 	for _, s := range samples {
-		total += s
+		sum += s
 	}
 	pct := func(p float64) int64 {
 		return samples[int(p*float64(len(samples)-1))]
 	}
 	return IntSummary{
-		Count: len(samples),
-		Mean:  float64(total) / float64(len(samples)),
+		Count: int(total),
+		Mean:  float64(sum) / float64(len(samples)),
 		P50:   pct(0.50),
 		P95:   pct(0.95),
 		Max:   samples[len(samples)-1],

@@ -78,6 +78,110 @@ func TestSnapshotAfterWindows(t *testing.T) {
 	}
 }
 
+func TestIntHistogramSummary(t *testing.T) {
+	var h IntHistogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Max != 100 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.P50 < 45 || s.P50 > 55 {
+		t.Errorf("P50 = %d", s.P50)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestIntHistogramWindowBounded(t *testing.T) {
+	var h IntHistogram
+	n := intHistWindow + 5000
+	for i := 0; i < n; i++ {
+		h.Observe(int64(i))
+	}
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d (evicted samples still counted)", h.Count(), n)
+	}
+	s := h.Snapshot()
+	if len(h.samples) != intHistWindow {
+		t.Errorf("retained %d samples, want window of %d", len(h.samples), intHistWindow)
+	}
+	if s.Max != int64(n-1) {
+		t.Errorf("Max = %d, want newest sample %d retained", s.Max, n-1)
+	}
+}
+
+// TestIntHistogramConcurrentHammer is the -race gate for the overload
+// instrumentation path: replica service goroutines observe queue depths
+// into the same IntHistogram that store metrics accessors snapshot
+// concurrently. The hammer runs writers, snapshotters, and counters at
+// once; the race detector (make verify runs this package under -race)
+// flags any unsynchronized access, and the final count pins that no
+// observation was lost.
+func TestIntHistogramConcurrentHammer(t *testing.T) {
+	var h IntHistogram
+	const writers, perWriter = 8, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.Snapshot()
+					_ = h.Count()
+				}
+			}
+		}()
+	}
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*perWriter {
+		t.Errorf("Count = %d, want %d", h.Count(), writers*perWriter)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Add(2)
+			g.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 50 {
+		t.Errorf("Value = %d, want 50", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d after Set", g.Value())
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	var h Histogram
 	h.Observe(time.Millisecond)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrRPCTimeout is returned by Call when the context expires before a reply
@@ -24,10 +25,15 @@ var ErrCallLost = errors.New("rpc call lost")
 // channel in place of a response.
 type callLost struct{}
 
-// envelope is an RPC request on the wire.
+// envelope is an RPC request on the wire. Deadline, when non-zero, is the
+// caller's absolute give-up time, stamped by Call from its context — the
+// transport-level deadline propagation that lets an overload-protected
+// receiver discard a request whose caller already gave up instead of
+// serving it.
 type envelope struct {
-	ID  uint64
-	Req any
+	ID       uint64
+	Req      any
+	Deadline time.Time
 }
 
 // reply is an RPC response on the wire.
@@ -64,13 +70,29 @@ type Node struct {
 	mu      sync.Mutex
 	pending map[uint64]chan any
 
+	// adm, when non-nil, is the bounded priority service queue between the
+	// network loop and the handler; sdone closes when its service
+	// goroutine exits.
+	adm   *admission
+	sdone chan struct{}
+
 	stop chan struct{}
 	done chan struct{}
 }
 
+// A NodeOption configures a Node at construction.
+type NodeOption func(*Node)
+
+// WithAdmission gives the node a bounded, prioritized service queue: see
+// AdmissionConfig. Without it (the default) requests are served inline on
+// the network loop, unbounded — the pre-overload-protection behavior.
+func WithAdmission(cfg AdmissionConfig) NodeOption {
+	return func(n *Node) { n.adm = newAdmission(cfg) }
+}
+
 // NewNode registers id on the network and starts its loop. handler may be
 // nil for client-only nodes.
-func NewNode(net *Network, id string, handler Handler) *Node {
+func NewNode(net *Network, id string, handler Handler, opts ...NodeOption) *Node {
 	n := &Node{
 		id:      id,
 		net:     net,
@@ -79,16 +101,14 @@ func NewNode(net *Network, id string, handler Handler) *Node {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	inbox := net.Register(id)
-	net.watchDrops(id, n.onDrop) // no-op unless Config.FateFeedback
-	go n.loop(inbox)
+	n.start(opts)
 	return n
 }
 
 // NewAsyncNode registers id on the network and starts its loop with an
 // asynchronous handler: the reply is sent whenever the handler invokes its
 // reply function, not when the handler returns.
-func NewAsyncNode(net *Network, id string, handler AsyncHandler) *Node {
+func NewAsyncNode(net *Network, id string, handler AsyncHandler, opts ...NodeOption) *Node {
 	n := &Node{
 		id:       id,
 		net:      net,
@@ -97,10 +117,22 @@ func NewAsyncNode(net *Network, id string, handler AsyncHandler) *Node {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	inbox := net.Register(id)
-	net.watchDrops(id, n.onDrop)
-	go n.loop(inbox)
+	n.start(opts)
 	return n
+}
+
+// start applies options, registers the node and launches its goroutines.
+func (n *Node) start(opts []NodeOption) {
+	for _, o := range opts {
+		o(n)
+	}
+	inbox := n.net.Register(n.id)
+	n.net.watchDrops(n.id, n.onDrop) // no-op unless Config.FateFeedback
+	if n.adm != nil {
+		n.sdone = make(chan struct{})
+		go n.serviceLoop()
+	}
+	go n.loop(inbox)
 }
 
 // onDrop receives the fate of a lost message that named this node. If the
@@ -172,21 +204,19 @@ func (n *Node) loop(inbox <-chan Message) {
 	}
 }
 
-// dispatch handles one delivered message on the loop goroutine.
+// dispatch handles one delivered message on the loop goroutine. Requests
+// go through admission when the node has one — replies never do: a reply
+// completes a call this node is blocked on, and queueing it behind bulk
+// traffic (or worse, shedding it) would deadlock the very backpressure
+// admission exists to provide.
 func (n *Node) dispatch(m Message) {
 	switch p := m.Payload.(type) {
 	case envelope:
-		if n.ahandler != nil {
-			n.ahandler(m.From, p.Req, n.replier(m.From, p.ID))
+		if n.adm != nil {
+			n.admit(queuedReq{from: m.From, id: p.ID, req: p.Req, deadline: p.Deadline})
 			return
 		}
-		if n.handler == nil {
-			return
-		}
-		resp := n.handler(m.From, p.Req)
-		if p.ID != 0 {
-			n.net.Send(n.id, m.From, reply{ID: p.ID, Resp: resp})
-		}
+		n.serve(m.From, p)
 	case reply:
 		n.mu.Lock()
 		ch := n.pending[p.ID]
@@ -198,6 +228,22 @@ func (n *Node) dispatch(m Message) {
 	}
 }
 
+// serve runs one request through the node's handler and sends the reply
+// for call traffic.
+func (n *Node) serve(from string, p envelope) {
+	if n.ahandler != nil {
+		n.ahandler(from, p.Req, n.replier(from, p.ID))
+		return
+	}
+	if n.handler == nil {
+		return
+	}
+	resp := n.handler(from, p.Req)
+	if p.ID != 0 {
+		n.net.Send(n.id, from, reply{ID: p.ID, Resp: resp})
+	}
+}
+
 // Call sends req to the node named to and waits for its reply or ctx
 // expiry. Lost messages surface as ErrRPCTimeout via the context.
 func (n *Node) Call(ctx context.Context, to string, req any) (any, error) {
@@ -206,7 +252,14 @@ func (n *Node) Call(ctx context.Context, to string, req any) (any, error) {
 	n.mu.Lock()
 	n.pending[id] = ch
 	n.mu.Unlock()
-	n.net.Send(n.id, to, envelope{ID: id, Req: req})
+	env := envelope{ID: id, Req: req}
+	if dl, ok := ctx.Deadline(); ok {
+		// Deadline propagation: the receiver learns when this caller gives
+		// up, so an admission queue can discard the request at dequeue
+		// instead of doing work nobody will read.
+		env.Deadline = dl
+	}
+	n.net.Send(n.id, to, env)
 	select {
 	case resp := <-ch:
 		if _, lost := resp.(callLost); lost {
@@ -241,7 +294,9 @@ func SendNotify(n *Network, from, to string, req any) {
 	n.Send(from, to, envelope{ID: 0, Req: req})
 }
 
-// Shutdown stops the node's loop and waits for it to exit.
+// Shutdown stops the node's loop and waits for it to exit. With admission,
+// the service goroutine drains whatever the loop enqueued before exiting —
+// the same orderly-departure contract as the inbox drain.
 func (n *Node) Shutdown() {
 	n.net.unwatchDrops(n.id)
 	select {
@@ -250,4 +305,8 @@ func (n *Node) Shutdown() {
 		close(n.stop)
 	}
 	<-n.done
+	if n.adm != nil {
+		n.adm.close()
+		<-n.sdone
+	}
 }
