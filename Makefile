@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-json chaos fuzz verify
+.PHONY: build test vet staticcheck race bench bench-json chaos fuzz proc-smoke verify
 
 build:
 	$(GO) build ./...
@@ -29,26 +29,40 @@ bench-json:
 chaos:
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 10
 
-# Coverage-guided fuzz passes: quorum construction invariants, then WAL
-# record framing (decode must reject every corruption of what encode
-# wrote, and round-trip what it accepts).
+# Coverage-guided fuzz passes: quorum construction invariants, WAL record
+# framing, and the TCP transport's wire envelope (malformed frames must
+# fail with a typed decode error, never a panic).
 fuzz:
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 30s
+	$(GO) test ./internal/transport/tcp/ -fuzz FuzzEnvelope -fuzztime 30s
+
+# Multi-process smoke: a real 3-replica qcstore cluster as separate OS
+# processes over TCP — nested transaction committed through quorums, one
+# replica SIGKILLed and restarted, recovery verified from its write-ahead
+# log alone, every process exiting 0 on SIGINT.
+proc-smoke:
+	$(GO) build -o bin/qcstore ./cmd/qcstore
+	$(GO) run ./cmd/qchaos -proc -bin bin/qcstore
 
 # CI entry point: everything tier-1 checks plus vet, staticcheck (when
 # installed — the toolchain image may not carry it), an explicit race pass
 # over the chaos campaigns (they stress every cross-goroutine path the
-# self-healing machinery added), the race pass, short fuzz smokes, the
-# qcstore durable-mode end-to-end demo (open, write, close, reopen from the
-# WALs, read back), and the overload smoke: the three-arm goodput gate —
+# self-healing machinery added), the race pass, short fuzz smokes (quorum
+# invariants, WAL records, TCP wire envelope), the qcstore durable-mode
+# end-to-end demo (open, write, close, reopen from the WALs, read back),
+# the multi-process kill -9 recovery smoke (real qcstore server processes
+# over TCP), and the overload smoke: the three-arm goodput gate —
 # protections under 2x load must stay within 20% of capacity while the
 # ablated cluster collapses.
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
+	$(GO) test ./internal/transport/tcp/ -fuzz FuzzEnvelope -fuzztime 5s
 	d=$$(mktemp -d) && $(GO) run ./cmd/qcstore -dir $$d >/dev/null && rm -rf $$d
+	$(GO) build -o bin/qcstore ./cmd/qcstore
+	$(GO) run ./cmd/qchaos -proc -bin bin/qcstore
 	$(GO) run ./cmd/qchaos -overload
 	@echo verify: OK
 

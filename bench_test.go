@@ -138,8 +138,8 @@ func benchCluster(b *testing.B, n int, cfg func([]string) quorum.Config) (*clust
 		dms[i] = fmt.Sprintf("dm%d", i)
 	}
 	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
-	store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}},
-		cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: 1})
+	store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}},
+		cluster.WithCallTimeout(25*time.Millisecond), cluster.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -280,8 +280,8 @@ func BenchmarkA1_Reconfigure_BothQuorums(b *testing.B) {
 func benchReconfigure(b *testing.B, both bool) {
 	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
-	store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
-		cluster.Options{CallTimeout: 25 * time.Millisecond, WriteConfigToBothQuorums: both, Seed: 1})
+	store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		cluster.WithCallTimeout(25*time.Millisecond), cluster.WithWriteConfigToBothQuorums(both), cluster.WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -352,8 +352,8 @@ func BenchmarkE9_ReadRepairCatchUp(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dms := []string{"dm0", "dm1", "dm2"}
 		net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: int64(i)})
-		store, err := cluster.New(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
-			cluster.Options{CallTimeout: 25 * time.Millisecond, ReadRepair: true, Seed: int64(i)})
+		store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+			cluster.WithCallTimeout(25*time.Millisecond), cluster.WithReadRepair(true), cluster.WithSeed(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}

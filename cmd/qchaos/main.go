@@ -43,11 +43,16 @@ func main() {
 		live      = flag.Bool("live", false, "live mode: fan-out, hedging, concurrent workers (forfeits exact replay)")
 		selfheal  = flag.String("selfheal", "auto", "lease reaper + failure detector: auto (on when flap/clientcrash faults run), on, off")
 		overload  = flag.Bool("overload", false, "run the three-arm overload goodput experiment instead of campaigns")
+		proc      = flag.Bool("proc", false, "run the process-level kill -9 recovery check against real qcstore processes over TCP")
+		procBin   = flag.String("bin", "", "qcstore binary for -proc (empty builds it with `go build`)")
 		verbose   = flag.Bool("v", false, "print one line per campaign")
 	)
 	flag.Parse()
 
 	ctx := context.Background()
+	if *proc {
+		os.Exit(runProcGate(ctx, *procBin, *replicas, *verbose))
+	}
 	if *overload {
 		os.Exit(runOverloadGate(ctx, *seed))
 	}

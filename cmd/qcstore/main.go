@@ -22,6 +22,17 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `qcstore serve` and `qcstore client` run the
+	// store as real processes over TCP; bare `qcstore` keeps the original
+	// single-process simulated demo.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(serveMain(os.Args[2:]))
+		case "client":
+			os.Exit(clientMain(os.Args[2:]))
+		}
+	}
 	var (
 		n       = flag.Int("replicas", 5, "number of DMs")
 		seed    = flag.Int64("seed", 1, "simulation seed")

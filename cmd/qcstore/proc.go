@@ -1,0 +1,225 @@
+package main
+
+// The serve and client subcommands run the store as a real multi-process
+// deployment: N `qcstore serve` processes each host one DM replica behind
+// the TCP transport, and `qcstore client` attaches to them over the same
+// peer map to run transactions. Every process derives the same item layout
+// from the sorted peer names, so no configuration file is needed — the
+// peer map IS the cluster description.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/quorum"
+	"repro/internal/transport/tcp"
+)
+
+// theItem is the single replicated item the multi-process demo serves.
+const theItem = "balance/alice"
+
+// parsePeers parses "dm0=127.0.0.1:7100,dm1=127.0.0.1:7101,..." into a
+// name→address map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, errors.New("missing -peers (e.g. -peers dm0=127.0.0.1:7100,dm1=127.0.0.1:7101)")
+	}
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=host:port)", part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate peer %q", name)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// itemsFor derives the shared item layout from the peer map: one item,
+// replicated at every peer, majority quorums. Every process computes the
+// same layout from the same -peers flag.
+func itemsFor(peers map[string]string) []cluster.ItemSpec {
+	dms := make([]string, 0, len(peers))
+	for name := range peers {
+		dms = append(dms, name)
+	}
+	sort.Strings(dms)
+	return []cluster.ItemSpec{
+		{Name: theItem, Initial: 100, DMs: dms, Config: quorum.Majority(dms)},
+	}
+}
+
+// serveMain hosts one DM replica until SIGINT/SIGTERM, then closes it in
+// order (endpoint first, write-ahead log last) and exits 0. SIGKILL is the
+// amnesia crash the WAL exists for: restart with the same flags and the
+// replica recovers from the log.
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("qcstore serve", flag.ExitOnError)
+	var (
+		id       = fs.String("id", "", "this replica's DM name (must appear in -peers)")
+		peersArg = fs.String("peers", "", "comma-separated name=host:port for every replica")
+		dir      = fs.String("dir", "", "keep a write-ahead log under this directory (dir/<id>); empty serves volatile")
+		lease    = fs.Duration("lease", 0, "lock-lease TTL for orphan reaping; 0 disables leases")
+	)
+	fs.Parse(args)
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcstore serve:", err)
+		return 2
+	}
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "qcstore serve: missing -id")
+		return 2
+	}
+	if _, ok := peers[*id]; !ok {
+		fmt.Fprintf(os.Stderr, "qcstore serve: -id %s not in -peers\n", *id)
+		return 2
+	}
+	tr := tcp.New(tcp.WithPeers(peers))
+	defer tr.Close()
+	opts := []cluster.Option{}
+	if *dir != "" {
+		opts = append(opts, cluster.WithDurability(*dir))
+	}
+	if *lease > 0 {
+		opts = append(opts, cluster.WithLeaseTTL(*lease))
+	}
+	host, err := cluster.ServeDM(tr, *id, itemsFor(peers), opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcstore serve:", err)
+		return 1
+	}
+	rec := host.Recovery()
+	fmt.Printf("qcstore: %s serving at %s (snapshot=%v replayed=%d)\n",
+		*id, tr.Addr(*id), rec.FromSnapshot, rec.Replayed)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	host.Close()
+	fmt.Printf("qcstore: %s shut down cleanly\n", *id)
+	return 0
+}
+
+// clientMain attaches to a running multi-process cluster and performs one
+// operation: -get, -set N, -inspect <dm>, or (default) the nested-
+// transaction demo.
+func clientMain(args []string) int {
+	fs := flag.NewFlagSet("qcstore client", flag.ExitOnError)
+	var (
+		peersArg = fs.String("peers", "", "comma-separated name=host:port for every replica")
+		get      = fs.Bool("get", false, "read the balance and print it")
+		set      = fs.String("set", "", "write this integer balance in a transaction")
+		inspect  = fs.String("inspect", "", "print one replica's committed state (bypasses quorums)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "overall operation deadline")
+	)
+	fs.Parse(args)
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcstore client:", err)
+		return 2
+	}
+	tr := tcp.New(tcp.WithPeers(peers))
+	defer tr.Close()
+	// The PID tag keeps this process's transaction IDs disjoint from every
+	// other client process of the same cluster (see WithClientTag).
+	store, err := cluster.OpenClient(tr, itemsFor(peers),
+		cluster.WithCallTimeout(time.Second),
+		cluster.WithClientTag(fmt.Sprintf("p%d-", os.Getpid())))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcstore client:", err)
+		return 1
+	}
+	defer store.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := clientOp(ctx, store, *get, *set, *inspect); err != nil {
+		fmt.Fprintln(os.Stderr, "qcstore client:", err)
+		return 1
+	}
+	return 0
+}
+
+func clientOp(ctx context.Context, store *cluster.Store, get bool, set, inspect string) error {
+	switch {
+	case inspect != "":
+		resp, err := store.Inspect(ctx, inspect, theItem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s = %v (vn %d, gen %d, %d locks, %d intents)\n",
+			inspect, theItem, resp.Val, resp.VN, resp.Gen, resp.Locks, resp.Intents)
+		return nil
+	case get:
+		return store.Run(ctx, func(tx *cluster.Txn) error {
+			v, vn, err := tx.ReadVersioned(ctx, theItem)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s = %v (vn %d)\n", theItem, v, vn)
+			return nil
+		})
+	case set != "":
+		var n int
+		if _, err := fmt.Sscanf(set, "%d", &n); err != nil {
+			return fmt.Errorf("bad -set value %q: %w", set, err)
+		}
+		if err := store.Run(ctx, func(tx *cluster.Txn) error {
+			return tx.Write(ctx, theItem, n)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("%s := %d committed\n", theItem, n)
+		return nil
+	default:
+		return clientDemo(ctx, store)
+	}
+}
+
+// clientDemo is the nested-transaction walkthrough of the sim demo, run
+// against real processes: a subtransaction aborts, the parent tolerates it
+// and commits.
+func clientDemo(ctx context.Context, store *cluster.Store) error {
+	errRisky := errors.New("risky step failed")
+	err := store.Run(ctx, func(tx *cluster.Txn) error {
+		if err := tx.Write(ctx, theItem, 150); err != nil {
+			return err
+		}
+		if err := tx.Sub(ctx, func(sub *cluster.Txn) error {
+			if err := sub.Write(ctx, theItem, -1); err != nil {
+				return err
+			}
+			return errRisky
+		}); !errors.Is(err, errRisky) {
+			return err
+		}
+		v, err := tx.Read(ctx, theItem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inside txn after tolerated sub-abort: %s = %v\n", theItem, v)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return store.Run(ctx, func(tx *cluster.Txn) error {
+		v, vn, err := tx.ReadVersioned(ctx, theItem)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed: %s = %v (vn %d)\n", theItem, v, vn)
+		return nil
+	})
+}

@@ -19,10 +19,10 @@ func testCluster(t *testing.T, nDMs int, cfg func([]string) quorum.Config, netCf
 		dms[i] = fmt.Sprintf("dm%d", i)
 	}
 	net := sim.NewNetwork(netCfg)
-	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}}, Options{
-		CallTimeout: 25 * time.Millisecond,
-		Seed:        netCfg.Seed,
-	})
+	store, err := Open(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: cfg(dms)}},
+		WithCallTimeout(25*time.Millisecond),
+		WithSeed(netCfg.Seed),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,11 +379,11 @@ func TestLossyNetworkStillCommits(t *testing.T) {
 func TestGiffordAblationWritesConfigToBothQuorums(t *testing.T) {
 	dms := []string{"a", "b", "c"}
 	net := sim.NewNetwork(fastNet(13))
-	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}, Options{
-		CallTimeout:              25 * time.Millisecond,
-		WriteConfigToBothQuorums: true,
-		Seed:                     13,
-	})
+	store, err := Open(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		WithCallTimeout(25*time.Millisecond),
+		WithWriteConfigToBothQuorums(true),
+		WithSeed(13),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

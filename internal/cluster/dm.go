@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/quorum"
-	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // replica is one DM's state for one item: the committed versioned value and
@@ -48,7 +48,7 @@ type resolution struct {
 	subs      []TxnID
 }
 
-// dmServer is the handler state of one DM node. It runs under the sim.Node
+// dmServer is the handler state of one DM node. It runs under the server
 // actor discipline: the handler is invoked on a single goroutine, so no
 // locking is needed (the lease sender hook is the one documented
 // exception).
@@ -66,7 +66,7 @@ type dmServer struct {
 	// Lease machinery (soft state: never snapshotted, never replayed —
 	// recovery re-stamps fresh leases, which only delays reaping).
 	leaseTTL  time.Duration
-	clock     sim.Clock
+	clock     transport.Clock
 	peers     []string // every other DM of the cluster, sorted
 	stats     *Stats   // shared with the owning Store; nil for standalone DMs
 	leases    map[TxnID]time.Time
@@ -98,7 +98,7 @@ func newDMState(id string, items []ItemSpec) *dmServer {
 		id:        id,
 		replicas:  map[string]*replica{},
 		resolved:  map[TxnID]*resolution{},
-		clock:     sim.Wall,
+		clock:     transport.Wall,
 		leases:    map[TxnID]time.Time{},
 		inquiries: map[TxnID]*inquiry{},
 	}
@@ -115,7 +115,7 @@ func newDMState(id string, items []ItemSpec) *dmServer {
 // configureLeases arms the lease reaper: grants stamp leases of ttl, and
 // conflicts with expired-lease holders trigger resolution inquiries to
 // peers. Must be called before the server's node starts.
-func (s *dmServer) configureLeases(ttl time.Duration, clock sim.Clock, peers []string, stats *Stats) {
+func (s *dmServer) configureLeases(ttl time.Duration, clock transport.Clock, peers []string, stats *Stats) {
 	s.leaseTTL = ttl
 	if clock != nil {
 		s.clock = clock
@@ -140,10 +140,18 @@ func (s *dmServer) notifyPeer(to string, req any) {
 	}
 }
 
-// NewDMServer starts a volatile DM node hosting the given items and returns
-// its sim.Node.
-func NewDMServer(net *sim.Network, id string, items []ItemSpec) *sim.Node {
-	return sim.NewNode(net, id, newDMState(id, items).handle)
+// NewDMServer starts a volatile DM server hosting the given items on the
+// given transport and returns its server handle. This is the standalone
+// entry point — no leases, no peers, no WAL — used by unit tests and as the
+// simplest possible replica.
+func NewDMServer(tr transport.Transport, id string, items []ItemSpec) (transport.Server, error) {
+	srv := newDMState(id, items)
+	server, err := tr.Serve(id, asyncify(srv.handle))
+	if err != nil {
+		return nil, err
+	}
+	srv.setSender(server.Notify)
+	return server, nil
 }
 
 // canLock applies Moss's rule: a conflicting lock may be held only by

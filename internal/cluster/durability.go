@@ -7,7 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/quorum"
-	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/wal"
 )
 
@@ -27,17 +27,8 @@ type walRecord struct {
 	Req any
 }
 
-func init() {
-	gob.Register(ReadReq{})
-	gob.Register(WriteReq{})
-	gob.Register(ConfigWriteReq{})
-	gob.Register(ReleaseReq{})
-	gob.Register(RepairReq{})
-	gob.Register(CommitSubReq{})
-	gob.Register(AbortReq{})
-	gob.Register(CommitTopReq{})
-	gob.Register(ReapReq{})
-}
+// The request types a WAL record can carry are gob-registered in wire.go
+// alongside every other protocol type — one registry for log and network.
 
 // encodeRecord serializes one state-mutating request for the log.
 func encodeRecord(req any) ([]byte, error) {
@@ -256,10 +247,10 @@ func (d *dmWAL) maybeSnapshot() {
 }
 
 // newDurableDM opens (or recovers) the write-ahead log in dir, rebuilds the
-// DM state machine from it, and starts its server node. wire, when non-nil,
-// configures the recovered state machine (lease parameters, peer transport)
-// after replay and before the node starts serving.
-func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer), nodeOpts ...sim.NodeOption) (*dmHandle, RecoveryStats, error) {
+// DM state machine from it, and starts its server endpoint. wire, when
+// non-nil, configures the recovered state machine (lease parameters, peer
+// transport) after replay and before the endpoint starts serving.
+func newDurableDM(tr transport.Transport, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer), serveOpts ...transport.ServeOption) (*dmHandle, RecoveryStats, error) {
 	log, rec, err := wal.Open(dir, walOpts...)
 	if err != nil {
 		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
@@ -295,15 +286,24 @@ func newDurableDM(net *sim.Network, id string, items []ItemSpec, dir string, wal
 	// reaping is always safe, invented expiry is not.
 	srv.refreshLeases()
 	h := &dmHandle{id: id, items: items, srv: srv, wal: d}
-	h.node = sim.NewAsyncNode(net, id, d.handle, nodeOpts...)
+	server, err := tr.Serve(id, d.handle, serveOpts...)
+	if err != nil {
+		log.Close()
+		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
+	}
+	// The state machine's peer sender binds to the live endpoint only now;
+	// any lease poll that fired during the gap is re-sent on the next
+	// conflict, so the brief sender-less window is harmless.
+	srv.setSender(server.Notify)
+	h.server = server
 	return h, stats, nil
 }
 
 // RestartDM simulates recovery from an amnesia crash of one DM: the server
-// node is torn down, its in-memory state discarded, and a fresh state
-// machine is rebuilt purely from the DM's write-ahead log. The node then
-// rejoins the network under the same id (its inbox persists across the
-// restart). Only valid on stores opened with WithDurability.
+// endpoint is torn down, its in-memory state discarded, and a fresh state
+// machine is rebuilt purely from the DM's write-ahead log. The endpoint
+// then rejoins the transport under the same id. Only valid on stores
+// opened with WithDurability.
 func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	s.mu.Lock()
 	h := s.dms[id]
@@ -314,7 +314,7 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	if h.wal == nil {
 		return RecoveryStats{}, fmt.Errorf("cluster: DM %q is not durable", id)
 	}
-	h.node.Shutdown()
+	h.server.Close()
 	if err := h.wal.log.Close(); err != nil {
 		return RecoveryStats{}, fmt.Errorf("cluster: dm %s: close wal: %w", id, err)
 	}
@@ -325,7 +325,7 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	}
 	s.mu.Unlock()
 	sort.Strings(all)
-	nh, stats, err := newDurableDM(s.net, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)), s.dmNodeOpts(id)...)
+	nh, stats, err := newDurableDM(s.tr, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)), s.dmServeOpts(id)...)
 	if err != nil {
 		return RecoveryStats{}, err
 	}

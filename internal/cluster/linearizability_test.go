@@ -30,15 +30,15 @@ func TestLinearizableUnderChaos(t *testing.T) {
 		Seed:       99,
 	})
 	defer net.Close()
-	opts := func(seed int64) Options {
-		return Options{CallTimeout: 10 * time.Millisecond, ReadRepair: true, Seed: seed}
+	opts := func(seed int64) []Option {
+		return []Option{WithCallTimeout(10 * time.Millisecond), WithReadRepair(true), WithSeed(seed)}
 	}
-	main, err := New(net, items, opts(99))
+	main, err := Open(net, items, opts(99)...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer main.Close()
-	second, err := NewClient(net, items, opts(100))
+	second, err := OpenClient(net, items, opts(100)...)
 	if err != nil {
 		t.Fatal(err)
 	}

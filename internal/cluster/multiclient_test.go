@@ -17,11 +17,11 @@ func twoClients(t *testing.T, seed int64) (*Store, *Store, []string, *sim.Networ
 	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
 	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
 	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: seed})
-	a, err := New(net, items, Options{CallTimeout: 25 * time.Millisecond, Seed: seed})
+	a, err := Open(net, items, WithCallTimeout(25*time.Millisecond), WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewClient(net, items, Options{CallTimeout: 25 * time.Millisecond, Seed: seed + 1000})
+	b, err := OpenClient(net, items, WithCallTimeout(25*time.Millisecond), WithSeed(seed+1000))
 	if err != nil {
 		t.Fatal(err)
 	}

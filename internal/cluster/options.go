@@ -4,8 +4,8 @@ import (
 	"time"
 
 	"repro/internal/checker"
-	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/wal"
 )
 
@@ -33,7 +33,9 @@ type settings struct {
 	health       bool
 	fixedTimeout bool
 	antiEntropy  time.Duration
-	clock        sim.Clock
+	clock        transport.Clock
+
+	clientTag string
 
 	// Overload protection (see DESIGN.md §7).
 	admitCap          int           // bounded DM admission queue; 0 = unbounded (off)
@@ -53,14 +55,13 @@ func defaultSettings() settings {
 		lockRetries:  12,
 		retryBackoff: time.Millisecond,
 		txnRetries:   8,
-		clock:        sim.Wall,
+		clock:        transport.Wall,
 		hopAllowance: time.Millisecond,
 	}
 }
 
-// An Option configures a Store. Unlike the deprecated Options struct,
-// options state intent explicitly: WithLockRetries(0) means "no retries",
-// not "use the default".
+// An Option configures a Store. Options state intent explicitly:
+// WithLockRetries(0) means "no retries", not "use the default".
 type Option func(*settings)
 
 // resolve applies opts over the defaults.
@@ -242,12 +243,23 @@ func WithAntiEntropy(interval time.Duration) Option {
 // rounds; the default is the wall clock. The background lease renewer only
 // runs under the wall clock — under a manual clock, timer-driven renewal
 // traffic would fork seeded replays.
-func WithClock(c sim.Clock) Option {
+func WithClock(c transport.Clock) Option {
 	return func(s *settings) {
 		if c != nil {
 			s.clock = c
 		}
 	}
+}
+
+// WithClientTag prefixes every transaction ID this store's client mints.
+// Clients within one process are already disjoint (a process-wide
+// sequence numbers them), but clients in *different processes* of one
+// multi-process cluster are not: each fresh process mints c1 again, and a
+// DM that already resolved one process's c1.t1 refuses the other's as a
+// replay. Multi-process deployments must tag each client process uniquely
+// — qcstore client uses its PID. Empty (the default) adds no prefix.
+func WithClientTag(tag string) Option {
+	return func(s *settings) { s.clientTag = tag }
 }
 
 // WithAdmissionCapacity bounds every DM's service queue to n queued bulk
@@ -341,62 +353,4 @@ func WithHopAllowance(d time.Duration) Option {
 		}
 		s.hopAllowance = d
 	}
-}
-
-// Options is the legacy flat configuration struct.
-//
-// Deprecated: use Open with functional options instead. The struct cannot
-// distinguish an explicit zero from "unset" — Options{LockRetries: 0}
-// silently becomes 12 retries — which the option constructors fix. It is
-// kept so existing callers compile; zero fields mean "use the default",
-// exactly as before.
-type Options struct {
-	// CallTimeout bounds each individual RPC / quorum phase.
-	CallTimeout time.Duration
-	// LockRetries is how many times to retry a busy lock before aborting.
-	LockRetries int
-	// RetryBackoff is the base backoff between lock retries.
-	RetryBackoff time.Duration
-	// TxnRetries is how many times Run restarts a conflicted transaction.
-	TxnRetries int
-	// ReadRepair enables background repair of stale replicas.
-	ReadRepair bool
-	// WriteConfigToBothQuorums writes new configs to both old and new
-	// write quorums during reconfiguration.
-	WriteConfigToBothQuorums bool
-	// Seed seeds quorum shuffling and backoff jitter.
-	Seed int64
-	// Trace, when set, receives a structured event per logical operation.
-	Trace *trace.Log
-}
-
-// options converts the legacy struct to functional options, preserving
-// its historical zero-means-default semantics.
-func (o Options) options() []Option {
-	var opts []Option
-	if o.CallTimeout > 0 {
-		opts = append(opts, WithCallTimeout(o.CallTimeout))
-	}
-	if o.LockRetries > 0 {
-		opts = append(opts, WithLockRetries(o.LockRetries))
-	}
-	if o.RetryBackoff > 0 {
-		opts = append(opts, WithRetryBackoff(o.RetryBackoff))
-	}
-	if o.TxnRetries > 0 {
-		opts = append(opts, WithTxnRetries(o.TxnRetries))
-	}
-	if o.ReadRepair {
-		opts = append(opts, WithReadRepair(true))
-	}
-	if o.WriteConfigToBothQuorums {
-		opts = append(opts, WithWriteConfigToBothQuorums(true))
-	}
-	if o.Seed != 0 {
-		opts = append(opts, WithSeed(o.Seed))
-	}
-	if o.Trace != nil {
-		opts = append(opts, WithTrace(o.Trace))
-	}
-	return opts
 }

@@ -34,35 +34,6 @@ func TestWithLockRetriesZeroMeansZero(t *testing.T) {
 	}
 }
 
-// TestLegacyOptionsAdapterParity checks the deprecated struct maps onto
-// the same resolved settings it historically produced: zero fields mean
-// defaults, set fields stick.
-func TestLegacyOptionsAdapterParity(t *testing.T) {
-	st := resolve(Options{}.options())
-	if !reflect.DeepEqual(st, defaultSettings()) {
-		t.Errorf("Options{} must resolve to the defaults, got %+v", st)
-	}
-	st = resolve(Options{
-		CallTimeout:  25 * time.Millisecond,
-		LockRetries:  3,
-		RetryBackoff: 2 * time.Millisecond,
-		TxnRetries:   1,
-		ReadRepair:   true,
-		Seed:         99,
-	}.options())
-	if st.callTimeout != 25*time.Millisecond || st.lockRetries != 3 ||
-		st.retryBackoff != 2*time.Millisecond || st.txnRetries != 1 ||
-		!st.readRepair || st.seed != 99 {
-		t.Errorf("legacy fields lost in adaptation: %+v", st)
-	}
-	// The documented legacy wart is preserved, not silently changed: an
-	// explicit zero through the struct still means "default".
-	st = resolve(Options{LockRetries: 0}.options())
-	if st.lockRetries != defaultSettings().lockRetries {
-		t.Errorf("legacy zero must keep meaning default, got %d", st.lockRetries)
-	}
-}
-
 func TestWithHedgeMaxClampsToOne(t *testing.T) {
 	if st := resolve([]Option{WithHedgeMax(-5)}); st.hedgeMax != 1 {
 		t.Errorf("WithHedgeMax(-5) resolved to %d", st.hedgeMax)

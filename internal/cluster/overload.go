@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // classifyRequest maps a wire request to its admission priority at a DM.
@@ -16,15 +16,24 @@ import (
 // outranks fresh reads because writers usually hold locks elsewhere
 // already. Everything else (reads, pings, repairs, inspections) is the
 // bulk that admission exists to bound.
-func classifyRequest(req any) sim.Priority {
+func classifyRequest(req any) transport.Priority {
 	switch req.(type) {
 	case CommitTopReq, CommitSubReq, AbortReq, ReleaseReq,
 		RenewLeaseReq, ReapReq, ResolutionQueryReq, ResolutionAnswer:
-		return sim.PrioControl
+		return transport.PrioControl
 	case WriteReq, ConfigWriteReq:
-		return sim.PrioWrite
+		return transport.PrioWrite
 	}
-	return sim.PrioRead
+	return transport.PrioRead
+}
+
+// harness returns the overload-harness view of one DM's server, or nil when
+// the backend does not support it (or the DM has no admission queue armed —
+// both sim and TCP servers expose the capability only through this optional
+// interface).
+func (h *dmHandle) harness() transport.OverloadHarness {
+	oh, _ := h.server.(transport.OverloadHarness)
+	return oh
 }
 
 // callBudget computes the timeout for one outbound call or fan-out phase:
@@ -403,22 +412,26 @@ func (s *Store) Burst(dm string, total, preExpired int) BurstReport {
 	if h == nil || total <= 0 {
 		return BurstReport{}
 	}
+	oh := h.harness()
+	if oh == nil {
+		return BurstReport{}
+	}
 	if preExpired > total {
 		preExpired = total
 	}
-	before := h.node.Overload()
-	h.node.HoldService()
+	before := oh.Overload()
+	oh.HoldService()
 	expired := s.now().Add(-time.Nanosecond)
 	for i := 0; i < total; i++ {
 		var dl time.Time
 		if i < preExpired {
 			dl = expired
 		}
-		h.node.Inject("burst", PingReq{Seq: i}, dl)
+		oh.Inject("burst", PingReq{Seq: i}, dl)
 	}
-	h.node.ResumeService()
-	h.node.WaitServiceIdle()
-	after := h.node.Overload()
+	oh.ResumeService()
+	oh.WaitServiceIdle()
+	after := oh.Overload()
 	return BurstReport{
 		Offered:  total,
 		Admitted: int(after.Admitted - before.Admitted),
@@ -429,16 +442,20 @@ func (s *Store) Burst(dm string, total, preExpired int) BurstReport {
 
 // OverloadTotals sums the admission counters of every DM this store
 // spawned.
-func (s *Store) OverloadTotals() sim.OverloadStats {
+func (s *Store) OverloadTotals() transport.OverloadStats {
 	s.mu.Lock()
 	handles := make([]*dmHandle, 0, len(s.dms))
 	for _, h := range s.dms {
 		handles = append(handles, h)
 	}
 	s.mu.Unlock()
-	var out sim.OverloadStats
+	var out transport.OverloadStats
 	for _, h := range handles {
-		st := h.node.Overload()
+		oh := h.harness()
+		if oh == nil {
+			continue
+		}
+		st := oh.Overload()
 		out.Admitted += st.Admitted
 		out.Shed += st.Shed
 		out.ExpiredDropped += st.ExpiredDropped

@@ -177,6 +177,11 @@ func TestHedgeClampToCallerDeadline(t *testing.T) {
 		WithHedgeMax(3),
 		WithLockRetries(0),
 		WithTxnRetries(0),
+		// The abort sweep to tentatively-touched DMs normally runs detached
+		// under a background context (so a caller's cancel can't leak locks
+		// on a real transport) and would register as post-return sends here.
+		// Awaiting it keeps the no-stray-traffic assertion about hedges only.
+		WithSynchronousCleanup(true),
 	)
 	if err != nil {
 		t.Fatal(err)

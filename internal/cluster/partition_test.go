@@ -19,11 +19,11 @@ func TestPartitionMinoritySideBlocks(t *testing.T) {
 	dms := []string{"dm0", "dm1", "dm2", "dm3", "dm4"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 31})
 	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
-	a, err := New(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 31})
+	a, err := Open(net, items, WithCallTimeout(5*time.Millisecond), WithLockRetries(2), WithTxnRetries(1), WithSeed(31))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewClient(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 32})
+	b, err := OpenClient(net, items, WithCallTimeout(5*time.Millisecond), WithLockRetries(2), WithTxnRetries(1), WithSeed(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestPartitionReadOneWriteAllReadsBothSides(t *testing.T) {
 	dms := []string{"dm0", "dm1", "dm2"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 33})
 	items := []ItemSpec{{Name: "x", Initial: 7, DMs: dms, Config: quorum.ReadOneWriteAll(dms)}}
-	a, err := New(net, items, Options{CallTimeout: 5 * time.Millisecond, LockRetries: 2, TxnRetries: 1, Seed: 33})
+	a, err := Open(net, items, WithCallTimeout(5*time.Millisecond), WithLockRetries(2), WithTxnRetries(1), WithSeed(33))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,11 +14,11 @@ func repairCluster(t *testing.T, readRepair bool) (*Store, *sim.Network, []strin
 	t.Helper()
 	dms := []string{"dm0", "dm1", "dm2"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 21})
-	store, err := New(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}, Options{
-		CallTimeout: 25 * time.Millisecond,
-		ReadRepair:  readRepair,
-		Seed:        21,
-	})
+	store, err := Open(net, []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		WithCallTimeout(25*time.Millisecond),
+		WithReadRepair(readRepair),
+		WithSeed(21),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
-	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // ItemSpec describes one replicated logical data item: its initial value,
@@ -103,8 +103,8 @@ type Stats struct {
 // Store is the client handle to a replicated store: it owns the DM server
 // nodes and executes nested transactions against them.
 type Store struct {
-	net    *sim.Network
-	client *sim.Node
+	tr     transport.Transport
+	client transport.Client
 	opts   settings
 
 	items map[string]ItemSpec
@@ -179,14 +179,16 @@ type Hooks struct {
 	BeforeCommitTop func(txn TxnID)
 }
 
-// dmHandle tracks one DM server the store spawned: its node, state
-// machine, hosted items, and (for durable stores) its write-ahead log.
+// dmHandle tracks one DM server the store spawned: its serving endpoint,
+// state machine, hosted items, and (for durable stores) its write-ahead
+// log. stopped marks handles torn down early (StopDM) so Close skips them.
 type dmHandle struct {
-	id    string
-	items []ItemSpec
-	node  *sim.Node
-	srv   *dmServer
-	wal   *dmWAL // nil on volatile stores
+	id      string
+	items   []ItemSpec
+	server  transport.Server
+	srv     *dmServer
+	wal     *dmWAL // nil on volatile stores
+	stopped bool
 }
 
 type genCfg struct {
@@ -194,39 +196,27 @@ type genCfg struct {
 	cfg quorum.Config
 }
 
-// Open spawns one DM server node per replica and a client node, returning
-// the store handle.
-func Open(net *sim.Network, items []ItemSpec, opts ...Option) (*Store, error) {
-	return newStore(net, items, resolve(opts), true)
+// Open spawns one DM server per replica and a client endpoint on the
+// given transport, returning the store handle. Any transport.Transport
+// works: a *sim.Network for deterministic in-process clusters, a
+// tcp.Transport for real sockets.
+func Open(tr transport.Transport, items []ItemSpec, opts ...Option) (*Store, error) {
+	return newStore(tr, items, resolve(opts), true)
 }
 
 // OpenClient attaches an additional, independent client to a cluster whose
-// DM servers were already spawned by Open over the same network and items.
-// Each client keeps its own cached configurations, so reconfigurations
-// performed through one client are discovered by others via the
-// generation-number chase of the read rule — the realistic stale-client
-// scenario of Section 4.
-func OpenClient(net *sim.Network, items []ItemSpec, opts ...Option) (*Store, error) {
-	return newStore(net, items, resolve(opts), false)
+// DM servers were already spawned — by Open over the same transport, by
+// ServeDM in other processes, or any mix. Each client keeps its own cached
+// configurations, so reconfigurations performed through one client are
+// discovered by others via the generation-number chase of the read rule —
+// the realistic stale-client scenario of Section 4.
+func OpenClient(tr transport.Transport, items []ItemSpec, opts ...Option) (*Store, error) {
+	return newStore(tr, items, resolve(opts), false)
 }
 
-// New is Open taking the legacy Options struct.
-//
-// Deprecated: use Open with functional options.
-func New(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
-	return Open(net, items, opts.options()...)
-}
-
-// NewClient is OpenClient taking the legacy Options struct.
-//
-// Deprecated: use OpenClient with functional options.
-func NewClient(net *sim.Network, items []ItemSpec, opts Options) (*Store, error) {
-	return OpenClient(net, items, opts.options()...)
-}
-
-func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool) (*Store, error) {
+func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServers bool) (*Store, error) {
 	s := &Store{
-		net:      net,
+		tr:       tr,
 		opts:     st,
 		items:    map[string]ItemSpec{},
 		dms:      map[string]*dmHandle{},
@@ -276,19 +266,36 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		allDMs = append(allDMs, site.id)
 	}
 	sort.Strings(allDMs)
+	abandon := func() {
+		for _, h := range s.dms {
+			h.server.Close()
+			if h.wal != nil {
+				h.wal.log.Close()
+			}
+		}
+	}
 	for _, site := range sites {
 		wire := s.leaseWiring(site.id, peersOf(site.id, allDMs))
 		if st.walDir == "" {
 			srv := newDMState(site.id, []ItemSpec{site.it})
 			wire(srv)
+			server, err := tr.Serve(site.id, asyncify(srv.handle), s.dmServeOpts(site.id)...)
+			if err != nil {
+				abandon()
+				return nil, fmt.Errorf("cluster: serve DM %s: %w", site.id, err)
+			}
+			// The peer-gossip sender binds after Serve: setSender is the
+			// documented late-binding hook, and an inquiry fired into the
+			// gap is re-sent once its poll goes stale.
+			srv.setSender(server.Notify)
 			s.dms[site.id] = &dmHandle{
-				id: site.id, items: []ItemSpec{site.it}, srv: srv,
-				node: sim.NewNode(net, site.id, srv.handle, s.dmNodeOpts(site.id)...),
+				id: site.id, items: []ItemSpec{site.it}, srv: srv, server: server,
 			}
 			continue
 		}
-		h, stats, err := newDurableDM(net, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire, s.dmNodeOpts(site.id)...)
+		h, stats, err := newDurableDM(tr, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire, s.dmServeOpts(site.id)...)
 		if err != nil {
+			abandon()
 			return nil, err
 		}
 		s.dms[site.id] = h
@@ -310,8 +317,18 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 		}
 		s.clientID = fmt.Sprintf("e%d%s", epoch, s.clientID)
 	}
-	s.client = sim.NewNode(net, fmt.Sprintf("client-%s-%d", s.clientID, st.seed), nil)
-	if st.leaseTTL > 0 && st.clock == sim.Wall {
+	if st.clientTag != "" {
+		// The tag goes outermost: it separates processes, the epoch and
+		// sequence separate clients and restarts within one.
+		s.clientID = st.clientTag + s.clientID
+	}
+	client, err := tr.Client(fmt.Sprintf("client-%s-%d", s.clientID, st.seed))
+	if err != nil {
+		abandon()
+		return nil, fmt.Errorf("cluster: client endpoint: %w", err)
+	}
+	s.client = client
+	if st.leaseTTL > 0 && st.clock == transport.Wall {
 		// The background renewer exists for wall-clock deployments only:
 		// under a manual clock (deterministic harnesses) time moves between
 		// rounds, and a timer-driven renewal would fork seeded replays.
@@ -325,32 +342,48 @@ func newStore(net *sim.Network, items []ItemSpec, st settings, spawnServers bool
 	return s, nil
 }
 
-// leaseWiring builds the pre-start configuration hook for one DM: lease
-// parameters, the peer set for resolution inquiries, and the
-// fire-and-forget transport those inquiries ride on.
-func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
-	return func(srv *dmServer) {
-		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
-		srv.setSender(func(to string, req any) { sim.SendNotify(s.net, id, to, req) })
+// asyncify adapts a synchronous DM handler to the transport.Handler shape.
+// The reply function is invoked before asyncify returns, so the actor
+// discipline (one request at a time on the serving goroutine) holds.
+func asyncify(h func(from string, req any) any) transport.Handler {
+	return func(from string, req any, reply func(resp any)) {
+		reply(h(from, req))
 	}
 }
 
-// dmNodeOpts builds the sim node options for one DM the store spawns:
-// with WithAdmissionCapacity armed, the node gets a bounded priority
-// service queue that rejects shed and expired work with an explicit
-// OverloadedResp naming the DM. Empty otherwise.
-func (s *Store) dmNodeOpts(dm string) []sim.NodeOption {
-	if s.opts.admitCap <= 0 {
+// leaseWiring builds the pre-start configuration hook for one DM: lease
+// parameters and the peer set for resolution inquiries. The peer-gossip
+// sender itself is bound after Serve returns (srv.setSender(server.Notify))
+// — setSender is guarded for exactly this late binding.
+func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
+	return func(srv *dmServer) {
+		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
+	}
+}
+
+// dmServeOpts builds the transport serve options for one DM the store
+// spawns: with WithAdmissionCapacity armed, the server gets a bounded
+// priority service queue that rejects shed and expired work with an
+// explicit OverloadedResp naming the DM. Empty otherwise.
+func (s *Store) dmServeOpts(dm string) []transport.ServeOption {
+	return serveOptsFor(s.opts, dm, &s.Stats)
+}
+
+// serveOptsFor is dmServeOpts for any host of a DM — the Store and the
+// standalone ServeDM share it, so a process-hosted replica sheds load
+// exactly as a store-spawned one would.
+func serveOptsFor(st settings, dm string, stats *Stats) []transport.ServeOption {
+	if st.admitCap <= 0 {
 		return nil
 	}
-	return []sim.NodeOption{sim.WithAdmission(sim.AdmissionConfig{
-		Capacity:     s.opts.admitCap,
+	return []transport.ServeOption{transport.WithAdmission(transport.AdmissionConfig{
+		Capacity:     st.admitCap,
 		Classify:     classifyRequest,
 		Reject:       func(req any, expired bool) any { return OverloadedResp{DM: dm, Expired: expired} },
-		Clock:        s.opts.clock,
-		ServiceDelay: s.opts.serviceTime,
-		ServeExpired: s.opts.admitServeExpired,
-		OnDepth:      func(d int) { s.Stats.QueueDepth.Observe(int64(d)) },
+		Clock:        st.clock,
+		ServiceDelay: st.serviceTime,
+		ServeExpired: st.admitServeExpired,
+		OnDepth:      func(d int) { stats.QueueDepth.Observe(int64(d)) },
 	})}
 }
 
@@ -414,24 +447,54 @@ func (s *Store) doClose() {
 	s.bg.Wait()
 	// An orderly Close is not a crash (net.Crash models those, and loses
 	// exactly what a crash may lose). Wait out detached commit/abort
-	// sweeps, then let the network finish delivering their traffic and
+	// sweeps, then let the transport finish delivering their traffic and
 	// any fire-and-forget releases, so durable replicas log every
 	// resolution the client believes delivered before their WALs close.
 	s.detached.Wait()
-	s.net.Quiesce()
-	s.client.Shutdown()
+	s.tr.Quiesce()
+	s.client.Close()
 	s.mu.Lock()
 	handles := make([]*dmHandle, 0, len(s.dms))
 	for _, h := range s.dms {
-		handles = append(handles, h)
+		if !h.stopped {
+			handles = append(handles, h)
+		}
 	}
 	s.mu.Unlock()
 	for _, h := range handles {
-		h.node.Shutdown()
+		h.server.Close()
 		if h.wal != nil {
 			h.wal.log.Close()
 		}
 	}
+}
+
+// StopDM tears down one DM server the store spawned without any recovery:
+// its endpoint closes (orderly — requests already delivered are served)
+// and, for durable stores, its write-ahead log is flushed and closed. The
+// replica is gone until RestartDM (durable stores) brings it back; to the
+// rest of the cluster it is indistinguishable from a dead peer. Transport-
+// neutral harness device: sim tests also have net.Crash, which models the
+// messier amnesia fate.
+func (s *Store) StopDM(id string) error {
+	s.mu.Lock()
+	h := s.dms[id]
+	if h != nil && h.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	if h != nil {
+		h.stopped = true
+	}
+	s.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("cluster: unknown DM %q", id)
+	}
+	h.server.Close()
+	if h.wal != nil {
+		h.wal.log.Close()
+	}
+	return nil
 }
 
 // ClientNode returns the network node id of this store's client, so test
@@ -1237,7 +1300,7 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 	}
 	start := time.Now()
 	acked := make([]bool, len(required))
-	send := func(dm string, retries int) bool {
+	send := func(ctx context.Context, dm string, retries int) bool {
 		for attempt := 0; attempt <= retries; attempt++ {
 			// A dead context must end the round promptly: every Call below
 			// inherits it and fails instantly, so without this check a
@@ -1275,7 +1338,7 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 		wg.Add(1)
 		go func(i int, dm string) {
 			defer wg.Done()
-			acked[i] = send(dm, t.store.opts.lockRetries)
+			acked[i] = send(ctx, dm, t.store.opts.lockRetries)
 		}(i, dm)
 	}
 	// Cleanup and tentative rounds run detached: the operation's outcome
@@ -1283,18 +1346,26 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 	// replica the transaction never used stall every commit. Under
 	// WithSynchronousCleanup they are awaited instead, so no goroutine
 	// outlives the operation — a replay requirement.
+	//
+	// Detached sends deliberately drop the operation's context: the
+	// outcome is already decided, and a caller that cancels its context
+	// right after Run returns (a CLI that exits, a request handler that
+	// times out) must not revoke the lock sweep — over a real transport
+	// the replicas outlive the client process, so an unswept read lock
+	// wedges the item for every later writer. The sends stay bounded by
+	// their per-call timeouts and retry budgets, and Close waits them out.
 	detached := func(dm string, retries int) {
 		if t.store.opts.syncCleanup {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				send(dm, retries)
+				send(ctx, dm, retries)
 			}()
 		} else {
 			t.store.detached.Add(1)
 			go func() {
 				defer t.store.detached.Done()
-				send(dm, retries)
+				send(context.Background(), dm, retries)
 			}()
 		}
 	}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+// This file runs the core integration scenarios over every transport
+// backend — the simulated network and real loopback TCP — and pins the
+// error-taxonomy parity the Transport seam promises: a client sees the
+// same typed errors (*UnavailableError, context errors) whichever backend
+// carries its calls, and raw socket errors (*net.OpError) never escape.
+
+// forEachTransport runs fn under each backend with a fresh transport.
+func forEachTransport(t *testing.T, fn func(t *testing.T, tr transport.Transport)) {
+	t.Run("sim", func(t *testing.T) {
+		n := sim.NewNetwork(sim.Config{MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond, Seed: 7})
+		defer n.Close()
+		fn(t, n)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		tr := tcp.New()
+		defer tr.Close()
+		fn(t, tr)
+	})
+}
+
+// openTestStore opens a 3-replica majority cluster for item "x" on tr.
+func openTestStore(t *testing.T, tr transport.Transport, opts ...Option) (*Store, []string) {
+	t.Helper()
+	dms := []string{"pd0", "pd1", "pd2"}
+	all := append([]Option{
+		WithCallTimeout(500 * time.Millisecond),
+		WithSeed(11),
+	}, opts...)
+	store, err := Open(tr, []ItemSpec{
+		{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
+	}, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	return store, dms
+}
+
+func TestTransportParityCommitAndReadBack(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr transport.Transport) {
+		store, _ := openTestStore(t, tr)
+		ctx := context.Background()
+		if err := store.Run(ctx, func(tx *Txn) error {
+			return tx.Write(ctx, "x", 41)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Run(ctx, func(tx *Txn) error {
+			v, vn, err := tx.ReadVersioned(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 41 || vn != 1 {
+				t.Errorf("read back (%v, vn %d), want (41, vn 1)", v, vn)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTransportParityNestedSubAbort(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr transport.Transport) {
+		store, _ := openTestStore(t, tr)
+		ctx := context.Background()
+		errRisky := errors.New("risky step failed")
+		if err := store.Run(ctx, func(tx *Txn) error {
+			if err := tx.Write(ctx, "x", 10); err != nil {
+				return err
+			}
+			if err := tx.Sub(ctx, func(sub *Txn) error {
+				if err := sub.Write(ctx, "x", -1); err != nil {
+					return err
+				}
+				return errRisky
+			}); !errors.Is(err, errRisky) {
+				return fmt.Errorf("sub abort surfaced as %v", err)
+			}
+			// A second sub commits and its write must survive promotion.
+			return tx.Sub(ctx, func(sub *Txn) error {
+				return sub.Write(ctx, "x", 20)
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Run(ctx, func(tx *Txn) error {
+			v, err := tx.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 20 {
+				t.Errorf("after tolerated sub-abort x = %v, want 20", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTransportParityReconfigure(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr transport.Transport) {
+		store, dms := openTestStore(t, tr)
+		ctx := context.Background()
+		if err := store.Run(ctx, func(tx *Txn) error {
+			return tx.Write(ctx, "x", 5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Reconfigure(ctx, "x", quorum.ReadOneWriteAll(dms)); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Run(ctx, func(tx *Txn) error {
+			v, err := tx.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 5 {
+				t.Errorf("post-reconfig read = %v, want 5", v)
+			}
+			return tx.Write(ctx, "x", 6)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestTransportParitySecondClient(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr transport.Transport) {
+		store, dms := openTestStore(t, tr)
+		ctx := context.Background()
+		if err := store.Run(ctx, func(tx *Txn) error {
+			return tx.Write(ctx, "x", 99)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// An independent client over the same transport sees the commit.
+		other, err := OpenClient(tr, []ItemSpec{
+			{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
+		}, WithCallTimeout(500*time.Millisecond), WithSeed(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer other.Close()
+		if err := other.Run(ctx, func(tx *Txn) error {
+			v, err := tx.Read(ctx, "x")
+			if err != nil {
+				return err
+			}
+			if v != 99 {
+				t.Errorf("second client read = %v, want 99", v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTransportParityErrorTaxonomy pins the error contract across backends:
+// losing a majority surfaces as the cluster's typed *UnavailableError (no
+// raw socket error anywhere in the chain), losing a minority is tolerated,
+// and a context that dies mid-call surfaces as the context's own error.
+func TestTransportParityErrorTaxonomy(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr transport.Transport) {
+		t.Run("majority down is UnavailableError", func(t *testing.T) {
+			store, dms := openTestStore(t, tr,
+				WithCallTimeout(150*time.Millisecond), WithLockRetries(1), WithTxnRetries(0))
+			ctx := context.Background()
+			if err := store.StopDM(dms[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.StopDM(dms[2]); err != nil {
+				t.Fatal(err)
+			}
+			err := store.Run(ctx, func(tx *Txn) error {
+				return tx.Write(ctx, "x", 1)
+			})
+			if err == nil {
+				t.Fatal("write with majority down succeeded")
+			}
+			var ue *UnavailableError
+			if !errors.As(err, &ue) {
+				t.Fatalf("majority-down error is %T (%v), want *UnavailableError", err, err)
+			}
+			var op *net.OpError
+			if errors.As(err, &op) {
+				t.Fatalf("raw *net.OpError leaked through the cluster layer: %v", err)
+			}
+		})
+		t.Run("minority down commits", func(t *testing.T) {
+			store, dms := openTestStore(t, tr, WithCallTimeout(150*time.Millisecond))
+			ctx := context.Background()
+			if err := store.StopDM(dms[2]); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Run(ctx, func(tx *Txn) error {
+				return tx.Write(ctx, "x", 2)
+			}); err != nil {
+				t.Fatalf("write with minority down failed: %v", err)
+			}
+		})
+		t.Run("dead context surfaces as context error", func(t *testing.T) {
+			store, _ := openTestStore(t, tr)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			err := store.Run(ctx, func(tx *Txn) error {
+				return tx.Write(ctx, "x", 3)
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled txn gave %v, want context.Canceled in chain", err)
+			}
+			var op *net.OpError
+			if errors.As(err, &op) {
+				t.Fatalf("raw *net.OpError leaked on cancellation: %v", err)
+			}
+		})
+	})
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import "encoding/gob"
+
+// Wire registration: every protocol request and response type is registered
+// with gob exactly once, here. Two consumers share the registry — the
+// write-ahead log (walRecord carries requests through an interface field)
+// and the TCP transport (frames carry requests and responses the same way).
+// A type missing from this list would encode fine in-process over the sim
+// backend and then fail the moment it crossed a real socket or a log
+// replay, so the list is exhaustive by construction: msgs.go types appear
+// here in declaration order, and TestWireRoundTrip walks them all.
+
+func init() {
+	RegisterWireTypes()
+}
+
+// RegisterWireTypes registers every cluster protocol type for gob
+// transport. It is idempotent (gob tolerates re-registration of the same
+// concrete type under the same name) and runs automatically from this
+// package's init; external transports only need it when they encode
+// cluster traffic without importing the types' package — which cannot
+// happen in this repo, so it is exported mainly as documentation of the
+// wire surface.
+func RegisterWireTypes() {
+	// Requests.
+	gob.Register(ReadReq{})
+	gob.Register(WriteReq{})
+	gob.Register(ConfigWriteReq{})
+	gob.Register(ReleaseReq{})
+	gob.Register(CommitSubReq{})
+	gob.Register(AbortReq{})
+	gob.Register(CommitTopReq{})
+	gob.Register(RepairReq{})
+	gob.Register(PingReq{})
+	gob.Register(InspectReq{})
+	gob.Register(RenewLeaseReq{})
+	gob.Register(ResolutionQueryReq{})
+	gob.Register(ResolutionAnswer{})
+	gob.Register(ReapReq{})
+	// Responses.
+	gob.Register(ReadResp{})
+	gob.Register(WriteResp{})
+	gob.Register(Ack{})
+	gob.Register(OverloadedResp{})
+	gob.Register(InspectResp{})
+}

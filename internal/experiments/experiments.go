@@ -52,17 +52,19 @@ func dmNames(n int) []string {
 	return out
 }
 
-// newCluster builds a fresh network + store for one experiment cell.
-func newCluster(n int, kind ConfigKind, seed int64, lat time.Duration, opts cluster.Options) (*cluster.Store, *sim.Network, error) {
+// newCluster builds a fresh network + store for one experiment cell. The
+// 40ms call timeout and the per-cell seed are defaults; options the caller
+// passes come later in the list and therefore win.
+func newCluster(n int, kind ConfigKind, seed int64, lat time.Duration, opts ...cluster.Option) (*cluster.Store, *sim.Network, error) {
 	net := sim.NewNetwork(sim.Config{MinLatency: lat / 5, MaxLatency: lat, Seed: seed})
 	dms := dmNames(n)
-	if opts.CallTimeout == 0 {
-		opts.CallTimeout = 40 * time.Millisecond
-	}
-	opts.Seed = seed
-	store, err := cluster.New(net, []cluster.ItemSpec{{
+	all := append([]cluster.Option{
+		cluster.WithCallTimeout(40 * time.Millisecond),
+		cluster.WithSeed(seed),
+	}, opts...)
+	store, err := cluster.Open(net, []cluster.ItemSpec{{
 		Name: "x", Initial: 0, DMs: dms, Config: makeConfig(kind, dms),
-	}}, opts)
+	}}, all...)
 	if err != nil {
 		net.Close()
 		return nil, nil, err
@@ -198,7 +200,7 @@ func Messages(w io.Writer, txns int) error {
 		for _, n := range []int{3, 5, 7, 9} {
 			var perOp [2]float64
 			for i, readFrac := range []float64{1, 0} {
-				store, net, err := newCluster(n, kind, int64(n)*100+int64(i), 200*time.Microsecond, cluster.Options{})
+				store, net, err := newCluster(n, kind, int64(n)*100+int64(i), 200*time.Microsecond)
 				if err != nil {
 					return err
 				}
@@ -265,9 +267,9 @@ func ReadRepair(w io.Writer, reads int) error {
 	for _, enabled := range []bool{false, true} {
 		net := sim.NewNetwork(sim.Config{MinLatency: 40 * time.Microsecond, MaxLatency: 400 * time.Microsecond, Seed: 55})
 		dms := dmNames(3)
-		store, err := cluster.New(net, []cluster.ItemSpec{{
+		store, err := cluster.Open(net, []cluster.ItemSpec{{
 			Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms),
-		}}, cluster.Options{CallTimeout: 20 * time.Millisecond, ReadRepair: enabled, Seed: 55})
+		}}, cluster.WithCallTimeout(20*time.Millisecond), cluster.WithReadRepair(enabled), cluster.WithSeed(55))
 		if err != nil {
 			net.Close()
 			return err
@@ -319,7 +321,7 @@ func Latency(w io.Writer, txns int) error {
 	fmt.Fprintf(w, "%-20s %3s  %12s  %12s\n", "configuration", "n", "read p50", "write p50")
 	for _, kind := range []ConfigKind{KindReadOneWriteAll, KindMajority} {
 		for _, n := range []int{3, 5, 7} {
-			store, net, err := newCluster(n, kind, int64(n), 2*time.Millisecond, cluster.Options{})
+			store, net, err := newCluster(n, kind, int64(n), 2*time.Millisecond)
 			if err != nil {
 				return err
 			}
@@ -346,7 +348,7 @@ func Latency(w io.Writer, txns int) error {
 func Nesting(w io.Writer, txns int) error {
 	fmt.Fprintf(w, "%-6s  %12s  %10s  %10s\n", "depth", "txn/s", "committed", "tolerated")
 	for _, depth := range []int{0, 1, 2, 3} {
-		store, net, err := newCluster(5, KindMajority, int64(depth)+40, 200*time.Microsecond, cluster.Options{})
+		store, net, err := newCluster(5, KindMajority, int64(depth)+40, 200*time.Microsecond)
 		if err != nil {
 			return err
 		}
@@ -382,9 +384,8 @@ func Faults(w io.Writer, txns int) error {
 		fmt.Fprintf(w, "%-34s  %10d  %10d  %12v\n", label, res.Committed, res.Failed, snap.P50.Round(10*time.Microsecond))
 		return nil
 	}
-	store, net, err := newCluster(5, KindMajority, 99, 500*time.Microsecond, cluster.Options{
-		CallTimeout: 8 * time.Millisecond,
-	})
+	store, net, err := newCluster(5, KindMajority, 99, 500*time.Microsecond,
+		cluster.WithCallTimeout(8*time.Millisecond))
 	if err != nil {
 		return err
 	}
@@ -424,9 +425,8 @@ func Faults(w io.Writer, txns int) error {
 func ReconfigAblation(w io.Writer, rounds int) error {
 	fmt.Fprintf(w, "%-28s  %16s\n", "rule", "msgs/reconfig")
 	for _, both := range []bool{false, true} {
-		store, net, err := newCluster(5, KindMajority, 7, 200*time.Microsecond, cluster.Options{
-			WriteConfigToBothQuorums: both,
-		})
+		store, net, err := newCluster(5, KindMajority, 7, 200*time.Microsecond,
+			cluster.WithWriteConfigToBothQuorums(both))
 		if err != nil {
 			return err
 		}

@@ -1,275 +1,35 @@
 package sim
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
+// Overload admission control is transport-neutral machinery: the bounded
+// priority queue itself lives in internal/transport (transport.Queue), so
+// the sim and TCP backends share one implementation and their shed counts,
+// displacement order and expiry semantics cannot drift. sim re-exports the
+// configuration types and wires the queue into its Node.
+
 // Priority is a request's admission class at an overload-protected node.
-// The ladder exists so traffic that finishes transactions — and thereby
-// frees locks — can never be starved by fresh work: an overloaded replica
-// that sheds a new read merely slows one caller, but shedding a commit
-// would strand locks the whole cluster is waiting on.
-type Priority int
+type Priority = transport.Priority
 
 const (
 	// PrioRead is fresh read traffic: first to be shed under pressure.
-	PrioRead Priority = iota
-	// PrioWrite is write-intent traffic. Writes usually belong to
-	// transactions already holding locks elsewhere, so under pressure a
-	// write may displace a queued read rather than be shed itself.
-	PrioWrite
-	// PrioControl is must-finish traffic (commit, abort, release, lease,
-	// reap): always admitted, never bounded, served first.
-	PrioControl
+	PrioRead = transport.PrioRead
+	// PrioWrite is write-intent traffic: may displace a queued read.
+	PrioWrite = transport.PrioWrite
+	// PrioControl is must-finish traffic: always admitted, served first.
+	PrioControl = transport.PrioControl
 )
 
-// AdmissionConfig bounds and prioritizes a node's service queue. A node
-// with an admission config stops serving requests inline on its network
-// loop: delivered requests are classified and enqueued (or explicitly
-// rejected), and a dedicated service goroutine drains the queue highest
-// priority first. Handlers still run on that single goroutine, so the
-// actor discipline — node state needs no locking — is preserved.
-type AdmissionConfig struct {
-	// Capacity bounds the queued PrioRead+PrioWrite requests. Control
-	// traffic is exempt. Values below 1 are treated as 1.
-	Capacity int
-	// Classify maps a request to its priority; nil classifies everything
-	// PrioRead.
-	Classify func(req any) Priority
-	// Reject builds the explicit response for a shed or expired request,
-	// so callers learn "overloaded" immediately instead of timing out.
-	// Nil (or a nil return) sheds silently; fire-and-forget requests
-	// (Notify, envelope ID 0) are always shed without a reply.
-	Reject func(req any, expired bool) any
-	// Clock drives expired-on-arrival checks against request deadlines.
-	// Nil means Wall. Deterministic harnesses pass their manual clock.
-	Clock Clock
-	// ServiceDelay models the CPU cost of serving one request. Zero (the
-	// default) serves instantly; overload experiments set it so a replica
-	// has a finite service rate worth protecting.
-	ServiceDelay time.Duration
-	// ServeExpired, when set, serves expired requests anyway (counting
-	// them) instead of discarding them at dequeue — the "dead work"
-	// ablation arm of overload experiments. Default off: expired requests
-	// are rejected at dequeue without touching the handler.
-	ServeExpired bool
-	// OnShed, OnExpired and OnDepth are observation hooks, called from the
-	// node's network and service goroutines: shed requests, expired-on-
-	// arrival discards, and the bulk queue depth after each admission.
-	OnShed    func(req any)
-	OnExpired func(req any)
-	OnDepth   func(depth int)
-}
+// AdmissionConfig bounds and prioritizes a node's service queue; see
+// transport.AdmissionConfig.
+type AdmissionConfig = transport.AdmissionConfig
 
 // OverloadStats are one node's admission counters.
-type OverloadStats struct {
-	// Admitted counts requests accepted into the service queue.
-	Admitted int64
-	// Shed counts requests explicitly rejected at admission (queue full).
-	Shed int64
-	// ExpiredDropped counts admitted requests discarded at dequeue because
-	// their deadline had already passed — work that would have been dead.
-	ExpiredDropped int64
-	// ServedExpired counts expired requests served anyway (only under
-	// AdmissionConfig.ServeExpired): the measured dead work of the
-	// no-protection ablation.
-	ServedExpired int64
-}
-
-// queuedReq is one admitted request awaiting service.
-type queuedReq struct {
-	from     string
-	id       uint64
-	req      any
-	deadline time.Time
-}
-
-// admission is the bounded priority queue between a node's network loop
-// and its service goroutine.
-type admission struct {
-	cfg  AdmissionConfig
-	cond *sync.Cond
-
-	mu      sync.Mutex
-	queues  [PrioControl + 1][]queuedReq
-	bulk    int // queued PrioRead + PrioWrite
-	held    bool
-	closed  bool
-	serving bool
-
-	admitted       atomic.Int64
-	shed           atomic.Int64
-	expiredDropped atomic.Int64
-	servedExpired  atomic.Int64
-}
-
-func newAdmission(cfg AdmissionConfig) *admission {
-	if cfg.Capacity < 1 {
-		cfg.Capacity = 1
-	}
-	if cfg.Clock == nil {
-		cfg.Clock = Wall
-	}
-	a := &admission{cfg: cfg}
-	a.cond = sync.NewCond(&a.mu)
-	return a
-}
-
-// queuedLocked returns the total queued requests; callers hold a.mu.
-func (a *admission) queuedLocked() int {
-	return a.bulk + len(a.queues[PrioControl])
-}
-
-// popLocked removes and returns the highest-priority queued request;
-// callers hold a.mu and guarantee the queue is non-empty.
-func (a *admission) popLocked() queuedReq {
-	for pr := PrioControl; pr >= PrioRead; pr-- {
-		q := a.queues[pr]
-		if len(q) == 0 {
-			continue
-		}
-		head := q[0]
-		a.queues[pr] = q[1:]
-		if pr != PrioControl {
-			a.bulk--
-		}
-		return head
-	}
-	panic("sim: popLocked on empty admission queue")
-}
-
-// close wakes the service goroutine for its final drain.
-func (a *admission) close() {
-	a.mu.Lock()
-	a.closed = true
-	a.cond.Broadcast()
-	a.mu.Unlock()
-}
-
-// admit classifies and enqueues one request, shedding under pressure.
-// Returns whether the request entered the queue. Runs on the node's
-// network loop goroutine (or, for Inject, the harness goroutine — the
-// mutex makes that safe).
-func (n *Node) admit(q queuedReq) bool {
-	a := n.adm
-	pr := PrioRead
-	if a.cfg.Classify != nil {
-		pr = a.cfg.Classify(q.req)
-	}
-	var displaced *queuedReq
-	admitted := true
-	a.mu.Lock()
-	switch {
-	case pr == PrioControl:
-		a.queues[PrioControl] = append(a.queues[PrioControl], q)
-	case a.bulk < a.cfg.Capacity:
-		a.queues[pr] = append(a.queues[pr], q)
-		a.bulk++
-	case pr == PrioWrite && len(a.queues[PrioRead]) > 0:
-		// Full, but a write outranks queued reads: shed the newest queued
-		// read (it has waited least) and admit the write in its place.
-		reads := a.queues[PrioRead]
-		d := reads[len(reads)-1]
-		a.queues[PrioRead] = reads[:len(reads)-1]
-		displaced = &d
-		a.queues[PrioWrite] = append(a.queues[PrioWrite], q)
-	default:
-		admitted = false
-	}
-	depth := a.bulk
-	a.cond.Broadcast()
-	a.mu.Unlock()
-	if admitted {
-		a.admitted.Add(1)
-		if a.cfg.OnDepth != nil {
-			a.cfg.OnDepth(depth)
-		}
-	}
-	if displaced != nil {
-		n.reject(*displaced, false)
-	}
-	if !admitted {
-		n.reject(q, false)
-	}
-	return admitted
-}
-
-// reject counts a shed or expired request and, for calls that expect an
-// answer, sends the explicit rejection so the caller fails fast instead of
-// burning its timeout.
-func (n *Node) reject(q queuedReq, expired bool) {
-	a := n.adm
-	if expired {
-		a.expiredDropped.Add(1)
-		if a.cfg.OnExpired != nil {
-			a.cfg.OnExpired(q.req)
-		}
-	} else {
-		a.shed.Add(1)
-		if a.cfg.OnShed != nil {
-			a.cfg.OnShed(q.req)
-		}
-	}
-	if q.id == 0 || a.cfg.Reject == nil {
-		return
-	}
-	if resp := a.cfg.Reject(q.req, expired); resp != nil {
-		n.net.Send(n.id, q.from, reply{ID: q.id, Resp: resp})
-	}
-}
-
-// serviceLoop drains the admission queue highest priority first. Requests
-// whose deadline passed while they queued are discarded at dequeue —
-// "expired on arrival" — so an overloaded replica never spends its service
-// capacity on work whose caller already gave up.
-func (n *Node) serviceLoop() {
-	defer close(n.sdone)
-	a := n.adm
-	for {
-		a.mu.Lock()
-		for !a.closed && (a.held || a.queuedLocked() == 0) {
-			a.cond.Wait()
-		}
-		if a.queuedLocked() == 0 {
-			// Closed and drained: an orderly shutdown serves everything the
-			// network already delivered, exactly like the inbox drain.
-			a.mu.Unlock()
-			return
-		}
-		q := a.popLocked()
-		a.serving = true
-		a.mu.Unlock()
-
-		if !q.deadline.IsZero() && a.cfg.Clock.Now().After(q.deadline) {
-			if a.cfg.ServeExpired {
-				a.servedExpired.Add(1)
-				n.serveAdmitted(q)
-			} else {
-				n.reject(q, true)
-			}
-		} else {
-			n.serveAdmitted(q)
-		}
-
-		a.mu.Lock()
-		a.serving = false
-		if a.queuedLocked() == 0 {
-			a.cond.Broadcast() // wake WaitServiceIdle
-		}
-		a.mu.Unlock()
-	}
-}
-
-// serveAdmitted runs one dequeued request through the node's handler,
-// charging the configured service delay first.
-func (n *Node) serveAdmitted(q queuedReq) {
-	if d := n.adm.cfg.ServiceDelay; d > 0 {
-		time.Sleep(d)
-	}
-	n.serve(q.from, envelope{ID: q.id, Req: q.req, Deadline: q.deadline})
-}
+type OverloadStats = transport.OverloadStats
 
 // Overload returns the node's admission counters. Zero for nodes without
 // an admission config.
@@ -277,12 +37,7 @@ func (n *Node) Overload() OverloadStats {
 	if n.adm == nil {
 		return OverloadStats{}
 	}
-	return OverloadStats{
-		Admitted:       n.adm.admitted.Load(),
-		Shed:           n.adm.shed.Load(),
-		ExpiredDropped: n.adm.expiredDropped.Load(),
-		ServedExpired:  n.adm.servedExpired.Load(),
-	}
+	return n.adm.Stats()
 }
 
 // HoldService pauses the node's service goroutine: delivered requests keep
@@ -291,38 +46,25 @@ func (n *Node) Overload() OverloadStats {
 // a seeded burst against the bounded queue, and resume, so the shed and
 // expiry counts are a pure function of the burst. No-op without admission.
 func (n *Node) HoldService() {
-	if n.adm == nil {
-		return
+	if n.adm != nil {
+		n.adm.Hold()
 	}
-	n.adm.mu.Lock()
-	n.adm.held = true
-	n.adm.mu.Unlock()
 }
 
 // ResumeService undoes HoldService.
 func (n *Node) ResumeService() {
-	if n.adm == nil {
-		return
+	if n.adm != nil {
+		n.adm.Resume()
 	}
-	n.adm.mu.Lock()
-	n.adm.held = false
-	n.adm.cond.Broadcast()
-	n.adm.mu.Unlock()
 }
 
 // WaitServiceIdle blocks until the admission queue is empty and no request
 // is being served. Callers must not hold the service (ResumeService
 // first). No-op without admission.
 func (n *Node) WaitServiceIdle() {
-	if n.adm == nil {
-		return
+	if n.adm != nil {
+		n.adm.WaitIdle()
 	}
-	a := n.adm
-	a.mu.Lock()
-	for !a.closed && (a.queuedLocked() > 0 || a.serving) {
-		a.cond.Wait()
-	}
-	a.mu.Unlock()
 }
 
 // Inject offers a request straight to the node's admission queue, as if it
@@ -336,5 +78,5 @@ func (n *Node) Inject(from string, req any, deadline time.Time) bool {
 	if n.adm == nil {
 		return false
 	}
-	return n.admit(queuedReq{from: from, id: 0, req: req, deadline: deadline})
+	return n.adm.Offer(transport.Queued{From: from, ID: 0, Req: req, Deadline: deadline})
 }

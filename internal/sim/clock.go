@@ -1,48 +1,26 @@
 package sim
 
 import (
-	"sync"
 	"time"
+
+	"repro/internal/transport"
 )
 
+// The clock abstraction lives in internal/transport (both backends'
+// admission queues expire deadlines against it); sim re-exports it so
+// existing harness code keeps reading naturally as sim.ManualClock etc.
+
 // Clock abstracts time for components that must behave deterministically
-// under the simulated network: lock leases expire against a Clock, so a
-// seeded chaos campaign can advance time explicitly between rounds instead
-// of racing wall-clock timers against the scheduler.
-type Clock interface {
-	Now() time.Time
-}
-
-// wallClock reads the real time.
-type wallClock struct{}
-
-func (wallClock) Now() time.Time { return time.Now() }
+// under the simulated network.
+type Clock = transport.Clock
 
 // Wall is the real-time clock; production stores use it.
-var Wall Clock = wallClock{}
+var Wall = transport.Wall
 
-// ManualClock is a Clock that only moves when told to. Safe for concurrent
-// use.
-type ManualClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
+// ManualClock is a Clock that only moves when told to.
+type ManualClock = transport.ManualClock
 
 // NewManualClock returns a ManualClock frozen at start.
 func NewManualClock(start time.Time) *ManualClock {
-	return &ManualClock{t: start}
-}
-
-// Now returns the clock's current frozen time.
-func (c *ManualClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-// Advance moves the clock forward by d.
-func (c *ManualClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	c.mu.Unlock()
+	return transport.NewManualClock(start)
 }

@@ -6,20 +6,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // ErrRPCTimeout is returned by Call when the context expires before a reply
 // arrives (lost request, lost reply, crashed server, or slow link — the
-// caller cannot tell, exactly as in a real network).
-var ErrRPCTimeout = errors.New("rpc timeout")
+// caller cannot tell, exactly as in a real network). It is the shared
+// transport.ErrTimeout sentinel, so callers can match either name.
+var ErrRPCTimeout = transport.ErrTimeout
 
 // ErrCallLost is returned by Call under Config.FateFeedback when the
 // network reports that the request or its reply was dropped — crashed
 // peer, severed link, or sampled loss. It carries the same meaning as
 // ErrRPCTimeout (no answer is coming) but arrives the moment the fate is
 // decided, so deterministic harnesses never race a timer against the
-// scheduler.
-var ErrCallLost = errors.New("rpc call lost")
+// scheduler. It is the shared transport.ErrLost sentinel.
+var ErrCallLost = transport.ErrLost
 
 // callLost is the sentinel a drop watcher delivers on a pending call's
 // channel in place of a response.
@@ -54,8 +57,9 @@ type Handler func(from string, req any) any
 // on a write-ahead-log flush. For fire-and-forget traffic (Notify), reply
 // is a no-op. The handler itself still runs on the node's single loop
 // goroutine, so node state keeps the actor discipline; only the reply
-// escapes it.
-type AsyncHandler func(from string, req any, reply func(resp any))
+// escapes it. It is exactly the transport.Handler shape, so an
+// AsyncHandler serves unchanged on any backend.
+type AsyncHandler = transport.Handler
 
 // Node is a network participant with an RPC loop: it can serve requests via
 // its handler and issue calls to other nodes.
@@ -70,11 +74,11 @@ type Node struct {
 	mu      sync.Mutex
 	pending map[uint64]chan any
 
-	// adm, when non-nil, is the bounded priority service queue between the
-	// network loop and the handler; sdone closes when its service
-	// goroutine exits.
-	adm   *admission
-	sdone chan struct{}
+	// admCfg holds the admission configuration until start builds the
+	// queue; adm, when non-nil, is the bounded priority service queue
+	// between the network loop and the handler.
+	admCfg *AdmissionConfig
+	adm    *transport.Queue
 
 	stop chan struct{}
 	done chan struct{}
@@ -87,7 +91,7 @@ type NodeOption func(*Node)
 // AdmissionConfig. Without it (the default) requests are served inline on
 // the network loop, unbounded — the pre-overload-protection behavior.
 func WithAdmission(cfg AdmissionConfig) NodeOption {
-	return func(n *Node) { n.adm = newAdmission(cfg) }
+	return func(n *Node) { n.admCfg = &cfg }
 }
 
 // NewNode registers id on the network and starts its loop. handler may be
@@ -128,11 +132,21 @@ func (n *Node) start(opts []NodeOption) {
 	}
 	inbox := n.net.Register(n.id)
 	n.net.watchDrops(n.id, n.onDrop) // no-op unless Config.FateFeedback
-	if n.adm != nil {
-		n.sdone = make(chan struct{})
-		go n.serviceLoop()
+	if n.admCfg != nil {
+		n.adm = transport.NewQueue(*n.admCfg, n.serveQueued, n.sendRejection)
 	}
 	go n.loop(inbox)
+}
+
+// serveQueued runs one dequeued admitted request through the handler; it
+// is the admission queue's single service goroutine calling in.
+func (n *Node) serveQueued(q transport.Queued) {
+	n.serve(q.From, envelope{ID: q.ID, Req: q.Req, Deadline: q.Deadline})
+}
+
+// sendRejection transmits an explicit admission rejection to the caller.
+func (n *Node) sendRejection(q transport.Queued, resp any) {
+	n.net.Send(n.id, q.From, reply{ID: q.ID, Resp: resp})
 }
 
 // onDrop receives the fate of a lost message that named this node. If the
@@ -213,7 +227,7 @@ func (n *Node) dispatch(m Message) {
 	switch p := m.Payload.(type) {
 	case envelope:
 		if n.adm != nil {
-			n.admit(queuedReq{from: m.From, id: p.ID, req: p.Req, deadline: p.Deadline})
+			n.adm.Offer(transport.Queued{From: m.From, ID: p.ID, Req: p.Req, Deadline: p.Deadline})
 			return
 		}
 		n.serve(m.From, p)
@@ -296,7 +310,7 @@ func SendNotify(n *Network, from, to string, req any) {
 
 // Shutdown stops the node's loop and waits for it to exit. With admission,
 // the service goroutine drains whatever the loop enqueued before exiting —
-// the same orderly-departure contract as the inbox drain.
+// the same orderly-departure contract as the inbox drain. Idempotent.
 func (n *Node) Shutdown() {
 	n.net.unwatchDrops(n.id)
 	select {
@@ -306,7 +320,10 @@ func (n *Node) Shutdown() {
 	}
 	<-n.done
 	if n.adm != nil {
-		n.adm.close()
-		<-n.sdone
+		n.adm.Close()
 	}
 }
+
+// Close is Shutdown under the name the transport interfaces use, so a
+// *Node satisfies transport.Client and transport.Server directly.
+func (n *Node) Close() { n.Shutdown() }

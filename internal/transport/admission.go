@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Priority is a request's admission class at an overload-protected server.
+// The ladder exists so traffic that finishes transactions — and thereby
+// frees locks — can never be starved by fresh work: an overloaded replica
+// that sheds a new read merely slows one caller, but shedding a commit
+// would strand locks the whole cluster is waiting on.
+type Priority int
+
+const (
+	// PrioRead is fresh read traffic: first to be shed under pressure.
+	PrioRead Priority = iota
+	// PrioWrite is write-intent traffic. Writes usually belong to
+	// transactions already holding locks elsewhere, so under pressure a
+	// write may displace a queued read rather than be shed itself.
+	PrioWrite
+	// PrioControl is must-finish traffic (commit, abort, release, lease,
+	// reap): always admitted, never bounded, served first.
+	PrioControl
+)
+
+// AdmissionConfig bounds and prioritizes a server's service queue. A
+// server with an admission config stops serving requests inline on its
+// receive path: delivered requests are classified and enqueued (or
+// explicitly rejected), and a dedicated service goroutine drains the queue
+// highest priority first. Handlers still run on that single goroutine, so
+// the actor discipline — server state needs no locking — is preserved.
+type AdmissionConfig struct {
+	// Capacity bounds the queued PrioRead+PrioWrite requests. Control
+	// traffic is exempt. Values below 1 are treated as 1.
+	Capacity int
+	// Classify maps a request to its priority; nil classifies everything
+	// PrioRead.
+	Classify func(req any) Priority
+	// Reject builds the explicit response for a shed or expired request,
+	// so callers learn "overloaded" immediately instead of timing out.
+	// Nil (or a nil return) sheds silently; fire-and-forget requests
+	// (Notify, envelope ID 0) are always shed without a reply.
+	Reject func(req any, expired bool) any
+	// Clock drives expired-on-arrival checks against request deadlines.
+	// Nil means Wall. Deterministic harnesses pass their manual clock.
+	Clock Clock
+	// ServiceDelay models the CPU cost of serving one request. Zero (the
+	// default) serves instantly; overload experiments set it so a replica
+	// has a finite service rate worth protecting.
+	ServiceDelay time.Duration
+	// ServeExpired, when set, serves expired requests anyway (counting
+	// them) instead of discarding them at dequeue — the "dead work"
+	// ablation arm of overload experiments. Default off: expired requests
+	// are rejected at dequeue without touching the handler.
+	ServeExpired bool
+	// OnShed, OnExpired and OnDepth are observation hooks, called from the
+	// server's receive and service goroutines: shed requests, expired-on-
+	// arrival discards, and the bulk queue depth after each admission.
+	OnShed    func(req any)
+	OnExpired func(req any)
+	OnDepth   func(depth int)
+}
+
+// OverloadStats are one server's admission counters.
+type OverloadStats struct {
+	// Admitted counts requests accepted into the service queue.
+	Admitted int64
+	// Shed counts requests explicitly rejected at admission (queue full).
+	Shed int64
+	// ExpiredDropped counts admitted requests discarded at dequeue because
+	// their deadline had already passed — work that would have been dead.
+	ExpiredDropped int64
+	// ServedExpired counts expired requests served anyway (only under
+	// AdmissionConfig.ServeExpired): the measured dead work of the
+	// no-protection ablation.
+	ServedExpired int64
+}
+
+// Queued is one request offered to an admission queue. ID 0 marks
+// fire-and-forget traffic, which is never answered — not even with a
+// rejection.
+type Queued struct {
+	From     string
+	ID       uint64
+	Req      any
+	Deadline time.Time
+}
+
+// Queue is the bounded priority queue between a server's receive path and
+// its single service goroutine. Both backends use it, so shed counts,
+// displacement order, and expiry semantics cannot drift between sim and
+// TCP. Construct with NewQueue, feed with Offer, stop with Close.
+type Queue struct {
+	cfg        AdmissionConfig
+	serve      func(Queued)
+	sendReject func(q Queued, resp any)
+	cond       *sync.Cond
+
+	mu      sync.Mutex
+	queues  [PrioControl + 1][]Queued
+	bulk    int // queued PrioRead + PrioWrite
+	held    bool
+	closed  bool
+	serving bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	admitted       atomic.Int64
+	shed           atomic.Int64
+	expiredDropped atomic.Int64
+	servedExpired  atomic.Int64
+}
+
+// NewQueue normalizes cfg and starts the service goroutine. serve runs one
+// dequeued request through the owner's handler; sendReject transmits an
+// explicit rejection built by cfg.Reject back to the caller (the queue
+// decides when one is owed).
+func NewQueue(cfg AdmissionConfig, serve func(Queued), sendReject func(q Queued, resp any)) *Queue {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = Wall
+	}
+	a := &Queue{cfg: cfg, serve: serve, sendReject: sendReject, done: make(chan struct{})}
+	a.cond = sync.NewCond(&a.mu)
+	go a.serviceLoop()
+	return a
+}
+
+// queuedLocked returns the total queued requests; callers hold a.mu.
+func (a *Queue) queuedLocked() int {
+	return a.bulk + len(a.queues[PrioControl])
+}
+
+// popLocked removes and returns the highest-priority queued request;
+// callers hold a.mu and guarantee the queue is non-empty.
+func (a *Queue) popLocked() Queued {
+	for pr := PrioControl; pr >= PrioRead; pr-- {
+		q := a.queues[pr]
+		if len(q) == 0 {
+			continue
+		}
+		head := q[0]
+		a.queues[pr] = q[1:]
+		if pr != PrioControl {
+			a.bulk--
+		}
+		return head
+	}
+	panic("transport: popLocked on empty admission queue")
+}
+
+// Close wakes the service goroutine for its final drain and waits for it
+// to exit: an orderly shutdown serves everything already admitted.
+// Idempotent.
+func (a *Queue) Close() {
+	a.closeOnce.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+	<-a.done
+}
+
+// Offer classifies and enqueues one request, shedding under pressure.
+// Returns whether the request entered the queue. Safe to call from any
+// goroutine (receive loops, harness Inject).
+func (a *Queue) Offer(q Queued) bool {
+	pr := PrioRead
+	if a.cfg.Classify != nil {
+		pr = a.cfg.Classify(q.Req)
+	}
+	var displaced *Queued
+	admitted := true
+	a.mu.Lock()
+	switch {
+	case pr == PrioControl:
+		a.queues[PrioControl] = append(a.queues[PrioControl], q)
+	case a.bulk < a.cfg.Capacity:
+		a.queues[pr] = append(a.queues[pr], q)
+		a.bulk++
+	case pr == PrioWrite && len(a.queues[PrioRead]) > 0:
+		// Full, but a write outranks queued reads: shed the newest queued
+		// read (it has waited least) and admit the write in its place.
+		reads := a.queues[PrioRead]
+		d := reads[len(reads)-1]
+		a.queues[PrioRead] = reads[:len(reads)-1]
+		displaced = &d
+		a.queues[PrioWrite] = append(a.queues[PrioWrite], q)
+	default:
+		admitted = false
+	}
+	depth := a.bulk
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	if admitted {
+		a.admitted.Add(1)
+		if a.cfg.OnDepth != nil {
+			a.cfg.OnDepth(depth)
+		}
+	}
+	if displaced != nil {
+		a.reject(*displaced, false)
+	}
+	if !admitted {
+		a.reject(q, false)
+	}
+	return admitted
+}
+
+// reject counts a shed or expired request and, for calls that expect an
+// answer, sends the explicit rejection so the caller fails fast instead of
+// burning its timeout.
+func (a *Queue) reject(q Queued, expired bool) {
+	if expired {
+		a.expiredDropped.Add(1)
+		if a.cfg.OnExpired != nil {
+			a.cfg.OnExpired(q.Req)
+		}
+	} else {
+		a.shed.Add(1)
+		if a.cfg.OnShed != nil {
+			a.cfg.OnShed(q.Req)
+		}
+	}
+	if q.ID == 0 || a.cfg.Reject == nil || a.sendReject == nil {
+		return
+	}
+	if resp := a.cfg.Reject(q.Req, expired); resp != nil {
+		a.sendReject(q, resp)
+	}
+}
+
+// serviceLoop drains the queue highest priority first. Requests whose
+// deadline passed while they queued are discarded at dequeue — "expired on
+// arrival" — so an overloaded replica never spends its service capacity on
+// work whose caller already gave up.
+func (a *Queue) serviceLoop() {
+	defer close(a.done)
+	for {
+		a.mu.Lock()
+		for !a.closed && (a.held || a.queuedLocked() == 0) {
+			a.cond.Wait()
+		}
+		if a.queuedLocked() == 0 {
+			// Closed and drained.
+			a.mu.Unlock()
+			return
+		}
+		q := a.popLocked()
+		a.serving = true
+		a.mu.Unlock()
+
+		if !q.Deadline.IsZero() && a.cfg.Clock.Now().After(q.Deadline) {
+			if a.cfg.ServeExpired {
+				a.servedExpired.Add(1)
+				a.serveOne(q)
+			} else {
+				a.reject(q, true)
+			}
+		} else {
+			a.serveOne(q)
+		}
+
+		a.mu.Lock()
+		a.serving = false
+		if a.queuedLocked() == 0 {
+			a.cond.Broadcast() // wake WaitIdle
+		}
+		a.mu.Unlock()
+	}
+}
+
+// serveOne runs one dequeued request through the owner's handler, charging
+// the configured service delay first.
+func (a *Queue) serveOne(q Queued) {
+	if d := a.cfg.ServiceDelay; d > 0 {
+		time.Sleep(d)
+	}
+	a.serve(q)
+}
+
+// Stats returns the queue's admission counters.
+func (a *Queue) Stats() OverloadStats {
+	return OverloadStats{
+		Admitted:       a.admitted.Load(),
+		Shed:           a.shed.Load(),
+		ExpiredDropped: a.expiredDropped.Load(),
+		ServedExpired:  a.servedExpired.Load(),
+	}
+}
+
+// Hold pauses the service goroutine: offered requests keep being admitted
+// (or shed) but none are served until Resume. A harness device —
+// deterministic overload campaigns hold a replica, offer a seeded burst
+// against the bounded queue, and resume, so the shed and expiry counts are
+// a pure function of the burst.
+func (a *Queue) Hold() {
+	a.mu.Lock()
+	a.held = true
+	a.mu.Unlock()
+}
+
+// Resume undoes Hold.
+func (a *Queue) Resume() {
+	a.mu.Lock()
+	a.held = false
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// WaitIdle blocks until the queue is empty and no request is being served.
+// Callers must not hold the service (Resume first).
+func (a *Queue) WaitIdle() {
+	a.mu.Lock()
+	for !a.closed && (a.queuedLocked() > 0 || a.serving) {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// The wire format is deliberately dumb: every message is one frame, a
+// 4-byte big-endian body length followed by a gob-encoded Frame. A fresh
+// encoder per frame costs a re-sent type descriptor but makes frames
+// self-contained — a reader can join, drop, or replay a stream at any frame
+// boundary, and a corrupted frame poisons nothing beyond itself. Concrete
+// request/response types carried through the interface fields must be
+// gob-registered by the protocol layer (internal/cluster does this in
+// wire.go, once, for the WAL and the wire together).
+
+// Frame kinds.
+const (
+	// kindCall is a request that expects exactly one kindReply with the
+	// same ID on the same connection.
+	kindCall = 1 + iota
+	// kindNotify is fire-and-forget: ID 0, never answered.
+	kindNotify
+	// kindReply answers one kindCall.
+	kindReply
+)
+
+// MaxFrame bounds one frame's body. A peer announcing a larger body is
+// malformed (or malicious) and fails decoding before any allocation.
+const MaxFrame = 8 << 20
+
+// Frame is one wire message. Zero-valued fields are omitted by gob, so a
+// reply costs no From/Req/Deadline bytes and a notify no Resp.
+type Frame struct {
+	Kind     int
+	ID       uint64
+	From     string
+	Req      any
+	Resp     any
+	Deadline time.Time
+}
+
+// DecodeError is the typed failure for any malformed inbound frame: a
+// corrupt length prefix, an over-limit announcement, a truncated body, or a
+// gob stream that does not decode. It is a decoding verdict, never a panic
+// — the fuzz harness holds the codec to that.
+type DecodeError struct {
+	Reason string
+	Err    error // underlying cause, when one exists
+}
+
+func (e *DecodeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("tcp: bad frame: %s: %v", e.Reason, e.Err)
+	}
+	return fmt.Sprintf("tcp: bad frame: %s", e.Reason)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// EncodeFrame serializes one frame body (no length prefix). It fails only
+// on unencodable payloads — a concrete type nobody gob-registered — which
+// is a programming error surfaced to the caller, not hidden in transit.
+func EncodeFrame(f Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("tcp: encode frame: %w", err)
+	}
+	if buf.Len() > MaxFrame {
+		return nil, fmt.Errorf("tcp: encode frame: body %d exceeds MaxFrame", buf.Len())
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame reverses EncodeFrame. Every failure is a *DecodeError.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) > MaxFrame {
+		return Frame{}, &DecodeError{Reason: fmt.Sprintf("body %d exceeds MaxFrame", len(b))}
+	}
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return Frame{}, &DecodeError{Reason: "gob decode", Err: err}
+	}
+	switch f.Kind {
+	case kindCall, kindNotify, kindReply:
+	default:
+		return Frame{}, &DecodeError{Reason: fmt.Sprintf("unknown frame kind %d", f.Kind)}
+	}
+	return f, nil
+}
+
+// writeFrame writes one length-prefixed frame to w.
+func writeFrame(w io.Writer, f Frame) error {
+	body, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r. io.EOF at a frame
+// boundary is returned as-is (a clean connection close); everything else
+// malformed is a *DecodeError.
+func readFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, &DecodeError{Reason: "short header", Err: err}
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, &DecodeError{Reason: fmt.Sprintf("announced body %d exceeds MaxFrame", n)}
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, &DecodeError{Reason: "short body", Err: err}
+	}
+	return DecodeFrame(body)
+}

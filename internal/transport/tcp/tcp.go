@@ -1,0 +1,748 @@
+// Package tcp implements the transport seam over real sockets: every served
+// name is a TCP listener, every Call one length-prefixed gob frame and its
+// reply on a pooled connection. It is the backend that turns a quorum
+// cluster into N ordinary OS processes — same protocol code, same envelope
+// semantics as the deterministic sim network:
+//
+//   - Deadlines propagate on the wire (Frame.Deadline), so an
+//     overload-protected replica discards requests whose caller gave up.
+//   - No-answer failures are the shared typed sentinels: context expiry is
+//     transport.ErrTimeout; a refused dial, an unknown peer, or a severed
+//     connection is transport.ErrLost. Raw net errors never escape.
+//   - Connection loss is the fate feedback this backend supports: every
+//     call pending on a broken connection fails with ErrLost the moment the
+//     reader sees the break, instead of burning its timeout.
+//   - Handlers keep the actor discipline: each server serves on a single
+//     goroutine (its dispatch loop, or its admission queue's service
+//     goroutine), whatever the connection fan-in.
+package tcp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Compile-time interface conformance.
+var (
+	_ transport.Transport       = (*Transport)(nil)
+	_ transport.Client          = (*Client)(nil)
+	_ transport.Server          = (*Server)(nil)
+	_ transport.OverloadHarness = (*Server)(nil)
+)
+
+// Transport is one process's view of a TCP cluster: a static peer address
+// map (other processes' replicas), plus the listeners this process opened
+// itself. Names resolve locally first, so a single-process loopback cluster
+// needs no peer map at all — Serve on :0 and every Client finds it.
+type Transport struct {
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	peers   map[string]string // static name → host:port
+	local   map[string]string // names served by this transport → bound addr
+	servers map[string]*Server
+	callers map[*Client]struct{}
+	closed  bool
+}
+
+// An Option configures a Transport.
+type Option func(*Transport)
+
+// WithPeers installs the static name → "host:port" map. A Serve of a
+// mapped name listens on exactly that address; calls to a mapped name not
+// served locally dial it. This is how N processes agree on who is where.
+func WithPeers(peers map[string]string) Option {
+	return func(t *Transport) {
+		for id, addr := range peers {
+			t.peers[id] = addr
+		}
+	}
+}
+
+// WithDialTimeout bounds connection establishment (default 2s). A Call's
+// context deadline still applies on top.
+func WithDialTimeout(d time.Duration) Option {
+	return func(t *Transport) {
+		if d > 0 {
+			t.dialTimeout = d
+		}
+	}
+}
+
+// New builds a TCP transport.
+func New(opts ...Option) *Transport {
+	t := &Transport{
+		dialTimeout: 2 * time.Second,
+		peers:       map[string]string{},
+		local:       map[string]string{},
+		servers:     map[string]*Server{},
+		callers:     map[*Client]struct{}{},
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// resolve maps a served name to a dialable address: local listeners first,
+// then the static peer map.
+func (t *Transport) resolve(to string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr, ok := t.local[to]; ok {
+		return addr, true
+	}
+	addr, ok := t.peers[to]
+	return addr, ok
+}
+
+// Addr returns the bound address of a name served by this transport, or ""
+// if it is not served here. Useful when serving on :0 and advertising the
+// picked port.
+func (t *Transport) Addr(id string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.local[id]
+}
+
+// Serve binds id to h on this transport: it listens on the peer-mapped
+// address for id, or on a kernel-assigned loopback port when the map has no
+// entry. Serving the same id again after its server closed works — that is
+// how a recovered replica rejoins under its old name.
+func (t *Transport) Serve(id string, h transport.Handler, opts ...transport.ServeOption) (transport.Server, error) {
+	cfg := transport.ResolveServeOptions(opts)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: transport closed")
+	}
+	if _, dup := t.servers[id]; dup {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: %q is already served", id)
+	}
+	addr, mapped := t.peers[id]
+	t.mu.Unlock()
+	if !mapped {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: serve %q: %w", id, err)
+	}
+	s := &Server{
+		tr:      t,
+		id:      id,
+		ln:      ln,
+		handler: h,
+		reqs:    make(chan serverReq, serverBacklog),
+		conns:   map[net.Conn]struct{}{},
+		routes:  map[routeKey]*srvConn{},
+		done:    make(chan struct{}),
+		out:     newCaller(t, id),
+	}
+	s.idle = sync.NewCond(&s.mu)
+	if cfg.Admission != nil {
+		s.adm = transport.NewQueue(*cfg.Admission, s.serveQueued, s.sendRejection)
+	}
+	t.mu.Lock()
+	t.servers[id] = s
+	t.local[id] = ln.Addr().String()
+	t.mu.Unlock()
+	go s.acceptLoop()
+	go s.dispatchLoop()
+	return s, nil
+}
+
+// Client returns a caller endpoint named id. Connections are dialed lazily,
+// one per destination, and redialed after loss.
+func (t *Transport) Client(id string) (transport.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("tcp: transport closed")
+	}
+	c := &Client{caller: newCaller(t, id)}
+	t.callers[c] = struct{}{}
+	return c, nil
+}
+
+// Quiesce waits until every request this transport's servers have already
+// read off their connections has been served. Bytes still in flight on a
+// socket cannot be awaited — this is the honest TCP analogue of the sim
+// network's drain, and it is weaker: the caller must have stopped issuing
+// new work first (an orderly Store close has).
+func (t *Transport) Quiesce() {
+	t.mu.Lock()
+	servers := make([]*Server, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	t.mu.Unlock()
+	for _, s := range servers {
+		s.waitIdle()
+	}
+}
+
+// Close shuts down every server and caller endpoint. Not part of the
+// transport interface — a process-level teardown convenience.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	servers := make([]*Server, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	callers := make([]*Client, 0, len(t.callers))
+	for c := range t.callers {
+		callers = append(callers, c)
+	}
+	t.mu.Unlock()
+	for _, c := range callers {
+		c.Close()
+	}
+	for _, s := range servers {
+		s.Close()
+	}
+}
+
+// dropServer unregisters a closed server. Its resolved address stays in
+// t.local: callers that race the shutdown get a refused dial — ErrLost, a
+// dead peer — rather than a confusing "unknown peer".
+func (t *Transport) dropServer(s *Server) {
+	t.mu.Lock()
+	if t.servers[s.id] == s {
+		delete(t.servers, s.id)
+	}
+	t.mu.Unlock()
+}
+
+// serverBacklog bounds the dispatch channel of a server without admission
+// control. A full backlog blocks the connection readers, which is exactly
+// TCP's native backpressure.
+const serverBacklog = 1024
+
+// lostMarker is delivered on a pending call's channel when its connection
+// died: the transport knows no answer is coming.
+type lostMarker struct{}
+
+// caller owns this endpoint's outbound connections: at most one per
+// destination, dialed lazily, evicted and redialed after loss. Both Client
+// endpoints and server-originated Notify traffic use one.
+type caller struct {
+	tr     *Transport
+	id     string
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[string]*clientConn
+	closed bool
+}
+
+func newCaller(t *Transport, id string) *caller {
+	return &caller{tr: t, id: id, conns: map[string]*clientConn{}}
+}
+
+// clientConn is one pooled outbound connection and the calls pending on it.
+type clientConn struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan any
+	dead    bool
+}
+
+func (cc *clientConn) write(f Frame) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeFrame(cc.c, f)
+}
+
+func (cc *clientConn) addPending(id uint64, ch chan any) {
+	cc.mu.Lock()
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) takePending(id uint64) chan any {
+	cc.mu.Lock()
+	ch := cc.pending[id]
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+	return ch
+}
+
+// fail marks the connection dead and delivers the lost fate to every
+// pending call — the moment the break is known, not a timeout later.
+func (cc *clientConn) fail() {
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = true
+	pending := cc.pending
+	cc.pending = map[uint64]chan any{}
+	cc.mu.Unlock()
+	cc.c.Close()
+	for _, ch := range pending {
+		ch <- lostMarker{}
+	}
+}
+
+// get returns the pooled connection to `to`, dialing if needed.
+func (c *caller) get(to string) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("tcp: endpoint %q closed", c.id)
+	}
+	if cc := c.conns[to]; cc != nil {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	addr, ok := c.tr.resolve(to)
+	if !ok {
+		return nil, fmt.Errorf("tcp: unknown peer %q", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.tr.dialTimeout)
+	if err != nil {
+		// A refused or unreachable dial is a dead peer: the lost fate.
+		return nil, transport.ErrLost
+	}
+	cc := &clientConn{c: conn, pending: map[uint64]chan any{}}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("tcp: endpoint %q closed", c.id)
+	}
+	if raced := c.conns[to]; raced != nil {
+		// Another goroutine dialed first; keep its connection.
+		c.mu.Unlock()
+		conn.Close()
+		return raced, nil
+	}
+	c.conns[to] = cc
+	c.mu.Unlock()
+	go c.readLoop(to, cc)
+	return cc, nil
+}
+
+// evict removes a dead connection from the pool so the next call redials —
+// which is how callers ride out a replica restart.
+func (c *caller) evict(to string, cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[to] == cc {
+		delete(c.conns, to)
+	}
+	c.mu.Unlock()
+}
+
+// readLoop delivers replies arriving on one connection and turns any read
+// failure into the lost fate for every call pending on it.
+func (c *caller) readLoop(to string, cc *clientConn) {
+	for {
+		f, err := readFrame(cc.c)
+		if err != nil {
+			c.evict(to, cc)
+			cc.fail()
+			return
+		}
+		if f.Kind != kindReply {
+			continue // a confused peer; replies are all a caller accepts
+		}
+		if ch := cc.takePending(f.ID); ch != nil {
+			ch <- f.Resp
+		}
+	}
+}
+
+// call implements Call for Client (and would for any other caller role).
+func (c *caller) call(ctx context.Context, to string, req any) (any, error) {
+	cc, err := c.get(to)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan any, 1)
+	cc.addPending(id, ch)
+	f := Frame{Kind: kindCall, ID: id, From: c.id, Req: req}
+	if dl, ok := ctx.Deadline(); ok {
+		// Deadline propagation: the receiver learns when this caller gives
+		// up, so its admission queue can discard the request at dequeue
+		// instead of doing work nobody will read.
+		f.Deadline = dl
+	}
+	if err := c.send(to, cc, f); err != nil {
+		cc.takePending(id)
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		if _, lost := v.(lostMarker); lost {
+			return nil, transport.ErrLost
+		}
+		return v, nil
+	case <-ctx.Done():
+		cc.takePending(id)
+		return nil, transport.ErrTimeout
+	}
+}
+
+// send writes one frame, mapping transmission failure to the lost fate and
+// keeping encode failures (unregistered payload types — a programming
+// error) distinct and loud.
+func (c *caller) send(to string, cc *clientConn, f Frame) error {
+	body, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	cc.wmu.Lock()
+	werr := writeBody(cc.c, body)
+	cc.wmu.Unlock()
+	if werr != nil {
+		c.evict(to, cc)
+		cc.fail()
+		return transport.ErrLost
+	}
+	return nil
+}
+
+// notify sends one fire-and-forget frame, best-effort.
+func (c *caller) notify(to string, req any) {
+	cc, err := c.get(to)
+	if err != nil {
+		return
+	}
+	c.send(to, cc, Frame{Kind: kindNotify, From: c.id, Req: req})
+}
+
+func (c *caller) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = map[string]*clientConn{}
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.fail()
+	}
+}
+
+// Client is a TCP caller endpoint.
+type Client struct {
+	*caller
+}
+
+// ID returns the endpoint's name, which receivers see as `from`.
+func (c *Client) ID() string { return c.caller.id }
+
+// Call sends req to the named server and waits for its reply or ctx expiry.
+func (c *Client) Call(ctx context.Context, to string, req any) (any, error) {
+	return c.caller.call(ctx, to, req)
+}
+
+// Notify sends req without waiting for — or ever receiving — a reply.
+func (c *Client) Notify(to string, req any) { c.caller.notify(to, req) }
+
+// Close releases the endpoint; pending calls fail with ErrLost.
+func (c *Client) Close() {
+	c.caller.close()
+	c.caller.tr.mu.Lock()
+	delete(c.caller.tr.callers, c)
+	c.caller.tr.mu.Unlock()
+}
+
+// routeKey addresses the connection owed one reply: caller name + call ID.
+type routeKey struct {
+	from string
+	id   uint64
+}
+
+// srvConn wraps one accepted connection with a write lock, so synchronous
+// and late (async-handler) replies can interleave safely.
+type srvConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (sc *srvConn) write(f Frame) {
+	body, err := EncodeFrame(f)
+	if err != nil {
+		return // unencodable reply: the caller will time out, loudly
+	}
+	sc.wmu.Lock()
+	writeBody(sc.c, body)
+	sc.wmu.Unlock()
+}
+
+func writeBody(c net.Conn, body []byte) error {
+	var hdr [4]byte
+	hdr[0] = byte(len(body) >> 24)
+	hdr[1] = byte(len(body) >> 16)
+	hdr[2] = byte(len(body) >> 8)
+	hdr[3] = byte(len(body))
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(body)
+	return err
+}
+
+// serverReq is one delivered request on its way to the dispatch loop.
+type serverReq struct {
+	f  Frame
+	sc *srvConn
+}
+
+// Server is one served name: a listener, its accepted connections, and a
+// single service goroutine (the dispatch loop, or the admission queue's).
+type Server struct {
+	tr      *Transport
+	id      string
+	ln      net.Listener
+	handler transport.Handler
+	adm     *transport.Queue
+	reqs    chan serverReq
+	out     *caller // server-originated Notify (lease gossip)
+
+	mu       sync.Mutex
+	idle     *sync.Cond
+	conns    map[net.Conn]struct{}
+	routes   map[routeKey]*srvConn
+	inflight int // read-off-the-wire but not yet served (non-admission path)
+	closed   bool
+
+	readers   sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// ID returns the served name.
+func (s *Server) ID() string { return s.id }
+
+// Notify sends a fire-and-forget message under this server's name.
+func (s *Server) Notify(to string, req any) { s.out.notify(to, req) }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.readers.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop turns one connection's frames into dispatched requests. Any read
+// error — clean close, reset, or a malformed frame — retires the
+// connection; the protocol state it carried (pending reply routes) dies
+// with it, exactly like a crashed peer.
+func (s *Server) readLoop(conn net.Conn) {
+	defer s.readers.Done()
+	sc := &srvConn{c: conn}
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			s.retire(conn, sc)
+			return
+		}
+		if f.Kind != kindCall && f.Kind != kindNotify {
+			continue
+		}
+		if s.adm != nil {
+			if f.ID != 0 {
+				s.addRoute(f.From, f.ID, sc)
+			}
+			s.adm.Offer(transport.Queued{From: f.From, ID: f.ID, Req: f.Req, Deadline: f.Deadline})
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.retire(conn, sc)
+			return
+		}
+		s.inflight++
+		s.mu.Unlock()
+		s.reqs <- serverReq{f: f, sc: sc}
+	}
+}
+
+func (s *Server) retire(conn net.Conn, sc *srvConn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	for k, rc := range s.routes {
+		if rc == sc {
+			delete(s.routes, k)
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) addRoute(from string, id uint64, sc *srvConn) {
+	s.mu.Lock()
+	s.routes[routeKey{from, id}] = sc
+	s.mu.Unlock()
+}
+
+func (s *Server) takeRoute(from string, id uint64) *srvConn {
+	s.mu.Lock()
+	sc := s.routes[routeKey{from, id}]
+	delete(s.routes, routeKey{from, id})
+	s.mu.Unlock()
+	return sc
+}
+
+// replier builds the reply function for one request: it answers on the
+// connection the request arrived on, and is safe to call later from another
+// goroutine (async handlers). Fire-and-forget traffic gets a no-op.
+func (s *Server) replier(sc *srvConn, id uint64) func(any) {
+	if id == 0 {
+		return func(any) {}
+	}
+	return func(resp any) { sc.write(Frame{Kind: kindReply, ID: id, Resp: resp}) }
+}
+
+// dispatchLoop is the non-admission single service goroutine. With
+// admission it still runs (the queue's goroutine does the serving) but only
+// to drain a possible race remainder at close; reqs stays empty.
+func (s *Server) dispatchLoop() {
+	defer close(s.done)
+	for req := range s.reqs {
+		s.handler(req.f.From, req.f.Req, s.replier(req.sc, req.f.ID))
+		s.mu.Lock()
+		s.inflight--
+		if s.inflight == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// serveQueued runs one admitted request through the handler — the admission
+// queue's single service goroutine calling in.
+func (s *Server) serveQueued(q transport.Queued) {
+	reply := func(any) {}
+	if q.ID != 0 {
+		if sc := s.takeRoute(q.From, q.ID); sc != nil {
+			reply = s.replier(sc, q.ID)
+		}
+	}
+	s.handler(q.From, q.Req, reply)
+}
+
+// sendRejection transmits an explicit admission rejection to the caller.
+func (s *Server) sendRejection(q transport.Queued, resp any) {
+	if sc := s.takeRoute(q.From, q.ID); sc != nil {
+		sc.write(Frame{Kind: kindReply, ID: q.ID, Resp: resp})
+	}
+}
+
+// waitIdle blocks until every request already read off a connection has
+// been served.
+func (s *Server) waitIdle() {
+	if s.adm != nil {
+		s.adm.WaitIdle()
+		return
+	}
+	s.mu.Lock()
+	for s.inflight > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops serving: the listener closes, connections retire, and the
+// service goroutine drains every request already dispatched before exiting
+// — an orderly departure, not a crash, so a durable replica's log never
+// misses a request the transport had already delivered. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		s.ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+		s.readers.Wait() // no goroutine will send on reqs past this point
+		close(s.reqs)
+		if s.adm != nil {
+			s.adm.Close()
+		}
+		s.out.close()
+		s.tr.dropServer(s)
+	})
+	<-s.done
+}
+
+// Overload returns the admission counters (zero without admission).
+func (s *Server) Overload() transport.OverloadStats {
+	if s.adm == nil {
+		return transport.OverloadStats{}
+	}
+	return s.adm.Stats()
+}
+
+// HoldService pauses the admission service loop; no-op without admission.
+func (s *Server) HoldService() {
+	if s.adm != nil {
+		s.adm.Hold()
+	}
+}
+
+// ResumeService undoes HoldService.
+func (s *Server) ResumeService() {
+	if s.adm != nil {
+		s.adm.Resume()
+	}
+}
+
+// WaitServiceIdle blocks until the admission queue is drained.
+func (s *Server) WaitServiceIdle() {
+	if s.adm != nil {
+		s.adm.WaitIdle()
+	}
+}
+
+// Inject offers a request straight to the admission queue, bypassing the
+// sockets — the deterministic burst-harness device. False without
+// admission.
+func (s *Server) Inject(from string, req any, deadline time.Time) bool {
+	if s.adm == nil {
+		return false
+	}
+	return s.adm.Offer(transport.Queued{From: from, ID: 0, Req: req, Deadline: deadline})
+}

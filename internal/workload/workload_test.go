@@ -14,9 +14,9 @@ func testStore(t *testing.T, seed int64) *cluster.Store {
 	t.Helper()
 	dms := []string{"d0", "d1", "d2"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: seed})
-	store, err := cluster.New(net, []cluster.ItemSpec{
+	store, err := cluster.Open(net, []cluster.ItemSpec{
 		{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
-	}, cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: seed})
+	}, cluster.WithCallTimeout(25*time.Millisecond), cluster.WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,10 +92,10 @@ func TestHotspotSkewsTowardFirstItem(t *testing.T) {
 	// Pure generator-level test: with Hotspot = 1 every op hits Items[0].
 	dms := []string{"h0", "h1", "h2"}
 	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 8})
-	store, err := cluster.New(net, []cluster.ItemSpec{
+	store, err := cluster.Open(net, []cluster.ItemSpec{
 		{Name: "hot", Initial: 0, DMs: dms, Config: quorum.Majority(dms)},
 		{Name: "cold", Initial: 0, DMs: []string{"c0"}, Config: quorum.ReadOneWriteAll([]string{"c0"})},
-	}, cluster.Options{CallTimeout: 25 * time.Millisecond, Seed: 8})
+	}, cluster.WithCallTimeout(25*time.Millisecond), cluster.WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,11 +162,6 @@ type (
 	// ClusterOption configures the store client (see the With… option
 	// constructors).
 	ClusterOption = cluster.Option
-	// ClusterOptions tunes the store client.
-	//
-	// Deprecated: pass ClusterOption values (WithCallTimeout, …) to
-	// OpenSimOptions instead.
-	ClusterOptions = cluster.Options
 	// Network is the simulated network.
 	Network = sim.Network
 	// NetworkConfig parameterizes the simulated network.
