@@ -52,9 +52,12 @@ proc-smoke:
 # invariants, WAL records, TCP wire envelope), the qcstore durable-mode
 # end-to-end demo (open, write, close, reopen from the WALs, read back),
 # the multi-process kill -9 recovery smoke (real qcstore server processes
-# over TCP), and the overload smoke: the three-arm goodput gate —
-# protections under 2x load must stay within 20% of capacity while the
-# ablated cluster collapses.
+# over TCP), the overload smoke (the three-arm goodput gate — protections
+# under 2x load must stay within 20% of capacity while the ablated
+# cluster collapses), and the stalehint gate: seeded campaigns that
+# partition exactly the replica the next hinted read trusts while newer
+# versions commit through the survivors, every history checked
+# serializable.
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
@@ -64,6 +67,7 @@ verify: build vet staticcheck test race
 	$(GO) build -o bin/qcstore ./cmd/qcstore
 	$(GO) run ./cmd/qchaos -proc -bin bin/qcstore
 	$(GO) run ./cmd/qchaos -overload
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults stalehint
 	@echo verify: OK
 
 # Static analysis beyond vet; skipped with a notice when the binary is not

@@ -35,7 +35,7 @@ func main() {
 		campaigns = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration  = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first     = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload")
+		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint")
 		items     = flag.Int("items", 2, "replicated items per campaign")
 		replicas  = flag.Int("replicas", 3, "replicas (DMs) per item")
 		rounds    = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
@@ -108,6 +108,11 @@ func main() {
 				res.Orphans, res.ReapsAborted, res.ReapsCommitted,
 				res.ResolutionQueries, res.Wedged,
 				res.Bursts, res.Shed, res.ExpiredOnArrival, res.Injected)
+			if res.StaleHints > 0 || res.HintReads > 0 {
+				fmt.Printf("campaign %d hints: stale=%d reads=%d hits=%d misses=%d fences=%d fencemisses=%d\n",
+					i, res.StaleHints, res.HintReads, res.HintHits, res.HintMisses,
+					res.HintFences, res.HintFenceMisses)
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %d (seed %d) FAILED: %v\n", i, cseed, err)
@@ -130,6 +135,12 @@ func main() {
 		agg.ReapsCommitted += res.ReapsCommitted
 		agg.ResolutionQueries += res.ResolutionQueries
 		agg.Wedged += res.Wedged
+		agg.StaleHints += res.StaleHints
+		agg.HintReads += res.HintReads
+		agg.HintHits += res.HintHits
+		agg.HintMisses += res.HintMisses
+		agg.HintFences += res.HintFences
+		agg.HintFenceMisses += res.HintFenceMisses
 		agg.Bursts += res.Bursts
 		agg.Shed += res.Shed
 		agg.ExpiredOnArrival += res.ExpiredOnArrival
@@ -140,12 +151,13 @@ func main() {
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
 		agg.Orphans, agg.ReapsAborted, agg.ReapsCommitted, agg.ResolutionQueries, agg.Wedged,
 		agg.Bursts, agg.Shed, agg.ExpiredOnArrival,
+		agg.StaleHints, agg.HintReads, agg.HintHits, agg.HintFenceMisses,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }
 

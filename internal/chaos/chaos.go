@@ -64,10 +64,25 @@ const (
 	// a pure function of the burst shape. Selecting it runs every DM with
 	// bounded admission; the burst is instantaneous, so there is no heal.
 	FaultOverload Fault = "overload"
+	// FaultStalehint is the adversarial schedule against the freshness-hint
+	// fast lane: partition the client from exactly the replica its next
+	// hinted read would use — while that replica still holds a live hint —
+	// then commit a newer version through the survivors (whose fence cannot
+	// reach the hint holder), and heal only after the campaign clock has
+	// expired every pre-partition hint. Selecting it runs the store with
+	// WithReadLease on at a hint TTL of two lease TTLs: long enough that the
+	// injection finds a live cached target from the previous round, short
+	// enough that the round-boundary clock advances provably expire it
+	// before the earliest heal. The serializability checker then gates the
+	// whole discipline: a hinted read served from the superseded version
+	// anywhere in the campaign is a violation.
+	FaultStalehint Fault = "stalehint"
 )
 
-// AllFaults lists every fault class in canonical order.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload}
+// AllFaults lists every fault class in canonical order. Stalehint comes
+// last so enabling it never perturbs the draw order — and with it the
+// schedule — of seeded campaigns that predate it.
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint}
 
 // overloadAdmitCap is the per-DM admission queue capacity campaigns use
 // when FaultOverload is selected: small enough that a burst always sheds,
@@ -214,7 +229,11 @@ func (c Config) selfHeal() bool {
 		return false
 	}
 	for _, f := range c.Faults {
-		if f == FaultFlap || f == FaultClientCrash {
+		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint {
+			// Stalehint needs the manual clock: hint expiry at round
+			// boundaries is what makes an unfenceable (partitioned) hint
+			// holder safe, and that argument must be a pure function of the
+			// seed.
 			return true
 		}
 	}
@@ -258,6 +277,19 @@ type Result struct {
 	Bursts           int
 	Shed             int64
 	ExpiredOnArrival int64
+	// StaleHints counts stalehint injections: a live fast-lane target
+	// partitioned away with its hint outstanding while a newer version
+	// committed through the survivors. HintReads/HintHits/HintMisses are
+	// the store's fast-lane counters across the campaign, and
+	// HintFences/HintFenceMisses the write-path fence rounds and the
+	// unreachable replicas they could only outwait. All zero when
+	// FaultStalehint is not in play.
+	StaleHints      int
+	HintReads       int64
+	HintHits        int64
+	HintMisses      int64
+	HintFences      int64
+	HintFenceMisses int64
 	// FinalRoundCommitted is the last round's committed transactions — the
 	// throughput the cluster re-attained after its accumulated damage.
 	FinalRoundCommitted int
@@ -309,7 +341,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithCallTimeout(cfg.CallTimeout),
 		cluster.WithHistory(rec),
 	}
-	amnesiaOn, overloadOn := false, false
+	amnesiaOn, overloadOn, staleOn := false, false, false
 	for _, f := range cfg.Faults {
 		if f == FaultAmnesia {
 			amnesiaOn = true
@@ -317,6 +349,20 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		if f == FaultOverload {
 			overloadOn = true
 		}
+		if f == FaultStalehint {
+			staleOn = true
+		}
+	}
+	if staleOn {
+		// Stalehint needs something to poison: the freshness-hint fast lane.
+		// The hint TTL is two lease TTLs — the injection needs a target cached
+		// in the previous round to still be live (one boundary advance old),
+		// and the earliest heal is three boundary advances after any
+		// pre-partition hint was stamped, so expiry strictly precedes it.
+		opts = append(opts,
+			cluster.WithReadLease(true),
+			cluster.WithReadLeaseTTL(2*cfg.LeaseTTL),
+		)
 	}
 	if overloadOn {
 		// Overload needs something to overload: run every DM behind a
@@ -511,6 +557,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Recoveries = int(store.Stats.Recoveries.Value())
 	res.ReplayedRecords = store.Stats.ReplayedRecords.Value()
 	res.Orphans = sched.orphans
+	res.StaleHints = sched.stales
+	res.HintReads = store.Stats.HintReads.Value()
+	res.HintHits = store.Stats.HintHits.Value()
+	res.HintMisses = store.Stats.HintMisses.Value()
+	res.HintFences = store.Stats.HintFences.Value()
+	res.HintFenceMisses = store.Stats.HintFenceMisses.Value()
 	res.Bursts = sched.bursts
 	res.Shed = sched.shed
 	res.ExpiredOnArrival = sched.expired
@@ -560,6 +612,7 @@ type scheduler struct {
 	enabled map[Fault]bool
 	active  []episode
 	orphans int   // transactions orphaned by clientcrash faults
+	stales  int   // stalehint injections (hint holder partitioned, newer VN committed)
 	bursts  int   // overload bursts fired
 	shed    int64 // requests shed at admission across all bursts
 	expired int64 // admitted requests expired at dequeue across all bursts
@@ -707,6 +760,36 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 			s.bursts++
 			s.shed += int64(rep.Shed)
 			s.expired += int64(rep.Expired)
+		case FaultStalehint:
+			// The adversarial hint schedule: partition exactly the replica the
+			// client's next hinted read would use — while both sides still
+			// believe the hint — then commit a newer version through the
+			// survivors. The writer's fence cannot reach the partitioned
+			// holder and (manual clock) proceeds counting the miss; safety
+			// rests entirely on the round-boundary TTL advances expiring the
+			// orphaned hint before the heal, which is exactly what the
+			// checker gates.
+			g := s.rng.Intn(len(s.groups))
+			item := fmt.Sprintf("x%d", g)
+			dm, ok := s.store.HintTarget(item)
+			if !ok {
+				continue // no live cached target this boundary; the roll is spent
+			}
+			if s.impaired(g) >= s.impairBudget() || s.nodeFaulted(dm) {
+				continue
+			}
+			s.net.Disconnect(s.client, dm)
+			s.active = append(s.active, episode{fault: f, dm: dm, group: g, until: ttl})
+			s.stales++
+			val := fmt.Sprintf("stalehint-%d", s.stales)
+			if werr := s.store.Run(context.Background(), func(t *cluster.Txn) error {
+				return t.Write(context.Background(), item, val)
+			}); werr != nil && !expectedUnderFaults(werr) {
+				if s.err == nil {
+					s.err = fmt.Errorf("chaos: stalehint write through survivors: %w", werr)
+				}
+				return
+			}
 		}
 		injected[f]++
 	}
@@ -749,7 +832,7 @@ func (s *scheduler) heal(e episode) {
 			return
 		}
 		s.net.Restart(e.dm)
-	case FaultPartition:
+	case FaultPartition, FaultStalehint:
 		s.net.Reconnect(s.client, e.dm)
 	case FaultStraggler:
 		s.net.SetNodeLatency(e.dm, 0, 0)

@@ -317,6 +317,72 @@ func TestOverloadExperimentMechanics(t *testing.T) {
 	}
 }
 
+// TestStalehintCampaign runs stalehint-focused campaigns: the scheduler
+// reads the client's own fast-lane cache to find the replica the next
+// hinted read would trust, partitions exactly that replica with its hint
+// outstanding, commits a newer version through the survivors, heals, and
+// lets the workload read — the adversarial schedule for freshness-hint
+// staleness. Every history must verify (the TTL discipline expires the
+// stranded hint before the heal), and the aggregate counters prove the
+// fast lane was genuinely exercised, not silently bypassed.
+func TestStalehintCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	injected := 0
+	var reads, hits, fences, fenceMisses int64
+	for i := 0; i < 5; i++ {
+		cfg := shortCfg(CampaignSeed(61, i))
+		cfg.Faults = []Fault{FaultStalehint}
+		cfg.Rounds = 4
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("stalehint campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d committed nothing", i)
+		}
+		if res.Injected[FaultStalehint] != res.StaleHints {
+			t.Errorf("campaign %d: injected=%d stales=%d, want equal",
+				i, res.Injected[FaultStalehint], res.StaleHints)
+		}
+		injected += res.StaleHints
+		reads += res.HintReads
+		hits += res.HintHits
+		fences += res.HintFences
+		fenceMisses += res.HintFenceMisses
+	}
+	if injected == 0 {
+		t.Error("no stalehint episodes injected across five campaigns")
+	}
+	if reads == 0 || hits == 0 {
+		t.Errorf("fast lane never served: reads=%d hits=%d", reads, hits)
+	}
+	if fences == 0 {
+		t.Errorf("writers never fenced: fences=%d", fences)
+	}
+	if fenceMisses == 0 {
+		t.Error("no fence ever missed a partitioned hint holder — the fate never forced the TTL wait-out")
+	}
+}
+
+// TestStalehintCampaignDeterministic reruns one stalehint campaign with
+// the same seed and demands byte-identical results — down to the
+// network's fate counters and the hint-lane statistics — so a failing
+// adversarial schedule is exactly replayable.
+func TestStalehintCampaignDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(CampaignSeed(61, 0))
+	cfg.Faults = []Fault{FaultStalehint}
+	cfg.Rounds = 4
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
 // TestParseFaults covers the CLI's fault-list parsing.
 func TestParseFaults(t *testing.T) {
 	all, err := ParseFaults("all")

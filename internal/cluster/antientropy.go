@@ -34,6 +34,9 @@ func (s *Store) SweepOnce(ctx context.Context) (int, error) {
 		for _, dm := range it.DMs {
 			resp, err := s.Inspect(ctx, dm, it.Name)
 			if err != nil {
+				if ctx.Err() != nil {
+					return repairs, ctx.Err()
+				}
 				continue // crashed or partitioned; next sweep catches it up
 			}
 			got = append(got, replicaState{dm: dm, resp: resp})
@@ -70,8 +73,40 @@ func (s *Store) SweepOnce(ctx context.Context) (int, error) {
 		if maxGen > 0 {
 			s.observeConfig(it.Name, maxGen, bestCfg)
 		}
+		// Freshness-hint grant (WithReadLease): only when EVERY replica of
+		// the item responded and they are unanimous — same committed
+		// (vn, gen), zero locks, zero intentions — is the observed maximum
+		// provably the cluster maximum (a write in flight anywhere would
+		// show as a lock or intention at its write quorum). Respondent-only
+		// maxima are NOT enough: an unreachable replica may hold a newer
+		// commit, which is exactly why sweep repairs never grant.
+		if s.opts.readLease && len(got) == len(it.DMs) {
+			unanimous := true
+			for _, g := range got {
+				if g.resp.VN != maxVN || g.resp.Gen != maxGen || g.resp.Locks != 0 || g.resp.Intents != 0 {
+					unanimous = false
+					break
+				}
+			}
+			if unanimous {
+				for _, g := range got {
+					s.client.Notify(g.dm, HintGrantReq{Item: it.Name, VN: maxVN, Gen: maxGen})
+				}
+				s.Stats.HintGrants.Inc()
+				s.noteHintTarget(it.Name, got[0].dm, maxGen)
+			}
+		}
 	}
 	return repairs, nil
+}
+
+// sweepAndCount runs one background sweep, counting rather than dropping
+// its error — the loop has no caller to return it to, and a silent drop
+// hides a sweeper that is failing every pass.
+func (s *Store) sweepAndCount(ctx context.Context) {
+	if _, err := s.SweepOnce(ctx); err != nil {
+		s.Stats.AntiEntropySweepErrors.Inc()
+	}
 }
 
 // antiEntropyLoop runs SweepOnce every WithAntiEntropy interval until the
@@ -85,7 +120,7 @@ func (s *Store) antiEntropyLoop() {
 		case <-s.stopBg:
 			return
 		case <-tick.C:
-			_, _ = s.SweepOnce(context.Background())
+			s.sweepAndCount(context.Background())
 		}
 	}
 }

@@ -72,6 +72,14 @@ type dmServer struct {
 	leases    map[TxnID]time.Time
 	inquiries map[TxnID]*inquiry
 
+	// Freshness-hint machinery (soft state like leases: never snapshotted,
+	// never replayed — hintTTL is configured only after recovery replay, so
+	// a rebuilt replica holds no hints until a commit or the sweeper
+	// re-proves its freshness). Zero hintTTL disables the fast lane.
+	hintTTL    time.Duration
+	hints      map[string]itemHint
+	hintFences map[string]hintFence
+
 	// selfApply routes a reap decision into the state machine: the durable
 	// path logs it like any other mutation, the volatile path applies it
 	// directly. Nil (standalone servers) applies directly.
@@ -372,6 +380,17 @@ func (s *dmServer) markResolved(t TxnID, committed bool, subs []TxnID) {
 
 // handle is the DM's RPC handler for the volatile (in-memory) path.
 func (s *dmServer) handle(_ string, req any) any {
+	// Hinted reads are validated OUTSIDE apply: a valid one is rewritten to
+	// the ordinary ReadReq it is equivalent to (and logged/replayed as such
+	// on durable DMs — replay never consults hint state), an invalid one is
+	// answered with an unlogged miss.
+	if q, ok := req.(HintReadReq); ok {
+		rr, miss := s.hintCheck(q)
+		if miss != nil {
+			return *miss
+		}
+		req = rr
+	}
 	if resp, handled := s.coordinate(req); handled {
 		return resp
 	}
@@ -411,8 +430,9 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		vn, val, gen, cfg := r.view(q.Txn)
 		// A granted read mutates the lock table: the grant is a promise
 		// two-phase locking depends on, so a restarted replica must still
-		// remember it.
-		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg}, true
+		// remember it. Hinted is response-only soft state (a replay's
+		// discarded responses may differ in it; the hard state never does).
+		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg, Hinted: s.hintLive(q.Item, r)}, true
 	case WriteReq:
 		r := s.replicas[q.Item]
 		if r == nil {
@@ -429,6 +449,10 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		r.grant(q.Txn, LockWrite)
 		r.noteGrant(q.Txn, q.Seq, held)
 		s.stampLease(q.Txn)
+		// A write lock revokes the freshness hint here and stamps the fence:
+		// the write-quorum members' fence rides the grant itself, only the
+		// remaining replicas need an explicit HintFenceReq.
+		s.fenceHintLocal(q.Item, q.Txn)
 		if !r.hasIntentCopy(q.Txn, false, q.VN, 0) {
 			r.intents = append(r.intents, intent{owner: q.Txn, vn: q.VN, val: q.Val})
 		}
@@ -449,6 +473,7 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		r.grant(q.Txn, LockWrite)
 		r.noteGrant(q.Txn, q.Seq, held)
 		s.stampLease(q.Txn)
+		s.fenceHintLocal(q.Item, q.Txn)
 		if !r.hasIntentCopy(q.Txn, true, 0, q.Gen) {
 			r.intents = append(r.intents, intent{owner: q.Txn, isConfig: true, gen: q.Gen, cfg: q.Cfg.Clone()})
 		}
@@ -529,8 +554,18 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		for _, sub := range q.Subs {
 			committed[sub] = true
 		}
-		for _, r := range s.replicas {
+		for name, r := range s.replicas {
 			r.applyTop(q.Txn, committed)
+			// The commit doubles as a freshness proof ONLY for replicas
+			// whose post-apply version is the transaction's final one for
+			// the item. Merely having advanced is not enough: a transaction
+			// that wrote the item twice through different write quorums
+			// leaves its earlier version at replicas the later quorum never
+			// touched — they advance, but to a version that is already
+			// superseded cluster-wide.
+			if fin, ok := q.Final[name]; ok && r.vn == fin {
+				s.grantHint(name, r, q.Txn)
+			}
 		}
 		return Ack{OK: true}, true
 	case ReapReq:
@@ -547,6 +582,10 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 				committed[sub] = true
 			}
 			for _, r := range s.replicas {
+				// No freshness grant here: a reaped commit carries no final
+				// version map (the reaper reconstructs the verdict, not the
+				// write set), so this replica cannot prove its applied state
+				// is the cluster maximum. The sweeper re-proves it.
 				r.applyTop(top, committed)
 			}
 		} else {

@@ -86,8 +86,10 @@ type dmSnap struct {
 
 // encodeSnapshot serializes the DM's complete state. Replicas are listed in
 // item order so snapshots of identical state are structurally identical.
-// Leases and in-flight inquiries are soft state and deliberately absent:
-// recovery re-stamps fresh leases, which only delays reaping.
+// Leases, in-flight inquiries, and freshness hints are soft state and
+// deliberately absent: recovery re-stamps fresh leases (which only delays
+// reaping) and rebuilds an empty hint table (a recovered replica serves no
+// hinted reads until a commit or the sweeper re-proves its freshness).
 func encodeSnapshot(s *dmServer) ([]byte, error) {
 	snap := dmSnap{Resolved: map[TxnID]resolutionSnap{}}
 	for t, res := range s.resolved {
@@ -185,6 +187,18 @@ type dmWAL struct {
 // sequential, a record's durability implies every earlier record's, so an
 // acked request can never be contradicted by recovery.
 func (d *dmWAL) handle(_ string, req any, reply func(any)) {
+	// Hinted reads translate to plain ReadReqs before the apply/log path
+	// sees them (as in the volatile handler): the log carries only the
+	// equivalent ReadReq, so replay never consults hint state, and a miss
+	// is answered without logging anything.
+	if q, ok := req.(HintReadReq); ok {
+		rr, miss := d.srv.hintCheck(q)
+		if miss != nil {
+			reply(*miss)
+			return
+		}
+		req = rr
+	}
 	if resp, handled := d.srv.coordinate(req); handled {
 		// Lease coordination (renewals, resolution queries and answers) is
 		// soft state and never logged; the reap decisions it produces come

@@ -235,7 +235,9 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 		}
 		return Ack{OK: true}, true
 	}
-	return nil, false
+	// Hint grants and write fences are coordination too: soft state, never
+	// logged, never replayed (hint.go).
+	return s.coordinateHints(req)
 }
 
 // --- client side ---

@@ -39,6 +39,11 @@ type ReadResp struct {
 	Val  any
 	Gen  int
 	Cfg  quorum.Config
+	// Hinted piggybacks on quorum-read replies: the replica holds a live
+	// freshness hint for this item, so the client may cache it as a
+	// single-replica read target. Advisory only — a hinted read re-validates
+	// at serve time and falls back to the quorum path on any doubt.
+	Hinted bool
 }
 
 // WriteReq buffers a versioned value write as an intention of the
@@ -106,6 +111,16 @@ type AbortReq struct {
 type CommitTopReq struct {
 	Txn  TxnID
 	Subs []TxnID
+
+	// Final maps each written item to the last version number the
+	// transaction's committed tree installed for it. A transaction that
+	// writes an item more than once may route each write through a
+	// different write quorum, so a replica's committed state advancing at
+	// commit-apply does NOT prove it holds the newest version — only the
+	// client, which assembled every write quorum, knows the final number.
+	// A replica self-grants a freshness hint only when its post-apply vn
+	// equals Final[item]. Nil is always safe: no hints are granted.
+	Final map[string]int
 }
 
 // Ack acknowledges a commit/abort control message.
@@ -205,6 +220,60 @@ type ResolutionAnswer struct {
 	Committed bool
 	Subs      []TxnID
 	Active    bool
+}
+
+// HintReadReq asks one replica to serve a read from its freshness hint: a
+// single-replica fast-lane read that bypasses quorum assembly entirely.
+// The replica serves it only while its hint is live — its committed
+// (vn, gen) is provably the cluster maximum, no writer is in flight, and
+// the hint's TTL has not lapsed — by translating the request into an
+// ordinary ReadReq (read lock, lease stamp, WAL record and all), so
+// everything downstream of the grant is the proven quorum-read machinery.
+// Any doubt answers HintMissResp instead and the client falls back to the
+// full read-quorum path. Gen is the configuration generation the client
+// believes current; a mismatch is a miss, forcing the quorum path's
+// generation chase. Txn/Seq are as in ReadReq.
+type HintReadReq struct {
+	Txn  TxnID
+	Item string
+	Seq  int
+	Gen  int
+}
+
+// HintMissResp is the explicit refusal of a HintReadReq: the replica
+// cannot prove freshness, and the client must assemble a read quorum.
+// Reason is diagnostic ("none", "expired", "stale", "gen", "writer", ...);
+// no protocol decision may depend on it.
+type HintMissResp struct {
+	DM     string
+	Reason string
+}
+
+// HintGrantReq installs a freshness hint at one replica. Only the
+// anti-entropy sweeper sends it, and only after inspecting every replica
+// of the item and finding them unanimous — same committed (vn, gen), zero
+// locks, zero intentions — so the granted bound is the cluster maximum by
+// construction. The replica re-validates before accepting (its state must
+// still match and no write fence may be fresh) and the grant is soft
+// state: never logged, never replayed, gone after amnesia until re-proven.
+type HintGrantReq struct {
+	Item string
+	VN   int
+	Gen  int
+}
+
+// HintFenceReq revokes the freshness hint for an item at one replica —
+// the write-path fence, sent to every replica of a written item after the
+// lease fence and before the commit point. The replica drops its hint,
+// stamps a fence window (grants are refused for one hint TTL), and acks
+// OK only when no other transaction holds a lock on the item there: an
+// outstanding hinted read's lock refuses the fence, which is what restores
+// the quorum-intersection argument a single-replica read bypassed (see
+// DESIGN.md §9). Txn names the fencing transaction so its own locks do not
+// refuse it.
+type HintFenceReq struct {
+	Txn  TxnID
+	Item string
 }
 
 // ReapReq resolves an orphaned transaction at the DM that decided its

@@ -34,6 +34,8 @@ type settings struct {
 	fixedTimeout bool
 	antiEntropy  time.Duration
 	clock        transport.Clock
+	readLease    bool
+	readLeaseTTL time.Duration
 
 	clientTag string
 
@@ -57,6 +59,7 @@ func defaultSettings() settings {
 		txnRetries:   8,
 		clock:        transport.Wall,
 		hopAllowance: time.Millisecond,
+		readLeaseTTL: 50 * time.Millisecond,
 	}
 }
 
@@ -236,6 +239,30 @@ func WithFixedTimeouts(on bool) Option {
 // explicit passes.
 func WithAntiEntropy(interval time.Duration) Option {
 	return func(s *settings) { s.antiEntropy = interval }
+}
+
+// WithReadLease enables the freshness-hint read fast lane (DESIGN.md §9):
+// replicas grant themselves per-item freshness hints at commit-apply and
+// via the anti-entropy sweeper's unanimity proof, and clients try a single
+// hinted replica before assembling a read quorum, falling back
+// transparently on any miss. Writes pay for it: before its commit point a
+// writer fences the hint at EVERY replica of each written item (not just a
+// write quorum), and under the wall clock an unreachable replica makes the
+// writer wait out one hint TTL. Off by default.
+func WithReadLease(on bool) Option {
+	return func(s *settings) { s.readLease = on }
+}
+
+// WithReadLeaseTTL sets the freshness-hint lifetime — the staleness bound
+// an unreachable replica's hint can survive a fence by, and therefore the
+// longest a partitioned writer may stall waiting one out. Only meaningful
+// with WithReadLease. Values at or below zero keep the default (50ms).
+func WithReadLeaseTTL(ttl time.Duration) Option {
+	return func(s *settings) {
+		if ttl > 0 {
+			s.readLeaseTTL = ttl
+		}
+	}
 }
 
 // WithClock injects the clock lock leases expire against. Deterministic

@@ -19,7 +19,11 @@ import (
 func classifyRequest(req any) transport.Priority {
 	switch req.(type) {
 	case CommitTopReq, CommitSubReq, AbortReq, ReleaseReq,
-		RenewLeaseReq, ReapReq, ResolutionQueryReq, ResolutionAnswer:
+		RenewLeaseReq, ReapReq, ResolutionQueryReq, ResolutionAnswer,
+		HintFenceReq:
+		// HintFenceReq is control too: it stands between a writer and its
+		// commit point, and shedding it stalls the commit exactly like a
+		// shed renewal would.
 		return transport.PrioControl
 	case WriteReq, ConfigWriteReq:
 		return transport.PrioWrite

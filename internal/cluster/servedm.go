@@ -27,8 +27,8 @@ type DMHost struct {
 // recovers from it when one exists — so a kill -9'd process restarted with
 // the same flags resumes exactly where the log ends. Options that shape
 // the server side (WithDurability, WithWALOptions, WithSnapshotEvery,
-// WithLeaseTTL, WithClock, WithAdmissionCapacity, WithServiceTime) apply;
-// client-side options are ignored.
+// WithLeaseTTL, WithClock, WithAdmissionCapacity, WithServiceTime,
+// WithReadLease, WithReadLeaseTTL) apply; client-side options are ignored.
 func ServeDM(tr transport.Transport, id string, items []ItemSpec, opts ...Option) (*DMHost, error) {
 	st := resolve(opts)
 	var mine []ItemSpec
@@ -53,6 +53,9 @@ func ServeDM(tr transport.Transport, id string, items []ItemSpec, opts ...Option
 	host := &DMHost{}
 	wire := func(srv *dmServer) {
 		srv.configureLeases(st.leaseTTL, st.clock, peerSet, &host.Stats)
+		if st.readLease {
+			srv.configureHints(st.readLeaseTTL)
+		}
 	}
 	serveOpts := serveOptsFor(st, id, &host.Stats)
 	if st.walDir == "" {

@@ -98,6 +98,23 @@ type Stats struct {
 	BrownoutWrites    metrics.Counter
 	InflightLimit     metrics.Gauge
 	QueueDepth        metrics.IntHistogram
+	// AntiEntropySweepErrors counts sweeper passes that returned an error
+	// (some replica unreachable mid-sweep). The background loop used to
+	// swallow these silently; tests assert an error budget against it.
+	AntiEntropySweepErrors metrics.Counter
+	// Freshness-hint fast lane (DESIGN.md §9). HintReads counts
+	// single-replica read attempts; HintHits the ones served from a live
+	// hint, HintMisses the fallbacks to the quorum path. HintGrants counts
+	// sweeper grant rounds pushed to replicas; HintFences counts write-path
+	// fence rounds completed before commit points, and HintFenceMisses the
+	// unreachable replicas a fence could not revoke (waited out under the
+	// wall clock, counted and proceeded under a manual one).
+	HintReads       metrics.Counter
+	HintHits        metrics.Counter
+	HintMisses      metrics.Counter
+	HintGrants      metrics.Counter
+	HintFences      metrics.Counter
+	HintFenceMisses metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -137,6 +154,10 @@ type Store struct {
 	// health is the failure detector's scoreboard; nil unless
 	// WithHealthProbes is on.
 	health *healthBoard
+
+	// hintCache maps items to their cached fast-lane read targets
+	// (WithReadLease); always usable, empty when the fast lane is off.
+	hintCache hintCache
 
 	// Overload protection (all nil/off unless the matching option armed
 	// them): the retry token bucket, the AIMD in-flight limiter, and the
@@ -358,6 +379,11 @@ func asyncify(h func(from string, req any) any) transport.Handler {
 func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
 	return func(srv *dmServer) {
 		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
+		if s.opts.readLease {
+			// Configured here — after recovery replay on durable DMs — so a
+			// rebuilt replica starts with no hints and must re-prove freshness.
+			srv.configureHints(s.opts.readLeaseTTL)
+		}
 	}
 }
 
@@ -610,6 +636,18 @@ type Txn struct {
 	ops      []checker.Op
 	subs     []TxnID
 
+	// wroteItems names the items this transaction (or a promoted child)
+	// buffered writes for; the pre-commit hint fence revokes freshness
+	// hints at every replica of each one (WithReadLease).
+	wroteItems map[string]bool
+
+	// wroteVNs maps each written item to the final version number this
+	// transaction's committed tree installed — the commit broadcast carries
+	// it so only replicas holding that exact version self-grant a
+	// freshness hint (a multi-write transaction's earlier versions may sit
+	// at replicas its later write quorums never touched).
+	wroteVNs map[string]int
+
 	// leaseStamp is the last time this client knowingly (re)stamped the
 	// transaction's leases everywhere — at creation (no leases exist yet)
 	// and after each successful renewLeases round. The pre-commit fence
@@ -764,6 +802,16 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 	if !ok {
 		return readResult{}, fmt.Errorf("cluster: unknown item %q", item)
 	}
+	// The fast lane sits ahead of both assembly strategies (fan-out and the
+	// sequential ablation): one hinted replica first, any miss falls
+	// through to the quorum path below without surfacing an error. Only
+	// plain read locks qualify — update locking (LockWrite) is a write's
+	// first phase and must assemble the quorum that serializes writers.
+	if t.store.opts.readLease && mode == LockRead {
+		if res, ok := t.tryHintRead(ctx, item); ok {
+			return res, nil
+		}
+	}
 	if t.store.opts.sequential {
 		return t.readPhaseSequential(ctx, item, mode)
 	}
@@ -823,6 +871,14 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 				}
 				if m.resp.VN == res.vn && m.resp.Val != nil {
 					res.val = m.resp.Val
+				}
+			}
+			// Hinted piggyback: a winner member advertising a live hint at the
+			// quorum-maximum version becomes the next read's fast-lane target.
+			for _, m := range winner {
+				if m.resp.Hinted && m.resp.VN == res.vn {
+					t.store.noteHintTarget(item, m.dm, res.gen)
+					break
 				}
 			}
 			if t.store.opts.readRepair {
@@ -904,6 +960,12 @@ func (t *Txn) readPhaseSequential(ctx context.Context, item string, mode LockMod
 				believed = genCfg{gen: res.gen, cfg: res.cfg}
 				progressed = true
 				break
+			}
+			for _, m := range resps {
+				if m.resp.Hinted && m.resp.VN == res.vn {
+					t.store.noteHintTarget(item, m.dm, res.gen)
+					break
+				}
 			}
 			if t.store.opts.readRepair {
 				t.store.repairStale(item, res, resps)
@@ -1053,6 +1115,7 @@ func (t *Txn) writeQuorum(ctx context.Context, item, phase string, cfg quorum.Co
 			sawBusy = true
 		}
 		if col.done() {
+			t.noteWrittenItem(item)
 			return nil
 		}
 		t.store.backoff(ctx, attempt)
@@ -1136,6 +1199,7 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 				}
 			}
 			if all {
+				t.noteWrittenItem(item)
 				return nil
 			}
 		}
@@ -1233,6 +1297,7 @@ func (t *Txn) Write(ctx context.Context, item string, val any) error {
 	if err != nil {
 		return err
 	}
+	t.noteWrittenVN(item, vn)
 	t.store.Stats.Writes.Inc()
 	t.store.Stats.WriteLatency.ObserveSince(start)
 	t.record(checker.OpWrite, item, val, vn, start)
@@ -1274,6 +1339,7 @@ func (t *Txn) WriteVersioned(ctx context.Context, item string, val any) (int, er
 	if err != nil {
 		return 0, err
 	}
+	t.noteWrittenVN(item, vn)
 	t.store.Stats.Writes.Inc()
 	t.record(checker.OpWrite, item, val, vn, start)
 	return vn, nil
@@ -1394,12 +1460,25 @@ func (t *Txn) absorb(child *Txn) {
 	for dm, lvl := range child.touched {
 		merged[dm] = lvl
 	}
+	wrote := make([]string, 0, len(child.wroteItems))
+	for item := range child.wroteItems {
+		wrote = append(wrote, item)
+	}
 	child.mu.Unlock()
 	t.mu.Lock()
 	for dm, lvl := range merged {
 		if t.touched[dm] < lvl {
 			t.touched[dm] = lvl
 		}
+	}
+	// Written items ride along too (even from an aborted child, whose
+	// buffered writes are discarded): the top-level hint fence over-fencing
+	// an item only revokes hints, never correctness.
+	if len(wrote) > 0 && t.wroteItems == nil {
+		t.wroteItems = map[string]bool{}
+	}
+	for _, item := range wrote {
+		t.wroteItems[item] = true
 	}
 	t.mu.Unlock()
 }
@@ -1445,6 +1524,7 @@ func (t *Txn) Sub(ctx context.Context, fn func(*Txn) error) error {
 		t.store.traceEvent(string(child.id), "sub-commit", "promote stragglers %v", m)
 	}
 	t.absorb(child)
+	t.adoptWrites(child)
 	t.adoptOps(child)
 	t.adoptSubs(child)
 	t.store.traceEvent(string(child.id), "sub-commit", "promoted to %s", t.id)
@@ -1512,6 +1592,17 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			}
 		}
 		if err == nil {
+			// The hint fence rides the same pre-commit slot as the lease
+			// fence: revoke freshness hints at every replica of every written
+			// item before the commit point, so no replica can serve a
+			// single-replica read of the version this commit supersedes. A
+			// refusal (a hinted reader's lock still live there) is a lock
+			// conflict — abort and restart.
+			if ferr := t.fenceHints(ctx); ferr != nil {
+				err = ferr
+			}
+		}
+		if err == nil {
 			written, granted, tentative := t.controlSets()
 			// The first CommitTopReq send is the commit point: every
 			// written DM buffered the intention at a full write quorum, so
@@ -1527,10 +1618,11 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 				hook(t.id)
 			}
 			missing := t.control(ctx, written, granted, tentative,
-				CommitTopReq{Txn: t.id, Subs: t.committedSubs()})
+				CommitTopReq{Txn: t.id, Subs: t.committedSubs(), Final: t.finalVNs()})
 			if len(missing) > 0 {
 				s.traceEvent(string(t.id), "commit", "stragglers %v", missing)
 			}
+			t.primeHintTargets(missing)
 			t.done = true
 			s.untrackTxn(t)
 			s.noteTxnOutcome(nil)

@@ -37,6 +37,9 @@ func RegisterWireTypes() {
 	gob.Register(RenewLeaseReq{})
 	gob.Register(ResolutionQueryReq{})
 	gob.Register(ResolutionAnswer{})
+	gob.Register(HintReadReq{})
+	gob.Register(HintGrantReq{})
+	gob.Register(HintFenceReq{})
 	gob.Register(ReapReq{})
 	// Responses.
 	gob.Register(ReadResp{})
@@ -44,4 +47,5 @@ func RegisterWireTypes() {
 	gob.Register(Ack{})
 	gob.Register(OverloadedResp{})
 	gob.Register(InspectResp{})
+	gob.Register(HintMissResp{})
 }

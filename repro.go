@@ -221,6 +221,12 @@ var (
 	// WithAntiEntropy starts a background sweeper repairing stale
 	// replicas at the given interval.
 	WithAntiEntropy = cluster.WithAntiEntropy
+	// WithReadLease enables the freshness-hint read fast lane: a
+	// hinted item is read from one replica, no quorum, inside the TTL.
+	WithReadLease = cluster.WithReadLease
+	// WithReadLeaseTTL sets the freshness-hint TTL — the bound on how
+	// long an unreachable replica's hint outlives its revocation.
+	WithReadLeaseTTL = cluster.WithReadLeaseTTL
 )
 
 // OpenSim builds a simulated network with the given latency range and a
