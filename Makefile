@@ -54,10 +54,14 @@ proc-smoke:
 # the multi-process kill -9 recovery smoke (real qcstore server processes
 # over TCP), the overload smoke (the three-arm goodput gate — protections
 # under 2x load must stay within 20% of capacity while the ablated
-# cluster collapses), and the stalehint gate: seeded campaigns that
+# cluster collapses), the stalehint gate: seeded campaigns that
 # partition exactly the replica the next hinted read trusts while newer
 # versions commit through the survivors, every history checked
-# serializable.
+# serializable, the migrate gate: campaigns that kill the migration
+# coordinator mid-cutover (abandoned migrations must resolve with zero
+# wedged items, zero violations), and the shard scale-out gate (E16
+# smoke — 4 shards must deliver >= 2.5x 1-shard throughput under the
+# same zipfian load without regressing read p99).
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
@@ -68,6 +72,9 @@ verify: build vet staticcheck test race
 	$(GO) run ./cmd/qchaos -proc -bin bin/qcstore
 	$(GO) run ./cmd/qchaos -overload
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults stalehint
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults migrate
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 3 -faults stalehint,migrate
+	$(GO) run ./cmd/qchaos -shardscale
 	@echo verify: OK
 
 # Static analysis beyond vet; skipped with a notice when the binary is not

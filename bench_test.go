@@ -713,3 +713,41 @@ func BenchmarkE15_ReadMostly_HintOn(b *testing.B) {
 func BenchmarkE15_ReadMostly_HintOff(b *testing.B) {
 	benchE15(b, false)
 }
+
+// E16: sharded scale-out. Each benchmark runs one arm of the shard-scale
+// experiment — the identical 95/5 zipfian closed-loop workload against 1,
+// 2, 4 or 8 replica groups, every replica behind the same simulated
+// service time — and reports throughput plus the read-latency quantiles.
+// Compare txn/s across arms: with fixed offered load and per-replica
+// capacity, throughput must rise with the group count (the qchaos
+// -shardscale gate requires 4-shard >= 2.5x 1-shard) while read p99
+// falls as queues drain.
+func benchShardScaleArm(b *testing.B, shards int) {
+	ctx := context.Background()
+	var committed, failed int
+	var elapsed time.Duration
+	var last chaos.ShardScaleArm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arm, err := chaos.RunShardScaleArm(ctx, chaos.ShardScaleConfig{Seed: int64(i + 1)}, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += arm.Committed
+		failed += arm.Failed
+		elapsed += arm.Elapsed
+		last = arm
+	}
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(committed)/elapsed.Seconds(), "txn/s")
+	}
+	b.ReportMetric(float64(failed)/float64(b.N), "failed/op")
+	b.ReportMetric(float64(last.ReadP50.Microseconds()), "read-p50-us")
+	b.ReportMetric(float64(last.ReadP99.Microseconds()), "read-p99-us")
+}
+
+func BenchmarkE16_ShardScale_1(b *testing.B) { benchShardScaleArm(b, 1) }
+func BenchmarkE16_ShardScale_2(b *testing.B) { benchShardScaleArm(b, 2) }
+func BenchmarkE16_ShardScale_4(b *testing.B) { benchShardScaleArm(b, 4) }
+func BenchmarkE16_ShardScale_8(b *testing.B) { benchShardScaleArm(b, 8) }

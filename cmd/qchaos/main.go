@@ -9,12 +9,19 @@
 // with every protection ablated — and gates on goodput: the protected arm
 // must stay within 20% of capacity while the ablation collapses.
 //
+// With -shardscale it runs the shard scale-out experiment (E16): the same
+// 95/5 zipfian workload against 1, 2, 4 and 8 consistent-hash shards of
+// service-time-bounded replicas — and gates on scaling: the 4-shard arm
+// must deliver at least 2.5x the 1-shard throughput without regressing
+// read latency.
+//
 // Usage:
 //
 //	qchaos -seed 1 -campaigns 50
 //	qchaos -seed 99 -duration 30s -faults crash,partition,dup
 //	qchaos -seed 1 -first 17 -campaigns 1 -v   # replay campaign 17
 //	qchaos -overload                           # goodput-under-overload gate
+//	qchaos -shardscale                         # shard scale-out gate
 package main
 
 import (
@@ -31,21 +38,22 @@ import (
 
 func main() {
 	var (
-		seed      = flag.Int64("seed", 1, "base seed; campaign i runs with CampaignSeed(seed, i)")
-		campaigns = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
-		duration  = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
-		first     = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults    = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint")
-		items     = flag.Int("items", 2, "replicated items per campaign")
-		replicas  = flag.Int("replicas", 3, "replicas (DMs) per item")
-		rounds    = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
-		txns      = flag.Int("txns", 8, "top-level transactions per round")
-		live      = flag.Bool("live", false, "live mode: fan-out, hedging, concurrent workers (forfeits exact replay)")
-		selfheal  = flag.String("selfheal", "auto", "lease reaper + failure detector: auto (on when flap/clientcrash faults run), on, off")
-		overload  = flag.Bool("overload", false, "run the three-arm overload goodput experiment instead of campaigns")
-		proc      = flag.Bool("proc", false, "run the process-level kill -9 recovery check against real qcstore processes over TCP")
-		procBin   = flag.String("bin", "", "qcstore binary for -proc (empty builds it with `go build`)")
-		verbose   = flag.Bool("v", false, "print one line per campaign")
+		seed       = flag.Int64("seed", 1, "base seed; campaign i runs with CampaignSeed(seed, i)")
+		campaigns  = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
+		duration   = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
+		first      = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
+		faults     = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint,migrate")
+		items      = flag.Int("items", 2, "replicated items per campaign")
+		replicas   = flag.Int("replicas", 3, "replicas (DMs) per item")
+		rounds     = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
+		txns       = flag.Int("txns", 8, "top-level transactions per round")
+		live       = flag.Bool("live", false, "live mode: fan-out, hedging, concurrent workers (forfeits exact replay)")
+		selfheal   = flag.String("selfheal", "auto", "lease reaper + failure detector: auto (on when flap/clientcrash faults run), on, off")
+		overload   = flag.Bool("overload", false, "run the three-arm overload goodput experiment instead of campaigns")
+		shardscale = flag.Bool("shardscale", false, "run the shard scale-out throughput experiment instead of campaigns")
+		proc       = flag.Bool("proc", false, "run the process-level kill -9 recovery check against real qcstore processes over TCP")
+		procBin    = flag.String("bin", "", "qcstore binary for -proc (empty builds it with `go build`)")
+		verbose    = flag.Bool("v", false, "print one line per campaign")
 	)
 	flag.Parse()
 
@@ -55,6 +63,9 @@ func main() {
 	}
 	if *overload {
 		os.Exit(runOverloadGate(ctx, *seed))
+	}
+	if *shardscale {
+		os.Exit(runShardScaleGate(ctx, *seed))
 	}
 
 	fs, err := chaos.ParseFaults(*faults)
@@ -108,6 +119,10 @@ func main() {
 				res.Orphans, res.ReapsAborted, res.ReapsCommitted,
 				res.ResolutionQueries, res.Wedged,
 				res.Bursts, res.Shed, res.ExpiredOnArrival, res.Injected)
+			if res.Migrations > 0 || res.MigrationsAbandoned > 0 {
+				fmt.Printf("campaign %d migrations: clean=%d abandoned=%d redirects=%d\n",
+					i, res.Migrations, res.MigrationsAbandoned, res.WrongShardRedirects)
+			}
 			if res.StaleHints > 0 || res.HintReads > 0 {
 				fmt.Printf("campaign %d hints: stale=%d reads=%d hits=%d misses=%d fences=%d fencemisses=%d\n",
 					i, res.StaleHints, res.HintReads, res.HintHits, res.HintMisses,
@@ -144,6 +159,9 @@ func main() {
 		agg.Bursts += res.Bursts
 		agg.Shed += res.Shed
 		agg.ExpiredOnArrival += res.ExpiredOnArrival
+		agg.Migrations += res.Migrations
+		agg.MigrationsAbandoned += res.MigrationsAbandoned
+		agg.WrongShardRedirects += res.WrongShardRedirects
 		agg.FinalRoundCommitted += res.FinalRoundCommitted
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
@@ -151,13 +169,14 @@ func main() {
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | migrations=%d abandoned=%d redirects=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
 		agg.Orphans, agg.ReapsAborted, agg.ReapsCommitted, agg.ResolutionQueries, agg.Wedged,
 		agg.Bursts, agg.Shed, agg.ExpiredOnArrival,
 		agg.StaleHints, agg.HintReads, agg.HintHits, agg.HintFenceMisses,
+		agg.Migrations, agg.MigrationsAbandoned, agg.WrongShardRedirects,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }
 
@@ -187,6 +206,37 @@ func runOverloadGate(ctx context.Context, seed int64) int {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "overload gate FAILED: %v\n", gerr)
+		return 1
+	}
+}
+
+// runShardScaleGate runs the shard scale-out experiment and applies the
+// E16 gate. Throughput is a wall-clock measurement, so a failed gate gets
+// one retry on a fresh seed before it is declared real.
+func runShardScaleGate(ctx context.Context, seed int64) int {
+	for attempt := 0; ; attempt++ {
+		res, err := chaos.RunShardScale(ctx, chaos.ShardScaleConfig{Seed: seed + int64(attempt)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shardscale experiment: %v\n", err)
+			return 1
+		}
+		for _, a := range res.Arms {
+			fmt.Printf("arm=%d-shard workers=%d committed=%d failed=%d tput=%.0f txn/s p50=%v p99=%v read_p50=%v read_p99=%v\n",
+				a.Shards, a.Workers, a.Committed, a.Failed, a.Throughput, a.P50, a.P99, a.ReadP50, a.ReadP99)
+		}
+		gerr := res.Check()
+		if gerr == nil {
+			one, _ := res.Arm(1)
+			four, _ := res.Arm(4)
+			fmt.Printf("shardscale gate PASS: 4-shard %.0f txn/s = %.1fx 1-shard %.0f txn/s; read p99 %v -> %v\n",
+				four.Throughput, four.Throughput/one.Throughput, one.Throughput, one.ReadP99, four.ReadP99)
+			return 0
+		}
+		if attempt == 0 {
+			fmt.Fprintf(os.Stderr, "shardscale gate failed (%v); retrying once with seed %d\n", gerr, seed+1)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "shardscale gate FAILED: %v\n", gerr)
 		return 1
 	}
 }

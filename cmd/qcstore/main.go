@@ -5,6 +5,11 @@
 // -dir, every replica keeps a write-ahead log there, and the demo closes
 // the whole store and reopens it from the logs alone before reading the
 // final state back.
+//
+// The serve and client subcommands (see proc.go) run the same store as
+// real processes over TCP; pass -shards to both to run a sharded keyspace
+// on replica groups, and `client -inspect placement` to print the ring's
+// item placement.
 package main
 
 import (

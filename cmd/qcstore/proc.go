@@ -6,6 +6,13 @@ package main
 // peer map to run transactions. Every process derives the same item layout
 // from the sorted peer names, so no configuration file is needed — the
 // peer map IS the cluster description.
+//
+// With -shards (e.g. -shards g0=dm0:dm1:dm2,g1=dm3:dm4:dm5) the layout is
+// sharded instead: -keys data items placed on the replica groups by the
+// deterministic consistent-hash ring, every process deriving the same ring
+// from the same -shards/-keys/-ringseed flags. Clients route per key and
+// chase WrongShard redirects; `client -inspect placement` prints the ring
+// epoch and each item's group with per-replica version numbers.
 
 import (
 	"context"
@@ -21,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/transport/tcp"
 )
 
@@ -61,6 +69,34 @@ func itemsFor(peers map[string]string) []cluster.ItemSpec {
 	}
 }
 
+// shardLayout derives the sharded deployment's ring and item layout from
+// the -shards/-keys/-ringseed flags. Every process — servers and clients —
+// computes the same placement from the same flags, so the flags are the
+// whole cluster description, just like -peers in the unsharded layout.
+func shardLayout(spec string, nkeys int, seed int64, peers map[string]string) (*shard.Ring, []cluster.ItemSpec, error) {
+	groups, err := shard.ParseSpec(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ring, err := shard.New(seed, 64, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dm := range ring.DMs() {
+		if _, ok := peers[dm]; !ok {
+			return nil, nil, fmt.Errorf("shard DM %q missing from -peers", dm)
+		}
+	}
+	if nkeys <= 0 {
+		return nil, nil, fmt.Errorf("bad -keys %d (want > 0)", nkeys)
+	}
+	items, err := cluster.ShardItems(ring, shard.Keys("k", nkeys), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ring, items, nil
+}
+
 // serveMain hosts one DM replica until SIGINT/SIGTERM, then closes it in
 // order (endpoint first, write-ahead log last) and exits 0. SIGKILL is the
 // amnesia crash the WAL exists for: restart with the same flags and the
@@ -72,6 +108,9 @@ func serveMain(args []string) int {
 		peersArg = fs.String("peers", "", "comma-separated name=host:port for every replica")
 		dir      = fs.String("dir", "", "keep a write-ahead log under this directory (dir/<id>); empty serves volatile")
 		lease    = fs.Duration("lease", 0, "lock-lease TTL for orphan reaping; 0 disables leases")
+		shards   = fs.String("shards", "", "shard the keyspace onto replica groups, e.g. g0=dm0:dm1:dm2,g1=dm3:dm4:dm5")
+		nkeys    = fs.Int("keys", 16, "sharded keyspace size (k0..kN-1); only with -shards")
+		ringseed = fs.Int64("ringseed", 1, "consistent-hash ring seed; must match on every process")
 	)
 	fs.Parse(args)
 	peers, err := parsePeers(*peersArg)
@@ -96,7 +135,17 @@ func serveMain(args []string) int {
 	if *lease > 0 {
 		opts = append(opts, cluster.WithLeaseTTL(*lease))
 	}
-	host, err := cluster.ServeDM(tr, *id, itemsFor(peers), opts...)
+	items := itemsFor(peers)
+	if *shards != "" {
+		ring, sharded, err := shardLayout(*shards, *nkeys, *ringseed, peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qcstore serve:", err)
+			return 2
+		}
+		items = sharded
+		opts = append(opts, cluster.WithRing(ring))
+	}
+	host, err := cluster.ServeDM(tr, *id, items, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcstore serve:", err)
 		return 1
@@ -119,10 +168,14 @@ func clientMain(args []string) int {
 	fs := flag.NewFlagSet("qcstore client", flag.ExitOnError)
 	var (
 		peersArg = fs.String("peers", "", "comma-separated name=host:port for every replica")
-		get      = fs.Bool("get", false, "read the balance and print it")
-		set      = fs.String("set", "", "write this integer balance in a transaction")
-		inspect  = fs.String("inspect", "", "print one replica's committed state (bypasses quorums)")
+		get      = fs.Bool("get", false, "read the item and print it")
+		set      = fs.String("set", "", "write this integer value in a transaction")
+		inspect  = fs.String("inspect", "", "print one replica's committed state (bypasses quorums); with -shards, \"placement\" prints the whole ring layout")
+		item     = fs.String("item", "", "data item for -get/-set/-inspect (default: the demo item, or k0 with -shards)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "overall operation deadline")
+		shards   = fs.String("shards", "", "shard the keyspace onto replica groups, e.g. g0=dm0:dm1:dm2,g1=dm3:dm4:dm5")
+		nkeys    = fs.Int("keys", 16, "sharded keyspace size (k0..kN-1); only with -shards")
+		ringseed = fs.Int64("ringseed", 1, "consistent-hash ring seed; must match on every process")
 	)
 	fs.Parse(args)
 	peers, err := parsePeers(*peersArg)
@@ -130,13 +183,32 @@ func clientMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "qcstore client:", err)
 		return 2
 	}
+	items := itemsFor(peers)
+	opts := []cluster.Option{
+		cluster.WithCallTimeout(time.Second),
+		// The PID tag keeps this process's transaction IDs disjoint from
+		// every other client process of the same cluster (see WithClientTag).
+		cluster.WithClientTag(fmt.Sprintf("p%d-", os.Getpid())),
+	}
+	var ring *shard.Ring
+	if *shards != "" {
+		r, sharded, err := shardLayout(*shards, *nkeys, *ringseed, peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qcstore client:", err)
+			return 2
+		}
+		ring, items = r, sharded
+		opts = append(opts, cluster.WithRing(ring))
+	}
+	if *item == "" {
+		*item = theItem
+		if ring != nil {
+			*item = "k0"
+		}
+	}
 	tr := tcp.New(tcp.WithPeers(peers))
 	defer tr.Close()
-	// The PID tag keeps this process's transaction IDs disjoint from every
-	// other client process of the same cluster (see WithClientTag).
-	store, err := cluster.OpenClient(tr, itemsFor(peers),
-		cluster.WithCallTimeout(time.Second),
-		cluster.WithClientTag(fmt.Sprintf("p%d-", os.Getpid())))
+	store, err := cluster.OpenClient(tr, items, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcstore client:", err)
 		return 1
@@ -144,30 +216,32 @@ func clientMain(args []string) int {
 	defer store.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	if err := clientOp(ctx, store, *get, *set, *inspect); err != nil {
+	if err := clientOp(ctx, store, ring, *nkeys, *item, *get, *set, *inspect); err != nil {
 		fmt.Fprintln(os.Stderr, "qcstore client:", err)
 		return 1
 	}
 	return 0
 }
 
-func clientOp(ctx context.Context, store *cluster.Store, get bool, set, inspect string) error {
+func clientOp(ctx context.Context, store *cluster.Store, ring *shard.Ring, nkeys int, item string, get bool, set, inspect string) error {
 	switch {
+	case inspect == "placement" && ring != nil:
+		return printPlacement(ctx, store, ring, shard.Keys("k", nkeys))
 	case inspect != "":
-		resp, err := store.Inspect(ctx, inspect, theItem)
+		resp, err := store.Inspect(ctx, inspect, item)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%s: %s = %v (vn %d, gen %d, %d locks, %d intents)\n",
-			inspect, theItem, resp.Val, resp.VN, resp.Gen, resp.Locks, resp.Intents)
+			inspect, item, resp.Val, resp.VN, resp.Gen, resp.Locks, resp.Intents)
 		return nil
 	case get:
 		return store.Run(ctx, func(tx *cluster.Txn) error {
-			v, vn, err := tx.ReadVersioned(ctx, theItem)
+			v, vn, err := tx.ReadVersioned(ctx, item)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s = %v (vn %d)\n", theItem, v, vn)
+			fmt.Printf("%s = %v (vn %d)\n", item, v, vn)
 			return nil
 		})
 	case set != "":
@@ -176,15 +250,53 @@ func clientOp(ctx context.Context, store *cluster.Store, get bool, set, inspect 
 			return fmt.Errorf("bad -set value %q: %w", set, err)
 		}
 		if err := store.Run(ctx, func(tx *cluster.Txn) error {
-			return tx.Write(ctx, theItem, n)
+			return tx.Write(ctx, item, n)
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("%s := %d committed\n", theItem, n)
+		fmt.Printf("%s := %d committed\n", item, n)
 		return nil
 	default:
 		return clientDemo(ctx, store)
 	}
+}
+
+// printPlacement renders the sharded deployment's layout: the client's
+// ring epoch, then each item's owning group with the committed version
+// number at every replica of that group (an unreachable replica prints
+// "?" rather than failing the whole table).
+func printPlacement(ctx context.Context, store *cluster.Store, ring *shard.Ring, keys []string) error {
+	fmt.Printf("ring epoch %d, %d groups (%s)\n",
+		store.RingEpoch(), len(ring.GroupNames()), shard.FormatSpec(groupsOf(ring)))
+	for _, k := range keys {
+		g, ok := ring.GroupOf(k)
+		if !ok {
+			return fmt.Errorf("item %q maps to no group", k)
+		}
+		parts := make([]string, 0, len(g.DMs))
+		for _, dm := range g.DMs {
+			resp, err := store.Inspect(ctx, dm, k)
+			if err != nil {
+				parts = append(parts, dm+"=?")
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s=vn%d", dm, resp.VN))
+		}
+		fmt.Printf("%-8s -> %-8s %s\n", k, g.Name, strings.Join(parts, " "))
+	}
+	return nil
+}
+
+// groupsOf lists a ring's groups for FormatSpec.
+func groupsOf(ring *shard.Ring) []shard.Group {
+	names := ring.GroupNames()
+	groups := make([]shard.Group, 0, len(names))
+	for _, name := range names {
+		if g, ok := ring.Group(name); ok {
+			groups = append(groups, g)
+		}
+	}
+	return groups
 }
 
 // clientDemo is the nested-transaction walkthrough of the sim demo, run

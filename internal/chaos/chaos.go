@@ -31,6 +31,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/cluster"
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -77,12 +78,25 @@ const (
 	// whole discipline: a hinted read served from the superseded version
 	// anywhere in the campaign is a violation.
 	FaultStalehint Fault = "stalehint"
+	// FaultMigrate live-migrates one item to a different replica group at a
+	// round boundary — and, half the time, kills the migration coordinator
+	// at its nastiest moments: after every intention is buffered but before
+	// any CommitTopReq (the lease reaper must presume abort), or partway
+	// through the commit broadcast (one delivered copy decides commit; the
+	// reaper's peer inquiry must finish the job). Selecting it runs the
+	// store sharded (a consistent-hash ring over the per-item replica
+	// groups) with self-healing on: abandoned coordinators are exactly
+	// orphaned clients. The campaign's final writability probe then gates
+	// zero wedged items and the checker zero serializability violations,
+	// whichever way each crash resolved.
+	FaultMigrate Fault = "migrate"
 )
 
-// AllFaults lists every fault class in canonical order. Stalehint comes
-// last so enabling it never perturbs the draw order — and with it the
-// schedule — of seeded campaigns that predate it.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint}
+// AllFaults lists every fault class in canonical order. Newer classes
+// (stalehint, then migrate) come last so enabling them never perturbs the
+// draw order — and with it the schedule — of seeded campaigns that predate
+// them.
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint, FaultMigrate}
 
 // overloadAdmitCap is the per-DM admission queue capacity campaigns use
 // when FaultOverload is selected: small enough that a burst always sheds,
@@ -229,11 +243,12 @@ func (c Config) selfHeal() bool {
 		return false
 	}
 	for _, f := range c.Faults {
-		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint {
+		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint || f == FaultMigrate {
 			// Stalehint needs the manual clock: hint expiry at round
 			// boundaries is what makes an unfenceable (partitioned) hint
 			// holder safe, and that argument must be a pure function of the
-			// seed.
+			// seed. Migrate needs the reaper: a killed migration coordinator
+			// is an orphaned client whose locks only the reaper resolves.
 			return true
 		}
 	}
@@ -290,6 +305,14 @@ type Result struct {
 	HintMisses      int64
 	HintFences      int64
 	HintFenceMisses int64
+	// Migrations counts live migrations the scheduler completed cleanly;
+	// MigrationsAbandoned the ones whose coordinator it killed (before
+	// commit or mid-broadcast — both left for the lease reaper to resolve).
+	// WrongShardRedirects is the store's count of redirects absorbed from
+	// retired replicas. All zero when FaultMigrate is not in play.
+	Migrations          int
+	MigrationsAbandoned int
+	WrongShardRedirects int64
 	// FinalRoundCommitted is the last round's committed transactions — the
 	// throughput the cluster re-attained after its accumulated damage.
 	FinalRoundCommitted int
@@ -341,7 +364,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithCallTimeout(cfg.CallTimeout),
 		cluster.WithHistory(rec),
 	}
-	amnesiaOn, overloadOn, staleOn := false, false, false
+	amnesiaOn, overloadOn, staleOn, migrateOn := false, false, false, false
 	for _, f := range cfg.Faults {
 		if f == FaultAmnesia {
 			amnesiaOn = true
@@ -352,6 +375,29 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		if f == FaultStalehint {
 			staleOn = true
 		}
+		if f == FaultMigrate {
+			migrateOn = true
+		}
+	}
+	if migrateOn {
+		// Migrate needs somewhere to migrate to: shard the store over a
+		// consistent-hash ring with one named group per replica group, each
+		// item pinned (ring override) to the group that already hosts it, so
+		// the ring starts out agreeing with the item specs.
+		sgroups := make([]shard.Group, cfg.Items)
+		for i := range sgroups {
+			sgroups[i] = shard.Group{Name: fmt.Sprintf("g%d", i), DMs: groups[i]}
+		}
+		ring, rerr := shard.New(cfg.Seed, 32, sgroups)
+		if rerr != nil {
+			return Result{}, rerr
+		}
+		for i, name := range itemNames {
+			if merr := ring.MoveKey(name, fmt.Sprintf("g%d", i)); merr != nil {
+				return Result{}, merr
+			}
+		}
+		opts = append(opts, cluster.WithRing(ring))
 	}
 	if staleOn {
 		// Stalehint needs something to poison: the freshness-hint fast lane.
@@ -566,6 +612,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Bursts = sched.bursts
 	res.Shed = sched.shed
 	res.ExpiredOnArrival = sched.expired
+	res.Migrations = sched.migrations
+	res.MigrationsAbandoned = sched.abandoned
+	res.WrongShardRedirects = store.Stats.WrongShardRedirects.Value()
 	res.ReapsAborted = store.Stats.OrphanReapsAborted.Value()
 	res.ReapsCommitted = store.Stats.OrphanReapsCommitted.Value()
 	res.ResolutionQueries = store.Stats.ResolutionQueries.Value()
@@ -617,12 +666,25 @@ type scheduler struct {
 	shed    int64 // requests shed at admission across all bursts
 	expired int64 // admitted requests expired at dequeue across all bursts
 	err     error // first amnesia-recovery failure; fails the campaign
+
+	// migrate fault bookkeeping: home[i] is the group index item x<i> is
+	// believed to live on (updated only on clean cutover — a killed
+	// coordinator leaves the outcome to the reaper, and the next roll's
+	// no-op/migrate either way is valid); migrations and abandoned count
+	// clean and coordinator-killed injections.
+	home       []int
+	migrations int
+	abandoned  int
 }
 
 func newScheduler(net *sim.Network, store *cluster.Store, client string, groups [][]string, cfg Config) *scheduler {
 	enabled := map[Fault]bool{}
 	for _, f := range cfg.Faults {
 		enabled[f] = true
+	}
+	home := make([]int, len(groups))
+	for i := range home {
+		home[i] = i
 	}
 	return &scheduler{
 		// Offset the seed so the scheduler's stream is independent of the
@@ -634,6 +696,7 @@ func newScheduler(net *sim.Network, store *cluster.Store, client string, groups 
 		groups:  groups,
 		cfg:     cfg,
 		enabled: enabled,
+		home:    home,
 	}
 }
 
@@ -787,6 +850,57 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 			}); werr != nil && !expectedUnderFaults(werr) {
 				if s.err == nil {
 					s.err = fmt.Errorf("chaos: stalehint write through survivors: %w", werr)
+				}
+				return
+			}
+		case FaultMigrate:
+			if len(s.groups) < 2 {
+				continue
+			}
+			i := s.rng.Intn(len(s.groups))
+			tg := s.rng.Intn(len(s.groups) - 1)
+			if tg >= s.home[i] {
+				tg++ // a group other than the believed home
+			}
+			mode := s.rng.Intn(4)
+			deliver := s.rng.Intn(3)
+			// A target group already node-impaired would just fail the adopt
+			// round (every new replica must host the placeholder); spend the
+			// roll elsewhere. The believed-home group may be impaired — the
+			// old side only needs quorums, and failing against them is part
+			// of the exercise.
+			if s.impaired(tg) > 0 {
+				continue
+			}
+			item := fmt.Sprintf("x%d", i)
+			target := fmt.Sprintf("g%d", tg)
+			var mopts cluster.MigrateOptions
+			switch mode {
+			case 2:
+				mopts.Crash = cluster.MigrateCrashBeforeCommit
+			case 3:
+				mopts.Crash = cluster.MigrateCrashMidCommit
+				mopts.CrashDeliver = deliver
+			}
+			merr := s.store.MigrateItemOpts(context.Background(), item, target, mopts)
+			switch {
+			case merr == nil:
+				if mopts.Crash == cluster.MigrateCrashNone {
+					s.migrations++
+					s.home[i] = tg
+				}
+			case errors.Is(merr, cluster.ErrMigrationAbandoned):
+				// The injected coordinator kill. The item's fate — old group
+				// at the old generation, or new group at gen+1 — now rests
+				// with the lease reaper; the final writability probe and the
+				// checker hold it to exactly one of those.
+				s.abandoned++
+			case expectedUnderFaults(merr):
+				// Adopt/copy/fence lost to a concurrent fault before the
+				// commit point; the coordinator aborted cleanly.
+			default:
+				if s.err == nil {
+					s.err = fmt.Errorf("chaos: migrate %s -> %s: %w", item, target, merr)
 				}
 				return
 			}

@@ -317,6 +317,40 @@ func TestOverloadExperimentMechanics(t *testing.T) {
 	}
 }
 
+// TestShardScaleMechanics runs a scaled-down two-arm shard sweep and
+// checks its structural invariants — the ones independent of wall-clock
+// throughput, which the qchaos -shardscale gate (and E16) measures on
+// top: every arm commits its full offered load on a healthy network and
+// reports latency quantiles for the read series.
+func TestShardScaleMechanics(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := ShardScaleConfig{Seed: 1, Shards: []int{1, 2}, Workers: 4, TxnsPerWorker: 10, Keys: 16}
+	res, err := RunShardScale(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 2 {
+		t.Fatalf("arms = %d, want 2", len(res.Arms))
+	}
+	for _, a := range res.Arms {
+		if a.Committed+a.Failed != 4*10 {
+			t.Errorf("%d-shard arm: committed %d + failed %d != offered 40", a.Shards, a.Committed, a.Failed)
+		}
+		if a.Committed == 0 || a.Throughput <= 0 {
+			t.Errorf("%d-shard arm committed nothing", a.Shards)
+		}
+		if a.ReadP99 <= 0 || a.ReadP99 < a.ReadP50 {
+			t.Errorf("%d-shard arm read quantiles p50=%v p99=%v", a.Shards, a.ReadP50, a.ReadP99)
+		}
+	}
+	if _, ok := res.Arm(2); !ok {
+		t.Error("Arm(2) not found")
+	}
+	if _, ok := res.Arm(4); ok {
+		t.Error("Arm(4) invented an arm")
+	}
+}
+
 // TestStalehintCampaign runs stalehint-focused campaigns: the scheduler
 // reads the client's own fast-lane cache to find the replica the next
 // hinted read would trust, partitions exactly that replica with its hint
@@ -380,6 +414,95 @@ func TestStalehintCampaignDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
+// TestMigrateCampaign runs migrate-focused campaigns: the scheduler
+// live-migrates items between replica groups at round boundaries and kills
+// the coordinator at the two nastiest points (before any commit delivery,
+// and partway through the broadcast). Across the seeds both clean
+// migrations and abandoned coordinators must occur, no item may end
+// wedged, and every history must verify — whichever way each crash
+// resolved.
+func TestMigrateCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	migrations, abandoned := 0, 0
+	for i := 0; i < 5; i++ {
+		cfg := shortCfg(CampaignSeed(71, i))
+		cfg.Faults = []Fault{FaultMigrate}
+		cfg.Rounds = 4
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("migrate campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d committed nothing", i)
+		}
+		if res.Wedged != 0 {
+			t.Errorf("campaign %d left %d item(s) wedged after migration crashes", i, res.Wedged)
+		}
+		migrations += res.Migrations
+		abandoned += res.MigrationsAbandoned
+	}
+	if migrations == 0 {
+		t.Error("no clean migration completed across five campaigns")
+	}
+	if abandoned == 0 {
+		t.Error("no coordinator was ever killed mid-migration — the crash modes never fired")
+	}
+}
+
+// TestMigrateCampaignDeterministic reruns one migrate campaign with the
+// same seed and demands byte-identical results — migrations, abandoned
+// coordinators, redirects and the network's fate counters — so a failing
+// cutover schedule replays exactly.
+func TestMigrateCampaignDeterministic(t *testing.T) {
+	ctx := testCtx(t)
+	cfg := shortCfg(CampaignSeed(71, 0))
+	cfg.Faults = []Fault{FaultMigrate}
+	cfg.Rounds = 4
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
+// TestStalehintAfterMigrateCampaign combines the two newest fault classes:
+// items migrate between replica groups while the freshness-hint fast lane
+// is live and under adversarial staleness schedules. A hint cached before
+// a migration points at a replica that may since have retired — the
+// ring-epoch invalidation must keep such hints from ever serving a
+// superseded version, and the checker gates exactly that across the
+// campaign.
+func TestStalehintAfterMigrateCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	moved, reads := 0, int64(0)
+	for i := 0; i < 5; i++ {
+		cfg := shortCfg(CampaignSeed(81, i))
+		cfg.Faults = []Fault{FaultStalehint, FaultMigrate}
+		cfg.Rounds = 4
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("stalehint+migrate campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("campaign %d committed nothing", i)
+		}
+		if res.Wedged != 0 {
+			t.Errorf("campaign %d left %d item(s) wedged", i, res.Wedged)
+		}
+		moved += res.Migrations + res.MigrationsAbandoned
+		reads += res.HintReads
+	}
+	if moved == 0 {
+		t.Error("no migration attempt across five combined campaigns")
+	}
+	if reads == 0 {
+		t.Error("fast lane never exercised in the combined campaigns")
 	}
 }
 

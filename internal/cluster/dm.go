@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
@@ -56,6 +57,17 @@ type dmServer struct {
 	id       string
 	replicas map[string]*replica
 
+	// moved marks items this DM retired after a live migration, keyed by
+	// item name, each carrying the redirect to answer with. Hard state:
+	// installed through apply (WAL-logged, replayed), because a recovered
+	// replica serving a retired item's stale bytes would be a split brain.
+	moved map[string]WrongShardResp
+
+	// ring is this replica's view of the placement ring, nil when the
+	// deployment is unsharded. Soft state (gossip for routers): never
+	// logged, never replayed, rebuilt from serve flags after amnesia.
+	ring *shard.Ring
+
 	// resolved remembers finished top-level transactions (committed or
 	// aborted) so CommitTopReq is idempotent under client retries, so late
 	// request copies from cancelled fan-outs cannot grant locks for a
@@ -105,6 +117,7 @@ func newDMState(id string, items []ItemSpec) *dmServer {
 	s := &dmServer{
 		id:        id,
 		replicas:  map[string]*replica{},
+		moved:     map[string]WrongShardResp{},
 		resolved:  map[TxnID]*resolution{},
 		clock:     transport.Wall,
 		leases:    map[TxnID]time.Time{},
@@ -130,6 +143,16 @@ func (s *dmServer) configureLeases(ttl time.Duration, clock transport.Clock, pee
 	}
 	s.peers = peers
 	s.stats = stats
+}
+
+// configureRing hands the replica its initial placement-ring view (a deep
+// copy). Like hint configuration it runs after recovery replay, so the
+// ring a rebuilt replica gossips is the one from its serve flags, not a
+// stale logged one — ring state is never logged at all.
+func (s *dmServer) configureRing(r *shard.Ring) {
+	if r != nil {
+		s.ring = r.Clone()
+	}
 }
 
 // setSender installs the peer-message transport.
@@ -412,6 +435,9 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		_ = q
 		return Ack{OK: true}, false
 	case ReadReq:
+		if w, ok := s.moved[q.Item]; ok {
+			return w, false
+		}
 		r := s.replicas[q.Item]
 		if r == nil {
 			return ReadResp{}, false
@@ -434,6 +460,9 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		// discarded responses may differ in it; the hard state never does).
 		return ReadResp{OK: true, Held: held, VN: vn, Val: val, Gen: gen, Cfg: cfg, Hinted: s.hintLive(q.Item, r)}, true
 	case WriteReq:
+		if w, ok := s.moved[q.Item]; ok {
+			return w, false
+		}
 		r := s.replicas[q.Item]
 		if r == nil {
 			return WriteResp{}, false
@@ -458,6 +487,9 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 		}
 		return WriteResp{OK: true, Held: held}, true
 	case ConfigWriteReq:
+		if w, ok := s.moved[q.Item]; ok {
+			return w, false
+		}
 		r := s.replicas[q.Item]
 		if r == nil {
 			return WriteResp{}, false
@@ -567,6 +599,44 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 				s.grantHint(name, r, q.Txn)
 			}
 		}
+		return Ack{OK: true}, true
+	case AdoptItemReq:
+		if _, hosts := s.replicas[q.Item]; hosts {
+			// Idempotent: a retried adopt round must not regress a replica
+			// that may already hold copied state or live locks.
+			return Ack{OK: true}, false
+		}
+		// Adoption supersedes any old moved marker: the item is coming back
+		// to this DM (migrations can round-trip). The replica starts at
+		// version 0 with an empty config — it becomes a read target only
+		// through the migration's copy + committed cutover config record.
+		delete(s.moved, q.Item)
+		s.replicas[q.Item] = &replica{
+			val:   q.Initial,
+			locks: map[TxnID]LockMode{},
+		}
+		return Ack{OK: true}, true
+	case RetireItemReq:
+		r := s.replicas[q.Item]
+		if r == nil {
+			// Already retired (or never hosted): idempotent only when the
+			// marker is present, refused otherwise so a misdirected retire
+			// is visible.
+			_, ok := s.moved[q.Item]
+			return Ack{OK: ok}, false
+		}
+		if len(r.locks) > 0 || len(r.intents) > 0 {
+			// In-flight transactions finish against the old generation; the
+			// coordinator retries retirement later (or leaves the replica —
+			// the gen-chase redirects readers regardless).
+			return Ack{OK: false}, false
+		}
+		delete(s.replicas, q.Item)
+		s.moved[q.Item] = WrongShardResp{
+			DM: s.id, Item: q.Item, Epoch: q.Epoch, Group: q.Group,
+			DMs: append([]string(nil), q.DMs...), Gen: q.Gen, Cfg: q.Cfg.Clone(),
+		}
+		delete(s.hints, q.Item)
 		return Ack{OK: true}, true
 	case ReapReq:
 		top := q.Txn.Top()

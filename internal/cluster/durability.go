@@ -82,6 +82,10 @@ type resolutionSnap struct {
 type dmSnap struct {
 	Replicas []replicaSnap
 	Resolved map[TxnID]resolutionSnap
+	// Moved carries the migration retirement markers: hard state like the
+	// replicas themselves — a compacted log must still answer WrongShard
+	// redirects for items this DM retired.
+	Moved map[string]WrongShardResp
 }
 
 // encodeSnapshot serializes the DM's complete state. Replicas are listed in
@@ -94,6 +98,12 @@ func encodeSnapshot(s *dmServer) ([]byte, error) {
 	snap := dmSnap{Resolved: map[TxnID]resolutionSnap{}}
 	for t, res := range s.resolved {
 		snap.Resolved[t] = resolutionSnap{Committed: res.committed, Subs: res.subs}
+	}
+	if len(s.moved) > 0 {
+		snap.Moved = map[string]WrongShardResp{}
+		for item, w := range s.moved {
+			snap.Moved[item] = w
+		}
 	}
 	names := make([]string, 0, len(s.replicas))
 	for name := range s.replicas {
@@ -131,6 +141,10 @@ func restoreSnapshot(s *dmServer, b []byte) error {
 	s.resolved = map[TxnID]*resolution{}
 	for t, rs := range snap.Resolved {
 		s.resolved[t] = &resolution{committed: rs.Committed, subs: rs.Subs}
+	}
+	s.moved = map[string]WrongShardResp{}
+	for item, w := range snap.Moved {
+		s.moved[item] = w
 	}
 	s.replicas = map[string]*replica{}
 	for _, rs := range snap.Replicas {

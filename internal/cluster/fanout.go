@@ -31,8 +31,9 @@ type collector struct {
 	busy    map[string]bool // DM refused for a lock conflict at least once
 	shed    map[string]bool // DM rejected at admission (overloaded)
 	resps   map[string]memberResp
-	dups    int  // responses beyond the first, per DM, summed
-	expired bool // at least one shed was expired-on-arrival
+	wrong   map[string]WrongShardResp // DM answered "item moved" redirect
+	dups    int                       // responses beyond the first, per DM, summed
+	expired bool                      // at least one shed was expired-on-arrival
 }
 
 func newCollector(quorums []quorum.Set) *collector {
@@ -122,6 +123,36 @@ func (c *collector) noteShed(dm string, expired bool) {
 	if expired {
 		c.expired = true
 	}
+}
+
+// noteWrongShard folds in a migration redirect. Like a shed, the DM
+// answered — it just no longer hosts the item — so it counts as replied
+// and is never hedged or reported missing.
+func (c *collector) noteWrongShard(dm string, w WrongShardResp) {
+	c.replied[dm]++
+	if c.replied[dm] > 1 {
+		c.dups++
+	}
+	if c.wrong == nil {
+		c.wrong = map[string]WrongShardResp{}
+	}
+	if _, dup := c.wrong[dm]; !dup {
+		c.wrong[dm] = w
+	}
+}
+
+// sawWrongShard returns one redirect from the phase, lowest DM id first so
+// the pick is deterministic under seeded replay.
+func (c *collector) sawWrongShard() (WrongShardResp, bool) {
+	if len(c.wrong) == 0 {
+		return WrongShardResp{}, false
+	}
+	dms := make([]string, 0, len(c.wrong))
+	for dm := range c.wrong {
+		dms = append(dms, dm)
+	}
+	sort.Strings(dms)
+	return c.wrong[dms[0]], true
 }
 
 // sawBusy reports whether any DM refused for a lock conflict.
@@ -315,6 +346,8 @@ func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 					} else {
 						t.store.Stats.AdmissionSheds.Inc()
 					}
+				} else if w, ok := r.raw.(WrongShardResp); ok {
+					col.noteWrongShard(r.dm, w)
 				} else {
 					granted, busy, held, resp := parseGrant(r.raw)
 					if busy {

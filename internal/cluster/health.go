@@ -39,7 +39,7 @@ type healthBoard struct {
 type nodeHealth struct {
 	consecFails int
 	open        bool
-	sincePlan   int // planning passes since the last probe while open
+	sincePlan   int     // planning passes since the last probe while open
 	ewma        float64 // smoothed round-trip estimate, nanoseconds
 	successes   int64
 	failures    int64

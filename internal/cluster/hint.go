@@ -137,6 +137,11 @@ func (s *dmServer) hintCheck(q HintReadReq) (ReadReq, *HintMissResp) {
 	miss := func(reason string) (ReadReq, *HintMissResp) {
 		return ReadReq{}, &HintMissResp{DM: s.id, Reason: reason}
 	}
+	if _, ok := s.moved[q.Item]; ok {
+		// Retired after a migration: the quorum path the miss forces will
+		// hit the moved marker and absorb the WrongShard redirect.
+		return miss("moved")
+	}
 	r := s.replicas[q.Item]
 	if r == nil {
 		return miss("unknown-item")
@@ -233,9 +238,26 @@ type hintTarget struct {
 
 // hintCache is the client-side map of items to hinted replicas. Guarded by
 // its own mutex: the fan-out's response folding updates it concurrently.
+// epoch is the placement-ring epoch the cache was last valid for; every
+// advance clears the cache wholesale (setEpoch).
 type hintCache struct {
 	mu      sync.Mutex
+	epoch   int
 	targets map[string]hintTarget
+}
+
+// setEpoch invalidates the cache when the placement ring advances: every
+// cached target was learned under the old placement, and a hint that
+// survives a migration points a single-replica read at a retired replica.
+// Clearing wholesale is cheap and total — ring epochs advance only on
+// membership changes and cutovers, never on the data path.
+func (c *hintCache) setEpoch(e int) {
+	c.mu.Lock()
+	if e > c.epoch {
+		c.epoch = e
+		c.targets = nil
+	}
+	c.mu.Unlock()
 }
 
 // note caches dm as item's fast-lane target.
@@ -343,6 +365,14 @@ func (t *Txn) tryHintRead(ctx context.Context, item string) (readResult, bool) {
 		s.hintCache.drop(item)
 		s.Stats.HintMisses.Inc()
 		return readResult{}, false
+	case WrongShardResp:
+		// The cached target retired the item since the hint was primed.
+		// Adopt the redirect (which also drops the stale cache entry) and
+		// let the quorum path re-read under the new placement.
+		s.Stats.WrongShardRedirects.Inc()
+		s.adoptRedirect(resp)
+		s.Stats.HintMisses.Inc()
+		return readResult{}, false
 	default:
 		// Overloaded or unexpected: fall back, the quorum path classifies.
 		s.Stats.HintMisses.Inc()
@@ -392,7 +422,7 @@ func (t *Txn) primeHintTargets(missing []string) {
 	}
 	t.mu.Unlock()
 	for _, item := range items {
-		it, ok := s.items[item]
+		it, ok := s.itemSpec(item)
 		if !ok {
 			continue
 		}
@@ -502,7 +532,7 @@ func (t *Txn) fenceHints(ctx context.Context) error {
 	type target struct{ dm, item string }
 	var targets []target
 	for _, item := range items {
-		it, ok := s.items[item]
+		it, ok := s.itemSpec(item)
 		if !ok {
 			continue
 		}

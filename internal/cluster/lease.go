@@ -237,7 +237,31 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 	}
 	// Hint grants and write fences are coordination too: soft state, never
 	// logged, never replayed (hint.go).
-	return s.coordinateHints(req)
+	if resp, handled := s.coordinateHints(req); handled {
+		return resp, handled
+	}
+	// Ring gossip last: also soft state (dm.go ring field).
+	return s.coordinateRing(req)
+}
+
+// coordinateRing serves the placement-ring gossip protocol. Ring state at
+// a replica is advisory — the data path's generation chase and WrongShard
+// redirects are the authority — so none of this is logged or replayed.
+func (s *dmServer) coordinateRing(req any) (resp any, handled bool) {
+	switch q := req.(type) {
+	case RingReq:
+		if s.ring == nil {
+			return RingResp{}, true
+		}
+		return RingResp{OK: true, Ring: *s.ring.Clone()}, true
+	case RingUpdateReq:
+		if s.ring != nil {
+			r := q.Ring
+			s.ring.Adopt(&r)
+		}
+		return Ack{OK: true}, true
+	}
+	return nil, false
 }
 
 // --- client side ---
@@ -372,7 +396,7 @@ func (s *Store) openTxnList() []*Txn {
 // returns that id. The locks wedge the item until the lease reaper
 // presumes the orphan aborted. Test/chaos harness use only.
 func (s *Store) PlantOrphan(ctx context.Context, item string) (TxnID, error) {
-	it, ok := s.items[item]
+	it, ok := s.itemSpec(item)
 	if !ok {
 		return "", fmt.Errorf("cluster: unknown item %q", item)
 	}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// shardedCluster opens a two-group (three replicas each) sharded cluster
+// whose keys are placed by a seeded ring, with leases on a manual clock so
+// tests decide exactly when an abandoned migration coordinator's locks
+// become reapable.
+func shardedCluster(t *testing.T, seed int64, ttl time.Duration, keys []string, extra ...Option) (*Store, *sim.Network, *sim.ManualClock, *shard.Ring) {
+	t.Helper()
+	groups := []shard.Group{
+		{Name: "g0", DMs: []string{"a0", "a1", "a2"}},
+		{Name: "g1", DMs: []string{"b0", "b1", "b2"}},
+	}
+	ring, err := shard.New(seed, 64, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := ShardItems(ring, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.NewNetwork(sim.Config{
+		MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond,
+		Seed: seed, FateFeedback: true,
+	})
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	opts := append([]Option{
+		WithSeed(seed),
+		WithCallTimeout(25 * time.Millisecond),
+		WithLeaseTTL(ttl),
+		WithClock(clk),
+		WithRetryBackoff(2 * time.Millisecond),
+		WithSynchronousCleanup(true),
+		WithRing(ring),
+	}, extra...)
+	store, err := Open(net, items, opts...)
+	if err != nil {
+		net.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net, clk, ring
+}
+
+// keyOn returns a key from keys the ring places on group, failing the test
+// when the seed produced none.
+func keyOn(t *testing.T, r *shard.Ring, keys []string, group string) string {
+	t.Helper()
+	for _, k := range keys {
+		if r.Lookup(k) == group {
+			return k
+		}
+	}
+	t.Fatalf("no key maps to group %q (reseed the test)", group)
+	return ""
+}
+
+func TestMigrateItemMovesValue(t *testing.T) {
+	keys := shard.Keys("k", 12)
+	store, net, _, ring := shardedCluster(t, 501, 50*time.Millisecond, keys)
+	ctx := context.Background()
+	key := keyOn(t, ring, keys, "g0")
+
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.MigrateItem(ctx, key, "g1"); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	net.Quiesce()
+	if got := store.Stats.Migrations.Value(); got != 1 {
+		t.Fatalf("Migrations = %d, want 1", got)
+	}
+	if g := store.Ring().Lookup(key); g != "g1" {
+		t.Fatalf("ring places %q on %q after migrate, want g1", key, g)
+	}
+	// The client's own spec now names the new group's replicas.
+	for _, it := range store.Items() {
+		if it.Name != key {
+			continue
+		}
+		for _, dm := range it.DMs {
+			if dm[0] != 'b' {
+				t.Fatalf("spec of %q still names old replica %s: %v", key, dm, it.DMs)
+			}
+		}
+	}
+	// Value survived the cutover, and the item is fully writable after.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("read %v after migrate, want 7", v)
+		}
+		return tx.Write(ctx, key, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err == nil && v != 8 {
+			t.Errorf("read %v, want 8", v)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Migrating an item already on the target group is a no-op.
+	if err := store.MigrateItem(ctx, key, "g1"); err != nil {
+		t.Fatalf("idempotent migrate: %v", err)
+	}
+	if got := store.Stats.Migrations.Value(); got != 1 {
+		t.Fatalf("no-op migrate bumped Migrations to %d", got)
+	}
+}
+
+// TestMigrateStaleClientRedirect: a client still believing the old
+// placement reads through retired replicas, absorbs their WrongShardResp
+// redirect transparently, and ends up with the adopted placement.
+func TestMigrateStaleClientRedirect(t *testing.T) {
+	keys := shard.Keys("k", 12)
+	store, net, _, ring := shardedCluster(t, 502, 50*time.Millisecond, keys)
+	ctx := context.Background()
+	key := keyOn(t, ring, keys, "g0")
+
+	items, err := ShardItems(ring, keys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := OpenClient(net, items,
+		WithSeed(1502), WithCallTimeout(25*time.Millisecond),
+		WithRetryBackoff(2*time.Millisecond), WithSynchronousCleanup(true),
+		WithRing(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 41) }); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the stale client's believed config under the old placement.
+	if err := stale.Run(ctx, func(tx *Txn) error {
+		_, err := tx.Read(ctx, key)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.MigrateItem(ctx, key, "g1"); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	net.Quiesce()
+
+	// The stale client's next read fans out to retired replicas and must
+	// come back with the committed value anyway.
+	if err := stale.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err != nil {
+			return err
+		}
+		if v != 41 {
+			t.Errorf("stale client read %v, want 41", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("stale read after migrate: %v", err)
+	}
+	if stale.Stats.WrongShardRedirects.Value() == 0 {
+		t.Fatal("stale client never saw a WrongShard redirect")
+	}
+	if g := stale.Ring().Lookup(key); g != "g1" {
+		t.Fatalf("stale client's ring still places %q on %q", key, g)
+	}
+	// Writes route to the new group too.
+	if err := stale.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 42) }); err != nil {
+		t.Fatalf("stale write after migrate: %v", err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err == nil && v != 42 {
+			t.Errorf("read %v, want the stale client's 42", v)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateCrashBeforeCommitRecovers: a coordinator that dies before any
+// CommitTopReq leaves only leased locks behind. Once the lease lapses the
+// reaper presumes abort, the item is untouched on the old group, and a
+// retried migration completes.
+func TestMigrateCrashBeforeCommitRecovers(t *testing.T) {
+	ttl := 50 * time.Millisecond
+	keys := shard.Keys("k", 12)
+	store, net, clk, ring := shardedCluster(t, 503, ttl, keys,
+		WithLockRetries(5), WithTxnRetries(5))
+	ctx := context.Background()
+	key := keyOn(t, ring, keys, "g0")
+
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	err := store.MigrateItemOpts(ctx, key, "g1", MigrateOptions{Crash: MigrateCrashBeforeCommit})
+	if !errors.Is(err, ErrMigrationAbandoned) {
+		t.Fatalf("crash-before-commit returned %v, want ErrMigrationAbandoned", err)
+	}
+	net.Quiesce()
+	if got := store.Stats.Migrations.Value(); got != 0 {
+		t.Fatalf("abandoned migration counted as completed (%d)", got)
+	}
+	if g := store.Ring().Lookup(key); g != "g0" {
+		t.Fatalf("abandoned migration moved the ring placement to %q", g)
+	}
+	clk.Advance(ttl + time.Millisecond)
+
+	// The item is not wedged: a conflicting writer triggers the inquiry,
+	// every peer answers unknown, and the orphaned coordinator reaps away.
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 6) }); err != nil {
+		t.Fatalf("write after abandoned migration: %v", err)
+	}
+	net.Quiesce()
+	if store.Stats.OrphanReapsAborted.Value() == 0 {
+		t.Fatal("abandoned coordinator was never reaped")
+	}
+	// And the migration itself can be retried to completion.
+	clk.Advance(ttl + time.Millisecond)
+	if err := store.MigrateItem(ctx, key, "g1"); err != nil {
+		t.Fatalf("retried migration: %v", err)
+	}
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err == nil && v != 6 {
+			t.Errorf("read %v after retried migration, want 6", v)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrateCrashMidCommitConverges covers both sides of the commit
+// point. Delivering one CommitTopReq decides commit: the reaper's peer
+// inquiry finds the record and completes the cutover. Delivering zero
+// leaves a presumed abort: the item stays wholly on the old group. Either
+// way no item wedges and no value is lost.
+func TestMigrateCrashMidCommitConverges(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		deliver int
+	}{
+		{"deliver0-abort", 0},
+		{"deliver1-commit", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ttl := 50 * time.Millisecond
+			keys := shard.Keys("k", 12)
+			store, net, clk, ring := shardedCluster(t, 504+int64(tc.deliver), ttl, keys,
+				WithLockRetries(8), WithTxnRetries(8))
+			ctx := context.Background()
+			key := keyOn(t, ring, keys, "g0")
+
+			if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 9) }); err != nil {
+				t.Fatal(err)
+			}
+			err := store.MigrateItemOpts(ctx, key, "g1",
+				MigrateOptions{Crash: MigrateCrashMidCommit, CrashDeliver: tc.deliver})
+			if !errors.Is(err, ErrMigrationAbandoned) {
+				t.Fatalf("mid-commit crash returned %v, want ErrMigrationAbandoned", err)
+			}
+			net.Quiesce()
+			clk.Advance(ttl + time.Millisecond)
+
+			// The value must be readable and writable regardless of which
+			// way the crash resolved; the copy preserved the value, so both
+			// outcomes serve 9.
+			if err := store.Run(ctx, func(tx *Txn) error {
+				v, rerr := tx.Read(ctx, key)
+				if rerr != nil {
+					return rerr
+				}
+				if v != 9 {
+					t.Errorf("read %v after mid-commit crash, want 9", v)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("read after mid-commit crash: %v", err)
+			}
+			if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 10) }); err != nil {
+				t.Fatalf("write after mid-commit crash: %v", err)
+			}
+			net.Quiesce()
+			if tc.deliver == 0 {
+				if store.Stats.OrphanReapsAborted.Value() == 0 {
+					t.Fatal("zero-delivery crash: coordinator never reaped as presumed abort")
+				}
+			} else {
+				if store.Stats.OrphanReapsCommitted.Value() == 0 {
+					t.Fatal("one-delivery crash: stragglers never applied the peer commit record")
+				}
+			}
+			if err := store.Run(ctx, func(tx *Txn) error {
+				v, rerr := tx.Read(ctx, key)
+				if rerr == nil && v != 10 {
+					t.Errorf("read %v, want 10", v)
+				}
+				return rerr
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMigrateInvalidatesHints: a freshness hint cached before a migration
+// points at a replica the cutover retires. The ring-epoch invalidation
+// must clear it — a single-replica read against the retired holder would
+// otherwise be one partition away from serving a superseded version.
+func TestMigrateInvalidatesHints(t *testing.T) {
+	keys := shard.Keys("k", 12)
+	store, net, _, ring := shardedCluster(t, 506, 50*time.Millisecond, keys,
+		WithReadLease(true))
+	ctx := context.Background()
+	key := keyOn(t, ring, keys, "g0")
+
+	// A committed write primes the fast-lane cache with an old-group holder.
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, key, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	dm, ok := store.HintTarget(key)
+	if !ok || dm[0] != 'a' {
+		t.Fatalf("hint prime: target %q ok=%v, want an a-replica", dm, ok)
+	}
+
+	if err := store.MigrateItem(ctx, key, "g1"); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	net.Quiesce()
+	if dm, ok := store.HintTarget(key); ok {
+		t.Fatalf("hint survived the cutover: still targets %q", dm)
+	}
+
+	// The next read goes the quorum path against the new group and sees the
+	// migrated value; any hint it relearns names a new-group replica.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := tx.Read(ctx, key)
+		if err == nil && v != 5 {
+			t.Errorf("read %v after migrate, want 5", v)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dm, ok := store.HintTarget(key); ok && dm[0] != 'b' {
+		t.Fatalf("relearned hint targets retired replica %q", dm)
+	}
+}

@@ -1,6 +1,9 @@
 package cluster
 
-import "repro/internal/quorum"
+import (
+	"repro/internal/quorum"
+	"repro/internal/shard"
+)
 
 // LockMode is the lock an access must hold at a DM.
 type LockMode int
@@ -288,4 +291,72 @@ type ReapReq struct {
 	Txn    TxnID
 	Commit bool
 	Subs   []TxnID
+}
+
+// AdoptItemReq tells a DM to start hosting a replica of an item it did not
+// serve before — the first round of a live migration. The replica is
+// created empty at version 0 with Initial as its value; the copy phase
+// then installs the real (vn, val) through the ordinary write path, and
+// only the committed cutover config record makes the new replica a read
+// target. Idempotent: a DM that already hosts the item acks without
+// touching its state, so a retried adopt round cannot regress a replica.
+// Adoption is hard state (WAL-logged and replayed): a crashed new-group
+// member must come back still hosting the item.
+type AdoptItemReq struct {
+	Item    string
+	Initial any
+}
+
+// RetireItemReq tells an old-group DM to stop hosting an item after a
+// migration cutover. The DM refuses while any transaction still holds
+// locks or intentions on its replica — in-flight transactions finish
+// against the old generation — and otherwise drops the replica and
+// installs a durable moved marker carrying the new placement. From then on
+// reads and writes for the item answer WrongShardResp instead of serving
+// stale state. Hard state, like adoption: a recovered replica must still
+// know it retired.
+type RetireItemReq struct {
+	Item  string
+	Epoch int
+	Group string
+	DMs   []string
+	Gen   int
+	Cfg   quorum.Config
+}
+
+// WrongShardResp is a retired replica's answer to read/write traffic for
+// an item it no longer hosts: the redirect. It carries the placement the
+// marker recorded at retirement — the owning group, its replica set, and
+// the post-cutover generation and config — so a stale client can relocate
+// and retry without any directory service. Epoch is the ring epoch at
+// cutover; clients use it to invalidate placement-derived caches.
+type WrongShardResp struct {
+	DM    string
+	Item  string
+	Epoch int
+	Group string
+	DMs   []string
+	Gen   int
+	Cfg   quorum.Config
+}
+
+// RingReq asks a DM for its current view of the placement ring. Ring
+// state at replicas is soft — never logged, never replayed, rebuilt from
+// the serve flags after amnesia — so the answer is a gossip convenience
+// for routers, not an authority: item placement is always re-proven by
+// the generation chase and WrongShard redirects of the data path.
+type RingReq struct{}
+
+// RingResp carries a DM's ring view. OK false means the DM is not
+// ring-aware (unsharded deployment).
+type RingResp struct {
+	OK   bool
+	Ring shard.Ring
+}
+
+// RingUpdateReq gossips a newer ring to a DM after a migration cutover.
+// The replica adopts it only if strictly newer (higher epoch); stale or
+// duplicate updates are ignored. Soft state, like RingReq.
+type RingUpdateReq struct {
+	Ring shard.Ring
 }

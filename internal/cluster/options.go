@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -47,6 +48,9 @@ type settings struct {
 	inflightMax       int           // AIMD in-flight top-level txn ceiling; 0 = off
 	brownoutAfter     int           // consecutive write-quorum failures before brownout; 0 = off
 	hopAllowance      time.Duration // deadline budget reserved per fan-out hop
+
+	// Sharded placement (see DESIGN.md §10). nil = unsharded.
+	ring *shard.Ring
 }
 
 func defaultSettings() settings {
@@ -379,5 +383,32 @@ func WithHopAllowance(d time.Duration) Option {
 			d = 0
 		}
 		s.hopAllowance = d
+	}
+}
+
+// WithRing arms sharded placement with an explicit consistent-hash ring:
+// the store (and every DM it spawns) adopts a deep copy as its placement
+// view, and the freshness-hint cache is stamped with the ring's epoch so
+// placement changes invalidate it. The ring decides which replica group
+// owns which item; the item specs passed to Open must agree with it
+// (ShardItems derives them). nil leaves the store unsharded.
+func WithRing(r *shard.Ring) Option {
+	return func(s *settings) {
+		if r != nil {
+			s.ring = r.Clone()
+		}
+	}
+}
+
+// WithShards is WithRing for callers that start from a group list: it
+// builds the deterministic ring (seed, vnodes, groups) inline. Invalid
+// group sets are surfaced at Open via the ring validation, not silently
+// ignored — the option stores a ring only when construction succeeds, and
+// Open fails on the unplaceable items otherwise.
+func WithShards(seed int64, vnodes int, groups ...shard.Group) Option {
+	return func(s *settings) {
+		if r, err := shard.New(seed, vnodes, groups); err == nil {
+			s.ring = r
+		}
 	}
 }

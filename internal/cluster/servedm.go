@@ -56,6 +56,9 @@ func ServeDM(tr transport.Transport, id string, items []ItemSpec, opts ...Option
 		if st.readLease {
 			srv.configureHints(st.readLeaseTTL)
 		}
+		if st.ring != nil {
+			srv.configureRing(st.ring)
+		}
 	}
 	serveOpts := serveOptsFor(st, id, &host.Stats)
 	if st.walDir == "" {

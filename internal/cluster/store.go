@@ -16,6 +16,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
@@ -115,6 +116,11 @@ type Stats struct {
 	HintGrants      metrics.Counter
 	HintFences      metrics.Counter
 	HintFenceMisses metrics.Counter
+	// Sharded placement (DESIGN.md §10). WrongShardRedirects counts
+	// redirects absorbed from retired replicas after a live migration;
+	// Migrations counts MigrateItem cutovers this client completed.
+	WrongShardRedirects metrics.Counter
+	Migrations          metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -130,6 +136,12 @@ type Store struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	believed map[string]genCfg
+
+	// ring is this client's view of the consistent-hash placement, nil for
+	// unsharded stores. Guarded by mu. Migration cutovers and WrongShard
+	// redirects advance it; its epoch invalidates the freshness-hint cache,
+	// so a hint primed before a migration can never serve after one.
+	ring *shard.Ring
 
 	// jitter feeds backoff sleeps and nothing else. It is separate from
 	// rng because backoff is reached from concurrent control goroutines:
@@ -255,14 +267,21 @@ func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServer
 		s.Stats.InflightLimit.Set(int64(s.limiter.ceiling()))
 	}
 	s.stopBg = make(chan struct{})
+	if st.ring != nil {
+		s.ring = st.ring.Clone()
+		s.hintCache.setEpoch(s.ring.Epoch)
+	}
 	// Validation first, then spawning: the lease reaper needs every DM to
 	// know its full peer set, which only exists once all items are walked.
-	seen := map[string]bool{}
+	// Items are grouped per DM — one replica hosts every item whose spec
+	// names it — so a sharded keyspace spawns one multi-item server per
+	// replica-group member rather than one server per (item, replica) pair.
 	type dmSite struct {
-		id string
-		it ItemSpec
+		id    string
+		items []ItemSpec
 	}
 	var sites []dmSite
+	siteIdx := map[string]int{}
 	for _, it := range items {
 		if err := it.Config.Validate(it.DMs); err != nil {
 			return nil, fmt.Errorf("cluster: item %q: %w", it.Name, err)
@@ -272,21 +291,24 @@ func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServer
 		}
 		s.items[it.Name] = it
 		s.believed[it.Name] = genCfg{gen: 0, cfg: it.Config}
+		if !spawnServers {
+			continue
+		}
 		for _, dm := range it.DMs {
-			if seen[dm] {
-				return nil, fmt.Errorf("cluster: DM %q assigned twice", dm)
+			i, ok := siteIdx[dm]
+			if !ok {
+				i = len(sites)
+				siteIdx[dm] = i
+				sites = append(sites, dmSite{id: dm})
 			}
-			seen[dm] = true
-			if spawnServers {
-				sites = append(sites, dmSite{id: dm, it: it})
-			}
+			sites[i].items = append(sites[i].items, it)
 		}
 	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].id < sites[j].id })
 	allDMs := make([]string, 0, len(sites))
 	for _, site := range sites {
 		allDMs = append(allDMs, site.id)
 	}
-	sort.Strings(allDMs)
 	abandon := func() {
 		for _, h := range s.dms {
 			h.server.Close()
@@ -298,7 +320,7 @@ func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServer
 	for _, site := range sites {
 		wire := s.leaseWiring(site.id, peersOf(site.id, allDMs))
 		if st.walDir == "" {
-			srv := newDMState(site.id, []ItemSpec{site.it})
+			srv := newDMState(site.id, site.items)
 			wire(srv)
 			server, err := tr.Serve(site.id, asyncify(srv.handle), s.dmServeOpts(site.id)...)
 			if err != nil {
@@ -310,11 +332,11 @@ func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServer
 			// gap is re-sent once its poll goes stale.
 			srv.setSender(server.Notify)
 			s.dms[site.id] = &dmHandle{
-				id: site.id, items: []ItemSpec{site.it}, srv: srv, server: server,
+				id: site.id, items: site.items, srv: srv, server: server,
 			}
 			continue
 		}
-		h, stats, err := newDurableDM(tr, site.id, []ItemSpec{site.it}, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire, s.dmServeOpts(site.id)...)
+		h, stats, err := newDurableDM(tr, site.id, site.items, filepath.Join(st.walDir, site.id), st.walOpts, st.snapEvery, wire, s.dmServeOpts(site.id)...)
 		if err != nil {
 			abandon()
 			return nil, err
@@ -383,6 +405,9 @@ func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
 			// Configured here — after recovery replay on durable DMs — so a
 			// rebuilt replica starts with no hints and must re-prove freshness.
 			srv.configureHints(s.opts.readLeaseTTL)
+		}
+		if s.opts.ring != nil {
+			srv.configureRing(s.opts.ring)
 		}
 	}
 }
@@ -527,8 +552,11 @@ func (s *Store) StopDM(id string) error {
 // harnesses can aim partitions at the client side of the cluster.
 func (s *Store) ClientNode() string { return s.client.ID() }
 
-// Items returns the item specs the store was opened with.
+// Items returns the store's current item specs — the opened set, with any
+// live-migration relocations applied.
 func (s *Store) Items() []ItemSpec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]ItemSpec, 0, len(s.items))
 	for _, it := range s.items {
 		out = append(out, it)
@@ -548,6 +576,103 @@ func (s *Store) config(item string) genCfg {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.believed[item]
+}
+
+// itemSpec reads the store's current spec for item under the mutex. Specs
+// are no longer immutable after Open: a live migration rewrites an item's
+// replica set in place, so every phase re-resolves through here instead of
+// touching the map directly.
+func (s *Store) itemSpec(item string) (ItemSpec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.items[item]
+	return it, ok
+}
+
+// Ring returns a copy of the store's current placement view, or nil for
+// unsharded stores.
+func (s *Store) Ring() *shard.Ring {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring.Clone()
+}
+
+// relocateItem rewrites the client's view of where item lives: its replica
+// set, believed generation/config, and (when the store is sharded) the
+// ring override pinning it to the new group. Every freshness hint is
+// dropped when the ring epoch advances — a hint primed against the old
+// replica group must not serve after the move. Generation numbers only go
+// forward, so a stale redirect (or a racing pair of them) cannot regress a
+// newer placement.
+// RingEpoch returns the store's current placement epoch (0 unsharded) —
+// cheaper than Ring() when only staleness is being checked.
+func (s *Store) RingEpoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Epoch
+}
+
+func (s *Store) relocateItem(item string, dms []string, gen int, cfg quorum.Config, group string, epoch int) {
+	s.mu.Lock()
+	if it, ok := s.items[item]; ok {
+		if cur := s.believed[item]; gen >= cur.gen {
+			it.DMs = append([]string(nil), dms...)
+			it.Config = cfg.Clone()
+			s.items[item] = it
+			s.believed[item] = genCfg{gen: gen, cfg: cfg.Clone()}
+		}
+	}
+	ringEpoch := 0
+	if s.ring != nil && group != "" {
+		if _, ok := s.ring.Group(group); ok && s.ring.Lookup(item) != group {
+			_ = s.ring.MoveKey(item, group)
+		}
+		if epoch > s.ring.Epoch {
+			s.ring.Epoch = epoch
+		}
+		ringEpoch = s.ring.Epoch
+	}
+	s.mu.Unlock()
+	if ringEpoch > 0 {
+		s.hintCache.setEpoch(ringEpoch)
+	}
+	s.hintCache.drop(item)
+}
+
+// adoptRedirect folds a WrongShard redirect into the client's placement
+// view and reports whether it taught the client anything new — a fresh
+// generation or a different replica set. A redirect that changes nothing
+// means the client already believes the placement the marker names, so
+// retrying under it cannot make progress.
+func (s *Store) adoptRedirect(w WrongShardResp) bool {
+	it, _ := s.itemSpec(w.Item)
+	cur := s.config(w.Item)
+	changed := w.Gen > cur.gen || !sameStrings(it.DMs, w.DMs)
+	s.relocateItem(w.Item, w.DMs, w.Gen, w.Cfg, w.Group, w.Epoch)
+	return changed
+}
+
+// sameStrings reports order-insensitive set equality of two DM lists.
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ForgetConfig resets the client's cached configuration for item to the
@@ -798,7 +923,7 @@ type readResult struct {
 // two-phase locking). Quorum intersection makes the winner sufficient:
 // any read-quorum contains the highest version any write-quorum committed.
 func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readResult, error) {
-	it, ok := t.store.items[item]
+	it, ok := t.store.itemSpec(item)
 	if !ok {
 		return readResult{}, fmt.Errorf("cluster: unknown item %q", item)
 	}
@@ -892,6 +1017,25 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 			believed = genCfg{gen: res.gen, cfg: res.cfg}
 			continue
 		}
+		if w, ok := col.sawWrongShard(); ok {
+			// The replicas we asked retired this item after a migration. The
+			// redirect carries the new placement; adopting it and re-reading
+			// is progress exactly like the generation chase above. A redirect
+			// that teaches us nothing new (we already believe that placement)
+			// means the marker is circular — surface it instead of looping.
+			t.store.Stats.WrongShardRedirects.Inc()
+			if t.store.adoptRedirect(w) {
+				believed = t.store.config(item)
+				if believed.gen > res.gen {
+					res.gen, res.cfg = believed.gen, believed.cfg
+				}
+				continue
+			}
+			return readResult{}, &WrongShardError{
+				Item: item, Txn: t.id, Phase: "read",
+				Group: w.Group, Epoch: w.Epoch, DMs: append([]string(nil), w.DMs...),
+			}
+		}
 		t.store.backoff(ctx, attempt)
 	}
 	if err := ctx.Err(); err != nil {
@@ -921,7 +1065,7 @@ func (t *Txn) readPhase(ctx context.Context, item string, mode LockMode) (readRe
 // quorum set per attempt and query only it — kept as the ablation baseline
 // (WithSequentialPhases) that the fan-out benchmarks compare against.
 func (t *Txn) readPhaseSequential(ctx context.Context, item string, mode LockMode) (readResult, error) {
-	it := t.store.items[item]
+	it, _ := t.store.itemSpec(item)
 	believed := t.store.config(item)
 	res := readResult{val: it.Initial, gen: believed.gen, cfg: believed.cfg}
 	sawBusy := false
@@ -934,10 +1078,25 @@ func (t *Txn) readPhaseSequential(ctx context.Context, item string, mode LockMod
 		for _, q := range t.store.shuffledQuorums(believed.cfg.R) {
 			attempts++
 			start := time.Now()
-			resps, busy, ok := t.queryQuorum(ctx, item, mode, q)
+			resps, wrong, busy, ok := t.queryQuorum(ctx, item, mode, q)
 			t.store.Stats.ReadPhaseLatency.ObserveSince(start)
 			if busy {
 				sawBusy = true
+			}
+			if wrong != nil {
+				t.store.Stats.WrongShardRedirects.Inc()
+				if t.store.adoptRedirect(*wrong) {
+					believed = t.store.config(item)
+					if believed.gen > res.gen {
+						res.gen, res.cfg = believed.gen, believed.cfg
+					}
+					progressed = true
+					break
+				}
+				return readResult{}, &WrongShardError{
+					Item: item, Txn: t.id, Phase: "read",
+					Group: wrong.Group, Epoch: wrong.Epoch, DMs: append([]string(nil), wrong.DMs...),
+				}
 			}
 			for _, m := range resps {
 				r := m.resp
@@ -989,10 +1148,11 @@ func (t *Txn) readPhaseSequential(ctx context.Context, item string, mode LockMod
 // reports whether all granted and whether any refused for a lock conflict.
 // Members that grant are recorded as touched (they now hold locks for the
 // transaction) even if the quorum as a whole fails. Sequential-path only.
-func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quorum.Set) (granted []memberResp, sawBusy, allOK bool) {
+func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quorum.Set) (granted []memberResp, wrong *WrongShardResp, sawBusy, allOK bool) {
 	members := q.Names()
 	resps := make([]ReadResp, len(members))
 	oks := make([]bool, len(members))
+	wrongs := make([]*WrongShardResp, len(members))
 	var wg sync.WaitGroup
 	for i, dm := range members {
 		wg.Add(1)
@@ -1013,12 +1173,15 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 				return
 			}
 			t.store.observeDM(dm, true, time.Since(callStart))
-			if resp, ok := raw.(ReadResp); ok {
+			switch resp := raw.(type) {
+			case ReadResp:
 				resps[i] = resp
 				oks[i] = resp.OK
 				if resp.Busy {
 					t.store.Stats.BusyRetries.Inc()
 				}
+			case WrongShardResp:
+				wrongs[i] = &resp
 			}
 		}(i, dm)
 	}
@@ -1033,9 +1196,12 @@ func (t *Txn) queryQuorum(ctx context.Context, item string, mode LockMode, q quo
 			if resps[i].Busy {
 				sawBusy = true
 			}
+			if wrongs[i] != nil && wrong == nil {
+				wrong = wrongs[i]
+			}
 		}
 	}
-	return granted, sawBusy, allOK
+	return granted, wrong, sawBusy, allOK
 }
 
 // repairStale fire-and-forgets the quorum read's winning (version, value)
@@ -1118,6 +1284,18 @@ func (t *Txn) writeQuorum(ctx context.Context, item, phase string, cfg quorum.Co
 			t.noteWrittenItem(item)
 			return nil
 		}
+		if w, ok := col.sawWrongShard(); ok {
+			// A write cannot chase a redirect mid-phase: its version number
+			// was derived from a read under the old placement. Adopt the new
+			// placement and fail conflict-style so the whole transaction
+			// restarts against it.
+			t.store.Stats.WrongShardRedirects.Inc()
+			t.store.adoptRedirect(w)
+			return &WrongShardError{
+				Item: item, Txn: t.id, Phase: phase,
+				Group: w.Group, Epoch: w.Epoch, DMs: append([]string(nil), w.DMs...),
+			}
+		}
 		t.store.backoff(ctx, attempt)
 	}
 	if err := ctx.Err(); err != nil {
@@ -1158,6 +1336,7 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 			members := q.Names()
 			oks := make([]bool, len(members))
 			busy := make([]bool, len(members))
+			wrongs := make([]*WrongShardResp, len(members))
 			var wg sync.WaitGroup
 			for i, dm := range members {
 				wg.Add(1)
@@ -1178,15 +1357,19 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 						return
 					}
 					t.store.observeDM(dm, true, time.Since(callStart))
-					if resp, ok := raw.(WriteResp); ok {
+					switch resp := raw.(type) {
+					case WriteResp:
 						oks[i] = resp.OK
 						busy[i] = resp.Busy
+					case WrongShardResp:
+						wrongs[i] = &resp
 					}
 				}(i, dm)
 			}
 			wg.Wait()
 			t.store.Stats.WritePhaseLatency.ObserveSince(start)
 			all := true
+			var wrong *WrongShardResp
 			for i := range members {
 				if oks[i] {
 					t.touchWrite(members[i])
@@ -1196,11 +1379,22 @@ func (t *Txn) writeQuorumSequential(ctx context.Context, item, phase string, cfg
 						sawBusy = true
 						t.store.Stats.BusyRetries.Inc()
 					}
+					if wrongs[i] != nil && wrong == nil {
+						wrong = wrongs[i]
+					}
 				}
 			}
 			if all {
 				t.noteWrittenItem(item)
 				return nil
+			}
+			if wrong != nil {
+				t.store.Stats.WrongShardRedirects.Inc()
+				t.store.adoptRedirect(*wrong)
+				return &WrongShardError{
+					Item: item, Txn: t.id, Phase: phase,
+					Group: wrong.Group, Epoch: wrong.Epoch, DMs: append([]string(nil), wrong.DMs...),
+				}
 			}
 		}
 		t.store.backoff(ctx, attempt)
@@ -1668,7 +1862,7 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 // also of the new one when WithWriteConfigToBothQuorums is set, Gifford's
 // original rule).
 func (s *Store) Reconfigure(ctx context.Context, item string, newCfg quorum.Config) error {
-	it, ok := s.items[item]
+	it, ok := s.itemSpec(item)
 	if !ok {
 		return fmt.Errorf("cluster: unknown item %q", item)
 	}

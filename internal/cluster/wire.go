@@ -41,6 +41,10 @@ func RegisterWireTypes() {
 	gob.Register(HintGrantReq{})
 	gob.Register(HintFenceReq{})
 	gob.Register(ReapReq{})
+	gob.Register(AdoptItemReq{})
+	gob.Register(RetireItemReq{})
+	gob.Register(RingReq{})
+	gob.Register(RingUpdateReq{})
 	// Responses.
 	gob.Register(ReadResp{})
 	gob.Register(WriteResp{})
@@ -48,4 +52,6 @@ func RegisterWireTypes() {
 	gob.Register(OverloadedResp{})
 	gob.Register(InspectResp{})
 	gob.Register(HintMissResp{})
+	gob.Register(WrongShardResp{})
+	gob.Register(RingResp{})
 }

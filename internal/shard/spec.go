@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParseSpec parses the -shards flag format used by the qcstore commands:
+//
+//	g0=dm0:dm1:dm2,g1=dm3:dm4:dm5
+//
+// Group order in the spec does not matter for placement (the ring hashes
+// names), but the parsed slice preserves it for readable -inspect output.
+func ParseSpec(spec string) ([]Group, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("shard: empty shard spec")
+	}
+	var groups []Group
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, dms, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("shard: bad group %q (want name=dm:dm:...)", part)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("shard: bad group %q: empty name", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("shard: duplicate group %q", name)
+		}
+		seen[name] = true
+		g := Group{Name: name}
+		for _, dm := range strings.Split(dms, ":") {
+			dm = strings.TrimSpace(dm)
+			if dm == "" {
+				continue
+			}
+			g.DMs = append(g.DMs, dm)
+		}
+		if len(g.DMs) == 0 {
+			return nil, fmt.Errorf("shard: group %q has no DMs", name)
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("shard: empty shard spec")
+	}
+	return groups, nil
+}
+
+// FormatSpec renders groups back into the -shards flag format, groups
+// sorted by name so the output is canonical.
+func FormatSpec(groups []Group) string {
+	sorted := make([]Group, len(groups))
+	copy(sorted, groups)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	parts := make([]string, 0, len(sorted))
+	for _, g := range sorted {
+		parts = append(parts, g.Name+"="+strings.Join(g.DMs, ":"))
+	}
+	return strings.Join(parts, ",")
+}

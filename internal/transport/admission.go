@@ -46,9 +46,13 @@ type AdmissionConfig struct {
 	// Clock drives expired-on-arrival checks against request deadlines.
 	// Nil means Wall. Deterministic harnesses pass their manual clock.
 	Clock Clock
-	// ServiceDelay models the CPU cost of serving one request. Zero (the
-	// default) serves instantly; overload experiments set it so a replica
-	// has a finite service rate worth protecting.
+	// ServiceDelay models the CPU cost of serving one data request (read
+	// and write classes). Zero (the default) serves instantly; overload and
+	// scale experiments set it so a replica has a finite service rate worth
+	// protecting. Control traffic (commit, release, lease renewal) is
+	// served free of the delay: its real cost is bookkeeping, and charging
+	// it like data work would make lock-release chatter — not data service
+	// — the modeled bottleneck.
 	ServiceDelay time.Duration
 	// ServeExpired, when set, serves expired requests anyway (counting
 	// them) instead of discarding them at dequeue — the "dead work"
@@ -171,10 +175,7 @@ func (a *Queue) Close() {
 // Returns whether the request entered the queue. Safe to call from any
 // goroutine (receive loops, harness Inject).
 func (a *Queue) Offer(q Queued) bool {
-	pr := PrioRead
-	if a.cfg.Classify != nil {
-		pr = a.cfg.Classify(q.Req)
-	}
+	pr := a.classify(q.Req)
 	var displaced *Queued
 	admitted := true
 	a.mu.Lock()
@@ -277,12 +278,20 @@ func (a *Queue) serviceLoop() {
 }
 
 // serveOne runs one dequeued request through the owner's handler, charging
-// the configured service delay first.
+// the configured service delay first for data-class requests.
 func (a *Queue) serveOne(q Queued) {
-	if d := a.cfg.ServiceDelay; d > 0 {
+	if d := a.cfg.ServiceDelay; d > 0 && a.classify(q.Req) != PrioControl {
 		time.Sleep(d)
 	}
 	a.serve(q)
+}
+
+// classify maps a request to its priority per the configured classifier.
+func (a *Queue) classify(req any) Priority {
+	if a.cfg.Classify != nil {
+		return a.cfg.Classify(req)
+	}
+	return PrioRead
 }
 
 // Stats returns the queue's admission counters.

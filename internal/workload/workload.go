@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,18 +31,73 @@ type Profile struct {
 	SubAbortProb float64
 	// Items are the logical data items to touch.
 	Items []string
+	// Distribution selects the key popularity model: "uniform" (every
+	// item equally likely, the default) or "zipfian" (rank-skewed per
+	// Gray et al.'s self-similar generator, the YCSB standard — rank 0 is
+	// Items[0], the hottest key).
+	Distribution string
+	// Theta is the zipfian skew parameter in [0, 1): 0 degenerates to
+	// uniform, 0.99 is the YCSB default ("zipfian" with Theta 0 gets
+	// 0.99). Ignored for uniform.
+	Theta float64
 	// Hotspot, when in (0, 1], is the probability an operation targets
-	// Items[0] rather than a uniform choice — a simple contention knob.
+	// Items[0] rather than a uniform choice.
+	//
+	// Deprecated: a two-point contention knob; use Distribution
+	// "zipfian" with Theta for realistic skew. Kept as an alias — it
+	// still works when Distribution is empty or "uniform".
 	Hotspot float64
 	// Seed drives the generator.
 	Seed int64
 }
 
+const (
+	// DistUniform and DistZipfian are the Distribution values.
+	DistUniform = "uniform"
+	DistZipfian = "zipfian"
+	// DefaultTheta is the YCSB-standard zipfian skew.
+	DefaultTheta = 0.99
+)
+
 func (p Profile) withDefaults() Profile {
 	if p.OpsPerTxn <= 0 {
 		p.OpsPerTxn = 2
 	}
+	if p.Distribution == "" {
+		p.Distribution = DistUniform
+	}
+	if p.Distribution == DistZipfian && p.Theta == 0 {
+		p.Theta = DefaultTheta
+	}
 	return p
+}
+
+// picker builds the key chooser the profile describes. The chooser is a
+// pure function of the passed rng, so per-transaction seeded rngs keep
+// runs replayable regardless of worker interleaving.
+func (p Profile) picker() (func(rng *rand.Rand) string, error) {
+	switch p.Distribution {
+	case DistUniform:
+		hot := p.Hotspot
+		return func(rng *rand.Rand) string {
+			i := rng.Intn(len(p.Items))
+			if hot > 0 && rng.Float64() < hot {
+				i = 0
+			}
+			return p.Items[i]
+		}, nil
+	case DistZipfian:
+		z, err := newZipfian(len(p.Items), p.Theta)
+		if err != nil {
+			return nil, err
+		}
+		return func(rng *rand.Rand) string {
+			return p.Items[z.next(rng)]
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q (want %q or %q)",
+			p.Distribution, DistUniform, DistZipfian)
+	}
 }
 
 // Result summarizes a run.
@@ -50,6 +106,12 @@ type Result struct {
 	Failed    int
 	Tolerated int // deliberate subtransaction aborts survived
 	Elapsed   time.Duration
+	// P50 and P99 are end-to-end latency quantiles over committed
+	// transactions only (zero when nothing committed). ReadP50 and ReadP99
+	// restrict to committed transactions that performed no writes — the
+	// read experience, untainted by writer lock-wait tails.
+	P50, P99         time.Duration
+	ReadP50, ReadP99 time.Duration
 }
 
 // Throughput returns committed transactions per second.
@@ -70,12 +132,18 @@ func Run(ctx context.Context, store *cluster.Store, p Profile, txns, workers int
 	if len(p.Items) == 0 {
 		return Result{}, errors.New("workload: no items")
 	}
+	pick, err := p.picker()
+	if err != nil {
+		return Result{}, err
+	}
 	if workers <= 0 {
 		workers = 1
 	}
 	var (
-		mu  sync.Mutex
-		res Result
+		mu      sync.Mutex
+		res     Result
+		lat     []time.Duration
+		readLat []time.Duration
 	)
 	start := time.Now()
 	work := make(chan int64)
@@ -87,7 +155,9 @@ func Run(ctx context.Context, store *cluster.Store, p Profile, txns, workers int
 			defer wg.Done()
 			for seed := range work {
 				rng := rand.New(rand.NewSource(p.Seed + seed))
-				tolerated, err := runTxn(ctx, store, p, rng)
+				t0 := time.Now()
+				tolerated, wrote, err := runTxn(ctx, store, p, rng, pick)
+				d := time.Since(t0)
 				mu.Lock()
 				res.Tolerated += tolerated
 				if err != nil {
@@ -97,6 +167,10 @@ func Run(ctx context.Context, store *cluster.Store, p Profile, txns, workers int
 					}
 				} else {
 					res.Committed++
+					lat = append(lat, d)
+					if !wrote {
+						readLat = append(readLat, d)
+					}
 				}
 				mu.Unlock()
 			}
@@ -108,18 +182,29 @@ func Run(ctx context.Context, store *cluster.Store, p Profile, txns, workers int
 	close(work)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		res.P50 = lat[len(lat)/2]
+		res.P99 = lat[len(lat)*99/100]
+	}
+	sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+	if len(readLat) > 0 {
+		res.ReadP50 = readLat[len(readLat)/2]
+		res.ReadP99 = readLat[len(readLat)*99/100]
+	}
 	return res, firstErr
 }
 
-// runTxn executes one top-level transaction per the profile.
-func runTxn(ctx context.Context, store *cluster.Store, p Profile, rng *rand.Rand) (tolerated int, err error) {
+// runTxn executes one top-level transaction per the profile, reporting
+// whether it performed any write.
+func runTxn(ctx context.Context, store *cluster.Store, p Profile, rng *rand.Rand, pick func(*rand.Rand) string) (tolerated int, wrote bool, err error) {
 	err = store.Run(ctx, func(tx *cluster.Txn) error {
 		for op := 0; op < p.OpsPerTxn; op++ {
-			item := p.Items[rng.Intn(len(p.Items))]
-			if p.Hotspot > 0 && rng.Float64() < p.Hotspot {
-				item = p.Items[0]
-			}
+			item := pick(rng)
 			isRead := rng.Float64() < p.ReadFraction
+			if !isRead {
+				wrote = true
+			}
 			val := rng.Intn(1 << 20)
 			// Deliberate aborts only make sense inside a subtransaction;
 			// at the top level the failure would kill the whole txn.
@@ -149,7 +234,7 @@ func runTxn(ctx context.Context, store *cluster.Store, p Profile, rng *rand.Rand
 		}
 		return nil
 	})
-	return tolerated, err
+	return tolerated, wrote, err
 }
 
 // nest wraps body in depth levels of subtransactions.

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// zipfian draws ranks in [0, n) with P(rank i) ∝ 1/(i+1)^theta — the
+// self-similar generator of Gray et al. ("Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD '94) as popularized by
+// YCSB. Rank 0 is the hottest key. All state is precomputed; next is a
+// pure function of the caller's rng, so concurrent workers with their own
+// seeded rngs stay replayable.
+//
+// math/rand's Zipf is not used: its s>1 parameterization cannot express
+// the benchmark-standard theta in (0, 1) (YCSB's 0.99).
+type zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+func newZipfian(n int, theta float64) (*zipfian, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipfian needs items, got %d", n)
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipfian theta %v out of [0, 1)", theta)
+	}
+	z := &zipfian{n: n, theta: theta}
+	zeta2 := zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z, nil
+}
+
+// zeta is the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next(rng *rand.Rand) int {
+	if z.n == 1 {
+		return 0
+	}
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	i := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i
+}
