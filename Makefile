@@ -59,9 +59,14 @@ proc-smoke:
 # versions commit through the survivors, every history checked
 # serializable, the migrate gate: campaigns that kill the migration
 # coordinator mid-cutover (abandoned migrations must resolve with zero
-# wedged items, zero violations), and the shard scale-out gate (E16
+# wedged items, zero violations), the shard scale-out gate (E16
 # smoke — 4 shards must deliver >= 2.5x 1-shard throughput under the
-# same zipfian load without regressing read p99).
+# same zipfian load without regressing read p99), and the coordcrash gate
+# under both commit protocols: coordinators killed at every seeded instant
+# around the commit point — the 2PC arm must converge within the
+# lease-TTL reap window, the Paxos arm must resolve every acceptor-held
+# outcome through acceptor recovery (zero in-doubt past one inquiry round
+# trip), both with exactly one outcome per crash and zero violations.
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
@@ -74,6 +79,9 @@ verify: build vet staticcheck test race
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults stalehint
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults migrate
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 3 -faults stalehint,migrate
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults coordcrash -protocol 2pc
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults coordcrash -protocol paxos
+	$(GO) run ./cmd/qchaos -seed 2 -campaigns 3 -protocol paxos
 	$(GO) run ./cmd/qchaos -shardscale
 	@echo verify: OK
 

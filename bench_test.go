@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/chaos"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ioa"
@@ -751,3 +753,140 @@ func BenchmarkE16_ShardScale_1(b *testing.B) { benchShardScaleArm(b, 1) }
 func BenchmarkE16_ShardScale_2(b *testing.B) { benchShardScaleArm(b, 2) }
 func BenchmarkE16_ShardScale_4(b *testing.B) { benchShardScaleArm(b, 4) }
 func BenchmarkE16_ShardScale_8(b *testing.B) { benchShardScaleArm(b, 8) }
+
+// E17: non-blocking commit. The clean-path pairs price what Paxos Commit's
+// extra fan-out costs a healthy write transaction — one ballot-0 accept
+// round at the acceptor cohort between the write phase and the commit
+// broadcast. Compare msgs/txn and ns/op against the TwoPhase arm at the
+// same replica count. Reads are identical under both protocols (a
+// read-only transaction has no acceptor cohort), so only writes are paired.
+
+func benchE17Cluster(b *testing.B, n int, proto commit.Protocol) (*cluster.Store, *sim.Network) {
+	b.Helper()
+	dms := make([]string, n)
+	for i := range dms {
+		dms[i] = fmt.Sprintf("dm%d", i)
+	}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
+	store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		cluster.WithCallTimeout(25*time.Millisecond), cluster.WithSeed(1),
+		cluster.WithCommitProtocol(proto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	return store, net
+}
+
+func BenchmarkE17_Write_TwoPhase_N3(b *testing.B) {
+	store, net := benchE17Cluster(b, 3, commit.TwoPhase)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE17_Write_Paxos_N3(b *testing.B) {
+	store, net := benchE17Cluster(b, 3, commit.PaxosCommit)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE17_Write_TwoPhase_N5(b *testing.B) {
+	store, net := benchE17Cluster(b, 5, commit.TwoPhase)
+	benchOps(b, store, net, true)
+}
+
+func BenchmarkE17_Write_Paxos_N5(b *testing.B) {
+	store, net := benchE17Cluster(b, 5, commit.PaxosCommit)
+	benchOps(b, store, net, true)
+}
+
+// BenchmarkE17_InDoubt_* measures the in-doubt window in the one scenario
+// 2PC cannot shrink: the coordinator dies partway through the commit
+// broadcast (exactly one replica learned the outcome), and that knowing
+// replica then crashes. The 2PC inquiry cannot presume abort — an
+// unreachable peer might hold the commit, and here it does — so the item
+// stays wedged until the knowing replica returns (the harness restarts it
+// after three lease TTLs). Paxos Commit reconstructs the decision from the
+// surviving acceptor majority in the first inquiry round. The
+// ttl-rounds-to-writable metric is the window: expect 1 for Paxos and 4
+// for 2PC (three stalled rounds plus one after the restart).
+func benchE17InDoubt(b *testing.B, proto commit.Protocol) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{MinLatency: 20 * time.Microsecond, MaxLatency: 200 * time.Microsecond, Seed: 1})
+	clk := sim.NewManualClock(time.Unix(0, 0))
+	ttl := 50 * time.Millisecond
+	store, err := cluster.Open(net, []cluster.ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}},
+		cluster.WithSeed(1), cluster.WithCallTimeout(25*time.Millisecond),
+		cluster.WithLeaseTTL(ttl), cluster.WithClock(clk),
+		cluster.WithRetryBackoff(time.Millisecond), cluster.WithSynchronousCleanup(true),
+		cluster.WithCommitProtocol(proto))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		store.Close()
+		net.Close()
+	})
+	ctx := context.Background()
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, cerr := store.CrashCommit(ctx, "x", i, cluster.CommitCrashOptions{
+			Stage: cluster.CommitCrashMidLearn, Deliver: 1,
+		})
+		if !errors.Is(cerr, cluster.ErrCommitAbandoned) {
+			b.Fatal(cerr)
+		}
+		if rep.Learned != 1 {
+			b.Fatalf("%d replicas learned, want exactly 1", rep.Learned)
+		}
+		learned := ""
+		for _, dm := range rep.DMs {
+			if p, perr := store.ResolutionProbe(ctx, dm, rep.Txn); perr == nil && p.Known {
+				learned = dm
+				break
+			}
+		}
+		if learned == "" {
+			b.Fatal("no replica knows the outcome")
+		}
+		net.Crash(learned)
+		down := true
+		for r := 1; ; r++ {
+			clk.Advance(ttl + time.Millisecond)
+			if _, serr := store.SweepOnce(ctx); serr != nil {
+				b.Fatal(serr)
+			}
+			net.Quiesce()
+			werr := store.Run(ctx, func(tx *cluster.Txn) error { return tx.Write(ctx, "x", i) })
+			if werr == nil {
+				rounds += r
+				break
+			}
+			if r == 3 {
+				// Give 2PC its blocked window back: the knowing replica
+				// returns, the inquiry finds the commit record, the reap
+				// finishes the transaction.
+				net.Restart(learned)
+				down = false
+			}
+			if r > 6 {
+				b.Fatalf("item never unwedged: %v", werr)
+			}
+		}
+		if down {
+			net.Restart(learned)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rounds)/float64(b.N), "ttl-rounds-to-writable")
+}
+
+func BenchmarkE17_InDoubt_TwoPhase(b *testing.B) {
+	benchE17InDoubt(b, commit.TwoPhase)
+}
+
+func BenchmarkE17_InDoubt_Paxos(b *testing.B) {
+	benchE17InDoubt(b, commit.PaxosCommit)
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/checker"
+	"repro/internal/commit"
 )
 
 func main() {
@@ -42,7 +43,8 @@ func main() {
 		campaigns  = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration   = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first      = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults     = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint,migrate")
+		faults     = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint,migrate,coordcrash")
+		protocol   = flag.String("protocol", "2pc", "commit protocol: 2pc or paxos (paxos resolves coordinator crashes through acceptor recovery instead of lease-TTL presumption)")
 		items      = flag.Int("items", 2, "replicated items per campaign")
 		replicas   = flag.Int("replicas", 3, "replicas (DMs) per item")
 		rounds     = flag.Int("rounds", 4, "workload rounds per campaign (faults advance between rounds)")
@@ -69,6 +71,11 @@ func main() {
 	}
 
 	fs, err := chaos.ParseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	proto, err := commit.ParseProtocol(*protocol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -107,6 +114,7 @@ func main() {
 			Faults:       fs,
 			Live:         *live,
 			SelfHeal:     heal,
+			Protocol:     proto,
 		}
 		res, err := chaos.Run(ctx, cfg)
 		ran++
@@ -128,6 +136,15 @@ func main() {
 					i, res.StaleHints, res.HintReads, res.HintHits, res.HintMisses,
 					res.HintFences, res.HintFenceMisses)
 			}
+			if res.CoordCrashes > 0 || res.PaxosCommits > 0 {
+				// Decisions learned from acceptor hard state vs decisions
+				// presumed/served by the lease reaper — the E17 contrast.
+				fmt.Printf("campaign %d commit(%s): paxoscommits=%d coordcrashes=%d crashresolved=%d commit / %d abort | via acceptors=%d commit / %d abort, via reaper=%d abort / %d commit\n",
+					i, proto, res.PaxosCommits, res.CoordCrashes,
+					res.CoordCrashCommitted, res.CoordCrashAborted,
+					res.AcceptorResolvesCommitted, res.AcceptorResolvesAborted,
+					res.ReapsAborted, res.ReapsCommitted)
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign %d (seed %d) FAILED: %v\n", i, cseed, err)
@@ -135,8 +152,8 @@ func main() {
 			if errors.As(err, &v) {
 				fmt.Fprintln(os.Stderr, v.Diagnostic())
 			}
-			fmt.Fprintf(os.Stderr, "replay: go run ./cmd/qchaos -seed %d -first %d -campaigns 1 -faults %s -selfheal %s -items %d -replicas %d -rounds %d -txns %d -v\n",
-				*seed, i, *faults, *selfheal, *items, *replicas, *rounds, *txns)
+			fmt.Fprintf(os.Stderr, "replay: go run ./cmd/qchaos -seed %d -first %d -campaigns 1 -faults %s -selfheal %s -protocol %s -items %d -replicas %d -rounds %d -txns %d -v\n",
+				*seed, i, *faults, *selfheal, proto, *items, *replicas, *rounds, *txns)
 			os.Exit(1)
 		}
 		agg.Committed += res.Committed
@@ -162,6 +179,12 @@ func main() {
 		agg.Migrations += res.Migrations
 		agg.MigrationsAbandoned += res.MigrationsAbandoned
 		agg.WrongShardRedirects += res.WrongShardRedirects
+		agg.CoordCrashes += res.CoordCrashes
+		agg.CoordCrashCommitted += res.CoordCrashCommitted
+		agg.CoordCrashAborted += res.CoordCrashAborted
+		agg.PaxosCommits += res.PaxosCommits
+		agg.AcceptorResolvesCommitted += res.AcceptorResolvesCommitted
+		agg.AcceptorResolvesAborted += res.AcceptorResolvesAborted
 		agg.FinalRoundCommitted += res.FinalRoundCommitted
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
@@ -169,7 +192,7 @@ func main() {
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | migrations=%d abandoned=%d redirects=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | migrations=%d abandoned=%d redirects=%d | commit(%s) paxoscommits=%d coordcrashes=%d crashresolved=%d/%d, via acceptors=%d commit / %d abort | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
@@ -177,6 +200,8 @@ func main() {
 		agg.Bursts, agg.Shed, agg.ExpiredOnArrival,
 		agg.StaleHints, agg.HintReads, agg.HintHits, agg.HintFenceMisses,
 		agg.Migrations, agg.MigrationsAbandoned, agg.WrongShardRedirects,
+		proto, agg.PaxosCommits, agg.CoordCrashes, agg.CoordCrashCommitted, agg.CoordCrashAborted,
+		agg.AcceptorResolvesCommitted, agg.AcceptorResolvesAborted,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }
 

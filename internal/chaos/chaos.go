@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/quorum"
 	"repro/internal/shard"
 	"repro/internal/sim"
@@ -90,13 +91,27 @@ const (
 	// zero wedged items and the checker zero serializability violations,
 	// whichever way each crash resolved.
 	FaultMigrate Fault = "migrate"
+	// FaultCoordCrash kills a top-level transaction's commit coordinator at
+	// a seeded instant around the commit point: before any decide message,
+	// partway through the Phase-2a accept fan-out (PaxosCommit), after the
+	// decision but before any replica learns it, or partway through the
+	// learn broadcast — locks, intentions, and acceptor votes left dangling
+	// exactly as a kill -9 would leave them. Selecting it runs the reaper
+	// stack; the campaign then holds every crash to the convergence
+	// contract: exactly one outcome cluster-wide, a decided commit never
+	// aborted, an un-voted transaction never committed, and — under
+	// PaxosCommit — every outcome that reached an acceptor resolved by
+	// acceptor recovery (one inquiry round trip) rather than a lease-TTL
+	// presumption. Resolved commits are backfilled into the history, so the
+	// serializability checker gates every crash's resolution too.
+	FaultCoordCrash Fault = "coordcrash"
 )
 
 // AllFaults lists every fault class in canonical order. Newer classes
-// (stalehint, then migrate) come last so enabling them never perturbs the
-// draw order — and with it the schedule — of seeded campaigns that predate
-// them.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint, FaultMigrate}
+// (stalehint, then migrate, then coordcrash) come last so enabling them
+// never perturbs the draw order — and with it the schedule — of seeded
+// campaigns that predate them.
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint, FaultMigrate, FaultCoordCrash}
 
 // overloadAdmitCap is the per-DM admission queue capacity campaigns use
 // when FaultOverload is selected: small enough that a burst always sheds,
@@ -176,6 +191,12 @@ type Config struct {
 	// lease stamped in round k is expired — and its holder reapable — from
 	// round k+1 on.
 	LeaseTTL time.Duration
+	// Protocol selects the store's commit protocol. The zero value is
+	// TwoPhase, so seeded campaigns that predate the option replay
+	// unchanged; commit.PaxosCommit arms the non-blocking commit path and
+	// tightens the coordcrash convergence contract (acceptor recovery, not
+	// TTL presumption, must resolve every outcome an acceptor holds).
+	Protocol commit.Protocol
 }
 
 // SelfHealMode selects how a campaign decides to run the self-healing
@@ -243,12 +264,14 @@ func (c Config) selfHeal() bool {
 		return false
 	}
 	for _, f := range c.Faults {
-		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint || f == FaultMigrate {
+		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint || f == FaultMigrate || f == FaultCoordCrash {
 			// Stalehint needs the manual clock: hint expiry at round
 			// boundaries is what makes an unfenceable (partitioned) hint
 			// holder safe, and that argument must be a pure function of the
 			// seed. Migrate needs the reaper: a killed migration coordinator
 			// is an orphaned client whose locks only the reaper resolves.
+			// Coordcrash needs both: the reaper's inquiry is the trigger that
+			// routes an abandoned commit into acceptor recovery.
 			return true
 		}
 	}
@@ -313,6 +336,22 @@ type Result struct {
 	Migrations          int
 	MigrationsAbandoned int
 	WrongShardRedirects int64
+	// CoordCrashes counts commit coordinators killed at the commit point;
+	// CoordCrashCommitted and CoordCrashAborted how the cluster resolved
+	// them (every crash resolves exactly one way — the settle pass fails the
+	// campaign otherwise). PaxosCommits is the store's count of clean-path
+	// decisions through the acceptors; AcceptorResolvesCommitted/Aborted its
+	// acceptor-recovery resolutions — the decisions learned from acceptor
+	// hard state in one inquiry round trip, where TwoPhase would have waited
+	// out a lease TTL (those show up in ReapsAborted/ReapsCommitted
+	// instead). All zero when FaultCoordCrash is off and the protocol is
+	// TwoPhase.
+	CoordCrashes              int
+	CoordCrashCommitted       int
+	CoordCrashAborted         int
+	PaxosCommits              int64
+	AcceptorResolvesCommitted int64
+	AcceptorResolvesAborted   int64
 	// FinalRoundCommitted is the last round's committed transactions — the
 	// throughput the cluster re-attained after its accumulated damage.
 	FinalRoundCommitted int
@@ -363,6 +402,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithSeed(cfg.Seed),
 		cluster.WithCallTimeout(cfg.CallTimeout),
 		cluster.WithHistory(rec),
+		cluster.WithCommitProtocol(cfg.Protocol),
 	}
 	amnesiaOn, overloadOn, staleOn, migrateOn := false, false, false, false
 	for _, f := range cfg.Faults {
@@ -528,6 +568,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				return res, err
 			}
 			net.Quiesce()
+			// The sweep above gave every pending coordinator crash its
+			// inquiry round trip; hold each resolved one to the convergence
+			// contract before any fault state changes. The probes only run
+			// when crashes are pending, so the message sequence stays a pure
+			// function of the seed.
+			if err := sched.settleCoordCrashes(ctx, rec, false); err != nil {
+				return res, err
+			}
 		}
 		sched.advance(round, res.Injected)
 		if sched.err != nil {
@@ -583,6 +631,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			net.Quiesce()
 		}
 	}
+	// Every injected coordinator crash must be resolved by now — the final
+	// settle fails the campaign on any transaction still in doubt.
+	if err := sched.settleCoordCrashes(ctx, rec, true); err != nil {
+		return res, err
+	}
 	// Final writability probe: after every fault healed (and, under
 	// self-healing, every orphan given two TTLs to be reaped), each item
 	// must accept a write within the store's normal retry budget. An item
@@ -618,6 +671,12 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.ReapsAborted = store.Stats.OrphanReapsAborted.Value()
 	res.ReapsCommitted = store.Stats.OrphanReapsCommitted.Value()
 	res.ResolutionQueries = store.Stats.ResolutionQueries.Value()
+	res.CoordCrashes = sched.coordCrashes
+	res.CoordCrashCommitted = sched.crashCommitted
+	res.CoordCrashAborted = sched.crashAborted
+	res.PaxosCommits = store.Stats.PaxosCommits.Value()
+	res.AcceptorResolvesCommitted = store.Stats.AcceptorResolvesCommitted.Value()
+	res.AcceptorResolvesAborted = store.Stats.AcceptorResolvesAborted.Value()
 	if err := hist.Verify(); err != nil {
 		return res, err
 	}
@@ -675,6 +734,101 @@ type scheduler struct {
 	home       []int
 	migrations int
 	abandoned  int
+
+	// coordcrash bookkeeping: crashes holds the injected coordinator kills
+	// not yet observed resolved; the settle pass drains it, splitting into
+	// crashCommitted/crashAborted and failing the campaign on any
+	// convergence-contract breach.
+	crashes        []coordCrash
+	coordCrashes   int
+	crashCommitted int
+	crashAborted   int
+}
+
+// coordCrash is one injected coordinator kill awaiting resolution.
+type coordCrash struct {
+	rep cluster.CrashReport
+	// base is the acceptor-recovery resolution count at injection: under
+	// PaxosCommit a crash whose Phase-2a reached an acceptor but whose learn
+	// reached nobody must advance it — resolution through acceptor state,
+	// not TTL presumption.
+	base int64
+}
+
+// acceptorResolves is the store's total acceptor-recovery resolutions.
+func (s *scheduler) acceptorResolves() int64 {
+	return s.store.Stats.AcceptorResolvesCommitted.Value() + s.store.Stats.AcceptorResolvesAborted.Value()
+}
+
+// settleCoordCrashes probes every replica a pending crashed coordinator
+// may have left state at and enforces the convergence contract: one
+// outcome cluster-wide, a decided commit never aborted, an un-voted
+// transaction never committed, and (PaxosCommit) acceptor recovery — not a
+// TTL presumption — resolving every outcome an acceptor held. A crash no
+// reachable replica knows resolved yet stays pending — unless final, when
+// doubt is a campaign failure. Resolved commits are backfilled into the
+// history so the checker verifies their writes against every later read.
+func (s *scheduler) settleCoordCrashes(ctx context.Context, rec *checker.Recorder, final bool) error {
+	if len(s.crashes) == 0 {
+		return nil
+	}
+	paxos := s.cfg.Protocol == commit.PaxosCommit
+	var still []coordCrash
+	for _, c := range s.crashes {
+		known, committed, holds := 0, 0, 0
+		for _, dm := range c.rep.DMs {
+			resp, perr := s.store.ResolutionProbe(ctx, dm, c.rep.Txn)
+			if perr != nil {
+				continue // crashed or partitioned replica: no verdict from it
+			}
+			if resp.Holds {
+				holds++
+			}
+			if resp.Known {
+				known++
+				if resp.Committed {
+					committed++
+				}
+			}
+		}
+		if known == 0 {
+			if final {
+				return fmt.Errorf("chaos: coordcrash txn %s still in doubt after final settle", c.rep.Txn)
+			}
+			still = append(still, c)
+			continue
+		}
+		if committed != 0 && committed != known {
+			return fmt.Errorf("chaos: coordcrash txn %s split outcome: %d of %d knowing replicas committed", c.rep.Txn, committed, known)
+		}
+		didCommit := committed > 0
+		if c.rep.Decided && !didCommit {
+			return fmt.Errorf("chaos: coordcrash txn %s resolved abort over a decided commit", c.rep.Txn)
+		}
+		// Sends (dispatched requests), not Accepts (observed acks), gates
+		// the no-evidence assertion: a lossy network can deliver an accept
+		// and drop its ack, leaving a durable vote the coordinator never
+		// saw — recovery is then obligated to complete the commit.
+		if !c.rep.Decided && c.rep.Sends == 0 && didCommit {
+			return fmt.Errorf("chaos: coordcrash txn %s resolved commit though no commit-carrying request was ever sent", c.rep.Txn)
+		}
+		if paxos && c.rep.Accepts > 0 && c.rep.Learned == 0 && s.acceptorResolves() == c.base {
+			return fmt.Errorf("chaos: coordcrash txn %s resolved without acceptor recovery", c.rep.Txn)
+		}
+		if final && holds > 0 {
+			return fmt.Errorf("chaos: coordcrash txn %s still holds locks at %d replica(s) after final settle", c.rep.Txn, holds)
+		}
+		if didCommit {
+			s.crashCommitted++
+			rec.RecordTxn(checker.TxnRecord{
+				ID: string(c.rep.Txn), Start: c.rep.Start, End: c.rep.End, Ops: c.rep.Ops,
+			})
+		} else {
+			s.crashAborted++
+		}
+	}
+	s.crashes = still
+	return nil
 }
 
 func newScheduler(net *sim.Network, store *cluster.Store, client string, groups [][]string, cfg Config) *scheduler {
@@ -901,6 +1055,30 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 			default:
 				if s.err == nil {
 					s.err = fmt.Errorf("chaos: migrate %s -> %s: %w", item, target, merr)
+				}
+				return
+			}
+		case FaultCoordCrash:
+			g := s.rng.Intn(len(s.groups))
+			stage := cluster.CommitCrashStage(1 + s.rng.Intn(4))
+			deliver := s.rng.Intn(s.cfg.Replicas)
+			item := fmt.Sprintf("x%d", g)
+			base := s.acceptorResolves()
+			val := fmt.Sprintf("coordcrash-%d-%d", round, s.coordCrashes)
+			rep, cerr := s.store.CrashCommit(context.Background(), item, val,
+				cluster.CommitCrashOptions{Stage: stage, Deliver: deliver})
+			switch {
+			case errors.Is(cerr, cluster.ErrCommitAbandoned):
+				// The injected kill. The transaction's locks (and any
+				// acceptor votes) now dangle; the settle pass holds the
+				// cluster's resolution to the convergence contract.
+				s.coordCrashes++
+				s.crashes = append(s.crashes, coordCrash{rep: rep, base: base})
+			case expectedUnderFaults(cerr):
+				continue // lost to a concurrent fault before the commit point; the roll is spent
+			default:
+				if s.err == nil {
+					s.err = fmt.Errorf("chaos: coordcrash on %s: %w", item, cerr)
 				}
 				return
 			}

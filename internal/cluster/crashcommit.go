@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/commit"
+)
+
+// ErrCommitAbandoned reports that a CrashCommit coordinator stopped at its
+// injected crash stage: the transaction was neither committed nor aborted
+// by the coordinator, so its locks, intentions, and (under PaxosCommit)
+// acceptor votes dangle exactly as a kill -9 would leave them. Chaos
+// campaigns inject these crashes around the commit point and then verify
+// the cluster converges on exactly one outcome — and, under PaxosCommit,
+// that it converges without waiting out a lease TTL.
+var ErrCommitAbandoned = errors.New("cluster: commit coordinator crashed")
+
+// CommitCrashStage selects where a chaos-injected coordinator crash cuts a
+// transaction short. The stages bracket the commit decision — under
+// PaxosCommit the decide phase splits 2PC's single ambiguous instant into
+// three distinct windows, each with a provable outcome rule.
+type CommitCrashStage int
+
+const (
+	// CommitCrashNone runs the commit to completion.
+	CommitCrashNone CommitCrashStage = iota
+	// CommitCrashBeforeDecide dies after every write buffered its intention
+	// and the fences passed, but before any Phase-2a accept (PaxosCommit)
+	// or any CommitTopReq (TwoPhase) was sent. No acceptor voted and no DM
+	// can apply: the outcome is a provable abort under both protocols.
+	CommitCrashBeforeDecide
+	// CommitCrashMidDecide dies partway through the Phase-2a fan-out:
+	// Deliver cohort members durably accept ballot 0, the rest never hear
+	// it. A majority of deliveries decides commit; fewer leave the instance
+	// open — acceptor recovery then decides either way, and the chaos gate
+	// checks only that the cluster converges on ONE outcome. Under TwoPhase
+	// there is no decide phase; the stage degrades to BeforeDecide.
+	CommitCrashMidDecide
+	// CommitCrashBeforeLearn dies after the outcome is decided at an
+	// acceptor majority but before any DM hears the learn broadcast: the
+	// one window 2PC cannot express at all — the outcome is a provable
+	// commit that NO replica has applied yet. Acceptor recovery must
+	// reconstruct and finish it. Under TwoPhase the commit point is the
+	// first CommitTopReq send, so this too degrades to BeforeDecide.
+	CommitCrashBeforeLearn
+	// CommitCrashMidLearn dies partway through the CommitTopReq broadcast:
+	// Deliver written DMs apply, the rest never hear it. Under PaxosCommit
+	// the outcome was already decided commit; under TwoPhase one delivery
+	// decides commit and zero leave a presumed abort.
+	CommitCrashMidLearn
+)
+
+// CommitCrashOptions tunes a CrashCommit run; the zero value commits
+// cleanly.
+type CommitCrashOptions struct {
+	// Stage selects the injected coordinator crash point.
+	Stage CommitCrashStage
+	// Deliver is, for the Mid stages, how many targets (in sorted order)
+	// hear the fan-out before the coordinator dies. Values past the target
+	// set mean everyone heard.
+	Deliver int
+}
+
+// CrashReport describes what a crashed commit coordinator left behind —
+// everything the chaos harness needs to predict the mandatory outcome and
+// to backfill the serializability history once the cluster resolves the
+// orphan.
+type CrashReport struct {
+	// Txn is the abandoned transaction.
+	Txn TxnID
+	// Decided reports whether the outcome was provably decided commit
+	// before the crash (an acceptor majority under PaxosCommit, at least
+	// one applied CommitTopReq under TwoPhase).
+	Decided bool
+	// Cohort is the acceptor cohort size (0 under TwoPhase).
+	Cohort int
+	// Accepts is how many acceptors durably accepted ballot 0 before the
+	// crash. It counts acknowledgements: under a lossy network an acceptor
+	// may have accepted while its ack was dropped, so Accepts is a lower
+	// bound on durable votes.
+	Accepts int
+	// Learned is how many written DMs acknowledged CommitTopReq before the
+	// crash (a lower bound, like Accepts).
+	Learned int
+	// Sends is how many commit-carrying requests (Phase-2a accepts or
+	// CommitTopReqs) the coordinator dispatched before dying, whether or
+	// not they were acknowledged. Sends == 0 means no replica anywhere can
+	// hold evidence of a commit: the only outcome a harness may demand is
+	// abort. Sends > 0 proves nothing either way — a dispatched request
+	// may have been dropped, or delivered with its ack lost.
+	Sends int
+	// DMs is every replica the crashed transaction may have left state at —
+	// written and lock-granting DMs plus the acceptor cohort — the set a
+	// harness must probe to observe the cluster's eventual resolution.
+	DMs []string
+	// Ops is the transaction's operation log, withheld from the history
+	// recorder: the harness records it only if the cluster resolves the
+	// orphan as committed.
+	Ops []checker.Op
+	// Start and End bracket the attempt for the history record.
+	Start, End time.Time
+}
+
+// CrashCommit runs one write transaction (item := val) up to its commit
+// point and then simulates a coordinator kill -9 at the requested stage:
+// no abort, no further sends, locks and votes left dangling for the
+// cluster to resolve. Returns ErrCommitAbandoned (with the report) when
+// the injected crash fired, nil when Stage is CommitCrashNone and the
+// commit completed. Test/chaos harness use only.
+//
+// The transaction is assembled by hand rather than via Run for the same
+// reason MigrateItemOpts's is: the crash must cut at exact instants
+// (between the decide and learn fan-outs, mid-broadcast) that Run's loop
+// never exposes, and the abandoned coordinator must leave its state
+// dangling instead of aborting on the way out.
+func (s *Store) CrashCommit(ctx context.Context, item string, val any, opts CommitCrashOptions) (CrashReport, error) {
+	rep := CrashReport{Start: time.Now()}
+	t := &Txn{
+		store:      s,
+		id:         TxnID(fmt.Sprintf("%s.x%d", s.clientID, s.txnSeq.Add(1))),
+		touched:    map[string]touchLevel{},
+		leaseStamp: s.now(),
+	}
+	rep.Txn = t.id
+	s.trackTxn(t)
+	var cohort []string
+	fail := func(err error) (CrashReport, error) {
+		t.abort(ctx)
+		s.untrackTxn(t)
+		return rep, err
+	}
+	abandon := func() (CrashReport, error) {
+		// The injected crash: untrack without abort. The locks dangle.
+		s.untrackTxn(t)
+		written, granted, _ := t.controlSets()
+		seen := map[string]bool{}
+		for _, set := range [][]string{written, granted, cohort} {
+			for _, dm := range set {
+				if !seen[dm] {
+					seen[dm] = true
+					rep.DMs = append(rep.DMs, dm)
+				}
+			}
+		}
+		sort.Strings(rep.DMs)
+		rep.End = time.Now()
+		t.mu.Lock()
+		rep.Ops = append([]checker.Op(nil), t.ops...)
+		t.mu.Unlock()
+		s.traceEvent(string(t.id), "crashcommit",
+			"%s: coordinator crashed (stage %d, decided %v, accepts %d/%d, learned %d)",
+			item, opts.Stage, rep.Decided, rep.Accepts, rep.Cohort, rep.Learned)
+		return rep, ErrCommitAbandoned
+	}
+
+	if err := t.Write(ctx, item, val); err != nil {
+		// A clean pre-commit failure (conflict, no quorum): nothing is in
+		// doubt, the ordinary abort applies.
+		return fail(err)
+	}
+	if err := t.ensureLease(ctx); err != nil {
+		s.Stats.LeaseExpiries.Inc()
+		return fail(err)
+	}
+	if err := t.fenceHints(ctx); err != nil {
+		return fail(err)
+	}
+
+	paxos := s.opts.protocol == commit.PaxosCommit
+	if paxos {
+		cohort = t.paxosCohort()
+	}
+	stage := opts.Stage
+	if !paxos && (stage == CommitCrashMidDecide || stage == CommitCrashBeforeLearn) {
+		// TwoPhase has no decide phase: everything before the first
+		// CommitTopReq send is one window.
+		stage = CommitCrashBeforeDecide
+	}
+	if stage == CommitCrashBeforeDecide {
+		return abandon()
+	}
+
+	written, granted, tentative := t.controlSets()
+	learn := CommitTopReq{Txn: t.id, Subs: t.committedSubs(), Final: t.finalVNs()}
+
+	if paxos {
+		rep.Cohort = len(cohort)
+		if stage == CommitCrashMidDecide {
+			// Deliver ballot-0 accepts to a prefix of the cohort, then die.
+			// Sequential raw calls, like MigrateCrashMidCommit's partial
+			// broadcast: the count of durable acceptances is exact.
+			n := opts.Deliver
+			if n > len(cohort) {
+				n = len(cohort)
+			}
+			req := PaxosAcceptReq{
+				Txn: t.id, Ballot: 0, Commit: true,
+				Subs: t.committedSubs(), Final: t.finalVNs(), Cohort: cohort,
+			}
+			for _, dm := range cohort[:n] {
+				budget, derr := s.callBudget(ctx)
+				if derr != nil {
+					break
+				}
+				rep.Sends++
+				cctx, cancel := context.WithTimeout(ctx, budget)
+				raw, err := s.client.Call(cctx, dm, req)
+				cancel()
+				if err == nil {
+					if ans, ok := raw.(PaxosAcceptResp); ok && ans.OK {
+						rep.Accepts++
+					}
+				}
+			}
+			rep.Decided = rep.Accepts >= commit.Quorum(len(cohort))
+			return abandon()
+		}
+		// BeforeLearn and MidLearn both run the full decide phase first.
+		rep.Sends += len(cohort)
+		inDoubt, err := t.paxosDecide(ctx, cohort)
+		if err != nil {
+			if inDoubt {
+				// Genuinely undecided — rarer than an injected crash but the
+				// same shape; the report says so and the cluster resolves it.
+				return abandon()
+			}
+			return fail(err)
+		}
+		rep.Decided = true
+		rep.Accepts = len(cohort) // a full decide acked everywhere it could; majority guaranteed
+		if stage == CommitCrashBeforeLearn {
+			return abandon()
+		}
+	}
+
+	// MidLearn: deliver CommitTopReq to a prefix of the written DMs, die.
+	n := opts.Deliver
+	if n > len(written) {
+		n = len(written)
+	}
+	for _, dm := range written[:n] {
+		budget, derr := s.callBudget(ctx)
+		if derr != nil {
+			break
+		}
+		rep.Sends++
+		cctx, cancel := context.WithTimeout(ctx, budget)
+		raw, err := s.client.Call(cctx, dm, learn)
+		cancel()
+		if err == nil {
+			if ack, ok := raw.(Ack); ok && ack.OK {
+				rep.Learned++
+			}
+		}
+	}
+	if !paxos {
+		// Under TwoPhase the first applied CommitTopReq decides commit.
+		rep.Decided = rep.Learned >= 1
+	}
+	if stage == CommitCrashMidLearn {
+		return abandon()
+	}
+
+	// CommitCrashNone: finish the broadcast like Run would.
+	missing := t.control(ctx, written, granted, tentative, learn)
+	t.primeHintTargets(missing)
+	t.done = true
+	s.untrackTxn(t)
+	s.Stats.Commits.Inc()
+	rep.Decided = true
+	rep.End = time.Now()
+	t.mu.Lock()
+	rep.Ops = append([]checker.Op(nil), t.ops...)
+	t.mu.Unlock()
+	if s.opts.history != nil {
+		s.opts.history.RecordTxn(checker.TxnRecord{
+			ID: string(t.id), Start: rep.Start, End: rep.End, Ops: rep.Ops,
+		})
+	}
+	return rep, nil
+}

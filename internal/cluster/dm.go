@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/commit"
 	"repro/internal/quorum"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -92,10 +93,28 @@ type dmServer struct {
 	hints      map[string]itemHint
 	hintFences map[string]hintFence
 
+	// Paxos Commit state (DESIGN.md §11). acceptors is the per-transaction
+	// acceptor hard state: WAL-logged through PaxosAcceptReq/PaxosPrepareReq
+	// and carried in snapshots, so a majority of acceptors can reconstruct a
+	// commit decision after any single failure — including this replica's
+	// own amnesia crash. recoveries is the proposer side of acceptor
+	// recovery: soft state like inquiries (a lost recovery round is simply
+	// re-run when the next conflict finds the orphan still unresolved).
+	acceptors  map[TxnID]*commit.Acceptor
+	recoveries map[TxnID]*paxosRecovery
+
 	// selfApply routes a reap decision into the state machine: the durable
 	// path logs it like any other mutation, the volatile path applies it
 	// directly. Nil (standalone servers) applies directly.
 	selfApply func(req any)
+
+	// persist logs one already-applied mutating request and calls done only
+	// once the record is durable (immediately on volatile DMs, where it is
+	// nil). The acceptor protocol needs the split: a promise or acceptance
+	// must never leave the machine before it is stable, but the answer is
+	// captured on the loop goroutine before the flush, so the flusher only
+	// sends — it never reads actor state.
+	persist func(req any, done func())
 
 	// send delivers fire-and-forget protocol messages to peers. Guarded by
 	// sendMu because the node that carries the messages is wired up after
@@ -115,13 +134,15 @@ type inquiry struct {
 // each at its initial value and configuration.
 func newDMState(id string, items []ItemSpec) *dmServer {
 	s := &dmServer{
-		id:        id,
-		replicas:  map[string]*replica{},
-		moved:     map[string]WrongShardResp{},
-		resolved:  map[TxnID]*resolution{},
-		clock:     transport.Wall,
-		leases:    map[TxnID]time.Time{},
-		inquiries: map[TxnID]*inquiry{},
+		id:         id,
+		replicas:   map[string]*replica{},
+		moved:      map[string]WrongShardResp{},
+		resolved:   map[TxnID]*resolution{},
+		clock:      transport.Wall,
+		leases:     map[TxnID]time.Time{},
+		inquiries:  map[TxnID]*inquiry{},
+		acceptors:  map[TxnID]*commit.Acceptor{},
+		recoveries: map[TxnID]*paxosRecovery{},
 	}
 	for _, it := range items {
 		s.replicas[it.Name] = &replica{
@@ -399,6 +420,15 @@ func (s *dmServer) markResolved(t TxnID, committed bool, subs []TxnID) {
 	if s.inquiries != nil {
 		delete(s.inquiries, t)
 	}
+	// A resolved transaction's Paxos instance is over: queries answer from
+	// the resolution record from here on, so the acceptor state (and any
+	// in-flight recovery round of ours) can be retired with it.
+	if s.acceptors != nil {
+		delete(s.acceptors, t)
+	}
+	if s.recoveries != nil {
+		delete(s.recoveries, t)
+	}
 }
 
 // handle is the DM's RPC handler for the volatile (in-memory) path.
@@ -664,6 +694,80 @@ func (s *dmServer) apply(req any) (resp any, mutated bool) {
 			// the whole subtree — descendants a promote already folded into
 			// the parent fall with it, and descendants still under their own
 			// ids are covered by drop's ancestor sweep.
+			s.markResolved(top, false, nil)
+			for _, r := range s.replicas {
+				r.drop(top)
+			}
+		}
+		return Ack{OK: true}, true
+	case PaxosAcceptReq:
+		// Phase 2a: accept the proposed outcome unless a higher ballot was
+		// promised. Ballot 0 is the coordinator's fast path (it skips
+		// Phase 1); recovery proposers arrive with ballots >= 1.
+		if res := s.resolved[q.Txn]; res != nil {
+			// Recovery already decided this instance — the caller adopts the
+			// decision instead of counting this as a vote.
+			return PaxosAcceptResp{Decided: true, DecCommit: res.committed}, false
+		}
+		acc := s.acceptors[q.Txn]
+		if acc == nil {
+			acc = commit.NewAcceptor(append([]string(nil), q.Cohort...))
+		}
+		ok, mutated := acc.Accept(q.Ballot, commit.Decision{
+			Commit: q.Commit, Subs: txnsToStrings(q.Subs), Final: q.Final,
+		})
+		if !ok {
+			return PaxosAcceptResp{OK: false, Promised: acc.Promised}, false
+		}
+		if s.acceptors == nil {
+			s.acceptors = map[TxnID]*commit.Acceptor{}
+		}
+		s.acceptors[q.Txn] = acc
+		return PaxosAcceptResp{OK: true, Promised: acc.Promised}, mutated
+	case PaxosPrepareReq:
+		// Phase 1a durability: self-applied by the recovering DM so the
+		// promise watermark hits the log before the promise leaves the
+		// machine. A resolved instance refuses — the recovery path answers
+		// such queries from the resolution record instead.
+		if s.resolved[q.Txn] != nil {
+			return Ack{OK: false}, false
+		}
+		acc := s.acceptors[q.Txn]
+		if acc == nil {
+			acc = commit.NewAcceptor(append([]string(nil), q.Cohort...))
+		}
+		ok, mutated := acc.Prepare(q.Ballot)
+		if ok {
+			if s.acceptors == nil {
+				s.acceptors = map[TxnID]*commit.Acceptor{}
+			}
+			s.acceptors[q.Txn] = acc
+		}
+		return Ack{OK: ok}, mutated
+	case PaxosDecisionReq:
+		// The learn message: install a decided outcome exactly as a late
+		// CommitTopReq (or a reaped abort) would. Idempotent, and it retires
+		// the instance's acceptor state via markResolved.
+		top := q.Txn.Top()
+		if s.resolved[top] != nil {
+			return Ack{OK: true}, false
+		}
+		if q.Commit {
+			s.markResolved(top, true, q.Subs)
+			committed := make(map[TxnID]bool, len(q.Subs))
+			for _, sub := range q.Subs {
+				committed[sub] = true
+			}
+			for name, r := range s.replicas {
+				r.applyTop(top, committed)
+				// Same freshness rule as CommitTopReq: the decision carries
+				// the final version map, so a replica landing on the final
+				// version may self-grant a hint.
+				if fin, ok := q.Final[name]; ok && r.vn == fin {
+					s.grantHint(name, r, top)
+				}
+			}
+		} else {
 			s.markResolved(top, false, nil)
 			for _, r := range s.replicas {
 				r.drop(top)

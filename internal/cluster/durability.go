@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/commit"
 	"repro/internal/quorum"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -86,6 +87,11 @@ type dmSnap struct {
 	// replicas themselves — a compacted log must still answer WrongShard
 	// redirects for items this DM retired.
 	Moved map[string]WrongShardResp
+	// Acceptors carries the Paxos Commit acceptor hard state (promise
+	// watermarks and accepted outcome values): a compacted log must still
+	// let a majority reconstruct an undecided instance's outcome. Absent
+	// from pre-Paxos snapshots, which gob decodes as nil.
+	Acceptors map[TxnID]commit.Acceptor
 }
 
 // encodeSnapshot serializes the DM's complete state. Replicas are listed in
@@ -103,6 +109,12 @@ func encodeSnapshot(s *dmServer) ([]byte, error) {
 		snap.Moved = map[string]WrongShardResp{}
 		for item, w := range s.moved {
 			snap.Moved[item] = w
+		}
+	}
+	if len(s.acceptors) > 0 {
+		snap.Acceptors = map[TxnID]commit.Acceptor{}
+		for t, acc := range s.acceptors {
+			snap.Acceptors[t] = *acc
 		}
 	}
 	names := make([]string, 0, len(s.replicas))
@@ -145,6 +157,11 @@ func restoreSnapshot(s *dmServer, b []byte) error {
 	s.moved = map[string]WrongShardResp{}
 	for item, w := range snap.Moved {
 		s.moved[item] = w
+	}
+	s.acceptors = map[TxnID]*commit.Acceptor{}
+	for t, acc := range snap.Acceptors {
+		a := acc
+		s.acceptors[t] = &a
 	}
 	s.replicas = map[string]*replica{}
 	for _, rs := range snap.Replicas {
@@ -260,6 +277,28 @@ func (d *dmWAL) selfApply(req any) {
 	d.maybeSnapshot()
 }
 
+// persist logs one already-applied mutating request and runs done once the
+// record is durable — the deferred half of the persist-before-ack
+// discipline for acceptor answers that travel as peer notifications
+// instead of replies. done is captured on the loop goroutine and only
+// sends; it never reads actor state (it runs on the log's flusher).
+// A record lost to a crash before the flush never answered, so the
+// recovered acceptor never contradicts a promise it sent.
+func (d *dmWAL) persist(req any, done func()) {
+	rec, err := encodeRecord(req)
+	if err != nil {
+		return // cannot persist ⇒ never answer
+	}
+	if d.log.AppendCallback(rec, func(ferr error) {
+		if ferr == nil {
+			done()
+		}
+	}) != nil {
+		return
+	}
+	d.maybeSnapshot()
+}
+
 func (d *dmWAL) maybeSnapshot() {
 	d.sinceSnap++
 	if d.sinceSnap < d.snapEvery {
@@ -309,6 +348,7 @@ func newDurableDM(tr transport.Transport, id string, items []ItemSpec, dir strin
 		wire(srv)
 	}
 	srv.selfApply = d.selfApply
+	srv.persist = d.persist
 	// Lease stamps from the previous incarnation are meaningless wall-clock
 	// values; give every recovered lock holder a fresh lease. Delayed
 	// reaping is always safe, invented expiry is not.

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/commit"
 	"repro/internal/quorum"
 	"repro/internal/sim"
 )
@@ -26,6 +28,7 @@ func amnesia(t *testing.T, store *Store, dm string) RecoveryStats {
 	// serves afterwards can only have come from the log.
 	h.srv.replicas = map[string]*replica{}
 	h.srv.resolved = map[TxnID]*resolution{}
+	h.srv.acceptors = map[TxnID]*commit.Acceptor{}
 	stats, err := store.RestartDM(dm)
 	if err != nil {
 		t.Fatalf("restart %s: %v", dm, err)
@@ -295,6 +298,53 @@ func TestDurableReopenAcrossStores(t *testing.T) {
 	cycle(1, 71, 100)
 	cycle(2, 72, 175)
 	cycle(3, 73, 175)
+}
+
+// TestCloseDrainsDetachedSweeps pins the drain-and-pin race between the
+// detached cleanup sweeps and Close: a sweep that detaches while doClose is
+// between "bar new detachments" and the transport Quiesce would either
+// trip the WaitGroup (Add racing Wait) or fire sends into a torn-down
+// transport. goDetached must refuse once closing — the refused caller
+// falls back to a bounded in-line send — and Close must wait out every
+// sweep it admitted. The workload is read-only transactions because their
+// lock releases ride entirely on detached sends.
+func TestCloseDrainsDetachedSweeps(t *testing.T) {
+	for seed := int64(81); seed <= 85; seed++ {
+		net, store, _ := openDurable(t, seed)
+		ctx := context.Background()
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 7) }); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Errors are expected once Close tears the cluster down;
+					// the assertion is the absence of panics and strands.
+					_ = store.Run(ctx, func(tx *Txn) error {
+						_, err := tx.Read(ctx, "x")
+						return err
+					})
+				}
+			}()
+		}
+		time.Sleep(2 * time.Millisecond)
+		store.Close() // races the workers' detached release sweeps
+		close(stop)
+		wg.Wait()
+		if store.goDetached(func() {}) {
+			t.Fatal("goDetached accepted a sweep after Close")
+		}
+		net.Close()
+	}
 }
 
 // TestReaperAndReplayConverge crosses the lease reaper with amnesia

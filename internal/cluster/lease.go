@@ -120,6 +120,14 @@ func (s *dmServer) maybeStartInquiry(top TxnID) {
 	if s.resolved[top] != nil {
 		return
 	}
+	if acc := s.acceptors[top]; acc != nil {
+		// Acceptor state lives here: the outcome may already be decided at a
+		// majority of the cohort, so consult the acceptors (Paxos recovery)
+		// instead of polling for commit records — a poll's all-unknown
+		// verdict would presume abort over a possibly-decided commit.
+		s.startPaxosRecovery(top, acc.Cohort)
+		return
+	}
 	now := s.clock.Now()
 	if inq := s.inquiries[top]; inq != nil {
 		if now.Sub(inq.started) < s.leaseTTL {
@@ -198,12 +206,22 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 		ans := ResolutionAnswer{Txn: q.Txn, From: s.id}
 		if res := s.resolved[q.Txn]; res != nil {
 			ans.Known, ans.Committed, ans.Subs = true, res.committed, res.subs
-		} else if s.leaseTTL > 0 {
-			if deadline, ok := s.leases[q.Txn]; ok && s.clock.Now().Before(deadline) {
-				// This DM's lease is live: the client renewed here recently,
-				// so it is alive and the inquirer should extend grace
-				// instead of reaping.
-				ans.Active = true
+		} else {
+			if s.leaseTTL > 0 {
+				if deadline, ok := s.leases[q.Txn]; ok && s.clock.Now().Before(deadline) {
+					// This DM's lease is live: the client renewed here recently,
+					// so it is alive and the inquirer should extend grace
+					// instead of reaping.
+					ans.Active = true
+				}
+			}
+			if acc := s.acceptors[q.Txn]; acc != nil {
+				// Paxos acceptor state here means the coordinator reached its
+				// Phase 2a: the outcome may already be decided, so the inquirer
+				// must run acceptor recovery over the cohort instead of
+				// counting this DM toward a presumed abort.
+				ans.Accepted = true
+				ans.Cohort = acc.Cohort
 			}
 		}
 		s.notifyPeer(q.From, ans)
@@ -223,6 +241,14 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 			s.stampLease(q.Txn)
 			return Ack{OK: true}, true
 		}
+		if q.Accepted {
+			// An acceptor somewhere heard Phase 2a: the presumed abort is off
+			// the table (the decision may exist at a majority we cannot see
+			// from here). Switch this inquiry to acceptor recovery.
+			delete(s.inquiries, q.Txn)
+			s.startPaxosRecovery(q.Txn, q.Cohort)
+			return Ack{OK: true}, true
+		}
 		delete(inq.waiting, q.From)
 		if len(inq.waiting) > 0 {
 			return Ack{OK: true}, true
@@ -234,6 +260,12 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 			s.reap(ReapReq{Txn: q.Txn})
 		}
 		return Ack{OK: true}, true
+	}
+	// Acceptor recovery (Paxos Commit): the recovery rounds are soft-state
+	// coordination like inquiries; the promises, acceptances and decisions
+	// they produce enter the state machine as logged requests (paxos.go).
+	if resp, handled := s.coordinatePaxos(req); handled {
+		return resp, handled
 	}
 	// Hint grants and write fences are coordination too: soft state, never
 	// logged, never replayed (hint.go).

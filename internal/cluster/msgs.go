@@ -215,7 +215,11 @@ type ResolutionQueryReq struct {
 // transaction; Committed and Subs are meaningful only when Known. Active
 // reports that the answering DM holds an unexpired lease for the
 // transaction — its client renewed there recently, so it is alive and the
-// inquirer extends grace instead of reaping.
+// inquirer extends grace instead of reaping. Accepted reports that the
+// answering DM holds Paxos acceptor state for the transaction (it heard a
+// Phase-2a or a recovery prepare): the outcome may already be decided, so
+// the inquirer must run acceptor recovery over Cohort instead of presuming
+// abort — a single Accepted answer vetoes the TTL-reap.
 type ResolutionAnswer struct {
 	Txn       TxnID
 	From      string
@@ -223,6 +227,8 @@ type ResolutionAnswer struct {
 	Committed bool
 	Subs      []TxnID
 	Active    bool
+	Accepted  bool
+	Cohort    []string
 }
 
 // HintReadReq asks one replica to serve a read from its freshness hint: a
@@ -359,4 +365,145 @@ type RingResp struct {
 // duplicate updates are ignored. Soft state, like RingReq.
 type RingUpdateReq struct {
 	Ring shard.Ring
+}
+
+// PaxosAcceptReq is the coordinator's Phase-2a of Paxos Commit: accept
+// this transaction's outcome at Ballot. The coordinator that ran the
+// transaction owns ballot 0 and skips Phase 1 (no other proposer ever
+// uses 0). Commit/Subs/Final are the full Decision value — everything a
+// CommitTopReq would carry — and Cohort is the complete acceptor set of
+// the instance, recorded by each acceptor so any replica can later run
+// recovery without knowing the transaction's footprint. Hard state: the
+// acceptance is WAL-logged before the ack (persist-before-ack), which is
+// what lets a majority of acceptors reconstruct the decision after any
+// single failure.
+type PaxosAcceptReq struct {
+	Txn    TxnID
+	Ballot int
+	Commit bool
+	Subs   []TxnID
+	Final  map[string]int
+	Cohort []string
+}
+
+// PaxosAcceptResp answers a PaxosAcceptReq. OK false with Promised set
+// means a recovery proposer promised a higher ballot here (the
+// coordinator lost the race and must not treat the outcome as decided).
+// Decided short-circuits: the transaction is already resolved at this
+// replica — recovery beat the coordinator to a decision — and the caller
+// adopts DecCommit instead of counting votes.
+type PaxosAcceptResp struct {
+	OK        bool
+	Promised  int
+	Decided   bool
+	DecCommit bool
+}
+
+// PaxosPrepareReq is Phase-1a durability for recovery: it is self-applied
+// by the DM running acceptor recovery (synthesized from a
+// PaxosRecoverQuery, never sent by clients) so the promise watermark is
+// WAL-logged before the promise leaves the machine. Mirrors ReapReq's
+// self-apply pattern.
+type PaxosPrepareReq struct {
+	Txn    TxnID
+	Ballot int
+	Cohort []string
+}
+
+// PaxosDecisionReq installs a decided outcome at a replica: the learn
+// message of Paxos Commit, sent by whichever recovery proposer completed
+// a round (and self-applied at the proposer). Commit true applies the
+// transaction's intentions exactly as CommitTopReq would; false discards
+// them as AbortReq would. Idempotent, WAL-logged, and it retires the
+// per-transaction acceptor state — after a decision, queries answer from
+// the resolution record.
+type PaxosDecisionReq struct {
+	Txn    TxnID
+	Commit bool
+	Subs   []TxnID
+	Final  map[string]int
+}
+
+// PaxosRecoverQuery is the fire-and-forget Phase-1a of acceptor recovery:
+// DM From proposes ballot Ballot for Txn's instance and asks each cohort
+// member to promise. Soft state at the receiver until it grants — the
+// grant itself is logged via PaxosPrepareReq before the promise is sent.
+type PaxosRecoverQuery struct {
+	Txn    TxnID
+	Ballot int
+	Cohort []string
+	From   string
+}
+
+// PaxosRecoverPromise is the fire-and-forget Phase-1b answer. OK false
+// reports a higher promise watermark (Promised), killing the proposer's
+// ballot. AccBal/AccCommit/AccSubs/AccFinal carry the acceptor's accepted
+// value when AccBal >= 0 — the proposer must adopt the highest accepted
+// ballot's value. Decided short-circuits the round entirely: the answering
+// replica already knows the outcome (DecCommit/DecSubs/DecFinal), and the
+// proposer adopts it as decided — it never re-proposes over a decision.
+type PaxosRecoverPromise struct {
+	Txn      TxnID
+	Ballot   int
+	From     string
+	OK       bool
+	Promised int
+	AccBal   int
+	AccCommit bool
+	AccSubs   []TxnID
+	AccFinal  map[string]int
+	Decided   bool
+	DecCommit bool
+	DecSubs   []TxnID
+	DecFinal  map[string]int
+}
+
+// PaxosRecoverAccept is the fire-and-forget Phase-2a of a recovery round:
+// accept the chosen value at Ballot. The receiver logs the acceptance
+// (through the same acceptor state machine as PaxosAcceptReq) before
+// answering PaxosRecoverAccepted.
+type PaxosRecoverAccept struct {
+	Txn    TxnID
+	Ballot int
+	Commit bool
+	Subs   []TxnID
+	Final  map[string]int
+	// Cohort travels with the accept because a cohort member that missed the
+	// Phase-1 query (the proposer accepts at ALL members, not just the
+	// promising quorum) may hold no acceptor state yet and must create it.
+	Cohort []string
+	From   string
+}
+
+// PaxosRecoverAccepted is the fire-and-forget Phase-2b ack. A majority of
+// OK accepts at the proposer's ballot decides the value; the proposer then
+// broadcasts PaxosDecisionReq.
+type PaxosRecoverAccepted struct {
+	Txn    TxnID
+	Ballot int
+	From   string
+	OK     bool
+}
+
+// ResolutionProbeReq asks a DM how a transaction stands there (diagnostics
+// and chaos gating only — not part of the protocol). The answer is served
+// from the same actor goroutine that owns the state, so it is consistent
+// without locks.
+type ResolutionProbeReq struct {
+	Txn TxnID
+}
+
+// ResolutionProbeResp reports a replica's view of one transaction: whether
+// it holds a resolution record (Known/Committed), whether any replica
+// state still references the transaction's tree (Holds — locks or
+// intentions), and the raw acceptor hard state when one exists (Promised,
+// AccBal, AccCommit; Promised is -2 when no acceptor state exists, since
+// -1 and 0 are both meaningful watermarks).
+type ResolutionProbeResp struct {
+	Known     bool
+	Committed bool
+	Holds     bool
+	Promised  int
+	AccBal    int
+	AccCommit bool
 }

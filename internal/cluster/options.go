@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/commit"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -51,6 +52,9 @@ type settings struct {
 
 	// Sharded placement (see DESIGN.md §10). nil = unsharded.
 	ring *shard.Ring
+
+	// Commit protocol (see DESIGN.md §11). Zero value = TwoPhase.
+	protocol commit.Protocol
 }
 
 func defaultSettings() settings {
@@ -398,6 +402,22 @@ func WithRing(r *shard.Ring) Option {
 			s.ring = r.Clone()
 		}
 	}
+}
+
+// WithCommitProtocol selects how top-level transactions reach their commit
+// point (DESIGN.md §11). TwoPhase (the default) is the classic presumed-
+// abort protocol: the first CommitTopReq send is the commit point, and a
+// coordinator that dies in the commit window leaves its locks in doubt
+// until the lease reaper's TTL + inquiry round presumes it aborted.
+// PaxosCommit inserts one consensus instance per transaction before the
+// commit broadcast: the outcome is durably accepted at a majority of
+// acceptors (co-located on the written items' replica groups) first, so
+// after ANY single crash — the coordinator's included — the outcome is
+// reconstructed from the surviving acceptors in one round-trip instead of
+// being presumed after a TTL. Clean-path cost: one extra logged fan-out
+// round over the cohort per commit.
+func WithCommitProtocol(p commit.Protocol) Option {
+	return func(s *settings) { s.protocol = p }
 }
 
 // WithShards is WithRing for callers that start from a group list: it

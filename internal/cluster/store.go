@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/commit"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/shard"
@@ -121,6 +122,18 @@ type Stats struct {
 	// Migrations counts MigrateItem cutovers this client completed.
 	WrongShardRedirects metrics.Counter
 	Migrations          metrics.Counter
+	// Paxos Commit (DESIGN.md §11). PaxosAccepts counts durable ballot-0
+	// acceptances coordinators collected; PaxosCommits counts commit
+	// decisions reached through an acceptor majority on the clean path.
+	// AcceptorRecoveries counts recovery rounds DMs started over orphaned
+	// instances; AcceptorResolvesCommitted / AcceptorResolvesAborted count
+	// outcomes those rounds decided — decisions learned via acceptors,
+	// versus OrphanReaps*, outcomes learned by TTL-bounded lease reaping.
+	PaxosAccepts              metrics.Counter
+	PaxosCommits              metrics.Counter
+	AcceptorRecoveries        metrics.Counter
+	AcceptorResolvesCommitted metrics.Counter
+	AcceptorResolvesAborted   metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -160,8 +173,13 @@ type Store struct {
 	// detached counts control goroutines (commit/abort sweeps to replicas
 	// whose ack the outcome does not need) still in flight. Close waits
 	// them out: with durable replicas a resolution that dies with the
-	// process would leave its locks held in the logs forever.
-	detached sync.WaitGroup
+	// process would leave its locks held in the logs forever. detachMu
+	// guards detachClosing: once Close decided to drain, no new sweep may
+	// detach — a late Add would race the Wait, and the sweep's sends would
+	// race the transport teardown.
+	detached      sync.WaitGroup
+	detachMu      sync.Mutex
+	detachClosing bool
 
 	// health is the failure detector's scoreboard; nil unless
 	// WithHealthProbes is on.
@@ -438,6 +456,26 @@ func serveOptsFor(st settings, dm string, stats *Stats) []transport.ServeOption 
 	})}
 }
 
+// goDetached runs fn as a detached background sweep registered with the
+// close drain, or reports false once Close began draining — racing a
+// WaitGroup.Add against its Wait is undefined, and the sweep's sends would
+// race the transport teardown. A refused caller runs the sweep bounded by
+// its own context instead.
+func (s *Store) goDetached(fn func()) bool {
+	s.detachMu.Lock()
+	if s.detachClosing {
+		s.detachMu.Unlock()
+		return false
+	}
+	s.detached.Add(1)
+	s.detachMu.Unlock()
+	go func() {
+		defer s.detached.Done()
+		fn()
+	}()
+	return true
+}
+
 // peersOf returns all of the cluster's DMs except id, sorted.
 func peersOf(id string, all []string) []string {
 	out := make([]string, 0, len(all))
@@ -497,10 +535,14 @@ func (s *Store) doClose() {
 	close(s.stopBg)
 	s.bg.Wait()
 	// An orderly Close is not a crash (net.Crash models those, and loses
-	// exactly what a crash may lose). Wait out detached commit/abort
-	// sweeps, then let the transport finish delivering their traffic and
-	// any fire-and-forget releases, so durable replicas log every
-	// resolution the client believes delivered before their WALs close.
+	// exactly what a crash may lose). Bar new detachments, wait out the
+	// detached commit/abort sweeps already in flight, then let the
+	// transport finish delivering their traffic and any fire-and-forget
+	// releases, so durable replicas log every resolution the client
+	// believes delivered before their WALs close.
+	s.detachMu.Lock()
+	s.detachClosing = true
+	s.detachMu.Unlock()
 	s.detached.Wait()
 	s.tr.Quiesce()
 	s.client.Close()
@@ -1621,13 +1663,20 @@ func (t *Txn) control(ctx context.Context, required, cleanup, tentative []string
 				defer wg.Done()
 				send(ctx, dm, retries)
 			}()
-		} else {
-			t.store.detached.Add(1)
-			go func() {
-				defer t.store.detached.Done()
-				send(context.Background(), dm, retries)
-			}()
+			return
 		}
+		if t.store.goDetached(func() { send(context.Background(), dm, retries) }) {
+			return
+		}
+		// The store is closing: the transport is about to quiesce, so a
+		// detached sweep could not outlive this operation anyway. Run it
+		// awaited on the caller's context instead — bounded, and never
+		// racing the close drain.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			send(ctx, dm, retries)
+		}()
 	}
 	for _, dm := range cleanup {
 		detached(dm, t.store.opts.lockRetries)
@@ -1796,6 +1845,18 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 				err = ferr
 			}
 		}
+		var inDoubt bool
+		if err == nil && s.opts.protocol == commit.PaxosCommit {
+			// The decide phase (DESIGN.md §11): the outcome is durably
+			// accepted at a majority of the cohort BEFORE any DM hears a
+			// commit, so a coordinator crash anywhere past this line leaves
+			// an outcome any conflicting party reconstructs from the
+			// acceptors in one round-trip. Read-only transactions (empty
+			// cohort) skip consensus — they have no outcome to decide.
+			if cohort := t.paxosCohort(); len(cohort) > 0 {
+				inDoubt, err = t.paxosDecide(ctx, cohort)
+			}
+		}
 		if err == nil {
 			written, granted, tentative := t.controlSets()
 			// The first CommitTopReq send is the commit point: every
@@ -1811,7 +1872,17 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			if hook := s.Hooks.BeforeCommitTop; hook != nil {
 				hook(t.id)
 			}
-			missing := t.control(ctx, written, granted, tentative,
+			learnCtx := ctx
+			if s.opts.protocol == commit.PaxosCommit {
+				// Under Paxos Commit the outcome is already decided at the
+				// acceptors: a caller cancelling its context now must not
+				// abandon the learn fan-out (the detached-cleanup rule
+				// applied to commits). The sends stay bounded by per-call
+				// timeouts and retry budgets, and stragglers are resolved by
+				// acceptor recovery regardless.
+				learnCtx = context.WithoutCancel(ctx)
+			}
+			missing := t.control(learnCtx, written, granted, tentative,
 				CommitTopReq{Txn: t.id, Subs: t.committedSubs(), Final: t.finalVNs()})
 			if len(missing) > 0 {
 				s.traceEvent(string(t.id), "commit", "stragglers %v", missing)
@@ -1829,6 +1900,17 @@ func (s *Store) Run(ctx context.Context, fn func(*Txn) error) error {
 			}
 			s.traceEvent(string(t.id), "commit", "applied at %v", t.touchedDMs())
 			return nil
+		}
+		if inDoubt {
+			// The decide phase reached acceptors but no majority answered:
+			// the outcome is whatever the cohort eventually decides, so both
+			// aborting and retrying here could contradict it. The locks stand
+			// until acceptor recovery resolves them — one conflict-triggered
+			// round-trip, not a lease TTL.
+			t.done = true
+			s.untrackTxn(t)
+			s.noteTxnOutcome(err)
+			return err
 		}
 		t.abort(ctx)
 		s.untrackTxn(t)

@@ -45,6 +45,14 @@ func RegisterWireTypes() {
 	gob.Register(RetireItemReq{})
 	gob.Register(RingReq{})
 	gob.Register(RingUpdateReq{})
+	gob.Register(PaxosAcceptReq{})
+	gob.Register(PaxosPrepareReq{})
+	gob.Register(PaxosDecisionReq{})
+	gob.Register(PaxosRecoverQuery{})
+	gob.Register(PaxosRecoverPromise{})
+	gob.Register(PaxosRecoverAccept{})
+	gob.Register(PaxosRecoverAccepted{})
+	gob.Register(ResolutionProbeReq{})
 	// Responses.
 	gob.Register(ReadResp{})
 	gob.Register(WriteResp{})
@@ -54,4 +62,6 @@ func RegisterWireTypes() {
 	gob.Register(HintMissResp{})
 	gob.Register(WrongShardResp{})
 	gob.Register(RingResp{})
+	gob.Register(PaxosAcceptResp{})
+	gob.Register(ResolutionProbeResp{})
 }

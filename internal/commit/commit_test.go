@@ -1,0 +1,154 @@
+package commit
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProtocolRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{TwoPhase, PaxosCommit} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParseProtocol(""); err != nil || p != TwoPhase {
+		t.Fatalf("empty spelling should default to 2pc, got %v, %v", p, err)
+	}
+	if _, err := ParseProtocol("3pc"); err == nil {
+		t.Fatal("unknown protocol must error")
+	}
+}
+
+// TestAcceptorOrdering is the table-driven core of the acceptor contract:
+// promises and accepts are granted exactly when the ballot is no lower
+// than the promise watermark, and every grant moves the watermark.
+func TestAcceptorOrdering(t *testing.T) {
+	commit := Decision{Commit: true, Subs: []string{"s1"}, Final: map[string]int{"x": 3}}
+	abort := Decision{Commit: false}
+	type step struct {
+		prepare bool // else accept
+		bal     int
+		val     Decision
+		wantOK  bool
+		wantMut bool
+	}
+	cases := []struct {
+		name  string
+		steps []step
+		// final expected hard state
+		promised, accBal int
+		accCommit        bool
+	}{
+		{
+			name: "coordinator fast path: bare accept at ballot 0",
+			steps: []step{
+				{prepare: false, bal: 0, val: commit, wantOK: true, wantMut: true},
+			},
+			promised: 0, accBal: 0, accCommit: true,
+		},
+		{
+			name: "recovery prepare blocks stale coordinator accept",
+			steps: []step{
+				{prepare: true, bal: 2, wantOK: true, wantMut: true},
+				{prepare: false, bal: 0, val: commit, wantOK: false, wantMut: false},
+				{prepare: false, bal: 2, val: abort, wantOK: true, wantMut: true},
+			},
+			promised: 2, accBal: 2, accCommit: false,
+		},
+		{
+			name: "higher ballot overrides accepted value",
+			steps: []step{
+				{prepare: false, bal: 0, val: commit, wantOK: true, wantMut: true},
+				{prepare: true, bal: 3, wantOK: true, wantMut: true},
+				{prepare: false, bal: 3, val: commit, wantOK: true, wantMut: true},
+			},
+			promised: 3, accBal: 3, accCommit: true,
+		},
+		{
+			name: "duplicate prepare re-acks without mutation",
+			steps: []step{
+				{prepare: true, bal: 4, wantOK: true, wantMut: true},
+				{prepare: true, bal: 4, wantOK: true, wantMut: false},
+				{prepare: true, bal: 1, wantOK: false, wantMut: false},
+			},
+			promised: 4, accBal: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAcceptor([]string{"dm0", "dm1", "dm2"})
+			for i, s := range tc.steps {
+				var ok, mut bool
+				if s.prepare {
+					ok, mut = a.Prepare(s.bal)
+				} else {
+					ok, mut = a.Accept(s.bal, s.val)
+				}
+				if ok != s.wantOK || mut != s.wantMut {
+					t.Fatalf("step %d: got ok=%v mut=%v, want ok=%v mut=%v", i, ok, mut, s.wantOK, s.wantMut)
+				}
+			}
+			if a.Promised != tc.promised || a.AccBal != tc.accBal {
+				t.Fatalf("final state promised=%d accBal=%d, want %d/%d", a.Promised, a.AccBal, tc.promised, tc.accBal)
+			}
+			if tc.accBal >= 0 && a.AccVal.Commit != tc.accCommit {
+				t.Fatalf("accepted commit=%v, want %v", a.AccVal.Commit, tc.accCommit)
+			}
+		})
+	}
+}
+
+func TestChoose(t *testing.T) {
+	commit := Decision{Commit: true, Final: map[string]int{"x": 1}}
+	cases := []struct {
+		name     string
+		promises []Promise
+		want     bool
+	}{
+		{"no accepted value defaults to abort", []Promise{{OK: true, AccBal: -1}, {OK: true, AccBal: -1}}, false},
+		{"single accepted value adopted", []Promise{{OK: true, AccBal: 0, AccVal: commit}, {OK: true, AccBal: -1}}, true},
+		{"highest ballot wins", []Promise{
+			{OK: true, AccBal: 0, AccVal: commit},
+			{OK: true, AccBal: 2, AccVal: Decision{Commit: false}},
+		}, false},
+		{"rejected promises ignored", []Promise{{OK: false, AccBal: 5, AccVal: commit}, {OK: true, AccBal: -1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Choose(tc.promises); got.Commit != tc.want {
+				t.Fatalf("Choose = %+v, want commit=%v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestChooseAdoptsValueWhole(t *testing.T) {
+	val := Decision{Commit: true, Subs: []string{"a", "b"}, Final: map[string]int{"x": 7}}
+	got := Choose([]Promise{{OK: true, AccBal: 3, AccVal: val}})
+	if !reflect.DeepEqual(got, val) {
+		t.Fatalf("Choose must adopt the accepted value unchanged: got %+v", got)
+	}
+}
+
+func TestQuorumAndBallots(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 3: 2, 5: 3, 7: 4} {
+		if got := Quorum(n); got != want {
+			t.Fatalf("Quorum(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Ballots must be unique across (attempt, proposer) pairs and > 0.
+	seen := map[int]bool{}
+	for attempt := 0; attempt < 3; attempt++ {
+		for idx := 0; idx < 5; idx++ {
+			b := RecoveryBallot(attempt, idx, 5)
+			if b <= 0 {
+				t.Fatalf("recovery ballot %d not above coordinator ballot 0", b)
+			}
+			if seen[b] {
+				t.Fatalf("duplicate recovery ballot %d", b)
+			}
+			seen[b] = true
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/cluster"
+	"repro/internal/commit"
 	"repro/internal/core"
 	"repro/internal/ioa"
 	"repro/internal/quorum"
@@ -227,6 +228,24 @@ var (
 	// WithReadLeaseTTL sets the freshness-hint TTL — the bound on how
 	// long an unreachable replica's hint outlives its revocation.
 	WithReadLeaseTTL = cluster.WithReadLeaseTTL
+	// WithCommitProtocol selects the top-level commit strategy: TwoPhase
+	// (default) or PaxosCommit (non-blocking commit — a coordinator crash
+	// around the commit point resolves from acceptor state in one inquiry
+	// round trip instead of blocking on an unreachable replica).
+	WithCommitProtocol = cluster.WithCommitProtocol
+)
+
+// CommitProtocol selects the top-level commit strategy for
+// WithCommitProtocol.
+type CommitProtocol = commit.Protocol
+
+// Commit protocol constants.
+const (
+	// TwoPhase is the classic coordinator-decides broadcast (default).
+	TwoPhase = commit.TwoPhase
+	// PaxosCommit replicates the commit decision itself across acceptors
+	// co-located on the replica group (DESIGN.md §11).
+	PaxosCommit = commit.PaxosCommit
 )
 
 // OpenSim builds a simulated network with the given latency range and a
