@@ -30,11 +30,15 @@ chaos:
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 10
 
 # Coverage-guided fuzz passes: quorum construction invariants, WAL record
-# framing, and the TCP transport's wire envelope (malformed frames must
-# fail with a typed decode error, never a panic).
+# framing, multi-record WAL segments recovered through the fault-injecting
+# filesystem (recovery must replay, truncate a torn tail, or fail with a
+# typed corruption error — never panic, never serve damage), and the TCP
+# transport's wire envelope (malformed frames must fail with a typed decode
+# error, never a panic).
 fuzz:
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 30s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 30s
+	$(GO) test ./internal/wal/ -fuzz FuzzSegment -fuzztime 30s
 	$(GO) test ./internal/transport/tcp/ -fuzz FuzzEnvelope -fuzztime 30s
 
 # Multi-process smoke: a real 3-replica qcstore cluster as separate OS
@@ -66,11 +70,19 @@ proc-smoke:
 # around the commit point — the 2PC arm must converge within the
 # lease-TTL reap window, the Paxos arm must resolve every acceptor-held
 # outcome through acceptor recovery (zero in-doubt past one inquiry round
-# trip), both with exactly one outcome per crash and zero violations.
+# trip), both with exactly one outcome per crash and zero violations, and
+# the diskfault gate under both protocols plus the amnesia and coordcrash
+# mixes: replicas' logs scrambled at rest, disks filled mid-round, and
+# coordinators killed with a cohort disk scrambled — every quarantine must
+# end in a peer rebuild, zero violations, zero permanently quarantined
+# replicas, zero wedged items (the proc smoke covers the same path against
+# real processes: a bit flipped on a real disk, the restarted process
+# rebuilding from its peers over TCP).
 verify: build vet staticcheck test race
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test ./internal/quorum/ -fuzz FuzzConfig -fuzztime 5s
 	$(GO) test ./internal/wal/ -fuzz FuzzRecord -fuzztime 5s
+	$(GO) test ./internal/wal/ -fuzz FuzzSegment -fuzztime 5s
 	$(GO) test ./internal/transport/tcp/ -fuzz FuzzEnvelope -fuzztime 5s
 	d=$$(mktemp -d) && $(GO) run ./cmd/qcstore -dir $$d >/dev/null && rm -rf $$d
 	$(GO) build -o bin/qcstore ./cmd/qcstore
@@ -81,6 +93,10 @@ verify: build vet staticcheck test race
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 3 -faults stalehint,migrate
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults coordcrash -protocol 2pc
 	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults coordcrash -protocol paxos
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults diskfault -protocol 2pc
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 5 -faults diskfault -protocol paxos
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 3 -faults diskfault,amnesia
+	$(GO) run ./cmd/qchaos -seed 1 -campaigns 3 -faults diskfault,coordcrash -protocol paxos
 	$(GO) run ./cmd/qchaos -seed 2 -campaigns 3 -protocol paxos
 	$(GO) run ./cmd/qchaos -shardscale
 	@echo verify: OK

@@ -43,7 +43,7 @@ func main() {
 		campaigns  = flag.Int("campaigns", 10, "number of campaigns (ignored when -duration is set)")
 		duration   = flag.Duration("duration", 0, "run campaigns until this much wall time has elapsed")
 		first      = flag.Int("first", 0, "index of the first campaign (for replaying one campaign of a larger run)")
-		faults     = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint,migrate,coordcrash")
+		faults     = flag.String("faults", "all", "comma-separated fault classes: crash,amnesia,partition,straggler,drop,dup,reorder,flap,clientcrash,overload,stalehint,migrate,coordcrash,diskfault")
 		protocol   = flag.String("protocol", "2pc", "commit protocol: 2pc or paxos (paxos resolves coordinator crashes through acceptor recovery instead of lease-TTL presumption)")
 		items      = flag.Int("items", 2, "replicated items per campaign")
 		replicas   = flag.Int("replicas", 3, "replicas (DMs) per item")
@@ -136,6 +136,10 @@ func main() {
 					i, res.StaleHints, res.HintReads, res.HintHits, res.HintMisses,
 					res.HintFences, res.HintFenceMisses)
 			}
+			if res.DiskFaults > 0 {
+				fmt.Printf("campaign %d disk: faults=%d quarantines=%d rebuilds=%d rebuilt_items=%d\n",
+					i, res.DiskFaults, res.DiskQuarantines, res.DiskRebuilds, res.DiskRebuiltItems)
+			}
 			if res.CoordCrashes > 0 || res.PaxosCommits > 0 {
 				// Decisions learned from acceptor hard state vs decisions
 				// presumed/served by the lease reaper — the E17 contrast.
@@ -185,6 +189,10 @@ func main() {
 		agg.PaxosCommits += res.PaxosCommits
 		agg.AcceptorResolvesCommitted += res.AcceptorResolvesCommitted
 		agg.AcceptorResolvesAborted += res.AcceptorResolvesAborted
+		agg.DiskFaults += res.DiskFaults
+		agg.DiskQuarantines += res.DiskQuarantines
+		agg.DiskRebuilds += res.DiskRebuilds
+		agg.DiskRebuiltItems += res.DiskRebuiltItems
 		agg.FinalRoundCommitted += res.FinalRoundCommitted
 		agg.Net.Sent += res.Net.Sent
 		agg.Net.Delivered += res.Net.Delivered
@@ -192,7 +200,7 @@ func main() {
 		agg.Net.Duplicated += res.Net.Duplicated
 		agg.Net.Reordered += res.Net.Reordered
 	}
-	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | migrations=%d abandoned=%d redirects=%d | commit(%s) paxoscommits=%d coordcrashes=%d crashresolved=%d/%d, via acceptors=%d commit / %d abort | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
+	fmt.Printf("%d campaigns verified in %v: committed=%d failed=%d tolerated=%d ops=%d finalround=%d recoveries=%d replayed=%d | orphans=%d reaps=%d aborted / %d committed, queries=%d wedged=%d | bursts=%d shed=%d expired=%d | stalehints=%d hintreads=%d hinthits=%d fencemisses=%d | migrations=%d abandoned=%d redirects=%d | commit(%s) paxoscommits=%d coordcrashes=%d crashresolved=%d/%d, via acceptors=%d commit / %d abort | disk faults=%d quarantines=%d rebuilds=%d rebuilt_items=%d | net sent=%d delivered=%d dropped=%d dup=%d reordered=%d\n",
 		ran, time.Since(start).Round(time.Millisecond),
 		agg.Committed, agg.Failed, agg.Tolerated, agg.Ops, agg.FinalRoundCommitted,
 		agg.Recoveries, agg.ReplayedRecords,
@@ -202,6 +210,7 @@ func main() {
 		agg.Migrations, agg.MigrationsAbandoned, agg.WrongShardRedirects,
 		proto, agg.PaxosCommits, agg.CoordCrashes, agg.CoordCrashCommitted, agg.CoordCrashAborted,
 		agg.AcceptorResolvesCommitted, agg.AcceptorResolvesAborted,
+		agg.DiskFaults, agg.DiskQuarantines, agg.DiskRebuilds, agg.DiskRebuiltItems,
 		agg.Net.Sent, agg.Net.Delivered, agg.Net.Dropped, agg.Net.Duplicated, agg.Net.Reordered)
 }
 

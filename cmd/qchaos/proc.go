@@ -22,8 +22,9 @@ func runProcGate(ctx context.Context, bin string, replicas int, verbose bool) in
 		fmt.Fprintln(os.Stderr, "proc gate FAILED:", err)
 		return 1
 	}
-	fmt.Printf("proc gate passed in %v: %d real processes, %s SIGKILLed and recovered (%d WAL records replayed, vn %d), cluster read %d (vn %d), clean shutdown\n",
+	fmt.Printf("proc gate passed in %v: %d real processes, %s SIGKILLed and recovered (%d WAL records replayed, vn %d), then disk-corrupted and rebuilt from peers (%d item(s), serving %d), cluster read %d (vn %d), clean shutdown\n",
 		time.Since(start).Round(time.Millisecond), rep.Replicas, rep.Killed,
-		rep.Replayed, rep.RecoveredVN, rep.FinalValue, rep.FinalVN)
+		rep.Replayed, rep.RecoveredVN, rep.RebuiltItems, rep.PostRebuildValue,
+		rep.FinalValue, rep.FinalVN)
 	return 0
 }

@@ -151,8 +151,21 @@ func serveMain(args []string) int {
 		return 1
 	}
 	rec := host.Recovery()
-	fmt.Printf("qcstore: %s serving at %s (snapshot=%v replayed=%d)\n",
-		*id, tr.Addr(*id), rec.FromSnapshot, rec.Replayed)
+	switch {
+	case host.Rebuilt != nil:
+		// The log was corrupt beyond a torn tail and the automatic peer
+		// rebuild restored the replica's state from the live peers.
+		fmt.Printf("qcstore: %s serving at %s (rebuilt items=%d resolved=%d acceptors=%d from %d peers)\n",
+			*id, tr.Addr(*id), host.Rebuilt.Items, host.Rebuilt.Resolved, host.Rebuilt.Acceptors, host.Rebuilt.Peers)
+	case host.Quarantined != nil:
+		// Corrupt log AND the rebuild failed (peers unreachable): the
+		// replica serves only the typed refusal until restarted against
+		// reachable peers.
+		fmt.Printf("qcstore: %s serving at %s (QUARANTINED: %v)\n", *id, tr.Addr(*id), host.Quarantined)
+	default:
+		fmt.Printf("qcstore: %s serving at %s (snapshot=%v replayed=%d)\n",
+			*id, tr.Addr(*id), rec.FromSnapshot, rec.Replayed)
+	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	<-sigs
@@ -170,7 +183,7 @@ func clientMain(args []string) int {
 		peersArg = fs.String("peers", "", "comma-separated name=host:port for every replica")
 		get      = fs.Bool("get", false, "read the item and print it")
 		set      = fs.String("set", "", "write this integer value in a transaction")
-		inspect  = fs.String("inspect", "", "print one replica's committed state (bypasses quorums); with -shards, \"placement\" prints the whole ring layout")
+		inspect  = fs.String("inspect", "", "print one replica's committed state (bypasses quorums); \"health\" prints every replica's status; with -shards, \"placement\" prints the whole ring layout")
 		item     = fs.String("item", "", "data item for -get/-set/-inspect (default: the demo item, or k0 with -shards)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "overall operation deadline")
 		shards   = fs.String("shards", "", "shard the keyspace onto replica groups, e.g. g0=dm0:dm1:dm2,g1=dm3:dm4:dm5")
@@ -227,6 +240,18 @@ func clientOp(ctx context.Context, store *cluster.Store, ring *shard.Ring, nkeys
 	switch {
 	case inspect == "placement" && ring != nil:
 		return printPlacement(ctx, store, ring, shard.Keys("k", nkeys))
+	case inspect == "health":
+		// One line per replica: healthy replicas answer the ping, a
+		// quarantined one serves its typed refusal (with the corruption
+		// that put it there), a dead one times out.
+		for _, h := range store.ProbeHealth(ctx) {
+			if h.Detail != "" {
+				fmt.Printf("%-8s %-12s %s\n", h.DM, h.Status, h.Detail)
+			} else {
+				fmt.Printf("%-8s %s\n", h.DM, h.Status)
+			}
+		}
+		return nil
 	case inspect != "":
 		resp, err := store.Inspect(ctx, inspect, item)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -105,13 +106,30 @@ const (
 	// presumption. Resolved commits are backfilled into the history, so the
 	// serializability checker gates every crash's resolution too.
 	FaultCoordCrash Fault = "coordcrash"
+	// FaultDiskfault turns the stable storage the WAL is named after into a
+	// fault domain of its own: at a seeded boundary one replica's log is
+	// scrambled on disk (a bit flip in a sealed segment, a whole segment
+	// dropped, or the snapshot damaged) and the replica restarted onto the
+	// wreckage, or its disk "fills" so the next logged write fails its
+	// append — and, at its nastiest, a commit coordinator is killed around
+	// the commit point with a cohort member's disk scrambled in the same
+	// breath. The replica must fail closed into quarantine (serving the
+	// typed refusal, never corrupt state), the cluster must keep serving
+	// through the remaining majority, and the heal is a peer rebuild that
+	// pulls the committed state back from ALL peers. Selecting it runs the
+	// durability + self-healing stacks; at most a minority of any group is
+	// disk-impaired, and only one disk at a time (a rebuild needs every
+	// peer answering). The campaign's final gates then hold the whole path
+	// to account: zero serializability violations, zero permanently
+	// quarantined replicas, and a writable cluster.
+	FaultDiskfault Fault = "diskfault"
 )
 
 // AllFaults lists every fault class in canonical order. Newer classes
-// (stalehint, then migrate, then coordcrash) come last so enabling them
-// never perturbs the draw order — and with it the schedule — of seeded
-// campaigns that predate them.
-var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint, FaultMigrate, FaultCoordCrash}
+// (stalehint, then migrate, then coordcrash, then diskfault) come last so
+// enabling them never perturbs the draw order — and with it the schedule —
+// of seeded campaigns that predate them.
+var AllFaults = []Fault{FaultCrash, FaultAmnesia, FaultPartition, FaultStraggler, FaultDrop, FaultDup, FaultReorder, FaultFlap, FaultClientCrash, FaultOverload, FaultStalehint, FaultMigrate, FaultCoordCrash, FaultDiskfault}
 
 // overloadAdmitCap is the per-DM admission queue capacity campaigns use
 // when FaultOverload is selected: small enough that a burst always sheds,
@@ -264,14 +282,17 @@ func (c Config) selfHeal() bool {
 		return false
 	}
 	for _, f := range c.Faults {
-		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint || f == FaultMigrate || f == FaultCoordCrash {
+		if f == FaultFlap || f == FaultClientCrash || f == FaultStalehint || f == FaultMigrate || f == FaultCoordCrash || f == FaultDiskfault {
 			// Stalehint needs the manual clock: hint expiry at round
 			// boundaries is what makes an unfenceable (partitioned) hint
 			// holder safe, and that argument must be a pure function of the
 			// seed. Migrate needs the reaper: a killed migration coordinator
 			// is an orphaned client whose locks only the reaper resolves.
 			// Coordcrash needs both: the reaper's inquiry is the trigger that
-			// routes an abandoned commit into acceptor recovery.
+			// routes an abandoned commit into acceptor recovery. Diskfault
+			// needs them too — a transaction whose locks died with a
+			// corrupted replica resolves only through lease expiry against
+			// the rebuilt replica's renewal fence.
 			return true
 		}
 	}
@@ -352,6 +373,17 @@ type Result struct {
 	PaxosCommits              int64
 	AcceptorResolvesCommitted int64
 	AcceptorResolvesAborted   int64
+	// DiskFaults counts diskfault episodes injected (a log scrambled at
+	// rest, a disk filling mid-round, or a coordinator kill with a cohort
+	// disk scrambled — those crashes also count under CoordCrashes).
+	// DiskQuarantines is the store's count of replicas that failed closed
+	// into quarantine, DiskRebuilds its completed peer rebuilds, and
+	// DiskRebuiltItems the item replicas those rebuilds restored. All zero
+	// when FaultDiskfault is not in play.
+	DiskFaults       int
+	DiskQuarantines  int64
+	DiskRebuilds     int64
+	DiskRebuiltItems int64
 	// FinalRoundCommitted is the last round's committed transactions — the
 	// throughput the cluster re-attained after its accumulated damage.
 	FinalRoundCommitted int
@@ -404,7 +436,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		cluster.WithHistory(rec),
 		cluster.WithCommitProtocol(cfg.Protocol),
 	}
-	amnesiaOn, overloadOn, staleOn, migrateOn := false, false, false, false
+	amnesiaOn, overloadOn, staleOn, migrateOn, diskOn := false, false, false, false, false
 	for _, f := range cfg.Faults {
 		if f == FaultAmnesia {
 			amnesiaOn = true
@@ -417,6 +449,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		}
 		if f == FaultMigrate {
 			migrateOn = true
+		}
+		if f == FaultDiskfault {
+			diskOn = true
 		}
 	}
 	if migrateOn {
@@ -459,20 +494,33 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		// load, not loss, is the failure mode.
 		opts = append(opts, cluster.WithAdmissionCapacity(overloadAdmitCap))
 	}
-	if amnesiaOn {
-		// Amnesia needs somewhere to forget from: give every DM a WAL in a
-		// scratch directory. Fsync stays off because a simulated crash
-		// loses the process heap, not the page cache — the recovery logic
-		// exercised is identical, and the wal package's own tests plus the
-		// E12 experiment cover real fsync.
+	var ffs *wal.FaultFS
+	var walDir string
+	if amnesiaOn || diskOn {
+		// Amnesia needs somewhere to forget from, and diskfault something to
+		// scramble: give every DM a WAL in a scratch directory. Fsync stays
+		// off because a simulated crash loses the process heap, not the page
+		// cache — the recovery logic exercised is identical, and the wal
+		// package's own tests plus the E12 experiment cover real fsync.
 		dir, err := os.MkdirTemp("", "chaos-wal-")
 		if err != nil {
 			return Result{}, err
 		}
 		defer os.RemoveAll(dir)
+		walDir = dir
+		walOpts := []wal.Option{wal.WithFsync(false)}
+		if diskOn {
+			// Diskfault routes every log I/O through a seeded fault-injecting
+			// filesystem, with segments kept small so even a few rounds of
+			// workload seal segments for the at-rest corruptor to target. The
+			// FS seed derives from the campaign seed, so what gets corrupted
+			// — file, offset, bit — replays exactly.
+			ffs = wal.NewFaultFS(CampaignSeed(cfg.Seed, 0xD15F))
+			walOpts = append(walOpts, wal.WithFS(ffs), wal.WithSegmentBytes(512))
+		}
 		opts = append(opts,
 			cluster.WithDurability(dir),
-			cluster.WithWALOptions(wal.WithFsync(false)),
+			cluster.WithWALOptions(walOpts...),
 		)
 	}
 	if !cfg.Live {
@@ -519,6 +567,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	defer store.Close()
 	store.Hooks.MutateWriteVN = cfg.MutateVN
+	if selfHeal && !cfg.Live {
+		// Each sweep inspection doubles as an orphan sweep at the DM and may
+		// fire an asynchronous inquiry/recovery cascade. Drain each DM's
+		// cascade before inspecting the next, or cascades from different DMs
+		// interleave on near-tie message latencies — the decided-vs-heard
+		// race double-counts resolutions and forks an exact replay.
+		store.Hooks.SweepBarrier = net.Quiesce
+	}
 
 	// Prime every client↔DM lane in a fixed order. Lane fate streams are
 	// seeded by creation order; without priming, the first concurrent
@@ -547,6 +603,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	sched := newScheduler(net, store, client, groups, cfg)
+	sched.ffs, sched.walDir = ffs, walDir
 	res := Result{Seed: cfg.Seed, Injected: map[Fault]int{}}
 	workers := 1
 	if cfg.Live {
@@ -677,8 +734,18 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.PaxosCommits = store.Stats.PaxosCommits.Value()
 	res.AcceptorResolvesCommitted = store.Stats.AcceptorResolvesCommitted.Value()
 	res.AcceptorResolvesAborted = store.Stats.AcceptorResolvesAborted.Value()
+	res.DiskFaults = sched.diskFaults
+	res.DiskQuarantines = store.Stats.Quarantines.Value()
+	res.DiskRebuilds = store.Stats.Rebuilds.Value()
+	res.DiskRebuiltItems = store.Stats.RebuiltItems.Value()
 	if err := hist.Verify(); err != nil {
 		return res, err
+	}
+	if qs := store.QuarantinedDMs(); len(qs) > 0 {
+		// Every quarantined replica must have been rebuilt by the final
+		// heal: a quarantine that outlives the campaign is lost redundancy
+		// the operator never got back.
+		return res, fmt.Errorf("chaos: replica(s) still quarantined after final heal: %v", qs)
 	}
 	if selfHeal && res.Wedged > 0 {
 		return res, fmt.Errorf("chaos: %d item(s) permanently wedged after heal and reap settle", res.Wedged)
@@ -705,7 +772,15 @@ type episode struct {
 	group int    // replica group index for node-scoped faults
 	until int
 	down  bool // flap only: whether the replica is currently crashed
+	mode  int  // diskfault only: which disk fault was injected
 }
+
+// The diskfault injection modes.
+const (
+	diskAtRest    = iota // stop the replica, scramble its log, restart it
+	diskNoSpace          // fail every append: the disk "fills" mid-round
+	diskMidCommit        // kill a commit coordinator AND scramble a cohort disk
+)
 
 // scheduler owns the fault schedule. All randomness comes from its own
 // generator, and every decision is made in a fixed iteration order, so the
@@ -743,6 +818,13 @@ type scheduler struct {
 	coordCrashes   int
 	crashCommitted int
 	crashAborted   int
+
+	// diskfault bookkeeping: the fault-injecting filesystem every DM's log
+	// runs through, the root its per-DM directories live under (both nil/""
+	// unless diskfault or amnesia is selected), and the injection count.
+	ffs        *wal.FaultFS
+	walDir     string
+	diskFaults int
 }
 
 // coordCrash is one injected coordinator kill awaiting resolution.
@@ -878,7 +960,19 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 	kept := s.active[:0]
 	for _, e := range s.active {
 		if e.until <= round {
-			s.heal(e)
+			if e.fault == FaultDiskfault && !s.healDisk(e) {
+				// The rebuild needs every peer answering, and one of them is
+				// crashed or partitioned at this boundary. The replica stays
+				// quarantined (still counted against the group's impair
+				// budget) and the heal retries next boundary; the final
+				// healAll runs disk heals after every other fault is gone.
+				e.until = round + 1
+				kept = append(kept, e)
+				continue
+			}
+			if e.fault != FaultDiskfault {
+				s.heal(e)
+			}
 			continue
 		}
 		if e.fault == FaultFlap {
@@ -1082,8 +1176,147 @@ func (s *scheduler) advance(round int, injected map[Fault]int) {
 				}
 				return
 			}
+		case FaultDiskfault:
+			// One scrambled disk at a time: a rebuild pulls from EVERY peer,
+			// so two concurrently quarantined replicas would fail each
+			// other's pulls by construction, not by bug.
+			if s.faultActive(f) {
+				continue
+			}
+			g := s.rng.Intn(len(s.groups))
+			if s.impaired(g) >= s.impairBudget() {
+				continue
+			}
+			dm := s.groups[g][s.rng.Intn(len(s.groups[g]))]
+			if s.nodeFaulted(dm) {
+				continue
+			}
+			mode := s.rng.Intn(3)
+			switch mode {
+			case diskNoSpace:
+				// The disk fills mid-round: the first logged write the
+				// workload lands at this replica fails its append and the
+				// replica quarantines itself — fail closed, no ack for state
+				// the disk does not back.
+				s.ffs.FailAppends(filepath.Join(s.walDir, dm), true)
+			case diskMidCommit:
+				// The nastiest seeded instant: kill a commit coordinator
+				// around the commit point AND scramble a cohort member's disk
+				// in the same breath. Under TwoPhase the stage is clamped to
+				// BeforeDecide — a mid-learn 2PC commit whose only learner's
+				// disk then dies is a genuinely lost decided commit (DESIGN.md
+				// §12); PaxosCommit's majority-durable decision tolerates any
+				// stage, which is exactly the point of running it here.
+				stage := cluster.CommitCrashStage(1 + s.rng.Intn(4))
+				deliver := s.rng.Intn(s.cfg.Replicas)
+				if s.cfg.Protocol != commit.PaxosCommit {
+					stage = cluster.CommitCrashBeforeDecide
+				}
+				base := s.acceptorResolves()
+				item := fmt.Sprintf("x%d", g)
+				val := fmt.Sprintf("diskfault-%d-%d", round, s.diskFaults)
+				rep, cerr := s.store.CrashCommit(context.Background(), item, val,
+					cluster.CommitCrashOptions{Stage: stage, Deliver: deliver})
+				switch {
+				case errors.Is(cerr, cluster.ErrCommitAbandoned):
+					s.coordCrashes++
+					s.crashes = append(s.crashes, coordCrash{rep: rep, base: base})
+				case expectedUnderFaults(cerr):
+					continue // lost to a concurrent fault; the roll is spent
+				default:
+					if s.err == nil {
+						s.err = fmt.Errorf("chaos: diskfault mid-commit on %s: %w", item, cerr)
+					}
+					return
+				}
+				if !s.corruptAtRest(dm) {
+					if s.err != nil {
+						return
+					}
+					continue // nothing corruptible yet; the crash alone stands
+				}
+			case diskAtRest:
+				if !s.corruptAtRest(dm) {
+					if s.err != nil {
+						return
+					}
+					continue // log too young to have sealed anything; the roll is spent
+				}
+			}
+			s.active = append(s.active, episode{fault: f, dm: dm, group: g, until: ttl, mode: mode})
+			s.diskFaults++
 		}
 		injected[f]++
+	}
+}
+
+// corruptAtRest stops a replica, scrambles its log on the (virtual) disk —
+// a bit flip in a sealed segment frame, else a whole sealed segment
+// dropped, else the snapshot damaged — and restarts it onto the wreckage.
+// The restart comes back quarantined (verified by the heal, which must
+// rebuild it). Returns false when the log is still too young to hold
+// anything corruptible; harness errors land in s.err.
+func (s *scheduler) corruptAtRest(dm string) bool {
+	dir := filepath.Join(s.walDir, dm)
+	if err := s.store.StopDM(dm); err != nil {
+		s.fail(fmt.Errorf("chaos: diskfault stop %s: %w", dm, err))
+		return false
+	}
+	hit := false
+	if _, _, ok, err := s.ffs.CorruptSegmentFrame(dir); err != nil {
+		s.fail(fmt.Errorf("chaos: diskfault corrupt %s: %w", dm, err))
+	} else if ok {
+		hit = true
+	}
+	if !hit && s.err == nil {
+		if _, ok, err := s.ffs.DropSegment(dir); err != nil {
+			s.fail(fmt.Errorf("chaos: diskfault drop segment %s: %w", dm, err))
+		} else if ok {
+			hit = true
+		}
+	}
+	if !hit && s.err == nil {
+		if _, ok, err := s.ffs.CorruptSnapshot(dir); err != nil {
+			s.fail(fmt.Errorf("chaos: diskfault corrupt snapshot %s: %w", dm, err))
+		} else if ok {
+			hit = true
+		}
+	}
+	if _, err := s.store.RestartDM(dm); err != nil {
+		s.fail(fmt.Errorf("chaos: diskfault restart %s: %w", dm, err))
+		return false
+	}
+	return hit && s.err == nil
+}
+
+// healDisk disarms a diskfault episode and, when the replica actually
+// quarantined, rebuilds it from its peers. Returns false when the rebuild
+// cannot complete at this boundary (the pull needs ALL peers answering and
+// one is crashed or partitioned); the caller retries at the next one.
+func (s *scheduler) healDisk(e episode) bool {
+	if e.mode == diskNoSpace {
+		s.ffs.FailAppends(filepath.Join(s.walDir, e.dm), false)
+	}
+	quar := false
+	for _, q := range s.store.QuarantinedDMs() {
+		if q == e.dm {
+			quar = true
+		}
+	}
+	if !quar {
+		// Mode B that never saw a logged write, or an at-rest scramble whose
+		// restart somehow recovered: nothing to rebuild.
+		return true
+	}
+	if _, err := s.store.RebuildReplica(context.Background(), e.dm); err != nil {
+		return false
+	}
+	return true
+}
+
+func (s *scheduler) fail(err error) {
+	if s.err == nil {
+		s.err = err
 	}
 }
 
@@ -1138,10 +1371,21 @@ func (s *scheduler) heal(e episode) {
 }
 
 // healAll reverts every active fault; the final verification round runs on
-// a healthy network.
+// a healthy network. Disk heals run last — their rebuilds need every peer
+// back, so every crash and partition must lift first.
 func (s *scheduler) healAll() {
+	var disks []episode
 	for _, e := range s.active {
+		if e.fault == FaultDiskfault {
+			disks = append(disks, e)
+			continue
+		}
 		s.heal(e)
+	}
+	for _, e := range disks {
+		if !s.healDisk(e) {
+			s.fail(fmt.Errorf("chaos: final rebuild of %s failed with every other fault healed", e.dm))
+		}
 	}
 	s.active = nil
 }

@@ -601,6 +601,91 @@ func TestCoordCrashCampaignDeterministic(t *testing.T) {
 	}
 }
 
+// TestDiskfaultCampaign runs diskfault-focused campaigns under both commit
+// protocols: replicas keep having their logs scrambled at rest, their disks
+// filled mid-round, and (mode C) commit coordinators killed with a cohort
+// disk scrambled in the same breath. Every quarantine must end in a peer
+// rebuild, every history must verify, and no item may end wedged.
+func TestDiskfaultCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	for _, proto := range []commit.Protocol{commit.TwoPhase, commit.PaxosCommit} {
+		faults, quarantines, rebuilds := 0, int64(0), int64(0)
+		for i := 0; i < 4; i++ {
+			cfg := shortCfg(CampaignSeed(103, i))
+			cfg.Faults = []Fault{FaultDiskfault}
+			cfg.Rounds = 5
+			cfg.Protocol = proto
+			res, err := Run(ctx, cfg)
+			if err != nil {
+				t.Fatalf("%s diskfault campaign %d (seed %d): %v", proto, i, cfg.Seed, err)
+			}
+			if res.Committed == 0 {
+				t.Errorf("%s campaign %d committed nothing", proto, i)
+			}
+			if res.Wedged != 0 {
+				t.Errorf("%s campaign %d left %d item(s) wedged after disk faults", proto, i, res.Wedged)
+			}
+			if res.DiskQuarantines > 0 && res.DiskRebuilds == 0 {
+				t.Errorf("%s campaign %d quarantined %d replica(s) but rebuilt none",
+					proto, i, res.DiskQuarantines)
+			}
+			faults += res.DiskFaults
+			quarantines += res.DiskQuarantines
+			rebuilds += res.DiskRebuilds
+		}
+		if faults == 0 || quarantines == 0 || rebuilds == 0 {
+			t.Errorf("%s: disk fate never exercised the rebuild path: faults=%d quarantines=%d rebuilds=%d",
+				proto, faults, quarantines, rebuilds)
+		}
+	}
+}
+
+// TestDiskfaultCampaignDeterministic reruns one Paxos diskfault campaign
+// with the same seed and demands byte-identical results: which file, which
+// offset, which bit — and every quarantine and rebuild count — replay
+// exactly.
+func TestDiskfaultCampaignDeterministic(t *testing.T) {
+	skipReplayUnderRace(t)
+	ctx := testCtx(t)
+	cfg := shortCfg(CampaignSeed(103, 0))
+	cfg.Faults = []Fault{FaultDiskfault}
+	cfg.Rounds = 5
+	cfg.Protocol = commit.PaxosCommit
+	a, errA := Run(ctx, cfg)
+	b, errB := Run(ctx, cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("campaign errors: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+}
+
+// TestDiskfaultWithAmnesiaCampaign mixes disk corruption with amnesia
+// crashes: a rebuild pull may find a peer freshly recovered from its own
+// log, and a heal may have to wait out a crashed peer. Histories must
+// still verify and every quarantine must still end rebuilt.
+func TestDiskfaultWithAmnesiaCampaign(t *testing.T) {
+	ctx := testCtx(t)
+	faults := 0
+	for i := 0; i < 3; i++ {
+		cfg := shortCfg(CampaignSeed(107, i))
+		cfg.Faults = []Fault{FaultAmnesia, FaultDiskfault}
+		cfg.Rounds = 5
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("diskfault+amnesia campaign %d (seed %d): %v", i, cfg.Seed, err)
+		}
+		if res.Wedged != 0 {
+			t.Errorf("campaign %d left %d item(s) wedged", i, res.Wedged)
+		}
+		faults += res.DiskFaults
+	}
+	if faults == 0 {
+		t.Error("no disk fault ever injected across three campaigns")
+	}
+}
+
 // TestParseFaults covers the CLI's fault-list parsing.
 func TestParseFaults(t *testing.T) {
 	all, err := ParseFaults("all")

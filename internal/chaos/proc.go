@@ -19,9 +19,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // syncBuffer is a bytes.Buffer safe to read while exec's pipe-copier
@@ -75,6 +78,15 @@ type ProcReport struct {
 	// its exact pre-crash state, missing only what committed while it was
 	// dead.
 	RecoveredVN int
+	// RebuiltItems is what the second act restored: the victim SIGKILLed
+	// again, one bit of a sealed WAL record flipped on its real disk, and
+	// the restarted process detecting the corruption and rebuilding itself
+	// from its live peers instead of serving the damage. PostRebuildValue
+	// is the victim's own state right after — the value committed while it
+	// was dead, proving the rebuild pulled current peer state, not the
+	// corrupt history.
+	RebuiltItems     int
+	PostRebuildValue int
 	// FinalValue and FinalVN are the quorum read's answer at the end.
 	FinalValue int
 	FinalVN    int
@@ -279,6 +291,92 @@ func RunProc(ctx context.Context, cfg ProcConfig) (ProcReport, error) {
 		return failed(fmt.Errorf("proc: final read %d, want 180", report.FinalValue))
 	}
 
+	// Second act: the disk itself fails. Commit once more so the victim's
+	// log holds fresh records, SIGKILL it again, flip one bit in a sealed
+	// WAL record on its real disk, and restart it with the same flags. The
+	// process must detect the corruption, refuse to serve the damage, and
+	// rebuild itself from its live peers — coming back with the cluster's
+	// current state, not its corrupt history.
+	if _, err := client("-set", "185"); err != nil {
+		return failed(err)
+	}
+	v3 := replicas[victim]
+	if err := v3.cmd.Process.Kill(); err != nil {
+		return failed(fmt.Errorf("proc: second kill of %s: %w", victim, err))
+	}
+	<-v3.done
+	if err := corruptFirstFrame(filepath.Join(walDir, victim)); err != nil {
+		return failed(fmt.Errorf("proc: corrupt %s's log: %w", victim, err))
+	}
+	logf("killed %s again and flipped a bit in its WAL", victim)
+
+	// Survivors still commit; the health inspection sees the dead peer.
+	if _, err := client("-set", "190"); err != nil {
+		return failed(fmt.Errorf("proc: commit with %s's disk corrupt: %w", victim, err))
+	}
+	health, err := client("-inspect", "health")
+	if err != nil {
+		return failed(err)
+	}
+	if strings.Count(health, "healthy") != n-1 || !strings.Contains(health, "unreachable") {
+		return failed(fmt.Errorf("proc: health with %s dead reads wrong:\n%s", victim, health))
+	}
+
+	v4, err := spawn(victim)
+	if err != nil {
+		return failed(err)
+	}
+	replicas[victim] = v4
+	bdeadline := time.Now().Add(15 * time.Second)
+	for {
+		var resolved, acceptors, peersN int
+		if _, serr := fmt.Sscanf(firstLine(v4.out.String()),
+			"qcstore: "+victim+" serving at %s (rebuilt items=%d resolved=%d acceptors=%d from %d peers)",
+			new(string), &report.RebuiltItems, &resolved, &acceptors, &peersN); serr == nil {
+			break
+		}
+		if time.Now().After(bdeadline) || ctx.Err() != nil {
+			return failed(fmt.Errorf("proc: %s never reported a rebuild: %q", victim, v4.out.String()))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if report.RebuiltItems == 0 {
+		return failed(fmt.Errorf("proc: restarted %s rebuilt 0 items", victim))
+	}
+	logf("%s detected the corruption and rebuilt %d item(s) from its peers", victim, report.RebuiltItems)
+
+	// The rebuilt replica's own state is the cluster's CURRENT state — the
+	// 190 that committed while it was dead — and the whole cluster reads
+	// healthy again.
+	insp2, err := client("-inspect", victim)
+	if err != nil {
+		return failed(err)
+	}
+	var vn2 int
+	if _, err := fmt.Sscanf(insp2, victim+": balance/alice = %d (vn %d,", &report.PostRebuildValue, &vn2); err != nil {
+		return failed(fmt.Errorf("proc: parse inspect %q: %w", insp2, err))
+	}
+	if report.PostRebuildValue != 190 {
+		return failed(fmt.Errorf("proc: rebuilt %s serves %d, want 190", victim, report.PostRebuildValue))
+	}
+	health, err = client("-inspect", "health")
+	if err != nil {
+		return failed(err)
+	}
+	if strings.Count(health, "healthy") != n {
+		return failed(fmt.Errorf("proc: health after rebuild reads wrong:\n%s", health))
+	}
+	got, err = client("-get")
+	if err != nil {
+		return failed(err)
+	}
+	if _, err := fmt.Sscanf(got, "balance/alice = %d (vn %d)", &report.FinalValue, &report.FinalVN); err != nil {
+		return failed(fmt.Errorf("proc: parse get %q: %w", got, err))
+	}
+	if report.FinalValue != 190 {
+		return failed(fmt.Errorf("proc: final read %d, want 190", report.FinalValue))
+	}
+
 	// Orderly shutdown: SIGINT everyone, every process must exit 0.
 	for _, r := range replicas {
 		r.cmd.Process.Signal(os.Interrupt)
@@ -298,6 +396,42 @@ func RunProc(ctx context.Context, cfg ProcConfig) (ProcReport, error) {
 		os.RemoveAll(dir)
 	}
 	return report, nil
+}
+
+// corruptFirstFrame flips one bit in the first record frame of the oldest
+// segment in dir — damage recovery must classify as corruption (valid
+// frames follow it), never as a torn tail. The bit lands in the frame's
+// last byte: payload or CRC, never the length prefix, so the frame chain
+// stays walkable and the checksum convicts the record.
+func corruptFirstFrame(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("no segments in %s", dir)
+	}
+	sort.Strings(segs)
+	path := filepath.Join(dir, segs[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	_, n, err := wal.DecodeFrame(b)
+	if err != nil {
+		return fmt.Errorf("decode first frame of %s: %w", segs[0], err)
+	}
+	if n >= len(b) && len(segs) == 1 {
+		return fmt.Errorf("segment %s holds a single frame; corrupting it would read as a torn tail", segs[0])
+	}
+	b[n-1] ^= 0x01
+	return os.WriteFile(path, b, 0o644)
 }
 
 func firstLine(s string) string {

@@ -33,6 +33,9 @@ func (s *Store) SweepOnce(ctx context.Context) (int, error) {
 		var got []replicaState
 		for _, dm := range it.DMs {
 			resp, err := s.Inspect(ctx, dm, it.Name)
+			if barrier := s.Hooks.SweepBarrier; barrier != nil {
+				barrier()
+			}
 			if err != nil {
 				if ctx.Err() != nil {
 					return repairs, ctx.Err()

@@ -76,6 +76,16 @@ type dmServer struct {
 	// from peers can be answered authoritatively.
 	resolved map[TxnID]*resolution
 
+	// Resolved-record retention (DESIGN.md §12). resolvedLog remembers
+	// resolution order; once it exceeds resolvedCap, the oldest records are
+	// compacted to outcome tombstones — the committed/aborted verdict stays
+	// forever (idempotency and settle probes need it), only the committed-
+	// subs payload is dropped. Zero cap retains everything (standalone DMs,
+	// replay — configureRetention runs only after recovery replay, so replay
+	// itself never compacts).
+	resolvedCap int
+	resolvedLog []TxnID
+
 	// Lease machinery (soft state: never snapshotted, never replayed —
 	// recovery re-stamps fresh leases, which only delays reaping).
 	leaseTTL  time.Duration
@@ -173,6 +183,17 @@ func (s *dmServer) configureLeases(ttl time.Duration, clock transport.Clock, pee
 func (s *dmServer) configureRing(r *shard.Ring) {
 	if r != nil {
 		s.ring = r.Clone()
+	}
+}
+
+// configureRetention arms the resolved-record retention cap. Like the lease
+// configuration it must run after recovery replay and before the server's
+// node starts: replayed resolutions are never compacted (the replayed state
+// can only carry MORE information than the pre-crash one, which is safe),
+// new ones join the eviction log.
+func (s *dmServer) configureRetention(n int) {
+	if n > 0 {
+		s.resolvedCap = n
 	}
 }
 
@@ -413,7 +434,25 @@ func (s *dmServer) markResolved(t TxnID, committed bool, subs []TxnID) {
 	if s.resolved == nil {
 		s.resolved = map[TxnID]*resolution{}
 	}
+	_, existed := s.resolved[t]
 	s.resolved[t] = &resolution{committed: committed, subs: subs}
+	if !existed && s.resolvedCap > 0 {
+		// Retention: past the cap, the oldest records shed their subs
+		// payload but keep the verdict — a tombstone still refuses late
+		// commits, still answers inquiries and settle probes. Re-resolving
+		// an already-resolved id (duplicate aborts) never re-logs it.
+		s.resolvedLog = append(s.resolvedLog, t)
+		for len(s.resolvedLog) > s.resolvedCap {
+			old := s.resolvedLog[0]
+			s.resolvedLog = s.resolvedLog[1:]
+			if res := s.resolved[old]; res != nil && res.subs != nil {
+				res.subs = nil
+			}
+			if s.stats != nil {
+				s.stats.ResolvedEvictions.Inc()
+			}
+		}
+	}
 	if s.leases != nil {
 		delete(s.leases, t)
 	}

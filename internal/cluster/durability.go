@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/commit"
 	"repro/internal/quorum"
@@ -209,6 +210,37 @@ type dmWAL struct {
 
 	snapEvery int
 	sinceSnap int
+
+	// quarMu guards quarErr, the sticky quarantine verdict. Set on the
+	// first failed append (ENOSPC, I/O error — the log also poisons
+	// itself), read by the handler on the loop goroutine and by Store
+	// accessors on theirs. Once set, the DM answers QuarantinedResp to
+	// everything: the in-memory state may already be ahead of the durable
+	// log, so serving (or promising) anything would hand out state a
+	// restart cannot honor. Only a peer rebuild clears the condition — by
+	// replacing the whole handle.
+	quarMu  sync.Mutex
+	quarErr error
+}
+
+// quarantine records the fault that ends this incarnation's service,
+// counting the first occurrence. Callable from the log's flusher goroutine
+// (append callbacks) as well as the loop goroutine.
+func (d *dmWAL) quarantine(err error) {
+	d.quarMu.Lock()
+	first := d.quarErr == nil
+	d.quarErr = err
+	d.quarMu.Unlock()
+	if first && d.srv.stats != nil {
+		d.srv.stats.Quarantines.Inc()
+	}
+}
+
+// quarantined returns the sticky quarantine verdict, nil while healthy.
+func (d *dmWAL) quarantined() error {
+	d.quarMu.Lock()
+	defer d.quarMu.Unlock()
+	return d.quarErr
 }
 
 // handle applies a request and defers its reply until the corresponding log
@@ -218,6 +250,15 @@ type dmWAL struct {
 // sequential, a record's durability implies every earlier record's, so an
 // acked request can never be contradicted by recovery.
 func (d *dmWAL) handle(_ string, req any, reply func(any)) {
+	// A quarantined replica serves nothing — not even reads or lease
+	// coordination. Its in-memory state may be ahead of the durable log
+	// (the apply that hit the failed append already ran), and its log is
+	// untrusted; every answer is the typed refusal until a peer rebuild
+	// replaces this incarnation.
+	if qerr := d.quarantined(); qerr != nil {
+		reply(QuarantinedResp{DM: d.srv.id, Reason: qerr.Error()})
+		return
+	}
 	// Hinted reads translate to plain ReadReqs before the apply/log path
 	// sees them (as in the volatile handler): the log carries only the
 	// equivalent ReadReq, so replay never consults hint state, and a miss
@@ -246,11 +287,21 @@ func (d *dmWAL) handle(_ string, req any, reply func(any)) {
 	if err != nil {
 		return // cannot persist ⇒ never acknowledge
 	}
-	if d.log.AppendCallback(rec, func(ferr error) {
+	// Fail closed on write errors: an append the log refuses (or fails at
+	// flush — ENOSPC, a dying disk) quarantines the replica instead of
+	// silently dropping the ack. The caller learns immediately rather than
+	// burning its timeout, and no later request can be served from state
+	// the log no longer backs.
+	if aerr := d.log.AppendCallback(rec, func(ferr error) {
 		if ferr == nil {
 			reply(resp)
+			return
 		}
-	}) != nil {
+		d.quarantine(ferr)
+		reply(QuarantinedResp{DM: d.srv.id, Reason: ferr.Error()})
+	}); aerr != nil {
+		d.quarantine(aerr)
+		reply(QuarantinedResp{DM: d.srv.id, Reason: aerr.Error()})
 		return
 	}
 	d.maybeSnapshot()
@@ -263,6 +314,9 @@ func (d *dmWAL) handle(_ string, req any, reply func(any)) {
 // to a crash before the flush is simply re-decided after recovery: the
 // restored locks get fresh leases, lapse again, and the inquiry re-runs.
 func (d *dmWAL) selfApply(req any) {
+	if d.quarantined() != nil {
+		return
+	}
 	_, mutated := d.srv.apply(req)
 	if !mutated {
 		return
@@ -271,7 +325,12 @@ func (d *dmWAL) selfApply(req any) {
 	if err != nil {
 		return
 	}
-	if d.log.AppendCallback(rec, func(error) {}) != nil {
+	if aerr := d.log.AppendCallback(rec, func(ferr error) {
+		if ferr != nil {
+			d.quarantine(ferr)
+		}
+	}); aerr != nil {
+		d.quarantine(aerr)
 		return
 	}
 	d.maybeSnapshot()
@@ -285,15 +344,21 @@ func (d *dmWAL) selfApply(req any) {
 // A record lost to a crash before the flush never answered, so the
 // recovered acceptor never contradicts a promise it sent.
 func (d *dmWAL) persist(req any, done func()) {
+	if d.quarantined() != nil {
+		return
+	}
 	rec, err := encodeRecord(req)
 	if err != nil {
 		return // cannot persist ⇒ never answer
 	}
-	if d.log.AppendCallback(rec, func(ferr error) {
+	if aerr := d.log.AppendCallback(rec, func(ferr error) {
 		if ferr == nil {
 			done()
+			return
 		}
-	}) != nil {
+		d.quarantine(ferr)
+	}); aerr != nil {
+		d.quarantine(aerr)
 		return
 	}
 	d.maybeSnapshot()
@@ -317,9 +382,21 @@ func (d *dmWAL) maybeSnapshot() {
 // DM state machine from it, and starts its server endpoint. wire, when
 // non-nil, configures the recovered state machine (lease parameters, peer
 // transport) after replay and before the endpoint starts serving.
+//
+// A log that fails to open with a CorruptionError — damage beyond the
+// torn-tail truncation Open performs itself — does NOT fail the call:
+// acknowledged state may be missing or altered, so instead of serving from
+// an untrustworthy log (or crashing the whole store over one disk) the
+// replica comes up quarantined, answering QuarantinedResp to everything
+// until a peer rebuild (Store.RebuildReplica) replaces it. Callers detect
+// the condition via dmHandle.quarantineReason.
 func newDurableDM(tr transport.Transport, id string, items []ItemSpec, dir string, walOpts []wal.Option, snapEvery int, wire func(*dmServer), serveOpts ...transport.ServeOption) (*dmHandle, RecoveryStats, error) {
 	log, rec, err := wal.Open(dir, walOpts...)
 	if err != nil {
+		if wal.IsCorruption(err) {
+			h, qerr := quarantinedDM(tr, id, items, dir, fmt.Errorf("cluster: dm %s: %w", id, err), serveOpts...)
+			return h, RecoveryStats{}, qerr
+		}
 		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
 	}
 	srv := newDMState(id, items)
@@ -340,6 +417,17 @@ func newDurableDM(tr transport.Transport, id string, items []ItemSpec, dir strin
 		srv.apply(req)
 		stats.Replayed++
 	}
+	h, err := startDurableDM(tr, id, items, dir, log, srv, snapEvery, wire, serveOpts...)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	return h, stats, nil
+}
+
+// startDurableDM couples an already-recovered (or rebuilt) state machine to
+// its open log and starts the server endpoint — the shared tail of
+// newDurableDM and rebuildReplica.
+func startDurableDM(tr transport.Transport, id string, items []ItemSpec, dir string, log *wal.Log, srv *dmServer, snapEvery int, wire func(*dmServer), serveOpts ...transport.ServeOption) (*dmHandle, error) {
 	if snapEvery <= 0 {
 		snapEvery = defaultSnapshotEvery
 	}
@@ -353,18 +441,39 @@ func newDurableDM(tr transport.Transport, id string, items []ItemSpec, dir strin
 	// values; give every recovered lock holder a fresh lease. Delayed
 	// reaping is always safe, invented expiry is not.
 	srv.refreshLeases()
-	h := &dmHandle{id: id, items: items, srv: srv, wal: d}
+	h := &dmHandle{id: id, items: items, srv: srv, wal: d, walPath: dir}
 	server, err := tr.Serve(id, d.handle, serveOpts...)
 	if err != nil {
 		log.Close()
-		return nil, RecoveryStats{}, fmt.Errorf("cluster: dm %s: %w", id, err)
+		return nil, fmt.Errorf("cluster: dm %s: %w", id, err)
 	}
 	// The state machine's peer sender binds to the live endpoint only now;
 	// any lease poll that fired during the gap is re-sent on the next
 	// conflict, so the brief sender-less window is harmless.
 	srv.setSender(server.Notify)
 	h.server = server
-	return h, stats, nil
+	return h, nil
+}
+
+// quarantinedDM serves a replica slot whose log cannot be trusted: every
+// request — reads, writes, leases, probes, Paxos — is answered with the
+// typed refusal. The handle keeps the items and log path so RebuildReplica
+// knows what to rebuild and where; srv is a fresh empty state machine so
+// accessors that reach through the handle keep working.
+func quarantinedDM(tr transport.Transport, id string, items []ItemSpec, dir string, cause error, serveOpts ...transport.ServeOption) (*dmHandle, error) {
+	h := &dmHandle{
+		id: id, items: items, srv: newDMState(id, items),
+		walPath: dir, quarantined: cause,
+	}
+	reason := cause.Error()
+	server, err := tr.Serve(id, func(_ string, _ any, reply func(any)) {
+		reply(QuarantinedResp{DM: id, Reason: reason})
+	}, serveOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dm %s: %w", id, err)
+	}
+	h.server = server
+	return h, nil
 }
 
 // RestartDM simulates recovery from an amnesia crash of one DM: the server
@@ -379,12 +488,17 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	if h == nil {
 		return RecoveryStats{}, fmt.Errorf("cluster: unknown DM %q", id)
 	}
-	if h.wal == nil {
+	if h.walPath == "" {
 		return RecoveryStats{}, fmt.Errorf("cluster: DM %q is not durable", id)
 	}
 	h.server.Close()
-	if err := h.wal.log.Close(); err != nil {
-		return RecoveryStats{}, fmt.Errorf("cluster: dm %s: close wal: %w", id, err)
+	if h.wal != nil {
+		if err := h.wal.log.Close(); err != nil && h.wal.quarantined() == nil {
+			// A quarantined incarnation's poisoned log reports its sticky
+			// error at close; that is old news, not a reason to refuse the
+			// restart (which will re-judge the log from disk).
+			return RecoveryStats{}, fmt.Errorf("cluster: dm %s: close wal: %w", id, err)
+		}
 	}
 	s.mu.Lock()
 	all := make([]string, 0, len(s.dms))
@@ -393,13 +507,20 @@ func (s *Store) RestartDM(id string) (RecoveryStats, error) {
 	}
 	s.mu.Unlock()
 	sort.Strings(all)
-	nh, stats, err := newDurableDM(s.tr, id, h.items, h.wal.log.Dir(), s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)), s.dmServeOpts(id)...)
+	nh, stats, err := newDurableDM(s.tr, id, h.items, h.walPath, s.opts.walOpts, s.opts.snapEvery, s.leaseWiring(id, peersOf(id, all)), s.dmServeOpts(id)...)
 	if err != nil {
 		return RecoveryStats{}, err
 	}
 	s.mu.Lock()
 	s.dms[id] = nh
 	s.mu.Unlock()
+	if nh.quarantined != nil {
+		// The restart found a log it cannot trust. The slot serves the typed
+		// refusal until RebuildReplica replaces it; the restart itself did not
+		// fail — the caller decides when (and whether) to rebuild.
+		s.Stats.Quarantines.Inc()
+		return RecoveryStats{}, nil
+	}
 	s.Stats.Recoveries.Inc()
 	s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
 	return stats, nil

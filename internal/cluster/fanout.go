@@ -32,6 +32,7 @@ type collector struct {
 	shed    map[string]bool // DM rejected at admission (overloaded)
 	resps   map[string]memberResp
 	wrong   map[string]WrongShardResp // DM answered "item moved" redirect
+	quar    map[string]bool           // DM answered quarantined (serving nothing)
 	dups    int                       // responses beyond the first, per DM, summed
 	expired bool                      // at least one shed was expired-on-arrival
 }
@@ -123,6 +124,22 @@ func (c *collector) noteShed(dm string, expired bool) {
 	if expired {
 		c.expired = true
 	}
+}
+
+// noteQuarantined folds in a storage-fault refusal. Like a shed, the DM
+// answered — it is alive but its log is untrusted, so it grants nothing
+// until a peer rebuild. Counting it as replied keeps hedges off it (every
+// copy would get the same refusal) and the phase fails over to quorums
+// that avoid it.
+func (c *collector) noteQuarantined(dm string) {
+	c.replied[dm]++
+	if c.replied[dm] > 1 {
+		c.dups++
+	}
+	if c.quar == nil {
+		c.quar = map[string]bool{}
+	}
+	c.quar[dm] = true
 }
 
 // noteWrongShard folds in a migration redirect. Like a shed, the DM
@@ -348,6 +365,8 @@ func (t *Txn) runPhase(ctx context.Context, spec phaseSpec) *collector {
 					}
 				} else if w, ok := r.raw.(WrongShardResp); ok {
 					col.noteWrongShard(r.dm, w)
+				} else if _, ok := r.raw.(QuarantinedResp); ok {
+					col.noteQuarantined(r.dm)
 				} else {
 					granted, busy, held, resp := parseGrant(r.raw)
 					if busy {

@@ -200,6 +200,16 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 		if s.resolved[top] != nil {
 			return Ack{OK: false}, true
 		}
+		if s.leaseTTL > 0 && !s.knowsTxn(top) {
+			// The commit fence's other half for rebuilt replicas: a renewal
+			// for a transaction this DM holds no trace of — no lease, no
+			// lock, no intention — is refused. A replica rebuilt from peers
+			// carries only committed state; granting the renewal would let
+			// the client commit over locks and intentions the rebuild lost.
+			// The refusal aborts the transaction pre-commit, which is the
+			// safe direction (it simply re-runs).
+			return Ack{OK: false}, true
+		}
 		s.stampLease(top)
 		return Ack{OK: true}, true
 	case ResolutionQueryReq:
@@ -260,6 +270,10 @@ func (s *dmServer) coordinate(req any) (resp any, handled bool) {
 			s.reap(ReapReq{Txn: q.Txn})
 		}
 		return Ack{OK: true}, true
+	}
+	// Rebuild pulls are read-only state exports — nothing to log.
+	if resp, handled := s.coordinateRebuild(req); handled {
+		return resp, handled
 	}
 	// Acceptor recovery (Paxos Commit): the recovery rounds are soft-state
 	// coordination like inquiries; the promises, acceptances and decisions
@@ -357,6 +371,29 @@ func (t *Txn) renewLeases(ctx context.Context) error {
 	t.noteLeaseStamp()
 	t.store.Stats.LeaseRenewals.Inc()
 	return nil
+}
+
+// knowsTxn reports whether this DM holds any trace of the top-level
+// transaction: a live lease, or a lock or intention owned by its subtree.
+// A rebuilt replica knows only committed state, so renewals for
+// transactions it never saw are refused (see coordinate).
+func (s *dmServer) knowsTxn(top TxnID) bool {
+	if _, ok := s.leases[top]; ok {
+		return true
+	}
+	for _, r := range s.replicas {
+		for holder := range r.locks {
+			if holder.Top() == top {
+				return true
+			}
+		}
+		for _, in := range r.intents {
+			if in.owner.Top() == top {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // noteLeaseStamp records that the DMs just (re)stamped our leases.

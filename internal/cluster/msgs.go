@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/commit"
 	"repro/internal/quorum"
 	"repro/internal/shard"
 )
@@ -506,4 +507,66 @@ type ResolutionProbeResp struct {
 	Promised  int
 	AccBal    int
 	AccCommit bool
+}
+
+// QuarantinedResp is a quarantined replica's answer to every request: its
+// write-ahead log was found corrupt (or an append failed mid-operation),
+// so nothing it could serve is trustworthy and nothing it could promise
+// would survive. Serving stale-but-plausible state would be a silent
+// split brain; the explicit refusal lets callers count the replica as
+// responsive-but-useless — alive for failure detection, never granted,
+// never hedged — until a peer rebuild (cluster.RebuildReplica) readmits
+// it. Reason carries the corruption detail for diagnostics.
+type QuarantinedResp struct {
+	DM     string
+	Reason string
+}
+
+// RebuildPullReq asks one replica for everything it holds that a
+// quarantined peer (For) needs to rebuild from scratch: committed state
+// for the listed items, moved markers, resolution records, and the Paxos
+// acceptor hard state of every instance whose cohort names For. Served
+// from the actor goroutine (consistent without locks) and never logged —
+// the pull mutates nothing at the answering replica.
+type RebuildPullReq struct {
+	For   string
+	Items []string
+}
+
+// RebuildItemState is one replica's committed view of one item in a
+// RebuildPullResp. Has false means the replica does not host the item
+// (and VN/Val/Gen/Cfg are meaningless). Only committed state travels:
+// locks and intentions of in-flight transactions died with the corrupt
+// log, and the lease fence turns their loss into clean aborts instead of
+// broken promises.
+type RebuildItemState struct {
+	Item string
+	Has  bool
+	VN   int
+	Val  any
+	Gen  int
+	Cfg  quorum.Config
+}
+
+// RebuildResolution mirrors one resolution record in a RebuildPullResp.
+// Subs is nil for aborts and for commit records the retention cap already
+// compacted to outcome tombstones.
+type RebuildResolution struct {
+	Committed bool
+	Subs      []TxnID
+}
+
+// RebuildPullResp is one replica's complete answer to a RebuildPullReq.
+// Items answers the requested items in order; Moved carries the redirect
+// markers among them; Resolved and Acceptors carry the transaction
+// outcome state the rebuilding replica must re-adopt before it may serve
+// again. OK false (or a QuarantinedResp instead) means this replica
+// cannot contribute and the rebuild must not count it as a witness.
+type RebuildPullResp struct {
+	OK        bool
+	From      string
+	Items     []RebuildItemState
+	Moved     map[string]WrongShardResp
+	Resolved  map[TxnID]RebuildResolution
+	Acceptors map[TxnID]commit.Acceptor
 }

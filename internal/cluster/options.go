@@ -39,6 +39,11 @@ type settings struct {
 	readLease    bool
 	readLeaseTTL time.Duration
 
+	// resolvedRetention caps how many resolution records a DM keeps with
+	// their full committed-subs payload; older ones compact to outcome
+	// tombstones. <= 0 retains everything forever.
+	resolvedRetention int
+
 	clientTag string
 
 	// Overload protection (see DESIGN.md §7).
@@ -68,6 +73,8 @@ func defaultSettings() settings {
 		clock:        transport.Wall,
 		hopAllowance: time.Millisecond,
 		readLeaseTTL: 50 * time.Millisecond,
+
+		resolvedRetention: defaultResolvedRetention,
 	}
 }
 
@@ -271,6 +278,25 @@ func WithReadLeaseTTL(ttl time.Duration) Option {
 			s.readLeaseTTL = ttl
 		}
 	}
+}
+
+// defaultResolvedRetention is how many resolution records a DM keeps with
+// their full committed-subs payload before the oldest compact to outcome
+// tombstones (the verdict alone). The window only needs to outlive the
+// straggler horizon — a replica that missed a commit hears about it via the
+// lease reaper or anti-entropy long before 4096 later transactions resolve.
+const defaultResolvedRetention = 4096
+
+// WithResolvedRetention caps how many resolution records each DM retains
+// with their full committed-subs payload (DESIGN.md §12). Past the cap, the
+// oldest records are compacted to outcome tombstones: the committed/aborted
+// verdict is kept forever — late CommitTopReq retries, lease-resolution
+// inquiries and settle probes still get an authoritative answer — but the
+// subs list, the bulk of the record, is dropped. Values at or below zero
+// disable compaction (retain everything, the pre-§12 behavior). Default
+// 4096.
+func WithResolvedRetention(n int) Option {
+	return func(s *settings) { s.resolvedRetention = n }
 }
 
 // WithClock injects the clock lock leases expire against. Deterministic

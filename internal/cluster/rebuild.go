@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/commit"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// Peer rebuild (DESIGN.md §12): the recovery path for a replica whose log
+// is corrupt — or whose disk is simply gone. The quarantined replica's
+// durable state is reconstructed from its peers' committed state: item
+// values and configurations certified by a read quorum, migration
+// retirement markers, resolution records, and Paxos acceptor hard state.
+// The merged state is written through a fresh write-ahead log as one
+// synthetic snapshot, and the replica rejoins under the same id.
+//
+// The rebuild deliberately restores COMMITTED state only. Locks, buffered
+// intentions and leases of in-flight transactions are lost with the log;
+// that is safe because the commit fence closes the gap: the rebuilt replica
+// knows nothing of those transactions, so its refusal of their pre-commit
+// lease renewals (knowsTxn, lease.go) aborts them cleanly before any
+// commit point. Quorum intersection keeps conflicting writers out in the
+// meantime — with at most a minority of an item's replicas corrupt, every
+// write quorum still overlaps every other quorum at a healthy replica that
+// remembers the locks.
+
+// RebuildStats reports what one peer rebuild restored.
+type RebuildStats struct {
+	// Items is the number of hosted items restored with a quorum-certified
+	// value and configuration; Moved counts items restored as migration
+	// retirement markers instead.
+	Items int
+	Moved int
+	// Resolved and Acceptors count restored resolution records and Paxos
+	// acceptor instances.
+	Resolved  int
+	Acceptors int
+	// Peers is how many peers answered the pull (all of them — a rebuild
+	// that cannot hear every peer fails and is retried later).
+	Peers int
+}
+
+// coordinateRebuild answers a quarantined peer's state pull. Read-only —
+// nothing is logged — and served like the other coordination traffic, off
+// the replicated state machine. The answer carries, for the requested
+// items, this replica's committed value and configuration (or its
+// retirement marker), plus ALL resolution records and the acceptor state
+// of every Paxos instance whose cohort includes the rebuilding DM.
+func (s *dmServer) coordinateRebuild(req any) (resp any, handled bool) {
+	q, ok := req.(RebuildPullReq)
+	if !ok {
+		return nil, false
+	}
+	out := RebuildPullResp{OK: true, From: s.id}
+	for _, item := range q.Items {
+		if w, moved := s.moved[item]; moved {
+			if out.Moved == nil {
+				out.Moved = map[string]WrongShardResp{}
+			}
+			out.Moved[item] = w
+			continue
+		}
+		r := s.replicas[item]
+		if r == nil {
+			out.Items = append(out.Items, RebuildItemState{Item: item})
+			continue
+		}
+		out.Items = append(out.Items, RebuildItemState{
+			Item: item, Has: true, VN: r.vn, Val: r.val, Gen: r.gen, Cfg: r.cfg.Clone(),
+		})
+	}
+	if len(s.resolved) > 0 {
+		out.Resolved = make(map[TxnID]RebuildResolution, len(s.resolved))
+		for t, res := range s.resolved {
+			out.Resolved[t] = RebuildResolution{
+				Committed: res.committed, Subs: append([]TxnID(nil), res.subs...),
+			}
+		}
+	}
+	for t, acc := range s.acceptors {
+		member := false
+		for _, m := range acc.Cohort {
+			if m == q.For {
+				member = true
+				break
+			}
+		}
+		if !member {
+			continue
+		}
+		if out.Acceptors == nil {
+			out.Acceptors = map[TxnID]commit.Acceptor{}
+		}
+		a := *acc
+		a.Cohort = append([]string(nil), acc.Cohort...)
+		out.Acceptors[t] = a
+	}
+	return out, true
+}
+
+// rebuildEnv carries everything rebuildReplica needs to pull, merge, and
+// restart one replica — Store.RebuildReplica and ServeDM's auto-rebuild
+// both assemble one.
+type rebuildEnv struct {
+	tr        transport.Transport
+	client    transport.Client
+	id        string
+	items     []ItemSpec
+	dir       string
+	walOpts   []wal.Option
+	snapEvery int
+	peers     []string
+	timeout   time.Duration
+	wire      func(*dmServer)
+	serveOpts []transport.ServeOption
+}
+
+// rebuildReplica pulls the quarantined replica's state from every peer,
+// merges it, moves the untrusted log directory aside, and restarts the
+// replica on a fresh log seeded with the merged state as one snapshot.
+//
+// The pull requires an answer from EVERY peer, not just a quorum. Values
+// only need a read quorum, but Paxos acceptor state does not shard along
+// item quorums: a promise or acceptance witnessed by a single healthy
+// cohort member must be restored, or a recovery round after the rebuild
+// could decide against an outcome the pre-corruption replica helped decide
+// (acceptor amnesia). A peer that is down — or itself quarantined — fails
+// the whole rebuild; the replica stays quarantined and the caller retries
+// later. That also serializes concurrent rebuilds: two quarantined
+// replicas refuse each other's pulls rather than trade unrebuilt state.
+func rebuildReplica(ctx context.Context, env rebuildEnv) (*dmHandle, RebuildStats, error) {
+	names := make([]string, 0, len(env.items))
+	for _, it := range env.items {
+		names = append(names, it.Name)
+	}
+	sort.Strings(names)
+
+	peers := append([]string(nil), env.peers...)
+	sort.Strings(peers)
+	answers := make(map[string]RebuildPullResp, len(peers))
+	for _, p := range peers {
+		cctx, cancel := context.WithTimeout(ctx, env.timeout)
+		raw, err := env.client.Call(cctx, p, RebuildPullReq{For: env.id, Items: names})
+		cancel()
+		if err != nil {
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: pull from %s: %w", env.id, p, err)
+		}
+		switch r := raw.(type) {
+		case RebuildPullResp:
+			if !r.OK {
+				return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: %s refused the pull", env.id, p)
+			}
+			answers[p] = r
+		case QuarantinedResp:
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: peer %s is itself quarantined (%s)", env.id, p, r.Reason)
+		default:
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: unexpected answer %T from %s", env.id, r, p)
+		}
+	}
+
+	srv := newDMState(env.id, env.items)
+	var rst RebuildStats
+	rst.Peers = len(peers)
+
+	// Per-item merge: a retirement marker anywhere wins (the item migrated
+	// away; re-hosting its stale bytes would be a split brain). Otherwise
+	// the answers holding the item must cover a read quorum of the highest
+	// configuration generation seen — then the maximum version among them
+	// is at least the newest committed version, by quorum intersection.
+	for _, item := range names {
+		var marker *WrongShardResp
+		for _, p := range peers {
+			if w, ok := answers[p].Moved[item]; ok {
+				if marker == nil || w.Gen > marker.Gen {
+					cp := w
+					marker = &cp
+				}
+			}
+		}
+		if marker != nil {
+			m := *marker
+			m.DM = env.id // the redirect must name ITS server, not the peer's
+			m.DMs = append([]string(nil), marker.DMs...)
+			m.Cfg = marker.Cfg.Clone()
+			delete(srv.replicas, item)
+			srv.moved[item] = m
+			rst.Moved++
+			continue
+		}
+		var best *RebuildItemState
+		have := map[string]bool{}
+		for _, p := range peers {
+			for i := range answers[p].Items {
+				st := &answers[p].Items[i]
+				if st.Item != item || !st.Has {
+					continue
+				}
+				have[p] = true
+				if best == nil || st.Gen > best.Gen {
+					best = st
+				}
+			}
+		}
+		if best == nil {
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: no peer holds a copy of %q (single-replica items cannot be rebuilt)", env.id, item)
+		}
+		if !best.Cfg.HasReadQuorum(have) {
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: peers holding %q do not cover a read quorum of gen %d", env.id, item, best.Gen)
+		}
+		maxVN, val := -1, any(nil)
+		for _, p := range peers {
+			for i := range answers[p].Items {
+				st := &answers[p].Items[i]
+				if st.Item == item && st.Has && st.VN > maxVN {
+					maxVN, val = st.VN, st.Val
+				}
+			}
+		}
+		srv.replicas[item] = &replica{
+			vn: maxVN, val: val, gen: best.Gen, cfg: best.Cfg.Clone(),
+			locks: map[TxnID]LockMode{},
+		}
+		rst.Items++
+	}
+
+	// Resolution records: union across peers, preferring answers that still
+	// carry the committed-subs payload over retention tombstones. Verdicts
+	// must agree — a commit here and an abort there is a serializability
+	// violation already in progress, and rebuilding over it would bury it.
+	for _, p := range peers {
+		for t, res := range answers[p].Resolved {
+			prev, ok := srv.resolved[t]
+			if !ok {
+				srv.resolved[t] = &resolution{committed: res.Committed, subs: res.Subs}
+				continue
+			}
+			if prev.committed != res.Committed {
+				return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: peers disagree on outcome of %s", env.id, t)
+			}
+			if prev.subs == nil && res.Subs != nil {
+				prev.subs = res.Subs
+			}
+		}
+	}
+	rst.Resolved = len(srv.resolved)
+
+	// Acceptor hard state, for every undecided Paxos instance this DM is a
+	// cohort member of. Every cohort member except this DM must be among
+	// the answered peers — a promise or acceptance witnessed only by an
+	// absent member would otherwise be lost, which is exactly the acceptor
+	// amnesia the all-peers pull exists to prevent. Promised watermarks
+	// merge by maximum; the accepted value rides the highest accepted
+	// ballot. Instances some peer already resolved are dropped — the
+	// resolution record answers for them now.
+	type accMerge struct {
+		acc       commit.Acceptor
+		witnesses int
+	}
+	merged := map[TxnID]*accMerge{}
+	for _, p := range peers {
+		for t, acc := range answers[p].Acceptors {
+			if srv.resolved[t.Top()] != nil || srv.resolved[t] != nil {
+				continue
+			}
+			m := merged[t]
+			if m == nil {
+				m = &accMerge{acc: acc}
+				m.acc.Cohort = append([]string(nil), acc.Cohort...)
+				merged[t] = m
+			} else {
+				if acc.Promised > m.acc.Promised {
+					m.acc.Promised = acc.Promised
+				}
+				if acc.AccBal > m.acc.AccBal {
+					m.acc.AccBal, m.acc.AccVal = acc.AccBal, acc.AccVal
+				}
+			}
+			m.witnesses++
+		}
+	}
+	for t, m := range merged {
+		answered := 0
+		for _, member := range m.acc.Cohort {
+			if member == env.id {
+				continue
+			}
+			if _, ok := answers[member]; ok {
+				answered++
+			} else {
+				return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: cohort member %s of instance %s did not answer the pull", env.id, member, t)
+			}
+		}
+		if answered+1 < commit.Quorum(len(m.acc.Cohort)) {
+			// Unreachable with a full cohort answering; kept as a guard
+			// against malformed cohorts.
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: instance %s lacks a quorum of witnesses", env.id, t)
+		}
+		a := m.acc
+		srv.acceptors[t] = &a
+	}
+	rst.Acceptors = len(merged)
+
+	// The untrusted log moves aside (kept for post-mortems, never deleted);
+	// the merged state seeds a fresh log as one synthetic snapshot. Only
+	// then does the replica rejoin the transport.
+	if _, err := os.Stat(env.dir); err == nil {
+		moved := false
+		for n := 0; n < 1000; n++ {
+			aside := fmt.Sprintf("%s.corrupt-%d", env.dir, n)
+			if _, err := os.Stat(aside); err == nil {
+				continue
+			}
+			if err := os.Rename(env.dir, aside); err != nil {
+				return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: move corrupt log aside: %w", env.id, err)
+			}
+			moved = true
+			break
+		}
+		if !moved {
+			return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: no free .corrupt-N slot beside %s", env.id, env.dir)
+		}
+	}
+	if err := os.MkdirAll(env.dir, 0o755); err != nil {
+		return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: %w", env.id, err)
+	}
+	log, _, err := wal.Open(env.dir, env.walOpts...)
+	if err != nil {
+		return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: fresh log: %w", env.id, err)
+	}
+	state, err := encodeSnapshot(srv)
+	if err != nil {
+		log.Close()
+		return nil, RebuildStats{}, err
+	}
+	if err := log.WriteSnapshot(state); err != nil {
+		log.Close()
+		return nil, RebuildStats{}, fmt.Errorf("cluster: rebuild %s: seed snapshot: %w", env.id, err)
+	}
+	h, err := startDurableDM(env.tr, env.id, env.items, env.dir, log, srv, env.snapEvery, env.wire, env.serveOpts...)
+	if err != nil {
+		return nil, RebuildStats{}, err
+	}
+	return h, rst, nil
+}
+
+// RebuildReplica replaces a quarantined (or otherwise untrusted) durable
+// replica with state pulled from its peers — the recovery path for disk
+// corruption, where RestartDM's log replay has nothing trustworthy to
+// replay. The current incarnation is torn down first; on any failure the
+// slot is re-served quarantined (answering the typed refusal), so the
+// caller can retry once the peers are reachable again.
+func (s *Store) RebuildReplica(ctx context.Context, id string) (RebuildStats, error) {
+	s.mu.Lock()
+	h := s.dms[id]
+	all := make([]string, 0, len(s.dms))
+	for dm := range s.dms {
+		all = append(all, dm)
+	}
+	s.mu.Unlock()
+	if h == nil {
+		return RebuildStats{}, fmt.Errorf("cluster: unknown DM %q", id)
+	}
+	if h.walPath == "" {
+		return RebuildStats{}, fmt.Errorf("cluster: DM %q is not durable", id)
+	}
+	peers := peersOf(id, all)
+	if len(peers) == 0 {
+		return RebuildStats{}, fmt.Errorf("cluster: DM %q has no peers to rebuild from", id)
+	}
+	h.server.Close()
+	if h.wal != nil {
+		// A poisoned log may refuse a clean close; its contents are about to
+		// be moved aside regardless.
+		_ = h.wal.log.Close()
+	}
+	env := rebuildEnv{
+		tr: s.tr, client: s.client, id: id, items: h.items, dir: h.walPath,
+		walOpts: s.opts.walOpts, snapEvery: s.opts.snapEvery,
+		peers: peers, timeout: s.opts.callTimeout,
+		wire: s.leaseWiring(id, peers), serveOpts: s.dmServeOpts(id),
+	}
+	nh, rst, err := rebuildReplica(ctx, env)
+	if err != nil {
+		cause := h.quarantineReason()
+		if cause == nil {
+			cause = err
+		}
+		if qh, qerr := quarantinedDM(s.tr, id, h.items, h.walPath, cause, s.dmServeOpts(id)...); qerr == nil {
+			s.mu.Lock()
+			s.dms[id] = qh
+			s.mu.Unlock()
+		}
+		return RebuildStats{}, err
+	}
+	s.mu.Lock()
+	s.dms[id] = nh
+	s.mu.Unlock()
+	s.Stats.Rebuilds.Inc()
+	s.Stats.RebuiltItems.Add(int64(rst.Items))
+	return rst, nil
+}
+
+// QuarantinedDMs lists the store's currently quarantined replicas, sorted.
+// Empty on a healthy cluster — the chaos harness's exit gate.
+func (s *Store) QuarantinedDMs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for id, h := range s.dms {
+		if h.stopped {
+			continue
+		}
+		if h.quarantineReason() != nil {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DMHealth is one replica's status as observed over the wire — what
+// `qcstore client -inspect health` prints per replica.
+type DMHealth struct {
+	DM     string
+	Status string // "healthy", "quarantined" or "unreachable"
+	Detail string // quarantine cause or transport error; empty when healthy
+}
+
+// ProbeHealth pings every DM named by the store's item specs and classifies
+// each answer: Ack{OK: true} is healthy, the typed refusal is quarantined
+// (with its cause), and anything else — a timeout, a refused connection, a
+// wrong answer — is unreachable. Works from pure client stores; each probe
+// is bounded by the store's call timeout.
+func (s *Store) ProbeHealth(ctx context.Context) []DMHealth {
+	seen := map[string]bool{}
+	var dms []string
+	for _, it := range s.items {
+		for _, dm := range it.DMs {
+			if !seen[dm] {
+				seen[dm] = true
+				dms = append(dms, dm)
+			}
+		}
+	}
+	sort.Strings(dms)
+	out := make([]DMHealth, 0, len(dms))
+	for _, dm := range dms {
+		h := DMHealth{DM: dm}
+		cctx, cancel := context.WithTimeout(ctx, s.opts.callTimeout)
+		raw, err := s.client.Call(cctx, dm, PingReq{})
+		cancel()
+		switch r := raw.(type) {
+		case QuarantinedResp:
+			h.Status, h.Detail = "quarantined", r.Reason
+		case Ack:
+			h.Status = "healthy"
+			if !r.OK {
+				h.Status, h.Detail = "unreachable", "ping refused"
+			}
+		default:
+			h.Status = "unreachable"
+			if err != nil {
+				h.Detail = err.Error()
+			} else {
+				h.Detail = fmt.Sprintf("unexpected answer %T", raw)
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// walPathOf exposes one DM's log directory to the tests.
+func walPathOf(t *testing.T, store *Store, dm string) string {
+	t.Helper()
+	store.mu.Lock()
+	h := store.dms[dm]
+	store.mu.Unlock()
+	if h == nil || h.walPath == "" {
+		t.Fatalf("no durable DM %q", dm)
+	}
+	return h.walPath
+}
+
+// TestCorruptLogQuarantineAndRebuild is the tentpole end-to-end: a replica
+// whose log is corrupted at rest comes back QUARANTINED (serving the typed
+// refusal, not garbage), the cluster keeps serving through the remaining
+// majority, and a peer rebuild restores the replica's committed state and
+// rejoins it — after which the rebuilt state is itself durable.
+func TestCorruptLogQuarantineAndRebuild(t *testing.T) {
+	net, store, _ := openDurable(t, 121, WithWALOptions(wal.WithFsync(false), wal.WithSegmentBytes(256)))
+	defer func() { store.Close(); net.Close() }()
+	ctx := context.Background()
+
+	for i := 1; i <= 8; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", i*10) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt dm0's log at rest and restart it: the restart must succeed —
+	// as a quarantined slot, not a serving replica.
+	dir := walPathOf(t, store, "dm0")
+	if err := store.StopDM("dm0"); err != nil {
+		t.Fatal(err)
+	}
+	ffs := wal.NewFaultFS(7)
+	if _, _, ok, err := ffs.CorruptSegmentFrame(dir); err != nil || !ok {
+		t.Fatalf("CorruptSegmentFrame: ok=%v err=%v", ok, err)
+	}
+	if _, err := store.RestartDM("dm0"); err != nil {
+		t.Fatalf("restart onto corrupt log must quarantine, not fail: %v", err)
+	}
+	if got := store.QuarantinedDMs(); len(got) != 1 || got[0] != "dm0" {
+		t.Fatalf("QuarantinedDMs = %v, want [dm0]", got)
+	}
+	if store.Stats.Quarantines.Value() != 1 {
+		t.Fatalf("Quarantines = %d, want 1", store.Stats.Quarantines.Value())
+	}
+
+	// The quarantined replica answers every request with the typed refusal.
+	raw, err := store.client.Call(ctx, "dm0", PingReq{Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := raw.(QuarantinedResp)
+	if !ok || q.DM != "dm0" || q.Reason == "" {
+		t.Fatalf("quarantined ping answered %#v, want QuarantinedResp{DM: dm0}", raw)
+	}
+
+	// The cluster still serves reads and writes through the healthy majority.
+	if err := store.Run(ctx, func(tx *Txn) error {
+		v, err := ReadAs[int](ctx, tx, "x")
+		if err != nil {
+			return err
+		}
+		if v != 80 {
+			t.Errorf("read %d with dm0 quarantined, want 80", v)
+		}
+		return tx.Write(ctx, "x", 90)
+	}); err != nil {
+		t.Fatalf("cluster must serve around one quarantined replica: %v", err)
+	}
+
+	// Peer rebuild: dm0 pulls the committed state back from dm1/dm2.
+	rst, err := store.RebuildReplica(ctx, "dm0")
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if rst.Items != 1 || rst.Peers != 2 {
+		t.Fatalf("RebuildStats = %+v, want Items=1 Peers=2", rst)
+	}
+	if got := store.QuarantinedDMs(); len(got) != 0 {
+		t.Fatalf("QuarantinedDMs after rebuild = %v, want none", got)
+	}
+	if store.Stats.Rebuilds.Value() != 1 || store.Stats.RebuiltItems.Value() != 1 {
+		t.Fatalf("rebuild counters = %d/%d, want 1/1",
+			store.Stats.Rebuilds.Value(), store.Stats.RebuiltItems.Value())
+	}
+	post, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.VN < pre.VN || post.Val == nil {
+		t.Fatalf("rebuilt state %+v regressed below pre-corruption %+v", post, pre)
+	}
+
+	// The rebuilt state is durable: an amnesia restart replays it from the
+	// fresh log's synthetic snapshot.
+	stats := amnesia(t, store, "dm0")
+	if !stats.FromSnapshot {
+		t.Fatalf("restart after rebuild recovered %+v, want FromSnapshot", stats)
+	}
+	again, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.VN != post.VN {
+		t.Fatalf("rebuilt state not durable: vn %d after restart, had %d", again.VN, post.VN)
+	}
+	// And the cluster is fully writable again through all three replicas.
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 100) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendFailureQuarantinesAtRuntime is the fail-closed regression at
+// cluster level: a replica whose log starts refusing appends (ENOSPC)
+// answers the write that hit the fault — and everything after it — with
+// QuarantinedResp instead of acknowledging state its disk no longer backs.
+func TestAppendFailureQuarantinesAtRuntime(t *testing.T) {
+	ffs := wal.NewFaultFS(11)
+	net, store, _ := openDurable(t, 131, WithWALOptions(wal.WithFsync(false), wal.WithFS(ffs)))
+	defer func() { store.Close(); net.Close() }()
+	ctx := context.Background()
+
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 1) }); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAppends(walPathOf(t, store, "dm0"), true)
+
+	// A raw logged write against dm0 must be refused with the typed error,
+	// not acked.
+	raw, err := store.client.Call(ctx, "dm0", WriteReq{Txn: "zz.t1", Item: "x", VN: 50, Val: 5, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := raw.(QuarantinedResp); !ok || q.DM != "dm0" {
+		t.Fatalf("write onto full disk answered %#v, want QuarantinedResp", raw)
+	}
+	if store.Stats.Quarantines.Value() != 1 {
+		t.Fatalf("Quarantines = %d, want 1", store.Stats.Quarantines.Value())
+	}
+	if got := store.QuarantinedDMs(); len(got) != 1 || got[0] != "dm0" {
+		t.Fatalf("QuarantinedDMs = %v, want [dm0]", got)
+	}
+	// Sticky: even an unlogged read is refused now.
+	raw, err = store.client.Call(ctx, "dm0", PingReq{Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.(QuarantinedResp); !ok {
+		t.Fatalf("quarantine not sticky: ping answered %#v", raw)
+	}
+	// The cluster writes on through the majority.
+	if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 2) }); err != nil {
+		t.Fatalf("cluster must tolerate one full disk: %v", err)
+	}
+
+	// Heal the disk, rebuild, and verify the replica carries the committed
+	// state — including writes it was quarantined for.
+	ffs.FailAppends(walPathOf(t, store, "dm0"), false)
+	if _, err := store.RebuildReplica(ctx, "dm0"); err != nil {
+		t.Fatalf("rebuild after heal: %v", err)
+	}
+	post, err := store.Inspect(ctx, "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Val != 2 {
+		t.Fatalf("rebuilt replica serves %v, want 2", post.Val)
+	}
+}
+
+// TestRebuildRequiresAllPeers: a rebuild that cannot hear every peer fails
+// and leaves the replica quarantined — acceptor state witnessed only by the
+// missing peer would otherwise be lost (acceptor amnesia).
+func TestRebuildRequiresAllPeers(t *testing.T) {
+	net, store, dms := openDurable(t, 141, WithWALOptions(wal.WithFsync(false), wal.WithSegmentBytes(256)))
+	defer func() { store.Close(); net.Close() }()
+	ctx := context.Background()
+
+	for i := 1; i <= 6; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := walPathOf(t, store, "dm0")
+	if err := store.StopDM("dm0"); err != nil {
+		t.Fatal(err)
+	}
+	ffs := wal.NewFaultFS(13)
+	if _, _, ok, err := ffs.CorruptSegmentFrame(dir); err != nil || !ok {
+		t.Fatalf("CorruptSegmentFrame: ok=%v err=%v", ok, err)
+	}
+	if _, err := store.RestartDM("dm0"); err != nil {
+		t.Fatal(err)
+	}
+	// One peer down: the pull must fail, and dm0 must stay quarantined and
+	// still answer the typed refusal.
+	if err := store.StopDM(dms[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.RebuildReplica(ctx, "dm0"); err == nil {
+		t.Fatal("rebuild with a peer down must fail")
+	}
+	if got := store.QuarantinedDMs(); len(got) != 1 || got[0] != "dm0" {
+		t.Fatalf("QuarantinedDMs after failed rebuild = %v, want [dm0]", got)
+	}
+	raw, err := store.client.Call(ctx, "dm0", PingReq{Seq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.(QuarantinedResp); !ok {
+		t.Fatalf("slot after failed rebuild answered %#v, want QuarantinedResp", raw)
+	}
+}
+
+// TestRebuildRestoresResolvedAndAcceptors: resolution records and Paxos
+// acceptor hard state survive a rebuild — the merged acceptor carries the
+// maximum promise and the highest-ballot accepted value among the peers.
+func TestRebuildRestoresResolvedAndAcceptors(t *testing.T) {
+	net, store, dms := openDurable(t, 151, WithWALOptions(wal.WithFsync(false), wal.WithSegmentBytes(256)))
+	defer func() { store.Close(); net.Close() }()
+	ctx := context.Background()
+
+	for i := 1; i <= 6; i++ {
+		if err := store.Run(ctx, func(tx *Txn) error { return tx.Write(ctx, "x", 3) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var resolvedTxn TxnID
+	store.mu.Lock()
+	for tid := range store.dms["dm1"].srv.resolved {
+		resolvedTxn = tid
+	}
+	store.mu.Unlock()
+	if resolvedTxn == "" {
+		t.Fatal("no resolved transaction recorded at dm1")
+	}
+
+	// Plant an undecided Paxos instance across the cohort: ballot-0 accepts
+	// at all three, then a higher-ballot prepare at dm1 only.
+	orphan := TxnID("zz.t77")
+	for _, dm := range dms {
+		raw, err := store.client.Call(ctx, dm, PaxosAcceptReq{
+			Txn: orphan, Ballot: 0, Commit: true, Subs: nil,
+			Final: map[string]int{"x": 9}, Cohort: dms,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr, ok := raw.(PaxosAcceptResp); !ok || !pr.OK {
+			t.Fatalf("accept at %s answered %#v", dm, raw)
+		}
+	}
+	if raw, err := store.client.Call(ctx, "dm1", PaxosPrepareReq{Txn: orphan, Ballot: 4, Cohort: dms}); err != nil {
+		t.Fatal(err)
+	} else if ack, ok := raw.(Ack); !ok || !ack.OK {
+		t.Fatalf("prepare at dm1 answered %#v", raw)
+	}
+
+	dir := walPathOf(t, store, "dm0")
+	if err := store.StopDM("dm0"); err != nil {
+		t.Fatal(err)
+	}
+	ffs := wal.NewFaultFS(17)
+	if _, _, ok, err := ffs.CorruptSegmentFrame(dir); err != nil || !ok {
+		t.Fatalf("CorruptSegmentFrame: ok=%v err=%v", ok, err)
+	}
+	if _, err := store.RestartDM("dm0"); err != nil {
+		t.Fatal(err)
+	}
+	rst, err := store.RebuildReplica(ctx, "dm0")
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if rst.Resolved == 0 || rst.Acceptors != 1 {
+		t.Fatalf("RebuildStats = %+v, want Resolved>0 Acceptors=1", rst)
+	}
+
+	store.mu.Lock()
+	srv := store.dms["dm0"].srv
+	res := srv.resolved[resolvedTxn]
+	acc := srv.acceptors[orphan]
+	store.mu.Unlock()
+	if res == nil || !res.committed {
+		t.Fatalf("resolved record %s not restored: %+v", resolvedTxn, res)
+	}
+	if acc == nil {
+		t.Fatal("acceptor state not restored")
+	}
+	if acc.Promised != 4 {
+		t.Fatalf("merged promise watermark = %d, want the max (4)", acc.Promised)
+	}
+	if acc.AccBal != 0 || !acc.AccVal.Commit || acc.AccVal.Final["x"] != 9 {
+		t.Fatalf("merged accepted value = bal %d %+v, want ballot-0 commit", acc.AccBal, acc.AccVal)
+	}
+}
+
+// TestRenewLeaseRefusedForUnknownTxn: the rebuilt-replica commit fence. A
+// DM with leases armed refuses to renew a transaction it holds no trace of
+// — so a transaction whose locks died with a corrupted-and-rebuilt replica
+// aborts at its pre-commit fence instead of committing over the loss.
+func TestRenewLeaseRefusedForUnknownTxn(t *testing.T) {
+	srv := newDMState("dm0", []ItemSpec{{Name: "x", DMs: []string{"dm0"}, Config: quorum.Majority([]string{"dm0"})}})
+	srv.configureLeases(time.Minute, nil, nil, nil)
+
+	if resp, handled := srv.coordinate(RenewLeaseReq{Txn: "c1.t1"}); !handled || resp.(Ack).OK {
+		t.Fatalf("renewal for unknown txn = %#v, want refusal", resp)
+	}
+	// A granted lock makes the transaction known; renewal succeeds.
+	if resp, _ := srv.apply(ReadReq{Txn: "c1.t2/0", Item: "x", Lock: LockWrite, Seq: 1}); !resp.(ReadResp).OK {
+		t.Fatalf("grant refused: %#v", resp)
+	}
+	if resp, _ := srv.coordinate(RenewLeaseReq{Txn: "c1.t2"}); !resp.(Ack).OK {
+		t.Fatalf("renewal for lock holder = %#v, want OK", resp)
+	}
+	// An intention alone (lock promoted away mid-tree) is a trace too.
+	srv.replicas["x"].intents = append(srv.replicas["x"].intents, intent{owner: "c1.t3/0", vn: 9, val: 1})
+	if resp, _ := srv.coordinate(RenewLeaseReq{Txn: "c1.t3"}); !resp.(Ack).OK {
+		t.Fatalf("renewal for intent owner = %#v, want OK", resp)
+	}
+}
+
+// TestResolvedRetentionCompacts: past the retention cap the oldest
+// resolution records shed their subs payload but keep their verdict — late
+// commit retries still get the idempotent refusal/ack.
+func TestResolvedRetentionCompacts(t *testing.T) {
+	srv := newDMState("dm0", []ItemSpec{{Name: "x", DMs: []string{"dm0"}, Config: quorum.Majority([]string{"dm0"})}})
+	var stats Stats
+	srv.stats = &stats
+	srv.configureRetention(2)
+
+	for i := 1; i <= 3; i++ {
+		tid := TxnID(fmt.Sprintf("c1.t%d", i))
+		srv.markResolved(tid, true, []TxnID{tid + "/0"})
+	}
+	if stats.ResolvedEvictions.Value() != 1 {
+		t.Fatalf("ResolvedEvictions = %d, want 1", stats.ResolvedEvictions.Value())
+	}
+	oldest := srv.resolved["c1.t1"]
+	if oldest == nil || !oldest.committed {
+		t.Fatalf("verdict must outlive retention: %+v", oldest)
+	}
+	if oldest.subs != nil {
+		t.Fatalf("oldest record kept subs %v past the cap", oldest.subs)
+	}
+	if srv.resolved["c1.t3"].subs == nil {
+		t.Fatal("newest record lost its subs inside the window")
+	}
+	// The tombstone still makes CommitTopReq idempotent...
+	if resp, mutated := srv.apply(CommitTopReq{Txn: "c1.t1"}); !resp.(Ack).OK || mutated {
+		t.Fatalf("late commit retry on tombstone = %#v mutated=%v, want idempotent ack", resp, mutated)
+	}
+	// ...and still answers resolution inquiries with the verdict.
+	if resp, _ := srv.coordinate(ResolutionQueryReq{Txn: "c1.t1", From: "dm9"}); !resp.(Ack).OK {
+		t.Fatalf("inquiry on tombstone: %#v", resp)
+	}
+	// Re-resolving an already-resolved id never re-enters the eviction log.
+	srv.markResolved("c1.t3", true, []TxnID{"c1.t3/0"})
+	if n := len(srv.resolvedLog); n != 2 {
+		t.Fatalf("duplicate resolution re-logged: log has %d entries, want 2", n)
+	}
+}
+
+// TestServeDMAutoRebuild: a process-hosted replica (ServeDM) restarted onto
+// a corrupted log automatically rebuilds from its live peers instead of
+// coming up quarantined.
+func TestServeDMAutoRebuild(t *testing.T) {
+	dms := []string{"dm0", "dm1", "dm2"}
+	net := sim.NewNetwork(sim.Config{
+		MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond,
+		Seed: 161, FateFeedback: true,
+	})
+	defer net.Close()
+	items := []ItemSpec{{Name: "x", Initial: 0, DMs: dms, Config: quorum.Majority(dms)}}
+	dir := t.TempDir()
+
+	hosts := map[string]*DMHost{}
+	for _, dm := range dms {
+		h, err := ServeDM(net, dm, items, WithDurability(dir), WithWALOptions(wal.WithFsync(false), wal.WithSegmentBytes(256)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts[dm] = h
+	}
+	client, err := OpenClient(net, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := client.Run(context.Background(), func(tx *Txn) error { return tx.Write(context.Background(), "x", i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill dm0's process, scramble its log, restart it with the same flags.
+	hosts["dm0"].Close()
+	ffs := wal.NewFaultFS(19)
+	if _, _, ok, err := ffs.CorruptSegmentFrame(filepath.Join(dir, "dm0")); err != nil || !ok {
+		t.Fatalf("CorruptSegmentFrame: ok=%v err=%v", ok, err)
+	}
+	h, err := ServeDM(net, "dm0", items, WithDurability(dir), WithWALOptions(wal.WithFsync(false), wal.WithSegmentBytes(256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts["dm0"] = h
+	if h.Quarantined != nil {
+		t.Fatalf("auto-rebuild failed, host quarantined: %v", h.Quarantined)
+	}
+	if h.Rebuilt == nil || h.Rebuilt.Items != 1 {
+		t.Fatalf("Rebuilt = %+v, want 1 item restored", h.Rebuilt)
+	}
+	if h.Stats.Quarantines.Value() != 1 || h.Stats.Rebuilds.Value() != 1 {
+		t.Fatalf("host counters = %d/%d, want 1/1",
+			h.Stats.Quarantines.Value(), h.Stats.Rebuilds.Value())
+	}
+	// The rebuilt replica serves the committed value.
+	resp, err := client.Inspect(context.Background(), "dm0", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Val != 6 {
+		t.Fatalf("rebuilt host serves %v, want 6", resp.Val)
+	}
+	client.Close()
+	for _, h := range hosts {
+		h.Close()
+	}
+}
+
+// TestCoordinateRebuildServesMovedMarkers: a peer's answer to a rebuild
+// pull carries retirement markers for migrated items, and the rebuild merge
+// re-homes the marker under the rebuilding DM's id.
+func TestCoordinateRebuildServesMovedMarkers(t *testing.T) {
+	srv := newDMState("dm1", []ItemSpec{{Name: "x", DMs: []string{"dm1"}, Config: quorum.Majority([]string{"dm1"})}})
+	srv.moved["y"] = WrongShardResp{DM: "dm1", Item: "y", Epoch: 2, Group: "g1", DMs: []string{"dm7"}, Gen: 3}
+
+	raw, handled := srv.coordinateRebuild(RebuildPullReq{For: "dm0", Items: []string{"x", "y"}})
+	if !handled {
+		t.Fatal("RebuildPullReq not handled")
+	}
+	resp := raw.(RebuildPullResp)
+	if !resp.OK || resp.From != "dm1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(resp.Items) != 1 || resp.Items[0].Item != "x" || !resp.Items[0].Has {
+		t.Fatalf("items = %+v, want x only", resp.Items)
+	}
+	if w, ok := resp.Moved["y"]; !ok || w.Gen != 3 {
+		t.Fatalf("moved = %+v, want y@gen3", resp.Moved)
+	}
+}

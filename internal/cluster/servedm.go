@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -16,6 +17,14 @@ import (
 type DMHost struct {
 	h        *dmHandle
 	recovery RecoveryStats
+
+	// Quarantined, when non-nil, reports that the replica's log was corrupt
+	// at start AND the automatic peer rebuild failed: the host is serving,
+	// but answers only QuarantinedResp until the process restarts against
+	// reachable peers. Rebuilt reports a start-time rebuild that succeeded,
+	// with its stats.
+	Quarantined error
+	Rebuilt     *RebuildStats
 
 	// Stats receives the host-side counters lease coordination updates
 	// (orphan reaps, resolution queries). Client-side counters stay zero.
@@ -76,6 +85,25 @@ func ServeDM(tr transport.Transport, id string, items []ItemSpec, opts ...Option
 	if err != nil {
 		return nil, err
 	}
+	if h.quarantined != nil {
+		// The log is corrupt beyond a torn tail. Before settling for serving
+		// refusals, try one peer rebuild right now: a process restarted onto
+		// a scrambled (or wiped) disk should rejoin with its peers' state,
+		// not come up answering garbage — or nothing. The quarantined
+		// endpoint keeps serving while the pull runs; on success it is
+		// replaced by the rebuilt replica under the same id.
+		host.Stats.Quarantines.Inc()
+		host.Quarantined = h.quarantined
+		if len(peerSet) > 0 {
+			if nh, rst, rerr := serveDMRebuild(tr, id, h, peerSet, st, wire, serveOpts); rerr == nil {
+				h = nh
+				host.Quarantined = nil
+				host.Rebuilt = &rst
+				host.Stats.Rebuilds.Inc()
+				host.Stats.RebuiltItems.Add(int64(rst.Items))
+			}
+		}
+	}
 	host.h = h
 	host.recovery = stats
 	if stats.Replayed > 0 || stats.FromSnapshot {
@@ -83,6 +111,33 @@ func ServeDM(tr transport.Transport, id string, items []ItemSpec, opts ...Option
 		host.Stats.ReplayedRecords.Add(int64(stats.Replayed))
 	}
 	return host, nil
+}
+
+// serveDMRebuild attempts one peer rebuild of a host replica that came up
+// quarantined. It tears the quarantined endpoint down first (the rebuilt
+// server needs the id), and re-serves the quarantined handler if the
+// rebuild fails — the process stays up either way.
+func serveDMRebuild(tr transport.Transport, id string, h *dmHandle, peers []string, st settings, wire func(*dmServer), serveOpts []transport.ServeOption) (*dmHandle, RebuildStats, error) {
+	client, err := tr.Client("rebuild-" + id)
+	if err != nil {
+		return nil, RebuildStats{}, err
+	}
+	defer client.Close()
+	h.server.Close()
+	env := rebuildEnv{
+		tr: tr, client: client, id: id, items: h.items, dir: h.walPath,
+		walOpts: st.walOpts, snapEvery: st.snapEvery,
+		peers: peers, timeout: st.callTimeout,
+		wire: wire, serveOpts: serveOpts,
+	}
+	nh, rst, err := rebuildReplica(context.Background(), env)
+	if err != nil {
+		if qh, qerr := quarantinedDM(tr, id, h.items, h.walPath, h.quarantined, serveOpts...); qerr == nil {
+			h.server = qh.server
+		}
+		return nil, RebuildStats{}, err
+	}
+	return nh, rst, nil
 }
 
 // Recovery reports what the host rebuilt from its write-ahead log at start:

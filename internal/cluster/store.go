@@ -134,6 +134,16 @@ type Stats struct {
 	AcceptorRecoveries        metrics.Counter
 	AcceptorResolvesCommitted metrics.Counter
 	AcceptorResolvesAborted   metrics.Counter
+	// Storage-fault tolerance (DESIGN.md §12). Quarantines counts replicas
+	// that entered quarantine (a corrupt log at open, or a failed append at
+	// runtime); Rebuilds counts successful peer rebuilds and RebuiltItems
+	// totals the items those rebuilds restored. ResolvedEvictions counts
+	// resolution records the retention cap compacted down to outcome
+	// tombstones.
+	Quarantines       metrics.Counter
+	Rebuilds          metrics.Counter
+	RebuiltItems      metrics.Counter
+	ResolvedEvictions metrics.Counter
 }
 
 // Store is the client handle to a replicated store: it owns the DM server
@@ -228,6 +238,14 @@ type Hooks struct {
 	// hears it. Durability tests use it to crash replicas exactly inside
 	// the commit-point window.
 	BeforeCommitTop func(txn TxnID)
+	// SweepBarrier, when set, runs after each replica inspection during
+	// SweepOnce. An inspection doubles as an orphan sweep at the DM, which
+	// may fire an asynchronous inquiry/recovery cascade; the deterministic
+	// chaos harness sets this to the network's quiesce barrier so each
+	// DM's cascade fully drains before the next DM is inspected — cascade
+	// interleaving across DMs would otherwise fork counters on near-tie
+	// message latencies.
+	SweepBarrier func()
 }
 
 // dmHandle tracks one DM server the store spawned: its serving endpoint,
@@ -238,8 +256,30 @@ type dmHandle struct {
 	items   []ItemSpec
 	server  transport.Server
 	srv     *dmServer
-	wal     *dmWAL // nil on volatile stores
+	wal     *dmWAL // nil on volatile stores and quarantined handles
 	stopped bool
+
+	// walPath is the DM's log directory, "" on volatile stores. It outlives
+	// the log handle so RestartDM and RebuildReplica know where the durable
+	// state lives even while the slot is quarantined (wal == nil).
+	walPath string
+	// quarantined, when non-nil, records why this handle came up refusing
+	// service: its log failed to open with a CorruptionError. Runtime
+	// quarantines live in wal.quarErr instead; quarantineReason merges both.
+	quarantined error
+}
+
+// quarantineReason reports why this replica is quarantined, nil if healthy.
+// It covers both flavors: a handle born quarantined (corrupt log at open)
+// and a live handle whose log failed an append.
+func (h *dmHandle) quarantineReason() error {
+	if h.quarantined != nil {
+		return h.quarantined
+	}
+	if h.wal != nil {
+		return h.wal.quarantined()
+	}
+	return nil
 }
 
 type genCfg struct {
@@ -360,6 +400,14 @@ func newStore(tr transport.Transport, items []ItemSpec, st settings, spawnServer
 			return nil, err
 		}
 		s.dms[site.id] = h
+		if h.quarantined != nil {
+			// The slot came up quarantined (corrupt log at open): it serves
+			// QuarantinedResp until RebuildReplica pulls fresh state from its
+			// peers. Opening the store still succeeds — one bad disk must not
+			// take down the cluster.
+			s.Stats.Quarantines.Inc()
+			continue
+		}
 		if stats.Replayed > 0 || stats.FromSnapshot {
 			s.Stats.Recoveries.Inc()
 			s.Stats.ReplayedRecords.Add(int64(stats.Replayed))
@@ -419,6 +467,7 @@ func asyncify(h func(from string, req any) any) transport.Handler {
 func (s *Store) leaseWiring(id string, peers []string) func(*dmServer) {
 	return func(srv *dmServer) {
 		srv.configureLeases(s.opts.leaseTTL, s.opts.clock, peers, &s.Stats)
+		srv.configureRetention(s.opts.resolvedRetention)
 		if s.opts.readLease {
 			// Configured here — after recovery replay on durable DMs — so a
 			// rebuilt replica starts with no hints and must re-prove freshness.

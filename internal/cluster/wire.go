@@ -53,6 +53,7 @@ func RegisterWireTypes() {
 	gob.Register(PaxosRecoverAccept{})
 	gob.Register(PaxosRecoverAccepted{})
 	gob.Register(ResolutionProbeReq{})
+	gob.Register(RebuildPullReq{})
 	// Responses.
 	gob.Register(ReadResp{})
 	gob.Register(WriteResp{})
@@ -64,4 +65,6 @@ func RegisterWireTypes() {
 	gob.Register(RingResp{})
 	gob.Register(PaxosAcceptResp{})
 	gob.Register(ResolutionProbeResp{})
+	gob.Register(QuarantinedResp{})
+	gob.Register(RebuildPullResp{})
 }

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/commit"
 	"repro/internal/quorum"
 )
 
@@ -40,6 +41,7 @@ func TestWireRoundTrip(t *testing.T) {
 		HintGrantReq{Item: "x", VN: 3, Gen: 1},
 		HintFenceReq{Txn: "t8", Item: "x"},
 		ReapReq{Txn: "t9", Commit: true, Subs: []TxnID{"t9/0"}},
+		RebuildPullReq{For: "dm1", Items: []string{"x", "y"}},
 		// Responses.
 		ReadResp{OK: true, VN: 6, Val: 13, Gen: 1, Cfg: cfg, Hinted: true},
 		WriteResp{OK: true, Held: true},
@@ -47,6 +49,18 @@ func TestWireRoundTrip(t *testing.T) {
 		OverloadedResp{DM: "dm2", Expired: true},
 		InspectResp{OK: true, VN: 4, Val: 8, Gen: 1, Cfg: cfg, Locks: 2, Intents: 1},
 		HintMissResp{DM: "dm0", Reason: "expired"},
+		QuarantinedResp{DM: "dm1", Reason: "wal: segment corrupt"},
+		RebuildPullResp{
+			OK: true, From: "dm0",
+			Items:    []RebuildItemState{{Item: "x", Has: true, VN: 5, Val: 9, Gen: 1, Cfg: cfg}},
+			Moved:    map[string]WrongShardResp{"y": {DM: "dm0", Item: "y", Epoch: 2, Group: "g1", DMs: []string{"dm3"}, Gen: 3, Cfg: cfg}},
+			Resolved: map[TxnID]RebuildResolution{"t1": {Committed: true, Subs: []TxnID{"t1/0"}}},
+			Acceptors: map[TxnID]commit.Acceptor{"t2": {
+				Promised: 1, AccBal: 1,
+				AccVal: commit.Decision{Commit: true, Subs: []string{"t2/0"}, Final: map[string]int{"x": 5}},
+				Cohort: []string{"dm0", "dm1"},
+			}},
+		},
 	}
 	type envelope struct{ Msg any }
 	for _, m := range msgs {

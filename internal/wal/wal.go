@@ -3,7 +3,6 @@ package wal
 import (
 	"bufio"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -43,6 +42,7 @@ type options struct {
 	segmentBytes int64
 	fsync        bool
 	groupCommit  bool
+	fs           FS
 }
 
 // Option configures a Log at Open.
@@ -73,6 +73,16 @@ func WithFsync(on bool) Option {
 // E12 experiment measures group commit against.
 func WithGroupCommit(on bool) Option {
 	return func(o *options) { o.groupCommit = on }
+}
+
+// WithFS substitutes the filesystem the log runs on. Default OSFS; fault
+// campaigns pass a FaultFS to inject seeded storage faults.
+func WithFS(fs FS) Option {
+	return func(o *options) {
+		if fs != nil {
+			o.fs = fs
+		}
+	}
 }
 
 // Metrics exposes the log's operational counters.
@@ -111,7 +121,7 @@ type Log struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast when a flush round ends or the leader retires
-	f        *os.File
+	f        File
 	bw       *bufio.Writer
 	segIdx   uint64
 	segBytes int64
@@ -136,14 +146,14 @@ type waiter struct {
 // corruption anywhere else fails the open — a log must never silently skip
 // past a valid record.
 func Open(dir string, opt ...Option) (*Log, Recovery, error) {
-	o := options{segmentBytes: 4 << 20, fsync: true, groupCommit: true}
+	o := options{segmentBytes: 4 << 20, fsync: true, groupCommit: true, fs: OSFS}
 	for _, fn := range opt {
 		fn(&o)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := o.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, Recovery{}, err
 	}
-	rec, nextIdx, err := scan(dir)
+	rec, nextIdx, err := scan(dir, o.fs)
 	if err != nil {
 		return nil, Recovery{}, err
 	}
@@ -157,9 +167,11 @@ func Open(dir string, opt ...Option) (*Log, Recovery, error) {
 
 // scan reads dir and rebuilds the durable state: the newest valid
 // snapshot, then every record in the segments at or after it. It returns
-// the next free segment index.
-func scan(dir string) (Recovery, uint64, error) {
-	entries, err := os.ReadDir(dir)
+// the next free segment index. Damage beyond a torn tail — an unreadable
+// or checksum-bad snapshot, a hole in the segment sequence, corruption
+// inside a segment — comes back as a *CorruptionError.
+func scan(dir string, fs FS) (Recovery, uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return Recovery{}, 0, err
 	}
@@ -181,19 +193,25 @@ func scan(dir string) (Recovery, uint64, error) {
 		// present is complete; its checksum still guards bit rot.
 		sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 		idx := snaps[len(snaps)-1]
-		b, err := os.ReadFile(filepath.Join(dir, snapName(idx)))
+		b, err := fs.ReadFile(filepath.Join(dir, snapName(idx)))
 		if err != nil {
-			return Recovery{}, 0, err
+			return Recovery{}, 0, &CorruptionError{Dir: dir, File: snapName(idx), Offset: -1, Err: err}
 		}
 		payload, n, err := DecodeFrame(b)
 		if err != nil || n != len(b) {
-			return Recovery{}, 0, fmt.Errorf("wal: snapshot %s: %w", snapName(idx), ErrCorrupt)
+			return Recovery{}, 0, &CorruptionError{Dir: dir, File: snapName(idx), Offset: -1, Err: ErrCorrupt}
 		}
 		rec.Snapshot = append([]byte(nil), payload...)
 		from = idx
 	}
 
+	// Segments the snapshot does not supersede must form an unbroken
+	// sequence from the snapshot index (from 0 on a never-snapshotted
+	// log): rotation creates segment N before snap-N is published and
+	// compaction only ever removes files below the newest snapshot, so a
+	// hole means a whole file of acknowledged records vanished.
 	nextIdx := from
+	expect := from
 	for i, idx := range segs {
 		if idx >= nextIdx {
 			nextIdx = idx + 1
@@ -201,8 +219,13 @@ func scan(dir string) (Recovery, uint64, error) {
 		if idx < from {
 			continue // superseded by the snapshot; compaction leftover
 		}
+		if idx != expect {
+			return Recovery{}, 0, &CorruptionError{Dir: dir, File: segName(expect), Offset: -1,
+				Err: fmt.Errorf("segment missing: %w", ErrCorrupt)}
+		}
+		expect = idx + 1
 		last := i == len(segs)-1
-		records, truncated, err := readSegment(filepath.Join(dir, segName(idx)), last)
+		records, truncated, err := readSegment(fs, filepath.Join(dir, segName(idx)), last)
 		if err != nil {
 			return Recovery{}, 0, err
 		}
@@ -216,10 +239,10 @@ func scan(dir string) (Recovery, uint64, error) {
 // a frame cut short by the end of the file — the torn tail of a crashed
 // append — is truncated away; a corrupt frame with intact data after it is
 // an error everywhere.
-func readSegment(path string, last bool) (records [][]byte, truncated int64, err error) {
-	b, err := os.ReadFile(path)
+func readSegment(fs FS, path string, last bool) (records [][]byte, truncated int64, err error) {
+	b, err := fs.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, &CorruptionError{Dir: filepath.Dir(path), File: filepath.Base(path), Offset: -1, Err: err}
 	}
 	off := 0
 	for off < len(b) {
@@ -240,12 +263,12 @@ func readSegment(path string, last bool) (records [][]byte, truncated int64, err
 		}
 		if last && tornTail {
 			truncated = int64(len(b) - off)
-			if terr := os.Truncate(path, int64(off)); terr != nil {
+			if terr := fs.Truncate(path, int64(off)); terr != nil {
 				return nil, 0, terr
 			}
 			return records, truncated, nil
 		}
-		return nil, 0, fmt.Errorf("wal: %s at offset %d: %w", filepath.Base(path), off, err)
+		return nil, 0, &CorruptionError{Dir: filepath.Dir(path), File: filepath.Base(path), Offset: int64(off), Err: err}
 	}
 	return records, 0, nil
 }
@@ -266,7 +289,7 @@ func frameExtent(b []byte) (frameLen int, ok bool) {
 
 // openSegmentLocked starts segment idx as the append target.
 func (l *Log) openSegmentLocked(idx uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(idx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	f, err := l.opts.fs.OpenAppend(filepath.Join(l.dir, segName(idx)))
 	if err != nil {
 		return err
 	}
@@ -457,55 +480,38 @@ func (l *Log) WriteSnapshot(state []byte) error {
 	}
 
 	idx := l.segIdx // the snapshot covers segments < idx
+	fs := l.opts.fs
 	tmp := filepath.Join(l.dir, snapName(idx)+".tmp")
-	if err := os.WriteFile(tmp, AppendFrame(nil, state), 0o644); err != nil {
+	if err := fs.WriteFile(tmp, AppendFrame(nil, state), 0o644); err != nil {
 		return err
 	}
 	if l.opts.fsync {
-		if err := syncFile(tmp); err != nil {
+		if err := fs.SyncFile(tmp); err != nil {
 			return err
 		}
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(idx))); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(l.dir, snapName(idx))); err != nil {
 		return err
 	}
 	if l.opts.fsync {
-		syncDir(l.dir)
+		fs.SyncDir(l.dir)
 	}
 	l.m.Snapshots.Inc()
 
 	// Compaction: everything before the snapshot is dead weight.
-	entries, err := os.ReadDir(l.dir)
+	entries, err := fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		if i, ok := parseIdx(e.Name(), segPrefix, segSuffix); ok && i < idx {
-			os.Remove(filepath.Join(l.dir, e.Name()))
+			fs.Remove(filepath.Join(l.dir, e.Name()))
 		}
 		if i, ok := parseIdx(e.Name(), snapPrefix, snapSuffix); ok && i < idx {
-			os.Remove(filepath.Join(l.dir, e.Name()))
+			fs.Remove(filepath.Join(l.dir, e.Name()))
 		}
 	}
 	return nil
-}
-
-func syncFile(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return f.Sync()
-}
-
-// syncDir fsyncs a directory so renames within it are durable; best
-// effort, as not every filesystem supports it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
 }
 
 // Sync blocks until every record appended before the call is durable.
